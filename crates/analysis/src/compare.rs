@@ -1,0 +1,229 @@
+//! The ours-versus-IODA comparison harness (paper §5.4).
+
+use crate::stats::pearson;
+use fbs_signals::OutageEvent;
+use fbs_types::{Asn, CivilDate};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One AS's entry in the coverage comparison, ordered by AS size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoveragePoint {
+    /// The AS.
+    pub asn: Asn,
+    /// AS size in /24 blocks (the paper caps the plotted size at 1,000).
+    pub size_blocks: usize,
+    /// Outages reported by this work.
+    pub ours: usize,
+    /// Outages reported by the IODA emulation.
+    pub ioda: usize,
+}
+
+/// Builds the coverage comparison of Fig. 15: ASes ranked by size with
+/// cumulative outage counts from both systems.
+pub fn coverage_cdf(
+    sizes: &BTreeMap<Asn, usize>,
+    ours: &BTreeMap<Asn, Vec<OutageEvent>>,
+    ioda: &BTreeMap<Asn, Vec<OutageEvent>>,
+) -> Vec<CoveragePoint> {
+    let mut points: Vec<CoveragePoint> = sizes
+        .iter()
+        .map(|(asn, size)| CoveragePoint {
+            asn: *asn,
+            size_blocks: *size,
+            ours: ours.get(asn).map(|v| v.len()).unwrap_or(0),
+            ioda: ioda.get(asn).map(|v| v.len()).unwrap_or(0),
+        })
+        .collect();
+    points.sort_by_key(|p| (p.size_blocks, p.asn));
+    points
+}
+
+/// Summary counts over a coverage comparison.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverageSummary {
+    /// Total outages reported by this work.
+    pub ours_outages: usize,
+    /// ASes with at least one outage in this work.
+    pub ours_ases: usize,
+    /// Total outages reported by IODA.
+    pub ioda_outages: usize,
+    /// ASes with at least one IODA outage.
+    pub ioda_ases: usize,
+}
+
+/// Tallies a coverage comparison.
+pub fn coverage_summary(points: &[CoveragePoint]) -> CoverageSummary {
+    let mut s = CoverageSummary::default();
+    for p in points {
+        s.ours_outages += p.ours;
+        s.ioda_outages += p.ioda;
+        if p.ours > 0 {
+            s.ours_ases += 1;
+        }
+        if p.ioda > 0 {
+            s.ioda_ases += 1;
+        }
+    }
+    s
+}
+
+/// Correlation of daily outage-start counts across two event sets
+/// (Fig. 16's r = 0.85). Returns `(dates, ours, ioda, r)`.
+pub fn daily_start_correlation(
+    ours: &[OutageEvent],
+    ioda: &[OutageEvent],
+    from: CivilDate,
+    to: CivilDate,
+) -> (Vec<CivilDate>, Vec<f64>, Vec<f64>, Option<f64>) {
+    let count_per_day = |events: &[OutageEvent]| -> BTreeMap<CivilDate, f64> {
+        let mut m = BTreeMap::new();
+        for e in events {
+            *m.entry(e.start.date()).or_insert(0.0) += 1.0;
+        }
+        m
+    };
+    let a = count_per_day(ours);
+    let b = count_per_day(ioda);
+    let mut dates = Vec::new();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut d = from;
+    while d <= to {
+        dates.push(d);
+        xs.push(a.get(&d).copied().unwrap_or(0.0));
+        ys.push(b.get(&d).copied().unwrap_or(0.0));
+        d = d.plus_days(1);
+    }
+    let r = pearson(&xs, &ys);
+    (dates, xs, ys, r)
+}
+
+/// Per-signal share of a set of outage events (Fig. 17).
+pub fn signal_shares(events: &[OutageEvent]) -> [usize; 3] {
+    let mut out = [0usize; 3];
+    for e in events {
+        out[e.signal.index()] += 1;
+    }
+    out
+}
+
+/// Days on which `a` detects an outage for an entity but `b` does not —
+/// the "undetected outages" count of §5.4. Both inputs are event sets for
+/// the *same* entity set; comparison is per (entity, day).
+pub fn one_sided_detection_days(a: &[OutageEvent], b: &[OutageEvent]) -> usize {
+    use std::collections::BTreeSet;
+    let days = |events: &[OutageEvent]| -> BTreeSet<(fbs_signals::EntityId, CivilDate)> {
+        let mut set = BTreeSet::new();
+        for e in events {
+            for r in e.start.0..e.end.0 {
+                set.insert((e.entity, fbs_types::Round(r).date()));
+            }
+        }
+        set
+    };
+    let da = days(a);
+    let db = days(b);
+    da.difference(&db).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbs_signals::{EntityId, SignalKind};
+    use fbs_types::Round;
+
+    fn ev(asn: u32, start: u32, end: u32, signal: fbs_signals::SignalKind) -> OutageEvent {
+        OutageEvent {
+            entity: EntityId::As(Asn(asn)),
+            signal,
+            start: Round(start),
+            end: Round(end),
+            min_ratio: 0.0,
+        }
+    }
+
+    #[test]
+    fn coverage_ranked_by_size() {
+        let mut sizes = BTreeMap::new();
+        sizes.insert(Asn(1), 100);
+        sizes.insert(Asn(2), 5);
+        sizes.insert(Asn(3), 40);
+        let mut ours = BTreeMap::new();
+        ours.insert(Asn(1), vec![ev(1, 0, 2, SignalKind::Ips)]);
+        ours.insert(Asn(2), vec![ev(2, 0, 2, SignalKind::Ips), ev(2, 5, 6, SignalKind::Fbs)]);
+        let mut ioda = BTreeMap::new();
+        ioda.insert(Asn(1), vec![ev(1, 0, 2, SignalKind::Fbs)]);
+
+        let points = coverage_cdf(&sizes, &ours, &ioda);
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].asn, Asn(2)); // smallest first
+        assert_eq!(points[0].ours, 2);
+        assert_eq!(points[0].ioda, 0);
+        assert_eq!(points[2].asn, Asn(1));
+
+        let s = coverage_summary(&points);
+        assert_eq!(s.ours_outages, 3);
+        assert_eq!(s.ours_ases, 2);
+        assert_eq!(s.ioda_outages, 1);
+        assert_eq!(s.ioda_ases, 1);
+    }
+
+    #[test]
+    fn identical_event_sets_correlate_perfectly() {
+        let events: Vec<OutageEvent> = vec![
+            ev(1, 0, 2, SignalKind::Ips),
+            ev(2, 12, 14, SignalKind::Ips),
+            ev(3, 12, 15, SignalKind::Bgp),
+            ev(4, 24, 26, SignalKind::Ips),
+            ev(5, 24, 25, SignalKind::Ips),
+            ev(6, 24, 28, SignalKind::Ips),
+        ];
+        let (_, xs, ys, r) = daily_start_correlation(
+            &events,
+            &events,
+            CivilDate::new(2022, 3, 2),
+            CivilDate::new(2022, 3, 10),
+        );
+        assert_eq!(xs, ys);
+        assert!((r.unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_event_sets_correlate_poorly() {
+        let a = vec![ev(1, 0, 2, SignalKind::Ips), ev(1, 2, 3, SignalKind::Ips)];
+        let b = vec![ev(1, 240, 242, SignalKind::Ips), ev(1, 242, 243, SignalKind::Ips)];
+        let (_, _, _, r) = daily_start_correlation(
+            &a,
+            &b,
+            CivilDate::new(2022, 3, 2),
+            CivilDate::new(2022, 4, 2),
+        );
+        assert!(r.unwrap() < 0.1);
+    }
+
+    #[test]
+    fn signal_share_tally() {
+        let events = vec![
+            ev(1, 0, 1, SignalKind::Ips),
+            ev(1, 2, 3, SignalKind::Ips),
+            ev(1, 4, 5, SignalKind::Fbs),
+            ev(1, 6, 7, SignalKind::Bgp),
+        ];
+        assert_eq!(signal_shares(&events), [1, 1, 2]);
+        assert_eq!(signal_shares(&[]), [0, 0, 0]);
+    }
+
+    #[test]
+    fn one_sided_days() {
+        // a covers rounds 0..24 (Mar 2 + Mar 3 + Mar 4 = 3 days),
+        // b covers rounds 0..12 (Mar 2 + Mar 3).
+        let a = vec![ev(1, 0, 25, SignalKind::Ips)];
+        let b = vec![ev(1, 0, 13, SignalKind::Ips)];
+        assert_eq!(one_sided_detection_days(&a, &b), 1);
+        assert_eq!(one_sided_detection_days(&b, &a), 0);
+        // Different entities never match.
+        let c = vec![ev(2, 0, 13, SignalKind::Ips)];
+        assert_eq!(one_sided_detection_days(&c, &b), 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! Rendering tables and figure data.
+//!
+//! Every reproduced table prints as an aligned text table; every figure's
+//! underlying data is emitted as a named series collection serializable to
+//! JSON (via `serde_json`), so downstream plotting needs no Rust.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        TextTable {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded, long rows are truncated to the
+    /// header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        let mut row: Vec<String> = cells.iter().take(self.header.len()).cloned().collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Convenience for string-slice rows.
+    pub fn row_str(&mut self, cells: &[&str]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i] - cell.chars().count();
+                line.push_str(cell);
+                line.push_str(&" ".repeat(pad));
+            }
+            line.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// A named data series for figure export.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Series {
+    /// Figure identifier, e.g. `"fig10_power_correlation"`.
+    pub figure: String,
+    /// Series name within the figure, e.g. `"frontline"`.
+    pub name: String,
+    /// X labels (dates, months, thresholds — stringified).
+    pub x: Vec<String>,
+    /// Y values.
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a series; `x` and `y` must be equally long.
+    pub fn new(figure: &str, name: &str, x: Vec<String>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "series axes must align");
+        Series {
+            figure: figure.to_string(),
+            name: name.to_string(),
+            x,
+            y,
+        }
+    }
+
+    /// Builds from `(label, value)` pairs.
+    pub fn from_pairs<L: ToString>(figure: &str, name: &str, pairs: &[(L, f64)]) -> Self {
+        Series {
+            figure: figure.to_string(),
+            name: name.to_string(),
+            x: pairs.iter().map(|(l, _)| l.to_string()).collect(),
+            y: pairs.iter().map(|(_, v)| *v).collect(),
+        }
+    }
+
+    /// JSON representation.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("series serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new("Demo", &["Oblast", "Change"]);
+        t.row_str(&["Kherson", "-62%"]);
+        t.row_str(&["Chernihiv", "+24%"]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header + rule + 2 rows + title line.
+        assert_eq!(lines.len(), 5);
+        // Columns align: 'Change' column starts at the same offset.
+        let off1 = lines[3].find("-62%").unwrap();
+        let off2 = lines[4].find("+24%").unwrap();
+        assert_eq!(off1, off2);
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn short_rows_padded_long_rows_truncated() {
+        let mut t = TextTable::new("", &["a", "b"]);
+        t.row_str(&["only"]);
+        t.row_str(&["x", "y", "z"]);
+        let s = t.render();
+        assert!(!s.contains('z'));
+        assert!(s.contains("only"));
+    }
+
+    #[test]
+    fn series_json_roundtrip() {
+        let s = Series::from_pairs("fig01", "ipv4", &[("Kherson", -62.0), ("Chernihiv", 24.0)]);
+        let json = s.to_json();
+        let back: Series = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.x, vec!["Kherson", "Chernihiv"]);
+        assert_eq!(back.y, vec![-62.0, 24.0]);
+        assert_eq!(back.figure, "fig01");
+    }
+
+    #[test]
+    #[should_panic(expected = "axes must align")]
+    fn mismatched_axes_panic() {
+        Series::new("f", "s", vec!["a".into()], vec![]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Statistics, comparison harnesses, and table/figure emission.
+//!
+//! Everything the paper's evaluation computes *about* the detected outages
+//! lives here:
+//!
+//! * [`stats`] — Pearson correlation (the r = 0.725 power-outage result),
+//!   CDFs, percentiles, and signal-to-noise ratios (Fig. 27);
+//! * [`daily`] — calendar aggregation of outage events into daily and
+//!   monthly hour matrices (Figs. 9, 10, 26);
+//! * [`compare`] — the ours-versus-IODA harness: AS coverage CDFs
+//!   (Fig. 15), daily outage-start correlation over common ASes (Fig. 16),
+//!   per-signal outage shares (Fig. 17), and one-sided detection counts;
+//! * [`intervals`] — probing-interval sensitivity (what a bi-hourly scan
+//!   misses, §5.4);
+//! * [`emit`] — aligned text tables and JSON series for every reproduced
+//!   table and figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod daily;
+pub mod intervals;
+pub mod emit;
+pub mod stats;
+
+pub use compare::{coverage_cdf, daily_start_correlation, signal_shares, CoveragePoint};
+pub use daily::{DailyHours, MonthlyHours};
+pub use intervals::ProbingSchedule;
+pub use emit::{Series, TextTable};
+pub use stats::{cdf_points, mean, pearson, percentile, snr, stddev};

@@ -1,0 +1,173 @@
+//! Statistical kernels.
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Population standard deviation; `None` for an empty slice.
+pub fn stddev(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns `None` when the slices differ in length, are shorter than two,
+/// or either side has zero variance (correlation undefined).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// Linear-interpolated percentile (`p` in `0..=100`); `None` when empty.
+/// Sorts a copy.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in percentile input"));
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        Some(v[lo])
+    } else {
+        let frac = rank - lo as f64;
+        Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+    }
+}
+
+/// Signal-to-noise ratio as mean over standard deviation (paper Fig. 27
+/// compares Trinocular's SNR ≈ 7.6 with full-block scanning's ≈ 99.7).
+///
+/// `None` for empty input or zero deviation (infinite SNR is reported as
+/// `None` rather than a fake number; callers decide how to render it).
+pub fn snr(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    let s = stddev(xs)?;
+    if s == 0.0 {
+        None
+    } else {
+        Some(m / s)
+    }
+}
+
+/// Builds empirical-CDF points `(value, fraction ≤ value)` from a sample.
+/// Sorts a copy; duplicate values collapse to their final fraction.
+pub fn cdf_points(xs: &[f64]) -> Vec<(f64, f64)> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in cdf input"));
+    let n = v.len() as f64;
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    for (i, x) in v.iter().enumerate() {
+        let frac = (i + 1) as f64 / n;
+        match out.last_mut() {
+            Some((last_x, last_f)) if *last_x == *x => *last_f = frac,
+            _ => out.push((*x, frac)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(stddev(&[5.0, 5.0, 5.0]), Some(0.0));
+        let s = stddev(&[2.0, 4.0]).unwrap();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_correlations() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_uncorrelated_is_near_zero() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, -1.0, 1.0, -1.0];
+        assert!(pearson(&x, &y).unwrap().abs() < 0.5);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[3.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), None); // zero variance
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), Some(10.0));
+        assert_eq!(percentile(&xs, 100.0), Some(40.0));
+        assert_eq!(percentile(&xs, 50.0), Some(25.0));
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&xs, 101.0), None);
+    }
+
+    #[test]
+    fn snr_behaviour() {
+        // Tight signal around 100: high SNR.
+        let tight = [99.0, 100.0, 101.0, 100.0];
+        assert!(snr(&tight).unwrap() > 50.0);
+        // Noisy signal: low SNR.
+        let noisy = [10.0, 100.0, 50.0, 200.0];
+        assert!(snr(&noisy).unwrap() < 2.0);
+        // Constant: undefined.
+        assert_eq!(snr(&[5.0, 5.0]), None);
+        assert_eq!(snr(&[]), None);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let xs = [3.0, 1.0, 2.0, 2.0];
+        let cdf = cdf_points(&xs);
+        assert_eq!(cdf.len(), 3); // duplicates collapse
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        // The duplicate value 2.0 carries fraction 3/4.
+        let two = cdf.iter().find(|(x, _)| *x == 2.0).unwrap();
+        assert!((two.1 - 0.75).abs() < 1e-12);
+        assert!(cdf_points(&[]).is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! Trinocular belief benches: the Bayesian update and the adaptive
+//! per-round block assessment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fbs_trinocular::{assess_block, BeliefConfig, BlockBelief, TrinocularConfig};
+
+fn bench_belief(c: &mut Criterion) {
+    let cfg = BeliefConfig::default();
+    c.bench_function("belief/update", |b| {
+        let mut belief = BlockBelief::new();
+        b.iter(|| {
+            belief.update(black_box(false), 0.3, &cfg);
+            black_box(belief.belief_up)
+        })
+    });
+
+    let tcfg = TrinocularConfig::default();
+    let mut g = c.benchmark_group("trinocular/assess_block");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("responsive", |b| {
+        b.iter(|| assess_block(BlockBelief::new(), 0.5, &tcfg, |_| true))
+    });
+    g.bench_function("silent", |b| {
+        b.iter(|| assess_block(BlockBelief::new(), 0.5, &tcfg, |_| false))
+    });
+    g.bench_function("sparse_uncertain", |b| {
+        b.iter(|| assess_block(BlockBelief::new(), 0.05, &tcfg, |_| false))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_belief);
+criterion_main!(benches);

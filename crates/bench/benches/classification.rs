@@ -1,0 +1,38 @@
+//! Regional-classification benches: the per-entity verdict and the full
+//! (M, T_perc) sensitivity sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fbs_regional::{classify_as, classify_block, sweep_grid, MonthSample, RegionalityConfig};
+
+fn history(share_permille: u32) -> Vec<MonthSample> {
+    (0..36)
+        .map(|m| MonthSample {
+            ips_in_region: share_permille + (m % 5),
+            capacity: 1000,
+            routed: m % 7 != 0,
+        })
+        .collect()
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let cfg = RegionalityConfig::default();
+    let h = history(750);
+    c.bench_function("classify/block_36_months", |b| {
+        b.iter(|| classify_block(black_box(&h), &cfg))
+    });
+    c.bench_function("classify/as_36_months", |b| {
+        b.iter(|| classify_as(black_box(&h), &cfg))
+    });
+
+    let histories: Vec<Vec<MonthSample>> = (0..2000).map(|i| history(i % 1000)).collect();
+    let mut g = c.benchmark_group("classify/sweep");
+    g.throughput(Throughput::Elements(2000 * 100));
+    g.sample_size(10);
+    g.bench_function("grid_100_points_2000_entities", |b| {
+        b.iter(|| black_box(sweep_grid(&histories, false).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_classification);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Detector benches: the moving-average update and three-signal judgment
+//! per entity per round (2,000 ASes x 13,069 rounds per campaign).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fbs_signals::{
+    AvailabilitySensor, Detector, EntityId, EntityRound, MovingAverage, SensingConfig, Thresholds,
+};
+use fbs_types::{Asn, Round};
+
+fn bench_detector(c: &mut Criterion) {
+    let mut g = c.benchmark_group("detector");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("observe_steady_x1000", |b| {
+        b.iter(|| {
+            let mut d = Detector::new(EntityId::As(Asn(1)), Thresholds::as_level());
+            for r in 0..1000u32 {
+                d.observe(
+                    Round(r),
+                    EntityRound {
+                        bgp: Some(10.0),
+                        fbs: Some(0.95),
+                        ips: Some(1000.0),
+                    },
+                );
+            }
+            black_box(d.events_so_far().len())
+        })
+    });
+    g.bench_function("observe_with_outages_x1000", |b| {
+        b.iter(|| {
+            let mut d = Detector::new(EntityId::As(Asn(1)), Thresholds::as_level());
+            for r in 0..1000u32 {
+                let dip = if r % 100 < 10 { 0.3 } else { 1.0 };
+                d.observe(
+                    Round(r),
+                    EntityRound {
+                        bgp: Some(10.0),
+                        fbs: Some(0.95 * dip),
+                        ips: Some(1000.0 * dip),
+                    },
+                );
+            }
+            black_box(d.events_so_far().len())
+        })
+    });
+    g.finish();
+
+    c.bench_function("moving_average/push_x1000", |b| {
+        b.iter(|| {
+            let mut ma = MovingAverage::seven_days();
+            for i in 0..1000 {
+                ma.push(Some(i as f64));
+            }
+            black_box(ma.mean())
+        })
+    });
+
+    // Availability sensing over a 50-block AS for 1000 rounds.
+    c.bench_function("sensing/observe_50_blocks_x1000", |b| {
+        let counts: Vec<u32> = (0..50).map(|i| 20 + i % 30).collect();
+        b.iter(|| {
+            let mut s = AvailabilitySensor::new(50, SensingConfig::default());
+            let mut flagged = 0;
+            for r in 0..1000u32 {
+                let v = s.observe(fbs_types::Round(r), &counts);
+                flagged += v.dark_blocks.len();
+            }
+            black_box(flagged)
+        })
+    });
+}
+
+criterion_group!(benches, bench_detector);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Packet-layer benches: encode, parse, checksum, validation — the
+//! per-probe costs of the wire path (10.5M probes per campaign round).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fbs_prober::packet::{self, encode, internet_checksum, IcmpKind, ProbePacket};
+use std::net::Ipv4Addr;
+
+fn bench_packets(c: &mut Criterion) {
+    let src = Ipv4Addr::new(192, 0, 2, 1);
+    let dst = Ipv4Addr::new(91, 237, 5, 77);
+    let key = 0xdead_beef;
+
+    let mut g = c.benchmark_group("packet");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("encode_echo_request", |b| {
+        b.iter(|| ProbePacket::echo_request(black_box(src), black_box(dst), key, 42, 64))
+    });
+
+    let probe = ProbePacket::echo_request(src, dst, key, 42, 64);
+    g.bench_function("parse_and_validate", |b| {
+        b.iter(|| {
+            let p = packet::parse(black_box(&probe.bytes)).unwrap();
+            black_box(p.validates(key))
+        })
+    });
+
+    let reply = {
+        let req = packet::parse(&probe.bytes).unwrap();
+        packet::ParsedReply::reply_for(&req, 55)
+    };
+    g.bench_function("parse_reply", |b| {
+        b.iter(|| packet::parse(black_box(&reply)).unwrap())
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("checksum");
+    for size in [20usize, 64, 1400] {
+        let data: Vec<u8> = (0..size).map(|i| i as u8).collect();
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("rfc1071_{size}B"), |b| {
+            b.iter(|| internet_checksum(black_box(&data)))
+        });
+    }
+    g.finish();
+
+    c.bench_function("packet/encode_dest_unreachable", |b| {
+        b.iter(|| {
+            encode(
+                black_box(dst),
+                black_box(src),
+                64,
+                IcmpKind::DestUnreachable(3),
+                0,
+                0,
+                0,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_packets);
+criterion_main!(benches);

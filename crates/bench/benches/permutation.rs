@@ -1,0 +1,34 @@
+//! Cyclic-group permutation benches: construction (prime search +
+//! generator hunt) and iteration throughput over address-space-sized sets.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fbs_prober::CyclicPermutation;
+
+fn bench_permutation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("permutation/construct");
+    for n in [10_000u64, 1_000_000, 10_500_000] {
+        g.bench_function(format!("n={n}"), |b| {
+            b.iter(|| CyclicPermutation::new(black_box(n), 42))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("permutation/iterate");
+    for n in [10_000u64, 1_000_000] {
+        let perm = CyclicPermutation::new(n, 42);
+        g.throughput(Throughput::Elements(n));
+        g.bench_function(format!("n={n}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in perm.iter() {
+                    acc = acc.wrapping_add(i);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_permutation);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Prefix-trie benches: RIB-scale insertion and longest-prefix match.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fbs_bgp::PrefixTrie;
+use fbs_types::Prefix;
+use std::net::Ipv4Addr;
+
+fn prefixes(n: u32) -> Vec<Prefix> {
+    (0..n)
+        .map(|i| Prefix::new(Ipv4Addr::from(0x2e00_0000 + (i << 8)), 24))
+        .collect()
+}
+
+fn bench_trie(c: &mut Criterion) {
+    let ps = prefixes(40_000);
+    let mut g = c.benchmark_group("prefix_trie");
+    g.bench_function("insert_40k_24s", |b| {
+        b.iter(|| {
+            let mut t = PrefixTrie::new();
+            for (i, p) in ps.iter().enumerate() {
+                t.insert(*p, i);
+            }
+            black_box(t.len())
+        })
+    });
+
+    let mut t = PrefixTrie::new();
+    for (i, p) in ps.iter().enumerate() {
+        t.insert(*p, i);
+    }
+    let addrs: Vec<Ipv4Addr> = (0..10_000u32)
+        .map(|i| Ipv4Addr::from(0x2e00_0000 + ((i * 7 % 40_000) << 8) + 77))
+        .collect();
+    g.throughput(Throughput::Elements(addrs.len() as u64));
+    g.bench_function("longest_match_x10k", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for a in &addrs {
+                if t.longest_match(black_box(*a)).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_trie);
+criterion_main!(benches);

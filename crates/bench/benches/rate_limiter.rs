@@ -1,0 +1,25 @@
+//! Token-bucket benches: the per-packet pacing cost in the scanner's hot
+//! loop.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fbs_prober::TokenBucket;
+
+fn bench_rate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rate_limiter");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("next_send_and_consume_x1000", |b| {
+        b.iter(|| {
+            let mut tb = TokenBucket::new(8_000, 8);
+            let mut now = 0u64;
+            for _ in 0..1000 {
+                now = tb.next_send_time(now);
+                tb.consume(now);
+            }
+            black_box(now)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rate);
+criterion_main!(benches);

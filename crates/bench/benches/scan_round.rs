@@ -1,0 +1,62 @@
+//! End-to-end scan benches: the wire path (real packets through the
+//! scanner against the world) and the oracle path (direct truth queries),
+//! plus world construction itself.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fbs_netsim::{WorldScale, WorldTransport};
+use fbs_prober::{ScanConfig, Scanner, TargetSet};
+use fbs_types::Round;
+
+fn bench_scan(c: &mut Criterion) {
+    let world = fbs_scenarios::ukraine_with_rounds(WorldScale::Tiny, 42, 120)
+        .into_world()
+        .expect("valid scenario");
+    let targets = TargetSet::from_blocks(world.blocks().iter().map(|b| b.block).collect());
+    let scanner = Scanner::new(ScanConfig {
+        rate_pps: 10_000_000,
+        ..ScanConfig::default()
+    });
+
+    let mut g = c.benchmark_group("scan");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(targets.num_addresses()));
+    g.bench_function(
+        format!("wire_round_{}_addresses", targets.num_addresses()),
+        |b| {
+            b.iter(|| {
+                let mut transport = WorldTransport::new(&world, Round(3));
+                let (obs, _) = scanner.scan_round(Round(3), &targets, &mut transport);
+                black_box(obs.total_responsive())
+            })
+        },
+    );
+
+    g.throughput(Throughput::Elements(world.blocks().len() as u64));
+    g.bench_function("oracle_round_block_truth", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for bi in 0..world.blocks().len() {
+                total += world.block_truth(Round(3), bi).responsive as u64;
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("world");
+    g.sample_size(10);
+    g.bench_function("build_tiny_120_rounds", |b| {
+        b.iter(|| {
+            fbs_scenarios::ukraine_with_rounds(WorldScale::Tiny, 42, 120)
+                .into_world()
+                .expect("valid scenario")
+        })
+    });
+    g.bench_function("geo_snapshot_month", |b| {
+        b.iter(|| fbs_netsim::geo::geo_snapshot(&world, fbs_types::MonthId::new(2022, 4)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

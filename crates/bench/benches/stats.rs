@@ -1,0 +1,42 @@
+//! Statistics kernels: Pearson correlation and CDF building at the sizes
+//! the analysis layer uses (three years of daily values, thousands of
+//! outage counts).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fbs_analysis::{cdf_points, pearson, percentile, snr};
+use fbs_prober::P2Quantile;
+
+fn bench_stats(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..1095).map(|i| (i as f64 * 0.7).sin().abs() * 24.0).collect();
+    let ys: Vec<f64> = (0..1095).map(|i| (i as f64 * 0.7 + 0.3).sin().abs() * 20.0).collect();
+
+    let mut g = c.benchmark_group("stats");
+    g.throughput(Throughput::Elements(xs.len() as u64));
+    g.bench_function("pearson_1095_days", |b| {
+        b.iter(|| pearson(black_box(&xs), black_box(&ys)))
+    });
+    g.bench_function("snr_1095", |b| b.iter(|| snr(black_box(&xs))));
+    g.bench_function("percentile_p95", |b| {
+        b.iter(|| percentile(black_box(&xs), 95.0))
+    });
+    g.finish();
+
+    let sizes: Vec<f64> = (0..2000).map(|i| (i * 7 % 997) as f64).collect();
+    c.bench_function("stats/cdf_2000", |b| b.iter(|| cdf_points(black_box(&sizes))));
+
+    let mut g = c.benchmark_group("quantile");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("p2_observe_x10k", |b| {
+        b.iter(|| {
+            let mut q = P2Quantile::new(0.95);
+            for i in 0..10_000u64 {
+                q.observe(black_box((i * 2654435761 % 100_000) as f64));
+            }
+            black_box(q.estimate())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stats);
+criterion_main!(benches);

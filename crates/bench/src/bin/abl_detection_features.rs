@@ -1,0 +1,118 @@
+//! Ablation: what the paper's two detection refinements buy.
+//!
+//! 1. The **availability-sensing guard** (FBS fires only when IPS is also
+//!    depressed) suppresses false FBS positives from dynamic re-addressing.
+//! 2. The **zero-BGP flag** keeps long outages open after the moving
+//!    average adapts to the new (zero) baseline.
+//!
+//! Runs three short campaigns: full detector, guard disabled, flag
+//! disabled — and compares event counts and long-outage coverage.
+
+use fbs_analysis::TextTable;
+use fbs_bench::{fmt_count, seed_from_env};
+use fbs_core::{Campaign, CampaignConfig};
+use fbs_netsim::WorldScale;
+use fbs_signals::SignalKind;
+
+fn run(mutate: impl Fn(&mut CampaignConfig)) -> fbs_core::CampaignReport {
+    let world = fbs_scenarios::ukraine_with_rounds(WorldScale::Tiny, seed_from_env(), 360 * 12)
+        .into_world()
+        .expect("valid scenario");
+    let mut cfg = CampaignConfig::without_baseline();
+    cfg.tracked.clear();
+    cfg.rtt_tracked.clear();
+    mutate(&mut cfg);
+    Campaign::new(world, cfg).run()
+}
+
+fn main() {
+    let full = run(|_| {});
+    let no_guard = run(|c| {
+        c.thresholds_as.fbs_ips_guard = 1.0;
+        c.thresholds_region.fbs_ips_guard = 1.0;
+    });
+    let no_flag = run(|c| {
+        c.thresholds_as.zero_bgp_flag = false;
+        c.thresholds_region.zero_bgp_flag = false;
+    });
+
+    let stats = |r: &fbs_core::CampaignReport| {
+        let all = r.all_as_events();
+        let fbs = all.iter().filter(|e| e.signal == SignalKind::Fbs).count();
+        let bgp_hours: f64 = all
+            .iter()
+            .filter(|e| e.signal == SignalKind::Bgp)
+            .map(|e| e.hours())
+            .sum();
+        let longest_bgp = all
+            .iter()
+            .filter(|e| e.signal == SignalKind::Bgp)
+            .map(|e| e.hours())
+            .fold(0.0f64, f64::max);
+        (all.len(), fbs, bgp_hours, longest_bgp)
+    };
+    let (f_all, f_fbs, f_bh, f_long) = stats(&full);
+    let (g_all, g_fbs, g_bh, g_long) = stats(&no_guard);
+    let (z_all, z_fbs, z_bh, z_long) = stats(&no_flag);
+
+    let mut t = TextTable::new(
+        "Ablation: detection refinements (tiny world, first 360 days)",
+        &["Configuration", "Events", "FBS events", "BGP hours", "Longest BGP outage (h)"],
+    );
+    let row = |t: &mut TextTable, name: &str, v: (usize, usize, f64, f64)| {
+        t.row(&[
+            name.to_string(),
+            fmt_count(v.0 as u64),
+            fmt_count(v.1 as u64),
+            format!("{:.0}", v.2),
+            format!("{:.0}", v.3),
+        ]);
+    };
+    row(&mut t, "full detector (paper)", (f_all, f_fbs, f_bh, f_long));
+    row(&mut t, "- availability guard", (g_all, g_fbs, g_bh, g_long));
+    row(&mut t, "- zero-BGP flag", (z_all, z_fbs, z_bh, z_long));
+    println!("{}", t.render());
+    println!(
+        "Campaign-level: disabling the zero-BGP flag shortens or splits long\n\
+         outages (longest: {:.0} h -> {:.0} h); the guard's campaign effect is\n\
+         nil here ({} -> {} FBS events) because this world's FBS dips always\n\
+         coincide with IPS dips.",
+        f_long, z_long, f_fbs, g_fbs
+    );
+
+    // The guard's raison d'être, demonstrated directly: an ISP renumbers a
+    // pool — a third of its blocks go dark while the same users reappear
+    // elsewhere, so responsive-IP totals hold steady. Without the guard
+    // this is a phantom FBS outage.
+    use fbs_signals::{Detector, EntityId, EntityRound, Thresholds};
+    use fbs_types::{Asn, Round};
+    let run_detector = |guard: f64| {
+        let mut th = Thresholds::as_level();
+        th.fbs_ips_guard = guard;
+        let mut d = Detector::with_window(EntityId::As(Asn(1)), th, 84, 12);
+        for r in 0..400u32 {
+            let renumbering = (200..230).contains(&r);
+            d.observe(
+                Round(r),
+                EntityRound {
+                    bgp: Some(30.0),
+                    fbs: Some(if renumbering { 0.66 } else { 1.0 }),
+                    ips: Some(3000.0), // users reappear in sibling blocks
+                },
+            );
+        }
+        d.finish(Round(400))
+            .iter()
+            .filter(|e| e.signal == SignalKind::Fbs)
+            .count()
+    };
+    let with_guard = run_detector(0.95);
+    let without_guard = run_detector(1.0);
+    println!(
+        "\nSynthetic renumbering trace (FBS -34%, IPS flat): {} FBS events with\n\
+         the guard, {} without — the availability-sensing filter at work.",
+        with_guard, without_guard
+    );
+    assert_eq!(with_guard, 0, "guard must suppress the phantom outage");
+    assert!(without_guard > 0, "without the guard the phantom fires");
+}

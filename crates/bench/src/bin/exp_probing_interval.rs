@@ -1,0 +1,73 @@
+//! Paper §5.4 "Probing Interval": how many outages slip between bi-hourly
+//! probing sessions, and what shorter intervals would recover.
+//!
+//! The paper measures against IODA's 10-minute data: 70.5% of its outages
+//! overlap a two-hour session; hourly probing would miss only 9.5% and a
+//! 30-minute schedule 0.1%. We draw outage durations from the IODA
+//! emulation's events (with sub-round jitter, since our rounds quantize at
+//! two hours) and evaluate the same schedules analytically.
+
+use fbs_analysis::{ProbingSchedule, Series, TextTable};
+use fbs_bench::{context, emit_series, fmt_f};
+
+fn main() {
+    let ctx = context();
+    let ioda = ctx.report.ioda.as_ref().expect("baseline enabled");
+
+    // Outage durations in seconds. Our events are 2h-quantized; spread
+    // them uniformly inside their quantization bucket so the distribution
+    // has the sub-round mass a 10-minute platform would report.
+    let mut durations = Vec::new();
+    let mut h = 0u64;
+    for events in ioda.as_events.values() {
+        for e in events {
+            let quantized = e.hours() * 3600.0;
+            // Deterministic jitter in (-1h, +1h).
+            h = h.wrapping_mul(6364136223846793005).wrapping_add(e.start.0 as u64 + 1);
+            let jitter = ((h >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 7200.0;
+            durations.push((quantized + jitter).max(300.0));
+        }
+    }
+    // Add a short-outage tail (events under two hours are invisible to our
+    // own campaign by construction; IODA's 10-minute data sees them).
+    let n_long = durations.len().max(1);
+    for i in 0..n_long {
+        h = h.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+        durations.push(600.0 + (h >> 40) as f64 % 6600.0);
+    }
+
+    let mut t = TextTable::new(
+        "Probing-interval sensitivity (outage miss rates)",
+        &["Schedule", "Interval", "Missed %", "Caught %"],
+    );
+    let base = ProbingSchedule::paper();
+    let mut pairs = Vec::new();
+    for (name, interval) in [
+        ("paper (2 h)", 7200.0),
+        ("hourly", 3600.0),
+        ("30 min", 1800.0),
+        ("Trinocular-like (10 min)", 600.0),
+    ] {
+        let s = base.with_interval(interval);
+        let miss = s.miss_rate(&durations) * 100.0;
+        t.row(&[
+            name.to_string(),
+            format!("{:.0} min", interval / 60.0),
+            fmt_f(miss, 1),
+            fmt_f(100.0 - miss, 1),
+        ]);
+        pairs.push((name.to_string(), miss));
+    }
+    println!("{}", t.render());
+    println!(
+        "{} outage durations evaluated ({} from the IODA emulation + a synthetic\n\
+         short-outage tail).",
+        durations.len(),
+        n_long
+    );
+    println!(
+        "Paper shape: ~29.5% of short outages fall between two-hour sessions;\n\
+         hourly probing misses ~9.5%, a 30-minute schedule ~0.1%."
+    );
+    emit_series("exp_probing_interval", &[Series::from_pairs("exp_probing_interval", "miss_pct", &pairs)]);
+}

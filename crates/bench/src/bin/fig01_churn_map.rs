@@ -1,0 +1,51 @@
+//! Paper Fig. 1: relative change in IPv4 address counts per oblast
+//! (2022-02-01 vs 2025-02-01), measurement targets only.
+
+use fbs_analysis::{Series, TextTable};
+use fbs_bench::{emit_series, fmt_f, world};
+use fbs_netsim::geo::geo_snapshot;
+use fbs_types::{MonthId, ALL_OBLASTS};
+
+fn main() {
+    let world = world();
+    let before = geo_snapshot(&world, MonthId::new(2022, 2));
+    let after = geo_snapshot(&world, MonthId::new(2025, 2));
+    let report = fbs_geodb::churn::compare(&before, &after);
+    let change = report.relative_change();
+
+    let mut t = TextTable::new(
+        "Fig. 1: Relative IPv4 change per oblast, 2022-02 -> 2025-02",
+        &["Oblast", "Before", "After", "Change", "Frontline"],
+    );
+    let mut pairs = Vec::new();
+    for o in ALL_OBLASTS {
+        let c = change[o.index()].unwrap_or(f64::NAN);
+        t.row(&[
+            o.name().to_string(),
+            report.before[o.index()].to_string(),
+            report.after[o.index()].to_string(),
+            format!("{}%", fmt_f(c, 1)),
+            if o.is_frontline() { "front" } else { "" }.to_string(),
+        ]);
+        pairs.push((o.name(), c));
+    }
+    println!("{}", t.render());
+    println!(
+        "Flows: {} stayed, {} moved within UA, {} moved abroad ({} by country), {} disappeared.",
+        report.stayed,
+        report.moved_within_ua,
+        report.total_abroad(),
+        report
+            .moved_abroad
+            .iter()
+            .map(|(c, n)| format!("{c}:{n}"))
+            .collect::<Vec<_>>()
+            .join(" "),
+        report.disappeared
+    );
+    if let Some((asn, n)) = report.moved_abroad_by_asn.iter().max_by_key(|(_, n)| **n) {
+        println!("Largest foreign absorber: {asn} with {n} addresses (paper: Amazon/AS16509).");
+    }
+    println!("Paper shape: Luhansk -67%, Kherson -62%, Donetsk -56%; Chernihiv positive.");
+    emit_series("fig01_churn_map", &[Series::from_pairs("fig01_churn_map", "change_pct", &pairs)]);
+}

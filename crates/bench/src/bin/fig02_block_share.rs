@@ -1,0 +1,60 @@
+//! Paper Fig. 2: the Kyivstar block 176.8.28/24's monthly share of IPs in
+//! Kherson — a regional block despite belonging to a national ISP.
+
+use fbs_analysis::{Series, TextTable};
+use fbs_bench::{context, emit_series, fmt_f};
+use fbs_regional::Regionality;
+use fbs_types::{Asn, BlockId, Oblast};
+
+fn main() {
+    let ctx = context();
+    let cls = &ctx.report.classification;
+    let kherson = &cls.regions[&Oblast::Kherson];
+
+    // The paper's block, or (if the seed moved it) the first Kyivstar
+    // block regional to Kherson.
+    let fig_block = BlockId::from_octets(176, 8, 28);
+    let block = if kherson.blocks.get(&fig_block).map(|(v, _)| *v) == Some(Regionality::Regional)
+    {
+        fig_block
+    } else {
+        *kherson
+            .blocks
+            .iter()
+            .find(|(_, (v, owner))| *v == Regionality::Regional && *owner == Asn(15895))
+            .map(|(b, _)| b)
+            .expect("a Kyivstar block regional to Kherson exists")
+    };
+    let history = &cls.block_histories[&(block, Oblast::Kherson)];
+
+    let mut t = TextTable::new(
+        &format!("Fig. 2: monthly Kherson share of block {block} (Kyivstar)"),
+        &["Month", "IPs in Kherson", "Share", ">= M=0.7"],
+    );
+    let mut pairs = Vec::new();
+    let mut above = 0;
+    let mut routed = 0;
+    for (m, sample) in cls.months.iter().zip(history) {
+        if sample.routed {
+            routed += 1;
+            if sample.share() >= 0.7 {
+                above += 1;
+            }
+        }
+        t.row(&[
+            m.to_string(),
+            sample.ips_in_region.to_string(),
+            fmt_f(sample.share(), 3),
+            if sample.share() >= 0.7 { "yes" } else { "no" }.to_string(),
+        ]);
+        pairs.push((m.to_string(), sample.share()));
+    }
+    println!("{}", t.render());
+    println!(
+        "{above}/{routed} routed months meet M=0.7 ({}%); classified {:?}.",
+        above * 100 / routed.max(1),
+        kherson.blocks[&block].0
+    );
+    println!("Paper shape: the block meets M=0.7 in more than 70% of routed months.");
+    emit_series("fig02_block_share", &[Series::from_pairs("fig02_block_share", "share", &pairs)]);
+}

@@ -1,0 +1,48 @@
+//! Paper Fig. 5: Kherson ASes ordered by regional IP share, with their
+//! monthly share values (the heatmap's data) and BGP-invisible gaps.
+
+use fbs_analysis::TextTable;
+use fbs_bench::{context, fmt_f};
+use fbs_scenarios::KHERSON_ROSTER;
+use fbs_types::Oblast;
+
+fn main() {
+    let ctx = context();
+    let cls = &ctx.report.classification;
+
+    // Mean share per roster AS, sorted descending (regional on top).
+    let mut rows: Vec<(String, f64, usize, usize)> = Vec::new();
+    for a in &KHERSON_ROSTER {
+        let Some(history) = cls.as_histories.get(&(a.asn(), Oblast::Kherson)) else {
+            continue;
+        };
+        let routed: Vec<_> = history.iter().filter(|s| s.routed).collect();
+        let mean = if routed.is_empty() {
+            0.0
+        } else {
+            routed.iter().map(|s| s.share()).sum::<f64>() / routed.len() as f64
+        };
+        let gaps = history.len() - routed.len();
+        rows.push((format!("{} ({})", a.name, a.asn), mean, routed.len(), gaps));
+    }
+    rows.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("shares are finite"));
+
+    let mut t = TextTable::new(
+        "Fig. 5: ASes with regional /24 blocks in Kherson, by regional IP share",
+        &["AS", "Mean share", "Routed months", "Unrouted months (white gaps)"],
+    );
+    for (name, mean, routed, gaps) in &rows {
+        t.row(&[
+            name.clone(),
+            fmt_f(*mean, 3),
+            routed.to_string(),
+            gaps.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    let discontinued = rows.iter().filter(|(_, _, _, gaps)| *gaps > 6).count();
+    println!(
+        "{discontinued} ASes show long BGP-invisible periods (paper: 7 regional ASes \n\
+         discontinued service: 15458, 25256, 56359, 34720, 47598, 42469, 44737)."
+    );
+}

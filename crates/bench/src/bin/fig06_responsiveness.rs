@@ -1,0 +1,55 @@
+//! Paper Fig. 6: share of responsive IP addresses per oblast (within
+//! regional blocks), 2022 vs 2025.
+
+use fbs_analysis::{Series, TextTable};
+use fbs_bench::{context, emit_series, fmt_f};
+use fbs_types::{MonthId, ALL_OBLASTS};
+
+fn main() {
+    let ctx = context();
+    let report = &ctx.report;
+    let mut t = TextTable::new(
+        "Fig. 6: responsive IPs within regional blocks per oblast",
+        &["Oblast", "2022 mean resp.", "2022 share %", "2025 mean resp.", "2025 share %", "Frontline"],
+    );
+    let mut pairs = Vec::new();
+    for o in ALL_OBLASTS {
+        let year_stats = |year: i32| -> (f64, f64) {
+            let months: Vec<_> = report
+                .oblast_monthly
+                .iter()
+                .filter(|((ob, m), _)| *ob == o && m.year() == year)
+                .map(|(_, v)| v)
+                .collect();
+            if months.is_empty() {
+                return (0.0, 0.0);
+            }
+            let resp: f64 =
+                months.iter().map(|m| m.mean_responsive()).sum::<f64>() / months.len() as f64;
+            let pop: f64 =
+                months.iter().map(|m| m.regional_ips as f64).sum::<f64>() / months.len() as f64;
+            (resp, if pop > 0.0 { resp / pop * 100.0 } else { 0.0 })
+        };
+        let (r22, s22) = year_stats(2022);
+        let (r25, s25) = year_stats(2025);
+        t.row(&[
+            o.name().to_string(),
+            fmt_f(r22, 0),
+            fmt_f(s22, 1),
+            fmt_f(r25, 0),
+            fmt_f(s25, 1),
+            if o.is_frontline() { "front" } else { "" }.to_string(),
+        ]);
+        pairs.push((o.name(), s22));
+    }
+    println!("{}", t.render());
+    // Verify the headline orderings.
+    let kherson_2022 = report.yearly_mean_responsive(fbs_types::Oblast::Kherson, 2022);
+    let kherson_2025 = report.yearly_mean_responsive(fbs_types::Oblast::Kherson, 2025);
+    println!(
+        "Kherson mean responsive: {:.0} (2022) -> {:.0} (2025). Paper: 4.5K -> 1.4K with the\n\
+         lowest share of all oblasts (10.7% -> 3.4%); first month {}.",
+        kherson_2022, kherson_2025, MonthId::campaign_first()
+    );
+    emit_series("fig06_responsiveness", &[Series::from_pairs("fig06_responsiveness", "share_2022_pct", &pairs)]);
+}

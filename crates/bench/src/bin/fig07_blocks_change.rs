@@ -1,0 +1,48 @@
+//! Paper Fig. 7: responsive /24 blocks per oblast, 2022-03 vs 2025-02.
+
+use fbs_analysis::{Series, TextTable};
+use fbs_bench::{context, emit_series, fmt_f};
+use fbs_types::{MonthId, ALL_OBLASTS};
+
+fn main() {
+    let ctx = context();
+    let report = &ctx.report;
+    let first = MonthId::new(2022, 3);
+    let last = *report.months.last().expect("campaign has months");
+
+    let mut t = TextTable::new(
+        &format!("Fig. 7: responsive regional /24 blocks, {first} vs {last}"),
+        &["Oblast", first.to_string().as_str(), last.to_string().as_str(), "Change %"],
+    );
+    let mut pairs = Vec::new();
+    let mut all_nonzero = true;
+    for o in ALL_OBLASTS {
+        let get = |m: MonthId| {
+            report
+                .oblast_monthly
+                .get(&(o, m))
+                .map(|v| v.mean_active_blocks())
+                .unwrap_or(0.0)
+        };
+        let a = get(first);
+        let b = get(last);
+        if b <= 0.0 {
+            all_nonzero = false;
+        }
+        let change = if a > 0.0 { (b - a) / a * 100.0 } else { f64::NAN };
+        t.row(&[
+            o.name().to_string(),
+            fmt_f(a, 0),
+            fmt_f(b, 0),
+            fmt_f(change, 0),
+        ]);
+        pairs.push((o.name(), b - a));
+    }
+    println!("{}", t.render());
+    println!(
+        "Measurable blocks remain in every oblast at campaign end: {}.\n\
+         Paper shape: declines concentrate on the frontline, yet every oblast keeps blocks.",
+        if all_nonzero { "yes" } else { "NO (divergence)" }
+    );
+    emit_series("fig07_blocks_change", &[Series::from_pairs("fig07_blocks_change", "delta_blocks", &pairs)]);
+}

@@ -1,0 +1,60 @@
+//! Paper Fig. 8: Internet disruptions per oblast over the campaign, per
+//! signal — printed as a per-oblast, per-quarter outage-hour matrix.
+
+use fbs_analysis::{DailyHours, TextTable};
+use fbs_bench::{context, fmt_f};
+use fbs_signals::SignalKind;
+use fbs_types::ALL_OBLASTS;
+
+fn main() {
+    let ctx = context();
+    let report = &ctx.report;
+
+    // Quarter labels over the campaign.
+    let quarters: Vec<(i32, u8)> = report
+        .months
+        .iter()
+        .map(|m| (m.year(), (m.month() - 1) / 3 + 1))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+
+    let mut header: Vec<String> = vec!["Oblast".into()];
+    header.extend(quarters.iter().map(|(y, q)| format!("{y}Q{q}")));
+    header.push("Signals b/f/i".into());
+    let headers: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = TextTable::new("Fig. 8: outage hours per oblast and quarter", &headers);
+
+    for o in ALL_OBLASTS {
+        let events = report.region_events_of(o);
+        let daily = DailyHours::from_events(events);
+        let monthly = daily.monthly();
+        let mut cells = vec![o.name().to_string()];
+        for (y, q) in &quarters {
+            let mut h = 0.0;
+            for m in 1..=12u8 {
+                if (m - 1) / 3 + 1 == *q {
+                    h += monthly.get(fbs_types::MonthId::new(*y, m));
+                }
+            }
+            cells.push(if h == 0.0 { "".into() } else { fmt_f(h, 0) });
+        }
+        let mut counts = [0usize; 3];
+        for e in events {
+            counts[e.signal.index()] += 1;
+        }
+        cells.push(format!(
+            "{}/{}/{}",
+            counts[SignalKind::Bgp.index()],
+            counts[SignalKind::Fbs.index()],
+            counts[SignalKind::Ips.index()]
+        ));
+        t.row(&cells);
+    }
+    println!("{}", t.render());
+    println!(
+        "Paper shape: frontline oblasts show recurring outages all three years;\n\
+         non-frontline oblasts cluster in winter 2022/23 and 2024/25; most outages\n\
+         come from the FBS/IPS signals, not BGP."
+    );
+}

@@ -1,0 +1,83 @@
+//! Paper Fig. 10: daily power vs Internet outage hours in non-frontline
+//! regions (2024), with the Pearson correlation (paper: r = 0.725
+//! non-frontline vs 0.298 frontline).
+
+use fbs_analysis::{pearson, DailyHours, TextTable};
+use fbs_bench::{context, fmt_f};
+use fbs_types::{CivilDate, ALL_OBLASTS};
+
+fn class_daily(report: &fbs_core::CampaignReport, frontline: bool) -> DailyHours {
+    let mut out = DailyHours::default();
+    for o in ALL_OBLASTS {
+        if o.is_frontline() != frontline || o.is_crimean_peninsula() {
+            continue;
+        }
+        out.merge(&DailyHours::from_events(report.region_events_of(o)));
+    }
+    out
+}
+
+fn main() {
+    let ctx = context();
+    let report = &ctx.report;
+    let power = ctx.campaign.world().power();
+    let from = CivilDate::new(2024, 1, 1);
+    let to = CivilDate::new(2024, 12, 31);
+
+    let power_daily = |frontline: bool| -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut d = from;
+        while d <= to {
+            let row = power.day_row(d);
+            let mut sum = 0.0;
+            for o in ALL_OBLASTS {
+                if o.is_frontline() == frontline && !o.is_crimean_peninsula() {
+                    sum += row[o.index()];
+                }
+            }
+            out.push(sum);
+            d = d.plus_days(1);
+        }
+        out
+    };
+
+    let net_rear = class_daily(report, false).dense_range(from, to);
+    let net_front = class_daily(report, true).dense_range(from, to);
+    let pow_rear = power_daily(false);
+    let pow_front = power_daily(true);
+
+    let r_rear = pearson(&pow_rear, &net_rear);
+    let r_front = pearson(&pow_front, &net_front);
+
+    // Monthly digest table.
+    let mut t = TextTable::new(
+        "Fig. 10: monthly power vs Internet outage hours, non-frontline 2024",
+        &["Month", "Power h", "Internet h"],
+    );
+    for month in 1..=12u8 {
+        let mut p = 0.0;
+        let mut n = 0.0;
+        let mut d = CivilDate::new(2024, month, 1);
+        let days = d.days_in_month();
+        for i in 0..days {
+            let idx = (d.to_epoch_days() - from.to_epoch_days()) as usize;
+            p += pow_rear[idx];
+            n += net_rear[idx];
+            let _ = i;
+            d = d.plus_days(1);
+        }
+        t.row(&[format!("2024-{month:02}"), fmt_f(p, 0), fmt_f(n, 0)]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Pearson r (2024 daily): non-frontline {} | frontline {}",
+        fmt_f(r_rear.unwrap_or(f64::NAN), 3),
+        fmt_f(r_front.unwrap_or(f64::NAN), 3),
+    );
+    let strike_days = fbs_scenarios::timeline::strike_dates_2024();
+    println!(
+        "{} documented strike days in 2024 (red marks in the paper's figure).",
+        strike_days.len()
+    );
+    println!("Paper shape: strong non-frontline correlation (r=0.725) vs weak frontline (r=0.298).");
+}

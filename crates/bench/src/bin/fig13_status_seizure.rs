@@ -1,0 +1,62 @@
+//! Paper Fig. 13: outage signals for Status (AS25482), May 12–14 2022 —
+//! the office seizure shows as an IPS dip while BGP and FBS stay flat.
+
+use fbs_analysis::{Series, TextTable};
+use fbs_bench::{context, emit_series, fmt_f};
+use fbs_signals::EntityId;
+use fbs_types::{Asn, CivilDate, Round};
+
+fn main() {
+    let ctx = context();
+    let series = ctx
+        .report
+        .series(EntityId::As(Asn(25482)))
+        .expect("Status is tracked");
+    let from = Round::containing(CivilDate::new(2022, 5, 12).midnight()).expect("in campaign");
+    let to = Round::containing(CivilDate::new(2022, 5, 14).midnight()).expect("in campaign");
+
+    // Normalize each signal by its value at the window start, as the
+    // paper's figure plots signal ratios.
+    let base = |v: Option<f64>| v.filter(|x| *x > 0.0).unwrap_or(1.0);
+    let b0 = base(series.bgp.at(from));
+    let f0 = base(series.fbs.at(from));
+    let i0 = base(series.ips.at(from));
+
+    let mut t = TextTable::new(
+        "Fig. 13: Status (AS25482) signal ratios around the May 13 2022 seizure",
+        &["Round start (UTC)", "BGP ratio", "FBS ratio", "IPS ratio"],
+    );
+    let mut ips_series = Vec::new();
+    let mut min_ips: f64 = 1.0;
+    let mut min_fbs: f64 = 1.0;
+    for r in from.0..=to.0 + 12 {
+        let round = Round(r);
+        let b = series.bgp.at(round).map(|v| v / b0);
+        let f = series.fbs.at(round).map(|v| v / f0);
+        let i = series.ips.at(round).map(|v| v / i0);
+        if let Some(i) = i {
+            min_ips = min_ips.min(i);
+            ips_series.push((round.start().to_string(), i));
+        }
+        if let Some(f) = f {
+            min_fbs = min_fbs.min(f);
+        }
+        t.row(&[
+            round.start().to_string(),
+            b.map(|v| fmt_f(v, 2)).unwrap_or_else(|| "-".into()),
+            f.map(|v| fmt_f(v, 2)).unwrap_or_else(|| "-".into()),
+            i.map(|v| fmt_f(v, 2)).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Deepest ratios in the window: IPS {:.2}, FBS {:.2}.",
+        min_ips, min_fbs
+    );
+    println!(
+        "Paper shape: the IPS signal dips sharply at the 06:28 incident while\n\
+         BGP and FBS stay stable — a provider-level event visible only through\n\
+         comprehensive probing."
+    );
+    emit_series("fig13_status_seizure", &[Series::from_pairs("fig13_status_seizure", "ips_ratio", &ips_series)]);
+}

@@ -1,0 +1,49 @@
+//! Paper Fig. 15: AS outage coverage, this work vs IODA — ASes ranked by
+//! size with cumulative outage counts.
+
+use fbs_analysis::compare::{coverage_cdf, coverage_summary};
+use fbs_analysis::{Series, TextTable};
+use fbs_bench::{context, emit_series, fmt_count};
+
+fn main() {
+    let ctx = context();
+    let report = &ctx.report;
+    let ioda = report.ioda.as_ref().expect("baseline enabled");
+    let points = coverage_cdf(&report.as_sizes, &report.as_events, &ioda.as_events);
+    let summary = coverage_summary(&points);
+
+    // Decile digest of the CDF.
+    let mut t = TextTable::new(
+        "Fig. 15: cumulative outages over ASes ranked by size (deciles)",
+        &["ASes (smallest first)", "AS size (/24s)", "Ours cumul.", "IODA cumul."],
+    );
+    let mut ours_c = 0usize;
+    let mut ioda_c = 0usize;
+    let n = points.len();
+    let mut series = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        ours_c += p.ours;
+        ioda_c += p.ioda;
+        if (i + 1) % (n / 10).max(1) == 0 || i + 1 == n {
+            t.row(&[
+                format!("{}", i + 1),
+                p.size_blocks.to_string(),
+                fmt_count(ours_c as u64),
+                fmt_count(ioda_c as u64),
+            ]);
+            series.push(((i + 1).to_string(), ours_c as f64));
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "Totals: this work {} outages across {} ASes | IODA {} outages across {} ASes\n\
+         ({} ASes below IODA's 20-/24 floor are invisible to it).",
+        fmt_count(summary.ours_outages as u64),
+        summary.ours_ases,
+        fmt_count(summary.ioda_outages as u64),
+        summary.ioda_ases,
+        ioda.suppressed_ases,
+    );
+    println!("Paper shape: 77.6K outages / 1,674 ASes vs IODA's 31.9K / 333 — small ASes uncovered.");
+    emit_series("fig15_coverage_cdf", &[Series::from_pairs("fig15_coverage_cdf", "ours_cumulative", &series)]);
+}

@@ -1,0 +1,53 @@
+//! Paper Fig. 17: per-signal share of total outages for the common AS set
+//! — IODA is TRIN-dominated, this work is IPS-dominated.
+
+use fbs_analysis::compare::{one_sided_detection_days, signal_shares};
+use fbs_analysis::TextTable;
+use fbs_bench::{context, fmt_count};
+use fbs_signals::OutageEvent;
+
+fn main() {
+    let ctx = context();
+    let report = &ctx.report;
+    let ioda = report.ioda.as_ref().expect("baseline enabled");
+
+    let common: Vec<_> = report
+        .as_events
+        .keys()
+        .filter(|a| ioda.as_events.contains_key(a))
+        .copied()
+        .collect();
+    let ours: Vec<OutageEvent> = common
+        .iter()
+        .flat_map(|a| report.as_events[a].iter().copied())
+        .collect();
+    let theirs: Vec<OutageEvent> = common
+        .iter()
+        .flat_map(|a| ioda.as_events[a].iter().copied())
+        .collect();
+
+    let our_shares = signal_shares(&ours);
+    let their_shares = signal_shares(&theirs);
+
+    let mut t = TextTable::new(
+        "Fig. 17: signals and their share of total outages (common ASes)",
+        &["Signal", "This work", "IODA"],
+    );
+    t.row(&["BGP".into(), fmt_count(our_shares[0] as u64), fmt_count(their_shares[0] as u64)]);
+    t.row(&["FBS / TRIN".into(), fmt_count(our_shares[1] as u64), fmt_count(their_shares[1] as u64)]);
+    t.row(&["IPS".into(), fmt_count(our_shares[2] as u64), "-".into()]);
+    println!("{}", t.render());
+
+    let ours_only = one_sided_detection_days(&ours, &theirs);
+    let ioda_only = one_sided_detection_days(&theirs, &ours);
+    println!(
+        "Entity-days detected by exactly one system: ours-only {}, IODA-only {}.",
+        fmt_count(ours_only as u64),
+        fmt_count(ioda_only as u64)
+    );
+    println!(
+        "Paper shape: IODA detects mostly via TRIN (partial outages flagged as\n\
+         block-wide); our FBS requires full-block silence so IPS carries the\n\
+         partial-outage detections (21,120 IPS vs 2,063 FBS outages in the paper)."
+    );
+}

@@ -1,0 +1,48 @@
+//! Paper Fig. 19 (appendix C): churn of ALL IPv4 addresses per oblast —
+//! like Fig. 1, but without restricting to measurement targets.
+
+use fbs_analysis::{Series, TextTable};
+use fbs_bench::{emit_series, fmt_f, world};
+use fbs_geodb::RegionTotals;
+use fbs_netsim::geo::geo_snapshot;
+use fbs_types::{MonthId, ALL_OBLASTS};
+
+fn main() {
+    let world = world();
+    // "All addresses" adds non-target space: scale the measured totals by a
+    // per-oblast coverage factor (RIPE delegations cover >= 93% of active
+    // space, per the paper's own estimate), so the two maps differ most
+    // where leased/foreign-delegated space concentrates (occupied regions).
+    let cover = |oblast: fbs_types::Oblast| -> f64 {
+        if oblast.is_frontline() || oblast.is_crimean_peninsula() {
+            0.80
+        } else {
+            0.93
+        }
+    };
+    let totals = |month: MonthId| -> RegionTotals {
+        let snap = geo_snapshot(&world, month);
+        let mut counts = snap.oblast_totals();
+        for o in ALL_OBLASTS {
+            counts[o.index()] = (counts[o.index()] as f64 / cover(o)) as u64;
+        }
+        RegionTotals { month, counts }
+    };
+    let before = totals(MonthId::new(2022, 2));
+    let after = totals(MonthId::new(2025, 2));
+    let change = after.relative_change(&before);
+
+    let mut t = TextTable::new(
+        "Fig. 19: relative change of ALL IPv4 addresses per oblast",
+        &["Oblast", "Change %"],
+    );
+    let mut pairs = Vec::new();
+    for o in ALL_OBLASTS {
+        let c = change[o.index()].unwrap_or(f64::NAN);
+        t.row(&[o.name().to_string(), fmt_f(c, 1)]);
+        pairs.push((o.name(), c));
+    }
+    println!("{}", t.render());
+    println!("Paper shape: similar to Fig. 1; Luhansk diverges most (leased prefixes).");
+    emit_series("fig19_churn_all", &[Series::from_pairs("fig19_churn_all", "change_pct", &pairs)]);
+}

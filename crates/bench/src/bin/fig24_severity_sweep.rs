@@ -1,0 +1,75 @@
+//! Paper Fig. 24 (appendix E): outage hours and power correlation in
+//! non-frontline regions (2024) across severity thresholds.
+//!
+//! Re-runs detection at each threshold — expect ~10 campaign runs.
+
+use fbs_analysis::{pearson, DailyHours, Series, TextTable};
+use fbs_bench::{emit_series, fmt_f, scale_from_env, seed_from_env};
+use fbs_core::{Campaign, CampaignConfig};
+use fbs_signals::Thresholds;
+use fbs_types::{CivilDate, ALL_OBLASTS};
+
+fn main() {
+    let thresholds = [0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.99];
+    let from = CivilDate::new(2024, 1, 1);
+    let to = CivilDate::new(2024, 12, 31);
+
+    let mut t = TextTable::new(
+        "Fig. 24: severity threshold vs outage hours and power correlation (non-frontline, 2024)",
+        &["Threshold", "Outage hours (mean/oblast)", "Pearson r vs power"],
+    );
+    let mut hours_series = Vec::new();
+    let mut r_series = Vec::new();
+    for &factor in &thresholds {
+        let scenario = fbs_scenarios::ukraine(scale_from_env(), seed_from_env());
+        let world = scenario.into_world().expect("valid scenario");
+        let mut cfg = CampaignConfig::without_baseline();
+        cfg.thresholds_region = Thresholds::with_severity(factor);
+        cfg.tracked.clear();
+        cfg.rtt_tracked.clear();
+        let campaign = Campaign::new(world, cfg);
+        let report = campaign.run();
+
+        let mut net = DailyHours::default();
+        let mut n_oblasts = 0;
+        for o in ALL_OBLASTS {
+            if o.is_frontline() || o.is_crimean_peninsula() {
+                continue;
+            }
+            n_oblasts += 1;
+            net.merge(&DailyHours::from_events(report.region_events_of(o)));
+        }
+        let net_daily = net.dense_range(from, to);
+        let mut pow_daily = Vec::new();
+        let mut d = from;
+        while d <= to {
+            let row = campaign.world().power().day_row(d);
+            let sum: f64 = ALL_OBLASTS
+                .iter()
+                .filter(|o| !o.is_frontline() && !o.is_crimean_peninsula())
+                .map(|o| row[o.index()])
+                .sum();
+            pow_daily.push(sum);
+            d = d.plus_days(1);
+        }
+        let r = pearson(&pow_daily, &net_daily).unwrap_or(f64::NAN);
+        let hours: f64 = net_daily.iter().sum::<f64>() / n_oblasts as f64;
+        t.row(&[format!("{factor:.2}"), fmt_f(hours, 0), fmt_f(r, 3)]);
+        hours_series.push((format!("{factor:.2}"), hours));
+        r_series.push((format!("{factor:.2}"), r));
+        eprintln!("[fig24] threshold {factor:.2}: {hours:.0} h, r={r:.3}");
+    }
+    println!("{}", t.render());
+    println!(
+        "Paper shape: reported hours grow with sensitivity; the power correlation\n\
+         is already strong at moderate thresholds (the paper picks 10% IP / 5% block\n\
+         loss as the sweet spot)."
+    );
+    emit_series(
+        "fig24_severity_sweep",
+        &[
+            Series::from_pairs("fig24_severity_sweep", "outage_hours", &hours_series),
+            Series::from_pairs("fig24_severity_sweep", "pearson_r", &r_series),
+        ],
+    );
+}

@@ -1,0 +1,67 @@
+//! Paper Fig. 26 (appendix G): IODA's power-outage correlation in
+//! non-frontline regions (paper: r = 0.328 vs our 0.725).
+
+use fbs_analysis::{pearson, DailyHours};
+use fbs_bench::{context, fmt_f};
+use fbs_types::{CivilDate, ALL_OBLASTS};
+
+fn main() {
+    let ctx = context();
+    let report = &ctx.report;
+    let ioda = report.ioda.as_ref().expect("baseline enabled");
+    let from = CivilDate::new(2024, 1, 1);
+    let to = CivilDate::new(2024, 12, 31);
+
+    let collect = |frontline: bool, use_ioda: bool| -> Vec<f64> {
+        let mut all = DailyHours::default();
+        for o in ALL_OBLASTS {
+            if o.is_frontline() != frontline || o.is_crimean_peninsula() {
+                continue;
+            }
+            let events = if use_ioda {
+                ioda.regional_events.get(&o).cloned().unwrap_or_default()
+            } else {
+                report.region_events_of(o).to_vec()
+            };
+            all.merge(&DailyHours::from_events(&events));
+        }
+        all.dense_range(from, to)
+    };
+    let power = |frontline: bool| -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut d = from;
+        while d <= to {
+            let row = ctx.campaign.world().power().day_row(d);
+            out.push(
+                ALL_OBLASTS
+                    .iter()
+                    .filter(|o| o.is_frontline() == frontline && !o.is_crimean_peninsula())
+                    .map(|o| row[o.index()])
+                    .sum(),
+            );
+            d = d.plus_days(1);
+        }
+        out
+    };
+
+    let pow_rear = power(false);
+    let pow_front = power(true);
+    let r = |xs: &Vec<f64>, ys: &Vec<f64>| fmt_f(pearson(xs, ys).unwrap_or(f64::NAN), 3);
+    println!("== Fig. 26: power correlation, ours vs IODA (daily, 2024) ==");
+    println!("                      non-frontline   frontline");
+    println!(
+        "this work             r = {:<10} r = {}",
+        r(&pow_rear, &collect(false, false)),
+        r(&pow_front, &collect(true, false))
+    );
+    println!(
+        "IODA emulation        r = {:<10} r = {}",
+        r(&pow_rear, &collect(false, true)),
+        r(&pow_front, &collect(true, true))
+    );
+    println!(
+        "\nPaper shape: our non-frontline correlation (0.725) far exceeds IODA's\n\
+         (0.328); IODA's frontline and non-frontline values are similar because it\n\
+         cannot separate the classes."
+    );
+}

@@ -1,0 +1,103 @@
+//! Paper Fig. 27 (appendix G): signal stability over one quiet day —
+//! full-block scanning vs Trinocular (paper SNR: 99.7 vs 7.6).
+
+use fbs_analysis::{snr, Series, TextTable};
+use fbs_bench::{emit_series, fmt_f, world};
+use fbs_trinocular::{assess_block, BlockBelief, BlockState, TrinocularConfig};
+use fbs_types::{CivilDate, MonthId, Round};
+
+fn main() {
+    let world = world();
+    let cfg = TrinocularConfig::default();
+    // The paper samples 2023-03-02; warm Trinocular beliefs up for two days.
+    let day = CivilDate::new(2023, 3, 2);
+    let warm = Round::containing(day.plus_days(-2).midnight()).expect("in campaign");
+    let start = Round::containing(day.midnight()).expect("in campaign");
+
+    let by_as = world.blocks_by_as();
+    let month_rounds = world.month_rounds(MonthId::new(2023, 3));
+    let mut ours_snrs = Vec::new();
+    let mut trin_snrs = Vec::new();
+    for (_asn, blocks) in &by_as {
+        let mut beliefs: Vec<BlockBelief> = vec![BlockBelief::new(); blocks.len()];
+        // Eligibility and believed long-term availability for the month.
+        let long_term: Vec<f64> = blocks
+            .iter()
+            .map(|&bi| {
+                [start.0, start.0 + 7, start.0.saturating_sub(9)]
+                    .iter()
+                    .map(|&r| world.trin_availability(Round(r), bi))
+                    .fold(0.0f64, f64::max)
+            })
+            .collect();
+        let eligible: Vec<bool> = blocks
+            .iter()
+            .zip(&long_term)
+            .map(|(&bi, &a)| {
+                let ever = world.ever_active(month_rounds.clone(), bi);
+                cfg.eligible(ever as u32, a)
+            })
+            .collect();
+        let mut ours = Vec::new();
+        let mut trin = Vec::new();
+        for r in warm.0..start.0 + 12 {
+            let round = Round(r);
+            let mut ips = 0.0;
+            let mut up = 0.0;
+            for (k, &bi) in blocks.iter().enumerate() {
+                let truth = world.block_truth(round, bi);
+                ips += truth.responsive as f64;
+                if eligible[k] {
+                    let stale = 0.2 + 0.8 * world.rng().uniform3(r as u64, bi as u64, 777);
+                    let p_probe = world.trin_availability(round, bi) * stale;
+                    let out = assess_block(beliefs[k], long_term[k], &cfg, |probe| {
+                        truth.routed
+                            && world
+                                .rng()
+                                .chance3(p_probe, r as u64, bi as u64, 9000 + probe as u64)
+                    });
+                    beliefs[k] = out.belief;
+                    if out.state == BlockState::Up {
+                        up += 1.0;
+                    }
+                }
+            }
+            if r >= start.0 {
+                ours.push(ips);
+                trin.push(up);
+            }
+        }
+        // Only ASes with signal throughout (paper: 1,073 ASes, no signal loss).
+        if ours.iter().all(|v| *v > 0.0) {
+            if let Some(s) = snr(&ours) {
+                ours_snrs.push(s);
+            }
+            if trin.iter().any(|v| *v > 0.0) {
+                if let Some(s) = snr(&trin) {
+                    trin_snrs.push(s);
+                }
+            }
+        }
+    }
+    let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let mut t = TextTable::new(
+        "Fig. 27: per-AS signal-to-noise over one day (2023-03-02)",
+        &["Signal", "ASes", "Mean SNR"],
+    );
+    t.row(&["Full block scans (IPS)".into(), ours_snrs.len().to_string(), fmt_f(mean(&ours_snrs), 1)]);
+    t.row(&["Trinocular (up blocks)".into(), trin_snrs.len().to_string(), fmt_f(mean(&trin_snrs), 1)]);
+    println!("{}", t.render());
+    println!(
+        "Paper shape: FBS-derived signals are far more stable (SNR ~99.7) than\n\
+         Trinocular's (~7.6), whose few probes flap sparse blocks between states."
+    );
+    emit_series(
+        "fig27_signal_stability",
+        &[
+            Series::from_pairs("fig27_signal_stability", "snr", &[
+                ("ours".to_string(), mean(&ours_snrs)),
+                ("trinocular".to_string(), mean(&trin_snrs)),
+            ]),
+        ],
+    );
+}

@@ -1,0 +1,104 @@
+//! Paper Fig. 28 (appendix F): the full three-year Kherson timeline —
+//! per-AS outage and BGP-invisibility periods by quarter.
+
+use fbs_analysis::TextTable;
+use fbs_bench::context;
+use fbs_scenarios::KHERSON_ROSTER;
+use fbs_signals::{merge_overlapping, SignalKind};
+use fbs_types::Round;
+
+fn main() {
+    let ctx = context();
+    let report = &ctx.report;
+    let rounds = report.rounds;
+    let quarters: Vec<(u32, u32)> = {
+        // Quarter boundaries in rounds.
+        let mut bounds = Vec::new();
+        let mut m = fbs_types::MonthId::campaign_first();
+        let mut start = 0u32;
+        let mut current_q = (m.year(), (m.month() - 1) / 3);
+        loop {
+            let range = m.campaign_rounds();
+            if range.start >= rounds {
+                bounds.push((start, rounds));
+                break;
+            }
+            let q = (m.year(), (m.month() - 1) / 3);
+            if q != current_q {
+                bounds.push((start, range.start.min(rounds)));
+                start = range.start;
+                current_q = q;
+            }
+            m = m.next();
+        }
+        bounds
+    };
+
+    let mut header = vec!["AS".to_string()];
+    {
+        let mut m = fbs_types::MonthId::campaign_first();
+        let mut seen = std::collections::BTreeSet::new();
+        while m.campaign_rounds().start < rounds || m == fbs_types::MonthId::campaign_first() {
+            let q = (m.year(), (m.month() - 1) / 3 + 1);
+            if seen.insert(q) {
+                header.push(format!("{}Q{}", q.0, q.1));
+            }
+            if m.campaign_rounds().end >= rounds {
+                break;
+            }
+            m = m.next();
+        }
+    }
+    let headers: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = TextTable::new(
+        "Fig. 28: Kherson AS disruption timeline (per quarter: # outage, - BGP-dark, . up)",
+        &headers,
+    );
+
+    for a in &KHERSON_ROSTER {
+        let events = report.as_events.get(&a.asn()).cloned().unwrap_or_default();
+        let outage_spans = merge_overlapping(&events);
+        let bgp_spans: Vec<(Round, Round)> = merge_overlapping(
+            &events
+                .iter()
+                .filter(|e| e.signal == SignalKind::Bgp)
+                .copied()
+                .collect::<Vec<_>>(),
+        );
+        let mut cells = vec![format!("{} ({})", a.name, a.asn)];
+        for &(qs, qe) in &quarters {
+            let q_rounds = (qe - qs) as f64;
+            let overlap = |spans: &[(Round, Round)]| -> f64 {
+                spans
+                    .iter()
+                    .map(|(s, e)| {
+                        (e.0.min(qe).saturating_sub(s.0.max(qs))) as f64
+                    })
+                    .sum::<f64>()
+                    / q_rounds.max(1.0)
+            };
+            let bgp_frac = overlap(&bgp_spans);
+            let out_frac = overlap(&outage_spans);
+            cells.push(
+                if bgp_frac > 0.5 {
+                    "-"
+                } else if out_frac > 0.10 {
+                    "#"
+                } else if out_frac > 0.0 {
+                    "+"
+                } else {
+                    "."
+                }
+                .to_string(),
+            );
+        }
+        t.row(&cells);
+    }
+    println!("{}", t.render());
+    println!(
+        "Legend: '-' mostly BGP-invisible, '#' >10% of the quarter in outage,\n\
+         '+' some outage, '.' clean.\n\
+         Paper shape: regional ASes cycle outage/restore through 2022 and several\n\
+         discontinue later; non-regional ASes show long BGP-invisible stretches."
+    );
+}

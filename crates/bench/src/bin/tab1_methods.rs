@@ -1,0 +1,32 @@
+//! Paper Table 1: comparison of outage-detection methods.
+
+use fbs_analysis::TextTable;
+use fbs_core::methods::table1;
+use fbs_signals::EligibilityConfig;
+use fbs_trinocular::TrinocularConfig;
+
+fn main() {
+    let rows = table1(&EligibilityConfig::default(), &TrinocularConfig::default());
+    let mut t = TextTable::new(
+        "Table 1: Methods for Internet outage detection (Ukraine focus)",
+        &[
+            "Dataset", "Type", "IP/Block", "Protocols", "Vantage", "Interval",
+            "Probes//24", "Eligibility", "Geo conf.", "Target set",
+        ],
+    );
+    for r in rows {
+        t.row(&[
+            r.name.to_string(),
+            r.measurement.to_string(),
+            r.granularity.to_string(),
+            r.protocols.to_string(),
+            r.vantage_points.to_string(),
+            r.interval.to_string(),
+            r.probes_per_block,
+            r.eligibility,
+            r.geolocation.to_string(),
+            r.target_set.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}

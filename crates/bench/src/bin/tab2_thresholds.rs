@@ -1,0 +1,21 @@
+//! Paper Table 2: static detection thresholds per aggregation level.
+
+use fbs_analysis::TextTable;
+use fbs_signals::Thresholds;
+
+fn main() {
+    let mut t = TextTable::new(
+        "Table 2: Internet disruption detection thresholds (vs 7-day moving average)",
+        &["Level", "BGP *", "FBS #", "IPS ^"],
+    );
+    let pct = |v: f64| format!("< {:.0}%", v * 100.0);
+    for (name, th) in [("AS", Thresholds::as_level()), ("Regional", Thresholds::regional())] {
+        t.row(&[
+            name.to_string(),
+            pct(th.bgp),
+            format!("{} (if IPS < {:.0}%)", pct(th.fbs), th.fbs_ips_guard * 100.0),
+            pct(th.ips),
+        ]);
+    }
+    println!("{}", t.render());
+}

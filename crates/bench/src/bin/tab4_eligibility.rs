@@ -1,0 +1,51 @@
+//! Paper Table 4: block eligibility — full-block scans vs Trinocular,
+//! regional vs (filtered) non-regional blocks.
+
+use fbs_analysis::TextTable;
+use fbs_bench::{context, fmt_count};
+
+fn main() {
+    let ctx = context();
+    let report = &ctx.report;
+
+    // Average monthly tallies over the campaign.
+    let mut reg = (0u64, 0u64, 0u64, 0u64, 0u64); // blocks, responsive, fbs, trin, indet
+    let mut months_r = 0u64;
+    for om in report.oblast_monthly.values() {
+        reg.0 += om.regional_blocks as u64;
+        reg.1 += (om.mean_active_blocks()).round() as u64;
+        reg.2 += om.fbs_eligible as u64;
+        reg.3 += om.trin_eligible as u64;
+        reg.4 += om.trin_indeterminate as u64;
+        months_r += 1;
+    }
+    let mut non = (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut months_n = 0u64;
+    for om in report.non_regional_monthly.values() {
+        non.0 += om.regional_blocks as u64;
+        non.1 += (om.mean_active_blocks()).round() as u64;
+        non.2 += om.fbs_eligible as u64;
+        non.3 += om.trin_eligible as u64;
+        non.4 += om.trin_indeterminate as u64;
+        months_n += 1;
+    }
+    // Normalize to monthly means. Regional tallies are spread over 26
+    // oblasts per month; divide by number of months only.
+    let n_months = report.months.len() as u64;
+    let avg = |v: u64| v / n_months.max(1);
+    let _ = (months_r, months_n);
+
+    let mut t = TextTable::new(
+        "Table 4: Eligible blocks, regional vs non-regional (monthly means)",
+        &["Category", "Regional", "Non-Regional"],
+    );
+    t.row(&["All blocks".into(), fmt_count(avg(reg.0)), fmt_count(avg(non.0))]);
+    t.row(&["-> Full Block Scans (E(b)>=3)".into(), fmt_count(avg(reg.2)), fmt_count(avg(non.2))]);
+    t.row(&["-> Trinocular (E(b)>=15 & A>0.1)".into(), fmt_count(avg(reg.3)), fmt_count(avg(non.3))]);
+    t.row(&["   thereof indeterminate (A<0.3)".into(), fmt_count(avg(reg.4)), fmt_count(avg(non.4))]);
+    println!("{}", t.render());
+    println!(
+        "Paper shape: FBS keeps more blocks eligible than Trinocular, and a\n\
+         sizable share of Trinocular's blocks has indeterminate belief."
+    );
+}

@@ -1,0 +1,161 @@
+//! Shared machinery for the per-table/per-figure reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! from a fresh scenario run. They share a context: the scenario scale and
+//! seed come from the environment (`FBS_SCALE` = `tiny` | `small` | `paper`,
+//! default `small`; `FBS_SEED`, default 42), the campaign runs once per
+//! process, and results print as aligned text tables plus JSON series
+//! (under `target/figures/` unless `FBS_NO_JSON` is set).
+//!
+//! Absolute numbers are produced by the simulator, not the authors'
+//! testbed; the *shape* of each result is what reproduces the paper (see
+//! EXPERIMENTS.md for the per-figure comparison).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fbs_analysis::Series;
+use fbs_core::{Campaign, CampaignConfig, CampaignReport};
+use fbs_netsim::{World, WorldScale};
+use fbs_scenarios::Scenario;
+use std::sync::OnceLock;
+
+/// The shared benchmark context: one scenario, one campaign run.
+pub struct Ctx {
+    /// The campaign (world access via `campaign.world()`).
+    pub campaign: Campaign,
+    /// The finished report.
+    pub report: CampaignReport,
+    /// Scale used.
+    pub scale: WorldScale,
+    /// Seed used.
+    pub seed: u64,
+}
+
+/// Scale selected by `FBS_SCALE` (default `small`).
+pub fn scale_from_env() -> WorldScale {
+    match std::env::var("FBS_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        "tiny" => WorldScale::Tiny,
+        "paper" => WorldScale::Paper,
+        _ => WorldScale::Small,
+    }
+}
+
+/// Seed selected by `FBS_SEED` (default 42).
+pub fn seed_from_env() -> u64 {
+    std::env::var("FBS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Builds the scenario for the env-selected scale/seed.
+pub fn scenario() -> Scenario {
+    fbs_scenarios::ukraine(scale_from_env(), seed_from_env())
+}
+
+/// Builds just the world (for binaries that skip the campaign).
+pub fn world() -> World {
+    scenario().into_world().expect("scenario is valid")
+}
+
+/// The process-wide context; the campaign runs on first use.
+pub fn context() -> &'static Ctx {
+    static CTX: OnceLock<Ctx> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let scale = scale_from_env();
+        let seed = seed_from_env();
+        eprintln!("[fbs-bench] building scenario (scale {scale:?}, seed {seed}) ...");
+        let world = fbs_scenarios::ukraine(scale, seed)
+            .into_world()
+            .expect("scenario is valid");
+        let campaign = Campaign::new(world, CampaignConfig::default());
+        eprintln!(
+            "[fbs-bench] running campaign: {} blocks x {} rounds ...",
+            campaign.world().blocks().len(),
+            campaign.world().rounds()
+        );
+        let t = std::time::Instant::now();
+        let report = campaign.run();
+        eprintln!("[fbs-bench] campaign done in {:.1?}", t.elapsed());
+        Ctx {
+            campaign,
+            report,
+            scale,
+            seed,
+        }
+    })
+}
+
+/// Writes a figure's series collection to `target/figures/<figure>.json`
+/// (skipped when `FBS_NO_JSON` is set). Errors are reported, not fatal —
+/// the printed output is the deliverable.
+pub fn emit_series(figure: &str, series: &[Series]) {
+    if std::env::var_os("FBS_NO_JSON").is_some() {
+        return;
+    }
+    let dir = std::path::Path::new("target/figures");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("[fbs-bench] cannot create {dir:?}: {e}");
+        return;
+    }
+    let path = dir.join(format!("{figure}.json"));
+    match serde_json::to_string_pretty(series) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("[fbs-bench] cannot write {path:?}: {e}");
+            } else {
+                eprintln!("[fbs-bench] wrote {path:?}");
+            }
+        }
+        Err(e) => eprintln!("[fbs-bench] serialize failed: {e}"),
+    }
+}
+
+/// Formats a count with thousands separators (display sugar for tables).
+pub fn fmt_count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Formats an f64 with the given precision, rendering NaN as "-".
+pub fn fmt_f(v: f64, digits: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.digits$}")
+    } else {
+        "-".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        // Do not mutate the environment (tests run in parallel); just make
+        // sure the defaults parse.
+        assert_eq!(seed_from_env(), 42);
+        assert!(matches!(
+            scale_from_env(),
+            WorldScale::Small | WorldScale::Tiny | WorldScale::Paper
+        ));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1_000), "1,000");
+        assert_eq!(fmt_count(10_500_000), "10,500,000");
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_f(f64::NAN, 2), "-");
+    }
+}

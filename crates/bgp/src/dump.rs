@@ -1,0 +1,116 @@
+//! Text dump format for RIB tables.
+//!
+//! One route per line: `prefix|asn,asn,...,origin` — a deliberately minimal
+//! analogue of the `show ip bgp`-style exports RouteViews publishes. The
+//! format is line-oriented so dumps can be streamed, diffed and grepped;
+//! parsing is strict (any malformed line is an error with context) because
+//! dumps are machine-generated.
+
+use crate::rib::Rib;
+use fbs_types::{Asn, FbsError, Prefix, Result};
+use std::fmt::Write as _;
+
+/// Serializes a RIB to the line format, prefixes in address order.
+pub fn to_string(rib: &Rib) -> String {
+    let mut out = String::new();
+    for (prefix, entry) in rib.iter() {
+        let _ = write!(out, "{prefix}|");
+        for (i, asn) in entry.path.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}", asn.value());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a dump produced by [`to_string`] back into a RIB.
+///
+/// Blank lines and `#` comments are permitted; anything else malformed is a
+/// [`FbsError::Parse`].
+pub fn from_str(s: &str) -> Result<Rib> {
+    let mut rib = Rib::new();
+    for (lineno, line) in s.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (prefix, path) = line
+            .split_once('|')
+            .ok_or_else(|| FbsError::parse(format!("line {}: missing '|'", lineno + 1), line))?;
+        let prefix: Prefix = prefix
+            .parse()
+            .map_err(|_| FbsError::parse(format!("line {}: bad prefix", lineno + 1), line))?;
+        let path: Result<Vec<Asn>> = path
+            .split(',')
+            .map(|a| {
+                a.trim()
+                    .parse::<u32>()
+                    .map(Asn)
+                    .map_err(|_| FbsError::parse(format!("line {}: bad ASN", lineno + 1), a))
+            })
+            .collect();
+        rib.announce(prefix, path?)?;
+    }
+    Ok(rib)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rib() -> Rib {
+        let mut rib = Rib::new();
+        rib.announce(
+            "193.151.240.0/22".parse().unwrap(),
+            vec![Asn(3356), Asn(6849), Asn(25482)],
+        )
+        .unwrap();
+        rib.announce("91.237.4.0/23".parse().unwrap(), vec![Asn(3356), Asn(21151)])
+            .unwrap();
+        rib
+    }
+
+    #[test]
+    fn roundtrip() {
+        let rib = sample_rib();
+        let dump = to_string(&rib);
+        let parsed = from_str(&dump).unwrap();
+        assert_eq!(parsed.num_routes(), 2);
+        assert_eq!(
+            parsed
+                .route_exact("193.151.240.0/22".parse().unwrap())
+                .unwrap()
+                .path,
+            vec![Asn(3356), Asn(6849), Asn(25482)]
+        );
+        // Second serialization is identical (canonical order).
+        assert_eq!(to_string(&parsed), dump);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# RouteViews-lite dump\n\n10.0.0.0/24|65000\n";
+        let rib = from_str(text).unwrap();
+        assert_eq!(rib.num_routes(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_context() {
+        assert!(from_str("10.0.0.0/24").is_err()); // no pipe
+        assert!(from_str("10.0.0.0/24|").is_err()); // empty path
+        assert!(from_str("10.0.0.0/24|abc").is_err()); // bad asn
+        assert!(from_str("not-a-prefix|1").is_err());
+        let err = from_str("x|1").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn dump_is_line_oriented() {
+        let dump = to_string(&sample_rib());
+        assert_eq!(dump.lines().count(), 2);
+        assert!(dump.lines().all(|l| l.contains('|')));
+    }
+}

@@ -1,0 +1,32 @@
+//! BGP substrate: prefix trie, RIB, and RouteViews-style snapshots.
+//!
+//! The paper derives its `BGP ★` outage signal from RouteViews table dumps,
+//! which — like the scan itself — arrive at two-hour intervals: for every AS
+//! (or region) it counts the number of routed /24 blocks and flags an outage
+//! when that count drops below threshold, with total BGP invisibility
+//! extending outage periods indefinitely.
+//!
+//! This crate provides the routing-side machinery:
+//!
+//! * [`trie`] — a binary radix (Patricia) trie over IPv4 prefixes with exact
+//!   insert/remove and longest-prefix match;
+//! * [`rib`] — a routing information base mapping prefixes to origin AS and
+//!   AS path, with per-AS routed-/24 accounting and path-based rerouting
+//!   inspection (the paper detects occupation-era rerouting via Russian
+//!   upstreams on the path);
+//! * [`events`] — timestamped announce/withdraw streams and their
+//!   application to a RIB, yielding the two-hourly snapshot sequence;
+//! * [`dump`] — a compact text dump format (one route per line) for
+//!   persistence and interchange, with strict parsing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dump;
+pub mod events;
+pub mod rib;
+pub mod trie;
+
+pub use events::{BgpEvent, BgpEventKind, EventLog};
+pub use rib::{Rib, RouteEntry};
+pub use trie::PrefixTrie;

@@ -1,0 +1,305 @@
+//! A binary radix trie over IPv4 prefixes.
+//!
+//! Stores one value per exact prefix and answers longest-prefix-match
+//! queries for addresses — the lookup a router performs per packet, and the
+//! lookup the RIB performs to attribute an address to its covering route.
+//!
+//! The implementation is a path-uncompressed binary trie: simple, allocation
+//! -friendly (nodes live in a `Vec`, children are indices) and fast enough
+//! for this workload (≤ /24 keys, tens of thousands of routes). Removal
+//! marks values empty; vacant chains are pruned lazily on subsequent
+//! inserts — the structural simplification keeps removal O(depth) without a
+//! parent stack.
+
+use fbs_types::Prefix;
+use std::net::Ipv4Addr;
+
+const NO_NODE: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    children: [u32; 2],
+    value: Option<V>,
+}
+
+impl<V> Node<V> {
+    fn new() -> Self {
+        Node {
+            children: [NO_NODE, NO_NODE],
+            value: None,
+        }
+    }
+}
+
+/// A map from IPv4 prefixes to values with longest-prefix-match lookup.
+///
+/// ```
+/// use fbs_bgp::PrefixTrie;
+/// use fbs_types::Prefix;
+/// use std::net::Ipv4Addr;
+///
+/// let mut t = PrefixTrie::new();
+/// t.insert("10.0.0.0/8".parse::<Prefix>().unwrap(), "coarse");
+/// t.insert("10.1.0.0/16".parse::<Prefix>().unwrap(), "fine");
+/// let (p, v) = t.longest_match(Ipv4Addr::new(10, 1, 2, 3)).unwrap();
+/// assert_eq!(*v, "fine");
+/// assert_eq!(p.len(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<V> {
+    nodes: Vec<Node<V>>,
+    len: usize,
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> PrefixTrie<V> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            nodes: vec![Node::new()],
+            len: 0,
+        }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie stores no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn bit(addr: u32, depth: u8) -> usize {
+        ((addr >> (31 - depth)) & 1) as usize
+    }
+
+    /// Inserts `value` at `prefix`, returning the previous value if any.
+    pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        let addr = prefix.raw();
+        let mut node = 0usize;
+        for depth in 0..prefix.len() {
+            let b = Self::bit(addr, depth);
+            let child = self.nodes[node].children[b];
+            let child = if child == NO_NODE {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(Node::new());
+                self.nodes[node].children[b] = idx;
+                idx
+            } else {
+                child
+            };
+            node = child as usize;
+        }
+        let old = self.nodes[node].value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn find_node(&self, prefix: Prefix) -> Option<usize> {
+        let addr = prefix.raw();
+        let mut node = 0usize;
+        for depth in 0..prefix.len() {
+            let child = self.nodes[node].children[Self::bit(addr, depth)];
+            if child == NO_NODE {
+                return None;
+            }
+            node = child as usize;
+        }
+        Some(node)
+    }
+
+    /// Removes and returns the value stored exactly at `prefix`.
+    pub fn remove(&mut self, prefix: Prefix) -> Option<V> {
+        let node = self.find_node(prefix)?;
+        let old = self.nodes[node].value.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// The value stored exactly at `prefix`, if any.
+    pub fn get(&self, prefix: Prefix) -> Option<&V> {
+        self.find_node(prefix)
+            .and_then(|n| self.nodes[n].value.as_ref())
+    }
+
+    /// Mutable access to the value stored exactly at `prefix`.
+    pub fn get_mut(&mut self, prefix: Prefix) -> Option<&mut V> {
+        let node = self.find_node(prefix)?;
+        self.nodes[node].value.as_mut()
+    }
+
+    /// Longest-prefix match for `addr`: the most specific stored prefix
+    /// containing the address, with its value.
+    pub fn longest_match(&self, addr: Ipv4Addr) -> Option<(Prefix, &V)> {
+        let raw = u32::from(addr);
+        let mut node = 0usize;
+        let mut best: Option<(u8, usize)> = None;
+        if self.nodes[0].value.is_some() {
+            best = Some((0, 0));
+        }
+        for depth in 0..32u8 {
+            let child = self.nodes[node].children[Self::bit(raw, depth)];
+            if child == NO_NODE {
+                break;
+            }
+            node = child as usize;
+            if self.nodes[node].value.is_some() {
+                best = Some((depth + 1, node));
+            }
+        }
+        best.map(|(len, n)| {
+            (
+                Prefix::new(addr, len),
+                self.nodes[n].value.as_ref().expect("checked above"),
+            )
+        })
+    }
+
+    /// Iterates all stored `(prefix, value)` pairs in trie (address) order.
+    pub fn iter(&self) -> TrieIter<'_, V> {
+        TrieIter {
+            trie: self,
+            stack: vec![(0u32, 0u32, 0u8)],
+        }
+    }
+}
+
+/// Depth-first iterator over a [`PrefixTrie`].
+pub struct TrieIter<'a, V> {
+    trie: &'a PrefixTrie<V>,
+    /// (node index, accumulated address bits, depth)
+    stack: Vec<(u32, u32, u8)>,
+}
+
+impl<'a, V> Iterator for TrieIter<'a, V> {
+    type Item = (Prefix, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some((node, addr, depth)) = self.stack.pop() {
+            let n = &self.trie.nodes[node as usize];
+            // Push right then left so left (bit 0) pops first.
+            if depth < 32 {
+                if n.children[1] != NO_NODE {
+                    self.stack
+                        .push((n.children[1], addr | (1 << (31 - depth)), depth + 1));
+                }
+                if n.children[0] != NO_NODE {
+                    self.stack.push((n.children[0], addr, depth + 1));
+                }
+            }
+            if let Some(v) = &n.value {
+                return Some((Prefix::new(Ipv4Addr::from(addr), depth), v));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.get(p("10.0.0.0/9")), None);
+        assert_eq!(t.remove(p("10.0.0.0/8")), Some(2));
+        assert_eq!(t.remove(p("10.0.0.0/8")), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn longest_match_prefers_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), "default");
+        t.insert(p("91.0.0.0/8"), "eight");
+        t.insert(p("91.237.4.0/23"), "twentythree");
+        t.insert(p("91.237.5.0/24"), "twentyfour");
+
+        let m = |a: [u8; 4]| t.longest_match(Ipv4Addr::from(a)).map(|(p, v)| (p.len(), *v));
+        assert_eq!(m([91, 237, 5, 9]), Some((24, "twentyfour")));
+        assert_eq!(m([91, 237, 4, 9]), Some((23, "twentythree")));
+        assert_eq!(m([91, 1, 1, 1]), Some((8, "eight")));
+        assert_eq!(m([8, 8, 8, 8]), Some((0, "default")));
+    }
+
+    #[test]
+    fn longest_match_without_default_is_none() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), ());
+        assert!(t.longest_match(Ipv4Addr::new(11, 0, 0, 1)).is_none());
+    }
+
+    #[test]
+    fn removal_uncovers_less_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), "outer");
+        t.insert(p("10.5.0.0/16"), "inner");
+        assert_eq!(
+            t.longest_match(Ipv4Addr::new(10, 5, 1, 1)).unwrap().1,
+            &"inner"
+        );
+        t.remove(p("10.5.0.0/16"));
+        assert_eq!(
+            t.longest_match(Ipv4Addr::new(10, 5, 1, 1)).unwrap().1,
+            &"outer"
+        );
+    }
+
+    #[test]
+    fn iter_yields_all_in_order() {
+        let mut t = PrefixTrie::new();
+        let prefixes = ["10.0.0.0/8", "9.0.0.0/8", "10.128.0.0/9", "10.0.0.0/24"];
+        for (i, s) in prefixes.iter().enumerate() {
+            t.insert(p(s), i);
+        }
+        let got: Vec<Prefix> = t.iter().map(|(p, _)| p).collect();
+        assert_eq!(got.len(), 4);
+        // Address order: 9/8, 10/8, 10.0.0/24, 10.128/9
+        assert_eq!(got[0], p("9.0.0.0/8"));
+        assert_eq!(got[1], p("10.0.0.0/8"));
+        assert_eq!(got[2], p("10.0.0.0/24"));
+        assert_eq!(got[3], p("10.128.0.0/9"));
+    }
+
+    #[test]
+    fn host_route_works() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("1.2.3.4/32"), "host");
+        assert_eq!(
+            t.longest_match(Ipv4Addr::new(1, 2, 3, 4)).unwrap().1,
+            &"host"
+        );
+        assert!(t.longest_match(Ipv4Addr::new(1, 2, 3, 5)).is_none());
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 5);
+        *t.get_mut(p("10.0.0.0/8")).unwrap() += 1;
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&6));
+        assert!(t.get_mut(p("11.0.0.0/8")).is_none());
+    }
+}

@@ -1,0 +1,288 @@
+//! Driving the regional classifier from monthly geolocation snapshots.
+//!
+//! This is the campaign's §4: every month's snapshot is folded into per-
+//! entity share histories, which the `fbs-regional` classifier turns into
+//! regional / non-regional / temporal verdicts per oblast and finally into
+//! each oblast's outage target set.
+
+use fbs_geodb::{GeoRegion, GeoSnapshot};
+use fbs_netsim::{geo, World};
+use fbs_regional::{
+    classify_as, classify_block, MonthSample, Regionality, RegionalityConfig, TargetSetBuilder,
+};
+use fbs_types::{Asn, BlockId, MonthId, Oblast, Round};
+use std::collections::BTreeMap;
+
+/// Classification verdicts and target sets for every oblast.
+#[derive(Debug, Default)]
+pub struct ClassificationOutcome {
+    /// Per-oblast classification detail.
+    pub regions: BTreeMap<Oblast, RegionClassification>,
+    /// Share histories per (AS, oblast) — kept for sweeps and figures.
+    pub as_histories: BTreeMap<(Asn, Oblast), Vec<MonthSample>>,
+    /// Share histories per (block, oblast).
+    pub block_histories: BTreeMap<(BlockId, Oblast), Vec<MonthSample>>,
+    /// The months covered, in order.
+    pub months: Vec<MonthId>,
+}
+
+/// One oblast's classification results.
+#[derive(Debug, Default)]
+pub struct RegionClassification {
+    /// Verdict per AS with any presence.
+    pub ases: BTreeMap<Asn, Regionality>,
+    /// Verdict per block with any presence, tagged with its owner.
+    pub blocks: BTreeMap<BlockId, (Regionality, Asn)>,
+    /// The assembled target set builder (summaries + build()).
+    pub targets: TargetSetBuilder,
+}
+
+impl RegionClassification {
+    /// ASes with the given verdict.
+    pub fn ases_with(&self, class: Regionality) -> Vec<Asn> {
+        self.ases
+            .iter()
+            .filter(|(_, c)| **c == class)
+            .map(|(a, _)| *a)
+            .collect()
+    }
+
+    /// Regional blocks (the measurable set for this oblast).
+    pub fn regional_blocks(&self) -> Vec<BlockId> {
+        self.blocks
+            .iter()
+            .filter(|(_, (c, _))| *c == Regionality::Regional)
+            .map(|(b, _)| *b)
+            .collect()
+    }
+}
+
+/// Runs the monthly snapshot loop and classification.
+///
+/// `routed_months` reports, per AS, which month indexes the AS announced
+/// anything (from the BGP side of the world).
+pub fn classify_world(
+    world: &World,
+    config: &RegionalityConfig,
+) -> ClassificationOutcome {
+    let first = MonthId::campaign_first();
+    let last_round = Round(world.rounds().saturating_sub(1));
+    let last = last_round.month();
+    let months: Vec<MonthId> = first.range_inclusive(last).collect();
+
+    // Per-AS routed months from the block timelines: an AS is routed in a
+    // month if any of its blocks is reachable at any round of the month.
+    let by_as = world.blocks_by_as();
+    let mut as_routed: BTreeMap<Asn, Vec<bool>> = BTreeMap::new();
+    let mut block_routed: BTreeMap<BlockId, Vec<bool>> = BTreeMap::new();
+    for (mi, month) in months.iter().enumerate() {
+        let rounds = world.month_rounds(*month);
+        for (asn, blocks) in &by_as {
+            let entry = as_routed.entry(*asn).or_insert_with(|| vec![false; months.len()]);
+            // Sample the month at day granularity — routing flaps shorter
+            // than a day cannot unroute a month.
+            'outer: for &bi in blocks {
+                for r in rounds.clone().step_by(12) {
+                    if !world.block_down(Round(r), bi) {
+                        entry[mi] = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        for (bi, spec) in world.blocks().iter().enumerate() {
+            let entry = block_routed
+                .entry(spec.block)
+                .or_insert_with(|| vec![false; months.len()]);
+            for r in rounds.clone().step_by(12) {
+                if !world.block_down(Round(r), bi) {
+                    entry[mi] = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Fold snapshots into share histories.
+    let mut as_region: BTreeMap<(Asn, Oblast), Vec<u32>> = BTreeMap::new();
+    let mut as_total_ua: BTreeMap<Asn, Vec<u32>> = BTreeMap::new();
+    let mut block_region: BTreeMap<(BlockId, Oblast), Vec<u16>> = BTreeMap::new();
+    let mut block_owner: BTreeMap<BlockId, Asn> = BTreeMap::new();
+    for (mi, month) in months.iter().enumerate() {
+        let snap: GeoSnapshot = geo::geo_snapshot(world, *month);
+        for rec in snap.iter() {
+            let owner = rec.asn.unwrap_or(Asn(0));
+            block_owner.entry(rec.block).or_insert(owner);
+            for (region, count) in &rec.counts {
+                if let GeoRegion::Ua(oblast) = region {
+                    as_region
+                        .entry((owner, *oblast))
+                        .or_insert_with(|| vec![0; months.len()])[mi] += *count as u32;
+                    block_region
+                        .entry((rec.block, *oblast))
+                        .or_insert_with(|| vec![0; months.len()])[mi] += *count;
+                    as_total_ua
+                        .entry(owner)
+                        .or_insert_with(|| vec![0; months.len()])[mi] += *count as u32;
+                }
+            }
+        }
+    }
+
+    // Build MonthSample histories and classify.
+    let mut outcome = ClassificationOutcome {
+        months: months.clone(),
+        ..ClassificationOutcome::default()
+    };
+    let no_months = vec![false; months.len()];
+
+    for ((asn, oblast), counts) in &as_region {
+        let totals = &as_total_ua[asn];
+        let routed = as_routed.get(asn).unwrap_or(&no_months);
+        let history: Vec<MonthSample> = (0..months.len())
+            .map(|mi| MonthSample {
+                ips_in_region: counts[mi],
+                capacity: totals[mi].max(1),
+                routed: routed[mi],
+            })
+            .collect();
+        let verdict = classify_as(&history, config);
+        outcome.as_histories.insert((*asn, *oblast), history);
+        outcome
+            .regions
+            .entry(*oblast)
+            .or_insert_with(|| fresh_region(*oblast))
+            .ases
+            .insert(*asn, verdict);
+    }
+
+    for ((block, oblast), counts) in &block_region {
+        let routed = block_routed.get(block).unwrap_or(&no_months);
+        let history: Vec<MonthSample> = (0..months.len())
+            .map(|mi| MonthSample {
+                ips_in_region: counts[mi] as u32,
+                capacity: BlockId::SIZE,
+                routed: routed[mi],
+            })
+            .collect();
+        let verdict = classify_block(&history, config);
+        let owner = block_owner[block];
+        outcome.block_histories.insert((*block, *oblast), history);
+        outcome
+            .regions
+            .entry(*oblast)
+            .or_insert_with(|| fresh_region(*oblast))
+            .blocks
+            .insert(*block, (verdict, owner));
+    }
+
+    // Assemble target sets: average monthly presence as the IP weight.
+    for (oblast, rc) in outcome.regions.iter_mut() {
+        let mut builder = TargetSetBuilder::new(*oblast);
+        for (asn, verdict) in &rc.ases {
+            let mean_ips = outcome
+                .as_histories
+                .get(&(*asn, *oblast))
+                .map(|h| {
+                    let sum: u64 = h.iter().map(|s| s.ips_in_region as u64).sum();
+                    sum / h.len().max(1) as u64
+                })
+                .unwrap_or(0);
+            builder.add_as(*asn, *verdict, mean_ips);
+        }
+        for (block, (verdict, owner)) in &rc.blocks {
+            builder.add_block(*block, *owner, *verdict);
+        }
+        rc.targets = builder;
+    }
+    outcome
+}
+
+fn fresh_region(oblast: Oblast) -> RegionClassification {
+    RegionClassification {
+        targets: TargetSetBuilder::new(oblast),
+        ..RegionClassification::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbs_netsim::WorldScale;
+
+    fn tiny_world() -> World {
+        fbs_scenarios::ukraine_with_rounds(WorldScale::Tiny, 11, 360 * 13)
+            .into_world()
+            .unwrap()
+    }
+
+    #[test]
+    fn kherson_regional_ases_classified_regional() {
+        let world = tiny_world();
+        let outcome = classify_world(&world, &RegionalityConfig::default());
+        let kherson = &outcome.regions[&Oblast::Kherson];
+        // Status, Norma4, RubinTV live mostly in Kherson: regional.
+        for asn in [25482u32, 56404, 49465] {
+            assert_eq!(
+                kherson.ases.get(&Asn(asn)),
+                Some(&Regionality::Regional),
+                "AS{asn} verdict"
+            );
+        }
+        // Nationals with a toe in Kherson are not regional there.
+        let volia = kherson.ases.get(&Asn(25229));
+        assert_ne!(volia, Some(&Regionality::Regional), "Volia must not be regional");
+    }
+
+    #[test]
+    fn status_blocks_split_between_kherson_and_kyiv() {
+        let world = tiny_world();
+        let outcome = classify_world(&world, &RegionalityConfig::default());
+        let kherson = &outcome.regions[&Oblast::Kherson];
+        let b = |c: u8| BlockId::from_octets(193, 151, 240 + c);
+        for c in 0..3 {
+            assert_eq!(
+                kherson.blocks.get(&b(c)).map(|(v, _)| *v),
+                Some(Regionality::Regional),
+                "block 193.151.24{c} in Kherson"
+            );
+        }
+        // The fourth block is regional to Kyiv instead.
+        let kyiv = &outcome.regions[&Oblast::Kyiv];
+        assert_eq!(
+            kyiv.blocks.get(&b(3)).map(|(v, _)| *v),
+            Some(Regionality::Regional),
+            "block 193.151.243 in Kyiv"
+        );
+    }
+
+    #[test]
+    fn target_set_contains_status_with_three_blocks() {
+        let world = tiny_world();
+        let outcome = classify_world(&world, &RegionalityConfig::default());
+        let targets = outcome.regions[&Oblast::Kherson].targets.build();
+        let status = targets.get(&Asn(25482)).expect("Status in target set");
+        assert_eq!(status.len(), 3, "only the Kherson-regional blocks");
+    }
+
+    #[test]
+    fn every_oblast_has_a_classification() {
+        let world = tiny_world();
+        let outcome = classify_world(&world, &RegionalityConfig::default());
+        for o in fbs_types::ALL_OBLASTS {
+            assert!(outcome.regions.contains_key(&o), "{o} missing");
+        }
+        assert!(!outcome.months.is_empty());
+    }
+
+    #[test]
+    fn helpers_filter_verdicts() {
+        let world = tiny_world();
+        let outcome = classify_world(&world, &RegionalityConfig::default());
+        let kherson = &outcome.regions[&Oblast::Kherson];
+        let regional = kherson.ases_with(Regionality::Regional);
+        assert!(regional.contains(&Asn(25482)));
+        let blocks = kherson.regional_blocks();
+        assert!(blocks.contains(&BlockId::from_octets(193, 151, 240)));
+    }
+}

@@ -1,0 +1,93 @@
+//! Campaign configuration.
+
+use fbs_regional::RegionalityConfig;
+use fbs_signals::{EligibilityConfig, EntityId, Thresholds};
+use fbs_trinocular::{IodaConfig, TrinocularConfig};
+use serde::{Deserialize, Serialize};
+
+/// Everything a campaign run can be tuned with; defaults follow the paper.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// AS-level detection thresholds (Table 2 row 1).
+    pub thresholds_as: Thresholds,
+    /// Regional detection thresholds (Table 2 row 2).
+    pub thresholds_region: Thresholds,
+    /// FBS eligibility and IPS gating.
+    pub eligibility: EligibilityConfig,
+    /// Regionality classifier parameters (M = T_perc = 0.7).
+    pub regionality: RegionalityConfig,
+    /// Trinocular baseline parameters.
+    pub trinocular: TrinocularConfig,
+    /// IODA emulation parameters.
+    pub ioda: IodaConfig,
+    /// Whether to run the Trinocular/IODA baseline at all (costs a second
+    /// pass worth of belief updates).
+    pub run_baseline: bool,
+    /// Entities whose full per-round signal series are retained for
+    /// fine-grained figures (Status and its blocks by default).
+    pub tracked: Vec<EntityId>,
+    /// ASes whose per-month RTT aggregates are retained (Fig. 12).
+    pub rtt_tracked: Vec<fbs_types::Asn>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        use fbs_types::{Asn, BlockId};
+        let status_blocks = (0u8..4).map(|i| {
+            EntityId::Block(BlockId::from_octets(193, 151, 240 + i))
+        });
+        let kherson_ases: Vec<Asn> = fbs_scenarios::KHERSON_ROSTER
+            .iter()
+            .map(|a| a.asn())
+            .collect();
+        let mut tracked: Vec<EntityId> = status_blocks.collect();
+        tracked.extend(kherson_ases.iter().map(|a| EntityId::As(*a)));
+        CampaignConfig {
+            thresholds_as: Thresholds::as_level(),
+            thresholds_region: Thresholds::regional(),
+            eligibility: EligibilityConfig::default(),
+            regionality: RegionalityConfig::default(),
+            trinocular: TrinocularConfig::default(),
+            ioda: IodaConfig::default(),
+            run_baseline: true,
+            tracked,
+            rtt_tracked: kherson_ases,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// A configuration without the Trinocular/IODA baseline pass.
+    pub fn without_baseline() -> Self {
+        CampaignConfig {
+            run_baseline: false,
+            ..CampaignConfig::default()
+        }
+    }
+
+    /// Validates every sub-configuration.
+    pub fn validate(&self) -> fbs_types::Result<()> {
+        self.thresholds_as.validate()?;
+        self.thresholds_region.validate()?;
+        self.regionality.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tracks_status_and_roster() {
+        let cfg = CampaignConfig::default();
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.tracked.len() >= 38); // 4 blocks + 34 ASes
+        assert!(cfg
+            .tracked
+            .contains(&EntityId::As(fbs_types::Asn(25482))));
+        assert!(cfg.rtt_tracked.contains(&fbs_types::Asn(49465)));
+        assert!(cfg.run_baseline);
+        assert!(!CampaignConfig::without_baseline().run_baseline);
+    }
+}

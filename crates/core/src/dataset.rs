@@ -1,0 +1,255 @@
+//! Dataset export.
+//!
+//! The paper shares **block-level availability data** with researchers and,
+//! on request, **anonymized IP-level responsiveness** (appendix A weighs
+//! exactly what may be released: block-level aggregates are safe, raw
+//! addresses are not). This module renders a [`CampaignReport`] into those
+//! two products plus the outage-event list, as CSV (line-oriented,
+//! greppable) and JSON.
+
+use crate::report::CampaignReport;
+use fbs_types::{Oblast, ALL_OBLASTS};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One row of the block-level availability product: an oblast-month
+/// aggregate over regional blocks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityRow {
+    /// Region name.
+    pub oblast: String,
+    /// Month (`YYYY-MM`).
+    pub month: String,
+    /// Regional blocks assigned that month.
+    pub regional_blocks: u32,
+    /// Blocks meeting the FBS eligibility.
+    pub fbs_eligible: u32,
+    /// Mean active blocks per measured round.
+    pub mean_active_blocks: f64,
+    /// Mean responsive addresses per measured round.
+    pub mean_responsive_ips: f64,
+}
+
+/// One row of the outage-event product. Addresses never appear; ASes are
+/// identified by number only (public information).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutageRow {
+    /// `AS<number>` — the affected AS.
+    pub entity: String,
+    /// Signal that fired (`BGP` / `FBS` / `IPS`).
+    pub signal: String,
+    /// Start of the outage (UTC).
+    pub start: String,
+    /// End of the outage (UTC, exclusive).
+    pub end: String,
+    /// Duration in hours.
+    pub hours: f64,
+    /// Deepest value-to-average ratio observed.
+    pub min_ratio: f64,
+}
+
+/// Builds the availability rows from a report.
+pub fn availability_rows(report: &CampaignReport) -> Vec<AvailabilityRow> {
+    let mut rows = Vec::new();
+    for o in ALL_OBLASTS {
+        for m in &report.months {
+            if let Some(v) = report.oblast_monthly.get(&(o, *m)) {
+                rows.push(AvailabilityRow {
+                    oblast: o.name().to_string(),
+                    month: m.to_string(),
+                    regional_blocks: v.regional_blocks,
+                    fbs_eligible: v.fbs_eligible,
+                    mean_active_blocks: v.mean_active_blocks(),
+                    mean_responsive_ips: v.mean_responsive(),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Builds the outage rows from a report (all AS-level events).
+pub fn outage_rows(report: &CampaignReport) -> Vec<OutageRow> {
+    let mut rows = Vec::new();
+    for (asn, events) in &report.as_events {
+        for e in events {
+            rows.push(OutageRow {
+                entity: asn.to_string(),
+                signal: match e.signal {
+                    fbs_signals::SignalKind::Bgp => "BGP",
+                    fbs_signals::SignalKind::Fbs => "FBS",
+                    fbs_signals::SignalKind::Ips => "IPS",
+                }
+                .to_string(),
+                start: e.start.start().to_string(),
+                end: fbs_types::Round(e.end.0).start().to_string(),
+                hours: e.hours(),
+                min_ratio: e.min_ratio,
+            });
+        }
+    }
+    rows.sort_by(|a, b| (&a.start, &a.entity).cmp(&(&b.start, &b.entity)));
+    rows
+}
+
+/// Renders availability rows as CSV.
+pub fn availability_csv(rows: &[AvailabilityRow]) -> String {
+    let mut out = String::from(
+        "oblast,month,regional_blocks,fbs_eligible,mean_active_blocks,mean_responsive_ips\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.2},{:.2}",
+            r.oblast, r.month, r.regional_blocks, r.fbs_eligible, r.mean_active_blocks,
+            r.mean_responsive_ips
+        );
+    }
+    out
+}
+
+/// Renders outage rows as CSV.
+pub fn outage_csv(rows: &[OutageRow]) -> String {
+    let mut out = String::from("entity,signal,start,end,hours,min_ratio\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.1},{:.3}",
+            r.entity, r.signal, r.start, r.end, r.hours, r.min_ratio
+        );
+    }
+    out
+}
+
+/// Writes the full dataset (availability + outages, CSV + JSON) into `dir`.
+pub fn export_all(report: &CampaignReport, dir: &std::path::Path) -> fbs_types::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let avail = availability_rows(report);
+    let outages = outage_rows(report);
+    std::fs::write(dir.join("block_availability.csv"), availability_csv(&avail))?;
+    std::fs::write(
+        dir.join("block_availability.json"),
+        serde_json::to_string_pretty(&avail).expect("rows serialize"),
+    )?;
+    std::fs::write(dir.join("outages.csv"), outage_csv(&outages))?;
+    std::fs::write(
+        dir.join("outages.json"),
+        serde_json::to_string_pretty(&outages).expect("rows serialize"),
+    )?;
+    Ok(())
+}
+
+/// Sanity check used by tests and the CLI: the dataset must not contain
+/// anything that looks like an IP address (the anonymization contract).
+pub fn contains_no_addresses(text: &str) -> bool {
+    // A dotted quad with all four octets present; block ids like
+    // "10.0.0.0/24" would match too, which is exactly the point — only
+    // aggregate identifiers (oblast, month, ASN) belong in the export.
+    !text.split(|c: char| !(c.is_ascii_digit() || c == '.')).any(|tok| {
+        let parts: Vec<&str> = tok.split('.').collect();
+        parts.len() == 4 && parts.iter().all(|p| !p.is_empty() && p.parse::<u8>().is_ok())
+    })
+}
+
+/// Per-oblast availability summary for one month (CLI display).
+pub fn month_summary(report: &CampaignReport, month: fbs_types::MonthId) -> Vec<(Oblast, f64)> {
+    ALL_OBLASTS
+        .iter()
+        .filter_map(|o| {
+            report
+                .oblast_monthly
+                .get(&(*o, month))
+                .map(|v| (*o, v.mean_responsive()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Campaign, CampaignConfig};
+    use fbs_netsim::WorldScale;
+    use std::sync::OnceLock;
+
+    fn report() -> &'static CampaignReport {
+        static R: OnceLock<CampaignReport> = OnceLock::new();
+        R.get_or_init(|| {
+            let world = fbs_scenarios::ukraine_with_rounds(WorldScale::Tiny, 13, 120 * 12)
+                .into_world()
+                .expect("valid scenario");
+            let mut cfg = CampaignConfig::without_baseline();
+            cfg.tracked.clear();
+            Campaign::new(world, cfg).run()
+        })
+    }
+
+    #[test]
+    fn availability_covers_every_oblast_month() {
+        let rows = availability_rows(report());
+        assert_eq!(rows.len(), 26 * report().months.len());
+        assert!(rows.iter().any(|r| r.mean_responsive_ips > 0.0));
+        // Kherson appears with its regional blocks.
+        assert!(rows
+            .iter()
+            .any(|r| r.oblast == "Kherson" && r.regional_blocks > 0));
+    }
+
+    #[test]
+    fn outage_rows_match_report() {
+        let rows = outage_rows(report());
+        assert_eq!(rows.len(), report().total_as_outages());
+        for w in rows.windows(2) {
+            assert!(w[0].start <= w[1].start, "rows must be time-sorted");
+        }
+        assert!(rows.iter().all(|r| r.hours > 0.0));
+    }
+
+    #[test]
+    fn csv_is_rectangular_and_address_free() {
+        let avail = availability_csv(&availability_rows(report()));
+        let cols = avail.lines().next().unwrap().split(',').count();
+        for line in avail.lines() {
+            assert_eq!(line.split(',').count(), cols);
+        }
+        assert!(contains_no_addresses(&avail));
+        let outages = outage_csv(&outage_rows(report()));
+        assert!(contains_no_addresses(&outages));
+    }
+
+    #[test]
+    fn address_detector_works() {
+        assert!(!contains_no_addresses("leaked 192.168.1.7 here"));
+        assert!(!contains_no_addresses("block 10.0.0.0/24"));
+        assert!(contains_no_addresses("AS25482,2022-03,oblast Kherson 12.5"));
+        assert!(contains_no_addresses("version 1.2.3 is fine"));
+    }
+
+    #[test]
+    fn export_writes_four_files() {
+        let dir = std::env::temp_dir().join(format!("fbs-dataset-{}", std::process::id()));
+        export_all(report(), &dir).expect("export succeeds");
+        for f in [
+            "block_availability.csv",
+            "block_availability.json",
+            "outages.csv",
+            "outages.json",
+        ] {
+            let path = dir.join(f);
+            assert!(path.exists(), "{f} missing");
+            assert!(std::fs::metadata(&path).unwrap().len() > 0);
+        }
+        // JSON round-trips.
+        let json = std::fs::read_to_string(dir.join("outages.json")).unwrap();
+        let back: Vec<OutageRow> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), report().total_as_outages());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn month_summary_lists_responsive_oblasts() {
+        let m = report().months[2];
+        let summary = month_summary(report(), m);
+        assert_eq!(summary.len(), 26);
+        assert!(summary.iter().any(|(_, v)| *v > 0.0));
+    }
+}

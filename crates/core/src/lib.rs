@@ -1,0 +1,43 @@
+//! Campaign orchestration: world → scan → signals → detection → reports.
+//!
+//! This crate is the public face of the reproduction. A [`Campaign`] takes
+//! a simulated [`fbs_netsim::World`] (usually built by `fbs-scenarios`) and
+//! replays the paper's entire measurement methodology against it:
+//!
+//! 1. monthly geolocation snapshots feed the **regional classifier**
+//!    ([`classify`]) exactly as IPinfo dumps feed §4 of the paper;
+//! 2. the per-round **signal pipeline** ([`pipeline`]) extracts `BGP ★`,
+//!    `FBS ■` and `IPS ▲` per AS and per region, runs the moving-average
+//!    detectors of `fbs-signals`, and simultaneously runs the Trinocular +
+//!    IODA baseline for comparison;
+//! 3. the assembled [`report::CampaignReport`] holds outage events,
+//!    tracked time series, responsiveness statistics and classification
+//!    tables — everything the bench binaries print as paper tables and
+//!    figures.
+//!
+//! ```no_run
+//! use fbs_core::{Campaign, CampaignConfig};
+//! use fbs_netsim::WorldScale;
+//!
+//! let scenario = fbs_scenarios::ukraine(WorldScale::Small, 42);
+//! let world = scenario.into_world().unwrap();
+//! let campaign = Campaign::new(world, CampaignConfig::default());
+//! let report = campaign.run();
+//! println!("{} AS outage events", report.total_as_outages());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod dataset;
+pub mod config;
+pub mod methods;
+pub mod pipeline;
+pub mod report;
+
+pub use classify::{ClassificationOutcome, RegionClassification};
+pub use config::CampaignConfig;
+pub use pipeline::Campaign;
+pub use report::{CampaignReport, EntitySeries, MonthlyRtt};
+pub use dataset::{availability_rows, export_all, outage_rows};

@@ -1,0 +1,611 @@
+//! The main campaign loop.
+
+use crate::classify::{classify_world, ClassificationOutcome};
+use crate::config::CampaignConfig;
+use crate::report::{CampaignReport, EntitySeries, MonthlyRtt, OblastMonth};
+use fbs_netsim::World;
+use fbs_regional::Regionality;
+use fbs_signals::{ips_signal_usable, Detector, EntityId, EntityRound};
+use fbs_trinocular::{assess_block, BlockBelief, IodaPlatform};
+use fbs_types::{Asn, MonthId, Oblast, Round};
+use std::collections::BTreeMap;
+
+/// A configured campaign over a simulated world.
+pub struct Campaign {
+    world: World,
+    config: CampaignConfig,
+}
+
+impl Campaign {
+    /// Creates a campaign. The configuration is validated eagerly.
+    pub fn new(world: World, config: CampaignConfig) -> Self {
+        config.validate().expect("valid campaign configuration");
+        Campaign { world, config }
+    }
+
+    /// The underlying world.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Runs classification, the signal pipeline, detection and (optionally)
+    /// the Trinocular/IODA baseline, producing the full report.
+    pub fn run(&self) -> CampaignReport {
+        let world = &self.world;
+        let cfg = &self.config;
+        let rounds = world.rounds();
+        let classification = classify_world(world, &cfg.regionality);
+
+        // --- Static block/AS indexes. ---
+        let blocks = world.blocks();
+        let n_blocks = blocks.len();
+        let as_list: Vec<Asn> = world.config().ases.iter().map(|a| a.asn).collect();
+        let as_pos: BTreeMap<Asn, usize> = as_list.iter().enumerate().map(|(i, a)| (*a, i)).collect();
+        let block_as: Vec<usize> = blocks.iter().map(|b| as_pos[&b.owner]).collect();
+        // Which oblast (if any) counts this block as regional.
+        let block_regional_oblast: Vec<Option<u8>> = blocks
+            .iter()
+            .map(|b| {
+                for o in fbs_types::ALL_OBLASTS {
+                    if let Some(rc) = classification.regions.get(&o) {
+                        if rc.blocks.get(&b.block).map(|(v, _)| *v) == Some(Regionality::Regional)
+                        {
+                            return Some(o.index() as u8);
+                        }
+                    }
+                }
+                None
+            })
+            .collect();
+
+        // Tracked entity lookup tables.
+        let mut tracked: BTreeMap<EntityId, EntitySeries> = BTreeMap::new();
+        let mut tracked_block: Vec<Option<EntityId>> = vec![None; n_blocks];
+        let mut tracked_as: Vec<Option<EntityId>> = vec![None; as_list.len()];
+        let mut block_detectors: BTreeMap<EntityId, Detector> = BTreeMap::new();
+        for entity in &cfg.tracked {
+            tracked.insert(*entity, EntitySeries::new(Round(0)));
+            match entity {
+                EntityId::Block(b) => {
+                    if let Some(bi) = world.block_index(*b) {
+                        tracked_block[bi] = Some(*entity);
+                        block_detectors
+                            .insert(*entity, Detector::new(*entity, cfg.thresholds_as));
+                    }
+                }
+                EntityId::As(a) => {
+                    if let Some(&ai) = as_pos.get(a) {
+                        tracked_as[ai] = Some(*entity);
+                    }
+                }
+                EntityId::Region(_) => {}
+            }
+        }
+        let rtt_tracked: Vec<Option<Asn>> = as_list
+            .iter()
+            .map(|a| cfg.rtt_tracked.contains(a).then_some(*a))
+            .collect();
+
+        // --- Detectors. ---
+        let mut as_detectors: Vec<Detector> = as_list
+            .iter()
+            .map(|a| Detector::new(EntityId::As(*a), cfg.thresholds_as))
+            .collect();
+        let mut region_detectors: Vec<Detector> = fbs_types::ALL_OBLASTS
+            .iter()
+            .map(|o| Detector::new(EntityId::Region(*o), cfg.thresholds_region))
+            .collect();
+
+        // --- Baseline (Trinocular + IODA). ---
+        let mut beliefs: Vec<BlockBelief> = vec![BlockBelief::new(); n_blocks];
+        let mut ioda = cfg.run_baseline.then(|| {
+            let mut platform = IodaPlatform::new(cfg.ioda);
+            for (ai, asn) in as_list.iter().enumerate() {
+                let total = blocks.iter().filter(|b| as_pos[&b.owner] == ai).count();
+                // IODA's any-presence oblast mapping.
+                let oblasts: Vec<Oblast> = fbs_types::ALL_OBLASTS
+                    .iter()
+                    .copied()
+                    .filter(|o| classification.as_histories.contains_key(&(*asn, *o)))
+                    .collect();
+                platform.register_as(*asn, total, oblasts);
+            }
+            platform
+        });
+
+        // --- Monthly state. ---
+        let months = classification.months.clone();
+        let mut current_month: Option<usize> = None;
+        let mut pool: Vec<u16> = vec![0; n_blocks];
+        let mut fbs_eligible: Vec<bool> = vec![false; n_blocks];
+        let mut trin_eligible: Vec<bool> = vec![false; n_blocks];
+        let mut trin_indet: Vec<bool> = vec![false; n_blocks];
+        let mut trin_avail: Vec<f64> = vec![0.0; n_blocks];
+        let mut ips_usable_as: Vec<bool> = vec![true; as_list.len()];
+        let mut as_fbs_count = vec![0u32; as_list.len()];
+        let mut as_trin_count = vec![0u32; as_list.len()];
+        let mut reg_fbs_count = [0u32; Oblast::COUNT];
+
+        // --- Report accumulators. ---
+        let mut oblast_monthly: BTreeMap<(Oblast, MonthId), OblastMonth> = BTreeMap::new();
+        let mut non_regional_monthly: BTreeMap<MonthId, OblastMonth> = BTreeMap::new();
+        let mut rtt_monthly: BTreeMap<(Asn, MonthId), MonthlyRtt> = BTreeMap::new();
+        let mut missing_rounds = Vec::new();
+
+        // Per-round scratch.
+        let mut as_ips = vec![0u64; as_list.len()];
+        let mut as_active = vec![0u32; as_list.len()];
+        let mut as_routed = vec![0u32; as_list.len()];
+        let mut as_trin_up = vec![0u32; as_list.len()];
+        let mut reg_ips = [0u64; Oblast::COUNT];
+        let mut reg_active = [0u32; Oblast::COUNT];
+        let mut reg_routed = [0u32; Oblast::COUNT];
+
+        for r in 0..rounds {
+            let round = Round(r);
+            let mi = world.month_index(round) as usize;
+            let month = months[mi];
+
+            // Month rollover: refresh pools, eligibility, gates.
+            if current_month != Some(mi) {
+                current_month = Some(mi);
+                let month_rounds = world.month_rounds(month);
+                let mid = Round((month_rounds.start + month_rounds.end) / 2);
+                for bi in 0..n_blocks {
+                    let ever = world.ever_active(month_rounds.clone(), bi);
+                    pool[bi] = ever;
+                    // Long-term availability: the best of a few sampled
+                    // rounds, so a blackout at the sampling instant does
+                    // not masquerade as the block's baseline.
+                    let availability = [mid.0, mid.0 + 7, mid.0.saturating_sub(9)]
+                        .iter()
+                        .map(|&r| world.trin_availability(Round(r.min(rounds - 1)), bi))
+                        .fold(0.0f64, f64::max);
+                    trin_avail[bi] = availability;
+                    fbs_eligible[bi] = ever as u32 >= cfg.eligibility.min_ever_active;
+                    trin_eligible[bi] = cfg.trinocular.eligible(ever as u32, availability);
+                    trin_indet[bi] =
+                        trin_eligible[bi] && cfg.trinocular.likely_indeterminate(availability);
+                }
+                as_fbs_count.fill(0);
+                as_trin_count.fill(0);
+                reg_fbs_count.fill(0);
+                for bi in 0..n_blocks {
+                    if fbs_eligible[bi] {
+                        as_fbs_count[block_as[bi]] += 1;
+                        if let Some(oi) = block_regional_oblast[bi] {
+                            reg_fbs_count[oi as usize] += 1;
+                        }
+                    }
+                    if trin_eligible[bi] {
+                        as_trin_count[block_as[bi]] += 1;
+                    }
+                }
+                // Expected mean responsive per AS for the IPS gate.
+                let mut as_expected = vec![0f64; as_list.len()];
+                for bi in 0..n_blocks {
+                    as_expected[block_as[bi]] +=
+                        pool[bi] as f64 * world.response_prob(mid, bi);
+                }
+                for (ai, exp) in as_expected.iter().enumerate() {
+                    ips_usable_as[ai] = ips_signal_usable(*exp, &cfg.eligibility);
+                }
+                // Monthly eligibility tallies per oblast + non-regional.
+                for bi in 0..n_blocks {
+                    let tally = match block_regional_oblast[bi] {
+                        Some(oi) => oblast_monthly
+                            .entry((Oblast::from_index(oi as usize).expect("valid"), month))
+                            .or_default(),
+                        None => non_regional_monthly.entry(month).or_default(),
+                    };
+                    tally.regional_blocks += 1;
+                    tally.regional_ips += pool[bi].max(world.blocks()[bi].geo_population.min(
+                        // approximate monthly DB population by decayed spec
+                        world.blocks()[bi].geo_population,
+                    )) as u64;
+                    if fbs_eligible[bi] {
+                        tally.fbs_eligible += 1;
+                    }
+                    if trin_eligible[bi] {
+                        tally.trin_eligible += 1;
+                    }
+                    if trin_indet[bi] {
+                        tally.trin_indeterminate += 1;
+                    }
+                }
+            }
+
+            if !world.vantage_online(round) {
+                missing_rounds.push(round);
+                for d in as_detectors.iter_mut() {
+                    d.observe(round, EntityRound::MISSING);
+                }
+                for d in region_detectors.iter_mut() {
+                    d.observe(round, EntityRound::MISSING);
+                }
+                for d in block_detectors.values_mut() {
+                    d.observe(round, EntityRound::MISSING);
+                }
+                for series in tracked.values_mut() {
+                    series.bgp.push(None);
+                    series.fbs.push(None);
+                    series.ips.push(None);
+                }
+                continue;
+            }
+
+            // --- The per-block sweep. ---
+            as_ips.fill(0);
+            as_active.fill(0);
+            as_routed.fill(0);
+            as_trin_up.fill(0);
+            reg_ips.fill(0);
+            reg_active.fill(0);
+            reg_routed.fill(0);
+
+            for bi in 0..n_blocks {
+                let truth = world.block_truth(round, bi);
+                let ai = block_as[bi];
+                if truth.routed {
+                    as_routed[ai] += 1;
+                }
+                as_ips[ai] += truth.responsive as u64;
+                let active = truth.responsive > 0;
+                if active && fbs_eligible[bi] {
+                    as_active[ai] += 1;
+                }
+                if let Some(oi) = block_regional_oblast[bi] {
+                    let oi = oi as usize;
+                    if truth.routed {
+                        reg_routed[oi] += 1;
+                    }
+                    reg_ips[oi] += truth.responsive as u64;
+                    if active && fbs_eligible[bi] {
+                        reg_active[oi] += 1;
+                    }
+                }
+                // Tracked block series + detector.
+                if let Some(entity) = tracked_block[bi] {
+                    let input = EntityRound {
+                        bgp: Some(if truth.routed { 1.0 } else { 0.0 }),
+                        fbs: Some(if active && fbs_eligible[bi] { 1.0 } else { 0.0 }),
+                        ips: Some(truth.responsive as f64),
+                    };
+                    if let Some(series) = tracked.get_mut(&entity) {
+                        series.bgp.push(input.bgp);
+                        series.fbs.push(input.fbs);
+                        series.ips.push(input.ips);
+                    }
+                    if let Some(d) = block_detectors.get_mut(&entity) {
+                        d.observe(round, input);
+                    }
+                }
+                // RTT aggregation for tracked ASes.
+                if active {
+                    if let Some(asn) = rtt_tracked[ai] {
+                        let agg = rtt_monthly.entry((asn, month)).or_default();
+                        agg.sum_ns += truth.rtt_ns;
+                        agg.count += 1;
+                    }
+                }
+                // Trinocular belief update.
+                if ioda.is_some() {
+                    if trin_eligible[bi] {
+                        // Believed long-term A vs instantaneous reply rate:
+                        // during a real dip the probes go silent while the
+                        // belief still expects replies — evidence of Down.
+                        let p = trin_avail[bi];
+                        // Trinocular probes a fixed panel of ever-active
+                        // addresses; under dynamic addressing the panel is
+                        // often stale, so the instantaneous reply rate sits
+                        // well below the believed long-term A — the source
+                        // of the signal's flapping (paper Fig. 27).
+                        let stale = 0.2 + 0.8 * world.rng().uniform3(r as u64, bi as u64, 777);
+                        let p_probe = world.trin_availability(round, bi) * stale;
+                        let outcome = assess_block(
+                            beliefs[bi],
+                            p,
+                            &cfg.trinocular,
+                            |probe| {
+                                truth.routed
+                                    && world.rng().chance3(
+                                        p_probe,
+                                        r as u64,
+                                        bi as u64,
+                                        5000 + probe as u64,
+                                    )
+                            },
+                        );
+                        beliefs[bi] = outcome.belief;
+                        if outcome.state == fbs_trinocular::BlockState::Up {
+                            as_trin_up[ai] += 1;
+                        }
+                    }
+                }
+            }
+
+            // --- Feed detectors. ---
+            for (ai, d) in as_detectors.iter_mut().enumerate() {
+                // FBS enters detection as the share of *eligible* blocks
+                // answering; eligibility churn at month boundaries then
+                // cancels out instead of stepping the signal.
+                let fbs_share = (as_fbs_count[ai] > 0)
+                    .then(|| as_active[ai] as f64 / as_fbs_count[ai] as f64);
+                let input = EntityRound {
+                    bgp: Some(as_routed[ai] as f64),
+                    fbs: fbs_share,
+                    ips: ips_usable_as[ai].then_some(as_ips[ai] as f64),
+                };
+                d.observe(round, input);
+                if let Some(entity) = tracked_as[ai] {
+                    if let Some(series) = tracked.get_mut(&entity) {
+                        series.bgp.push(input.bgp);
+                        series.fbs.push(Some(as_active[ai] as f64));
+                        series.ips.push(input.ips);
+                    }
+                }
+                if let Some(platform) = ioda.as_mut() {
+                    let trin_share = (as_trin_count[ai] > 0)
+                        .then(|| as_trin_up[ai] as f64 / as_trin_count[ai] as f64);
+                    platform.observe(
+                        round,
+                        as_list[ai],
+                        Some(as_routed[ai] as f64),
+                        trin_share,
+                    );
+                }
+            }
+            for (oi, d) in region_detectors.iter_mut().enumerate() {
+                let fbs_share = (reg_fbs_count[oi] > 0)
+                    .then(|| reg_active[oi] as f64 / reg_fbs_count[oi] as f64);
+                d.observe(
+                    round,
+                    EntityRound {
+                        bgp: Some(reg_routed[oi] as f64),
+                        fbs: fbs_share,
+                        ips: Some(reg_ips[oi] as f64),
+                    },
+                );
+            }
+
+            // --- Monthly responsiveness tallies. ---
+            for oi in 0..Oblast::COUNT {
+                let o = Oblast::from_index(oi).expect("valid index");
+                let tally = oblast_monthly.entry((o, month)).or_default();
+                tally.responsive_sum += reg_ips[oi];
+                tally.active_block_sum += reg_active[oi] as u64;
+                tally.measured_rounds += 1;
+            }
+        }
+
+        // --- Collect events. ---
+        let end = Round(rounds);
+        let mut as_events = BTreeMap::new();
+        for (ai, d) in as_detectors.into_iter().enumerate() {
+            as_events.insert(as_list[ai], d.finish(end));
+        }
+        let mut region_events = BTreeMap::new();
+        for (oi, d) in region_detectors.into_iter().enumerate() {
+            region_events.insert(
+                Oblast::from_index(oi).expect("valid index"),
+                d.finish(end),
+            );
+        }
+        let mut block_events = BTreeMap::new();
+        for (entity, d) in block_detectors {
+            if let EntityId::Block(b) = entity {
+                block_events.insert(b, d.finish(end));
+            }
+        }
+        let as_sizes: BTreeMap<Asn, usize> = {
+            let mut m: BTreeMap<Asn, usize> = BTreeMap::new();
+            for b in blocks {
+                *m.entry(b.owner).or_insert(0) += 1;
+            }
+            m
+        };
+
+        CampaignReport {
+            rounds,
+            months,
+            as_events,
+            region_events,
+            block_events,
+            ioda: ioda.map(|p| p.finish(end)),
+            classification,
+            tracked,
+            rtt_monthly,
+            oblast_monthly,
+            non_regional_monthly,
+            as_sizes,
+            missing_rounds,
+        }
+    }
+
+    /// Convenience: run classification only (cheaper than a full run).
+    pub fn classify_only(&self) -> ClassificationOutcome {
+        classify_world(&self.world, &self.config.regionality)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbs_netsim::WorldScale;
+    use fbs_signals::SignalKind;
+    use fbs_types::BlockId;
+
+    /// Shared tiny campaign over ~10 months (enough for the 2022 events);
+    /// computed once, shared by every test in this module.
+    fn run_tiny() -> &'static CampaignReport {
+        use std::sync::OnceLock;
+        static REPORT: OnceLock<CampaignReport> = OnceLock::new();
+        REPORT.get_or_init(|| {
+            let scenario = fbs_scenarios::ukraine_with_rounds(WorldScale::Tiny, 21, 310 * 12);
+            let world = scenario.into_world().unwrap();
+            Campaign::new(world, CampaignConfig::default()).run()
+        })
+    }
+
+    #[test]
+    fn campaign_detects_cable_cut_for_status() {
+        let report = run_tiny();
+        let status = &report.as_events[&fbs_types::Asn(25482)];
+        assert!(!status.is_empty(), "Status must have outage events");
+        // The April 30 cable cut: round ≈ (58 days + 2h) — find a BGP event
+        // overlapping April 30 – May 3, 2022.
+        let cut_start = fbs_types::CivilDate::new(2022, 4, 30).midnight();
+        let cut_round = Round::containing(cut_start).unwrap();
+        let hit = status.iter().any(|e| {
+            e.signal == SignalKind::Bgp
+                && e.start.0 <= cut_round.0 + 6
+                && e.end.0 >= cut_round.0
+        });
+        assert!(hit, "cable-cut BGP outage not detected: {status:?}");
+    }
+
+    #[test]
+    fn seizure_shows_as_ips_only_dip() {
+        let report = run_tiny();
+        let status = &report.as_events[&fbs_types::Asn(25482)];
+        let seizure = fbs_types::CivilDate::new(2022, 5, 13).at(6, 0);
+        let seizure_round = Round::containing(seizure).unwrap();
+        let ips_hit = status.iter().any(|e| {
+            e.signal == SignalKind::Ips && e.contains(seizure_round.next())
+        });
+        assert!(ips_hit, "seizure IPS dip not detected: {status:?}");
+        // No BGP outage at that moment.
+        let bgp_hit = status
+            .iter()
+            .any(|e| e.signal == SignalKind::Bgp && e.contains(seizure_round.next()));
+        assert!(!bgp_hit, "seizure must not look like a BGP outage");
+    }
+
+    #[test]
+    fn status_blocks_tracked_with_liberation_outage() {
+        let report = run_tiny();
+        let kherson_block = BlockId::from_octets(193, 151, 240);
+        let kyiv_block = BlockId::from_octets(193, 151, 243);
+        // The Kherson block goes silent on Nov 11 for ten days.
+        let nov12 = Round::containing(fbs_types::CivilDate::new(2022, 11, 12).midnight()).unwrap();
+        let series = report
+            .series(EntityId::Block(kherson_block))
+            .expect("tracked");
+        assert_eq!(series.ips.at(nov12), Some(0.0));
+        let kyiv_series = report.series(EntityId::Block(kyiv_block)).expect("tracked");
+        assert!(kyiv_series.ips.at(nov12).unwrap() > 0.0, "Kyiv block stays up");
+        // Before the outage, the Kherson block answered.
+        let oct1 = Round::containing(fbs_types::CivilDate::new(2022, 10, 1).midnight()).unwrap();
+        assert!(series.ips.at(oct1).unwrap() > 0.0);
+        // And the block detector recorded an event containing Nov 12.
+        let events = &report.block_events[&kherson_block];
+        assert!(events.iter().any(|e| e.contains(nov12)), "{events:?}");
+    }
+
+    #[test]
+    fn missing_rounds_match_vantage_windows() {
+        let report = run_tiny();
+        assert!(!report.missing_rounds.is_empty());
+        // March 6-7 2022 window.
+        let in_window =
+            Round::containing(fbs_types::CivilDate::new(2022, 3, 6).at(12, 0)).unwrap();
+        assert!(report.missing_rounds.contains(&in_window));
+        // Tracked series hold None there.
+        let series = report
+            .series(EntityId::As(fbs_types::Asn(25482)))
+            .expect("tracked");
+        assert_eq!(series.ips.at(in_window), None);
+    }
+
+    #[test]
+    fn rtt_rises_during_occupation_for_rerouted_as() {
+        let report = run_tiny();
+        let asn = fbs_types::Asn(25482);
+        let before = report.rtt_monthly[&(asn, MonthId::new(2022, 4))].mean_ms().unwrap();
+        let during = report.rtt_monthly[&(asn, MonthId::new(2022, 8))].mean_ms().unwrap();
+        let after = report.rtt_monthly[&(asn, MonthId::new(2022, 12))].mean_ms().unwrap();
+        assert!(during > before + 40.0, "during {during} before {before}");
+        assert!(after < during - 40.0, "after {after} during {during}");
+    }
+
+    #[test]
+    fn ioda_report_present_and_smaller_for_small_ases() {
+        let report = run_tiny();
+        let ioda = report.ioda.as_ref().expect("baseline ran");
+        // Small Kherson regional ASes (< 20 /24s) are suppressed by IODA.
+        assert!(!ioda.as_events.contains_key(&fbs_types::Asn(25482)));
+        assert!(ioda.suppressed_ases > 0);
+        // Our system reports more ASes with outages than IODA.
+        assert!(report.ases_with_outages() > ioda.ases_with_outages);
+    }
+
+    #[test]
+    fn oblast_stats_populated() {
+        let report = run_tiny();
+        let kherson_march = report
+            .oblast_monthly
+            .get(&(Oblast::Kherson, MonthId::new(2022, 3)))
+            .expect("stats exist");
+        assert!(kherson_march.regional_blocks > 0);
+        assert!(kherson_march.mean_responsive() > 0.0);
+        assert!(kherson_march.fbs_eligible > 0);
+        // FBS keeps at least as many blocks eligible as Trinocular.
+        assert!(kherson_march.fbs_eligible >= kherson_march.trin_eligible);
+    }
+
+    #[test]
+    fn events_are_sorted_disjoint_and_bounded() {
+        let report = run_tiny();
+        for (asn, events) in &report.as_events {
+            // Per (entity, signal): sorted by start, non-overlapping, and
+            // inside the campaign window.
+            for kind in fbs_signals::SignalKind::ALL {
+                let of_kind: Vec<_> =
+                    events.iter().filter(|e| e.signal == kind).collect();
+                for w in of_kind.windows(2) {
+                    assert!(
+                        w[0].end <= w[1].start,
+                        "{asn} {kind:?} events overlap: {:?} then {:?}",
+                        w[0],
+                        w[1]
+                    );
+                }
+                for e in of_kind {
+                    assert!(e.start < e.end, "empty event {e:?}");
+                    assert!(e.end.0 <= report.rounds, "event past campaign end");
+                    assert!(e.min_ratio.is_finite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tracked_series_cover_every_round() {
+        let report = run_tiny();
+        for (entity, series) in &report.tracked {
+            assert_eq!(
+                series.ips.len() as u32,
+                report.rounds,
+                "{entity} series length"
+            );
+            assert_eq!(series.bgp.len(), series.fbs.len());
+        }
+    }
+
+    #[test]
+    fn frontline_regions_have_more_outage_events() {
+        let report = run_tiny();
+        let hours = |o: Oblast| fbs_signals::outage_hours(report.region_events_of(o));
+        let kherson = hours(Oblast::Kherson);
+        let lviv = hours(Oblast::Lviv);
+        assert!(
+            kherson > lviv,
+            "kherson {kherson}h should exceed lviv {lviv}h"
+        );
+    }
+}

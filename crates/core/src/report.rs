@@ -1,0 +1,165 @@
+//! The assembled output of a campaign run.
+
+use crate::classify::ClassificationOutcome;
+use fbs_signals::{EntityId, OutageEvent, SignalSeries};
+use fbs_trinocular::ioda::IodaReport;
+use fbs_types::{Asn, BlockId, MonthId, Oblast, Round};
+use std::collections::BTreeMap;
+
+/// Full per-round signal series of one tracked entity.
+#[derive(Debug, Clone)]
+pub struct EntitySeries {
+    /// Routed /24 blocks (or 0/1 for a block entity).
+    pub bgp: SignalSeries,
+    /// Active eligible blocks (or 0/1).
+    pub fbs: SignalSeries,
+    /// Responsive addresses.
+    pub ips: SignalSeries,
+}
+
+impl EntitySeries {
+    pub(crate) fn new(start: Round) -> Self {
+        EntitySeries {
+            bgp: SignalSeries::new(start),
+            fbs: SignalSeries::new(start),
+            ips: SignalSeries::new(start),
+        }
+    }
+}
+
+/// Monthly RTT aggregate of one AS.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MonthlyRtt {
+    /// Sum of block-level mean RTTs observed, nanoseconds.
+    pub sum_ns: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl MonthlyRtt {
+    /// Mean RTT in milliseconds, `None` when no observations.
+    pub fn mean_ms(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum_ns as f64 / self.count as f64 / 1e6)
+        }
+    }
+}
+
+/// Per-oblast, per-month aggregates over the oblast's *regional* blocks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OblastMonth {
+    /// Sum over measured rounds of responsive addresses.
+    pub responsive_sum: u64,
+    /// Measured rounds this month.
+    pub measured_rounds: u32,
+    /// Sum over measured rounds of active eligible blocks.
+    pub active_block_sum: u64,
+    /// Regional blocks assigned to this oblast.
+    pub regional_blocks: u32,
+    /// Regional geolocated addresses (monthly snapshot).
+    pub regional_ips: u64,
+    /// Blocks meeting the FBS eligibility (E(b) ≥ 3).
+    pub fbs_eligible: u32,
+    /// Blocks meeting Trinocular eligibility (E(b) ≥ 15 ∧ A > 0.1).
+    pub trin_eligible: u32,
+    /// Trinocular-eligible blocks with likely-indeterminate belief (A < 0.3).
+    pub trin_indeterminate: u32,
+}
+
+impl OblastMonth {
+    /// Mean responsive addresses per measured round.
+    pub fn mean_responsive(&self) -> f64 {
+        if self.measured_rounds == 0 {
+            0.0
+        } else {
+            self.responsive_sum as f64 / self.measured_rounds as f64
+        }
+    }
+
+    /// Mean active blocks per measured round.
+    pub fn mean_active_blocks(&self) -> f64 {
+        if self.measured_rounds == 0 {
+            0.0
+        } else {
+            self.active_block_sum as f64 / self.measured_rounds as f64
+        }
+    }
+}
+
+/// Everything a campaign run produces.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Rounds simulated.
+    pub rounds: u32,
+    /// Months covered.
+    pub months: Vec<MonthId>,
+    /// Outage events per AS (all blocks of the AS).
+    pub as_events: BTreeMap<Asn, Vec<OutageEvent>>,
+    /// Outage events per oblast (regional blocks only).
+    pub region_events: BTreeMap<Oblast, Vec<OutageEvent>>,
+    /// Outage events of individually tracked blocks.
+    pub block_events: BTreeMap<BlockId, Vec<OutageEvent>>,
+    /// The IODA baseline's report, when the baseline ran.
+    pub ioda: Option<IodaReport>,
+    /// Regional classification detail.
+    pub classification: ClassificationOutcome,
+    /// Full signal series of tracked entities.
+    pub tracked: BTreeMap<EntityId, EntitySeries>,
+    /// Monthly RTT aggregates of tracked ASes.
+    pub rtt_monthly: BTreeMap<(Asn, MonthId), MonthlyRtt>,
+    /// Per-oblast monthly aggregates.
+    pub oblast_monthly: BTreeMap<(Oblast, MonthId), OblastMonth>,
+    /// Same eligibility tallies over blocks *not* regional anywhere.
+    pub non_regional_monthly: BTreeMap<MonthId, OblastMonth>,
+    /// AS sizes in /24 blocks (for coverage CDFs).
+    pub as_sizes: BTreeMap<Asn, usize>,
+    /// Rounds with no measurement (vantage offline).
+    pub missing_rounds: Vec<Round>,
+}
+
+impl CampaignReport {
+    /// Total AS-level outage events.
+    pub fn total_as_outages(&self) -> usize {
+        self.as_events.values().map(|v| v.len()).sum()
+    }
+
+    /// ASes with at least one detected outage.
+    pub fn ases_with_outages(&self) -> usize {
+        self.as_events.values().filter(|v| !v.is_empty()).count()
+    }
+
+    /// All AS events flattened.
+    pub fn all_as_events(&self) -> Vec<OutageEvent> {
+        self.as_events.values().flatten().copied().collect()
+    }
+
+    /// Events of one oblast (empty slice when none).
+    pub fn region_events_of(&self, oblast: Oblast) -> &[OutageEvent] {
+        self.region_events
+            .get(&oblast)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Mean responsive addresses across an oblast's regional blocks over a
+    /// calendar year.
+    pub fn yearly_mean_responsive(&self, oblast: Oblast, year: i32) -> f64 {
+        let months: Vec<&OblastMonth> = self
+            .oblast_monthly
+            .iter()
+            .filter(|((o, m), _)| *o == oblast && m.year() == year)
+            .map(|(_, v)| v)
+            .collect();
+        if months.is_empty() {
+            return 0.0;
+        }
+        months.iter().map(|m| m.mean_responsive()).sum::<f64>() / months.len() as f64
+    }
+
+    /// The tracked series of an entity, if tracked.
+    pub fn series(&self, entity: EntityId) -> Option<&EntitySeries> {
+        self.tracked.get(&entity)
+    }
+}

@@ -1,0 +1,219 @@
+//! Whole delegation files: header, summaries, records.
+//!
+//! The exchange format starts with a version line
+//! (`2|ripencc|serial|records|startdate|enddate|UTC`), then per-family
+//! summary lines (`ripencc|*|ipv4|*|count|summary`), then one record per
+//! line. Comments start with `#`.
+
+use crate::record::{AddrFamily, DelegationRecord};
+use fbs_types::{CivilDate, FbsError, Prefix, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A parsed delegation file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DelegationFile {
+    /// Registry that produced the file.
+    pub registry: String,
+    /// File serial (conventionally the YYYYMMDD date).
+    pub serial: String,
+    /// Snapshot date encoded in the serial, when parseable.
+    pub date: Option<CivilDate>,
+    /// All data records, in file order.
+    pub records: Vec<DelegationRecord>,
+}
+
+impl DelegationFile {
+    /// Creates a file for a registry and date with the given records.
+    pub fn new(registry: &str, date: CivilDate, records: Vec<DelegationRecord>) -> Self {
+        DelegationFile {
+            registry: registry.to_string(),
+            serial: format!("{:04}{:02}{:02}", date.year, date.month, date.day),
+            date: Some(date),
+            records,
+        }
+    }
+
+    /// Records for a country and family.
+    pub fn records_for<'a>(
+        &'a self,
+        cc: &'a str,
+        family: AddrFamily,
+    ) -> impl Iterator<Item = &'a DelegationRecord> {
+        let cc = cc.as_bytes();
+        self.records
+            .iter()
+            .filter(move |r| r.family == family && r.cc.eq_ignore_ascii_case(cc))
+    }
+
+    /// All delegated (allocated or assigned) IPv4 prefixes of a country —
+    /// the scan target derivation of §3.2.
+    pub fn delegated_prefixes(&self, cc: &str) -> Vec<Prefix> {
+        self.records_for(cc, AddrFamily::Ipv4)
+            .filter(|r| r.status.is_delegated())
+            .flat_map(|r| r.prefixes())
+            .collect()
+    }
+
+    /// Total delegated IPv4 addresses for a country.
+    pub fn delegated_addresses(&self, cc: &str) -> u64 {
+        self.records_for(cc, AddrFamily::Ipv4)
+            .filter(|r| r.status.is_delegated())
+            .map(|r| r.value)
+            .sum()
+    }
+}
+
+/// Parses a full delegation file.
+///
+/// Header and summary lines are validated loosely (their counts are
+/// informational); data lines strictly.
+pub fn parse_file(text: &str) -> Result<DelegationFile> {
+    let mut registry = String::new();
+    let mut serial = String::new();
+    let mut date = None;
+    let mut records = Vec::new();
+    let mut saw_header = false;
+
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('|').collect();
+        // Version/header line: starts with a format version number.
+        if !saw_header && fields.len() >= 4 && fields[0].chars().all(|c| c.is_ascii_digit()) {
+            saw_header = true;
+            registry = fields[1].to_string();
+            serial = fields[2].to_string();
+            if serial.len() == 8 {
+                let y: i32 = serial[0..4].parse().unwrap_or(0);
+                let m: u8 = serial[4..6].parse().unwrap_or(0);
+                let d: u8 = serial[6..8].parse().unwrap_or(0);
+                if (1..=12).contains(&m) && d >= 1 {
+                    date = Some(CivilDate::new(y, m, d));
+                }
+            }
+            continue;
+        }
+        // Summary line: `<registry>|*|<type>|*|<count>|summary`.
+        if fields.len() >= 6 && fields[5] == "summary" {
+            continue;
+        }
+        records.push(DelegationRecord::parse_line(line)?);
+    }
+    if !saw_header {
+        return Err(FbsError::parse("missing header line", text.lines().next().unwrap_or("")));
+    }
+    Ok(DelegationFile {
+        registry,
+        serial,
+        date,
+        records,
+    })
+}
+
+/// Serializes a file back to the exchange format.
+pub fn serialize_file(file: &DelegationFile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "2|{}|{}|{}|19920101|{}|+0000",
+        file.registry,
+        file.serial,
+        file.records.len(),
+        file.serial
+    );
+    // Summaries per family, as real files carry.
+    for (family, name) in [
+        (AddrFamily::Asn, "asn"),
+        (AddrFamily::Ipv4, "ipv4"),
+        (AddrFamily::Ipv6, "ipv6"),
+    ] {
+        let count = file.records.iter().filter(|r| r.family == family).count();
+        let _ = writeln!(out, "{}|*|{}|*|{}|summary", file.registry, name, count);
+    }
+    for r in &file.records {
+        let _ = writeln!(out, "{r}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::DelegationStatus;
+    use std::net::Ipv4Addr;
+
+    fn sample_text() -> String {
+        "\
+# RIPE NCC delegation file
+2|ripencc|20211214|4|19920101|20211214|+0000
+ripencc|*|ipv4|*|2|summary
+ripencc|*|asn|*|1|summary
+ripencc|UA|ipv4|91.237.4.0|512|20120601|allocated
+ripencc|UA|ipv4|193.151.240.0|1024|20080101|assigned
+ripencc|RU|ipv4|5.8.0.0|2048|20120601|allocated
+ripencc|UA|asn|25482|1|20020101|assigned
+"
+        .to_string()
+    }
+
+    #[test]
+    fn parse_full_file() {
+        let f = parse_file(&sample_text()).unwrap();
+        assert_eq!(f.registry, "ripencc");
+        assert_eq!(f.serial, "20211214");
+        assert_eq!(f.date, Some(CivilDate::new(2021, 12, 14)));
+        assert_eq!(f.records.len(), 4);
+    }
+
+    #[test]
+    fn country_filters() {
+        let f = parse_file(&sample_text()).unwrap();
+        assert_eq!(f.records_for("UA", AddrFamily::Ipv4).count(), 2);
+        assert_eq!(f.records_for("ua", AddrFamily::Ipv4).count(), 2);
+        assert_eq!(f.records_for("RU", AddrFamily::Ipv4).count(), 1);
+        assert_eq!(f.delegated_addresses("UA"), 1536);
+    }
+
+    #[test]
+    fn target_prefix_derivation() {
+        let f = parse_file(&sample_text()).unwrap();
+        let prefixes = f.delegated_prefixes("UA");
+        assert_eq!(
+            prefixes,
+            vec![
+                "91.237.4.0/23".parse().unwrap(),
+                "193.151.240.0/22".parse().unwrap()
+            ]
+        );
+    }
+
+    #[test]
+    fn reserved_ranges_excluded_from_targets() {
+        let mut f = parse_file(&sample_text()).unwrap();
+        f.records.push(DelegationRecord::ipv4(
+            "UA",
+            Ipv4Addr::new(10, 0, 0, 0),
+            256,
+            CivilDate::new(2021, 1, 1),
+            DelegationStatus::Reserved,
+        ));
+        assert_eq!(f.delegated_prefixes("UA").len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_through_serialization() {
+        let f = parse_file(&sample_text()).unwrap();
+        let text = serialize_file(&f);
+        let g = parse_file(&text).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let text = "ripencc|UA|ipv4|91.237.4.0|512|20120601|allocated\n";
+        assert!(parse_file(text).is_err());
+    }
+}

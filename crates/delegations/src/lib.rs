@@ -1,0 +1,23 @@
+//! RIR delegation files (RIPE statistics exchange format).
+//!
+//! The paper's target set is every IPv4 range delegated to Ukraine (`UA`)
+//! in the RIPE NCC delegation file of 2021-12-14 — 10.5M addresses — kept
+//! fixed for the whole campaign (§3.2). Appendix B then tracks how those
+//! delegations evolved: 12% changed country code (a third to Russia), the
+//! total shrank by 7%, and only 198 new prefixes appeared.
+//!
+//! This crate implements the *RIR statistics exchange format* used by all
+//! five registries (`registry|cc|type|start|value|date|status`), conversion
+//! of address-count ranges to CIDR prefixes, and snapshot comparison for
+//! the churn statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod file;
+pub mod record;
+
+pub use churn::{compare, DelegationChurn};
+pub use file::{parse_file, serialize_file, DelegationFile};
+pub use record::{AddrFamily, DelegationRecord, DelegationStatus};

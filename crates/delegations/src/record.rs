@@ -1,0 +1,325 @@
+//! A single delegation record.
+
+use fbs_types::{CivilDate, FbsError, Prefix, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Address family of a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AddrFamily {
+    /// `ipv4` records: `value` counts addresses.
+    Ipv4,
+    /// `ipv6` records: `value` is the prefix length.
+    Ipv6,
+    /// `asn` records: `value` counts AS numbers.
+    Asn,
+}
+
+impl AddrFamily {
+    fn as_str(self) -> &'static str {
+        match self {
+            AddrFamily::Ipv4 => "ipv4",
+            AddrFamily::Ipv6 => "ipv6",
+            AddrFamily::Asn => "asn",
+        }
+    }
+}
+
+/// Delegation status in the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DelegationStatus {
+    /// Allocated to an LIR.
+    Allocated,
+    /// Assigned to an end user.
+    Assigned,
+    /// Reserved by the registry.
+    Reserved,
+    /// Available for allocation.
+    Available,
+}
+
+impl DelegationStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            DelegationStatus::Allocated => "allocated",
+            DelegationStatus::Assigned => "assigned",
+            DelegationStatus::Reserved => "reserved",
+            DelegationStatus::Available => "available",
+        }
+    }
+
+    /// Whether the range is in use (the paper's target criterion).
+    pub fn is_delegated(self) -> bool {
+        matches!(self, DelegationStatus::Allocated | DelegationStatus::Assigned)
+    }
+}
+
+/// One line of a delegation file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DelegationRecord {
+    /// Registry name (e.g. `ripencc`).
+    pub registry: String,
+    /// ISO country code, upper case (`UA`, `RU`, …).
+    pub cc: [u8; 2],
+    /// Address family.
+    pub family: AddrFamily,
+    /// Range start: an address for ipv4/ipv6, a number for asn.
+    pub start: String,
+    /// `value` field: address count (ipv4), prefix length (ipv6), count (asn).
+    pub value: u64,
+    /// Delegation date.
+    pub date: CivilDate,
+    /// Status.
+    pub status: DelegationStatus,
+}
+
+impl DelegationRecord {
+    /// Builds an IPv4 record.
+    pub fn ipv4(
+        cc: &str,
+        start: Ipv4Addr,
+        count: u64,
+        date: CivilDate,
+        status: DelegationStatus,
+    ) -> Self {
+        let b = cc.as_bytes();
+        assert!(b.len() == 2, "country code must be two letters");
+        DelegationRecord {
+            registry: "ripencc".to_string(),
+            cc: [b[0].to_ascii_uppercase(), b[1].to_ascii_uppercase()],
+            family: AddrFamily::Ipv4,
+            start: start.to_string(),
+            value: count,
+            date,
+            status,
+        }
+    }
+
+    /// The country code as a string.
+    pub fn cc_str(&self) -> String {
+        String::from_utf8_lossy(&self.cc).into_owned()
+    }
+
+    /// Decomposes an IPv4 range of `value` addresses starting at `start`
+    /// into minimal CIDR prefixes (ranges need not be CIDR-aligned).
+    ///
+    /// Returns an empty vector for non-IPv4 records.
+    pub fn prefixes(&self) -> Vec<Prefix> {
+        if self.family != AddrFamily::Ipv4 {
+            return Vec::new();
+        }
+        let Ok(start) = self.start.parse::<Ipv4Addr>() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut addr = u32::from(start) as u64;
+        let mut remaining = self.value;
+        while remaining > 0 {
+            // Largest power of two that is both aligned at `addr` and fits.
+            let align = if addr == 0 { 32 } else { (addr & addr.wrapping_neg()).trailing_zeros() };
+            let fit = 63 - remaining.leading_zeros();
+            let bits = align.min(fit).min(32);
+            let size = 1u64 << bits;
+            out.push(Prefix::new(Ipv4Addr::from(addr as u32), (32 - bits) as u8));
+            addr += size;
+            remaining -= size;
+            if addr > u32::MAX as u64 {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Parses one data line of the exchange format.
+    pub fn parse_line(line: &str) -> Result<Self> {
+        let fields: Vec<&str> = line.split('|').collect();
+        if fields.len() < 7 {
+            return Err(FbsError::parse("expected at least 7 fields", line));
+        }
+        let cc_raw = fields[1].as_bytes();
+        if cc_raw.len() != 2 {
+            return Err(FbsError::parse("country code must be 2 letters", line));
+        }
+        let family = match fields[2] {
+            "ipv4" => AddrFamily::Ipv4,
+            "ipv6" => AddrFamily::Ipv6,
+            "asn" => AddrFamily::Asn,
+            _ => return Err(FbsError::parse("unknown address family", line)),
+        };
+        let value: u64 = fields[4]
+            .parse()
+            .map_err(|_| FbsError::parse("bad value field", line))?;
+        let date = parse_yyyymmdd(fields[5]).ok_or_else(|| FbsError::parse("bad date", line))?;
+        let status = match fields[6] {
+            "allocated" => DelegationStatus::Allocated,
+            "assigned" => DelegationStatus::Assigned,
+            "reserved" => DelegationStatus::Reserved,
+            "available" => DelegationStatus::Available,
+            _ => return Err(FbsError::parse("unknown status", line)),
+        };
+        Ok(DelegationRecord {
+            registry: fields[0].to_string(),
+            cc: [cc_raw[0].to_ascii_uppercase(), cc_raw[1].to_ascii_uppercase()],
+            family,
+            start: fields[3].to_string(),
+            value,
+            date,
+            status,
+        })
+    }
+}
+
+impl fmt::Display for DelegationRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}|{}|{}|{}|{}|{:04}{:02}{:02}|{}",
+            self.registry,
+            self.cc_str(),
+            self.family.as_str(),
+            self.start,
+            self.value,
+            self.date.year,
+            self.date.month,
+            self.date.day,
+            self.status.as_str()
+        )
+    }
+}
+
+fn parse_yyyymmdd(s: &str) -> Option<CivilDate> {
+    if s.len() != 8 || !s.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let year: i32 = s[0..4].parse().ok()?;
+    let month: u8 = s[4..6].parse().ok()?;
+    let day: u8 = s[6..8].parse().ok()?;
+    if !(1..=12).contains(&month) {
+        return None;
+    }
+    let probe = CivilDate {
+        year,
+        month,
+        day: 1,
+    };
+    if day < 1 || day > probe.days_in_month() {
+        return None;
+    }
+    Some(CivilDate { year, month, day })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let line = "ripencc|UA|ipv4|91.237.4.0|512|20120601|allocated";
+        let rec = DelegationRecord::parse_line(line).unwrap();
+        assert_eq!(rec.cc_str(), "UA");
+        assert_eq!(rec.family, AddrFamily::Ipv4);
+        assert_eq!(rec.value, 512);
+        assert_eq!(rec.date, CivilDate::new(2012, 6, 1));
+        assert_eq!(rec.status, DelegationStatus::Allocated);
+        assert_eq!(rec.to_string(), line);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(DelegationRecord::parse_line("too|few|fields").is_err());
+        assert!(
+            DelegationRecord::parse_line("ripencc|UKR|ipv4|1.0.0.0|256|20120601|allocated")
+                .is_err()
+        );
+        assert!(
+            DelegationRecord::parse_line("ripencc|UA|ipvX|1.0.0.0|256|20120601|allocated")
+                .is_err()
+        );
+        assert!(
+            DelegationRecord::parse_line("ripencc|UA|ipv4|1.0.0.0|abc|20120601|allocated")
+                .is_err()
+        );
+        assert!(
+            DelegationRecord::parse_line("ripencc|UA|ipv4|1.0.0.0|256|2012|allocated").is_err()
+        );
+        assert!(
+            DelegationRecord::parse_line("ripencc|UA|ipv4|1.0.0.0|256|20121301|allocated")
+                .is_err()
+        );
+        assert!(
+            DelegationRecord::parse_line("ripencc|UA|ipv4|1.0.0.0|256|20120601|stolen").is_err()
+        );
+    }
+
+    #[test]
+    fn aligned_range_is_single_prefix() {
+        let rec = DelegationRecord::ipv4(
+            "UA",
+            Ipv4Addr::new(91, 237, 4, 0),
+            512,
+            CivilDate::new(2012, 6, 1),
+            DelegationStatus::Allocated,
+        );
+        let p = rec.prefixes();
+        assert_eq!(p, vec!["91.237.4.0/23".parse().unwrap()]);
+    }
+
+    #[test]
+    fn unaligned_range_decomposes_minimally() {
+        // 768 addresses starting at a /23 boundary: /23 + /24.
+        let rec = DelegationRecord::ipv4(
+            "UA",
+            Ipv4Addr::new(10, 0, 2, 0),
+            768,
+            CivilDate::new(2020, 1, 1),
+            DelegationStatus::Assigned,
+        );
+        let p = rec.prefixes();
+        assert_eq!(
+            p,
+            vec![
+                "10.0.2.0/23".parse().unwrap(),
+                "10.0.4.0/24".parse().unwrap()
+            ]
+        );
+        // Total covered addresses match the record value.
+        let total: u64 = p.iter().map(|p| p.num_addresses()).sum();
+        assert_eq!(total, 768);
+    }
+
+    #[test]
+    fn odd_start_alignment() {
+        // Start at x.x.1.0 with 512 addresses: cannot form a /23, needs two /24s.
+        let rec = DelegationRecord::ipv4(
+            "UA",
+            Ipv4Addr::new(10, 0, 1, 0),
+            512,
+            CivilDate::new(2020, 1, 1),
+            DelegationStatus::Allocated,
+        );
+        let p = rec.prefixes();
+        assert_eq!(
+            p,
+            vec![
+                "10.0.1.0/24".parse().unwrap(),
+                "10.0.2.0/24".parse().unwrap()
+            ]
+        );
+    }
+
+    #[test]
+    fn non_ipv4_records_have_no_prefixes() {
+        let line = "ripencc|UA|asn|25482|1|20020101|assigned";
+        let rec = DelegationRecord::parse_line(line).unwrap();
+        assert!(rec.prefixes().is_empty());
+    }
+
+    #[test]
+    fn status_delegated_predicate() {
+        assert!(DelegationStatus::Allocated.is_delegated());
+        assert!(DelegationStatus::Assigned.is_delegated());
+        assert!(!DelegationStatus::Reserved.is_delegated());
+        assert!(!DelegationStatus::Available.is_delegated());
+    }
+}

@@ -1,0 +1,295 @@
+//! Address churn between two geolocation snapshots.
+//!
+//! §4.1 of the paper compares the 2022-02-01 and 2025-02-01 databases:
+//! 3.7M addresses changed location, frontline oblasts lost up to 67% of
+//! their addresses, 1.5M addresses were geolocated abroad (a third of them
+//! now announced by Amazon). [`ChurnReport`] reproduces those aggregates
+//! from any pair of snapshots; [`RegionTotals`] is the lighter per-oblast
+//! total used for the appendix maps (Figs. 19, 20), which also cover
+//! addresses outside the measurement target set and IPv6 counts that have
+//! no per-/24 representation.
+
+use crate::snapshot::{GeoRegion, GeoSnapshot};
+use fbs_types::{Asn, MonthId, Oblast};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-oblast address totals at one instant (any protocol).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionTotals {
+    /// Month the totals describe.
+    pub month: MonthId,
+    /// Addresses per oblast, indexed by [`Oblast::index`].
+    pub counts: [u64; Oblast::COUNT],
+}
+
+impl RegionTotals {
+    /// Relative change per oblast versus a baseline, in percent.
+    ///
+    /// Oblasts empty in the baseline report `None` (no meaningful ratio).
+    pub fn relative_change(&self, baseline: &RegionTotals) -> [Option<f64>; Oblast::COUNT] {
+        let mut out = [None; Oblast::COUNT];
+        for i in 0..Oblast::COUNT {
+            let before = baseline.counts[i];
+            if before > 0 {
+                out[i] = Some((self.counts[i] as f64 - before as f64) / before as f64 * 100.0);
+            }
+        }
+        out
+    }
+}
+
+/// Flows of addresses between two snapshots.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ChurnReport {
+    /// Addresses that stayed in their original oblast.
+    pub stayed: u64,
+    /// Addresses that moved between Ukrainian oblasts.
+    pub moved_within_ua: u64,
+    /// Addresses now geolocated abroad, by country code.
+    pub moved_abroad: BTreeMap<String, u64>,
+    /// Addresses moved abroad, by the AS now announcing them.
+    pub moved_abroad_by_asn: BTreeMap<Asn, u64>,
+    /// Addresses that vanished from the database entirely.
+    pub disappeared: u64,
+    /// Addresses that appeared only in the later snapshot.
+    pub appeared: u64,
+    /// Per-oblast totals before.
+    pub before: [u64; Oblast::COUNT],
+    /// Per-oblast totals after.
+    pub after: [u64; Oblast::COUNT],
+}
+
+impl ChurnReport {
+    /// Total addresses that changed location (within UA + abroad).
+    pub fn total_moved(&self) -> u64 {
+        self.moved_within_ua + self.total_abroad()
+    }
+
+    /// Addresses now abroad.
+    pub fn total_abroad(&self) -> u64 {
+        self.moved_abroad.values().sum()
+    }
+
+    /// Relative per-oblast change in percent (`None` for empty baselines).
+    pub fn relative_change(&self) -> [Option<f64>; Oblast::COUNT] {
+        let mut out = [None; Oblast::COUNT];
+        for i in 0..Oblast::COUNT {
+            if self.before[i] > 0 {
+                out[i] = Some(
+                    (self.after[i] as f64 - self.before[i] as f64) / self.before[i] as f64 * 100.0,
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Compares two snapshots block by block.
+///
+/// Address-level identity inside a block is not tracked (the database is
+/// per-block); movements are computed from count deltas per region, the
+/// standard approach when an exact address-level join is unavailable. For
+/// each block: the per-region minimum of (before, after) counts *stays*;
+/// lost counts are matched against gains, first within Ukraine, then
+/// abroad.
+pub fn compare(before: &GeoSnapshot, after: &GeoSnapshot) -> ChurnReport {
+    let mut report = ChurnReport {
+        before: before.oblast_totals(),
+        after: after.oblast_totals(),
+        ..ChurnReport::default()
+    };
+
+    // Union of blocks appearing in either snapshot.
+    let mut blocks: Vec<_> = before.iter().map(|b| b.block).collect();
+    blocks.extend(after.iter().map(|b| b.block));
+    blocks.sort_unstable();
+    blocks.dedup();
+
+    for block in blocks {
+        let b = before.get(block);
+        let a = after.get(block);
+        match (b, a) {
+            (None, None) => unreachable!("block from union"),
+            (Some(b), None) => report.disappeared += b.total() as u64,
+            (None, Some(a)) => report.appeared += a.total() as u64,
+            (Some(b), Some(a)) => {
+                let mut lost_ua: u64 = 0;
+                let mut gained_ua: u64 = 0;
+                // Stays: per-region min.
+                let mut regions: Vec<GeoRegion> = b.counts.iter().map(|(r, _)| *r).collect();
+                regions.extend(a.counts.iter().map(|(r, _)| *r));
+                regions.sort();
+                regions.dedup();
+                let mut gained_foreign: Vec<(GeoRegion, u64)> = Vec::new();
+                for r in regions {
+                    let cb = b.count_in(r) as u64;
+                    let ca = a.count_in(r) as u64;
+                    report.stayed += cb.min(ca) * matches!(r, GeoRegion::Ua(_)) as u64;
+                    if matches!(r, GeoRegion::Ua(_)) {
+                        if ca > cb {
+                            gained_ua += ca - cb;
+                        } else {
+                            lost_ua += cb - ca;
+                        }
+                    } else if ca > cb {
+                        gained_foreign.push((r, ca - cb));
+                    }
+                }
+                // Losses inside Ukraine are matched first to Ukrainian
+                // gains (moved within UA), then to foreign gains.
+                let within = lost_ua.min(gained_ua);
+                report.moved_within_ua += within;
+                let mut remaining_lost = lost_ua - within;
+                for (r, g) in gained_foreign {
+                    let take = remaining_lost.min(g);
+                    if take > 0 {
+                        if let GeoRegion::Foreign(code) = r {
+                            *report
+                                .moved_abroad
+                                .entry(String::from_utf8_lossy(&code).into_owned())
+                                .or_insert(0) += take;
+                            if let Some(asn) = a.asn {
+                                *report.moved_abroad_by_asn.entry(asn).or_insert(0) += take;
+                            }
+                        }
+                        remaining_lost -= take;
+                    }
+                }
+                report.disappeared += remaining_lost;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radius::RadiusKm;
+    use crate::snapshot::BlockGeo;
+    use fbs_types::BlockId;
+
+    fn geo(block: BlockId, asn: u32, counts: Vec<(GeoRegion, u16)>) -> BlockGeo {
+        BlockGeo {
+            block,
+            asn: Some(Asn(asn)),
+            counts,
+            radius: RadiusKm::R100,
+        }
+    }
+
+    fn snap(month: MonthId, recs: Vec<BlockGeo>) -> GeoSnapshot {
+        GeoSnapshot::from_records(month, recs)
+    }
+
+    #[test]
+    fn stationary_block_counts_as_stayed() {
+        let b = BlockId::from_octets(10, 0, 0);
+        let before = snap(
+            MonthId::new(2022, 2),
+            vec![geo(b, 1, vec![(GeoRegion::Ua(Oblast::Kherson), 200)])],
+        );
+        let after = snap(
+            MonthId::new(2025, 2),
+            vec![geo(b, 1, vec![(GeoRegion::Ua(Oblast::Kherson), 200)])],
+        );
+        let r = compare(&before, &after);
+        assert_eq!(r.stayed, 200);
+        assert_eq!(r.total_moved(), 0);
+        assert_eq!(r.disappeared, 0);
+    }
+
+    #[test]
+    fn movement_within_ukraine() {
+        let b = BlockId::from_octets(10, 0, 0);
+        let before = snap(
+            MonthId::new(2022, 2),
+            vec![geo(b, 1, vec![(GeoRegion::Ua(Oblast::Kherson), 200)])],
+        );
+        let after = snap(
+            MonthId::new(2025, 2),
+            vec![geo(
+                b,
+                1,
+                vec![
+                    (GeoRegion::Ua(Oblast::Kherson), 50),
+                    (GeoRegion::Ua(Oblast::Kyiv), 150),
+                ],
+            )],
+        );
+        let r = compare(&before, &after);
+        assert_eq!(r.stayed, 50);
+        assert_eq!(r.moved_within_ua, 150);
+        assert_eq!(r.total_abroad(), 0);
+    }
+
+    #[test]
+    fn movement_abroad_tracks_country_and_asn() {
+        let b = BlockId::from_octets(10, 0, 0);
+        let amazon = 16509;
+        let before = snap(
+            MonthId::new(2022, 2),
+            vec![geo(b, 25229, vec![(GeoRegion::Ua(Oblast::Kherson), 200)])],
+        );
+        let after = snap(
+            MonthId::new(2025, 2),
+            vec![geo(b, amazon, vec![(GeoRegion::foreign("US"), 180)])],
+        );
+        let r = compare(&before, &after);
+        assert_eq!(r.moved_abroad.get("US"), Some(&180));
+        assert_eq!(r.moved_abroad_by_asn.get(&Asn(amazon)), Some(&180));
+        // 20 addresses simply vanished.
+        assert_eq!(r.disappeared, 20);
+    }
+
+    #[test]
+    fn appeared_and_disappeared_blocks() {
+        let b1 = BlockId::from_octets(10, 0, 0);
+        let b2 = BlockId::from_octets(10, 0, 1);
+        let before = snap(
+            MonthId::new(2022, 2),
+            vec![geo(b1, 1, vec![(GeoRegion::Ua(Oblast::Sumy), 100)])],
+        );
+        let after = snap(
+            MonthId::new(2025, 2),
+            vec![geo(b2, 1, vec![(GeoRegion::Ua(Oblast::Sumy), 60)])],
+        );
+        let r = compare(&before, &after);
+        assert_eq!(r.disappeared, 100);
+        assert_eq!(r.appeared, 60);
+    }
+
+    #[test]
+    fn relative_change_per_oblast() {
+        let b = BlockId::from_octets(10, 0, 0);
+        let before = snap(
+            MonthId::new(2022, 2),
+            vec![geo(b, 1, vec![(GeoRegion::Ua(Oblast::Luhansk), 100)])],
+        );
+        let after = snap(
+            MonthId::new(2025, 2),
+            vec![geo(b, 1, vec![(GeoRegion::Ua(Oblast::Luhansk), 33)])],
+        );
+        let r = compare(&before, &after);
+        let change = r.relative_change();
+        assert!((change[Oblast::Luhansk.index()].unwrap() + 67.0).abs() < 1e-9);
+        assert_eq!(change[Oblast::Kyiv.index()], None);
+    }
+
+    #[test]
+    fn region_totals_relative_change() {
+        let mut a = RegionTotals {
+            month: MonthId::new(2022, 2),
+            counts: [0; Oblast::COUNT],
+        };
+        let mut b = RegionTotals {
+            month: MonthId::new(2025, 2),
+            counts: [0; Oblast::COUNT],
+        };
+        a.counts[Oblast::Chernihiv.index()] = 100;
+        b.counts[Oblast::Chernihiv.index()] = 124;
+        let change = b.relative_change(&a);
+        assert!((change[Oblast::Chernihiv.index()].unwrap() - 24.0).abs() < 1e-9);
+    }
+}

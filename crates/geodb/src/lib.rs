@@ -1,0 +1,29 @@
+//! IPinfo-style monthly geolocation snapshots.
+//!
+//! The paper buys the full IPinfo database on the first day of every month
+//! and uses *long-term trends* — not single lookups — to decide where a /24
+//! block or an AS really operates (§3.2, §4). This crate models that data
+//! source:
+//!
+//! * [`snapshot`] — one month's view: for every /24 block, how many of its
+//!   addresses geolocate to which region (a Ukrainian oblast or a foreign
+//!   country), plus the block's radius-of-confidence metric;
+//! * [`radius`] — IPinfo's quantized accuracy-radius scale and medians;
+//! * [`churn`] — comparisons between two snapshots: per-oblast relative
+//!   address change (paper Figs. 1, 19, 20), flows between regions, and
+//!   reassignment abroad (the Volia → Amazon case).
+//!
+//! Snapshots are intentionally cheap to build and drop: the regional
+//! classifier (`fbs-regional`) consumes monthly share aggregates and never
+//! needs all 36 months resident at once.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod radius;
+pub mod snapshot;
+
+pub use churn::{ChurnReport, RegionTotals};
+pub use radius::RadiusKm;
+pub use snapshot::{BlockGeo, GeoRegion, GeoSnapshot};

@@ -1,0 +1,130 @@
+//! IPinfo's accuracy-radius metric.
+//!
+//! IPinfo publishes a per-IP *radius* — the distance within which the true
+//! location is believed to lie — on a quantized scale from 5 km to 5,000 km
+//! with increasing step widths. The paper uses the metric two ways: the
+//! country-wide median rose from 100 km (2022) to 500 km after the invasion
+//! (§4.1), and blocks classified *regional* show markedly better precision
+//! than non-regional ones (50→200 km vs. a stable 500 km, §4.3).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Quantized accuracy radius in kilometers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u16)]
+#[allow(missing_docs)]
+pub enum RadiusKm {
+    R5 = 5,
+    R10 = 10,
+    R20 = 20,
+    R50 = 50,
+    R100 = 100,
+    R200 = 200,
+    R500 = 500,
+    R1000 = 1000,
+    R5000 = 5000,
+}
+
+/// The scale in ascending order.
+pub const RADIUS_SCALE: [RadiusKm; 9] = [
+    RadiusKm::R5,
+    RadiusKm::R10,
+    RadiusKm::R20,
+    RadiusKm::R50,
+    RadiusKm::R100,
+    RadiusKm::R200,
+    RadiusKm::R500,
+    RadiusKm::R1000,
+    RadiusKm::R5000,
+];
+
+impl RadiusKm {
+    /// Kilometre value.
+    pub fn km(self) -> u16 {
+        self as u16
+    }
+
+    /// Quantizes an arbitrary distance up to the next scale step.
+    pub fn quantize(km: f64) -> RadiusKm {
+        for r in RADIUS_SCALE {
+            if km <= r.km() as f64 {
+                return r;
+            }
+        }
+        RadiusKm::R5000
+    }
+
+    /// The next-coarser step (saturating at 5,000 km).
+    pub fn coarser(self) -> RadiusKm {
+        let idx = RADIUS_SCALE.iter().position(|r| *r == self).expect("in scale");
+        RADIUS_SCALE[(idx + 1).min(RADIUS_SCALE.len() - 1)]
+    }
+
+    /// The next-finer step (saturating at 5 km).
+    pub fn finer(self) -> RadiusKm {
+        let idx = RADIUS_SCALE.iter().position(|r| *r == self).expect("in scale");
+        RADIUS_SCALE[idx.saturating_sub(1)]
+    }
+}
+
+impl fmt::Display for RadiusKm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}km", self.km())
+    }
+}
+
+/// Median of a slice of radii (`None` when empty). Sorts a copy.
+pub fn median(radii: &[RadiusKm]) -> Option<RadiusKm> {
+    if radii.is_empty() {
+        return None;
+    }
+    let mut v = radii.to_vec();
+    v.sort();
+    Some(v[v.len() / 2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_rounds_up() {
+        assert_eq!(RadiusKm::quantize(0.0), RadiusKm::R5);
+        assert_eq!(RadiusKm::quantize(5.0), RadiusKm::R5);
+        assert_eq!(RadiusKm::quantize(5.1), RadiusKm::R10);
+        assert_eq!(RadiusKm::quantize(350.0), RadiusKm::R500);
+        assert_eq!(RadiusKm::quantize(99999.0), RadiusKm::R5000);
+    }
+
+    #[test]
+    fn scale_is_ascending() {
+        for w in RADIUS_SCALE.windows(2) {
+            assert!(w[0] < w[1]);
+            assert!(w[0].km() < w[1].km());
+        }
+    }
+
+    #[test]
+    fn coarser_finer_saturate() {
+        assert_eq!(RadiusKm::R5.finer(), RadiusKm::R5);
+        assert_eq!(RadiusKm::R5000.coarser(), RadiusKm::R5000);
+        assert_eq!(RadiusKm::R100.coarser(), RadiusKm::R200);
+        assert_eq!(RadiusKm::R100.finer(), RadiusKm::R50);
+    }
+
+    #[test]
+    fn median_behaviour() {
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[RadiusKm::R50]), Some(RadiusKm::R50));
+        assert_eq!(
+            median(&[RadiusKm::R5000, RadiusKm::R50, RadiusKm::R100]),
+            Some(RadiusKm::R100)
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(RadiusKm::R500.to_string(), "500km");
+    }
+}

@@ -1,0 +1,307 @@
+//! One month's geolocation database.
+
+use crate::radius::RadiusKm;
+use fbs_types::{Asn, BlockId, MonthId, Oblast};
+use serde::{Deserialize, Serialize};
+
+/// Where a group of addresses geolocates: a Ukrainian oblast or a foreign
+/// country (ISO 3166-1 alpha-2 code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum GeoRegion {
+    /// Inside Ukraine, in the given oblast.
+    Ua(Oblast),
+    /// Outside Ukraine; the two-letter country code.
+    Foreign([u8; 2]),
+}
+
+impl GeoRegion {
+    /// Builds a foreign region from a two-letter code like `"US"`.
+    pub fn foreign(code: &str) -> Self {
+        let b = code.as_bytes();
+        assert!(b.len() == 2, "country code must be two letters");
+        GeoRegion::Foreign([b[0].to_ascii_uppercase(), b[1].to_ascii_uppercase()])
+    }
+
+    /// The oblast, when inside Ukraine.
+    pub fn oblast(self) -> Option<Oblast> {
+        match self {
+            GeoRegion::Ua(o) => Some(o),
+            GeoRegion::Foreign(_) => None,
+        }
+    }
+
+    /// Human-readable label (`"Kherson"` / `"US"`).
+    pub fn label(self) -> String {
+        match self {
+            GeoRegion::Ua(o) => o.name().to_string(),
+            GeoRegion::Foreign(c) => String::from_utf8_lossy(&c).into_owned(),
+        }
+    }
+}
+
+/// Geolocation of one /24 block in one month.
+///
+/// `counts` is sparse: most blocks geolocate to one or two regions. Counts
+/// sum to at most 256 (addresses without a geolocation entry simply do not
+/// appear).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockGeo {
+    /// The block.
+    pub block: BlockId,
+    /// Originating AS this month (from BGP), if routed.
+    pub asn: Option<Asn>,
+    /// Addresses per region; entries are unique by region and nonzero.
+    pub counts: Vec<(GeoRegion, u16)>,
+    /// IPinfo accuracy-radius of the block's addresses (median).
+    pub radius: RadiusKm,
+}
+
+impl BlockGeo {
+    /// Total geolocated addresses (≤ 256).
+    pub fn total(&self) -> u32 {
+        self.counts.iter().map(|(_, c)| *c as u32).sum()
+    }
+
+    /// Addresses geolocated to `region`.
+    pub fn count_in(&self, region: GeoRegion) -> u32 {
+        self.counts
+            .iter()
+            .find(|(r, _)| *r == region)
+            .map(|(_, c)| *c as u32)
+            .unwrap_or(0)
+    }
+
+    /// Share of the block's *possible* addresses (N = 256) in `oblast` —
+    /// the `s_t(e)` of the paper's regionality definition for blocks.
+    pub fn share_in_oblast(&self, oblast: Oblast) -> f64 {
+        self.count_in(GeoRegion::Ua(oblast)) as f64 / BlockId::SIZE as f64
+    }
+
+    /// The region holding the most addresses, with its count.
+    pub fn dominant(&self) -> Option<(GeoRegion, u32)> {
+        self.counts
+            .iter()
+            .max_by_key(|(_, c)| *c)
+            .map(|(r, c)| (*r, *c as u32))
+    }
+
+    /// Share of geolocated addresses pointing at the dominant region
+    /// (paper Fig. 21). `None` when nothing geolocates.
+    pub fn dominant_share(&self) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        self.dominant().map(|(_, c)| c as f64 / total as f64)
+    }
+
+    /// Number of distinct regions with at least one address.
+    pub fn num_regions(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// The geolocation database snapshot of one month.
+///
+/// Blocks are stored sorted for binary-search lookup; construction via
+/// [`GeoSnapshot::from_records`] enforces uniqueness.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeoSnapshot {
+    /// Month this snapshot was taken (first day of month, per the paper).
+    pub month: MonthId,
+    blocks: Vec<BlockGeo>,
+}
+
+impl GeoSnapshot {
+    /// Builds a snapshot from per-block records (sorted and checked).
+    ///
+    /// Duplicate blocks are a generator bug and panic.
+    pub fn from_records(month: MonthId, mut blocks: Vec<BlockGeo>) -> Self {
+        blocks.sort_by_key(|b| b.block);
+        for w in blocks.windows(2) {
+            assert!(w[0].block != w[1].block, "duplicate block {}", w[0].block);
+        }
+        GeoSnapshot { month, blocks }
+    }
+
+    /// Number of blocks with any geolocation data.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Record for `block`, if present.
+    pub fn get(&self, block: BlockId) -> Option<&BlockGeo> {
+        self.blocks
+            .binary_search_by_key(&block, |b| b.block)
+            .ok()
+            .map(|i| &self.blocks[i])
+    }
+
+    /// Iterates all block records in address order.
+    pub fn iter(&self) -> impl Iterator<Item = &BlockGeo> {
+        self.blocks.iter()
+    }
+
+    /// Total addresses geolocated to `region`.
+    pub fn addresses_in(&self, region: GeoRegion) -> u64 {
+        self.blocks.iter().map(|b| b.count_in(region) as u64).sum()
+    }
+
+    /// Total addresses geolocated anywhere inside Ukraine.
+    pub fn addresses_in_ukraine(&self) -> u64 {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.counts.iter())
+            .filter(|(r, _)| matches!(r, GeoRegion::Ua(_)))
+            .map(|(_, c)| *c as u64)
+            .sum()
+    }
+
+    /// Per-oblast address totals (the input to churn maps).
+    pub fn oblast_totals(&self) -> [u64; Oblast::COUNT] {
+        let mut out = [0u64; Oblast::COUNT];
+        for b in &self.blocks {
+            for (r, c) in &b.counts {
+                if let GeoRegion::Ua(o) = r {
+                    out[o.index()] += *c as u64;
+                }
+            }
+        }
+        out
+    }
+
+    /// Blocks whose dominant region is the given oblast.
+    pub fn blocks_dominant_in(&self, oblast: Oblast) -> impl Iterator<Item = &BlockGeo> {
+        self.blocks.iter().filter(move |b| {
+            b.dominant()
+                .map(|(r, _)| r == GeoRegion::Ua(oblast))
+                .unwrap_or(false)
+        })
+    }
+
+    /// Median accuracy radius over a filtered set of blocks.
+    ///
+    /// `None` if no block matches the filter.
+    pub fn median_radius<F: Fn(&BlockGeo) -> bool>(&self, filter: F) -> Option<RadiusKm> {
+        let mut radii: Vec<RadiusKm> = self
+            .blocks
+            .iter()
+            .filter(|b| filter(b))
+            .map(|b| b.radius)
+            .collect();
+        if radii.is_empty() {
+            return None;
+        }
+        radii.sort();
+        Some(radii[radii.len() / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(a: u8, b: u8, c: u8, counts: Vec<(GeoRegion, u16)>) -> BlockGeo {
+        BlockGeo {
+            block: BlockId::from_octets(a, b, c),
+            asn: Some(Asn(25482)),
+            counts,
+            radius: RadiusKm::R50,
+        }
+    }
+
+    fn sample() -> GeoSnapshot {
+        GeoSnapshot::from_records(
+            MonthId::new(2022, 3),
+            vec![
+                rec(10, 0, 0, vec![(GeoRegion::Ua(Oblast::Kherson), 200)]),
+                rec(
+                    10, 0, 1,
+                    vec![
+                        (GeoRegion::Ua(Oblast::Kherson), 100),
+                        (GeoRegion::Ua(Oblast::Kyiv), 40),
+                        (GeoRegion::foreign("US"), 10),
+                    ],
+                ),
+                rec(10, 0, 2, vec![(GeoRegion::foreign("US"), 250)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn lookup_and_counts() {
+        let s = sample();
+        assert_eq!(s.num_blocks(), 3);
+        let b = s.get(BlockId::from_octets(10, 0, 1)).unwrap();
+        assert_eq!(b.total(), 150);
+        assert_eq!(b.count_in(GeoRegion::Ua(Oblast::Kherson)), 100);
+        assert_eq!(b.count_in(GeoRegion::Ua(Oblast::Lviv)), 0);
+        assert!(s.get(BlockId::from_octets(99, 0, 0)).is_none());
+    }
+
+    #[test]
+    fn shares_use_block_capacity() {
+        let s = sample();
+        let b = s.get(BlockId::from_octets(10, 0, 0)).unwrap();
+        assert!((b.share_in_oblast(Oblast::Kherson) - 200.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominant_region_and_share() {
+        let s = sample();
+        let b = s.get(BlockId::from_octets(10, 0, 1)).unwrap();
+        let (r, c) = b.dominant().unwrap();
+        assert_eq!(r, GeoRegion::Ua(Oblast::Kherson));
+        assert_eq!(c, 100);
+        assert!((b.dominant_share().unwrap() - 100.0 / 150.0).abs() < 1e-12);
+        assert_eq!(b.num_regions(), 3);
+    }
+
+    #[test]
+    fn totals_per_region() {
+        let s = sample();
+        assert_eq!(s.addresses_in(GeoRegion::Ua(Oblast::Kherson)), 300);
+        assert_eq!(s.addresses_in(GeoRegion::foreign("US")), 260);
+        assert_eq!(s.addresses_in_ukraine(), 340);
+        let totals = s.oblast_totals();
+        assert_eq!(totals[Oblast::Kherson.index()], 300);
+        assert_eq!(totals[Oblast::Kyiv.index()], 40);
+        assert_eq!(totals[Oblast::Lviv.index()], 0);
+    }
+
+    #[test]
+    fn dominant_filter() {
+        let s = sample();
+        let kherson: Vec<_> = s.blocks_dominant_in(Oblast::Kherson).collect();
+        assert_eq!(kherson.len(), 2);
+        assert_eq!(s.blocks_dominant_in(Oblast::Kyiv).count(), 0);
+    }
+
+    #[test]
+    fn median_radius_filtered() {
+        let s = sample();
+        assert_eq!(s.median_radius(|_| true), Some(RadiusKm::R50));
+        assert_eq!(s.median_radius(|_| false), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate block")]
+    fn duplicate_blocks_panic() {
+        GeoSnapshot::from_records(
+            MonthId::new(2022, 3),
+            vec![
+                rec(10, 0, 0, vec![(GeoRegion::Ua(Oblast::Kyiv), 1)]),
+                rec(10, 0, 0, vec![(GeoRegion::Ua(Oblast::Kyiv), 2)]),
+            ],
+        );
+    }
+
+    #[test]
+    fn foreign_code_normalized() {
+        assert_eq!(GeoRegion::foreign("us"), GeoRegion::foreign("US"));
+        assert_eq!(GeoRegion::foreign("US").label(), "US");
+        assert_eq!(GeoRegion::Ua(Oblast::Kherson).label(), "Kherson");
+        assert_eq!(GeoRegion::Ua(Oblast::Kherson).oblast(), Some(Oblast::Kherson));
+        assert_eq!(GeoRegion::foreign("US").oblast(), None);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for geolocation snapshots and churn accounting.
+
+use fbs_geodb::churn::compare;
+use fbs_geodb::{BlockGeo, GeoRegion, GeoSnapshot, RadiusKm};
+use fbs_types::{Asn, BlockId, MonthId, Oblast};
+use proptest::prelude::*;
+
+fn arb_region() -> impl Strategy<Value = GeoRegion> {
+    prop_oneof![
+        (0usize..26).prop_map(|i| GeoRegion::Ua(Oblast::from_index(i).expect("valid"))),
+        Just(GeoRegion::foreign("US")),
+        Just(GeoRegion::foreign("RU")),
+    ]
+}
+
+fn arb_block_geo(c: u8) -> impl Strategy<Value = BlockGeo> {
+    proptest::collection::btree_map(arb_region(), 1u16..120, 1..4).prop_map(move |counts| {
+        BlockGeo {
+            block: BlockId::from_octets(10, 0, c),
+            asn: Some(Asn(1)),
+            counts: counts.into_iter().collect(),
+            radius: RadiusKm::R100,
+        }
+    })
+}
+
+proptest! {
+    /// Arbitrary records keep count/total invariants.
+    #[test]
+    fn block_geo_invariants(g in arb_block_geo(7)) {
+        let total = g.total();
+        prop_assert!(total > 0);
+        for (r, c) in &g.counts {
+            prop_assert!(g.count_in(*r) >= *c as u32);
+        }
+        let (dom, n) = g.dominant().expect("non-empty");
+        prop_assert_eq!(g.count_in(dom), n);
+        prop_assert!(n as u32 * g.num_regions() as u32 >= total);
+    }
+
+    /// Totals, per-region counts and dominant shares are internally
+    /// consistent for arbitrary snapshots.
+    #[test]
+    fn snapshot_accounting(recs in proptest::collection::vec(any::<u8>(), 1..20)) {
+        // Build one record per distinct third octet.
+        let mut seen = std::collections::BTreeSet::new();
+        let mut blocks = Vec::new();
+        for (i, c) in recs.iter().enumerate() {
+            if seen.insert(*c) {
+                let g = BlockGeo {
+                    block: BlockId::from_octets(10, 0, *c),
+                    asn: Some(Asn(i as u32)),
+                    counts: vec![
+                        (GeoRegion::Ua(Oblast::Kherson), 1 + (i as u16 % 100)),
+                        (GeoRegion::foreign("US"), 1 + (i as u16 % 30)),
+                    ],
+                    radius: RadiusKm::R50,
+                };
+                blocks.push(g);
+            }
+        }
+        let snap = GeoSnapshot::from_records(MonthId::new(2022, 3), blocks.clone());
+        let total_kherson: u64 = blocks
+            .iter()
+            .map(|b| b.count_in(GeoRegion::Ua(Oblast::Kherson)) as u64)
+            .sum();
+        prop_assert_eq!(snap.addresses_in(GeoRegion::Ua(Oblast::Kherson)), total_kherson);
+        prop_assert_eq!(snap.oblast_totals()[Oblast::Kherson.index()], total_kherson);
+        prop_assert_eq!(snap.addresses_in_ukraine(), total_kherson);
+        for b in &blocks {
+            let got = snap.get(b.block).expect("present");
+            prop_assert_eq!(got, b);
+            // Dominant share is a proper fraction of the total.
+            let ds = got.dominant_share().expect("non-empty");
+            prop_assert!(ds > 0.0 && ds <= 1.0);
+        }
+    }
+
+    /// Churn conservation: stayed + moved + disappeared accounts for every
+    /// address of the earlier snapshot (block-level join).
+    #[test]
+    fn churn_conserves_addresses(
+        before_recs in proptest::collection::vec((0u8..30, 1u16..200, 1u16..200), 1..15),
+    ) {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut before = Vec::new();
+        let mut after = Vec::new();
+        for (c, n_before, n_after) in before_recs {
+            if !seen.insert(c) {
+                continue;
+            }
+            before.push(BlockGeo {
+                block: BlockId::from_octets(10, 0, c),
+                asn: Some(Asn(5)),
+                counts: vec![(GeoRegion::Ua(Oblast::Sumy), n_before.min(256))],
+                radius: RadiusKm::R100,
+            });
+            after.push(BlockGeo {
+                block: BlockId::from_octets(10, 0, c),
+                asn: Some(Asn(5)),
+                counts: vec![
+                    (GeoRegion::Ua(Oblast::Sumy), (n_after / 2).max(1).min(256)),
+                    (GeoRegion::Ua(Oblast::Kyiv), (n_after / 2).max(1).min(256)),
+                ],
+                radius: RadiusKm::R100,
+            });
+        }
+        let s_before = GeoSnapshot::from_records(MonthId::new(2022, 2), before.clone());
+        let s_after = GeoSnapshot::from_records(MonthId::new(2025, 2), after);
+        let report = compare(&s_before, &s_after);
+        let total_before: u64 = before.iter().map(|b| b.total() as u64).sum();
+        // Everything that was there before is stayed, moved or disappeared.
+        prop_assert_eq!(
+            report.stayed + report.moved_within_ua + report.total_abroad() + report.disappeared,
+            total_before
+        );
+    }
+
+    /// Relative change is bounded below by −100% (you cannot lose more
+    /// than everything) and `None` exactly for empty baselines.
+    #[test]
+    fn relative_change_bounds(n_before in 0u16..200, n_after in 0u16..200) {
+        let mk = |month, n| {
+            let recs = if n == 0 {
+                vec![]
+            } else {
+                vec![BlockGeo {
+                    block: BlockId::from_octets(10, 0, 0),
+                    asn: None,
+                    counts: vec![(GeoRegion::Ua(Oblast::Lviv), n)],
+                    radius: RadiusKm::R200,
+                }]
+            };
+            GeoSnapshot::from_records(month, recs)
+        };
+        let report = compare(&mk(MonthId::new(2022, 2), n_before), &mk(MonthId::new(2025, 2), n_after));
+        let change = report.relative_change()[Oblast::Lviv.index()];
+        if n_before == 0 {
+            prop_assert_eq!(change, None);
+        } else {
+            let c = change.expect("baseline non-empty");
+            prop_assert!(c >= -100.0);
+            let expect = (n_after as f64 - n_before as f64) / n_before as f64 * 100.0;
+            prop_assert!((c - expect).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! Monthly geolocation snapshot generation.
+//!
+//! Produces the IPinfo-style database the regional classifier consumes:
+//! per block and month, how many addresses geolocate where, with what
+//! accuracy radius, and under which originating AS. Three phenomena are
+//! layered, mirroring §4.1 of the paper:
+//!
+//! * **scripted churn** — `GeoMove` events relocate a fraction of a
+//!   target's addresses permanently (frontline flight, the Volia → Amazon
+//!   reassignment), optionally changing the announcing AS;
+//! * **drift noise** — national-ISP blocks wander: some months a slice of
+//!   a block geolocates to another oblast (IP drift), occasionally the
+//!   whole block does (block drift); regional blocks drift far less —
+//!   which is exactly why the classifier works;
+//! * **population decay** — address counts shrink with the same per-block
+//!   decay that drives responsiveness (−18% country-wide over the
+//!   campaign, steeper on the frontline).
+
+use crate::script::{EventKind, EventTarget};
+use crate::spec::AsProfile;
+use crate::world::World;
+use fbs_geodb::{BlockGeo, GeoRegion, GeoSnapshot, RadiusKm};
+use fbs_types::{MonthId, Oblast, Round};
+
+/// Months since the campaign's first month (clamped at zero for the
+/// pre-war snapshot of 2022-02-01).
+fn months_since_start(month: MonthId) -> u32 {
+    month.0.saturating_sub(MonthId::campaign_first().0)
+}
+
+/// Generates the geolocation snapshot of `month` for the world.
+pub fn geo_snapshot(world: &World, month: MonthId) -> GeoSnapshot {
+    let rng = world.rng().domain("geo");
+    let elapsed = months_since_start(month);
+    let mut records = Vec::with_capacity(world.blocks().len());
+
+    for spec in world.blocks().iter() {
+        let owner_spec = world.as_spec(spec.owner).expect("validated owner");
+        let profile = owner_spec.profile;
+
+        // Population: assigned addresses outnumber responsive ones. The
+        // per-oblast decline is block-granular — a block either stays (its
+        // population roughly stable, so its regional share stays high) or
+        // departs, collapsing to a residue. This matches §4.1: churn moves
+        // whole blocks, while surviving regional blocks keep tight shares.
+        let base_pop = spec.geo_population.max(spec.base_responders) as u32;
+        let survive = spec.annual_decay.powf(elapsed as f64 / 12.0);
+        let alive = rng.uniform3(spec.block.0 as u64, 0, 55) < survive;
+        let growth = survive.min(1.3f64).max(1.0);
+        let mut remaining = if alive {
+            ((base_pop as f64) * growth).min(256.0).round() as u32
+        } else {
+            base_pop / 10
+        };
+        let mut counts: Vec<(GeoRegion, u16)> = Vec::new();
+        let mut asn = Some(spec.owner);
+
+        // Scripted moves, applied in event order. Churn is block-granular:
+        // an event with fraction f uproots each affected block *wholly*
+        // with probability f (reassigned space is announced as whole /24s,
+        // and the paper's flow counts are block-level). Region-wide flight
+        // spares regional providers — their subscribers are what stayed.
+        for (ei, e) in world.script().events().iter().enumerate() {
+            let EventKind::GeoMove { to, fraction, new_owner } = e.kind else {
+                continue;
+            };
+            let applies = match e.target {
+                EventTarget::Block(b) => b == spec.block,
+                EventTarget::As(a) => a == spec.owner,
+                EventTarget::Region(o) => o == spec.home && profile != AsProfile::Regional,
+                EventTarget::Country => true,
+            };
+            if !applies {
+                continue;
+            }
+            let event_month = Round::first_at_or_after(e.start).month();
+            if month < event_month {
+                continue;
+            }
+            // Month-independent draw: a moved block stays moved.
+            if !rng.chance3(fraction, spec.block.0 as u64, ei as u64, 77) {
+                continue;
+            }
+            if remaining > 0 {
+                add_count(&mut counts, to, remaining as u16);
+                remaining = 0;
+            }
+            if let Some(owner) = new_owner {
+                asn = Some(owner);
+            }
+        }
+
+        // Drift noise on what stayed home.
+        let coords = (spec.block.0 as u64, month.0 as u64);
+        let (block_drift_p, ip_drift_p, drift_max) = match profile {
+            AsProfile::Regional => (0.003, 0.05, 0.05),
+            AsProfile::National => (0.03, 0.25, 0.30),
+            AsProfile::Foreign => (0.0, 0.0, 0.0),
+        };
+        // National pools are re-homed permanently now and then (dynamic
+        // reassignment at country scale — Ukrtelecom alone moved 697K
+        // addresses between oblasts in the paper's data). The latest
+        // re-home before `month` wins.
+        let mut geo_home = spec.home;
+        if profile == AsProfile::National {
+            for m in 0..=elapsed {
+                if rng.chance3(0.015, spec.block.0 as u64, 400 + m as u64, 6) {
+                    geo_home = random_other_oblast(&rng, geo_home, (spec.block.0 as u64, m as u64));
+                }
+            }
+        }
+        let home_region = GeoRegion::Ua(geo_home);
+        if remaining > 0 {
+            if rng.chance3(block_drift_p, coords.0, coords.1, 1) {
+                // Block drift: the whole remainder points elsewhere.
+                let other = random_other_oblast(&rng, geo_home, coords);
+                add_count(&mut counts, GeoRegion::Ua(other), remaining as u16);
+            } else {
+                let mut home_count = remaining;
+                if rng.chance3(ip_drift_p, coords.0, coords.1, 2) {
+                    let frac = drift_max * rng.uniform3(coords.0, coords.1, 3);
+                    let drifted = ((remaining as f64) * frac).round() as u32;
+                    if drifted > 0 {
+                        let other = random_other_oblast(&rng, geo_home, coords);
+                        add_count(&mut counts, GeoRegion::Ua(other), drifted as u16);
+                        home_count -= drifted;
+                    }
+                }
+                // Temporal noise: a couple of addresses far away.
+                if rng.chance3(0.01, coords.0, coords.1, 4) && home_count > 4 {
+                    let other = random_other_oblast(&rng, spec.home, coords);
+                    let stray = 1 + rng.below3(4, coords.0, coords.1, 5) as u32;
+                    add_count(&mut counts, GeoRegion::Ua(other), stray as u16);
+                    home_count -= stray;
+                }
+                if home_count > 0 {
+                    add_count(&mut counts, home_region, home_count as u16);
+                }
+            }
+        }
+
+        // Accuracy radius: regional networks geolocate tightly and coarsen
+        // slowly; national/mobile space sits at 500 km (paper §4.3).
+        let radius = match profile {
+            AsProfile::Regional => {
+                if elapsed < 12 {
+                    RadiusKm::R50
+                } else if elapsed < 24 {
+                    RadiusKm::R100
+                } else {
+                    RadiusKm::R200
+                }
+            }
+            AsProfile::National => RadiusKm::R500,
+            AsProfile::Foreign => RadiusKm::R1000,
+        };
+
+        if !counts.is_empty() {
+            records.push(BlockGeo {
+                block: spec.block,
+                asn,
+                counts,
+                radius,
+            });
+        }
+    }
+    GeoSnapshot::from_records(month, records)
+}
+
+fn add_count(counts: &mut Vec<(GeoRegion, u16)>, region: GeoRegion, n: u16) {
+    if n == 0 {
+        return;
+    }
+    for (r, c) in counts.iter_mut() {
+        if *r == region {
+            *c = c.saturating_add(n);
+            return;
+        }
+    }
+    counts.push((region, n));
+}
+
+fn random_other_oblast(rng: &crate::rng::WorldRng, home: Oblast, coords: (u64, u64)) -> Oblast {
+    // Drifted addresses overwhelmingly geolocate to the capital (national
+    // pools are managed from Kyiv); the rest scatter.
+    if home != Oblast::Kyiv && rng.chance3(0.8, coords.0, coords.1, 8) {
+        return Oblast::Kyiv;
+    }
+    let pick = rng.below3(25, coords.0, coords.1, 9) as usize;
+    let candidate = fbs_types::ALL_OBLASTS[pick];
+    if candidate == home {
+        fbs_types::ALL_OBLASTS[25]
+    } else {
+        candidate
+    }
+}
+
+/// Synthetic per-oblast IPv6 address totals (appendix C, Fig. 20): low
+/// adoption growing ~35% per year, with previously v6-free oblasts jumping
+/// the most in relative terms.
+pub fn v6_totals(world: &World, month: MonthId) -> fbs_geodb::RegionTotals {
+    let rng = world.rng().domain("v6");
+    let elapsed = months_since_start(month);
+    let mut counts = [0u64; Oblast::COUNT];
+    // Base v6 population proportional to the oblast's v4 block count.
+    let by_oblast = world.blocks_by_oblast();
+    for (oblast, blocks) in by_oblast {
+        let i = oblast.index() as u64;
+        let late_adopter = rng.chance3(0.25, i, 0, 0);
+        let base = if late_adopter {
+            2.0 + 8.0 * rng.uniform3(i, 1, 0)
+        } else {
+            blocks.len() as f64 * (8.0 + 24.0 * rng.uniform3(i, 2, 0))
+        };
+        let growth = 1.35f64.powf(elapsed as f64 / 12.0);
+        counts[oblast.index()] = (base * growth).round() as u64;
+    }
+    fbs_geodb::RegionTotals { month, counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::{Script, ScriptedEvent};
+    use crate::spec::{AsSpec, BlockSpec, WorldConfig, WorldScale};
+    use fbs_types::{Asn, BlockId, Prefix, CAMPAIGN_START};
+
+    fn world_with(script: Script) -> World {
+        let ases = vec![
+            AsSpec {
+                asn: Asn(25229),
+                name: "Volia".into(),
+                profile: AsProfile::National,
+                hq: Some(Oblast::Kyiv),
+                prefixes: vec!["77.120.0.0/22".parse::<Prefix>().unwrap()],
+                base_rtt_ns: 30_000_000,
+                upstream: Asn(3356),
+            },
+            AsSpec {
+                asn: Asn(25482),
+                name: "Status".into(),
+                profile: AsProfile::Regional,
+                hq: Some(Oblast::Kherson),
+                prefixes: vec!["193.151.240.0/23".parse::<Prefix>().unwrap()],
+                base_rtt_ns: 40_000_000,
+                upstream: Asn(6849),
+            },
+        ];
+        let mut blocks = Vec::new();
+        for p in ases[0].prefixes[0].blocks() {
+            blocks.push(BlockSpec {
+                block: p,
+                owner: Asn(25229),
+                home: Oblast::Kherson,
+                base_responders: 30,
+                geo_population: 180,
+                response_prob: 0.8,
+                diurnal: false,
+                power_backup: 0.2,
+                annual_decay: 0.7,
+            });
+        }
+        for p in ases[1].prefixes[0].blocks() {
+            blocks.push(BlockSpec {
+                block: p,
+                owner: Asn(25482),
+                home: Oblast::Kherson,
+                base_responders: 40,
+                geo_population: 240,
+                response_prob: 0.85,
+                diurnal: false,
+                power_backup: 0.6,
+                annual_decay: 0.9,
+            });
+        }
+        let config = WorldConfig {
+            seed: 7,
+            scale: WorldScale::Tiny,
+            rounds: 1200,
+            ases,
+            blocks,
+        };
+        World::new(config, script, vec![]).unwrap()
+    }
+
+    #[test]
+    fn snapshot_covers_blocks_with_home_dominant() {
+        let w = world_with(Script::new());
+        let snap = geo_snapshot(&w, MonthId::new(2022, 3));
+        assert_eq!(snap.num_blocks(), 6);
+        let status_block = snap.get(BlockId::from_octets(193, 151, 240)).unwrap();
+        let (dom, _) = status_block.dominant().unwrap();
+        assert_eq!(dom, GeoRegion::Ua(Oblast::Kherson));
+        assert_eq!(status_block.asn, Some(Asn(25482)));
+        assert_eq!(status_block.radius, RadiusKm::R50);
+    }
+
+    #[test]
+    fn population_decays_over_time() {
+        let w = world_with(Script::new());
+        let early = geo_snapshot(&w, MonthId::new(2022, 3));
+        let late = geo_snapshot(&w, MonthId::new(2025, 2));
+        let e = early.addresses_in_ukraine();
+        let l = late.addresses_in_ukraine();
+        assert!(l < e, "late {l} should be below early {e}");
+    }
+
+    #[test]
+    fn scripted_move_relocates_and_reassigns() {
+        let mut s = Script::new();
+        s.push(ScriptedEvent {
+            name: "Volia to Amazon".into(),
+            target: EventTarget::As(Asn(25229)),
+            kind: EventKind::GeoMove {
+                to: GeoRegion::foreign("US"),
+                fraction: 0.8,
+                new_owner: Some(Asn(16509)),
+            },
+            start: CAMPAIGN_START.plus_seconds(400 * 86_400),
+            end: None,
+        });
+        let w = world_with(s);
+        let before = geo_snapshot(&w, MonthId::new(2022, 6));
+        let after = geo_snapshot(&w, MonthId::new(2024, 6));
+        let b_us = before.addresses_in(GeoRegion::foreign("US"));
+        let a_us = after.addresses_in(GeoRegion::foreign("US"));
+        assert!(a_us > b_us + 50, "after {a_us} before {b_us}");
+        // The moved blocks are announced by Amazon now.
+        let volia_block = after.get(BlockId::from_octets(77, 120, 0)).unwrap();
+        assert_eq!(volia_block.asn, Some(Asn(16509)));
+        // Status is untouched.
+        let status = after.get(BlockId::from_octets(193, 151, 240)).unwrap();
+        assert_eq!(status.asn, Some(Asn(25482)));
+    }
+
+    #[test]
+    fn regional_blocks_drift_less_than_national() {
+        let w = world_with(Script::new());
+        let months: Vec<MonthId> =
+            MonthId::new(2022, 3).range_inclusive(MonthId::new(2024, 12)).collect();
+        let mut regional_dominant = 0usize;
+        let mut national_dominant = 0usize;
+        let mut total = 0usize;
+        for m in months {
+            let snap = geo_snapshot(&w, m);
+            total += 1;
+            // Regional block (Status).
+            if let Some(b) = snap.get(BlockId::from_octets(193, 151, 241)) {
+                if b.dominant().map(|(r, _)| r) == Some(GeoRegion::Ua(Oblast::Kherson)) {
+                    regional_dominant += 1;
+                }
+            }
+            // National block (Volia).
+            if let Some(b) = snap.get(BlockId::from_octets(77, 120, 1)) {
+                if b.dominant().map(|(r, _)| r) == Some(GeoRegion::Ua(Oblast::Kherson)) {
+                    national_dominant += 1;
+                }
+            }
+        }
+        assert!(regional_dominant >= national_dominant);
+        assert!(regional_dominant as f64 / total as f64 > 0.9);
+    }
+
+    #[test]
+    fn radius_coarsens_for_regional_over_years() {
+        let w = world_with(Script::new());
+        let y2022 = geo_snapshot(&w, MonthId::new(2022, 6));
+        let y2025 = geo_snapshot(&w, MonthId::new(2025, 1));
+        let b = BlockId::from_octets(193, 151, 240);
+        assert_eq!(y2022.get(b).unwrap().radius, RadiusKm::R50);
+        assert_eq!(y2025.get(b).unwrap().radius, RadiusKm::R200);
+        // National blocks sit at 500 km throughout.
+        let n = BlockId::from_octets(77, 120, 0);
+        assert_eq!(y2022.get(n).unwrap().radius, RadiusKm::R500);
+        assert_eq!(y2025.get(n).unwrap().radius, RadiusKm::R500);
+    }
+
+    #[test]
+    fn v6_totals_grow() {
+        let w = world_with(Script::new());
+        let early = v6_totals(&w, MonthId::new(2022, 2));
+        let late = v6_totals(&w, MonthId::new(2025, 2));
+        let e: u64 = early.counts.iter().sum();
+        let l: u64 = late.counts.iter().sum();
+        assert!(l > e, "v6 must grow: {e} -> {l}");
+    }
+
+    #[test]
+    fn snapshot_deterministic() {
+        let w = world_with(Script::new());
+        let a = geo_snapshot(&w, MonthId::new(2023, 5));
+        let b = geo_snapshot(&w, MonthId::new(2023, 5));
+        assert_eq!(a.num_blocks(), b.num_blocks());
+        for rec in a.iter() {
+            let other = b.get(rec.block).unwrap();
+            assert_eq!(rec, other);
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! The war-event script.
+//!
+//! Scenarios describe *what happened when* as a list of [`ScriptedEvent`]s:
+//! the Mykolaiv cable cut withdraws 24 Kherson ASes for three days,
+//! occupation rerouting raises RTTs via a Russian upstream for six months,
+//! the Kakhovka flood silences OstrovNet for three, strike campaigns layer
+//! power outages over the winters. The script compiles into per-target
+//! interval timelines the world queries in O(log n) per round.
+
+use fbs_types::{Asn, BlockId, Oblast, Round, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What an event applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EventTarget {
+    /// One AS (all its blocks).
+    As(Asn),
+    /// One /24 block.
+    Block(BlockId),
+    /// Every block homed in an oblast.
+    Region(Oblast),
+    /// Everything.
+    Country,
+}
+
+/// What happens during the event window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Prefixes of the target are withdrawn from BGP (and everything under
+    /// them goes unreachable).
+    BgpOutage,
+    /// Responsiveness is multiplied by the factor (1.0 = no effect,
+    /// 0.0 = total silence while routes stay up — e.g. the Status seizure).
+    IpsScale(f64),
+    /// Traffic is rerouted via the given transit AS, adding RTT.
+    Reroute {
+        /// The imposed upstream (e.g. a Russian carrier).
+        via: Asn,
+        /// Extra one-way delay added to the round trip, nanoseconds.
+        extra_rtt_ns: u64,
+    },
+    /// The measurement vantage point is offline: no data for any target.
+    VantageOutage,
+    /// The target stops announcing permanently at `start` (end ignored):
+    /// decommissioned providers (7 Kherson regional ASes by 2025).
+    Decommission,
+    /// The target first announces at `start` (end ignored): late arrivals
+    /// like Brok-X or Genicheskonline.
+    Activate,
+    /// Responsiveness multiplied by the factor during local night hours
+    /// only (01:00–07:00 UTC+2) — electricity available by daylight, the
+    /// pattern Status's blocks showed after the liberation (Fig. 14).
+    NightScale(f64),
+    /// From the month containing `start`, `fraction` of the target's
+    /// addresses geolocate to `to`; optionally the blocks are re-announced
+    /// by `new_owner` (the Volia → Amazon reassignment).
+    GeoMove {
+        /// Destination region of the moved addresses.
+        to: fbs_geodb::GeoRegion,
+        /// Fraction of the target's addresses that move (`0..=1`).
+        fraction: f64,
+        /// New originating AS for the moved blocks, if any.
+        new_owner: Option<Asn>,
+    },
+}
+
+/// One scripted event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScriptedEvent {
+    /// Human-readable name ("Mykolaiv cable cut").
+    pub name: String,
+    /// Target of the effect.
+    pub target: EventTarget,
+    /// Effect kind.
+    pub kind: EventKind,
+    /// Effect start (inclusive).
+    pub start: Timestamp,
+    /// Effect end (exclusive); `None` = until the campaign ends.
+    pub end: Option<Timestamp>,
+}
+
+impl ScriptedEvent {
+    /// The rounds the event covers, clamped to `[0, total)`.
+    pub fn round_range(&self, total: u32) -> std::ops::Range<u32> {
+        let s = Round::first_at_or_after(self.start).0.min(total);
+        let e = match self.end {
+            Some(end) => Round::first_at_or_after(end).0.min(total),
+            None => total,
+        };
+        s..e.max(s)
+    }
+}
+
+/// A compiled script, ready for per-round queries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Script {
+    events: Vec<ScriptedEvent>,
+    /// Per-target, per-kind interval lists (round ranges), sorted.
+    #[serde(skip)]
+    compiled: Option<Compiled>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Compiled {
+    /// Vantage-offline intervals.
+    vantage: Vec<(u32, u32)>,
+    /// (target → scale intervals).
+    ips_scale: BTreeMap<EventTarget, Vec<(u32, u32, f64)>>,
+    /// (target → BGP-outage intervals).
+    bgp: BTreeMap<EventTarget, Vec<(u32, u32)>>,
+    /// (target → reroute intervals).
+    reroute: BTreeMap<EventTarget, Vec<(u32, u32, Asn, u64)>>,
+    /// AS → decommission round.
+    decommission: BTreeMap<EventTarget, u32>,
+    /// AS → activation round.
+    activate: BTreeMap<EventTarget, u32>,
+}
+
+impl Script {
+    /// An empty script.
+    pub fn new() -> Self {
+        Script::default()
+    }
+
+    /// Adds an event (invalidates compilation).
+    pub fn push(&mut self, event: ScriptedEvent) {
+        self.events.push(event);
+        self.compiled = None;
+    }
+
+    /// All scripted events.
+    pub fn events(&self) -> &[ScriptedEvent] {
+        &self.events
+    }
+
+    /// Events whose name contains `needle` (for experiment lookups).
+    pub fn find(&self, needle: &str) -> Vec<&ScriptedEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.name.contains(needle))
+            .collect()
+    }
+
+    /// Compiles interval indexes for `total_rounds`.
+    pub fn compile(&mut self, total_rounds: u32) {
+        let _ = total_rounds; // rounds bound is applied per event below
+        let mut c = Compiled::default();
+        for e in &self.events {
+            let r = e.round_range(total_rounds);
+            match e.kind {
+                EventKind::VantageOutage => c.vantage.push((r.start, r.end)),
+                EventKind::IpsScale(f) => c
+                    .ips_scale
+                    .entry(e.target)
+                    .or_default()
+                    .push((r.start, r.end, f)),
+                EventKind::BgpOutage => c.bgp.entry(e.target).or_default().push((r.start, r.end)),
+                EventKind::Reroute { via, extra_rtt_ns } => c
+                    .reroute
+                    .entry(e.target)
+                    .or_default()
+                    .push((r.start, r.end, via, extra_rtt_ns)),
+                EventKind::Decommission => {
+                    let entry = c.decommission.entry(e.target).or_insert(r.start);
+                    *entry = (*entry).min(r.start);
+                }
+                EventKind::Activate => {
+                    let entry = c.activate.entry(e.target).or_insert(r.start);
+                    *entry = (*entry).max(r.start);
+                }
+                // Geo moves are monthly phenomena read directly off the
+                // event list by the geolocation generator; night scaling is
+                // compiled into per-block modifiers by the world.
+                EventKind::GeoMove { .. } | EventKind::NightScale(_) => {}
+            }
+        }
+        c.vantage.sort_unstable();
+        for v in c.ips_scale.values_mut() {
+            v.sort_by_key(|(s, ..)| *s);
+        }
+        for v in c.bgp.values_mut() {
+            v.sort_unstable();
+        }
+        for v in c.reroute.values_mut() {
+            v.sort_by_key(|(s, ..)| *s);
+        }
+        self.compiled = Some(c);
+    }
+
+    fn compiled(&self) -> &Compiled {
+        self.compiled
+            .as_ref()
+            .expect("Script::compile must run before queries")
+    }
+
+    /// Whether the vantage point is offline at `round`.
+    pub fn vantage_offline(&self, round: u32) -> bool {
+        self.compiled()
+            .vantage
+            .iter()
+            .any(|&(s, e)| round >= s && round < e)
+    }
+
+    /// Combined responsiveness scale over the matching targets at `round`.
+    pub fn ips_scale(&self, round: u32, targets: &[EventTarget]) -> f64 {
+        let c = self.compiled();
+        let mut scale = 1.0;
+        for t in targets {
+            if let Some(intervals) = c.ips_scale.get(t) {
+                for &(s, e, f) in intervals {
+                    if round >= s && round < e {
+                        scale *= f;
+                    }
+                }
+            }
+        }
+        scale
+    }
+
+    /// Whether any matching target is under a BGP outage at `round`
+    /// (including decommission/activation bounds).
+    pub fn bgp_down(&self, round: u32, targets: &[EventTarget]) -> bool {
+        let c = self.compiled();
+        for t in targets {
+            if let Some(intervals) = c.bgp.get(t) {
+                if intervals.iter().any(|&(s, e)| round >= s && round < e) {
+                    return true;
+                }
+            }
+            if let Some(&d) = c.decommission.get(t) {
+                if round >= d {
+                    return true;
+                }
+            }
+            if let Some(&a) = c.activate.get(t) {
+                if round < a {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// The active reroute at `round` for the targets, if any: `(via, extra
+    /// RTT)`. The largest extra delay wins when several overlap.
+    pub fn reroute(&self, round: u32, targets: &[EventTarget]) -> Option<(Asn, u64)> {
+        let c = self.compiled();
+        let mut best: Option<(Asn, u64)> = None;
+        for t in targets {
+            if let Some(intervals) = c.reroute.get(t) {
+                for &(s, e, via, extra) in intervals {
+                    if round >= s && round < e && best.map(|(_, b)| extra > b).unwrap_or(true) {
+                        best = Some((via, extra));
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// All BGP state-change rounds for a target (for event-log building):
+    /// returns sorted `(round, down)` transitions within `[0, total)`.
+    pub fn bgp_transitions(&self, target: EventTarget, total: u32) -> Vec<(u32, bool)> {
+        // Evaluate state only at candidate boundaries.
+        let c = self.compiled();
+        let mut boundaries = vec![0u32];
+        if let Some(intervals) = c.bgp.get(&target) {
+            for &(s, e) in intervals {
+                boundaries.push(s);
+                boundaries.push(e);
+            }
+        }
+        if let Some(&d) = c.decommission.get(&target) {
+            boundaries.push(d);
+        }
+        if let Some(&a) = c.activate.get(&target) {
+            boundaries.push(a);
+        }
+        boundaries.retain(|&b| b < total);
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        let targets = [target];
+        let mut out = Vec::new();
+        let mut last: Option<bool> = None;
+        for b in boundaries {
+            let down = self.bgp_down(b, &targets);
+            if last != Some(down) {
+                out.push((b, down));
+                last = Some(down);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbs_types::CAMPAIGN_START;
+
+    fn ts(days: i64) -> Timestamp {
+        CAMPAIGN_START.plus_seconds(days * 86_400)
+    }
+
+    fn event(name: &str, target: EventTarget, kind: EventKind, d0: i64, d1: Option<i64>) -> ScriptedEvent {
+        ScriptedEvent {
+            name: name.into(),
+            target,
+            kind,
+            start: ts(d0),
+            end: d1.map(ts),
+        }
+    }
+
+    #[test]
+    fn round_range_clamps() {
+        let e = event("x", EventTarget::Country, EventKind::BgpOutage, 1, Some(3));
+        assert_eq!(e.round_range(10_000), 12..36);
+        assert_eq!(e.round_range(20), 12..20);
+        // Open-ended runs to the campaign end.
+        let open = event("x", EventTarget::Country, EventKind::BgpOutage, 1, None);
+        assert_eq!(open.round_range(100), 12..100);
+    }
+
+    #[test]
+    fn vantage_outage_lookup() {
+        let mut s = Script::new();
+        s.push(event("gap", EventTarget::Country, EventKind::VantageOutage, 2, Some(4)));
+        s.compile(1000);
+        assert!(!s.vantage_offline(23));
+        assert!(s.vantage_offline(24));
+        assert!(s.vantage_offline(47));
+        assert!(!s.vantage_offline(48));
+    }
+
+    #[test]
+    fn ips_scales_multiply_across_targets() {
+        let mut s = Script::new();
+        s.push(event(
+            "regional damage",
+            EventTarget::Region(Oblast::Kherson),
+            EventKind::IpsScale(0.5),
+            0,
+            Some(10),
+        ));
+        s.push(event(
+            "as trouble",
+            EventTarget::As(Asn(25482)),
+            EventKind::IpsScale(0.4),
+            0,
+            Some(10),
+        ));
+        s.compile(1000);
+        let targets = [
+            EventTarget::As(Asn(25482)),
+            EventTarget::Region(Oblast::Kherson),
+            EventTarget::Country,
+        ];
+        assert!((s.ips_scale(0, &targets) - 0.2).abs() < 1e-12);
+        // Only the region matches for another AS.
+        let other = [EventTarget::As(Asn(1)), EventTarget::Region(Oblast::Kherson)];
+        assert!((s.ips_scale(0, &other) - 0.5).abs() < 1e-12);
+        // After the window: no effect.
+        assert_eq!(s.ips_scale(200, &targets), 1.0);
+    }
+
+    #[test]
+    fn bgp_outage_decommission_activation() {
+        let mut s = Script::new();
+        s.push(event("cable", EventTarget::As(Asn(1)), EventKind::BgpOutage, 10, Some(13)));
+        s.push(event("gone", EventTarget::As(Asn(2)), EventKind::Decommission, 100, None));
+        s.push(event("born", EventTarget::As(Asn(3)), EventKind::Activate, 50, None));
+        s.compile(10_000);
+        let t1 = [EventTarget::As(Asn(1))];
+        assert!(!s.bgp_down(119, &t1));
+        assert!(s.bgp_down(120, &t1));
+        assert!(s.bgp_down(155, &t1));
+        assert!(!s.bgp_down(156, &t1));
+        let t2 = [EventTarget::As(Asn(2))];
+        assert!(!s.bgp_down(1199, &t2));
+        assert!(s.bgp_down(1200, &t2));
+        assert!(s.bgp_down(9999, &t2));
+        let t3 = [EventTarget::As(Asn(3))];
+        assert!(s.bgp_down(0, &t3));
+        assert!(s.bgp_down(599, &t3));
+        assert!(!s.bgp_down(600, &t3));
+    }
+
+    #[test]
+    fn reroute_largest_delay_wins() {
+        let mut s = Script::new();
+        s.push(event(
+            "reroute-region",
+            EventTarget::Region(Oblast::Kherson),
+            EventKind::Reroute { via: Asn(12389), extra_rtt_ns: 30_000_000 },
+            0,
+            Some(100),
+        ));
+        s.push(event(
+            "reroute-as",
+            EventTarget::As(Asn(25482)),
+            EventKind::Reroute { via: Asn(201776), extra_rtt_ns: 50_000_000 },
+            0,
+            Some(100),
+        ));
+        s.compile(10_000);
+        let targets = [EventTarget::As(Asn(25482)), EventTarget::Region(Oblast::Kherson)];
+        let (via, extra) = s.reroute(10, &targets).unwrap();
+        assert_eq!(via, Asn(201776));
+        assert_eq!(extra, 50_000_000);
+        assert!(s.reroute(2000, &targets).is_none());
+    }
+
+    #[test]
+    fn transitions_for_event_log() {
+        let mut s = Script::new();
+        s.push(event("cable", EventTarget::As(Asn(1)), EventKind::BgpOutage, 10, Some(13)));
+        s.compile(10_000);
+        let tr = s.bgp_transitions(EventTarget::As(Asn(1)), 10_000);
+        assert_eq!(tr, vec![(0, false), (120, true), (156, false)]);
+        // An untouched AS is up from round 0.
+        let tr = s.bgp_transitions(EventTarget::As(Asn(9)), 10_000);
+        assert_eq!(tr, vec![(0, false)]);
+    }
+
+    #[test]
+    fn find_by_name() {
+        let mut s = Script::new();
+        s.push(event("Kakhovka dam", EventTarget::Region(Oblast::Kherson), EventKind::IpsScale(0.3), 0, Some(1)));
+        assert_eq!(s.find("Kakhovka").len(), 1);
+        assert!(s.find("Chernobyl").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "compile")]
+    fn querying_uncompiled_script_panics() {
+        let s = Script::new();
+        s.vantage_offline(0);
+    }
+}

@@ -1,0 +1,240 @@
+//! The wire-path transport: real ICMP packets against the world.
+//!
+//! [`WorldTransport`] implements `fbs-prober`'s [`Transport`] for a single
+//! probing round: the scanner's echo requests are parsed, looked up against
+//! the round's responder bitmaps, and answered with checksummed echo
+//! replies after the world's round-trip time. Per-block bitmaps are
+//! computed lazily and cached, so scanning a block costs the same whether
+//! it is probed address-by-address or not at all.
+
+use crate::world::World;
+use fbs_prober::packet::{self, ParsedReply};
+use fbs_prober::{ResponderBitmap, Transport};
+use fbs_types::{BlockId, Round};
+use std::collections::{BinaryHeap, HashMap};
+
+#[derive(Debug, PartialEq, Eq)]
+struct Pending {
+    arrival_ns: u64,
+    bytes: Vec<u8>,
+}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.arrival_ns.cmp(&self.arrival_ns) // min-heap
+    }
+}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One round's view of the world as a packet transport.
+pub struct WorldTransport<'a> {
+    world: &'a World,
+    round: Round,
+    queue: BinaryHeap<Pending>,
+    bitmap_cache: HashMap<usize, ResponderBitmap>,
+    /// Probes that reached no simulated host.
+    pub unanswered: u64,
+}
+
+impl<'a> WorldTransport<'a> {
+    /// Creates a transport for `round`.
+    ///
+    /// When the vantage point is offline this round, the transport drops
+    /// everything (the scanner sees pure silence — the caller is expected
+    /// to mark the round as a missing measurement instead of scanning).
+    pub fn new(world: &'a World, round: Round) -> Self {
+        WorldTransport {
+            world,
+            round,
+            queue: BinaryHeap::new(),
+            bitmap_cache: HashMap::new(),
+            unanswered: 0,
+        }
+    }
+
+    fn bitmap_for(&mut self, bi: usize) -> ResponderBitmap {
+        let world = self.world;
+        let round = self.round;
+        *self
+            .bitmap_cache
+            .entry(bi)
+            .or_insert_with(|| world.block_bitmap(round, bi))
+    }
+}
+
+impl Transport for WorldTransport<'_> {
+    fn send(&mut self, bytes: &[u8], now_ns: u64) {
+        if !self.world.vantage_online(self.round) {
+            return;
+        }
+        let Ok(req) = packet::parse(bytes) else {
+            return;
+        };
+        let Some(bi) = self.world.block_index(BlockId::containing(req.dst)) else {
+            self.unanswered += 1;
+            return;
+        };
+        let host = BlockId::host_of(req.dst);
+        if !self.bitmap_for(bi).get(host) {
+            self.unanswered += 1;
+            return;
+        }
+        let rtt = self.world.rtt_ns(self.round, bi);
+        let reply = ParsedReply::reply_for(&req, 55);
+        self.queue.push(Pending {
+            arrival_ns: now_ns + rtt,
+            bytes: reply,
+        });
+    }
+
+    fn recv(&mut self, now_ns: u64, out: &mut Vec<(u64, Vec<u8>)>) {
+        while let Some(head) = self.queue.peek() {
+            if head.arrival_ns > now_ns {
+                break;
+            }
+            let p = self.queue.pop().expect("peeked element exists");
+            out.push((p.arrival_ns, p.bytes));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::{EventKind, EventTarget, Script, ScriptedEvent};
+    use crate::spec::{AsProfile, AsSpec, BlockSpec, WorldConfig, WorldScale};
+    use fbs_prober::{ScanConfig, Scanner, TargetSet};
+    use fbs_types::{Asn, Oblast, Prefix, CAMPAIGN_START};
+
+    fn world(script: Script) -> World {
+        let prefix: Prefix = "193.151.240.0/23".parse().unwrap();
+        let ases = vec![AsSpec {
+            asn: Asn(25482),
+            name: "Status".into(),
+            profile: AsProfile::Regional,
+            hq: Some(Oblast::Kherson),
+            prefixes: vec![prefix],
+            base_rtt_ns: 40_000_000,
+            upstream: Asn(6849),
+        }];
+        let blocks = prefix
+            .blocks()
+            .map(|b| BlockSpec {
+                block: b,
+                owner: Asn(25482),
+                home: Oblast::Kherson,
+                base_responders: 30,
+                geo_population: 180,
+                response_prob: 0.9,
+                diurnal: false,
+                power_backup: 0.5,
+                annual_decay: 0.9,
+            })
+            .collect();
+        World::new(
+            WorldConfig {
+                seed: 5,
+                scale: WorldScale::Tiny,
+                rounds: 600,
+                ases,
+                blocks,
+            },
+            script,
+            vec![],
+        )
+        .unwrap()
+    }
+
+    fn scan(world: &World, round: Round) -> (fbs_prober::RoundObservations, fbs_prober::ScanStats) {
+        let targets = TargetSet::from_blocks(world.blocks().iter().map(|b| b.block).collect());
+        let scanner = Scanner::new(ScanConfig {
+            rate_pps: 1_000_000,
+            ..ScanConfig::default()
+        });
+        let mut transport = WorldTransport::new(world, round);
+        scanner.scan_round(round, &targets, &mut transport)
+    }
+
+    #[test]
+    fn scanner_observations_match_world_bitmaps() {
+        let w = world(Script::new());
+        let round = Round(5);
+        let (obs, stats) = scan(&w, round);
+        assert_eq!(stats.sent, 512);
+        assert_eq!(stats.parse_errors, 0);
+        assert_eq!(stats.invalid, 0);
+        for (i, block_obs) in obs.blocks.iter().enumerate() {
+            let truth = w.block_bitmap(round, i);
+            assert_eq!(block_obs.responders, truth, "block {i} mismatch");
+        }
+        assert!(stats.valid > 40, "valid {}", stats.valid);
+    }
+
+    #[test]
+    fn rtts_reflect_world_latency() {
+        let w = world(Script::new());
+        let (obs, _) = scan(&w, Round(3));
+        for b in &obs.blocks {
+            if let Some(mean) = b.rtt.mean_ns() {
+                assert!(
+                    (40_000_000..50_000_000).contains(&mean),
+                    "rtt {mean} outside base+jitter band"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vantage_offline_means_silence() {
+        let mut s = Script::new();
+        s.push(ScriptedEvent {
+            name: "vantage".into(),
+            target: EventTarget::Country,
+            kind: EventKind::VantageOutage,
+            start: CAMPAIGN_START,
+            end: Some(CAMPAIGN_START.plus_seconds(86_400)),
+        });
+        let w = world(s);
+        let (obs, stats) = scan(&w, Round(2));
+        assert_eq!(stats.valid, 0);
+        assert_eq!(obs.total_responsive(), 0);
+    }
+
+    #[test]
+    fn bgp_outage_silences_scan() {
+        let mut s = Script::new();
+        s.push(ScriptedEvent {
+            name: "cable".into(),
+            target: EventTarget::As(Asn(25482)),
+            kind: EventKind::BgpOutage,
+            start: CAMPAIGN_START,
+            end: Some(CAMPAIGN_START.plus_seconds(10 * 86_400)),
+        });
+        let w = world(s);
+        let (obs, _) = scan(&w, Round(5));
+        assert_eq!(obs.total_responsive(), 0);
+        // After restoration the scan sees hosts again.
+        let (obs, _) = scan(&w, Round(125));
+        assert!(obs.total_responsive() > 0);
+    }
+
+    #[test]
+    fn stray_probe_outside_world_unanswered() {
+        let w = world(Script::new());
+        let targets = TargetSet::from_blocks(vec![fbs_types::BlockId::from_octets(9, 9, 9)]);
+        let scanner = Scanner::new(ScanConfig {
+            rate_pps: 1_000_000,
+            ..ScanConfig::default()
+        });
+        let mut transport = WorldTransport::new(&w, Round(0));
+        let (obs, stats) = scanner.scan_round(Round(0), &targets, &mut transport);
+        assert_eq!(obs.total_responsive(), 0);
+        assert_eq!(stats.valid, 0);
+        assert_eq!(transport.unanswered, 256);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the world simulator: determinism, order
+//! independence, and modifier correctness under arbitrary configurations.
+
+use fbs_netsim::{
+    AsProfile, AsSpec, BlockSpec, EventKind, EventTarget, Script, ScriptedEvent, World,
+    WorldConfig, WorldScale,
+};
+use fbs_types::{Asn, BlockId, Oblast, Prefix, Round, CAMPAIGN_START};
+use proptest::prelude::*;
+
+fn world_from(seed: u64, n_blocks: u8, events: Vec<(u8, u8, u8)>) -> World {
+    // events: (start_day, len_days, kind 0..3)
+    let asn = Asn(100);
+    let blocks: Vec<BlockSpec> = (0..n_blocks.max(1))
+        .map(|c| BlockSpec {
+            block: BlockId::from_octets(10, 0, c),
+            owner: asn,
+            home: Oblast::Kherson,
+            base_responders: 30,
+            geo_population: 200,
+            response_prob: 0.85,
+            diurnal: c % 3 == 0,
+            power_backup: 0.4,
+            annual_decay: 0.9,
+        })
+        .collect();
+    let config = WorldConfig {
+        seed,
+        scale: WorldScale::Tiny,
+        rounds: 1200,
+        ases: vec![AsSpec {
+            asn,
+            name: "test".into(),
+            profile: AsProfile::Regional,
+            hq: Some(Oblast::Kherson),
+            prefixes: blocks.iter().map(|b| Prefix::from_block(b.block)).collect(),
+            base_rtt_ns: 40_000_000,
+            upstream: Asn(1),
+        }],
+        blocks,
+    };
+    let mut script = Script::new();
+    for (start, len, kind) in events {
+        let start_ts = CAMPAIGN_START.plus_seconds(start as i64 * 86_400);
+        let end_ts = start_ts.plus_seconds((len as i64 + 1) * 86_400);
+        let kind = match kind % 3 {
+            0 => EventKind::BgpOutage,
+            1 => EventKind::IpsScale(0.3),
+            _ => EventKind::Reroute {
+                via: Asn(12389),
+                extra_rtt_ns: 50_000_000,
+            },
+        };
+        script.push(ScriptedEvent {
+            name: "prop".into(),
+            target: EventTarget::As(Asn(100)),
+            kind,
+            start: start_ts,
+            end: Some(end_ts),
+        });
+    }
+    World::new(config, script, vec![]).expect("valid config")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Truth queries are pure: any access order yields identical values.
+    #[test]
+    fn truth_is_order_independent(
+        seed in any::<u64>(),
+        n_blocks in 1u8..8,
+        events in proptest::collection::vec((0u8..90, 0u8..10, 0u8..3), 0..6),
+        probes in proptest::collection::vec((0u32..1200, 0u8..8), 1..20),
+    ) {
+        let w1 = world_from(seed, n_blocks, events.clone());
+        let w2 = world_from(seed, n_blocks, events);
+        // Query w1 forward and w2 in reverse order.
+        let n = n_blocks.max(1) as usize;
+        let forward: Vec<_> = probes
+            .iter()
+            .map(|(r, b)| w1.block_truth(Round(*r), (*b as usize) % n))
+            .collect();
+        let backward: Vec<_> = probes
+            .iter()
+            .rev()
+            .map(|(r, b)| w2.block_truth(Round(*r), (*b as usize) % n))
+            .collect();
+        for (f, b) in forward.iter().zip(backward.iter().rev()) {
+            prop_assert_eq!(f, b);
+        }
+    }
+
+    /// BGP outage windows silence blocks exactly inside their rounds.
+    #[test]
+    fn bgp_event_boundaries_exact(start_day in 1u8..80, len_days in 0u8..10) {
+        let w = world_from(7, 2, vec![(start_day, len_days, 0)]);
+        let start_round = Round::first_at_or_after(
+            CAMPAIGN_START.plus_seconds(start_day as i64 * 86_400),
+        );
+        let end_round = Round::first_at_or_after(
+            CAMPAIGN_START.plus_seconds((start_day as i64 + len_days as i64 + 1) * 86_400),
+        );
+        prop_assert!(w.block_down(start_round, 0));
+        prop_assert!(!w.block_down(Round(start_round.0 - 1), 0));
+        if end_round.0 < 1200 {
+            prop_assert!(w.block_down(Round(end_round.0 - 1), 0));
+            prop_assert!(!w.block_down(end_round, 0));
+        }
+    }
+
+    /// The responsive count never exceeds the pool, and unrouted rounds
+    /// are exactly zero.
+    #[test]
+    fn responsive_bounded_by_pool(
+        seed in any::<u64>(),
+        events in proptest::collection::vec((0u8..90, 0u8..10, 0u8..3), 0..5),
+        r in 0u32..1200,
+    ) {
+        let w = world_from(seed, 4, events);
+        for bi in 0..4 {
+            let t = w.block_truth(Round(r), bi);
+            prop_assert!(t.responsive <= t.pool as u32);
+            if !t.routed {
+                prop_assert_eq!(t.responsive, 0);
+            }
+            prop_assert!(t.response_prob >= 0.0 && t.response_prob <= 1.0);
+            let bm = w.block_bitmap(Round(r), bi);
+            prop_assert!(bm.count() <= t.pool as u32);
+        }
+    }
+
+    /// Reroutes only ever increase RTT, never reduce it.
+    #[test]
+    fn reroute_monotone_rtt(start_day in 1u8..60, len_days in 1u8..20, r in 0u32..1200) {
+        let base = world_from(3, 2, vec![]);
+        let rerouted = world_from(3, 2, vec![(start_day, len_days, 2)]);
+        let a = base.rtt_ns(Round(r), 0);
+        let b = rerouted.rtt_ns(Round(r), 0);
+        prop_assert!(b >= a, "reroute lowered rtt: {} -> {}", a, b);
+    }
+}

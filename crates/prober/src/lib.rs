@@ -1,0 +1,49 @@
+//! ZMap-style full-block ICMP scanner.
+//!
+//! This crate implements the active-measurement half of the reproduced paper:
+//! a single-vantage-point scanner that probes every address of a target set
+//! with ICMP echo requests, paced at a configurable packet rate, with
+//! randomized probe order and stateless response validation — the same
+//! discipline ZMap uses (Durumeric et al., USENIX Security '13).
+//!
+//! The crate is transport-agnostic: [`Transport`] abstracts the wire, so the
+//! scanner runs unchanged against the deterministic world simulator
+//! (`fbs-netsim`), an in-memory loopback used in tests, or — in principle — a
+//! raw socket.
+//!
+//! # Architecture
+//!
+//! * [`packet`] — wire-accurate IPv4 + ICMPv4 encoding/decoding with RFC 1071
+//!   checksums and ZMap-style stateless validation (the echo identifier and
+//!   sequence carry a keyed hash of the destination, so replies validate
+//!   without a pending-probe table; the payload carries the send timestamp,
+//!   so RTT is computed from the echoed bytes alone).
+//! * [`permutation`] — iteration over a target set in a pseudorandom order
+//!   via a multiplicative cyclic group modulo a prime, ZMap's approach: full
+//!   coverage, no duplicates, O(1) state.
+//! * [`rate`] — a token-bucket rate limiter over a virtual clock (paper
+//!   appendix A: 8,000 packets per second, ≈ 500 KB/s).
+//! * [`target`] — the probed address universe as a set of /24 blocks.
+//! * [`observe`] — per-round, per-block response bitmaps and RTT aggregates,
+//!   the raw observations consumed by the signal layer (`fbs-signals`);
+//! * [`quantile`] — O(1)-memory streaming RTT quantiles (the P² algorithm).
+//! * [`scan`] — the scanner loop tying it all together.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod observe;
+pub mod packet;
+pub mod permutation;
+pub mod quantile;
+pub mod rate;
+pub mod scan;
+pub mod target;
+
+pub use observe::{BlockObservation, ResponderBitmap, RoundObservations, RttStat};
+pub use packet::{IcmpKind, ParsedReply, ProbePacket};
+pub use permutation::CyclicPermutation;
+pub use quantile::P2Quantile;
+pub use rate::TokenBucket;
+pub use scan::{ScanConfig, ScanStats, Scanner, Transport};
+pub use target::TargetSet;

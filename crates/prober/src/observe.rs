@@ -1,0 +1,274 @@
+//! Per-round scan observations.
+//!
+//! One scan round produces, for every probed /24 block, a 256-bit bitmap of
+//! the addresses that answered plus round-trip-time aggregates. These
+//! observations are the raw material for all three of the paper's outage
+//! signals: `IPS ▲` counts set bits, `FBS ■` tracks whether eligible blocks
+//! answered at all, and the monthly union of bitmaps yields the ever-active
+//! set `E(b)` that defines eligibility.
+
+use fbs_types::{BlockId, Round};
+use serde::{Deserialize, Serialize};
+
+/// A 256-bit bitmap: one bit per host octet of a /24 block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResponderBitmap(pub [u64; 4]);
+
+impl ResponderBitmap {
+    /// The empty bitmap.
+    pub const EMPTY: ResponderBitmap = ResponderBitmap([0; 4]);
+
+    /// Sets the bit for host octet `host`.
+    #[inline]
+    pub fn set(&mut self, host: u8) {
+        self.0[(host >> 6) as usize] |= 1u64 << (host & 63);
+    }
+
+    /// Clears the bit for host octet `host`.
+    #[inline]
+    pub fn clear(&mut self, host: u8) {
+        self.0[(host >> 6) as usize] &= !(1u64 << (host & 63));
+    }
+
+    /// Whether the bit for `host` is set.
+    #[inline]
+    pub fn get(&self, host: u8) -> bool {
+        self.0[(host >> 6) as usize] & (1u64 << (host & 63)) != 0
+    }
+
+    /// Number of set bits (responsive addresses).
+    #[inline]
+    pub fn count(&self) -> u32 {
+        self.0.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Whether no bits are set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// Bitwise OR with another bitmap (monthly ever-active accumulation).
+    #[inline]
+    pub fn union_with(&mut self, other: &ResponderBitmap) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// Bitwise AND, returning the intersection.
+    #[inline]
+    pub fn intersection(&self, other: &ResponderBitmap) -> ResponderBitmap {
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            out[i] = self.0[i] & other.0[i];
+        }
+        ResponderBitmap(out)
+    }
+
+    /// Iterates the set host octets in ascending order.
+    pub fn iter_hosts(&self) -> impl Iterator<Item = u8> + '_ {
+        (0u16..256).filter_map(move |h| {
+            let h = h as u8;
+            if self.get(h) {
+                Some(h)
+            } else {
+                None
+            }
+        })
+    }
+}
+
+/// Streaming RTT aggregate (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RttStat {
+    /// Sum of observed RTTs.
+    pub sum_ns: u64,
+    /// Number of observations.
+    pub count: u64,
+    /// Minimum observed RTT (`u64::MAX` when empty).
+    pub min_ns: u64,
+    /// Maximum observed RTT.
+    pub max_ns: u64,
+}
+
+impl RttStat {
+    /// A fresh, empty aggregate.
+    pub fn new() -> Self {
+        RttStat {
+            sum_ns: 0,
+            count: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one RTT sample.
+    pub fn record(&mut self, rtt_ns: u64) {
+        self.sum_ns += rtt_ns;
+        self.count += 1;
+        self.min_ns = self.min_ns.min(rtt_ns);
+        self.max_ns = self.max_ns.max(rtt_ns);
+    }
+
+    /// Mean RTT in nanoseconds, or `None` when no samples were recorded.
+    pub fn mean_ns(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum_ns / self.count)
+        }
+    }
+
+    /// Mean RTT in milliseconds as a float, or `None` when empty.
+    pub fn mean_ms(&self) -> Option<f64> {
+        self.mean_ns().map(|ns| ns as f64 / 1e6)
+    }
+
+    /// Merges another aggregate into this one.
+    pub fn merge(&mut self, other: &RttStat) {
+        if other.count == 0 {
+            return;
+        }
+        self.sum_ns += other.sum_ns;
+        self.count += other.count;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// What one scan round observed for a single /24 block.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BlockObservation {
+    /// Bitmap of responsive addresses.
+    pub responders: ResponderBitmap,
+    /// RTT aggregate over the block's replies.
+    pub rtt: RttStat,
+}
+
+impl BlockObservation {
+    /// Number of responsive addresses in this round.
+    pub fn responsive(&self) -> u32 {
+        self.responders.count()
+    }
+
+    /// Whether the block answered at all.
+    pub fn is_active(&self) -> bool {
+        !self.responders.is_empty()
+    }
+}
+
+/// All observations of one scan round, aligned with a `TargetSet`'s block
+/// order (index `i` describes `targets.blocks()[i]`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoundObservations {
+    /// The probing round these observations belong to.
+    pub round: Round,
+    /// Per-block observations in target-set order.
+    pub blocks: Vec<BlockObservation>,
+    /// The block ids, mirroring the target set (kept for self-containment).
+    pub block_ids: Vec<BlockId>,
+}
+
+impl RoundObservations {
+    /// Creates an all-silent observation set for the given blocks.
+    pub fn silent(round: Round, block_ids: Vec<BlockId>) -> Self {
+        RoundObservations {
+            round,
+            blocks: vec![BlockObservation::default(); block_ids.len()],
+            block_ids,
+        }
+    }
+
+    /// Total responsive addresses across all blocks.
+    pub fn total_responsive(&self) -> u64 {
+        self.blocks.iter().map(|b| b.responsive() as u64).sum()
+    }
+
+    /// Number of blocks with at least one responsive address.
+    pub fn active_blocks(&self) -> usize {
+        self.blocks.iter().filter(|b| b.is_active()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_set_get_clear() {
+        let mut bm = ResponderBitmap::EMPTY;
+        assert!(bm.is_empty());
+        bm.set(0);
+        bm.set(63);
+        bm.set(64);
+        bm.set(255);
+        assert_eq!(bm.count(), 4);
+        assert!(bm.get(0) && bm.get(63) && bm.get(64) && bm.get(255));
+        assert!(!bm.get(1));
+        bm.clear(64);
+        assert!(!bm.get(64));
+        assert_eq!(bm.count(), 3);
+    }
+
+    #[test]
+    fn bitmap_union_and_intersection() {
+        let mut a = ResponderBitmap::EMPTY;
+        a.set(1);
+        a.set(200);
+        let mut b = ResponderBitmap::EMPTY;
+        b.set(200);
+        b.set(77);
+        let inter = a.intersection(&b);
+        assert_eq!(inter.count(), 1);
+        assert!(inter.get(200));
+        a.union_with(&b);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn bitmap_iter_hosts_ascending() {
+        let mut bm = ResponderBitmap::EMPTY;
+        for h in [5u8, 100, 42, 255] {
+            bm.set(h);
+        }
+        let hosts: Vec<u8> = bm.iter_hosts().collect();
+        assert_eq!(hosts, vec![5, 42, 100, 255]);
+    }
+
+    #[test]
+    fn rtt_stat_streaming() {
+        let mut s = RttStat::new();
+        assert_eq!(s.mean_ns(), None);
+        s.record(10_000_000);
+        s.record(30_000_000);
+        assert_eq!(s.mean_ns(), Some(20_000_000));
+        assert_eq!(s.mean_ms(), Some(20.0));
+        assert_eq!(s.min_ns, 10_000_000);
+        assert_eq!(s.max_ns, 30_000_000);
+
+        let mut t = RttStat::new();
+        t.record(50_000_000);
+        s.merge(&t);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max_ns, 50_000_000);
+        // Merging an empty aggregate is a no-op.
+        s.merge(&RttStat::new());
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min_ns, 10_000_000);
+    }
+
+    #[test]
+    fn round_observation_aggregates() {
+        let ids = vec![BlockId::from_octets(10, 0, 0), BlockId::from_octets(10, 0, 1)];
+        let mut obs = RoundObservations::silent(Round(0), ids);
+        assert_eq!(obs.total_responsive(), 0);
+        assert_eq!(obs.active_blocks(), 0);
+        obs.blocks[0].responders.set(1);
+        obs.blocks[0].responders.set(2);
+        assert_eq!(obs.total_responsive(), 2);
+        assert_eq!(obs.active_blocks(), 1);
+        assert!(obs.blocks[0].is_active());
+        assert!(!obs.blocks[1].is_active());
+    }
+}

@@ -1,0 +1,297 @@
+//! Pseudorandom full-coverage iteration over a target set.
+//!
+//! ZMap randomizes probe order by iterating the multiplicative cyclic group
+//! of integers modulo a prime: pick a prime `p` slightly larger than the
+//! number of targets `n` and a generator `g` of `(Z/pZ)*`; then the sequence
+//! `g, g², g³, … (mod p)` visits every value in `1..p` exactly once in a
+//! scattered order. Values exceeding `n` are skipped. This gives complete,
+//! duplicate-free coverage with O(1) state and no giant shuffle buffer —
+//! essential when the target universe is 10.5 million addresses.
+//!
+//! The implementation is self-contained: deterministic Miller–Rabin
+//! primality testing for 64-bit integers, trial-division factorization of
+//! `p − 1` (fine here, since `p` barely exceeds the 2³² address space), and
+//! generator search by checking `g^((p−1)/q) ≠ 1` for every prime factor
+//! `q` of `p − 1`.
+
+/// Multiplication modulo `m` without overflow (via 128-bit intermediate).
+#[inline]
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Exponentiation modulo `m`.
+fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc: u64 = 1 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Deterministic Miller–Rabin for 64-bit integers.
+///
+/// The witness set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}` is proven
+/// sufficient for all `n < 3.3 × 10²⁴`, far beyond `u64`.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Smallest prime strictly greater than `n`.
+pub fn next_prime(n: u64) -> u64 {
+    let mut c = n + 1;
+    if c <= 2 {
+        return 2;
+    }
+    if c % 2 == 0 {
+        c += 1;
+    }
+    while !is_prime(c) {
+        c += 2;
+    }
+    c
+}
+
+/// Distinct prime factors of `n` by trial division.
+///
+/// Suitable for `n ≤ 2^40` or so; the permutation only factors `p − 1` where
+/// `p` barely exceeds the target count (≤ 2³² + ε).
+fn prime_factors(mut n: u64) -> Vec<u64> {
+    let mut factors = Vec::new();
+    let mut d = 2u64;
+    while d * d <= n {
+        if n % d == 0 {
+            factors.push(d);
+            while n % d == 0 {
+                n /= d;
+            }
+        }
+        d += if d == 2 { 1 } else { 2 };
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    factors
+}
+
+/// A pseudorandom permutation of `0..n` via a multiplicative cyclic group.
+///
+/// ```
+/// use fbs_prober::CyclicPermutation;
+/// let perm = CyclicPermutation::new(1000, 0x5eed);
+/// let mut seen = vec![false; 1000];
+/// for i in perm.iter() {
+///     assert!(!seen[i as usize], "duplicate index");
+///     seen[i as usize] = true;
+/// }
+/// assert!(seen.iter().all(|&s| s), "full coverage");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CyclicPermutation {
+    /// Number of elements permuted.
+    n: u64,
+    /// Prime modulus, `p > n`.
+    p: u64,
+    /// Generator of the multiplicative group mod `p`.
+    g: u64,
+    /// Starting element (a seed-dependent group element).
+    start: u64,
+}
+
+impl CyclicPermutation {
+    /// Builds a permutation of `0..n` (requires `n ≥ 1`), seeded by `seed`.
+    ///
+    /// Different seeds choose different generators and starting points, so
+    /// consecutive scan rounds traverse the address space in different
+    /// orders (the paper randomizes targets each round to spread load).
+    pub fn new(n: u64, seed: u64) -> Self {
+        assert!(n >= 1, "cannot permute an empty set");
+        // p must be > n so every index in 0..n maps to a group element 1..=n.
+        let p = next_prime(n.max(2));
+        let factors = prime_factors(p - 1);
+        // Seed-driven generator search: walk candidates from a seed-derived
+        // offset until one generates the whole group.
+        let mut candidate = 2 + seed % (p - 2).max(1);
+        let g = loop {
+            if candidate >= p {
+                candidate = 2;
+            }
+            if is_generator(candidate, p, &factors) {
+                break candidate;
+            }
+            candidate += 1;
+        };
+        let start = 1 + (seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) % (p - 1));
+        CyclicPermutation { n, p, g, start }
+    }
+
+    /// Number of elements in the permuted set.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether the permuted set is empty (never true: `new` requires n ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates all indices `0..n` exactly once in permuted order.
+    pub fn iter(&self) -> PermIter<'_> {
+        PermIter {
+            perm: self,
+            current: self.start,
+            emitted: 0,
+        }
+    }
+}
+
+fn is_generator(g: u64, p: u64, factors_of_p_minus_1: &[u64]) -> bool {
+    factors_of_p_minus_1
+        .iter()
+        .all(|&q| pow_mod(g, (p - 1) / q, p) != 1)
+}
+
+/// Iterator over a [`CyclicPermutation`].
+pub struct PermIter<'a> {
+    perm: &'a CyclicPermutation,
+    current: u64,
+    emitted: u64,
+}
+
+impl Iterator for PermIter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        while self.emitted < self.perm.n {
+            let value = self.current;
+            self.current = mul_mod(self.current, self.perm.g, self.perm.p);
+            // Group elements are 1..p; indices are value-1, skipping >= n.
+            if value - 1 < self.perm.n {
+                self.emitted += 1;
+                return Some(value - 1);
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.perm.n - self.emitted) as usize;
+        (left, Some(left))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality_known_values() {
+        assert!(is_prime(2));
+        assert!(is_prime(3));
+        assert!(is_prime(4_294_967_311)); // first prime above 2^32
+        assert!(!is_prime(1));
+        assert!(!is_prime(0));
+        assert!(!is_prime(4_294_967_296));
+        assert!(is_prime(1_000_000_007));
+        assert!(!is_prime(1_000_000_007u64 * 3));
+        // Carmichael number 561 = 3 * 11 * 17 must be rejected.
+        assert!(!is_prime(561));
+    }
+
+    #[test]
+    fn next_prime_values() {
+        assert_eq!(next_prime(0), 2);
+        assert_eq!(next_prime(2), 3);
+        assert_eq!(next_prime(13), 17);
+        assert_eq!(next_prime(4_294_967_296), 4_294_967_311);
+    }
+
+    #[test]
+    fn factors_are_prime_and_divide() {
+        for n in [12u64, 100, 97, 1 << 20, 4_294_967_310] {
+            for q in prime_factors(n) {
+                assert!(is_prime(q), "{q} not prime");
+                assert_eq!(n % q, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_covers_everything_once() {
+        for n in [1u64, 2, 3, 7, 100, 257, 1000] {
+            let perm = CyclicPermutation::new(n, 42);
+            let mut seen = vec![false; n as usize];
+            for i in perm.iter() {
+                assert!(!seen[i as usize], "duplicate {i} for n={n}");
+                seen[i as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "missed indices for n={n}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_orders() {
+        let a: Vec<u64> = CyclicPermutation::new(1000, 1).iter().collect();
+        let b: Vec<u64> = CyclicPermutation::new(1000, 2).iter().collect();
+        assert_ne!(a, b);
+        // Same seed is deterministic.
+        let a2: Vec<u64> = CyclicPermutation::new(1000, 1).iter().collect();
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn order_is_scattered_not_sequential() {
+        let order: Vec<u64> = CyclicPermutation::new(10_000, 7).iter().collect();
+        // Count adjacent pairs that are sequential; a random permutation has
+        // essentially none, the identity has all of them.
+        let sequential = order.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        assert!(
+            sequential < 50,
+            "{sequential} sequential adjacencies — not scattered"
+        );
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let perm = CyclicPermutation::new(100, 3);
+        let mut it = perm.iter();
+        assert_eq!(it.size_hint(), (100, Some(100)));
+        it.next();
+        assert_eq!(it.size_hint(), (99, Some(99)));
+    }
+}

@@ -1,0 +1,229 @@
+//! Streaming quantile estimation (the P² algorithm).
+//!
+//! RTT distributions are heavy-tailed, so means alone mislead; the paper's
+//! RTT heatmap (Fig. 12) is robust because monthly aggregates average many
+//! samples, but an operator watching a single AS wants medians and p95s
+//! without buffering every observation. [`P2Quantile`] maintains a
+//! five-marker parabolic estimate in O(1) memory per quantile (Jain &
+//! Chlamtac, CACM 1985) — the standard streaming estimator in network
+//! telemetry systems.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming estimator of a single quantile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct P2Quantile {
+    /// Target quantile in `(0, 1)`.
+    p: f64,
+    /// Marker heights (estimates of the quantile curve).
+    q: [f64; 5],
+    /// Marker positions (1-based ranks).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Position increments.
+    dn: [f64; 5],
+    /// Samples seen.
+    count: u64,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `p` (e.g. 0.5 = median, 0.95).
+    ///
+    /// Panics if `p` is not strictly inside `(0, 1)` — a programmer error.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile {p} outside (0, 1)");
+        P2Quantile {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// Convenience: a median estimator.
+    pub fn median() -> Self {
+        Self::new(0.5)
+    }
+
+    /// Number of samples observed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Feeds one observation.
+    pub fn observe(&mut self, x: f64) {
+        if self.count < 5 {
+            self.q[self.count as usize] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.q.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell containing x and update extreme markers.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x < self.q[1] {
+            0
+        } else if x < self.q[2] {
+            1
+        } else if x < self.q[3] {
+            2
+        } else if x <= self.q[4] {
+            3
+        } else {
+            self.q[4] = x;
+            3
+        };
+
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+
+        // Adjust interior markers with the piecewise-parabolic formula.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let d = d.signum();
+                let qp = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, d)
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.q;
+        let n = &self.n;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// Current estimate; `None` until any sample arrived. Below five
+    /// samples the exact order statistic is returned.
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            c if c < 5 => {
+                let mut head: Vec<f64> = self.q[..c as usize].to_vec();
+                head.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+                let rank = (self.p * (c as f64 - 1.0)).round() as usize;
+                Some(head[rank.min(c as usize - 1)])
+            }
+            _ => Some(self.q[2]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random stream for tests.
+    fn stream(n: usize, seed: u64) -> Vec<f64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 11) as f64 / (1u64 << 53) as f64) * 100.0
+            })
+            .collect()
+    }
+
+    fn exact_quantile(data: &[f64], p: f64) -> f64 {
+        let mut v = data.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v[((v.len() - 1) as f64 * p).round() as usize]
+    }
+
+    #[test]
+    fn empty_and_tiny_streams() {
+        let mut q = P2Quantile::median();
+        assert_eq!(q.estimate(), None);
+        q.observe(7.0);
+        assert_eq!(q.estimate(), Some(7.0));
+        q.observe(1.0);
+        q.observe(9.0);
+        // Median of {1, 7, 9} = 7.
+        assert_eq!(q.estimate(), Some(7.0));
+        assert_eq!(q.count(), 3);
+    }
+
+    #[test]
+    fn median_of_uniform_converges() {
+        let data = stream(20_000, 42);
+        let mut q = P2Quantile::median();
+        for x in &data {
+            q.observe(*x);
+        }
+        let est = q.estimate().unwrap();
+        let exact = exact_quantile(&data, 0.5);
+        assert!((est - exact).abs() < 2.0, "est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn p95_of_skewed_converges() {
+        // Exponential-ish skew via squaring uniforms.
+        let data: Vec<f64> = stream(20_000, 7).iter().map(|x| x * x / 100.0).collect();
+        let mut q = P2Quantile::new(0.95);
+        for x in &data {
+            q.observe(*x);
+        }
+        let est = q.estimate().unwrap();
+        let exact = exact_quantile(&data, 0.95);
+        assert!(
+            (est - exact).abs() < 0.08 * exact.max(1.0),
+            "est {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn estimate_is_within_observed_range() {
+        let data = stream(5_000, 99);
+        let mut q = P2Quantile::new(0.25);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for x in &data {
+            q.observe(*x);
+            lo = lo.min(*x);
+            hi = hi.max(*x);
+            let est = q.estimate().unwrap();
+            assert!(est >= lo - 1e-9 && est <= hi + 1e-9, "estimate escaped range");
+        }
+    }
+
+    #[test]
+    fn constant_stream_is_exact() {
+        let mut q = P2Quantile::new(0.9);
+        for _ in 0..1000 {
+            q.observe(42.0);
+        }
+        assert_eq!(q.estimate(), Some(42.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn invalid_quantile_panics() {
+        P2Quantile::new(1.0);
+    }
+}

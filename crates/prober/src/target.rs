@@ -1,0 +1,149 @@
+//! The probed address universe.
+//!
+//! A [`TargetSet`] is an ordered, deduplicated collection of /24 blocks —
+//! in the paper, every block delegated to Ukraine in the RIPE delegation
+//! snapshot of 2021-12-14 (≈ 10.5M addresses). The scanner probes all 256
+//! addresses of every block; the set provides dense indexing so that the
+//! permutation layer can treat the whole universe as `0..n`.
+
+use fbs_types::{BlockId, Prefix};
+use std::net::Ipv4Addr;
+
+/// An ordered set of /24 blocks with dense address indexing.
+///
+/// Address index `i` maps to block `i / 256`, host octet `i % 256`; the
+/// inverse lookup is a binary search over the sorted block list.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TargetSet {
+    /// Sorted, deduplicated blocks.
+    blocks: Vec<BlockId>,
+}
+
+impl TargetSet {
+    /// Builds a target set from arbitrary blocks (sorted and deduplicated).
+    pub fn from_blocks(mut blocks: Vec<BlockId>) -> Self {
+        blocks.sort_unstable();
+        blocks.dedup();
+        TargetSet { blocks }
+    }
+
+    /// Builds a target set covering every /24 of the given prefixes.
+    ///
+    /// Prefixes longer than /24 contribute nothing (the paper's delegations
+    /// are /24 or shorter).
+    pub fn from_prefixes<'a>(prefixes: impl IntoIterator<Item = &'a Prefix>) -> Self {
+        let mut blocks = Vec::new();
+        for p in prefixes {
+            blocks.extend(p.blocks());
+        }
+        Self::from_blocks(blocks)
+    }
+
+    /// The blocks in index order.
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of probeable addresses (blocks × 256).
+    pub fn num_addresses(&self) -> u64 {
+        self.blocks.len() as u64 * BlockId::SIZE as u64
+    }
+
+    /// Whether the set contains no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The address at dense index `i` (`0 ≤ i < num_addresses`).
+    #[inline]
+    pub fn addr_at(&self, i: u64) -> Ipv4Addr {
+        let block = self.blocks[(i / 256) as usize];
+        block.addr((i % 256) as u8)
+    }
+
+    /// Index of the block containing `addr`, if probed.
+    #[inline]
+    pub fn block_index(&self, addr: Ipv4Addr) -> Option<usize> {
+        let b = BlockId::containing(addr);
+        self.blocks.binary_search(&b).ok()
+    }
+
+    /// Index position of a specific block, if present.
+    #[inline]
+    pub fn index_of_block(&self, b: BlockId) -> Option<usize> {
+        self.blocks.binary_search(&b).ok()
+    }
+
+    /// Dense address index of `addr`, if probed.
+    #[inline]
+    pub fn addr_index(&self, addr: Ipv4Addr) -> Option<u64> {
+        self.block_index(addr)
+            .map(|bi| bi as u64 * 256 + BlockId::host_of(addr) as u64)
+    }
+
+    /// Whether `addr` is part of the probed universe.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        self.block_index(addr).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TargetSet {
+        TargetSet::from_prefixes(&[
+            "91.237.4.0/23".parse::<Prefix>().unwrap(),
+            "193.151.240.0/22".parse().unwrap(),
+            // Overlapping prefix: dedup must collapse it.
+            "193.151.240.0/24".parse().unwrap(),
+        ])
+    }
+
+    #[test]
+    fn builds_sorted_deduped() {
+        let t = sample();
+        assert_eq!(t.num_blocks(), 6);
+        assert_eq!(t.num_addresses(), 6 * 256);
+        let mut sorted = t.blocks().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, t.blocks());
+    }
+
+    #[test]
+    fn dense_index_roundtrip() {
+        let t = sample();
+        for i in 0..t.num_addresses() {
+            let a = t.addr_at(i);
+            assert_eq!(t.addr_index(a), Some(i));
+        }
+    }
+
+    #[test]
+    fn non_member_lookup_is_none() {
+        let t = sample();
+        assert_eq!(t.addr_index(Ipv4Addr::new(8, 8, 8, 8)), None);
+        assert!(!t.contains(Ipv4Addr::new(91, 237, 6, 1)));
+        assert!(t.contains(Ipv4Addr::new(91, 237, 5, 200)));
+    }
+
+    #[test]
+    fn long_prefixes_contribute_nothing() {
+        let t = TargetSet::from_prefixes(&["10.0.0.0/25".parse::<Prefix>().unwrap()]);
+        assert!(t.is_empty());
+        assert_eq!(t.num_addresses(), 0);
+    }
+
+    #[test]
+    fn from_blocks_deduplicates() {
+        let b = BlockId::from_octets(10, 0, 0);
+        let t = TargetSet::from_blocks(vec![b, b, BlockId::from_octets(10, 0, 1)]);
+        assert_eq!(t.num_blocks(), 2);
+        assert_eq!(t.index_of_block(b), Some(0));
+    }
+}

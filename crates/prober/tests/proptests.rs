@@ -1,0 +1,149 @@
+//! Property-based tests for the scanner's core data structures.
+
+use fbs_prober::packet::{self, encode, internet_checksum, IcmpKind};
+use fbs_prober::{CyclicPermutation, ResponderBitmap, TargetSet, TokenBucket};
+use fbs_types::{BlockId, Prefix};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+proptest! {
+    /// The permutation visits every index exactly once for arbitrary sizes.
+    #[test]
+    fn permutation_is_bijective(n in 1u64..4000, seed in any::<u64>()) {
+        let perm = CyclicPermutation::new(n, seed);
+        let mut seen = vec![false; n as usize];
+        let mut count = 0u64;
+        for i in perm.iter() {
+            prop_assert!(i < n);
+            prop_assert!(!seen[i as usize]);
+            seen[i as usize] = true;
+            count += 1;
+        }
+        prop_assert_eq!(count, n);
+    }
+
+    /// Encoded packets always parse back with both checksums intact.
+    #[test]
+    fn packet_roundtrip(src in any::<u32>(), dst in any::<u32>(),
+                        ident in any::<u16>(), seq in any::<u16>(),
+                        ts in any::<u64>(), ttl in 1u8..=255) {
+        let bytes = encode(
+            Ipv4Addr::from(src), Ipv4Addr::from(dst), ttl,
+            IcmpKind::EchoRequest, ident, seq, ts,
+        );
+        let p = packet::parse(&bytes).unwrap();
+        prop_assert_eq!(p.src, Ipv4Addr::from(src));
+        prop_assert_eq!(p.dst, Ipv4Addr::from(dst));
+        prop_assert_eq!(p.ident, ident);
+        prop_assert_eq!(p.seq, seq);
+        prop_assert_eq!(p.timestamp_ns, ts);
+        prop_assert_eq!(p.ttl, ttl);
+        prop_assert!(p.magic_ok);
+    }
+
+    /// The checksum of data with its checksum folded in verifies to zero.
+    #[test]
+    fn checksum_self_verifies(data in proptest::collection::vec(any::<u8>(), 2..64)) {
+        let mut d = data.clone();
+        // Place a checksum over the whole buffer at offset 0.
+        d[0] = 0; d[1] = 0;
+        let c = internet_checksum(&d);
+        d[0..2].copy_from_slice(&c.to_be_bytes());
+        prop_assert_eq!(internet_checksum(&d), 0);
+    }
+
+    /// Single-bit corruption is always detected by one of the checksums
+    /// (IPv4 header or ICMP) or the length check.
+    #[test]
+    fn bit_flips_are_detected(byte in 0usize..44, bit in 0u8..8) {
+        let bytes = encode(
+            Ipv4Addr::new(192, 0, 2, 1), Ipv4Addr::new(10, 0, 0, 1), 64,
+            IcmpKind::EchoRequest, 7, 9, 42,
+        );
+        let mut bad = bytes.clone();
+        bad[byte] ^= 1 << bit;
+        if bad == bytes { unreachable!("flip changed nothing"); }
+        match packet::parse(&bad) {
+            // Either rejected outright...
+            Err(_) => {}
+            // ...or the flip landed in a field not covered by a checksum
+            // (there is none in our layout except padding-after-magic — but
+            // padding IS covered). The only acceptable parse is one where
+            // validation then fails against any key, unless the flip hit
+            // the TTL field (byte 8), which is mutable in flight by design.
+            Ok(p) => {
+                prop_assert!(byte == 8 || !p.validates(0));
+            }
+        }
+    }
+
+    /// Token bucket never exceeds its configured long-run rate.
+    #[test]
+    fn token_bucket_rate_bound(rate in 100u64..100_000, burst in 1u64..64) {
+        let mut tb = TokenBucket::new(rate, burst);
+        let horizon_ns = 100_000_000; // 0.1 s
+        let mut now = 0u64;
+        let mut sent = 0u64;
+        loop {
+            let t = tb.next_send_time(now);
+            if t > horizon_ns { break; }
+            now = t;
+            tb.consume(now);
+            sent += 1;
+        }
+        let max_allowed = burst + rate * horizon_ns / 1_000_000_000 + 1;
+        prop_assert!(sent <= max_allowed, "sent {} > {}", sent, max_allowed);
+    }
+
+    /// Bitmap count equals the number of distinct hosts inserted.
+    #[test]
+    fn bitmap_count_matches_inserts(hosts in proptest::collection::hash_set(any::<u8>(), 0..64)) {
+        let mut bm = ResponderBitmap::EMPTY;
+        for &h in &hosts { bm.set(h); }
+        prop_assert_eq!(bm.count() as usize, hosts.len());
+        let listed: Vec<u8> = bm.iter_hosts().collect();
+        prop_assert_eq!(listed.len(), hosts.len());
+        for h in listed { prop_assert!(hosts.contains(&h)); }
+    }
+
+    /// Target-set dense indexing is a bijection over its blocks.
+    #[test]
+    fn target_indexing_bijective(a in 1u8..200, b in any::<u8>(), len in 20u8..=24) {
+        let p = Prefix::new(Ipv4Addr::new(a, b, 0, 0), len);
+        let t = TargetSet::from_prefixes(&[p]);
+        prop_assert_eq!(t.num_blocks() as u32, p.num_blocks());
+        // Spot-check boundary addresses of each block.
+        for (bi, blk) in t.blocks().iter().enumerate().take(16) {
+            prop_assert_eq!(t.index_of_block(*blk), Some(bi));
+            prop_assert_eq!(t.addr_index(blk.network()), Some(bi as u64 * 256));
+            prop_assert_eq!(t.addr_index(blk.addr(255)), Some(bi as u64 * 256 + 255));
+        }
+    }
+}
+
+/// Deterministic regression: permutations of the paper-scale universe size
+/// still construct quickly (prime search near 10.5M).
+#[test]
+fn paper_scale_permutation_constructs() {
+    let n = 10_500_000u64;
+    let perm = CyclicPermutation::new(n, 1);
+    assert_eq!(perm.len(), n);
+    // First few indices are in range and distinct.
+    let first: Vec<u64> = perm.iter().take(1000).collect();
+    let mut dedup = first.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(dedup.len(), 1000);
+    assert!(first.iter().all(|&i| i < n));
+}
+
+/// BlockId::host_of and TargetSet agree with packet-level addressing.
+#[test]
+fn target_set_block_alignment() {
+    let t = TargetSet::from_blocks(vec![
+        BlockId::from_octets(91, 237, 4),
+        BlockId::from_octets(91, 237, 5),
+    ]);
+    assert_eq!(t.addr_at(0), Ipv4Addr::new(91, 237, 4, 0));
+    assert_eq!(t.addr_at(511), Ipv4Addr::new(91, 237, 5, 255));
+}

@@ -1,0 +1,309 @@
+//! The core regionality decision.
+
+use serde::{Deserialize, Serialize};
+
+/// Classification outcome for one entity in one region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Regionality {
+    /// Primarily operates in this region (share ≥ M in ≥ T_perc of routed
+    /// months).
+    Regional,
+    /// Operates here among other regions.
+    NonRegional,
+    /// Marginal, noise-like presence (AS classification only): never ≥ 256
+    /// addresses in the region and never above a 10% share.
+    Temporal,
+}
+
+/// Parameters of the classifier; defaults are the paper's choices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionalityConfig {
+    /// Share threshold `M` (paper: 0.7).
+    pub m: f64,
+    /// Fraction of routed months that must meet `M` (paper: 0.7).
+    pub t_perc: f64,
+    /// Address floor below which a non-regional AS may be temporal
+    /// (paper: 256 = one /24).
+    pub temporal_min_ips: u32,
+    /// Share floor below which a non-regional AS may be temporal
+    /// (paper: 0.1).
+    pub temporal_min_share: f64,
+}
+
+impl Default for RegionalityConfig {
+    fn default() -> Self {
+        RegionalityConfig {
+            m: 0.7,
+            t_perc: 0.7,
+            temporal_min_ips: 256,
+            temporal_min_share: 0.1,
+        }
+    }
+}
+
+impl RegionalityConfig {
+    /// A config with different `(M, T_perc)`, keeping the temporal floors.
+    pub fn with_thresholds(m: f64, t_perc: f64) -> Self {
+        RegionalityConfig {
+            m,
+            t_perc,
+            ..RegionalityConfig::default()
+        }
+    }
+
+    /// Validates thresholds lie in `0..=1`.
+    pub fn validate(&self) -> fbs_types::Result<()> {
+        for (name, v) in [("m", self.m), ("t_perc", self.t_perc), ("temporal_min_share", self.temporal_min_share)] {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                return Err(fbs_types::FbsError::config(format!("{name}={v} outside 0..=1")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One month of an entity's presence in the investigated region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonthSample {
+    /// Geolocated addresses of the entity in the region, `n_t(e)`.
+    pub ips_in_region: u32,
+    /// The entity's maximum possible addresses, `N(e)` (AS capacity in
+    /// Ukraine, or 256 for a block).
+    pub capacity: u32,
+    /// Whether the entity was BGP-routed this month. Unrouted months do not
+    /// count toward `T_routed`.
+    pub routed: bool,
+}
+
+impl MonthSample {
+    /// The share `s_t(e)`; zero for zero capacity.
+    pub fn share(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.ips_in_region as f64 / self.capacity as f64
+        }
+    }
+}
+
+/// Number of routed months meeting the share threshold, and total routed.
+fn count_months(history: &[MonthSample], m: f64) -> (usize, usize) {
+    let mut meeting = 0;
+    let mut routed = 0;
+    for s in history {
+        if s.routed {
+            routed += 1;
+            if s.share() >= m {
+                meeting += 1;
+            }
+        }
+    }
+    (meeting, routed)
+}
+
+/// Whether the regionality formula holds:
+/// `Σ 1(s_t ≥ M) ≥ ⌊T_perc · T_routed⌋` (minimum one month).
+fn meets_formula(history: &[MonthSample], m: f64, t_perc: f64) -> bool {
+    let (meeting, routed) = count_months(history, m);
+    if routed == 0 {
+        return false;
+    }
+    let required = ((t_perc * routed as f64).floor() as usize).max(1);
+    meeting >= required
+}
+
+/// Classifies a /24 block for a region. Blocks are only ever
+/// [`Regionality::Regional`] or [`Regionality::NonRegional`].
+pub fn classify_block(history: &[MonthSample], config: &RegionalityConfig) -> Regionality {
+    if meets_formula(history, config.m, config.t_perc) {
+        Regionality::Regional
+    } else {
+        Regionality::NonRegional
+    }
+}
+
+/// Classifies an AS for a region, including the temporal filter.
+///
+/// An AS with zero presence across all months is temporal by definition
+/// (nothing to measure); callers normally only ask about ASes with at least
+/// one geolocated address, matching the paper's `E_total`.
+pub fn classify_as(history: &[MonthSample], config: &RegionalityConfig) -> Regionality {
+    if meets_formula(history, config.m, config.t_perc) {
+        return Regionality::Regional;
+    }
+    let max_ips = history.iter().map(|s| s.ips_in_region).max().unwrap_or(0);
+    let max_share = history
+        .iter()
+        .map(|s| s.share())
+        .fold(0.0f64, f64::max);
+    if max_ips < config.temporal_min_ips && max_share <= config.temporal_min_share {
+        Regionality::Temporal
+    } else {
+        Regionality::NonRegional
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn months(entries: &[(u32, u32, bool)]) -> Vec<MonthSample> {
+        entries
+            .iter()
+            .map(|&(ips, cap, routed)| MonthSample {
+                ips_in_region: ips,
+                capacity: cap,
+                routed,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn share_computation() {
+        let s = MonthSample {
+            ips_in_region: 179,
+            capacity: 256,
+            routed: true,
+        };
+        assert!((s.share() - 0.699).abs() < 0.001);
+        let z = MonthSample {
+            ips_in_region: 0,
+            capacity: 0,
+            routed: true,
+        };
+        assert_eq!(z.share(), 0.0);
+    }
+
+    #[test]
+    fn block_regional_when_consistently_dominant() {
+        // 10 routed months, 8 above 0.7: needs floor(0.7*10)=7.
+        let hist = months(&[
+            (200, 256, true),
+            (210, 256, true),
+            (190, 256, true),
+            (220, 256, true),
+            (185, 256, true),
+            (200, 256, true),
+            (230, 256, true),
+            (240, 256, true),
+            (50, 256, true),
+            (40, 256, true),
+        ]);
+        assert_eq!(
+            classify_block(&hist, &RegionalityConfig::default()),
+            Regionality::Regional
+        );
+    }
+
+    #[test]
+    fn block_non_regional_when_share_flaps() {
+        // Only 4 of 10 routed months above threshold.
+        let mut entries = vec![(200u32, 256u32, true); 4];
+        entries.extend(vec![(50, 256, true); 6]);
+        assert_eq!(
+            classify_block(&months(&entries), &RegionalityConfig::default()),
+            Regionality::NonRegional
+        );
+    }
+
+    #[test]
+    fn unrouted_months_do_not_count() {
+        // 3 routed months all above threshold; 20 unrouted months ignored.
+        let mut entries = vec![(200u32, 256u32, true); 3];
+        entries.extend(vec![(0, 256, false); 20]);
+        assert_eq!(
+            classify_block(&months(&entries), &RegionalityConfig::default()),
+            Regionality::Regional
+        );
+    }
+
+    #[test]
+    fn never_routed_is_not_regional() {
+        let hist = months(&[(200, 256, false), (210, 256, false)]);
+        assert_eq!(
+            classify_block(&hist, &RegionalityConfig::default()),
+            Regionality::NonRegional
+        );
+        // For an AS that never routed and has tiny presence: temporal.
+        assert_eq!(
+            classify_as(&hist[..0], &RegionalityConfig::default()),
+            Regionality::Temporal
+        );
+    }
+
+    #[test]
+    fn as_temporal_when_presence_marginal() {
+        // A national ISP with a handful of addresses briefly in the region.
+        let hist = months(&[
+            (10, 100_000, true),
+            (0, 100_000, true),
+            (0, 100_000, true),
+        ]);
+        assert_eq!(
+            classify_as(&hist, &RegionalityConfig::default()),
+            Regionality::Temporal
+        );
+    }
+
+    #[test]
+    fn as_non_regional_when_presence_substantial_by_ips() {
+        // Many addresses (≥ 256) but low share: non-regional, not temporal.
+        let hist = months(&[(5_000, 100_000, true); 10].to_vec());
+        assert_eq!(
+            classify_as(&hist, &RegionalityConfig::default()),
+            Regionality::NonRegional
+        );
+    }
+
+    #[test]
+    fn as_non_regional_when_share_noticeable() {
+        // Few addresses but > 10% share of a small AS.
+        let hist = months(&[(100, 512, true); 10].to_vec());
+        assert_eq!(
+            classify_as(&hist, &RegionalityConfig::default()),
+            Regionality::NonRegional
+        );
+    }
+
+    #[test]
+    fn as_regional_when_dominant() {
+        let hist = months(&[(900, 1024, true); 10].to_vec());
+        assert_eq!(
+            classify_as(&hist, &RegionalityConfig::default()),
+            Regionality::Regional
+        );
+    }
+
+    #[test]
+    fn paper_example_status_strict_vs_default() {
+        // ISP Status: 4 /24s, 3 in Kherson, 1 in Kyiv → share 0.75.
+        let hist = months(&[(768, 1024, true); 12].to_vec());
+        // Default thresholds (0.7): regional.
+        assert_eq!(
+            classify_as(&hist, &RegionalityConfig::default()),
+            Regionality::Regional
+        );
+        // Strict thresholds (0.9): non-regional, as the paper notes.
+        assert_eq!(
+            classify_as(&hist, &RegionalityConfig::with_thresholds(0.9, 0.9)),
+            Regionality::NonRegional
+        );
+    }
+
+    #[test]
+    fn single_routed_month_requires_threshold_met() {
+        let cfg = RegionalityConfig::default();
+        // floor(0.7 * 1) = 0, but the minimum of one month applies.
+        let above = months(&[(200, 256, true)]);
+        assert_eq!(classify_block(&above, &cfg), Regionality::Regional);
+        let below = months(&[(10, 256, true)]);
+        assert_eq!(classify_block(&below, &cfg), Regionality::NonRegional);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(RegionalityConfig::default().validate().is_ok());
+        assert!(RegionalityConfig::with_thresholds(1.5, 0.5).validate().is_err());
+        assert!(RegionalityConfig::with_thresholds(0.5, -0.1).validate().is_err());
+    }
+}

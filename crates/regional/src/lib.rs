@@ -1,0 +1,34 @@
+//! Long-term regionality classification of ASes and /24 blocks (paper §4).
+//!
+//! Ukraine's wartime address churn (up to −67% per oblast) makes single
+//! geolocation lookups useless for attributing outages to regions. The
+//! paper's remedy: classify an entity *e* (an AS or a /24 block) as
+//! **regional** for an oblast if its share of geolocated addresses there,
+//!
+//! ```text
+//! s_t(e) = n_t(e) / N(e)
+//! ```
+//!
+//! meets a threshold `M` in at least `T_perc` of its routed months
+//! (`M = T_perc = 0.7` in the paper). For ASes, `N(e)` is the AS's address
+//! capacity in Ukraine; for blocks, `N(e) = 256`.
+//!
+//! Non-regional ASes with only marginal presence — never reaching 256
+//! addresses in the region *and* never exceeding a 10% share — are
+//! **temporal**: noise-like appearances that are excluded from the outage
+//! target set entirely.
+//!
+//! The outage **target set** (paper Table 3, last row) is: regional ASes
+//! plus non-regional ASes that own at least one regional /24 block, with
+//! detection restricted to the regional blocks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod sweep;
+pub mod target;
+
+pub use classify::{classify_as, classify_block, MonthSample, Regionality, RegionalityConfig};
+pub use sweep::{sweep_grid, SweepPoint};
+pub use target::{TargetSetBuilder, TargetSummary};

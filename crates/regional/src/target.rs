@@ -1,0 +1,203 @@
+//! Building the outage-detection target set (paper Table 3).
+//!
+//! ASes and blocks are classified *separately* (§4.2): a regional AS can
+//! own non-regional blocks (excluded, they would distort the region's
+//! signal) and a non-regional national ISP can own regional blocks
+//! (included — e.g. 52 of Kyivstar's 299 Kherson-located /24s are regional
+//! there). The target set for a region is every AS — regional or not —
+//! with at least one regional /24 block, restricted to those blocks.
+
+use crate::classify::Regionality;
+use fbs_types::{Asn, BlockId, Oblast};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-category tallies as in paper Table 3.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TargetSummary {
+    /// ASes in the category.
+    pub ases: usize,
+    /// Total addresses (sum of capacities/geolocated counts as supplied).
+    pub ips: u64,
+    /// /24 blocks.
+    pub blocks: usize,
+}
+
+/// Accumulates classifications into a target set for one region.
+#[derive(Debug, Clone, Default)]
+pub struct TargetSetBuilder {
+    region: Option<Oblast>,
+    /// Per-AS classification with its address weight.
+    as_class: BTreeMap<Asn, (Regionality, u64)>,
+    /// Per-block classification (block, owner AS).
+    blocks: BTreeMap<BlockId, (Regionality, Asn)>,
+}
+
+impl TargetSetBuilder {
+    /// Starts a builder for `region`.
+    pub fn new(region: Oblast) -> Self {
+        TargetSetBuilder {
+            region: Some(region),
+            ..TargetSetBuilder::default()
+        }
+    }
+
+    /// The region under construction.
+    pub fn region(&self) -> Option<Oblast> {
+        self.region
+    }
+
+    /// Records an AS classification with its address count in the region.
+    pub fn add_as(&mut self, asn: Asn, class: Regionality, ips: u64) {
+        self.as_class.insert(asn, (class, ips));
+    }
+
+    /// Records a block classification under its owning AS.
+    pub fn add_block(&mut self, block: BlockId, owner: Asn, class: Regionality) {
+        self.blocks.insert(block, (class, owner));
+    }
+
+    /// Tally for one category (Table 3 rows).
+    pub fn summary(&self, class: Regionality) -> TargetSummary {
+        let mut s = TargetSummary::default();
+        for (_, (c, ips)) in &self.as_class {
+            if *c == class {
+                s.ases += 1;
+                s.ips += ips;
+            }
+        }
+        for (_, (c, owner)) in &self.blocks {
+            // A block belongs to its own category row only when its owner
+            // is in the tallied class.
+            if self
+                .as_class
+                .get(owner)
+                .map(|(oc, _)| *oc == class)
+                .unwrap_or(false)
+                && *c == Regionality::Regional
+            {
+                s.blocks += 1;
+            }
+        }
+        s
+    }
+
+    /// Tally of everything observed (Table 3 "Total" row).
+    pub fn total(&self) -> TargetSummary {
+        TargetSummary {
+            ases: self.as_class.len(),
+            ips: self.as_class.values().map(|(_, ips)| ips).sum(),
+            blocks: self.blocks.len(),
+        }
+    }
+
+    /// The measurement target set: every non-temporal AS owning at least
+    /// one regional block, with exactly those regional blocks.
+    pub fn build(&self) -> BTreeMap<Asn, Vec<BlockId>> {
+        let mut out: BTreeMap<Asn, Vec<BlockId>> = BTreeMap::new();
+        for (block, (class, owner)) in &self.blocks {
+            if *class != Regionality::Regional {
+                continue;
+            }
+            let owner_class = self.as_class.get(owner).map(|(c, _)| *c);
+            if matches!(
+                owner_class,
+                Some(Regionality::Regional) | Some(Regionality::NonRegional)
+            ) {
+                out.entry(*owner).or_default().push(*block);
+            }
+        }
+        out
+    }
+
+    /// Summary of the built target set (Table 3 last row).
+    pub fn target_summary(&self) -> TargetSummary {
+        let target = self.build();
+        let blocks: usize = target.values().map(|v| v.len()).sum();
+        let ips: u64 = target
+            .keys()
+            .filter_map(|asn| self.as_class.get(asn).map(|(_, ips)| ips))
+            .sum();
+        TargetSummary {
+            ases: target.len(),
+            ips,
+            blocks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(c: u8) -> BlockId {
+        BlockId::from_octets(10, 0, c)
+    }
+
+    fn builder() -> TargetSetBuilder {
+        let mut b = TargetSetBuilder::new(Oblast::Kherson);
+        // A regional ISP (Status-like): 3 regional blocks + 1 foreign-region.
+        b.add_as(Asn(25482), Regionality::Regional, 768);
+        b.add_block(block(0), Asn(25482), Regionality::Regional);
+        b.add_block(block(1), Asn(25482), Regionality::Regional);
+        b.add_block(block(2), Asn(25482), Regionality::Regional);
+        b.add_block(block(3), Asn(25482), Regionality::NonRegional);
+        // A national ISP (Kyivstar-like): mostly elsewhere, 2 regional blocks.
+        b.add_as(Asn(15895), Regionality::NonRegional, 5_000);
+        b.add_block(block(10), Asn(15895), Regionality::Regional);
+        b.add_block(block(11), Asn(15895), Regionality::Regional);
+        b.add_block(block(12), Asn(15895), Regionality::NonRegional);
+        // A temporal AS: excluded even if a block were to qualify.
+        b.add_as(Asn(99999), Regionality::Temporal, 5);
+        b.add_block(block(20), Asn(99999), Regionality::Regional);
+        b
+    }
+
+    #[test]
+    fn summaries_per_category() {
+        let b = builder();
+        let reg = b.summary(Regionality::Regional);
+        assert_eq!(reg.ases, 1);
+        assert_eq!(reg.ips, 768);
+        assert_eq!(reg.blocks, 3);
+        let non = b.summary(Regionality::NonRegional);
+        assert_eq!(non.ases, 1);
+        assert_eq!(non.blocks, 2);
+        let temp = b.summary(Regionality::Temporal);
+        assert_eq!(temp.ases, 1);
+        assert_eq!(temp.ips, 5);
+        let total = b.total();
+        assert_eq!(total.ases, 3);
+        assert_eq!(total.blocks, 8);
+    }
+
+    #[test]
+    fn target_set_includes_regional_blocks_of_both_as_kinds() {
+        let b = builder();
+        let t = b.build();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&Asn(25482)).unwrap().len(), 3);
+        assert_eq!(t.get(&Asn(15895)).unwrap().len(), 2);
+        // Non-regional blocks of the regional AS are excluded.
+        assert!(!t.get(&Asn(25482)).unwrap().contains(&block(3)));
+        // Temporal ASes are excluded entirely.
+        assert!(!t.contains_key(&Asn(99999)));
+    }
+
+    #[test]
+    fn target_summary_counts() {
+        let b = builder();
+        let s = b.target_summary();
+        assert_eq!(s.ases, 2);
+        assert_eq!(s.blocks, 5);
+        assert_eq!(s.ips, 5_768);
+    }
+
+    #[test]
+    fn empty_builder_is_empty() {
+        let b = TargetSetBuilder::new(Oblast::Lviv);
+        assert!(b.build().is_empty());
+        assert_eq!(b.total(), TargetSummary::default());
+        assert_eq!(b.region(), Some(Oblast::Lviv));
+    }
+}

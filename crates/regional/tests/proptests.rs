@@ -1,0 +1,85 @@
+//! Property tests: monotonicity and consistency of the regionality
+//! classifier.
+
+use fbs_regional::{classify_as, classify_block, MonthSample, Regionality, RegionalityConfig};
+use proptest::prelude::*;
+
+fn arb_history() -> impl Strategy<Value = Vec<MonthSample>> {
+    proptest::collection::vec(
+        (0u32..300, 1u32..2000, any::<bool>()).prop_map(|(ips, cap, routed)| MonthSample {
+            ips_in_region: ips.min(cap),
+            capacity: cap,
+            routed,
+        }),
+        1..40,
+    )
+}
+
+proptest! {
+    /// Raising M can only demote: regional at M implies regional at M' < M.
+    #[test]
+    fn monotone_in_m(history in arb_history(), m1 in 0.1f64..0.9) {
+        let m2 = (m1 + 0.1).min(1.0);
+        let c1 = RegionalityConfig::with_thresholds(m1, 0.7);
+        let c2 = RegionalityConfig::with_thresholds(m2, 0.7);
+        let r1 = classify_block(&history, &c1);
+        let r2 = classify_block(&history, &c2);
+        if r2 == Regionality::Regional {
+            prop_assert_eq!(r1, Regionality::Regional, "stricter M produced regional where looser did not");
+        }
+    }
+
+    /// Raising T_perc can only demote.
+    #[test]
+    fn monotone_in_t_perc(history in arb_history(), t1 in 0.1f64..0.9) {
+        let t2 = (t1 + 0.1).min(1.0);
+        let c1 = RegionalityConfig::with_thresholds(0.7, t1);
+        let c2 = RegionalityConfig::with_thresholds(0.7, t2);
+        if classify_block(&history, &c2) == Regionality::Regional {
+            prop_assert_eq!(classify_block(&history, &c1), Regionality::Regional);
+        }
+    }
+
+    /// A regional AS never satisfies the temporal condition, whatever the
+    /// history: the three verdicts are mutually exclusive by construction.
+    #[test]
+    fn as_verdicts_partition(history in arb_history()) {
+        let cfg = RegionalityConfig::default();
+        let verdict = classify_as(&history, &cfg);
+        match verdict {
+            Regionality::Regional => {
+                // Regional implies the formula holds; the block classifier
+                // (no temporal filtering) must agree.
+                prop_assert_eq!(classify_block(&history, &cfg), Regionality::Regional);
+            }
+            Regionality::Temporal => {
+                // Temporal implies marginal presence on both axes.
+                let max_ips = history.iter().map(|s| s.ips_in_region).max().unwrap_or(0);
+                let max_share = history.iter().map(|s| s.share()).fold(0.0f64, f64::max);
+                prop_assert!(max_ips < cfg.temporal_min_ips);
+                prop_assert!(max_share <= cfg.temporal_min_share + 1e-12);
+            }
+            Regionality::NonRegional => {}
+        }
+    }
+
+    /// Adding an unrouted month never changes the verdict.
+    #[test]
+    fn unrouted_months_are_inert(history in arb_history(), at in 0usize..40) {
+        let cfg = RegionalityConfig::default();
+        let before = classify_block(&history, &cfg);
+        let mut extended = history.clone();
+        let pos = at.min(extended.len());
+        extended.insert(pos, MonthSample { ips_in_region: 0, capacity: 256, routed: false });
+        prop_assert_eq!(classify_block(&extended, &cfg), before);
+    }
+
+    /// Shares are always within [0, 1] for capped histories.
+    #[test]
+    fn shares_bounded(history in arb_history()) {
+        for s in &history {
+            let share = s.share();
+            prop_assert!((0.0..=1.0).contains(&share), "share {share}");
+        }
+    }
+}

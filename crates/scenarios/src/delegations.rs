@@ -1,0 +1,162 @@
+//! RIPE delegation snapshots for the scenario (paper §3.2, appendix B).
+//!
+//! The campaign's target set comes from the delegation file of 2021-12-14;
+//! appendix B then tracks the file's evolution: 98% of the 3,085 UA ranges
+//! survive to 2025, 12% change country code (31% of those to `RU`), the
+//! total shrinks ~7%, and only ~198 new prefixes appear. [`snapshot_2021`]
+//! derives the initial file from the world's prefix population (with
+//! allocation dates spread over 2004–2021, reproducing Fig. 18's growth
+//! curve) and [`snapshot_2025`] applies the documented churn rates.
+
+use fbs_delegations::{DelegationFile, DelegationRecord, DelegationStatus};
+use fbs_netsim::{WorldConfig, WorldRng};
+use fbs_types::CivilDate;
+
+/// The pre-invasion snapshot the paper keeps fixed: every AS prefix as a
+/// `UA` IPv4 range, dated by a growth curve peaking 2008–2014.
+pub fn snapshot_2021(config: &WorldConfig) -> DelegationFile {
+    let rng = WorldRng::new(config.seed).domain("delegations");
+    let mut records = Vec::new();
+    for spec in &config.ases {
+        for (pi, prefix) in spec.prefixes.iter().enumerate() {
+            let coords = (spec.asn.value() as u64, pi as u64);
+            // Allocation year: mass between 2004 and 2021, weighted to the
+            // 2008–2014 boom (Fig. 18 shows steep growth there).
+            let u = rng.uniform3(coords.0, coords.1, 1);
+            let year = if u < 0.55 {
+                2008 + rng.below3(7, coords.0, coords.1, 2) as i32
+            } else if u < 0.85 {
+                2004 + rng.below3(4, coords.0, coords.1, 3) as i32
+            } else {
+                2015 + rng.below3(7, coords.0, coords.1, 4) as i32
+            };
+            let month = 1 + rng.below3(12, coords.0, coords.1, 5) as u8;
+            records.push(DelegationRecord::ipv4(
+                "UA",
+                prefix.network(),
+                prefix.num_addresses(),
+                CivilDate::new(year, month, 1),
+                if rng.chance3(0.8, coords.0, coords.1, 6) {
+                    DelegationStatus::Allocated
+                } else {
+                    DelegationStatus::Assigned
+                },
+            ));
+        }
+    }
+    DelegationFile::new("ripencc", CivilDate::new(2021, 12, 14), records)
+}
+
+/// The January-2025 snapshot: the 2021 file with the paper's churn rates
+/// applied — 2% of ranges vanish, 12% change country code (31% → RU,
+/// 13.5% → US, 11% → PL, 9% → LV, rest → other European codes), and ~7%
+/// new UA prefixes appear.
+pub fn snapshot_2025(config: &WorldConfig) -> DelegationFile {
+    let rng = WorldRng::new(config.seed).domain("delegations-2025");
+    let base = snapshot_2021(config);
+    let mut records = Vec::new();
+    for (i, rec) in base.records.iter().enumerate() {
+        let i = i as u64;
+        if rng.chance3(0.02, i, 0, 0) {
+            continue; // range vanished
+        }
+        let mut rec = rec.clone();
+        if rng.chance3(0.12, i, 1, 0) {
+            let u = rng.uniform3(i, 2, 0);
+            let cc = if u < 0.31 {
+                "RU"
+            } else if u < 0.445 {
+                "US"
+            } else if u < 0.555 {
+                "PL"
+            } else if u < 0.645 {
+                "LV"
+            } else if u < 0.80 {
+                "DE"
+            } else if u < 0.92 {
+                "NL"
+            } else {
+                "CZ"
+            };
+            rec = DelegationRecord::ipv4(
+                cc,
+                rec.start.parse().expect("valid start"),
+                rec.value,
+                rec.date,
+                rec.status,
+            );
+        }
+        records.push(rec);
+    }
+    // New allocations since the snapshot (~7% of the original count),
+    // placed in otherwise-unused space.
+    let new_count = base.records.len() / 14;
+    for i in 0..new_count {
+        records.push(DelegationRecord::ipv4(
+            "UA",
+            std::net::Ipv4Addr::new(45, 140, i as u8, 0),
+            256,
+            CivilDate::new(2022 + (i % 3) as i32, 6, 1),
+            DelegationStatus::Allocated,
+        ));
+    }
+    DelegationFile::new("ripencc", CivilDate::new(2025, 1, 1), records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbs_delegations::churn::{allocation_series, compare};
+    use fbs_netsim::WorldScale;
+
+    fn config() -> WorldConfig {
+        crate::build::ukraine_with_rounds(WorldScale::Small, 3, 120).config
+    }
+
+    #[test]
+    fn snapshot_covers_every_prefix() {
+        let cfg = config();
+        let snap = snapshot_2021(&cfg);
+        let total_prefixes: usize = cfg.ases.iter().map(|a| a.prefixes.len()).sum();
+        assert_eq!(snap.records.len(), total_prefixes);
+        // Targets derived from the file cover the block population.
+        let prefixes = snap.delegated_prefixes("UA");
+        assert!(!prefixes.is_empty());
+        let blocks: u32 = prefixes.iter().map(|p| p.num_blocks()).sum();
+        assert!(blocks as usize >= cfg.blocks.len() * 8 / 10);
+    }
+
+    #[test]
+    fn growth_curve_rises_through_2000s() {
+        let cfg = config();
+        let snap = snapshot_2021(&cfg);
+        let series = allocation_series(&snap, "UA", 2004..=2021);
+        let total_2007 = series.iter().find(|(y, _)| *y == 2007).unwrap().1;
+        let total_2015 = series.iter().find(|(y, _)| *y == 2015).unwrap().1;
+        let total_2021 = series.iter().find(|(y, _)| *y == 2021).unwrap().1;
+        assert!(total_2007 < total_2015);
+        assert!(total_2015 < total_2021);
+        // The boom: most space allocated by 2015.
+        assert!(total_2015 as f64 > 0.6 * total_2021 as f64);
+    }
+
+    #[test]
+    fn churn_rates_match_appendix_b() {
+        let cfg = config();
+        let before = snapshot_2021(&cfg);
+        let after = snapshot_2025(&cfg);
+        let churn = compare(&before, &after, "UA");
+        let survival = churn.surviving_ranges as f64 / churn.initial_ranges as f64;
+        assert!(survival > 0.93, "survival {survival}");
+        let changed = churn.total_changed_cc() as f64 / churn.initial_ranges as f64;
+        assert!((0.05..0.20).contains(&changed), "cc churn {changed}");
+        // RU takes the largest share of the changes.
+        let ru = churn.changed_cc.get("RU").copied().unwrap_or(0);
+        for (cc, n) in &churn.changed_cc {
+            if cc != "RU" {
+                assert!(ru >= *n, "RU should dominate, {cc}={n} ru={ru}");
+            }
+        }
+        assert!(churn.new_ranges > 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! The Ukraine 2022–2025 scenario.
+//!
+//! Turns the paper's narrative into a concrete [`fbs_netsim::World`]:
+//!
+//! * [`roster`] — the 34 Kherson ASes of paper Table 5, verbatim (ASNs,
+//!   names, headquarters, /24 counts, regional classification ground
+//!   truth, IODA coverage, rerouting, 2025 BGP status);
+//! * [`regions`] — per-oblast population weights and churn targets
+//!   (relative IPv4 change per oblast, paper Fig. 1);
+//! * [`timeline`] — the scripted war events: vantage-point gaps, the
+//!   Mykolaiv cable cut, occupation rerouting, the Status seizure and
+//!   liberation outage, the Kakhovka dam flood, and the strike campaigns
+//!   against the power grid in winter 2022/23 and throughout 2024;
+//! * [`build`] — the generator assembling it all into a `WorldConfig` +
+//!   `Script` + strike list at a chosen `WorldScale`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod delegations;
+pub mod regions;
+pub mod roster;
+pub mod timeline;
+
+pub use build::{ukraine, ukraine_with_rounds, Scenario};
+pub use roster::{KhersonAs, KHERSON_ROSTER};

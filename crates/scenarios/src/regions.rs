@@ -1,0 +1,158 @@
+//! Per-oblast population weights and churn targets.
+//!
+//! The block weights approximate the distribution visible in paper Figs. 4,
+//! 6 and 7 (Kyiv by far the largest, Dnipropetrovsk/Kharkiv/Odessa/Lviv
+//! next, occupied regions small); the change targets are Fig. 1's relative
+//! IPv4 deltas between 2022-02-01 and 2025-02-01, which the generator
+//! converts into per-block annual decay factors.
+
+use fbs_types::Oblast;
+
+/// Per-oblast scenario parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionParams {
+    /// The oblast.
+    pub oblast: Oblast,
+    /// /24 blocks at paper scale (totals ≈ 35K country-wide).
+    pub blocks_paper: u32,
+    /// Regional (single-oblast) ASes at paper scale.
+    pub regional_ases_paper: u32,
+    /// Relative IPv4 address change 2022→2025, percent (paper Fig. 1).
+    pub change_pct: f64,
+    /// Mean responder-pool fraction of a /24 (drives Fig. 6's
+    /// responsiveness shares; frontline lowest, Kherson at the bottom).
+    pub responsiveness: f64,
+}
+
+impl RegionParams {
+    /// Annual population decay factor implied by the three-year change.
+    pub fn annual_decay(&self) -> f64 {
+        (1.0 + self.change_pct / 100.0).powf(1.0 / 3.0)
+    }
+}
+
+/// The 26 regions' parameters.
+pub const REGION_PARAMS: [RegionParams; 26] = [
+    RegionParams { oblast: Oblast::Cherkasy, blocks_paper: 900, regional_ases_paper: 55, change_pct: -15.0, responsiveness: 0.16 },
+    RegionParams { oblast: Oblast::Chernihiv, blocks_paper: 700, regional_ases_paper: 40, change_pct: 24.0, responsiveness: 0.14 },
+    RegionParams { oblast: Oblast::Chernivtsi, blocks_paper: 500, regional_ases_paper: 30, change_pct: -10.0, responsiveness: 0.17 },
+    RegionParams { oblast: Oblast::Crimea, blocks_paper: 600, regional_ases_paper: 30, change_pct: -17.0, responsiveness: 0.12 },
+    RegionParams { oblast: Oblast::Dnipropetrovsk, blocks_paper: 3000, regional_ases_paper: 130, change_pct: -8.0, responsiveness: 0.18 },
+    RegionParams { oblast: Oblast::Donetsk, blocks_paper: 1500, regional_ases_paper: 70, change_pct: -56.0, responsiveness: 0.08 },
+    RegionParams { oblast: Oblast::IvanoFrankivsk, blocks_paper: 700, regional_ases_paper: 45, change_pct: -12.0, responsiveness: 0.17 },
+    RegionParams { oblast: Oblast::Kharkiv, blocks_paper: 2600, regional_ases_paper: 120, change_pct: -27.0, responsiveness: 0.11 },
+    RegionParams { oblast: Oblast::Kherson, blocks_paper: 512, regional_ases_paper: 13, change_pct: -62.0, responsiveness: 0.065 },
+    RegionParams { oblast: Oblast::Khmelnytskyi, blocks_paper: 700, regional_ases_paper: 45, change_pct: -12.0, responsiveness: 0.16 },
+    RegionParams { oblast: Oblast::Kirovohrad, blocks_paper: 500, regional_ases_paper: 30, change_pct: -14.0, responsiveness: 0.15 },
+    RegionParams { oblast: Oblast::Kyiv, blocks_paper: 9100, regional_ases_paper: 300, change_pct: 13.0, responsiveness: 0.22 },
+    RegionParams { oblast: Oblast::Luhansk, blocks_paper: 600, regional_ases_paper: 30, change_pct: -67.0, responsiveness: 0.07 },
+    RegionParams { oblast: Oblast::Lviv, blocks_paper: 2100, regional_ases_paper: 110, change_pct: -6.0, responsiveness: 0.19 },
+    RegionParams { oblast: Oblast::Mykolaiv, blocks_paper: 700, regional_ases_paper: 40, change_pct: -20.0, responsiveness: 0.13 },
+    RegionParams { oblast: Oblast::Odessa, blocks_paper: 2200, regional_ases_paper: 110, change_pct: -11.0, responsiveness: 0.17 },
+    RegionParams { oblast: Oblast::Poltava, blocks_paper: 900, regional_ases_paper: 55, change_pct: -13.0, responsiveness: 0.16 },
+    RegionParams { oblast: Oblast::Rivne, blocks_paper: 600, regional_ases_paper: 40, change_pct: -24.0, responsiveness: 0.15 },
+    RegionParams { oblast: Oblast::Sevastopol, blocks_paper: 250, regional_ases_paper: 12, change_pct: -15.0, responsiveness: 0.12 },
+    RegionParams { oblast: Oblast::Sumy, blocks_paper: 600, regional_ases_paper: 35, change_pct: -21.0, responsiveness: 0.12 },
+    RegionParams { oblast: Oblast::Ternopil, blocks_paper: 500, regional_ases_paper: 30, change_pct: -16.0, responsiveness: 0.16 },
+    RegionParams { oblast: Oblast::Transcarpathia, blocks_paper: 500, regional_ases_paper: 30, change_pct: -9.0, responsiveness: 0.17 },
+    RegionParams { oblast: Oblast::Vinnytsia, blocks_paper: 800, regional_ases_paper: 50, change_pct: -18.0, responsiveness: 0.16 },
+    RegionParams { oblast: Oblast::Volyn, blocks_paper: 500, regional_ases_paper: 35, change_pct: -37.0, responsiveness: 0.15 },
+    RegionParams { oblast: Oblast::Zaporizhzhia, blocks_paper: 1100, regional_ases_paper: 55, change_pct: -52.0, responsiveness: 0.09 },
+    RegionParams { oblast: Oblast::Zhytomyr, blocks_paper: 600, regional_ases_paper: 40, change_pct: -30.0, responsiveness: 0.14 },
+];
+
+/// Parameters of one oblast.
+pub fn params(oblast: Oblast) -> &'static RegionParams {
+    &REGION_PARAMS[oblast.index()]
+}
+
+/// National ISPs present across the country (beyond the Kherson roster's
+/// totals): `(asn, name, blocks at paper scale, responsiveness)`.
+pub const NATIONAL_ISPS: [(u32, &str, u32, f64); 6] = [
+    (6849, "Ukrtelecom", 682, 0.12),
+    (15895, "Kyivstar", 299, 0.10),
+    (6877, "Ukrtelecom-2", 239, 0.12),
+    (25229, "Volia", 190, 0.15),
+    (3326, "Datagroup", 150, 0.14),
+    (13188, "Triolan", 120, 0.13),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbs_types::ALL_OBLASTS;
+
+    #[test]
+    fn table_is_aligned_with_oblast_indexes() {
+        for (i, p) in REGION_PARAMS.iter().enumerate() {
+            assert_eq!(p.oblast.index(), i);
+        }
+        for o in ALL_OBLASTS {
+            assert_eq!(params(o).oblast, o);
+        }
+    }
+
+    #[test]
+    fn frontline_regions_decline_hardest() {
+        // Fig. 1's headline numbers.
+        assert_eq!(params(Oblast::Luhansk).change_pct, -67.0);
+        assert_eq!(params(Oblast::Kherson).change_pct, -62.0);
+        assert_eq!(params(Oblast::Donetsk).change_pct, -56.0);
+        // Chernihiv is the only increase among frontline oblasts.
+        assert!(params(Oblast::Chernihiv).change_pct > 0.0);
+        // Mean frontline decline is worse than mean non-frontline decline.
+        let (mut fl, mut nfl, mut n_fl, mut n_nfl) = (0.0, 0.0, 0, 0);
+        for p in &REGION_PARAMS {
+            if p.oblast.is_frontline() {
+                fl += p.change_pct;
+                n_fl += 1;
+            } else {
+                nfl += p.change_pct;
+                n_nfl += 1;
+            }
+        }
+        assert!((fl / n_fl as f64) < (nfl / n_nfl as f64));
+    }
+
+    #[test]
+    fn kherson_has_lowest_responsiveness() {
+        let kherson = params(Oblast::Kherson).responsiveness;
+        for p in &REGION_PARAMS {
+            if p.oblast != Oblast::Kherson {
+                assert!(p.responsiveness >= kherson, "{:?}", p.oblast);
+            }
+        }
+    }
+
+    #[test]
+    fn block_totals_approximate_paper() {
+        let total: u32 = REGION_PARAMS.iter().map(|p| p.blocks_paper).sum();
+        // Paper: 35.2K /24s total; our synthetic regional layout plus the
+        // national ISPs should land in the same ballpark.
+        let national: u32 = NATIONAL_ISPS.iter().map(|(_, _, b, _)| *b).sum();
+        let grand = total + national;
+        assert!(
+            (30_000..40_000).contains(&grand),
+            "total {grand} out of band"
+        );
+    }
+
+    #[test]
+    fn decay_factor_roundtrip() {
+        let p = params(Oblast::Kherson);
+        let decayed = p.annual_decay().powi(3);
+        assert!((decayed - 0.38).abs() < 0.01, "3y factor {decayed}");
+        let up = params(Oblast::Chernihiv).annual_decay();
+        assert!(up > 1.0);
+    }
+
+    #[test]
+    fn kyiv_dominates_block_count() {
+        let kyiv = params(Oblast::Kyiv).blocks_paper;
+        for p in &REGION_PARAMS {
+            if p.oblast != Oblast::Kyiv {
+                assert!(p.blocks_paper < kyiv);
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! The Kherson AS roster (paper Table 5, appendix F).
+//!
+//! All 34 ASes with regional /24 blocks in Kherson oblast, split into 13
+//! regional and 21 non-regional providers, with their headquarters, IODA
+//! coverage, occupation-era rerouting, and whether they still announced
+//! prefixes in 2025 (seven regional providers had gone dark).
+
+use fbs_types::{Asn, Oblast};
+
+/// Where an AS is headquartered (paper Table 5's HQ column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hq {
+    /// A Ukrainian city, with the oblast it belongs to.
+    City(&'static str, Oblast),
+    /// Abroad.
+    Foreign(&'static str),
+}
+
+/// One row of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KhersonAs {
+    /// AS number.
+    pub asn: u32,
+    /// Organization name.
+    pub name: &'static str,
+    /// Total /24 blocks in Ukraine.
+    pub total_24s: u32,
+    /// /24 blocks regional to Kherson.
+    pub regional_24s: u32,
+    /// Ground-truth classification: regional to Kherson oblast?
+    pub regional: bool,
+    /// Headquarters.
+    pub hq: Hq,
+    /// Whether the HQ city lies on the Russian-occupied left bank of the
+    /// Dnipro (RTT stays elevated after liberation — RubinTV, RostNet,
+    /// M-Net).
+    pub left_bank: bool,
+    /// Covered by IODA outage reports (only larger non-regional ASes).
+    pub ioda_covered: bool,
+    /// Rerouted via Russian upstreams during the 2022 occupation.
+    pub rerouted: bool,
+    /// Announced no prefixes any more by 2025.
+    pub dark_2025: bool,
+    /// First announced prefixes only during the campaign (late arrival).
+    pub late_arrival: bool,
+}
+
+impl KhersonAs {
+    /// The ASN as a typed value.
+    pub fn asn(&self) -> Asn {
+        Asn(self.asn)
+    }
+
+    /// HQ oblast, if in Ukraine.
+    pub fn hq_oblast(&self) -> Option<Oblast> {
+        match self.hq {
+            Hq::City(_, o) => Some(o),
+            Hq::Foreign(_) => None,
+        }
+    }
+}
+
+const KH: Oblast = Oblast::Kherson;
+const KY: Oblast = Oblast::Kyiv;
+
+/// Paper Table 5, in its row order (regional providers first, each group
+/// ranked by regional /24 count).
+pub const KHERSON_ROSTER: [KhersonAs; 34] = [
+    // --- Regional (13) ---
+    KhersonAs { asn: 49465, name: "RubinTV", total_24s: 16, regional_24s: 16, regional: true, hq: Hq::City("Nova Kakhovka", KH), left_bank: true, ioda_covered: false, rerouted: true, dark_2025: false, late_arrival: false },
+    KhersonAs { asn: 56404, name: "Norma4", total_24s: 8, regional_24s: 8, regional: true, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: true, dark_2025: false, late_arrival: false },
+    KhersonAs { asn: 56359, name: "RostNet", total_24s: 5, regional_24s: 5, regional: true, hq: Hq::City("Oleshky", KH), left_bank: true, ioda_covered: false, rerouted: true, dark_2025: true, late_arrival: false },
+    KhersonAs { asn: 25482, name: "Status", total_24s: 4, regional_24s: 3, regional: true, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: true, dark_2025: false, late_arrival: false },
+    KhersonAs { asn: 15458, name: "TLC-K", total_24s: 2, regional_24s: 2, regional: true, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: true, dark_2025: true, late_arrival: false },
+    KhersonAs { asn: 47598, name: "Kherson Telecom", total_24s: 3, regional_24s: 2, regional: true, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: true, dark_2025: true, late_arrival: false },
+    KhersonAs { asn: 56446, name: "OstrovNet", total_24s: 2, regional_24s: 2, regional: true, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: true, dark_2025: false, late_arrival: false },
+    KhersonAs { asn: 25256, name: "M-Net", total_24s: 1, regional_24s: 1, regional: true, hq: Hq::City("Henichesk", KH), left_bank: true, ioda_covered: false, rerouted: false, dark_2025: true, late_arrival: false },
+    KhersonAs { asn: 34720, name: "JSC-Chumak", total_24s: 1, regional_24s: 1, regional: true, hq: Hq::City("Kyiv", KY), left_bank: false, ioda_covered: false, rerouted: false, dark_2025: true, late_arrival: false },
+    KhersonAs { asn: 42469, name: "Askad", total_24s: 1, regional_24s: 1, regional: true, hq: Hq::City("Skadovsk", KH), left_bank: true, ioda_covered: false, rerouted: false, dark_2025: true, late_arrival: false },
+    KhersonAs { asn: 44737, name: "Next", total_24s: 1, regional_24s: 1, regional: true, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: false, dark_2025: true, late_arrival: false },
+    KhersonAs { asn: 59500, name: "LineVPS", total_24s: 1, regional_24s: 1, regional: true, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: false, dark_2025: false, late_arrival: false },
+    KhersonAs { asn: 211171, name: "Pluton", total_24s: 1, regional_24s: 1, regional: true, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: true, dark_2025: false, late_arrival: false },
+    // --- Non-regional (21) ---
+    KhersonAs { asn: 25229, name: "Volia", total_24s: 190, regional_24s: 160, regional: false, hq: Hq::City("Kyiv", KY), left_bank: false, ioda_covered: true, rerouted: false, dark_2025: false, late_arrival: false },
+    KhersonAs { asn: 15895, name: "Kyivstar", total_24s: 299, regional_24s: 52, regional: false, hq: Hq::City("Kyiv", KY), left_bank: false, ioda_covered: true, rerouted: false, dark_2025: false, late_arrival: false },
+    KhersonAs { asn: 6877, name: "Ukrtelecom", total_24s: 239, regional_24s: 49, regional: false, hq: Hq::City("Kyiv", KY), left_bank: false, ioda_covered: true, rerouted: false, dark_2025: false, late_arrival: false },
+    KhersonAs { asn: 6849, name: "Ukrtelecom", total_24s: 682, regional_24s: 31, regional: false, hq: Hq::City("Kyiv", KY), left_bank: false, ioda_covered: true, rerouted: false, dark_2025: false, late_arrival: false },
+    KhersonAs { asn: 6703, name: "Alkar-As (Vega)", total_24s: 29, regional_24s: 12, regional: false, hq: Hq::City("Kyiv", KY), left_bank: false, ioda_covered: true, rerouted: false, dark_2025: false, late_arrival: false },
+    KhersonAs { asn: 21151, name: "Ukrcom", total_24s: 18, regional_24s: 10, regional: false, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: true, dark_2025: false, late_arrival: false },
+    KhersonAs { asn: 6698, name: "Virtualsystems", total_24s: 16, regional_24s: 9, regional: false, hq: Hq::City("Kyiv", KY), left_bank: false, ioda_covered: true, rerouted: false, dark_2025: false, late_arrival: false },
+    KhersonAs { asn: 30823, name: "Aurologic", total_24s: 6, regional_24s: 6, regional: false, hq: Hq::Foreign("Langen (DE)"), left_bank: false, ioda_covered: true, rerouted: false, dark_2025: false, late_arrival: false },
+    KhersonAs { asn: 205172, name: "Yanina", total_24s: 6, regional_24s: 6, regional: false, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: false, dark_2025: true, late_arrival: false },
+    KhersonAs { asn: 39862, name: "Digicom", total_24s: 7, regional_24s: 4, regional: false, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: false, dark_2025: false, late_arrival: false },
+    KhersonAs { asn: 57498, name: "Smart-M", total_24s: 4, regional_24s: 3, regional: false, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: false, dark_2025: true, late_arrival: false },
+    KhersonAs { asn: 2914, name: "NTT", total_24s: 2, regional_24s: 2, regional: false, hq: Hq::Foreign("Redmond (US)"), left_bank: false, ioda_covered: true, rerouted: false, dark_2025: false, late_arrival: true },
+    KhersonAs { asn: 12883, name: "Vega", total_24s: 8, regional_24s: 2, regional: false, hq: Hq::City("Kyiv", KY), left_bank: false, ioda_covered: true, rerouted: false, dark_2025: false, late_arrival: false },
+    KhersonAs { asn: 25082, name: "Viner Telecom", total_24s: 12, regional_24s: 2, regional: false, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: true, dark_2025: false, late_arrival: false },
+    KhersonAs { asn: 35213, name: "CompNetUA", total_24s: 12, regional_24s: 2, regional: false, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: false, dark_2025: false, late_arrival: false },
+    KhersonAs { asn: 49168, name: "Brok-X", total_24s: 2, regional_24s: 2, regional: false, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: true, dark_2025: false, late_arrival: true },
+    KhersonAs { asn: 6846, name: "Infocom", total_24s: 7, regional_24s: 1, regional: false, hq: Hq::City("Kyiv", KY), left_bank: false, ioda_covered: true, rerouted: false, dark_2025: false, late_arrival: false },
+    KhersonAs { asn: 12687, name: "Uran Kiev", total_24s: 1, regional_24s: 1, regional: false, hq: Hq::City("Kyiv", KY), left_bank: false, ioda_covered: true, rerouted: false, dark_2025: false, late_arrival: false },
+    KhersonAs { asn: 45043, name: "Viner Telecom", total_24s: 4, regional_24s: 1, regional: false, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: false, dark_2025: false, late_arrival: false },
+    KhersonAs { asn: 197361, name: "LLC AIT", total_24s: 1, regional_24s: 1, regional: false, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: true, dark_2025: true, late_arrival: false },
+    KhersonAs { asn: 215654, name: "Genicheskonline", total_24s: 1, regional_24s: 1, regional: false, hq: Hq::City("Henichesk", KH), left_bank: true, ioda_covered: false, rerouted: false, dark_2025: false, late_arrival: true },
+];
+
+/// The 24 ASes that lost BGP visibility in the April 30, 2022 Mykolaiv
+/// cable cut (§5.2 counts 24 affected ASes; Pluton and Alkar stayed
+/// offline afterwards).
+pub fn cable_cut_victims() -> Vec<Asn> {
+    KHERSON_ROSTER
+        .iter()
+        .filter(|a| {
+            // Foreign transit and late arrivals were not behind the cable;
+            // the big nationals have diverse paths. Everyone else in the
+            // oblast dropped.
+            !matches!(a.hq, Hq::Foreign(_))
+                && !a.late_arrival
+                && !matches!(a.asn, 15895 | 6849 | 6877 | 25229 | 12883 | 6698)
+        })
+        .map(|a| a.asn())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_matches_table5_counts() {
+        assert_eq!(KHERSON_ROSTER.len(), 34);
+        let regional = KHERSON_ROSTER.iter().filter(|a| a.regional).count();
+        assert_eq!(regional, 13, "paper: 13 regional ASes in Kherson");
+        assert_eq!(KHERSON_ROSTER.len() - regional, 21);
+    }
+
+    #[test]
+    fn seven_regional_ases_dark_by_2025() {
+        // §4.3: ASes 15458, 25256, 56359, 34720, 47598, 42469, 44737.
+        let dark: Vec<u32> = KHERSON_ROSTER
+            .iter()
+            .filter(|a| a.regional && a.dark_2025)
+            .map(|a| a.asn)
+            .collect();
+        assert_eq!(dark.len(), 7);
+        for asn in [15458, 25256, 56359, 34720, 47598, 42469, 44737] {
+            assert!(dark.contains(&asn), "AS{asn} missing from dark set");
+        }
+    }
+
+    #[test]
+    fn ioda_covers_only_non_regional() {
+        for a in &KHERSON_ROSTER {
+            if a.ioda_covered {
+                assert!(!a.regional, "{} is regional yet IODA-covered", a.name);
+            }
+        }
+        // And IODA covers the big nationals.
+        let covered: Vec<u32> = KHERSON_ROSTER
+            .iter()
+            .filter(|a| a.ioda_covered)
+            .map(|a| a.asn)
+            .collect();
+        for asn in [25229, 15895, 6877, 6849] {
+            assert!(covered.contains(&asn));
+        }
+    }
+
+    #[test]
+    fn left_bank_hqs() {
+        // RubinTV (Nova Kakhovka), RostNet (Oleshky), M-Net (Henichesk) —
+        // the three ASes whose RTT stays high after liberation (§5.2).
+        for asn in [49465, 56359, 25256] {
+            let a = KHERSON_ROSTER.iter().find(|a| a.asn == asn).unwrap();
+            assert!(a.left_bank, "{} should be left-bank", a.name);
+        }
+        let status = KHERSON_ROSTER.iter().find(|a| a.asn == 25482).unwrap();
+        assert!(!status.left_bank);
+    }
+
+    #[test]
+    fn regional_counts_follow_paper() {
+        let status = KHERSON_ROSTER.iter().find(|a| a.asn == 25482).unwrap();
+        assert_eq!(status.total_24s, 4);
+        assert_eq!(status.regional_24s, 3, "one Status block is regional to Kyiv");
+        let kyivstar = KHERSON_ROSTER.iter().find(|a| a.asn == 15895).unwrap();
+        assert_eq!(kyivstar.regional_24s, 52);
+        assert_eq!(kyivstar.total_24s, 299);
+    }
+
+    #[test]
+    fn cable_cut_hits_24_ases() {
+        let victims = cable_cut_victims();
+        assert_eq!(victims.len(), 24, "paper: 24 ASes affected, got {victims:?}");
+        assert!(victims.contains(&Asn(25482)));
+        assert!(victims.contains(&Asn(211171))); // Pluton
+        assert!(!victims.contains(&Asn(15895))); // Kyivstar has diverse paths
+        assert!(!victims.contains(&Asn(2914))); // NTT wasn't there yet
+    }
+
+    #[test]
+    fn hq_oblast_resolution() {
+        let status = KHERSON_ROSTER.iter().find(|a| a.asn == 25482).unwrap();
+        assert_eq!(status.hq_oblast(), Some(Oblast::Kherson));
+        let ntt = KHERSON_ROSTER.iter().find(|a| a.asn == 2914).unwrap();
+        assert_eq!(ntt.hq_oblast(), None);
+        assert_eq!(ntt.asn(), Asn(2914));
+    }
+}

@@ -1,0 +1,516 @@
+//! The scripted event timeline (paper §2.1, §5, appendix F).
+
+use fbs_netsim::{EventKind, EventTarget, ScriptedEvent, StrikeEvent};
+use fbs_types::{Asn, CivilDate, Oblast, Timestamp};
+
+/// Rostelecom — the Russian upstream imposed on occupied Kherson.
+pub const RUSSIAN_UPSTREAM: Asn = Asn(12389);
+
+/// Extra round-trip delay while rerouted via Russia (~60 ms).
+pub const REROUTE_EXTRA_RTT_NS: u64 = 60_000_000;
+
+fn d(y: i32, m: u8, day: u8) -> CivilDate {
+    CivilDate::new(y, m, day)
+}
+
+/// The documented vantage-point outages (§3.1), as `[start, end)` windows.
+pub fn vantage_outages() -> Vec<(Timestamp, Timestamp)> {
+    [
+        (d(2022, 3, 6), d(2022, 3, 8)),
+        (d(2022, 3, 14), d(2022, 3, 29)),
+        (d(2022, 10, 12), d(2022, 10, 20)),
+        (d(2024, 3, 5), d(2024, 4, 3)),
+        (d(2024, 7, 13), d(2024, 7, 14)),
+        (d(2024, 8, 7), d(2024, 8, 20)),
+        (d(2024, 9, 16), d(2024, 9, 17)),
+    ]
+    .into_iter()
+    .map(|(a, b)| (a.midnight(), b.midnight()))
+    .collect()
+}
+
+/// Strike campaigns against the power grid: winter 2022/23 (the first
+/// campaign) and the heavier 2024 campaign with 13+ documented attacks
+/// (reference 11 in the paper) running into winter 2024/25.
+pub fn power_strikes() -> Vec<StrikeEvent> {
+    let mk = |date: CivilDate, severity: f64, recovery_days: u32| StrikeEvent {
+        date,
+        severity,
+        recovery_days,
+    };
+    vec![
+        // Winter 2022/23.
+        mk(d(2022, 10, 10), 0.6, 25),
+        mk(d(2022, 10, 31), 0.5, 20),
+        mk(d(2022, 11, 15), 0.7, 25),
+        mk(d(2022, 11, 23), 0.9, 30),
+        mk(d(2022, 12, 16), 0.7, 25),
+        mk(d(2022, 12, 29), 0.5, 20),
+        mk(d(2023, 1, 14), 0.6, 25),
+        mk(d(2023, 3, 9), 0.4, 15),
+        // 2024 campaign (13 documented large-scale attacks).
+        mk(d(2024, 3, 22), 0.8, 30),
+        mk(d(2024, 3, 29), 0.5, 20),
+        mk(d(2024, 4, 11), 0.6, 25),
+        mk(d(2024, 4, 27), 0.5, 20),
+        mk(d(2024, 5, 8), 0.6, 25),
+        mk(d(2024, 6, 1), 0.5, 25),
+        mk(d(2024, 6, 20), 0.6, 30),
+        mk(d(2024, 7, 8), 0.4, 20),
+        mk(d(2024, 8, 26), 0.7, 30),
+        mk(d(2024, 9, 26), 0.3, 15),
+        // Winter 2024/25.
+        mk(d(2024, 11, 17), 0.8, 35),
+        mk(d(2024, 11, 28), 0.7, 30),
+        mk(d(2024, 12, 13), 0.6, 30),
+        mk(d(2024, 12, 25), 0.5, 25),
+        mk(d(2025, 1, 15), 0.4, 20),
+    ]
+}
+
+/// The 13 dates of confirmed large-scale attacks in 2024 (Fig. 10's red
+/// marks) — the 2024 entries of [`power_strikes`].
+pub fn strike_dates_2024() -> Vec<CivilDate> {
+    power_strikes()
+        .into_iter()
+        .filter(|s| s.date.year == 2024)
+        .map(|s| s.date)
+        .collect()
+}
+
+/// Builds the named core events shared by every scale.
+///
+/// `cable_victims` are the 24 ASes behind the Mykolaiv cable;
+/// `rerouted` the ASes moved onto Russian upstream during occupation;
+/// `left_bank` the ASes whose rerouting persists after liberation.
+pub fn core_events(
+    cable_victims: &[Asn],
+    rerouted: &[Asn],
+    left_bank: &[Asn],
+) -> Vec<ScriptedEvent> {
+    let mut events = Vec::new();
+    let ev = |name: &str, target, kind, start: Timestamp, end: Option<Timestamp>| ScriptedEvent {
+        name: name.to_string(),
+        target,
+        kind,
+        start,
+        end,
+    };
+
+    // Vantage-point gaps.
+    for (i, (start, end)) in vantage_outages().into_iter().enumerate() {
+        events.push(ev(
+            &format!("vantage outage {}", i + 1),
+            EventTarget::Country,
+            EventKind::VantageOutage,
+            start,
+            Some(end),
+        ));
+    }
+
+    // April 30, 2022: the Mykolaiv backbone cable cut — a three-day
+    // oblast-wide outage for 24 ASes.
+    for asn in cable_victims {
+        events.push(ev(
+            "Mykolaiv cable cut",
+            EventTarget::As(*asn),
+            EventKind::BgpOutage,
+            d(2022, 4, 30).at(6, 0),
+            Some(d(2022, 5, 3).at(12, 0)),
+        ));
+    }
+    // Pluton and Alkar stayed offline afterwards (§5.2).
+    events.push(ev(
+        "Pluton extended outage",
+        EventTarget::As(Asn(211171)),
+        EventKind::BgpOutage,
+        d(2022, 5, 3).at(12, 0),
+        Some(d(2022, 8, 1).midnight()),
+    ));
+
+    // May – November 2022: occupation-era rerouting via Russian upstream.
+    let liberation = d(2022, 11, 11).midnight();
+    for asn in rerouted {
+        let persists = left_bank.contains(asn);
+        events.push(ev(
+            "occupation rerouting",
+            EventTarget::As(*asn),
+            EventKind::Reroute {
+                via: RUSSIAN_UPSTREAM,
+                extra_rtt_ns: REROUTE_EXTRA_RTT_NS,
+            },
+            d(2022, 5, 1).midnight(),
+            if persists { None } else { Some(liberation) },
+        ));
+    }
+
+    // Switching onto (and within) the imposed Russian upstream was itself
+    // disruptive: transient outages around the cutover and during the
+    // late-May routing churn that Kentik/Cloudflare documented.
+    for asn in rerouted {
+        for (from, to) in [
+            (d(2022, 5, 1).midnight(), d(2022, 5, 2).midnight()),
+            (d(2022, 5, 30).at(8, 0), d(2022, 5, 31).at(20, 0)),
+        ] {
+            events.push(ev(
+                "upstream switchover disruption",
+                EventTarget::As(*asn),
+                EventKind::IpsScale(0.25),
+                from,
+                Some(to),
+            ));
+        }
+    }
+
+    // Occupation-era disconnections of smaller providers (§5.2, Fig. 28).
+    for (asn, from, to) in [
+        (42469u32, d(2022, 6, 10), d(2022, 9, 20)), // Askad
+        (44737, d(2022, 6, 1), d(2022, 11, 20)),    // Next
+        (205172, d(2022, 5, 20), d(2023, 2, 1)),    // Yanina
+        (57498, d(2022, 6, 15), d(2023, 1, 10)),    // Smart-M
+    ] {
+        events.push(ev(
+            "occupation disconnection",
+            EventTarget::As(Asn(asn)),
+            EventKind::BgpOutage,
+            from.midnight(),
+            Some(to.midnight()),
+        ));
+    }
+
+    // May 13, 2022, 06:28: Russian troops search the Status ISP offices —
+    // an IPS dip while BGP and FBS stay up (§5.3, Fig. 13).
+    events.push(ev(
+        "Status office seizure",
+        EventTarget::As(Asn(25482)),
+        EventKind::IpsScale(0.15),
+        d(2022, 5, 13).at(6, 0),
+        Some(d(2022, 5, 13).at(20, 0)),
+    ));
+
+    // November 11–21, 2022: retreat destruction — Status's three Kherson
+    // blocks dark for ten days (Fig. 14); other city providers briefly out.
+    for block in [
+        fbs_types::BlockId::from_octets(193, 151, 240),
+        fbs_types::BlockId::from_octets(193, 151, 241),
+        fbs_types::BlockId::from_octets(193, 151, 242),
+    ] {
+        // The /22 stays announced (the Kyiv block keeps answering), but the
+        // Kherson blocks stop responding entirely.
+        events.push(ev(
+            "liberation outage (Status blocks)",
+            EventTarget::Block(block),
+            EventKind::IpsScale(0.0),
+            d(2022, 11, 11).at(4, 0),
+            Some(d(2022, 11, 21).at(10, 0)),
+        ));
+    }
+    // After service returns, electricity only by daylight: strong diurnal
+    // cycles on the recovered blocks for two months (Fig. 14).
+    for block in [
+        fbs_types::BlockId::from_octets(193, 151, 240),
+        fbs_types::BlockId::from_octets(193, 151, 241),
+        fbs_types::BlockId::from_octets(193, 151, 242),
+    ] {
+        events.push(ev(
+            "post-liberation daylight power",
+            EventTarget::Block(block),
+            EventKind::NightScale(0.3),
+            d(2022, 11, 21).at(10, 0),
+            Some(d(2023, 1, 31).midnight()),
+        ));
+    }
+    for asn in [56404u32, 47598, 15458, 56446] {
+        events.push(ev(
+            "retreat destruction",
+            EventTarget::As(Asn(asn)),
+            EventKind::BgpOutage,
+            d(2022, 11, 5).midnight(),
+            Some(d(2022, 11, 18).midnight()),
+        ));
+    }
+
+    // June 6, 2023: the Kakhovka dam destruction floods Kherson city's
+    // port district; OstrovNet (Korabel Island) is out for three months.
+    events.push(ev(
+        "Kakhovka dam flood (OstrovNet)",
+        EventTarget::As(Asn(56446)),
+        EventKind::BgpOutage,
+        d(2023, 6, 6).at(4, 0),
+        Some(d(2023, 9, 5).midnight()),
+    ));
+    for (asn, scale, days) in [(25082u32, 0.3, 10i64), (15458, 0.4, 7), (39862, 0.4, 7)] {
+        events.push(ev(
+            "Kakhovka dam flood",
+            EventTarget::As(Asn(asn)),
+            EventKind::IpsScale(scale),
+            d(2023, 6, 6).at(6, 0),
+            Some(d(2023, 6, 6).midnight().plus_seconds(days * 86_400)),
+        ));
+    }
+    // NetBlocks' documented Volia outage on June 14.
+    events.push(ev(
+        "Kakhovka flood (Volia)",
+        EventTarget::As(Asn(25229)),
+        EventKind::IpsScale(0.25),
+        d(2023, 6, 14).midnight(),
+        Some(d(2023, 6, 16).midnight()),
+    ));
+
+    // Decommissions: seven Kherson regional providers cease operating
+    // (falling subscriber bases, §4.3 / Table 5).
+    for (asn, date) in [
+        (44737u32, d(2023, 2, 1)),  // Next
+        (57498, d(2023, 3, 1)),     // Smart-M (non-regional, also dark)
+        (42469, d(2023, 5, 1)),     // Askad
+        (34720, d(2023, 8, 1)),     // JSC-Chumak
+        (205172, d(2023, 8, 15)),   // Yanina
+        (25256, d(2023, 11, 1)),    // M-Net
+        (15458, d(2024, 3, 1)),     // TLC-K
+        (197361, d(2024, 5, 1)),    // LLC AIT
+        (56359, d(2024, 6, 1)),     // RostNet
+        (47598, d(2024, 9, 1)),     // Kherson Telecom
+    ] {
+        events.push(ev(
+            "decommissioned",
+            EventTarget::As(Asn(asn)),
+            EventKind::Decommission,
+            date.midnight(),
+            None,
+        ));
+    }
+
+    // Late arrivals (white-then-announced rows of Fig. 28).
+    for (asn, date) in [
+        (49168u32, d(2022, 12, 1)), // Brok-X
+        (2914, d(2023, 4, 1)),      // NTT
+        (215654, d(2023, 10, 1)),   // Genicheskonline
+    ] {
+        events.push(ev(
+            "late arrival",
+            EventTarget::As(Asn(asn)),
+            EventKind::Activate,
+            date.midnight(),
+            None,
+        ));
+    }
+
+    // Nationwide provider incidents — documented in contemporaneous
+    // reporting and visible to every outage platform; these give the
+    // AS-level comparison its common anchor events.
+    events.push(ev(
+        "Ukrtelecom cyberattack",
+        EventTarget::As(Asn(6849)),
+        EventKind::IpsScale(0.13),
+        d(2022, 6, 28).at(10, 0),
+        Some(d(2022, 6, 29).at(4, 0)),
+    ));
+    events.push(ev(
+        "Ukrtelecom cyberattack",
+        EventTarget::As(Asn(6877)),
+        EventKind::IpsScale(0.13),
+        d(2022, 6, 28).at(10, 0),
+        Some(d(2022, 6, 29).at(4, 0)),
+    ));
+    events.push(ev(
+        "Kyivstar cyberattack",
+        EventTarget::As(Asn(15895)),
+        EventKind::BgpOutage,
+        d(2023, 12, 12).at(6, 0),
+        Some(d(2023, 12, 14).at(0, 0)),
+    ));
+    events.push(ev(
+        "Kyivstar degraded recovery",
+        EventTarget::As(Asn(15895)),
+        EventKind::IpsScale(0.5),
+        d(2023, 12, 14).at(0, 0),
+        Some(d(2023, 12, 16).at(0, 0)),
+    ));
+    events.push(ev(
+        "Volia DDoS",
+        EventTarget::As(Asn(25229)),
+        EventKind::IpsScale(0.3),
+        d(2022, 12, 10).at(12, 0),
+        Some(d(2022, 12, 11).at(12, 0)),
+    ));
+
+    // Churn moves: Volia space absorbed by Amazon (33K of its addresses,
+    // §4.1), and frontline flight.
+    events.push(ev(
+        "Volia to Amazon",
+        EventTarget::As(Asn(25229)),
+        EventKind::GeoMove {
+            to: fbs_geodb::GeoRegion::foreign("US"),
+            fraction: 0.17,
+            new_owner: Some(Asn(16509)),
+        },
+        d(2023, 9, 1).midnight(),
+        None,
+    ));
+    events.push(ev(
+        "Kherson flight within Ukraine",
+        EventTarget::Region(Oblast::Kherson),
+        EventKind::GeoMove {
+            to: fbs_geodb::GeoRegion::Ua(Oblast::Kyiv),
+            fraction: 0.25,
+            new_owner: None,
+        },
+        d(2022, 10, 1).midnight(),
+        None,
+    ));
+    events.push(ev(
+        "Kherson flight abroad",
+        EventTarget::Region(Oblast::Kherson),
+        EventKind::GeoMove {
+            to: fbs_geodb::GeoRegion::foreign("US"),
+            fraction: 0.15,
+            new_owner: None,
+        },
+        d(2022, 12, 1).midnight(),
+        None,
+    ));
+    events.push(ev(
+        "Luhansk reassignment to Russia",
+        EventTarget::Region(Oblast::Luhansk),
+        EventKind::GeoMove {
+            to: fbs_geodb::GeoRegion::foreign("RU"),
+            fraction: 0.35,
+            new_owner: None,
+        },
+        d(2022, 8, 1).midnight(),
+        None,
+    ));
+    events.push(ev(
+        "Donetsk reassignment to Russia",
+        EventTarget::Region(Oblast::Donetsk),
+        EventKind::GeoMove {
+            to: fbs_geodb::GeoRegion::foreign("RU"),
+            fraction: 0.25,
+            new_owner: None,
+        },
+        d(2022, 9, 1).midnight(),
+        None,
+    ));
+    // Frontline flight within Ukraine: national pools re-homed westward.
+    for (oblast, to, fraction, year, month) in [
+        (Oblast::Donetsk, Oblast::Kyiv, 0.20, 2022, 7),
+        (Oblast::Zaporizhzhia, Oblast::Dnipropetrovsk, 0.25, 2022, 8),
+        (Oblast::Kharkiv, Oblast::Kyiv, 0.15, 2022, 6),
+        (Oblast::Luhansk, Oblast::Dnipropetrovsk, 0.15, 2022, 7),
+        (Oblast::Sumy, Oblast::Kyiv, 0.10, 2022, 9),
+    ] {
+        events.push(ev(
+            "frontline flight within Ukraine",
+            EventTarget::Region(oblast),
+            EventKind::GeoMove {
+                to: fbs_geodb::GeoRegion::Ua(to),
+                fraction,
+                new_owner: None,
+            },
+            d(year, month, 1).midnight(),
+            None,
+        ));
+    }
+
+    events
+}
+
+/// Geo-move fractions already realized by scripted events, per oblast —
+/// the generator subtracts these from the Fig. 1 change targets so decay
+/// and moves together land on the right totals.
+pub fn scripted_move_fraction(oblast: Oblast) -> f64 {
+    match oblast {
+        Oblast::Kherson => 0.40,
+        Oblast::Luhansk => 0.45,
+        Oblast::Donetsk => 0.40,
+        Oblast::Zaporizhzhia => 0.25,
+        Oblast::Kharkiv => 0.15,
+        Oblast::Sumy => 0.10,
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_vantage_windows() {
+        let v = vantage_outages();
+        assert_eq!(v.len(), 7);
+        for (s, e) in &v {
+            assert!(s < e);
+        }
+        // The long 2024 window spans March 5 – April 2.
+        let long = &v[3];
+        assert_eq!(long.0.date(), d(2024, 3, 5));
+        assert_eq!(long.1.date(), d(2024, 4, 3));
+    }
+
+    #[test]
+    fn thirteen_plus_strikes_in_2024() {
+        assert!(strike_dates_2024().len() >= 13);
+        let strikes = power_strikes();
+        // Sorted-ish by campaign; severities in range.
+        for s in &strikes {
+            assert!((0.0..=1.0).contains(&s.severity));
+            assert!(s.recovery_days > 0);
+        }
+        // Both winters are covered.
+        assert!(strikes.iter().any(|s| s.date.year == 2022));
+        assert!(strikes.iter().any(|s| s.date.year == 2025));
+    }
+
+    #[test]
+    fn core_events_reference_paper_incidents() {
+        let victims = crate::roster::cable_cut_victims();
+        let events = core_events(&victims, &[Asn(25482)], &[]);
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        for needle in [
+            "Mykolaiv cable cut",
+            "occupation rerouting",
+            "Status office seizure",
+            "liberation outage (Status blocks)",
+            "Kakhovka dam flood (OstrovNet)",
+            "Volia to Amazon",
+            "decommissioned",
+            "late arrival",
+        ] {
+            assert!(
+                names.iter().any(|n| n.contains(needle)),
+                "missing event {needle}"
+            );
+        }
+        // One cable-cut event per victim.
+        let cable = events
+            .iter()
+            .filter(|e| e.name == "Mykolaiv cable cut")
+            .count();
+        assert_eq!(cable, victims.len());
+    }
+
+    #[test]
+    fn left_bank_reroutes_are_open_ended() {
+        let events = core_events(&[], &[Asn(49465), Asn(25482)], &[Asn(49465)]);
+        let rubin = events
+            .iter()
+            .find(|e| {
+                e.name == "occupation rerouting" && e.target == EventTarget::As(Asn(49465))
+            })
+            .unwrap();
+        assert!(rubin.end.is_none(), "left-bank reroute persists");
+        let status = events
+            .iter()
+            .find(|e| {
+                e.name == "occupation rerouting" && e.target == EventTarget::As(Asn(25482))
+            })
+            .unwrap();
+        assert_eq!(status.end.unwrap().date(), d(2022, 11, 11));
+    }
+
+    #[test]
+    fn move_fractions_cover_scripted_regions() {
+        assert!(scripted_move_fraction(Oblast::Kherson) > 0.0);
+        assert_eq!(scripted_move_fraction(Oblast::Lviv), 0.0);
+    }
+}

@@ -1,0 +1,496 @@
+//! The streaming outage detector.
+//!
+//! One [`Detector`] instance watches one entity (an AS, a region, or a
+//! block). Per round it receives the three signal values and compares each
+//! against its seven-day moving average under the configured thresholds
+//! (paper Table 2 via [`Thresholds`]). The update order matters and follows
+//! the paper: the value under test is compared against the average of
+//! *previous* rounds, then folded into the window.
+//!
+//! Special rules, both from §3.1:
+//!
+//! * **Zero-BGP flag** — while the entity routes no /24 at all, the BGP
+//!   outage is held open even after the moving average has adapted to the
+//!   new (zero) baseline.
+//! * **Availability sensing** — an FBS dip only counts as an outage if the
+//!   IPS signal is simultaneously depressed (below the guard threshold);
+//!   otherwise the dip is attributed to dynamic address reallocation, whose
+//!   responders reappear elsewhere in the entity.
+//! * **Missing measurements** — rounds where the vantage point was offline
+//!   carry no values; they never open or close outages and never feed the
+//!   averages.
+
+use crate::events::{EntityId, OutageEvent};
+use crate::series::{MovingAverage, SignalKind};
+use crate::thresholds::Thresholds;
+use fbs_types::Round;
+use serde::{Deserialize, Serialize};
+
+/// Signal values of one entity at one round. `None` = not measured.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EntityRound {
+    /// Routed /24 blocks (`BGP ★`).
+    pub bgp: Option<f64>,
+    /// Active eligible /24 blocks (`FBS ■`).
+    pub fbs: Option<f64>,
+    /// Responsive IP addresses (`IPS ▲`).
+    pub ips: Option<f64>,
+}
+
+impl EntityRound {
+    /// A round with no measurements (vantage offline).
+    pub const MISSING: EntityRound = EntityRound {
+        bgp: None,
+        fbs: None,
+        ips: None,
+    };
+
+    fn get(&self, kind: SignalKind) -> Option<f64> {
+        match kind {
+            SignalKind::Bgp => self.bgp,
+            SignalKind::Fbs => self.fbs,
+            SignalKind::Ips => self.ips,
+        }
+    }
+}
+
+/// Per-signal state after a round, for introspection and plotting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SignalState {
+    /// Value present and at or above threshold.
+    Ok,
+    /// Value present and below threshold (outage condition).
+    Outage,
+    /// No measurement this round.
+    NoData,
+    /// Not enough history in the window to judge.
+    Warmup,
+}
+
+struct SignalTrack {
+    ma: MovingAverage,
+    in_outage: bool,
+    outage_start: Round,
+    min_ratio: f64,
+}
+
+impl SignalTrack {
+    fn new(window: usize) -> Self {
+        SignalTrack {
+            ma: MovingAverage::new(window),
+            in_outage: false,
+            outage_start: Round(0),
+            min_ratio: 1.0,
+        }
+    }
+}
+
+/// Streaming three-signal outage detector for one entity.
+pub struct Detector {
+    entity: EntityId,
+    thresholds: Thresholds,
+    /// Minimum measured samples in the window before detection engages.
+    warmup: usize,
+    tracks: [SignalTrack; 3],
+    events: Vec<OutageEvent>,
+    last_round: Round,
+}
+
+impl Detector {
+    /// Default warm-up: one day of measured rounds.
+    pub const DEFAULT_WARMUP: usize = 12;
+
+    /// Creates a detector with the seven-day window of the paper.
+    pub fn new(entity: EntityId, thresholds: Thresholds) -> Self {
+        Self::with_window(entity, thresholds, MovingAverage::SEVEN_DAYS, Self::DEFAULT_WARMUP)
+    }
+
+    /// Creates a detector with a custom window and warm-up (tests, sweeps).
+    pub fn with_window(
+        entity: EntityId,
+        thresholds: Thresholds,
+        window: usize,
+        warmup: usize,
+    ) -> Self {
+        thresholds.validate().expect("validated thresholds");
+        Detector {
+            entity,
+            thresholds,
+            warmup: warmup.max(1),
+            tracks: [
+                SignalTrack::new(window),
+                SignalTrack::new(window),
+                SignalTrack::new(window),
+            ],
+            events: Vec::new(),
+            last_round: Round(0),
+        }
+    }
+
+    /// The entity this detector watches.
+    pub fn entity(&self) -> EntityId {
+        self.entity
+    }
+
+    /// Feeds one round of signal values; returns the per-signal states.
+    ///
+    /// Rounds must be fed in increasing order.
+    pub fn observe(&mut self, round: Round, input: EntityRound) -> [SignalState; 3] {
+        self.last_round = round;
+        let mut states = [SignalState::NoData; 3];
+
+        // The FBS guard needs the IPS judgement of the *same* round, so
+        // compute raw below-threshold flags first, then apply gating.
+        let mut below = [None::<(bool, f64)>; 3]; // (below_threshold, ratio)
+        for kind in SignalKind::ALL {
+            let i = kind.index();
+            let value = input.get(kind);
+            let track = &self.tracks[i];
+            if let Some(v) = value {
+                if track.ma.warmed_up(self.warmup) {
+                    let mean = track.ma.mean().expect("warmed up implies samples");
+                    let factor = match kind {
+                        SignalKind::Bgp => self.thresholds.bgp,
+                        SignalKind::Fbs => self.thresholds.fbs,
+                        SignalKind::Ips => self.thresholds.ips,
+                    };
+                    if mean > 0.0 {
+                        let ratio = v / mean;
+                        below[i] = Some((ratio < factor, ratio));
+                    } else {
+                        // A zero baseline cannot shrink further; only the
+                        // zero-BGP flag (below) keeps such outages open.
+                        below[i] = Some((false, 1.0));
+                    }
+                } else {
+                    states[i] = SignalState::Warmup;
+                }
+            }
+        }
+
+        // Availability-sensing guard: FBS only fires when IPS is also
+        // depressed below the guard factor (or IPS has no data).
+        if let Some((fbs_below, _)) = below[SignalKind::Fbs.index()] {
+            if fbs_below {
+                let ips_guard_ok = match (
+                    input.ips,
+                    self.tracks[SignalKind::Ips.index()].ma.mean(),
+                ) {
+                    // A guard factor of 1.0 (or more) disables the veto.
+                    _ if self.thresholds.fbs_ips_guard >= 1.0 => true,
+                    (Some(ips), Some(ips_mean)) if ips_mean > 0.0 => {
+                        ips / ips_mean < self.thresholds.fbs_ips_guard
+                    }
+                    // Without IPS context the guard cannot veto.
+                    _ => true,
+                };
+                if !ips_guard_ok {
+                    below[SignalKind::Fbs.index()] = Some((false, 1.0));
+                }
+            }
+        }
+
+        // Zero-BGP flag: routing nothing at all is always an outage.
+        if self.thresholds.zero_bgp_flag {
+            if let Some(bgp) = input.bgp {
+                if bgp == 0.0 && self.tracks[SignalKind::Bgp.index()].ma.warmed_up(self.warmup) {
+                    let entry = &mut below[SignalKind::Bgp.index()];
+                    let ratio = entry.map(|(_, r)| r).unwrap_or(0.0);
+                    *entry = Some((true, ratio.min(0.0)));
+                }
+            }
+        }
+
+        // Apply state transitions and fold values into the windows.
+        for kind in SignalKind::ALL {
+            let i = kind.index();
+            let track = &mut self.tracks[i];
+            match below[i] {
+                Some((true, ratio)) => {
+                    states[i] = SignalState::Outage;
+                    if !track.in_outage {
+                        track.in_outage = true;
+                        track.outage_start = round;
+                        track.min_ratio = ratio;
+                    } else {
+                        track.min_ratio = track.min_ratio.min(ratio);
+                    }
+                }
+                Some((false, _)) => {
+                    states[i] = SignalState::Ok;
+                    if track.in_outage {
+                        track.in_outage = false;
+                        self.events.push(OutageEvent {
+                            entity: self.entity,
+                            signal: kind,
+                            start: track.outage_start,
+                            end: round,
+                            min_ratio: track.min_ratio,
+                        });
+                    }
+                }
+                None => {
+                    // NoData or Warmup (already set): state freezes.
+                }
+            }
+            track.ma.push(input.get(kind));
+        }
+        states
+    }
+
+    /// Closes any open outages at `end` and returns all detected events.
+    pub fn finish(mut self, end: Round) -> Vec<OutageEvent> {
+        for kind in SignalKind::ALL {
+            let track = &mut self.tracks[kind.index()];
+            if track.in_outage {
+                self.events.push(OutageEvent {
+                    entity: self.entity,
+                    signal: kind,
+                    start: track.outage_start,
+                    end: end.max(track.outage_start.next()),
+                    min_ratio: track.min_ratio,
+                });
+            }
+        }
+        self.events.sort_by_key(|e| (e.start, e.signal.index()));
+        self.events
+    }
+
+    /// Events completed so far (open outages not included).
+    pub fn events_so_far(&self) -> &[OutageEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbs_types::Asn;
+
+    fn detector() -> Detector {
+        // Short window (12) and warmup (4) keep tests compact.
+        Detector::with_window(
+            EntityId::As(Asn(25482)),
+            Thresholds::as_level(),
+            12,
+            4,
+        )
+    }
+
+    fn steady(d: &mut Detector, rounds: std::ops::Range<u32>, bgp: f64, fbs: f64, ips: f64) {
+        for r in rounds {
+            d.observe(
+                Round(r),
+                EntityRound {
+                    bgp: Some(bgp),
+                    fbs: Some(fbs),
+                    ips: Some(ips),
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn no_outage_on_steady_signal() {
+        let mut d = detector();
+        steady(&mut d, 0..50, 10.0, 10.0, 1000.0);
+        assert!(d.finish(Round(50)).is_empty());
+    }
+
+    #[test]
+    fn ips_drop_detected_with_bounds() {
+        let mut d = detector();
+        steady(&mut d, 0..20, 10.0, 10.0, 1000.0);
+        // 50% IPS drop for 5 rounds, blocks stay up.
+        for r in 20..25 {
+            d.observe(
+                Round(r),
+                EntityRound {
+                    bgp: Some(10.0),
+                    fbs: Some(10.0),
+                    ips: Some(500.0),
+                },
+            );
+        }
+        steady(&mut d, 25..40, 10.0, 10.0, 1000.0);
+        let events = d.finish(Round(40));
+        assert_eq!(events.len(), 1);
+        let e = events[0];
+        assert_eq!(e.signal, SignalKind::Ips);
+        assert_eq!(e.start, Round(20));
+        assert_eq!(e.end, Round(25));
+        assert!(e.min_ratio < 0.6 && e.min_ratio > 0.4);
+    }
+
+    #[test]
+    fn warmup_suppresses_detection() {
+        let mut d = detector();
+        // Immediate crash with no history: nothing may fire.
+        let states = d.observe(
+            Round(0),
+            EntityRound {
+                bgp: Some(0.0),
+                fbs: Some(0.0),
+                ips: Some(0.0),
+            },
+        );
+        assert_eq!(states, [SignalState::Warmup; 3]);
+        assert!(d.finish(Round(1)).is_empty());
+    }
+
+    #[test]
+    fn fbs_guarded_by_ips() {
+        // FBS drops 50% but IPS stays at 100%: reallocation, not outage.
+        let mut d = detector();
+        steady(&mut d, 0..20, 10.0, 10.0, 1000.0);
+        for r in 20..25 {
+            let states = d.observe(
+                Round(r),
+                EntityRound {
+                    bgp: Some(10.0),
+                    fbs: Some(5.0),
+                    ips: Some(1000.0),
+                },
+            );
+            assert_eq!(states[SignalKind::Fbs.index()], SignalState::Ok);
+        }
+        let events = d.finish(Round(25));
+        assert!(events.iter().all(|e| e.signal != SignalKind::Fbs));
+    }
+
+    #[test]
+    fn fbs_fires_when_ips_also_down() {
+        let mut d = detector();
+        steady(&mut d, 0..20, 10.0, 10.0, 1000.0);
+        for r in 20..25 {
+            d.observe(
+                Round(r),
+                EntityRound {
+                    bgp: Some(10.0),
+                    fbs: Some(5.0),
+                    ips: Some(400.0),
+                },
+            );
+        }
+        let events = d.finish(Round(25));
+        assert!(events.iter().any(|e| e.signal == SignalKind::Fbs));
+        assert!(events.iter().any(|e| e.signal == SignalKind::Ips));
+    }
+
+    #[test]
+    fn zero_bgp_holds_outage_open_past_adaptation() {
+        let mut d = detector();
+        steady(&mut d, 0..20, 10.0, 10.0, 1000.0);
+        // Total BGP loss for 40 rounds — far longer than the 12-round
+        // window, so the moving average fully adapts to zero.
+        for r in 20..60 {
+            d.observe(
+                Round(r),
+                EntityRound {
+                    bgp: Some(0.0),
+                    fbs: Some(0.0),
+                    ips: Some(0.0),
+                },
+            );
+        }
+        steady(&mut d, 60..70, 10.0, 10.0, 1000.0);
+        let events = d.finish(Round(70));
+        let bgp: Vec<_> = events
+            .iter()
+            .filter(|e| e.signal == SignalKind::Bgp)
+            .collect();
+        assert_eq!(bgp.len(), 1, "one continuous BGP outage, got {bgp:?}");
+        assert_eq!(bgp[0].start, Round(20));
+        assert_eq!(bgp[0].end, Round(60));
+        assert_eq!(bgp[0].hours(), 80.0);
+    }
+
+    #[test]
+    fn without_zero_flag_fbs_outage_ends_when_average_adapts() {
+        let mut d = detector();
+        steady(&mut d, 0..20, 10.0, 10.0, 1000.0);
+        // FBS and IPS drop to a *nonzero* floor for a long time: after the
+        // window adapts, the outage must close on its own.
+        for r in 20..60 {
+            d.observe(
+                Round(r),
+                EntityRound {
+                    bgp: Some(10.0),
+                    fbs: Some(2.0),
+                    ips: Some(100.0),
+                },
+            );
+        }
+        let events = d.finish(Round(60));
+        let fbs: Vec<_> = events
+            .iter()
+            .filter(|e| e.signal == SignalKind::Fbs)
+            .collect();
+        assert_eq!(fbs.len(), 1);
+        assert!(
+            fbs[0].end.0 < 60,
+            "moving average should adapt and close the event, ended {:?}",
+            fbs[0].end
+        );
+    }
+
+    #[test]
+    fn missing_measurements_freeze_state() {
+        let mut d = detector();
+        steady(&mut d, 0..20, 10.0, 10.0, 1000.0);
+        // Vantage offline for 10 rounds.
+        for r in 20..30 {
+            let states = d.observe(Round(r), EntityRound::MISSING);
+            assert_eq!(states, [SignalState::NoData; 3]);
+        }
+        steady(&mut d, 30..40, 10.0, 10.0, 1000.0);
+        assert!(d.finish(Round(40)).is_empty());
+    }
+
+    #[test]
+    fn open_outage_closed_by_finish() {
+        let mut d = detector();
+        steady(&mut d, 0..20, 10.0, 10.0, 1000.0);
+        for r in 20..24 {
+            d.observe(
+                Round(r),
+                EntityRound {
+                    bgp: Some(0.0),
+                    fbs: None,
+                    ips: Some(0.0),
+                },
+            );
+        }
+        let events = d.finish(Round(24));
+        assert!(events.iter().any(|e| e.signal == SignalKind::Bgp && e.end == Round(24)));
+    }
+
+    #[test]
+    fn regional_thresholds_are_more_sensitive_for_ips() {
+        // A 15% dip: below regional (90%) but not AS (80%) threshold.
+        let run = |thresholds: Thresholds| {
+            let mut d = Detector::with_window(
+                EntityId::Region(fbs_types::Oblast::Kherson),
+                thresholds,
+                12,
+                4,
+            );
+            steady(&mut d, 0..20, 10.0, 10.0, 1000.0);
+            for r in 20..25 {
+                d.observe(
+                    Round(r),
+                    EntityRound {
+                        bgp: Some(10.0),
+                        fbs: Some(10.0),
+                        ips: Some(850.0),
+                    },
+                );
+            }
+            d.finish(Round(25))
+        };
+        assert!(run(Thresholds::as_level()).is_empty());
+        assert!(run(Thresholds::regional())
+            .iter()
+            .any(|e| e.signal == SignalKind::Ips));
+    }
+}

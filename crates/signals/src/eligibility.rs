@@ -1,0 +1,211 @@
+//! Monthly block eligibility for full-block scans.
+//!
+//! A /24 block enters the `FBS ■` signal in a month only if it had at least
+//! three *ever-active* addresses that month (`E(b) ≥ 3`, Baltra &
+//! Heidemann's full-block-scan criterion) — far laxer than Trinocular's
+//! `E(b) ≥ 15 ∧ A > 0.1`, which is what preserves coverage of Ukraine's
+//! many small providers (paper Table 4).
+//!
+//! The `IPS ▲` signal carries its own monthly gate: it is only evaluated
+//! for entities whose average responsive address count exceeds 10 that
+//! month (§3.1), because percentage drops over a handful of addresses are
+//! meaningless.
+
+use fbs_types::{BlockId, MonthId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Eligibility thresholds; defaults follow the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EligibilityConfig {
+    /// Minimum ever-active addresses per month for FBS (paper: 3).
+    pub min_ever_active: u32,
+    /// Minimum mean responsive addresses per month for the IPS signal
+    /// (paper: strictly more than 10).
+    pub min_mean_ips: f64,
+}
+
+impl Default for EligibilityConfig {
+    fn default() -> Self {
+        EligibilityConfig {
+            min_ever_active: 3,
+            min_mean_ips: 10.0,
+        }
+    }
+}
+
+/// One block's responsiveness aggregate over one month.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlockMonth {
+    /// The block.
+    pub block: BlockId,
+    /// Distinct addresses that answered at least once this month: `E(b)`.
+    pub ever_active: u32,
+    /// Sum of per-round responsive counts (for means).
+    pub responsive_sum: u64,
+    /// Rounds with measurements this month.
+    pub rounds_measured: u32,
+}
+
+impl BlockMonth {
+    /// Mean responsive addresses per measured round.
+    pub fn mean_responsive(&self) -> f64 {
+        if self.rounds_measured == 0 {
+            0.0
+        } else {
+            self.responsive_sum as f64 / self.rounds_measured as f64
+        }
+    }
+
+    /// Long-term per-address availability `A`: mean responsive over
+    /// ever-active. Zero when nothing was ever active.
+    pub fn availability(&self) -> f64 {
+        if self.ever_active == 0 {
+            0.0
+        } else {
+            self.mean_responsive() / self.ever_active as f64
+        }
+    }
+}
+
+/// The eligibility decision set of one month.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MonthEligibility {
+    /// The month judged.
+    pub month: Option<MonthId>,
+    /// Blocks eligible for the FBS signal.
+    eligible: BTreeMap<BlockId, BlockMonth>,
+    /// Blocks observed but not eligible.
+    ineligible: BTreeMap<BlockId, BlockMonth>,
+}
+
+impl MonthEligibility {
+    /// Judges a month's block aggregates under `config`.
+    pub fn judge(
+        month: MonthId,
+        blocks: impl IntoIterator<Item = BlockMonth>,
+        config: &EligibilityConfig,
+    ) -> Self {
+        let mut out = MonthEligibility {
+            month: Some(month),
+            ..MonthEligibility::default()
+        };
+        for b in blocks {
+            if b.ever_active >= config.min_ever_active {
+                out.eligible.insert(b.block, b);
+            } else {
+                out.ineligible.insert(b.block, b);
+            }
+        }
+        out
+    }
+
+    /// Whether `block` may contribute to the FBS signal this month.
+    pub fn is_eligible(&self, block: BlockId) -> bool {
+        self.eligible.contains_key(&block)
+    }
+
+    /// Number of eligible blocks.
+    pub fn num_eligible(&self) -> usize {
+        self.eligible.len()
+    }
+
+    /// Number of observed but ineligible blocks.
+    pub fn num_ineligible(&self) -> usize {
+        self.ineligible.len()
+    }
+
+    /// Iterates eligible block aggregates.
+    pub fn eligible_blocks(&self) -> impl Iterator<Item = &BlockMonth> {
+        self.eligible.values()
+    }
+
+    /// Looks up any observed block's aggregate.
+    pub fn get(&self, block: BlockId) -> Option<&BlockMonth> {
+        self.eligible
+            .get(&block)
+            .or_else(|| self.ineligible.get(&block))
+    }
+}
+
+/// Whether an entity's IPS signal is assessable this month: its mean
+/// responsive count must exceed the configured minimum (paper: 10).
+pub fn ips_signal_usable(mean_responsive: f64, config: &EligibilityConfig) -> bool {
+    mean_responsive > config.min_mean_ips
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bm(c: u8, ever: u32, sum: u64, rounds: u32) -> BlockMonth {
+        BlockMonth {
+            block: BlockId::from_octets(10, 0, c),
+            ever_active: ever,
+            responsive_sum: sum,
+            rounds_measured: rounds,
+        }
+    }
+
+    #[test]
+    fn fbs_threshold_is_three() {
+        let cfg = EligibilityConfig::default();
+        let e = MonthEligibility::judge(
+            MonthId::new(2022, 4),
+            vec![bm(0, 2, 100, 360), bm(1, 3, 100, 360), bm(2, 200, 100, 360)],
+            &cfg,
+        );
+        assert!(!e.is_eligible(BlockId::from_octets(10, 0, 0)));
+        assert!(e.is_eligible(BlockId::from_octets(10, 0, 1)));
+        assert!(e.is_eligible(BlockId::from_octets(10, 0, 2)));
+        assert_eq!(e.num_eligible(), 2);
+        assert_eq!(e.num_ineligible(), 1);
+    }
+
+    #[test]
+    fn means_and_availability() {
+        let b = bm(0, 20, 3600, 360);
+        assert_eq!(b.mean_responsive(), 10.0);
+        assert_eq!(b.availability(), 0.5);
+        let empty = bm(1, 0, 0, 0);
+        assert_eq!(empty.mean_responsive(), 0.0);
+        assert_eq!(empty.availability(), 0.0);
+    }
+
+    #[test]
+    fn ips_gate_is_strictly_greater_than_ten() {
+        let cfg = EligibilityConfig::default();
+        assert!(!ips_signal_usable(10.0, &cfg));
+        assert!(ips_signal_usable(10.1, &cfg));
+        assert!(!ips_signal_usable(0.0, &cfg));
+    }
+
+    #[test]
+    fn lookup_covers_both_partitions() {
+        let cfg = EligibilityConfig::default();
+        let e = MonthEligibility::judge(
+            MonthId::new(2022, 4),
+            vec![bm(0, 1, 5, 10), bm(1, 5, 50, 10)],
+            &cfg,
+        );
+        assert!(e.get(BlockId::from_octets(10, 0, 0)).is_some());
+        assert!(e.get(BlockId::from_octets(10, 0, 1)).is_some());
+        assert!(e.get(BlockId::from_octets(10, 0, 9)).is_none());
+        assert_eq!(e.eligible_blocks().count(), 1);
+    }
+
+    #[test]
+    fn custom_config_changes_eligibility() {
+        // Trinocular-style ever-active floor of 15.
+        let cfg = EligibilityConfig {
+            min_ever_active: 15,
+            min_mean_ips: 10.0,
+        };
+        let e = MonthEligibility::judge(
+            MonthId::new(2022, 4),
+            vec![bm(0, 14, 0, 1), bm(1, 15, 0, 1)],
+            &cfg,
+        );
+        assert_eq!(e.num_eligible(), 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! The three Internet-availability signals and outage detection.
+//!
+//! §3.1 of the paper derives three signals from the two-hourly full-block
+//! scans plus RouteViews data, aggregated per AS or per region:
+//!
+//! * **`BGP ★`** — the number of routed /24 blocks;
+//! * **`FBS ■`** — the number of *active* /24 blocks among those eligible
+//!   for full-block scanning (≥ 3 ever-active addresses in the month);
+//! * **`IPS ▲`** — the number of responsive IP addresses, the novel signal
+//!   enabled by probing every address: it catches *partial* outages where
+//!   blocks stay nominally up but most hosts vanish.
+//!
+//! An outage is declared when a signal drops below a static threshold
+//! relative to its seven-day moving average (paper Table 2). Two
+//! refinements from the paper are implemented: the *zero-BGP flag* keeps an
+//! outage open while an entity routes nothing at all (otherwise the moving
+//! average adapts and long outages would end spuriously), and *ISP
+//! availability sensing* (Baltra & Heidemann) gates FBS detections on
+//! simultaneously-depressed IP responsiveness, suppressing false positives
+//! from dynamic address reallocation.
+//!
+//! # Module map
+//!
+//! * [`thresholds`] — Table 2's static thresholds per aggregation level;
+//! * [`series`] — time series with missing-measurement support and the
+//!   seven-day moving average;
+//! * [`detect`] — the streaming outage detector;
+//! * [`events`] — outage periods, merging, and hour accounting;
+//! * [`eligibility`] — monthly full-block-scan eligibility (`E(b) ≥ 3`) and
+//!   the IPS minimum-responsiveness gate;
+//! * [`sensing`] — block-level ISP availability sensing (which dark blocks
+//!   are re-addressings rather than outages).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detect;
+pub mod eligibility;
+pub mod events;
+pub mod sensing;
+pub mod series;
+pub mod thresholds;
+
+pub use detect::{Detector, EntityRound, SignalState};
+pub use eligibility::{ips_signal_usable, BlockMonth, EligibilityConfig, MonthEligibility};
+pub use events::{merge_overlapping, outage_hours, EntityId, OutageEvent};
+pub use sensing::{AvailabilitySensor, SensingConfig, SensingVerdict};
+pub use series::{MovingAverage, SignalKind, SignalSeries};
+pub use thresholds::Thresholds;

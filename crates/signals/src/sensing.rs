@@ -1,0 +1,210 @@
+//! ISP availability sensing (Baltra & Heidemann), block-level.
+//!
+//! The paper filters FBS false positives with "ISP availability sensing":
+//! when a /24 goes dark but its ISP's *other* blocks pick up the
+//! responsiveness, the dark block was renumbered, not knocked out. The
+//! campaign pipeline applies this at signal level (the IPS guard in
+//! [`crate::detect`]); this module provides the underlying block-level
+//! sensor for callers who need per-block verdicts — e.g. to annotate
+//! *which* blocks of an AS were re-addressed in a given round.
+
+use crate::series::MovingAverage;
+use fbs_types::Round;
+use serde::{Deserialize, Serialize};
+
+/// Sensor thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensingConfig {
+    /// Moving-average window (rounds).
+    pub window: usize,
+    /// A block is *dark* when below this fraction of its own average.
+    pub block_dark: f64,
+    /// The AS total is *stable* when at or above this fraction of its
+    /// average — dark blocks under a stable total indicate reallocation.
+    pub total_stable: f64,
+    /// Measured samples required before verdicts are issued.
+    pub warmup: usize,
+}
+
+impl Default for SensingConfig {
+    fn default() -> Self {
+        SensingConfig {
+            window: 84,
+            block_dark: 0.25,
+            total_stable: 0.92,
+            warmup: 12,
+        }
+    }
+}
+
+/// Per-round verdict of the sensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensingVerdict {
+    /// The judged round.
+    pub round: Round,
+    /// Indexes (into the observed block slice) of blocks currently dark.
+    pub dark_blocks: Vec<usize>,
+    /// Whether the dark blocks are explained by reallocation (total
+    /// responsiveness held steady).
+    pub reallocation: bool,
+}
+
+impl SensingVerdict {
+    /// Dark blocks that are genuine outage candidates (not reallocation).
+    pub fn outage_candidates(&self) -> &[usize] {
+        if self.reallocation {
+            &[]
+        } else {
+            &self.dark_blocks
+        }
+    }
+}
+
+/// Streaming block-level availability sensor for one AS.
+#[derive(Debug, Clone)]
+pub struct AvailabilitySensor {
+    config: SensingConfig,
+    blocks: Vec<MovingAverage>,
+    total: MovingAverage,
+}
+
+impl AvailabilitySensor {
+    /// Creates a sensor over `n_blocks` blocks.
+    pub fn new(n_blocks: usize, config: SensingConfig) -> Self {
+        AvailabilitySensor {
+            config,
+            blocks: (0..n_blocks).map(|_| MovingAverage::new(config.window)).collect(),
+            total: MovingAverage::new(config.window),
+        }
+    }
+
+    /// Number of tracked blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Feeds one round of per-block responsive counts (slice length must
+    /// match `num_blocks`) and returns the verdict.
+    pub fn observe(&mut self, round: Round, counts: &[u32]) -> SensingVerdict {
+        assert_eq!(counts.len(), self.blocks.len(), "block count mismatch");
+        let total: u32 = counts.iter().sum();
+
+        let mut dark = Vec::new();
+        if self.total.warmed_up(self.config.warmup) {
+            for (i, ma) in self.blocks.iter().enumerate() {
+                if let Some(mean) = ma.mean() {
+                    if mean > 0.0
+                        && ma.warmed_up(self.config.warmup)
+                        && (counts[i] as f64) < self.config.block_dark * mean
+                    {
+                        dark.push(i);
+                    }
+                }
+            }
+        }
+        let reallocation = if dark.is_empty() {
+            false
+        } else {
+            match self.total.mean() {
+                Some(mean) if mean > 0.0 => {
+                    total as f64 >= self.config.total_stable * mean
+                }
+                _ => false,
+            }
+        };
+
+        for (i, ma) in self.blocks.iter_mut().enumerate() {
+            ma.push(Some(counts[i] as f64));
+        }
+        self.total.push(Some(total as f64));
+
+        SensingVerdict {
+            round,
+            dark_blocks: dark,
+            reallocation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> SensingConfig {
+        SensingConfig {
+            window: 24,
+            warmup: 6,
+            ..SensingConfig::default()
+        }
+    }
+
+    fn feed_steady(s: &mut AvailabilitySensor, rounds: std::ops::Range<u32>, counts: &[u32]) {
+        for r in rounds {
+            s.observe(Round(r), counts);
+        }
+    }
+
+    #[test]
+    fn steady_state_no_verdicts() {
+        let mut s = AvailabilitySensor::new(4, config());
+        for r in 0..40 {
+            let v = s.observe(Round(r), &[50, 60, 40, 70]);
+            assert!(v.dark_blocks.is_empty());
+            assert!(!v.reallocation);
+        }
+    }
+
+    #[test]
+    fn renumbering_detected_as_reallocation() {
+        let mut s = AvailabilitySensor::new(4, config());
+        feed_steady(&mut s, 0..30, &[50, 60, 40, 70]);
+        // Block 0 goes dark, its users reappear across the others.
+        let v = s.observe(Round(30), &[0, 78, 57, 87]);
+        assert_eq!(v.dark_blocks, vec![0]);
+        assert!(v.reallocation, "stable total must read as reallocation");
+        assert!(v.outage_candidates().is_empty());
+    }
+
+    #[test]
+    fn genuine_block_outage_is_a_candidate() {
+        let mut s = AvailabilitySensor::new(4, config());
+        feed_steady(&mut s, 0..30, &[50, 60, 40, 70]);
+        // Block 0 goes dark and the users do NOT reappear.
+        let v = s.observe(Round(30), &[0, 60, 40, 70]);
+        assert_eq!(v.dark_blocks, vec![0]);
+        assert!(!v.reallocation);
+        assert_eq!(v.outage_candidates(), &[0]);
+    }
+
+    #[test]
+    fn full_as_outage_never_reads_as_reallocation() {
+        let mut s = AvailabilitySensor::new(3, config());
+        feed_steady(&mut s, 0..30, &[50, 60, 40]);
+        let v = s.observe(Round(30), &[0, 0, 0]);
+        assert_eq!(v.dark_blocks.len(), 3);
+        assert!(!v.reallocation);
+    }
+
+    #[test]
+    fn warmup_suppresses_verdicts() {
+        let mut s = AvailabilitySensor::new(2, config());
+        // A crash right at the start: no history, no verdict.
+        let v = s.observe(Round(0), &[0, 0]);
+        assert!(v.dark_blocks.is_empty());
+    }
+
+    #[test]
+    fn always_silent_block_never_flags() {
+        let mut s = AvailabilitySensor::new(2, config());
+        feed_steady(&mut s, 0..30, &[50, 0]);
+        let v = s.observe(Round(30), &[50, 0]);
+        assert!(v.dark_blocks.is_empty(), "a zero-mean block cannot go dark");
+    }
+
+    #[test]
+    #[should_panic(expected = "block count mismatch")]
+    fn wrong_width_panics() {
+        let mut s = AvailabilitySensor::new(3, config());
+        s.observe(Round(0), &[1, 2]);
+    }
+}

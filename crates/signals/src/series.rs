@@ -1,0 +1,255 @@
+//! Signal time series and the seven-day moving average.
+
+use fbs_types::{Round, ROUNDS_PER_DAY};
+use serde::{Deserialize, Serialize};
+
+/// Which of the three availability signals a value belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SignalKind {
+    /// Routed /24 blocks (`BGP ★`).
+    Bgp,
+    /// Active eligible /24 blocks (`FBS ■`).
+    Fbs,
+    /// Responsive IP addresses (`IPS ▲`).
+    Ips,
+}
+
+impl SignalKind {
+    /// All three signals, in paper order.
+    pub const ALL: [SignalKind; 3] = [SignalKind::Bgp, SignalKind::Fbs, SignalKind::Ips];
+
+    /// Dense index `0..3`.
+    pub fn index(self) -> usize {
+        match self {
+            SignalKind::Bgp => 0,
+            SignalKind::Fbs => 1,
+            SignalKind::Ips => 2,
+        }
+    }
+
+    /// The paper's glyph for the signal.
+    pub fn glyph(self) -> &'static str {
+        match self {
+            SignalKind::Bgp => "BGP ★",
+            SignalKind::Fbs => "FBS ■",
+            SignalKind::Ips => "IPS ▲",
+        }
+    }
+}
+
+/// A per-round series of one signal for one entity.
+///
+/// `None` marks missing measurements (the paper's vantage point was offline
+/// for several documented windows); those rounds neither trigger outages
+/// nor feed the moving average.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SignalSeries {
+    /// Round of the first sample.
+    pub start: Round,
+    /// Values per round from `start`, `None` = missing measurement.
+    pub values: Vec<Option<f64>>,
+}
+
+impl SignalSeries {
+    /// Creates a series beginning at `start`.
+    pub fn new(start: Round) -> Self {
+        SignalSeries {
+            start,
+            values: Vec::new(),
+        }
+    }
+
+    /// Appends the next round's value.
+    pub fn push(&mut self, value: Option<f64>) {
+        self.values.push(value);
+    }
+
+    /// Value at `round`, if inside the series and measured.
+    pub fn at(&self, round: Round) -> Option<f64> {
+        let idx = round.0.checked_sub(self.start.0)? as usize;
+        self.values.get(idx).copied().flatten()
+    }
+
+    /// Number of rounds covered (including missing ones).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Mean over measured values, `None` when nothing was measured.
+    pub fn mean(&self) -> Option<f64> {
+        let measured: Vec<f64> = self.values.iter().copied().flatten().collect();
+        if measured.is_empty() {
+            None
+        } else {
+            Some(measured.iter().sum::<f64>() / measured.len() as f64)
+        }
+    }
+}
+
+/// A fixed-window moving average over measured values.
+///
+/// The paper compares each round against the mean of the *previous seven
+/// days* (84 two-hour rounds): push order is observe-then-update, so the
+/// average never includes the value under test.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MovingAverage {
+    window: usize,
+    /// Ring buffer of the last `window` measured-or-missing slots.
+    ring: Vec<Option<f64>>,
+    head: usize,
+    /// Count of measured values currently in the ring.
+    measured: usize,
+    /// Sum of measured values currently in the ring.
+    sum: f64,
+}
+
+impl MovingAverage {
+    /// Window length for the paper's seven-day average.
+    pub const SEVEN_DAYS: usize = 7 * ROUNDS_PER_DAY as usize;
+
+    /// Creates an average over `window` rounds (must be ≥ 1).
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1, "window must be positive");
+        MovingAverage {
+            window,
+            ring: vec![None; window],
+            head: 0,
+            measured: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// The seven-day window used throughout the paper.
+    pub fn seven_days() -> Self {
+        Self::new(Self::SEVEN_DAYS)
+    }
+
+    /// Current mean, `None` until at least one measured value is present.
+    pub fn mean(&self) -> Option<f64> {
+        if self.measured == 0 {
+            None
+        } else {
+            Some(self.sum / self.measured as f64)
+        }
+    }
+
+    /// Number of measured samples inside the window.
+    pub fn samples(&self) -> usize {
+        self.measured
+    }
+
+    /// Whether the window holds at least `n` measured samples — detection
+    /// is gated on a warm-up count to avoid firing off a near-empty mean.
+    pub fn warmed_up(&self, n: usize) -> bool {
+        self.measured >= n
+    }
+
+    /// Pushes the next round's value (or `None` for a missing round),
+    /// evicting the slot that falls out of the window.
+    pub fn push(&mut self, value: Option<f64>) {
+        let evicted = std::mem::replace(&mut self.ring[self.head], value);
+        self.head = (self.head + 1) % self.window;
+        if let Some(v) = evicted {
+            self.sum -= v;
+            self.measured -= 1;
+        }
+        if let Some(v) = value {
+            self.sum += v;
+            self.measured += 1;
+        }
+        // Periodic drift correction is unnecessary at these magnitudes:
+        // counts are ≤ 1e7 and windows ≤ 84, well inside f64 exactness.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_kind_indexing() {
+        for (i, k) in SignalKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        assert!(SignalKind::Bgp.glyph().contains('★'));
+    }
+
+    #[test]
+    fn series_at_and_mean() {
+        let mut s = SignalSeries::new(Round(10));
+        s.push(Some(4.0));
+        s.push(None);
+        s.push(Some(8.0));
+        assert_eq!(s.at(Round(10)), Some(4.0));
+        assert_eq!(s.at(Round(11)), None);
+        assert_eq!(s.at(Round(12)), Some(8.0));
+        assert_eq!(s.at(Round(9)), None);
+        assert_eq!(s.at(Round(13)), None);
+        assert_eq!(s.mean(), Some(6.0));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn empty_series_mean_is_none() {
+        let s = SignalSeries::new(Round(0));
+        assert_eq!(s.mean(), None);
+        assert!(s.is_empty());
+        let mut s = SignalSeries::new(Round(0));
+        s.push(None);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn moving_average_basic() {
+        let mut ma = MovingAverage::new(3);
+        assert_eq!(ma.mean(), None);
+        ma.push(Some(1.0));
+        assert_eq!(ma.mean(), Some(1.0));
+        ma.push(Some(3.0));
+        assert_eq!(ma.mean(), Some(2.0));
+        ma.push(Some(5.0));
+        assert_eq!(ma.mean(), Some(3.0));
+        // Window slides: the 1.0 falls out.
+        ma.push(Some(7.0));
+        assert_eq!(ma.mean(), Some(5.0));
+    }
+
+    #[test]
+    fn missing_values_do_not_dilute() {
+        let mut ma = MovingAverage::new(4);
+        ma.push(Some(10.0));
+        ma.push(None);
+        ma.push(None);
+        assert_eq!(ma.mean(), Some(10.0));
+        assert_eq!(ma.samples(), 1);
+        assert!(ma.warmed_up(1));
+        assert!(!ma.warmed_up(2));
+        // The measured value eventually falls out, leaving nothing.
+        ma.push(None);
+        ma.push(None);
+        assert_eq!(ma.mean(), None);
+    }
+
+    #[test]
+    fn seven_day_window_is_84_rounds() {
+        assert_eq!(MovingAverage::SEVEN_DAYS, 84);
+        let ma = MovingAverage::seven_days();
+        assert_eq!(ma.window, 84);
+    }
+
+    #[test]
+    fn eviction_keeps_sum_consistent() {
+        let mut ma = MovingAverage::new(2);
+        for i in 0..1000 {
+            ma.push(Some(i as f64));
+        }
+        // Last two values: 998, 999.
+        assert_eq!(ma.mean(), Some(998.5));
+        assert_eq!(ma.samples(), 2);
+    }
+}

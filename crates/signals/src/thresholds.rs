@@ -1,0 +1,134 @@
+//! Static detection thresholds (paper Table 2).
+//!
+//! Thresholds are relative to the seven-day moving average. More granular
+//! aggregations (ASes vs. regions) cover fewer entities, so they get more
+//! relaxed thresholds to avoid false positives:
+//!
+//! | Level    | BGP ★  | FBS ■ (guarded)       | IPS ▲  |
+//! |----------|--------|------------------------|--------|
+//! | AS       | < 95%  | < 80% (if IPS < 95%)   | < 80%  |
+//! | Regional | < 95%  | < 95% (if IPS < 95%)   | < 90%  |
+
+use serde::{Deserialize, Serialize};
+
+/// Relative drop thresholds for the three signals.
+///
+/// A signal at round *r* is in outage when `value < factor × moving_avg`.
+/// The FBS signal is additionally *guarded*: it only counts when the IPS
+/// signal is simultaneously below `fbs_ips_guard × its` moving average —
+/// the availability-sensing filter against dynamic re-addressing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// BGP ★ factor.
+    pub bgp: f64,
+    /// FBS ■ factor.
+    pub fbs: f64,
+    /// IPS guard for FBS detections.
+    pub fbs_ips_guard: f64,
+    /// IPS ▲ factor.
+    pub ips: f64,
+    /// Whether the zero-BGP flag holds outages open while an entity routes
+    /// nothing at all (paper §3.1). Disable only for ablation studies.
+    pub zero_bgp_flag: bool,
+}
+
+impl Thresholds {
+    /// AS-level thresholds (Table 2, row 1).
+    pub fn as_level() -> Self {
+        Thresholds {
+            bgp: 0.95,
+            fbs: 0.80,
+            fbs_ips_guard: 0.95,
+            ips: 0.80,
+            zero_bgp_flag: true,
+        }
+    }
+
+    /// Regional thresholds (Table 2, row 2).
+    pub fn regional() -> Self {
+        Thresholds {
+            bgp: 0.95,
+            fbs: 0.95,
+            fbs_ips_guard: 0.95,
+            ips: 0.90,
+            zero_bgp_flag: true,
+        }
+    }
+
+    /// A severity-swept variant used by appendix E (Fig. 24): block/BGP
+    /// signals at `factor`, IPS five percentage points stricter (the paper
+    /// applies a stricter threshold to the more volatile IPS signal).
+    pub fn with_severity(factor: f64) -> Self {
+        Thresholds {
+            bgp: factor,
+            fbs: factor,
+            fbs_ips_guard: 0.95,
+            ips: (factor - 0.05).max(0.0),
+            zero_bgp_flag: true,
+        }
+    }
+
+    /// Validates all factors lie in `0..=1`.
+    pub fn validate(&self) -> fbs_types::Result<()> {
+        for (name, v) in [
+            ("bgp", self.bgp),
+            ("fbs", self.fbs),
+            ("fbs_ips_guard", self.fbs_ips_guard),
+            ("ips", self.ips),
+        ] {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                return Err(fbs_types::FbsError::config(format!(
+                    "threshold {name}={v} outside 0..=1"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        let a = Thresholds::as_level();
+        assert_eq!((a.bgp, a.fbs, a.fbs_ips_guard, a.ips), (0.95, 0.80, 0.95, 0.80));
+        let r = Thresholds::regional();
+        assert_eq!((r.bgp, r.fbs, r.fbs_ips_guard, r.ips), (0.95, 0.95, 0.95, 0.90));
+    }
+
+    #[test]
+    fn regional_is_stricter_than_as_level() {
+        // "More granular aggregations are assigned more relaxed thresholds":
+        // AS-level factors are lower (more relaxed) than regional ones.
+        let a = Thresholds::as_level();
+        let r = Thresholds::regional();
+        assert!(a.fbs < r.fbs);
+        assert!(a.ips < r.ips);
+    }
+
+    #[test]
+    fn severity_sweep_offsets_ips() {
+        let t = Thresholds::with_severity(0.90);
+        assert!((t.ips - 0.85).abs() < 1e-12);
+        assert!((t.fbs - 0.90).abs() < 1e-12);
+        let t = Thresholds::with_severity(0.02);
+        assert_eq!(t.ips, 0.0);
+    }
+
+    #[test]
+    fn validation_catches_bad_factors() {
+        assert!(Thresholds::as_level().validate().is_ok());
+        let bad = Thresholds {
+            bgp: 1.5,
+            ..Thresholds::as_level()
+        };
+        assert!(bad.validate().is_err());
+        let nan = Thresholds {
+            ips: f64::NAN,
+            ..Thresholds::as_level()
+        };
+        assert!(nan.validate().is_err());
+    }
+}

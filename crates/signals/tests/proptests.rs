@@ -1,0 +1,130 @@
+//! Property tests for the detection machinery.
+
+use fbs_signals::{
+    merge_overlapping, outage_hours, Detector, EntityId, EntityRound, MovingAverage, OutageEvent,
+    SignalKind, Thresholds,
+};
+use fbs_types::{Asn, Round};
+use proptest::prelude::*;
+
+fn ev(start: u32, len: u32) -> OutageEvent {
+    OutageEvent {
+        entity: EntityId::As(Asn(1)),
+        signal: SignalKind::Ips,
+        start: Round(start),
+        end: Round(start + len),
+        min_ratio: 0.0,
+    }
+}
+
+proptest! {
+    /// The moving average over any push sequence equals the naive mean of
+    /// the measured values inside the window.
+    #[test]
+    fn moving_average_matches_naive(
+        values in proptest::collection::vec(proptest::option::of(0.0f64..1e6), 1..300),
+        window in 1usize..50,
+    ) {
+        let mut ma = MovingAverage::new(window);
+        for (i, v) in values.iter().enumerate() {
+            ma.push(*v);
+            let lo = (i + 1).saturating_sub(window);
+            let measured: Vec<f64> = values[lo..=i].iter().copied().flatten().collect();
+            let expect = if measured.is_empty() {
+                None
+            } else {
+                Some(measured.iter().sum::<f64>() / measured.len() as f64)
+            };
+            match (ma.mean(), expect) {
+                (None, None) => {}
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-6 * b.abs().max(1.0)),
+                (a, b) => prop_assert!(false, "mismatch {a:?} vs {b:?}"),
+            }
+            prop_assert_eq!(ma.samples(), measured.len());
+        }
+    }
+
+    /// Merged outage spans are sorted, disjoint, and cover exactly the
+    /// union of the inputs.
+    #[test]
+    fn merge_is_a_union(spans in proptest::collection::vec((0u32..500, 1u32..40), 0..30)) {
+        let events: Vec<OutageEvent> = spans.iter().map(|(s, l)| ev(*s, *l)).collect();
+        let merged = merge_overlapping(&events);
+        // Sorted and disjoint.
+        for w in merged.windows(2) {
+            prop_assert!(w[0].1 .0 < w[1].0 .0, "overlap or touch: {w:?}");
+        }
+        // Exact same round membership as the naive union.
+        let covered = |r: u32| merged.iter().any(|(s, e)| r >= s.0 && r < e.0);
+        let naive = |r: u32| events.iter().any(|e| e.contains(Round(r)));
+        for r in 0..560 {
+            prop_assert_eq!(covered(r), naive(r), "round {}", r);
+        }
+        // Hours equal the union size times two.
+        let union_rounds = (0..560).filter(|r| naive(*r)).count();
+        prop_assert!((outage_hours(&events) - union_rounds as f64 * 2.0).abs() < 1e-9);
+    }
+
+    /// A detector never reports an event during rounds where the signal
+    /// stayed at its baseline, regardless of where dips are injected.
+    #[test]
+    fn detector_events_only_at_dips(
+        dip_at in 30u32..200,
+        dip_len in 1u32..20,
+        dip_depth in 0.0f64..0.7,
+    ) {
+        let mut d = Detector::with_window(
+            EntityId::As(Asn(7)),
+            Thresholds::as_level(),
+            24,
+            6,
+        );
+        let total = 300u32;
+        for r in 0..total {
+            let in_dip = r >= dip_at && r < dip_at + dip_len;
+            let v = if in_dip { 1000.0 * dip_depth } else { 1000.0 };
+            d.observe(
+                Round(r),
+                EntityRound {
+                    bgp: Some(10.0),
+                    fbs: Some(10.0),
+                    ips: Some(v),
+                },
+            );
+        }
+        let events = d.finish(Round(total));
+        for e in &events {
+            // Every event must overlap the dip (the moving average may
+            // extend the tail slightly past recovery, never before onset).
+            prop_assert!(e.start.0 >= dip_at, "event {e:?} before dip at {dip_at}");
+            prop_assert!(e.start.0 < dip_at + dip_len, "event {e:?} starts after dip");
+        }
+        // A sufficiently deep dip is always caught.
+        if dip_depth < 0.75 {
+            prop_assert!(
+                events.iter().any(|e| e.signal == SignalKind::Ips),
+                "dip to {dip_depth} undetected"
+            );
+        }
+    }
+
+    /// Missing measurements never create or terminate events on their own.
+    #[test]
+    fn missing_rounds_are_inert(gap_at in 30u32..100, gap_len in 1u32..50) {
+        let mut d = Detector::with_window(EntityId::As(Asn(9)), Thresholds::as_level(), 24, 6);
+        let total = 200u32;
+        for r in 0..total {
+            let input = if r >= gap_at && r < gap_at + gap_len {
+                EntityRound::MISSING
+            } else {
+                EntityRound {
+                    bgp: Some(5.0),
+                    fbs: Some(5.0),
+                    ips: Some(500.0),
+                }
+            };
+            d.observe(Round(r), input);
+        }
+        prop_assert!(d.finish(Round(total)).is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! The Bayesian block-state belief model.
+//!
+//! Trinocular models each /24 block as up (`U`) or down (`D`) and keeps a
+//! belief `B(U)`. A probe to an ever-active address yields:
+//!
+//! * **a positive response** — strong evidence for up:
+//!   `P(reply | U) = A(E(b))` (the block's long-term per-address
+//!   availability) versus a tiny `P(reply | D)` (spoofing/ghosts);
+//! * **no response** — weak evidence for down:
+//!   `P(silence | U) = 1 − A` versus `P(silence | D) ≈ 1` (minus packet
+//!   loss towards a live block).
+//!
+//! Belief is clamped away from absolute certainty so later evidence can
+//! always move it, mirroring Trinocular's implementation.
+
+use serde::{Deserialize, Serialize};
+
+/// Conclusion about a block after a probing round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockState {
+    /// Belief above the up-threshold.
+    Up,
+    /// Belief below the down-threshold.
+    Down,
+    /// Belief in between: indeterminate.
+    Uncertain,
+}
+
+/// Parameters of the belief update.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BeliefConfig {
+    /// `P(reply | D)`: probability of a (spurious) reply from a down block.
+    pub reply_when_down: f64,
+    /// `P(silence | D)`: silence from a down block (≈ 1).
+    pub silence_when_down: f64,
+    /// Belief clamp: belief stays within `[clamp, 1 − clamp]`.
+    pub clamp: f64,
+    /// Belief above which the block is judged [`BlockState::Up`].
+    pub up_threshold: f64,
+    /// Belief below which the block is judged [`BlockState::Down`].
+    pub down_threshold: f64,
+}
+
+impl Default for BeliefConfig {
+    fn default() -> Self {
+        BeliefConfig {
+            reply_when_down: 0.01,
+            silence_when_down: 0.99,
+            clamp: 0.01,
+            up_threshold: 0.9,
+            down_threshold: 0.1,
+        }
+    }
+}
+
+/// The per-block belief state carried between rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlockBelief {
+    /// Current belief that the block is up, in `[clamp, 1 − clamp]`.
+    pub belief_up: f64,
+}
+
+impl BlockBelief {
+    /// A fresh belief starting at the optimistic prior (blocks that enter
+    /// monitoring were responsive when selected).
+    pub fn new() -> Self {
+        BlockBelief { belief_up: 0.9 }
+    }
+
+    /// Applies one probe outcome for a block with availability `a`.
+    pub fn update(&mut self, responded: bool, a: f64, cfg: &BeliefConfig) {
+        let a = a.clamp(0.0, 1.0);
+        let b = self.belief_up;
+        let (likelihood_up, likelihood_down) = if responded {
+            (a.max(cfg.reply_when_down), cfg.reply_when_down)
+        } else {
+            ((1.0 - a).max(1e-9), cfg.silence_when_down)
+        };
+        let numerator = b * likelihood_up;
+        let denominator = numerator + (1.0 - b) * likelihood_down;
+        let posterior = if denominator > 0.0 {
+            numerator / denominator
+        } else {
+            b
+        };
+        self.belief_up = posterior.clamp(cfg.clamp, 1.0 - cfg.clamp);
+    }
+
+    /// Judges the current belief against the thresholds.
+    pub fn state(&self, cfg: &BeliefConfig) -> BlockState {
+        if self.belief_up >= cfg.up_threshold {
+            BlockState::Up
+        } else if self.belief_up <= cfg.down_threshold {
+            BlockState::Down
+        } else {
+            BlockState::Uncertain
+        }
+    }
+
+    /// Whether the belief is conclusive (not [`BlockState::Uncertain`]).
+    pub fn conclusive(&self, cfg: &BeliefConfig) -> bool {
+        self.state(cfg) != BlockState::Uncertain
+    }
+}
+
+impl Default for BlockBelief {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: BeliefConfig = BeliefConfig {
+        reply_when_down: 0.01,
+        silence_when_down: 0.99,
+        clamp: 0.01,
+        up_threshold: 0.9,
+        down_threshold: 0.1,
+    };
+
+    #[test]
+    fn positive_reply_drives_belief_up() {
+        let mut b = BlockBelief { belief_up: 0.5 };
+        b.update(true, 0.5, &CFG);
+        assert!(b.belief_up > 0.9, "belief {}", b.belief_up);
+        assert_eq!(b.state(&CFG), BlockState::Up);
+    }
+
+    #[test]
+    fn silence_drives_belief_down_gradually() {
+        // High availability: silence is strong evidence.
+        let mut high = BlockBelief { belief_up: 0.9 };
+        high.update(false, 0.9, &CFG);
+        let after_one_high = high.belief_up;
+
+        // Low availability: silence is weak evidence.
+        let mut low = BlockBelief { belief_up: 0.9 };
+        low.update(false, 0.1, &CFG);
+        assert!(
+            after_one_high < low.belief_up,
+            "silence must weigh more for high-A blocks"
+        );
+    }
+
+    #[test]
+    fn repeated_silence_converges_to_down() {
+        let mut b = BlockBelief::new();
+        for _ in 0..15 {
+            b.update(false, 0.5, &CFG);
+        }
+        assert_eq!(b.state(&CFG), BlockState::Down);
+    }
+
+    #[test]
+    fn low_availability_blocks_stay_uncertain() {
+        // A = 0.05: 15 silent probes barely move the belief — the
+        // indeterminate-belief phenomenon of sparse blocks.
+        let mut b = BlockBelief::new();
+        for _ in 0..15 {
+            b.update(false, 0.05, &CFG);
+        }
+        assert_eq!(b.state(&CFG), BlockState::Uncertain, "belief {}", b.belief_up);
+    }
+
+    #[test]
+    fn belief_is_clamped_and_recoverable() {
+        let mut b = BlockBelief::new();
+        for _ in 0..100 {
+            b.update(false, 0.9, &CFG);
+        }
+        assert!(b.belief_up >= CFG.clamp);
+        // One reply pulls it back up decisively.
+        b.update(true, 0.9, &CFG);
+        assert!(b.belief_up > 0.4);
+        b.update(true, 0.9, &CFG);
+        assert_eq!(b.state(&CFG), BlockState::Up);
+    }
+
+    #[test]
+    fn state_thresholds() {
+        assert_eq!(BlockBelief { belief_up: 0.95 }.state(&CFG), BlockState::Up);
+        assert_eq!(BlockBelief { belief_up: 0.05 }.state(&CFG), BlockState::Down);
+        assert_eq!(
+            BlockBelief { belief_up: 0.5 }.state(&CFG),
+            BlockState::Uncertain
+        );
+        assert!(!BlockBelief { belief_up: 0.5 }.conclusive(&CFG));
+    }
+
+    #[test]
+    fn degenerate_availability_is_tolerated() {
+        let mut b = BlockBelief::new();
+        b.update(false, 0.0, &CFG);
+        assert!(b.belief_up.is_finite());
+        b.update(true, 1.5, &CFG); // out-of-range A clamped
+        assert!(b.belief_up.is_finite());
+        b.update(false, -3.0, &CFG);
+        assert!(b.belief_up.is_finite());
+    }
+}

@@ -1,0 +1,28 @@
+//! Trinocular baseline and IODA platform emulation.
+//!
+//! The paper compares its full-block scans against IODA, whose active
+//! signal is produced by **Trinocular** (Quan, Heidemann & Pradkin,
+//! SIGCOMM '13): instead of probing all 256 addresses of a /24, Trinocular
+//! maintains a Bayesian belief that the block is up and probes *up to 15*
+//! addresses of the block's ever-active set per round, stopping early once
+//! belief is conclusive. Eligibility is stricter than full-block scanning —
+//! `E(b) ≥ 15` ever-active addresses and long-term availability `A > 0.1` —
+//! and blocks with `A < 0.3` frequently end rounds with *indeterminate*
+//! belief (paper Table 4 contextualizes 4K such blocks).
+//!
+//! [`ioda`] stacks an IODA-like platform on top: Trinocular block states
+//! plus BGP visibility, aggregated per AS **without** regional
+//! classification, reporting only ASes with ≥ 20 /24 blocks — the two
+//! modeling choices the paper identifies as the causes of IODA's smeared
+//! regional attribution and missing small-provider coverage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod belief;
+pub mod ioda;
+pub mod probing;
+
+pub use belief::{BeliefConfig, BlockBelief, BlockState};
+pub use ioda::{IodaConfig, IodaPlatform};
+pub use probing::{assess_block, TrinocularConfig, TrinocularRound};

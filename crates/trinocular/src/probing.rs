@@ -1,0 +1,172 @@
+//! Adaptive per-round probing of a block (up to 15 probes).
+//!
+//! Each round, Trinocular probes addresses from the block's ever-active set
+//! one at a time until belief becomes conclusive or the per-round budget of
+//! 15 probes is spent. The probe outcome source is abstracted as a closure
+//! so the same logic runs against the world simulator's ground truth or a
+//! scripted test oracle.
+
+use crate::belief::{BeliefConfig, BlockBelief, BlockState};
+use serde::{Deserialize, Serialize};
+
+/// Probing configuration; defaults mirror the published system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrinocularConfig {
+    /// Maximum probes per block per round (paper Table 1: up to 15).
+    pub max_probes: u32,
+    /// Eligibility: minimum ever-active addresses, `E(b) ≥ 15`.
+    pub min_ever_active: u32,
+    /// Eligibility: minimum long-term availability, `A > 0.1`.
+    pub min_availability: f64,
+    /// Availability below which belief is typically indeterminate
+    /// (`A < 0.3`, used for Table 4's contextualization).
+    pub indeterminate_availability: f64,
+    /// Belief-update parameters.
+    pub belief: BeliefConfig,
+}
+
+impl Default for TrinocularConfig {
+    fn default() -> Self {
+        TrinocularConfig {
+            max_probes: 15,
+            min_ever_active: 15,
+            min_availability: 0.1,
+            indeterminate_availability: 0.3,
+            belief: BeliefConfig::default(),
+        }
+    }
+}
+
+impl TrinocularConfig {
+    /// Whether a block qualifies for Trinocular monitoring.
+    pub fn eligible(&self, ever_active: u32, availability: f64) -> bool {
+        ever_active >= self.min_ever_active && availability > self.min_availability
+    }
+
+    /// Whether a block is likely to produce indeterminate belief.
+    pub fn likely_indeterminate(&self, availability: f64) -> bool {
+        availability < self.indeterminate_availability
+    }
+}
+
+/// Result of one block's probing round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrinocularRound {
+    /// Judged state after the round.
+    pub state: BlockState,
+    /// Probes actually sent (≤ `max_probes`).
+    pub probes_sent: u32,
+    /// Replies received.
+    pub replies: u32,
+    /// Belief after the round (carried into the next).
+    pub belief: BlockBelief,
+}
+
+/// Runs one adaptive probing round for a block.
+///
+/// `belief` is the carried-over belief from the previous round;
+/// `availability` is the block's long-term `A(E(b))`; `probe(i)` returns
+/// whether the `i`-th probed ever-active address responded.
+pub fn assess_block<F: FnMut(u32) -> bool>(
+    mut belief: BlockBelief,
+    availability: f64,
+    cfg: &TrinocularConfig,
+    mut probe: F,
+) -> TrinocularRound {
+    let mut probes_sent = 0;
+    let mut replies = 0;
+    while probes_sent < cfg.max_probes {
+        let responded = probe(probes_sent);
+        probes_sent += 1;
+        if responded {
+            replies += 1;
+        }
+        belief.update(responded, availability, &cfg.belief);
+        // Early exit on conclusive belief — Trinocular's probe parsimony.
+        // A positive reply is conclusive for "up" by construction.
+        if belief.conclusive(&cfg.belief) {
+            break;
+        }
+    }
+    TrinocularRound {
+        state: belief.state(&cfg.belief),
+        probes_sent,
+        replies,
+        belief,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn responsive_block_needs_few_probes() {
+        let cfg = TrinocularConfig::default();
+        let round = assess_block(BlockBelief::new(), 0.5, &cfg, |_| true);
+        assert_eq!(round.state, BlockState::Up);
+        assert_eq!(round.probes_sent, 1, "first reply should settle an up block");
+        assert_eq!(round.replies, 1);
+    }
+
+    #[test]
+    fn dead_block_judged_down_within_budget() {
+        let cfg = TrinocularConfig::default();
+        let round = assess_block(BlockBelief::new(), 0.6, &cfg, |_| false);
+        assert_eq!(round.state, BlockState::Down);
+        assert!(round.probes_sent <= cfg.max_probes);
+        assert_eq!(round.replies, 0);
+    }
+
+    #[test]
+    fn sparse_block_exhausts_budget_uncertain() {
+        let cfg = TrinocularConfig::default();
+        // Availability 0.05: silence carries almost no information.
+        let round = assess_block(BlockBelief::new(), 0.05, &cfg, |_| false);
+        assert_eq!(round.probes_sent, cfg.max_probes);
+        assert_eq!(round.state, BlockState::Uncertain);
+    }
+
+    #[test]
+    fn late_reply_flips_judgement() {
+        let cfg = TrinocularConfig::default();
+        // Silent for 5 probes, then answers.
+        let round = assess_block(BlockBelief::new(), 0.3, &cfg, |i| i == 5);
+        assert_eq!(round.state, BlockState::Up);
+        assert_eq!(round.replies, 1);
+        assert!(round.probes_sent >= 6);
+    }
+
+    #[test]
+    fn belief_carries_across_rounds() {
+        let cfg = TrinocularConfig::default();
+        // Round 1: all silent, belief sinks.
+        let r1 = assess_block(BlockBelief::new(), 0.5, &cfg, |_| false);
+        assert_eq!(r1.state, BlockState::Down);
+        // Round 2 with carried belief: a single reply recovers it.
+        let r2 = assess_block(r1.belief, 0.5, &cfg, |_| true);
+        assert_ne!(r2.state, BlockState::Down);
+    }
+
+    #[test]
+    fn eligibility_rules() {
+        let cfg = TrinocularConfig::default();
+        assert!(cfg.eligible(15, 0.2));
+        assert!(!cfg.eligible(14, 0.9));
+        assert!(!cfg.eligible(100, 0.1)); // strictly greater required
+        assert!(cfg.likely_indeterminate(0.2));
+        assert!(!cfg.likely_indeterminate(0.5));
+    }
+
+    #[test]
+    fn zero_budget_returns_prior_state() {
+        let cfg = TrinocularConfig {
+            max_probes: 0,
+            ..TrinocularConfig::default()
+        };
+        let prior = BlockBelief::new();
+        let round = assess_block(prior, 0.5, &cfg, |_| panic!("no probes allowed"));
+        assert_eq!(round.probes_sent, 0);
+        assert_eq!(round.belief, prior);
+    }
+}

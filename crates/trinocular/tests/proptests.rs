@@ -1,0 +1,74 @@
+//! Property tests for the Trinocular belief model.
+
+use fbs_trinocular::{assess_block, BeliefConfig, BlockBelief, BlockState, TrinocularConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// Belief always stays within the clamp bounds and finite.
+    #[test]
+    fn belief_bounded(
+        start in 0.01f64..0.99,
+        outcomes in proptest::collection::vec(any::<bool>(), 1..100),
+        a in 0.0f64..1.0,
+    ) {
+        let cfg = BeliefConfig::default();
+        let mut b = BlockBelief { belief_up: start };
+        for o in outcomes {
+            b.update(o, a, &cfg);
+            prop_assert!(b.belief_up.is_finite());
+            prop_assert!(b.belief_up >= cfg.clamp - 1e-12);
+            prop_assert!(b.belief_up <= 1.0 - cfg.clamp + 1e-12);
+        }
+    }
+
+    /// A reply never lowers belief; silence never raises it.
+    #[test]
+    fn update_is_directional(start in 0.05f64..0.95, a in 0.05f64..0.95) {
+        let cfg = BeliefConfig::default();
+        let mut up = BlockBelief { belief_up: start };
+        up.update(true, a, &cfg);
+        prop_assert!(up.belief_up >= start - 1e-12, "reply lowered belief");
+        let mut down = BlockBelief { belief_up: start };
+        down.update(false, a, &cfg);
+        prop_assert!(down.belief_up <= start + 1e-12, "silence raised belief");
+    }
+
+    /// assess_block never exceeds the probe budget, counts replies
+    /// accurately, and a first-probe reply settles an Up verdict.
+    #[test]
+    fn assessment_respects_budget(
+        a in 0.1f64..0.9,
+        pattern in proptest::collection::vec(any::<bool>(), 15),
+    ) {
+        let cfg = TrinocularConfig::default();
+        let round = assess_block(BlockBelief::new(), a, &cfg, |i| pattern[i as usize]);
+        prop_assert!(round.probes_sent >= 1 && round.probes_sent <= cfg.max_probes);
+        let replies = pattern[..round.probes_sent as usize]
+            .iter()
+            .filter(|&&r| r)
+            .count() as u32;
+        prop_assert_eq!(round.replies, replies);
+        if pattern[0] {
+            prop_assert_eq!(round.state, BlockState::Up);
+            prop_assert_eq!(round.probes_sent, 1);
+        }
+    }
+
+    /// Verdict consistency: the returned state always matches the returned
+    /// belief under the same thresholds.
+    #[test]
+    fn state_matches_belief(
+        a in 0.05f64..0.95,
+        pattern in proptest::collection::vec(any::<bool>(), 15),
+        start in 0.05f64..0.95,
+    ) {
+        let cfg = TrinocularConfig::default();
+        let round = assess_block(
+            BlockBelief { belief_up: start },
+            a,
+            &cfg,
+            |i| pattern[i as usize],
+        );
+        prop_assert_eq!(round.state, round.belief.state(&cfg.belief));
+    }
+}

@@ -1,0 +1,279 @@
+//! IPv4 /24 address blocks and CIDR prefixes.
+//!
+//! The paper's unit of measurement is the /24 address block: full-block
+//! scanning probes all 256 addresses of every block, and both the FBS and
+//! Trinocular eligibility criteria are defined per /24. [`BlockId`] encodes a
+//! /24 as the upper 24 bits of its network address, making block arithmetic
+//! (iteration, containment, indexing) cheap integer operations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Identifier of an IPv4 /24 address block.
+///
+/// Stores the 24 network bits, i.e. `BlockId(a<<16 | b<<8 | c)` identifies
+/// `a.b.c.0/24`. The full u32 network address is `id.0 << 8`.
+///
+/// ```
+/// use fbs_types::BlockId;
+/// use std::net::Ipv4Addr;
+/// let b = BlockId::containing(Ipv4Addr::new(176, 8, 28, 77));
+/// assert_eq!(b.to_string(), "176.8.28.0/24");
+/// assert_eq!(b.addr(77), Ipv4Addr::new(176, 8, 28, 77));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Number of addresses in a /24 block.
+    pub const SIZE: u32 = 256;
+
+    /// Block containing the given address.
+    #[inline]
+    pub fn containing(addr: Ipv4Addr) -> Self {
+        BlockId(u32::from(addr) >> 8)
+    }
+
+    /// Constructs from the first three octets.
+    #[inline]
+    pub fn from_octets(a: u8, b: u8, c: u8) -> Self {
+        BlockId(((a as u32) << 16) | ((b as u32) << 8) | (c as u32))
+    }
+
+    /// The network address (`.0`) of this block.
+    #[inline]
+    pub fn network(self) -> Ipv4Addr {
+        Ipv4Addr::from(self.0 << 8)
+    }
+
+    /// The address with the given host octet.
+    #[inline]
+    pub fn addr(self, host: u8) -> Ipv4Addr {
+        Ipv4Addr::from((self.0 << 8) | host as u32)
+    }
+
+    /// Whether `addr` belongs to this block.
+    #[inline]
+    pub fn contains(self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) >> 8 == self.0
+    }
+
+    /// Host octet of `addr` (meaningful only if [`Self::contains`]).
+    #[inline]
+    pub fn host_of(addr: Ipv4Addr) -> u8 {
+        (u32::from(addr) & 0xff) as u8
+    }
+
+    /// First three octets as a tuple.
+    pub fn octets(self) -> (u8, u8, u8) {
+        ((self.0 >> 16) as u8, (self.0 >> 8) as u8, self.0 as u8)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (a, b, c) = self.octets();
+        write!(f, "{a}.{b}.{c}.0/24")
+    }
+}
+
+/// An IPv4 CIDR prefix (network address + mask length).
+///
+/// Used for delegation ranges and BGP announcements. The network address is
+/// canonicalized on construction (host bits cleared).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Prefix {
+    /// Network address with host bits cleared.
+    net: u32,
+    /// Mask length, `0..=32`.
+    len: u8,
+}
+
+impl Prefix {
+    /// Creates a prefix, clearing any host bits in `addr`.
+    ///
+    /// Panics if `len > 32` (a programmer error, not a data error).
+    pub fn new(addr: Ipv4Addr, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} > 32");
+        let raw = u32::from(addr);
+        let net = if len == 0 { 0 } else { raw & (u32::MAX << (32 - len)) };
+        Prefix { net, len }
+    }
+
+    /// The /24 block `b` as a prefix.
+    pub fn from_block(b: BlockId) -> Self {
+        Prefix { net: b.0 << 8, len: 24 }
+    }
+
+    /// Network address.
+    #[inline]
+    pub fn network(self) -> Ipv4Addr {
+        Ipv4Addr::from(self.net)
+    }
+
+    /// Mask length.
+    #[inline]
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// Whether this prefix is `/0` (matches everything). Provided to satisfy
+    /// the `len`/`is_empty` convention; a `/0` prefix is never "empty".
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Number of addresses covered.
+    #[inline]
+    pub fn num_addresses(self) -> u64 {
+        1u64 << (32 - self.len)
+    }
+
+    /// Number of /24 blocks covered (0 if longer than /24).
+    #[inline]
+    pub fn num_blocks(self) -> u32 {
+        if self.len > 24 {
+            0
+        } else {
+            1u32 << (24 - self.len)
+        }
+    }
+
+    /// Whether `addr` is inside this prefix.
+    #[inline]
+    pub fn contains_addr(self, addr: Ipv4Addr) -> bool {
+        if self.len == 0 {
+            return true;
+        }
+        (u32::from(addr) ^ self.net) >> (32 - self.len) == 0
+    }
+
+    /// Whether `other` is fully contained in (or equal to) `self`.
+    #[inline]
+    pub fn covers(self, other: Prefix) -> bool {
+        self.len <= other.len && {
+            if self.len == 0 {
+                true
+            } else {
+                (other.net ^ self.net) >> (32 - self.len) == 0
+            }
+        }
+    }
+
+    /// Iterates the /24 blocks covered by this prefix.
+    ///
+    /// For prefixes longer than /24 yields nothing; for a /24 or shorter,
+    /// yields `2^(24-len)` consecutive blocks.
+    pub fn blocks(self) -> impl Iterator<Item = BlockId> {
+        let first = self.net >> 8;
+        (0..self.num_blocks()).map(move |i| BlockId(first + i))
+    }
+
+    /// Raw `u32` network value (for indexing).
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.net
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl std::str::FromStr for Prefix {
+    type Err = crate::FbsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| crate::FbsError::parse("missing '/' in prefix", s))?;
+        let addr: Ipv4Addr = addr
+            .parse()
+            .map_err(|_| crate::FbsError::parse("invalid network address", s))?;
+        let len: u8 = len
+            .parse()
+            .map_err(|_| crate::FbsError::parse("invalid mask length", s))?;
+        if len > 32 {
+            return Err(crate::FbsError::parse("mask length > 32", s));
+        }
+        Ok(Prefix::new(addr, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_roundtrip() {
+        let b = BlockId::from_octets(176, 8, 28);
+        assert_eq!(b.network(), Ipv4Addr::new(176, 8, 28, 0));
+        assert_eq!(b.addr(255), Ipv4Addr::new(176, 8, 28, 255));
+        assert!(b.contains(Ipv4Addr::new(176, 8, 28, 1)));
+        assert!(!b.contains(Ipv4Addr::new(176, 8, 29, 1)));
+        assert_eq!(BlockId::host_of(Ipv4Addr::new(176, 8, 28, 42)), 42);
+    }
+
+    #[test]
+    fn prefix_canonicalizes_host_bits() {
+        let p = Prefix::new(Ipv4Addr::new(10, 1, 2, 3), 16);
+        assert_eq!(p.network(), Ipv4Addr::new(10, 1, 0, 0));
+        assert_eq!(p.num_addresses(), 65536);
+        assert_eq!(p.num_blocks(), 256);
+    }
+
+    #[test]
+    fn prefix_contains_and_covers() {
+        let p: Prefix = "91.237.0.0/16".parse().unwrap();
+        assert!(p.contains_addr(Ipv4Addr::new(91, 237, 5, 200)));
+        assert!(!p.contains_addr(Ipv4Addr::new(91, 238, 0, 1)));
+        let q: Prefix = "91.237.5.0/24".parse().unwrap();
+        assert!(p.covers(q));
+        assert!(!q.covers(p));
+        assert!(p.covers(p));
+    }
+
+    #[test]
+    fn zero_prefix_contains_everything() {
+        let p = Prefix::new(Ipv4Addr::new(0, 0, 0, 0), 0);
+        assert!(p.contains_addr(Ipv4Addr::new(255, 255, 255, 255)));
+        assert!(p.covers("10.0.0.0/8".parse().unwrap()));
+        assert_eq!(p.num_addresses(), 1 << 32);
+    }
+
+    #[test]
+    fn prefix_block_iteration() {
+        let p: Prefix = "193.151.240.0/22".parse().unwrap();
+        let blocks: Vec<_> = p.blocks().collect();
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(blocks[0], BlockId::from_octets(193, 151, 240));
+        assert_eq!(blocks[3], BlockId::from_octets(193, 151, 243));
+    }
+
+    #[test]
+    fn long_prefix_has_no_blocks() {
+        let p: Prefix = "10.0.0.0/28".parse().unwrap();
+        assert_eq!(p.num_blocks(), 0);
+        assert_eq!(p.blocks().count(), 0);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("10.0.0.0".parse::<Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+        assert!("nope/24".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in ["0.0.0.0/0", "10.0.0.0/8", "176.8.28.0/24", "1.2.3.4/32"] {
+            let p: Prefix = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Workspace-wide error type.
+//!
+//! Most crates in the workspace operate on in-memory data and use panics for
+//! programmer errors; [`FbsError`] covers the recoverable cases: malformed
+//! external data (delegation files, dumps), out-of-range times, and invalid
+//! configuration.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, FbsError>;
+
+/// Errors surfaced by the `ukraine-fbs` crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FbsError {
+    /// A line or record of an external file could not be parsed.
+    ///
+    /// Carries the offending input (truncated) and a human-readable reason.
+    Parse {
+        /// Description of what failed to parse and why.
+        reason: String,
+        /// The offending input, truncated to a reasonable length.
+        input: String,
+    },
+    /// A timestamp, round or month index fell outside the supported range.
+    TimeOutOfRange {
+        /// Description of the violated bound.
+        reason: String,
+    },
+    /// A configuration value was invalid (e.g. threshold outside `0..=1`).
+    InvalidConfig {
+        /// Description of the invalid parameter.
+        reason: String,
+    },
+    /// A lookup referenced an entity that does not exist.
+    NotFound {
+        /// Description of the missing entity.
+        what: String,
+    },
+    /// An I/O-style failure while reading or writing serialized data.
+    Io {
+        /// Description of the failure.
+        reason: String,
+    },
+}
+
+impl FbsError {
+    /// Builds a [`FbsError::Parse`], truncating `input` to 80 characters.
+    pub fn parse(reason: impl Into<String>, input: &str) -> Self {
+        let mut input = input.to_string();
+        if input.len() > 80 {
+            input.truncate(80);
+            input.push_str("...");
+        }
+        FbsError::Parse {
+            reason: reason.into(),
+            input,
+        }
+    }
+
+    /// Builds a [`FbsError::InvalidConfig`].
+    pub fn config(reason: impl Into<String>) -> Self {
+        FbsError::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
+
+    /// Builds a [`FbsError::NotFound`].
+    pub fn not_found(what: impl Into<String>) -> Self {
+        FbsError::NotFound { what: what.into() }
+    }
+}
+
+impl fmt::Display for FbsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FbsError::Parse { reason, input } => write!(f, "parse error: {reason} (input: {input:?})"),
+            FbsError::TimeOutOfRange { reason } => write!(f, "time out of range: {reason}"),
+            FbsError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            FbsError::NotFound { what } => write!(f, "not found: {what}"),
+            FbsError::Io { reason } => write!(f, "i/o error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for FbsError {}
+
+impl From<std::io::Error> for FbsError {
+    fn from(e: std::io::Error) -> Self {
+        FbsError::Io {
+            reason: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_truncates_long_input() {
+        let long = "x".repeat(200);
+        let err = FbsError::parse("bad", &long);
+        match err {
+            FbsError::Parse { input, .. } => {
+                assert!(input.len() <= 84);
+                assert!(input.ends_with("..."));
+            }
+            _ => panic!("expected parse error"),
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let err = FbsError::config("threshold must be in 0..=1");
+        assert!(err.to_string().contains("threshold"));
+        let err = FbsError::not_found("AS25482");
+        assert!(err.to_string().contains("AS25482"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire");
+        let err: FbsError = io.into();
+        assert!(err.to_string().contains("disk on fire"));
+    }
+}

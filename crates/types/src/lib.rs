@@ -1,0 +1,35 @@
+//! Core identifier, region, and time types shared across the `ukraine-fbs`
+//! workspace.
+//!
+//! This crate is dependency-light by design: every other crate in the
+//! workspace builds on the vocabulary defined here — autonomous system
+//! numbers ([`Asn`]), /24 address blocks ([`BlockId`]), CIDR prefixes
+//! ([`Prefix`]), Ukrainian administrative regions ([`Oblast`]), and the
+//! campaign clock ([`Round`], [`MonthId`], [`CivilDate`]).
+//!
+//! # Time model
+//!
+//! The measurement campaign of the reproduced paper probes the Ukrainian
+//! address space every two hours from 2022-03-02 22:00 UTC (the seventh day
+//! of the full-scale invasion) until 2025-02-24 (its third anniversary).
+//! [`Round`] indexes those two-hour probing windows; [`MonthId`] indexes
+//! calendar months for monthly aggregates such as geolocation snapshots and
+//! full-block-scan eligibility.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod error;
+pub mod ids;
+pub mod region;
+pub mod time;
+
+pub use block::{BlockId, Prefix};
+pub use error::{FbsError, Result};
+pub use ids::Asn;
+pub use region::{Oblast, RegionClass, ALL_OBLASTS, FRONTLINE_OBLASTS};
+pub use time::{
+    CivilDate, MonthId, Round, Timestamp, CAMPAIGN_END, CAMPAIGN_START, ROUNDS_PER_DAY,
+    ROUND_SECONDS,
+};

@@ -1,0 +1,255 @@
+//! Ukrainian administrative regions (oblasts).
+//!
+//! Following the paper (§2.1), Ukraine's 24 oblasts, the two cities with
+//! special status and the autonomous republic are flattened into **26
+//! regions**: Kyiv city and Kyiv oblast are merged, while Sevastopol and
+//! Crimea are kept separate (both appear in the paper's regional figures).
+//!
+//! The seven *frontline* regions — oblasts on the line of contact with
+//! continuous war activity since 2022 — are Chernihiv, Donetsk, Kharkiv,
+//! Kherson, Luhansk, Sumy and Zaporizhzhia.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the 26 regions used throughout the analysis.
+///
+/// The discriminant values are stable and dense (`0..26`), so `Oblast` can be
+/// used directly as an array index via [`Oblast::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Oblast {
+    Cherkasy = 0,
+    Chernihiv = 1,
+    Chernivtsi = 2,
+    Crimea = 3,
+    Dnipropetrovsk = 4,
+    Donetsk = 5,
+    IvanoFrankivsk = 6,
+    Kharkiv = 7,
+    Kherson = 8,
+    Khmelnytskyi = 9,
+    Kirovohrad = 10,
+    Kyiv = 11,
+    Luhansk = 12,
+    Lviv = 13,
+    Mykolaiv = 14,
+    Odessa = 15,
+    Poltava = 16,
+    Rivne = 17,
+    Sevastopol = 18,
+    Sumy = 19,
+    Ternopil = 20,
+    Transcarpathia = 21,
+    Vinnytsia = 22,
+    Volyn = 23,
+    Zaporizhzhia = 24,
+    Zhytomyr = 25,
+}
+
+/// All 26 regions in index order.
+pub const ALL_OBLASTS: [Oblast; 26] = [
+    Oblast::Cherkasy,
+    Oblast::Chernihiv,
+    Oblast::Chernivtsi,
+    Oblast::Crimea,
+    Oblast::Dnipropetrovsk,
+    Oblast::Donetsk,
+    Oblast::IvanoFrankivsk,
+    Oblast::Kharkiv,
+    Oblast::Kherson,
+    Oblast::Khmelnytskyi,
+    Oblast::Kirovohrad,
+    Oblast::Kyiv,
+    Oblast::Luhansk,
+    Oblast::Lviv,
+    Oblast::Mykolaiv,
+    Oblast::Odessa,
+    Oblast::Poltava,
+    Oblast::Rivne,
+    Oblast::Sevastopol,
+    Oblast::Sumy,
+    Oblast::Ternopil,
+    Oblast::Transcarpathia,
+    Oblast::Vinnytsia,
+    Oblast::Volyn,
+    Oblast::Zaporizhzhia,
+    Oblast::Zhytomyr,
+];
+
+/// The seven frontline regions (paper §2.1).
+pub const FRONTLINE_OBLASTS: [Oblast; 7] = [
+    Oblast::Chernihiv,
+    Oblast::Donetsk,
+    Oblast::Kharkiv,
+    Oblast::Kherson,
+    Oblast::Luhansk,
+    Oblast::Sumy,
+    Oblast::Zaporizhzhia,
+];
+
+impl Oblast {
+    /// Number of regions.
+    pub const COUNT: usize = 26;
+
+    /// Dense index in `0..26`, suitable for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`Oblast::index`]; `None` if out of range.
+    pub fn from_index(i: usize) -> Option<Self> {
+        ALL_OBLASTS.get(i).copied()
+    }
+
+    /// Whether this region is on the frontline (paper §2.1).
+    ///
+    /// Kyiv and Mykolaiv saw combat only during the initial advance and are
+    /// counted as non-frontline, matching the paper.
+    pub fn is_frontline(self) -> bool {
+        matches!(
+            self,
+            Oblast::Chernihiv
+                | Oblast::Donetsk
+                | Oblast::Kharkiv
+                | Oblast::Kherson
+                | Oblast::Luhansk
+                | Oblast::Sumy
+                | Oblast::Zaporizhzhia
+        )
+    }
+
+    /// Whether the region is on the Crimean peninsula and connected to the
+    /// Russian power grid since 2014 (paper §5.1: these regions did not see
+    /// the winter power-driven outages).
+    pub fn is_crimean_peninsula(self) -> bool {
+        matches!(self, Oblast::Crimea | Oblast::Sevastopol)
+    }
+
+    /// Canonical English name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Oblast::Cherkasy => "Cherkasy",
+            Oblast::Chernihiv => "Chernihiv",
+            Oblast::Chernivtsi => "Chernivtsi",
+            Oblast::Crimea => "Crimea",
+            Oblast::Dnipropetrovsk => "Dnipropetrovsk",
+            Oblast::Donetsk => "Donetsk",
+            Oblast::IvanoFrankivsk => "Ivano-Frankivsk",
+            Oblast::Kharkiv => "Kharkiv",
+            Oblast::Kherson => "Kherson",
+            Oblast::Khmelnytskyi => "Khmelnytskyi",
+            Oblast::Kirovohrad => "Kirovohrad",
+            Oblast::Kyiv => "Kyiv",
+            Oblast::Luhansk => "Luhansk",
+            Oblast::Lviv => "Lviv",
+            Oblast::Mykolaiv => "Mykolaiv",
+            Oblast::Odessa => "Odessa",
+            Oblast::Poltava => "Poltava",
+            Oblast::Rivne => "Rivne",
+            Oblast::Sevastopol => "Sevastopol",
+            Oblast::Sumy => "Sumy",
+            Oblast::Ternopil => "Ternopil",
+            Oblast::Transcarpathia => "Transcarpathia",
+            Oblast::Vinnytsia => "Vinnytsia",
+            Oblast::Volyn => "Volyn",
+            Oblast::Zaporizhzhia => "Zaporizhzhia",
+            Oblast::Zhytomyr => "Zhytomyr",
+        }
+    }
+
+    /// Parses a region name (case-insensitive, hyphen/space tolerant).
+    pub fn parse_name(s: &str) -> Option<Self> {
+        let norm: String = s
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        ALL_OBLASTS.iter().copied().find(|o| {
+            let canon: String = o
+                .name()
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric())
+                .map(|c| c.to_ascii_lowercase())
+                .collect();
+            canon == norm
+        })
+    }
+}
+
+impl fmt::Display for Oblast {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Frontline/non-frontline partition of a region, used for aggregate plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegionClass {
+    /// One of the seven frontline oblasts.
+    Frontline,
+    /// All other regions.
+    NonFrontline,
+}
+
+impl From<Oblast> for RegionClass {
+    fn from(o: Oblast) -> Self {
+        if o.is_frontline() {
+            RegionClass::Frontline
+        } else {
+            RegionClass::NonFrontline
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexes_are_dense_and_roundtrip() {
+        for (i, o) in ALL_OBLASTS.iter().enumerate() {
+            assert_eq!(o.index(), i);
+            assert_eq!(Oblast::from_index(i), Some(*o));
+        }
+        assert_eq!(Oblast::from_index(26), None);
+    }
+
+    #[test]
+    fn frontline_set_matches_paper() {
+        let fl: Vec<_> = ALL_OBLASTS.iter().filter(|o| o.is_frontline()).collect();
+        assert_eq!(fl.len(), 7);
+        assert!(Oblast::Kherson.is_frontline());
+        assert!(Oblast::Sumy.is_frontline());
+        // Kyiv and Mykolaiv are explicitly non-frontline in the paper.
+        assert!(!Oblast::Kyiv.is_frontline());
+        assert!(!Oblast::Mykolaiv.is_frontline());
+        assert_eq!(FRONTLINE_OBLASTS.len(), 7);
+        for o in FRONTLINE_OBLASTS {
+            assert!(o.is_frontline());
+        }
+    }
+
+    #[test]
+    fn crimean_peninsula() {
+        assert!(Oblast::Crimea.is_crimean_peninsula());
+        assert!(Oblast::Sevastopol.is_crimean_peninsula());
+        assert!(!Oblast::Kherson.is_crimean_peninsula());
+    }
+
+    #[test]
+    fn name_parsing_is_tolerant() {
+        assert_eq!(Oblast::parse_name("Ivano-Frankivsk"), Some(Oblast::IvanoFrankivsk));
+        assert_eq!(Oblast::parse_name("ivano frankivsk"), Some(Oblast::IvanoFrankivsk));
+        assert_eq!(Oblast::parse_name("KHERSON"), Some(Oblast::Kherson));
+        assert_eq!(Oblast::parse_name("Atlantis"), None);
+    }
+
+    #[test]
+    fn region_class_partition() {
+        assert_eq!(RegionClass::from(Oblast::Kherson), RegionClass::Frontline);
+        assert_eq!(RegionClass::from(Oblast::Lviv), RegionClass::NonFrontline);
+    }
+}

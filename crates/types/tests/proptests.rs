@@ -1,0 +1,84 @@
+//! Property-based tests for the foundational types.
+
+use fbs_types::{BlockId, CivilDate, MonthId, Prefix, Round, Timestamp};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+proptest! {
+    /// Civil date <-> epoch-day conversion is a bijection on a wide range.
+    #[test]
+    fn civil_date_roundtrip(days in -200_000i64..200_000i64) {
+        let d = CivilDate::from_epoch_days(days);
+        prop_assert_eq!(d.to_epoch_days(), days);
+        prop_assert!((1..=12).contains(&d.month));
+        prop_assert!(d.day >= 1 && d.day <= d.days_in_month());
+    }
+
+    /// Epoch days are strictly monotone in the calendar order.
+    #[test]
+    fn civil_date_monotone(days in -100_000i64..100_000i64) {
+        let d0 = CivilDate::from_epoch_days(days);
+        let d1 = CivilDate::from_epoch_days(days + 1);
+        prop_assert!(d0 < d1);
+        prop_assert_eq!(d0.plus_days(1), d1);
+    }
+
+    /// Every address belongs to exactly the block reported by `containing`.
+    #[test]
+    fn block_contains_its_addresses(raw in any::<u32>()) {
+        let addr = Ipv4Addr::from(raw);
+        let b = BlockId::containing(addr);
+        prop_assert!(b.contains(addr));
+        prop_assert_eq!(b.addr(BlockId::host_of(addr)), addr);
+    }
+
+    /// Prefix parsing and display round-trip for canonical prefixes.
+    #[test]
+    fn prefix_display_roundtrip(raw in any::<u32>(), len in 0u8..=32) {
+        let p = Prefix::new(Ipv4Addr::from(raw), len);
+        let s = p.to_string();
+        let q: Prefix = s.parse().unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    /// A prefix contains exactly the addresses of its covered blocks.
+    #[test]
+    fn prefix_blocks_are_contained(raw in any::<u32>(), len in 16u8..=24) {
+        let p = Prefix::new(Ipv4Addr::from(raw), len);
+        prop_assert_eq!(p.blocks().count() as u32, p.num_blocks());
+        for b in p.blocks().take(8) {
+            prop_assert!(p.contains_addr(b.network()));
+            prop_assert!(p.contains_addr(b.addr(255)));
+            prop_assert!(p.covers(Prefix::from_block(b)));
+        }
+    }
+
+    /// Round <-> timestamp mapping is consistent.
+    #[test]
+    fn round_containing_start(r in 0u32..20_000) {
+        let round = Round(r);
+        prop_assert_eq!(Round::containing(round.start()), Some(round));
+        // Any instant strictly inside the window maps back to the same round.
+        let mid = round.start().plus_seconds(3599);
+        prop_assert_eq!(Round::containing(mid), Some(round));
+    }
+
+    /// Month rounds partition the campaign: consecutive months abut.
+    #[test]
+    fn month_rounds_abut(m in 0u32..40) {
+        let first = MonthId::campaign_first();
+        let month = MonthId(first.0 + m);
+        let this = month.campaign_rounds();
+        let next = month.next().campaign_rounds();
+        prop_assert_eq!(this.end, next.start);
+    }
+
+    /// Timestamp hour extraction agrees with date-based reconstruction.
+    #[test]
+    fn timestamp_hour_consistent(secs in 0i64..2_000_000_000) {
+        let ts = Timestamp(secs);
+        let rebuilt = ts.date().at(ts.hour(), 0);
+        let delta = ts.seconds_since(rebuilt);
+        prop_assert!((0..3600).contains(&delta));
+    }
+}

@@ -1,0 +1,81 @@
+//! The §5.4 comparison: what full-block scanning sees that a
+//! Trinocular-based platform (IODA) cannot — coverage of small ASes and
+//! partial outages.
+//!
+//! ```sh
+//! cargo run --release --example ioda_comparison
+//! ```
+
+use ukraine_fbs::analysis::compare::{coverage_cdf, coverage_summary, signal_shares};
+use ukraine_fbs::prelude::*;
+
+fn main() {
+    let scenario = scenarios::ukraine_with_rounds(WorldScale::Tiny, 42, 300 * 12);
+    let world = scenario.into_world().expect("scenario is valid");
+    let report = Campaign::new(world, CampaignConfig::default()).run();
+    let ioda = report.ioda.as_ref().expect("baseline enabled by default");
+
+    let points = coverage_cdf(&report.as_sizes, &report.as_events, &ioda.as_events);
+    let summary = coverage_summary(&points);
+
+    println!("== AS coverage ==");
+    println!(
+        "this work : {} outage events across {} ASes",
+        summary.ours_outages, summary.ours_ases
+    );
+    println!(
+        "IODA      : {} outage events across {} ASes ({} ASes below its 20-/24 floor)",
+        summary.ioda_outages, summary.ioda_ases, ioda.suppressed_ases
+    );
+
+    // The small-provider blind spot, concretely.
+    println!("\nsmall Kherson providers invisible to IODA but covered here:");
+    for entry in scenarios::KHERSON_ROSTER.iter().filter(|a| a.regional) {
+        let ours = report
+            .as_events
+            .get(&entry.asn())
+            .map(|v| v.len())
+            .unwrap_or(0);
+        let theirs = ioda.as_events.get(&entry.asn()).map(|v| v.len());
+        if theirs.is_none() && ours > 0 {
+            println!(
+                "  {} ({}): {} events here, none reportable by IODA ({} /24s < 20)",
+                entry.name,
+                entry.asn(),
+                ours,
+                entry.total_24s
+            );
+        }
+    }
+
+    // Signal composition on the common set.
+    let common: Vec<Asn> = report
+        .as_events
+        .keys()
+        .filter(|a| ioda.as_events.contains_key(a))
+        .copied()
+        .collect();
+    let ours: Vec<OutageEvent> = common
+        .iter()
+        .flat_map(|a| report.as_events[a].iter().copied())
+        .collect();
+    let theirs: Vec<OutageEvent> = common
+        .iter()
+        .flat_map(|a| ioda.as_events[a].iter().copied())
+        .collect();
+    let our_shares = signal_shares(&ours);
+    let ioda_shares = signal_shares(&theirs);
+    println!("\n== signal composition on {} common ASes ==", common.len());
+    println!(
+        "this work : BGP {}, FBS {}, IPS {}  (IPS carries partial outages)",
+        our_shares[0], our_shares[1], our_shares[2]
+    );
+    println!(
+        "IODA      : BGP {}, TRIN {}        (no per-IP signal exists)",
+        ioda_shares[0], ioda_shares[1]
+    );
+    println!(
+        "\npaper shape: 1,674 vs 333 ASes covered; IODA's TRIN flags partial outages\n\
+         as block-wide, while the IPS signal detects them as what they are."
+    );
+}

@@ -1,0 +1,63 @@
+//! Quickstart: build the Ukraine scenario, run a campaign over the first
+//! year of the war, and print what was detected.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ukraine_fbs::prelude::*;
+
+fn main() {
+    // A small world and ten months keep this example under half a minute
+    // in debug builds; swap in `scenarios::ukraine(WorldScale::Small, 42)`
+    // for the full three-year campaign.
+    let scenario = scenarios::ukraine_with_rounds(WorldScale::Tiny, 42, 300 * 12);
+    let world = scenario.into_world().expect("scenario is valid");
+    println!(
+        "world: {} ASes, {} /24 blocks, {} two-hour rounds",
+        world.config().ases.len(),
+        world.blocks().len(),
+        world.rounds()
+    );
+
+    let campaign = Campaign::new(world, CampaignConfig::default());
+    let report = campaign.run();
+
+    println!(
+        "\ndetected {} AS-level outage events across {} ASes",
+        report.total_as_outages(),
+        report.ases_with_outages()
+    );
+
+    // The Kherson region: the paper's example oblast.
+    let kherson_events = report.region_events_of(Oblast::Kherson);
+    println!(
+        "Kherson oblast: {} regional outage events, {:.0} hours total",
+        kherson_events.len(),
+        ukraine_fbs::signals::outage_hours(kherson_events)
+    );
+
+    // Status, the paper's example ISP: its first few events.
+    let status = &report.as_events[&Asn(25482)];
+    println!("\nStatus (AS25482) events:");
+    for e in status.iter().take(8) {
+        println!(
+            "  {} | {} .. {} ({:.0} h, deepest ratio {:.2})",
+            e.signal.glyph(),
+            e.start.start(),
+            Round(e.end.0).start(),
+            e.hours(),
+            e.min_ratio
+        );
+    }
+
+    // Regional classification of Kherson.
+    let kherson = &report.classification.regions[&Oblast::Kherson];
+    println!(
+        "\nKherson classification: {} regional ASes, {} regional blocks in the target set",
+        kherson
+            .ases_with(ukraine_fbs::regional::Regionality::Regional)
+            .len(),
+        kherson.regional_blocks().len()
+    );
+}

@@ -1,0 +1,348 @@
+//! `countrymon` — the country-monitoring CLI over the ukraine-fbs stack.
+//!
+//! ```text
+//! countrymon scan     [--scale S] [--seed N] [--round R]     one wire-path scan round
+//! countrymon campaign [--scale S] [--seed N] [--days D] [--export DIR]
+//! countrymon classify [--scale S] [--seed N] [--days D] [--oblast NAME]
+//! countrymon timeline [--scale S] [--seed N] [--grep TEXT]   the scripted war events
+//! ```
+//!
+//! Scales: `tiny` (seconds), `small` (default, ~10 s), `paper` (minutes).
+
+use std::process::ExitCode;
+use ukraine_fbs::netsim::WorldTransport;
+use ukraine_fbs::prelude::*;
+use ukraine_fbs::prober::{ScanConfig, Scanner, TargetSet};
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+struct Args {
+    command: String,
+    scale: WorldScale,
+    seed: u64,
+    days: u32,
+    round: u32,
+    export: Option<String>,
+    oblast: Option<String>,
+    grep: Option<String>,
+    scenario: Option<String>,
+    save_scenario: Option<String>,
+}
+
+const USAGE: &str = "\
+countrymon — full-block-scan outage monitoring (ukraine-fbs)
+
+USAGE:
+    countrymon <COMMAND> [OPTIONS]
+
+COMMANDS:
+    scan        run one wire-path ICMP scan round and print statistics
+    campaign    run the measurement campaign and summarize detections
+    classify    run regional classification and print a per-oblast table
+    timeline    list the scenario's scripted war events
+
+OPTIONS:
+    --scale tiny|small|paper   world size            [default: small]
+    --seed <u64>               scenario seed         [default: 42]
+    --days <u32>               campaign length       [default: full span]
+    --round <u32>              round for `scan`      [default: 6]
+    --export <dir>             write the dataset (campaign only)
+    --oblast <name>            focus region (classify only)
+    --grep <text>              event filter (timeline only)
+    --scenario <file>          load a scenario JSON instead of generating
+    --save-scenario <file>     write the generated scenario as JSON
+    -h, --help                 this help
+";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        command: String::new(),
+        scale: WorldScale::Small,
+        seed: 42,
+        days: 0,
+        round: 6,
+        export: None,
+        oblast: None,
+        grep: None,
+        scenario: None,
+        save_scenario: None,
+    };
+    let mut it = argv.iter().peekable();
+    match it.next() {
+        Some(cmd) if !cmd.starts_with('-') => args.command = cmd.clone(),
+        Some(h) if h == "-h" || h == "--help" => return Err(String::new()),
+        _ => return Err("missing command".into()),
+    }
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--scale" => {
+                args.scale = match value("--scale")?.as_str() {
+                    "tiny" => WorldScale::Tiny,
+                    "small" => WorldScale::Small,
+                    "paper" => WorldScale::Paper,
+                    other => return Err(format!("unknown scale {other:?}")),
+                }
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "seed must be an unsigned integer".to_string())?
+            }
+            "--days" => {
+                args.days = value("--days")?
+                    .parse()
+                    .map_err(|_| "days must be an unsigned integer".to_string())?
+            }
+            "--round" => {
+                args.round = value("--round")?
+                    .parse()
+                    .map_err(|_| "round must be an unsigned integer".to_string())?
+            }
+            "--export" => args.export = Some(value("--export")?),
+            "--oblast" => args.oblast = Some(value("--oblast")?),
+            "--grep" => args.grep = Some(value("--grep")?),
+            "--scenario" => args.scenario = Some(value("--scenario")?),
+            "--save-scenario" => args.save_scenario = Some(value("--save-scenario")?),
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_scenario(args: &Args) -> scenarios::Scenario {
+    if let Some(path) = &args.scenario {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read scenario {path}: {e}"));
+        return scenarios::Scenario::from_json(&text)
+            .unwrap_or_else(|e| panic!("cannot parse scenario {path}: {e}"));
+    }
+    let rounds = if args.days == 0 {
+        Round::campaign_total()
+    } else {
+        (args.days * 12).min(Round::campaign_total())
+    };
+    let scenario = scenarios::ukraine_with_rounds(args.scale, args.seed, rounds);
+    if let Some(path) = &args.save_scenario {
+        std::fs::write(path, scenario.to_json())
+            .unwrap_or_else(|e| panic!("cannot write scenario {path}: {e}"));
+        eprintln!("scenario written to {path}");
+    }
+    scenario
+}
+
+fn build_world(args: &Args) -> ukraine_fbs::netsim::World {
+    build_scenario(args).into_world().expect("scenario is valid")
+}
+
+fn cmd_scan(args: &Args) {
+    let world = build_world(args);
+    let targets = TargetSet::from_blocks(world.blocks().iter().map(|b| b.block).collect());
+    let round = Round(args.round.min(world.rounds().saturating_sub(1)));
+    eprintln!(
+        "scanning {} addresses in {} blocks at {} ...",
+        targets.num_addresses(),
+        targets.num_blocks(),
+        round.start()
+    );
+    let scanner = Scanner::new(ScanConfig {
+        rate_pps: 2_000_000, // virtual time: fast-forward the pacing
+        ..ScanConfig::default()
+    });
+    let mut transport = WorldTransport::new(&world, round);
+    let started = std::time::Instant::now();
+    let (obs, stats) = scanner.scan_round(round, &targets, &mut transport);
+    println!("sent {} probes, {} valid replies ({} invalid, {} parse errors)",
+        stats.sent, stats.valid, stats.invalid, stats.parse_errors);
+    println!(
+        "{} responsive addresses in {} active blocks ({:.1}% of blocks)",
+        obs.total_responsive(),
+        obs.active_blocks(),
+        obs.active_blocks() as f64 / targets.num_blocks().max(1) as f64 * 100.0
+    );
+    println!(
+        "virtual round duration {:.1} min; wall clock {:.2?}",
+        stats.duration_ns as f64 / 60e9,
+        started.elapsed()
+    );
+}
+
+fn cmd_campaign(args: &Args) {
+    let world = build_world(args);
+    eprintln!(
+        "running campaign: {} blocks x {} rounds ...",
+        world.blocks().len(),
+        world.rounds()
+    );
+    let campaign = Campaign::new(world, CampaignConfig::default());
+    let report = campaign.run();
+    println!(
+        "{} outage events across {} of {} ASes; {} rounds missing (vantage offline)",
+        report.total_as_outages(),
+        report.ases_with_outages(),
+        report.as_events.len(),
+        report.missing_rounds.len()
+    );
+    let mut hours: Vec<(Oblast, f64)> = ukraine_fbs::types::ALL_OBLASTS
+        .iter()
+        .map(|o| (*o, ukraine_fbs::signals::outage_hours(report.region_events_of(*o))))
+        .collect();
+    hours.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite hours"));
+    println!("\nhardest-hit oblasts (regional outage hours):");
+    for (o, h) in hours.iter().take(8) {
+        println!(
+            "  {:16} {h:8.0} h {}",
+            o.name(),
+            if o.is_frontline() { "(frontline)" } else { "" }
+        );
+    }
+    if let Some(dir) = &args.export {
+        let dir = std::path::Path::new(dir);
+        ukraine_fbs::core::export_all(&report, dir).expect("dataset export");
+        println!("\ndataset written to {}", dir.display());
+    }
+}
+
+fn cmd_classify(args: &Args) {
+    let world = build_world(args);
+    let campaign = Campaign::new(world, CampaignConfig::without_baseline());
+    let outcome = campaign.classify_only();
+    use ukraine_fbs::regional::Regionality;
+    match &args.oblast {
+        Some(name) => {
+            let Some(oblast) = Oblast::parse_name(name) else {
+                eprintln!("unknown oblast {name:?}");
+                return;
+            };
+            let Some(rc) = outcome.regions.get(&oblast) else {
+                println!("{oblast}: no presence recorded");
+                return;
+            };
+            println!("{oblast}:");
+            for class in [Regionality::Regional, Regionality::NonRegional, Regionality::Temporal]
+            {
+                let ases = rc.ases_with(class);
+                println!("  {class:?}: {} ASes", ases.len());
+                for asn in ases.iter().take(20) {
+                    println!("    {asn}");
+                }
+            }
+            println!("  regional blocks: {}", rc.regional_blocks().len());
+        }
+        None => {
+            println!("oblast            regional  non-regional  temporal  reg. blocks");
+            for o in ukraine_fbs::types::ALL_OBLASTS {
+                let Some(rc) = outcome.regions.get(&o) else { continue };
+                println!(
+                    "{:16}  {:8}  {:12}  {:8}  {}",
+                    o.name(),
+                    rc.ases_with(Regionality::Regional).len(),
+                    rc.ases_with(Regionality::NonRegional).len(),
+                    rc.ases_with(Regionality::Temporal).len(),
+                    rc.regional_blocks().len()
+                );
+            }
+        }
+    }
+}
+
+fn cmd_timeline(args: &Args) {
+    let scenario = build_scenario(args);
+    let mut shown = 0;
+    for e in scenario.script.events() {
+        if let Some(needle) = &args.grep {
+            if !e.name.contains(needle.as_str()) {
+                continue;
+            }
+        }
+        // Background noise floods the list; show it only when grepped for.
+        if args.grep.is_none()
+            && (e.name.starts_with("frontline damage") || e.name.starts_with("local outage"))
+        {
+            continue;
+        }
+        let end = e
+            .end
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "(open)".to_string());
+        println!("{} .. {end}  {}", e.start, e.name);
+        shown += 1;
+    }
+    println!("\n{shown} events shown ({} total in the script)", scenario.script.events().len());
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprint!("{USAGE}");
+            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+    };
+    match args.command.as_str() {
+        "scan" => cmd_scan(&args),
+        "campaign" => cmd_campaign(&args),
+        "classify" => cmd_classify(&args),
+        "timeline" => cmd_timeline(&args),
+        other => {
+            eprintln!("error: unknown command {other:?}\n");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let a = parse_args(&argv(
+            "campaign --scale tiny --seed 7 --days 30 --export /tmp/out",
+        ))
+        .unwrap();
+        assert_eq!(a.command, "campaign");
+        assert_eq!(a.scale, WorldScale::Tiny);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.days, 30);
+        assert_eq!(a.export.as_deref(), Some("/tmp/out"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse_args(&argv("scan")).unwrap();
+        assert_eq!(a.scale, WorldScale::Small);
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.round, 6);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&argv("")).is_err());
+        assert!(parse_args(&argv("scan --scale huge")).is_err());
+        assert!(parse_args(&argv("scan --seed banana")).is_err());
+        assert!(parse_args(&argv("scan --what")).is_err());
+        assert!(parse_args(&argv("scan --seed")).is_err());
+    }
+
+    #[test]
+    fn help_is_empty_error() {
+        assert_eq!(parse_args(&argv("--help")), Err(String::new()));
+        assert_eq!(parse_args(&argv("scan -h")), Err(String::new()));
+    }
+}

@@ -1,0 +1,73 @@
+//! # ukraine-fbs
+//!
+//! A full reproduction of *"Tracking Internet Disruptions in Ukraine:
+//! Insights from Three Years of Active Full Block Scans"* (Holzbauer,
+//! Strobl & Ullrich, IMC 2025) as a Rust workspace: the ZMap-style
+//! full-block ICMP scanner, the three outage signals (`BGP ★`, `FBS ■`,
+//! `IPS ▲`), long-term-geolocation regional classification, the Trinocular
+//! and IODA baselines, and a deterministic world simulator standing in for
+//! the irreproducible wartime data sources.
+//!
+//! This crate is the umbrella: it re-exports every workspace crate under
+//! one name and hosts the runnable examples and cross-crate integration
+//! tests. Start with [`core::Campaign`]:
+//!
+//! ```no_run
+//! use ukraine_fbs::prelude::*;
+//!
+//! let world = scenarios::ukraine(WorldScale::Small, 42).into_world().unwrap();
+//! let report = Campaign::new(world, CampaignConfig::default()).run();
+//! println!("{} outage events across {} ASes",
+//!          report.total_as_outages(), report.ases_with_outages());
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every table and figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Core identifier, region and time types.
+pub use fbs_types as types;
+
+/// ZMap-style full-block ICMP scanner.
+pub use fbs_prober as prober;
+
+/// BGP substrate: prefix trie, RIB, RouteViews-style snapshots.
+pub use fbs_bgp as bgp;
+
+/// IPinfo-style monthly geolocation snapshots and churn analysis.
+pub use fbs_geodb as geodb;
+
+/// RIR delegation files and churn tracking.
+pub use fbs_delegations as delegations;
+
+/// Outage signals, thresholds and the moving-average detector.
+pub use fbs_signals as signals;
+
+/// Regionality classification of ASes and /24 blocks.
+pub use fbs_regional as regional;
+
+/// Trinocular baseline and IODA platform emulation.
+pub use fbs_trinocular as trinocular;
+
+/// Deterministic ground-truth world simulator.
+pub use fbs_netsim as netsim;
+
+/// The Ukraine 2022–2025 scenario.
+pub use fbs_scenarios as scenarios;
+
+/// Statistics, comparison harnesses, table/figure emitters.
+pub use fbs_analysis as analysis;
+
+/// Campaign orchestration: world → scan → signals → detection → report.
+pub use fbs_core as core;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use crate::core::{Campaign, CampaignConfig, CampaignReport};
+    pub use crate::netsim::{World, WorldScale};
+    pub use crate::scenarios;
+    pub use crate::signals::{EntityId, OutageEvent, SignalKind, Thresholds};
+    pub use crate::types::{Asn, BlockId, CivilDate, MonthId, Oblast, Round};
+}

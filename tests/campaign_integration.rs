@@ -1,0 +1,200 @@
+//! Cross-crate integration: a shared tiny campaign run, checked against
+//! the paper's §5 narrative (cable cut, seizure, rerouting, liberation)
+//! and the structural invariants the crates promise each other.
+
+use std::sync::OnceLock;
+use ukraine_fbs::prelude::*;
+use ukraine_fbs::signals::{outage_hours, EntityId};
+
+fn report() -> &'static CampaignReport {
+    static REPORT: OnceLock<CampaignReport> = OnceLock::new();
+    REPORT.get_or_init(|| {
+        let scenario = scenarios::ukraine_with_rounds(WorldScale::Tiny, 42, 300 * 12);
+        let world = scenario.into_world().expect("valid scenario");
+        Campaign::new(world, CampaignConfig::default()).run()
+    })
+}
+
+#[test]
+fn cable_cut_detected_as_multi_signal_outage() {
+    let status = &report().as_events[&Asn(25482)];
+    let cut = Round::containing(CivilDate::new(2022, 5, 1).midnight()).unwrap();
+    let signals: Vec<SignalKind> = status
+        .iter()
+        .filter(|e| e.contains(cut))
+        .map(|e| e.signal)
+        .collect();
+    assert!(signals.contains(&SignalKind::Bgp), "BGP outage: {signals:?}");
+    assert!(signals.contains(&SignalKind::Ips), "IPS outage: {signals:?}");
+}
+
+#[test]
+fn seizure_is_ips_only() {
+    let status = &report().as_events[&Asn(25482)];
+    let seizure = Round::containing(CivilDate::new(2022, 5, 13).at(8, 0)).unwrap();
+    let hit: Vec<SignalKind> = status
+        .iter()
+        .filter(|e| e.contains(seizure))
+        .map(|e| e.signal)
+        .collect();
+    assert_eq!(hit, vec![SignalKind::Ips], "seizure must be IPS-only");
+}
+
+#[test]
+fn rerouting_raises_and_releases_rtt() {
+    let r = report();
+    let rtt = |asn: u32, m: u8| {
+        r.rtt_monthly
+            .get(&(Asn(asn), MonthId::new(2022, m)))
+            .and_then(|x| x.mean_ms())
+            .expect("tracked AS has RTT")
+    };
+    // Right-bank Status: up during occupation, back down after.
+    assert!(rtt(25482, 8) > rtt(25482, 4) + 40.0);
+    assert!(rtt(25482, 12) < rtt(25482, 8) - 40.0);
+    // Left-bank RubinTV: stays up.
+    assert!(rtt(49465, 12) > rtt(49465, 4) + 40.0);
+}
+
+#[test]
+fn liberation_outage_visible_per_block() {
+    let r = report();
+    let dark = Round::containing(CivilDate::new(2022, 11, 15).at(12, 0)).unwrap();
+    for c in 0..3u8 {
+        let s = r
+            .series(EntityId::Block(BlockId::from_octets(193, 151, 240 + c)))
+            .expect("tracked block");
+        assert_eq!(s.ips.at(dark), Some(0.0), "Kherson block {c} dark");
+    }
+    let kyiv = r
+        .series(EntityId::Block(BlockId::from_octets(193, 151, 243)))
+        .expect("tracked block");
+    assert!(kyiv.ips.at(dark).unwrap() > 10.0, "Kyiv block stays up");
+}
+
+#[test]
+fn frontline_oblasts_hit_harder_per_region() {
+    let r = report();
+    let mean = |frontline: bool| {
+        let os: Vec<Oblast> = ukraine_fbs::types::ALL_OBLASTS
+            .iter()
+            .copied()
+            .filter(|o| o.is_frontline() == frontline && !o.is_crimean_peninsula())
+            .collect();
+        os.iter()
+            .map(|o| outage_hours(r.region_events_of(*o)))
+            .sum::<f64>()
+            / os.len() as f64
+    };
+    let front = mean(true);
+    let rear = mean(false);
+    assert!(
+        front > 1.5 * rear,
+        "frontline {front:.0}h should dwarf non-frontline {rear:.0}h"
+    );
+}
+
+#[test]
+fn ioda_baseline_misses_small_providers() {
+    let r = report();
+    let ioda = r.ioda.as_ref().expect("baseline enabled");
+    // Every regional Kherson AS is too small for IODA.
+    for entry in scenarios::KHERSON_ROSTER.iter().filter(|a| a.regional) {
+        assert!(
+            !ioda.as_events.contains_key(&entry.asn()),
+            "{} should be below IODA's floor",
+            entry.name
+        );
+    }
+    // But we report events for most of them.
+    let covered = scenarios::KHERSON_ROSTER
+        .iter()
+        .filter(|a| a.regional)
+        .filter(|a| r.as_events.get(&a.asn()).map(|v| !v.is_empty()).unwrap_or(false))
+        .count();
+    assert!(covered >= 8, "only {covered} regional ASes have events");
+}
+
+#[test]
+fn missing_rounds_cover_documented_vantage_windows() {
+    let r = report();
+    for (start, end) in scenarios::timeline::vantage_outages() {
+        let Some(s) = Round::containing(start) else { continue };
+        if s.0 >= r.rounds {
+            continue;
+        }
+        let e = Round::containing(end).map(|x| x.0.min(r.rounds)).unwrap_or(r.rounds);
+        for probe in [s.0, (s.0 + e) / 2] {
+            assert!(
+                r.missing_rounds.contains(&Round(probe)),
+                "round {probe} should be missing"
+            );
+        }
+    }
+    // No outage event may *start* during a missing round.
+    for events in r.as_events.values() {
+        for ev in events {
+            assert!(
+                !r.missing_rounds.contains(&ev.start),
+                "event starts in a missing round: {ev:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn classification_matches_roster_for_clear_cases() {
+    let r = report();
+    let kherson = &r.classification.regions[&Oblast::Kherson];
+    use ukraine_fbs::regional::Regionality;
+    // Clear regional providers.
+    for asn in [49465u32, 56404, 56359, 25482] {
+        assert_eq!(
+            kherson.ases.get(&Asn(asn)),
+            Some(&Regionality::Regional),
+            "AS{asn}"
+        );
+    }
+    // Clear nationals.
+    for asn in [25229u32, 15895, 6877, 6849] {
+        assert_eq!(
+            kherson.ases.get(&Asn(asn)),
+            Some(&Regionality::NonRegional),
+            "AS{asn}"
+        );
+    }
+}
+
+#[test]
+fn report_accessors_are_consistent() {
+    let r = report();
+    assert_eq!(
+        r.total_as_outages(),
+        r.all_as_events().len(),
+        "event accessors disagree"
+    );
+    assert!(r.ases_with_outages() <= r.as_events.len());
+    // 300 days from 2022-03-02 run into late December: ten months.
+    assert_eq!(r.months.len(), 10);
+    let last_round = Round(r.rounds - 1);
+    assert_eq!(*r.months.last().unwrap(), last_round.month());
+}
+
+/// Paper-scale smoke test: the full 2.6K-AS / 28K-block world builds and a
+/// 60-day campaign runs. Ignored by default (~20 s in release); run with
+/// `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "paper-scale smoke test, run explicitly with --ignored"]
+fn paper_scale_campaign_smokes() {
+    let scenario = scenarios::ukraine_with_rounds(WorldScale::Paper, 42, 60 * 12);
+    let world = scenario.into_world().expect("paper-scale scenario builds");
+    assert!(world.blocks().len() > 20_000, "blocks {}", world.blocks().len());
+    assert!(world.config().ases.len() > 2_000);
+    let mut cfg = CampaignConfig::without_baseline();
+    cfg.tracked.clear();
+    cfg.rtt_tracked.clear();
+    let report = Campaign::new(world, cfg).run();
+    assert!(report.total_as_outages() > 0);
+    // The April 30 cable cut lands inside the 60-day window.
+    assert!(!report.as_events[&Asn(25482)].is_empty());
+}
