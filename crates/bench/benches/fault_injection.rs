@@ -1,0 +1,77 @@
+//! Fault-injection overhead: the `FaultyTransport` decorator must cost
+//! under 5% on a fault-free path (its null fast path), and the bench also
+//! records what a fully hostile plan costs for context.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fbs_netsim::{FaultIntensity, FaultyTransport, WorldScale, WorldTransport};
+use fbs_prober::{ScanConfig, Scanner, TargetSet};
+use fbs_types::Round;
+
+fn bench_fault_injection(c: &mut Criterion) {
+    let world = fbs_scenarios::ukraine_with_rounds(WorldScale::Tiny, 42, 120)
+        .into_world()
+        .expect("valid scenario");
+    let targets = TargetSet::from_blocks(world.blocks().iter().map(|b| b.block).collect());
+    let scanner = Scanner::new(ScanConfig {
+        rate_pps: 10_000_000,
+        ..ScanConfig::default()
+    });
+    let round = Round(3);
+
+    let mut g = c.benchmark_group("fault_injection");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(targets.num_addresses()));
+
+    // Baseline: the bare transport, no decorator at all.
+    g.bench_function("bare_transport", |b| {
+        b.iter(|| {
+            let mut transport = WorldTransport::new(&world, round);
+            let (obs, _) = scanner.scan_round(round, &targets, &mut transport);
+            black_box(obs.total_responsive())
+        })
+    });
+
+    // The acceptance case: decorator present but the plan is null. The
+    // is_null fast paths must keep this within 5% of the bare run.
+    g.bench_function("null_fault_decorator", |b| {
+        b.iter(|| {
+            let mut transport = FaultyTransport::new(
+                WorldTransport::new(&world, round),
+                world.rng(),
+                round,
+                FaultIntensity::default(),
+            );
+            let (obs, _) = scanner.scan_round(round, &targets, &mut transport);
+            black_box(obs.total_responsive())
+        })
+    });
+
+    // Context: what full hostility costs (every knob turned on).
+    g.bench_function("hostile_fault_decorator", |b| {
+        b.iter(|| {
+            let mut transport = FaultyTransport::new(
+                WorldTransport::new(&world, round),
+                world.rng(),
+                round,
+                FaultIntensity {
+                    probe_loss: 0.05,
+                    reply_loss: 0.20,
+                    duplicate: 0.15,
+                    reorder: 0.20,
+                    reorder_jitter_ns: 5_000_000,
+                    latency_spike: 0.05,
+                    latency_spike_ns: 300_000_000,
+                    corrupt: 0.05,
+                    unsolicited: 0.02,
+                    icmp_reply_budget: 200,
+                },
+            );
+            let (obs, _) = scanner.scan_round(round, &targets, &mut transport);
+            black_box(obs.total_responsive())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fault_injection);
+criterion_main!(benches);

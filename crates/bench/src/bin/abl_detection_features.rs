@@ -22,7 +22,10 @@ fn run(mutate: impl Fn(&mut CampaignConfig)) -> fbs_core::CampaignReport {
     cfg.tracked.clear();
     cfg.rtt_tracked.clear();
     mutate(&mut cfg);
-    Campaign::new(world, cfg).run()
+    Campaign::new(world, cfg)
+        .expect("valid config")
+        .run()
+        .expect("campaign run")
 }
 
 fn main() {

@@ -27,8 +27,8 @@ fn main() {
         cfg.thresholds_region = Thresholds::with_severity(factor);
         cfg.tracked.clear();
         cfg.rtt_tracked.clear();
-        let campaign = Campaign::new(world, cfg);
-        let report = campaign.run();
+        let campaign = Campaign::new(world, cfg).expect("valid config");
+        let report = campaign.run().expect("campaign run");
 
         let mut net = DailyHours::default();
         let mut n_oblasts = 0;

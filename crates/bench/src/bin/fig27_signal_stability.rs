@@ -18,7 +18,7 @@ fn main() {
     let month_rounds = world.month_rounds(MonthId::new(2023, 3));
     let mut ours_snrs = Vec::new();
     let mut trin_snrs = Vec::new();
-    for (_asn, blocks) in &by_as {
+    for blocks in by_as.values() {
         let mut beliefs: Vec<BlockBelief> = vec![BlockBelief::new(); blocks.len()];
         // Eligibility and believed long-term availability for the month.
         let long_term: Vec<f64> = blocks

@@ -69,14 +69,14 @@ pub fn context() -> &'static Ctx {
         let world = fbs_scenarios::ukraine(scale, seed)
             .into_world()
             .expect("scenario is valid");
-        let campaign = Campaign::new(world, CampaignConfig::default());
+        let campaign = Campaign::new(world, CampaignConfig::default()).expect("valid config");
         eprintln!(
             "[fbs-bench] running campaign: {} blocks x {} rounds ...",
             campaign.world().blocks().len(),
             campaign.world().rounds()
         );
         let t = std::time::Instant::now();
-        let report = campaign.run();
+        let report = campaign.run().expect("campaign run");
         eprintln!("[fbs-bench] campaign done in {:.1?}", t.elapsed());
         Ctx {
             campaign,
@@ -117,7 +117,7 @@ pub fn fmt_count(n: u64) -> String {
     let s = n.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

@@ -151,7 +151,7 @@ impl Rib {
 
     /// Iterates every `(prefix, entry)` in address order.
     pub fn iter(&self) -> impl Iterator<Item = (Prefix, &RouteEntry)> {
-        self.routes.iter().map(|(p, e)| (p, e))
+        self.routes.iter()
     }
 
     /// Origins whose path to the collector transits `asn` — the rerouting

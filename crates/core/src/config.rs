@@ -1,5 +1,7 @@
 //! Campaign configuration.
 
+use fbs_netsim::FaultPlan;
+use fbs_prober::QualityConfig;
 use fbs_regional::RegionalityConfig;
 use fbs_signals::{EligibilityConfig, EntityId, Thresholds};
 use fbs_trinocular::{IodaConfig, TrinocularConfig};
@@ -28,6 +30,20 @@ pub struct CampaignConfig {
     pub tracked: Vec<EntityId>,
     /// ASes whose per-month RTT aggregates are retained (Fig. 12).
     pub rtt_tracked: Vec<fbs_types::Asn>,
+    /// Optional fault-injection schedule applied to the measurement path:
+    /// per-window probe/reply loss, duplication, latency spikes and ICMP
+    /// rate limiting, deterministically derived from the world seed.
+    /// `None` = clean vantage (the default).
+    #[serde(default)]
+    pub fault_plan: Option<FaultPlan>,
+    /// How round quality (`Ok`/`Degraded`/`Unusable`) is judged from the
+    /// measurement loss a round suffered.
+    #[serde(default)]
+    pub quality: QualityConfig,
+    /// Scanner re-probe budget per round (ZMap's `--retries`); raises the
+    /// delivery rate under loss before a round is declared degraded.
+    #[serde(default)]
+    pub scan_retries: u32,
 }
 
 impl Default for CampaignConfig {
@@ -52,6 +68,9 @@ impl Default for CampaignConfig {
             run_baseline: true,
             tracked,
             rtt_tracked: kherson_ases,
+            fault_plan: None,
+            quality: QualityConfig::default(),
+            scan_retries: 0,
         }
     }
 }
@@ -70,7 +89,19 @@ impl CampaignConfig {
         self.thresholds_as.validate()?;
         self.thresholds_region.validate()?;
         self.regionality.validate()?;
+        self.quality.validate()?;
+        if let Some(plan) = &self.fault_plan {
+            plan.validate()?;
+        }
         Ok(())
+    }
+
+    /// A configuration applying `plan` to the measurement path.
+    pub fn with_fault_plan(plan: FaultPlan) -> Self {
+        CampaignConfig {
+            fault_plan: Some(plan),
+            ..CampaignConfig::default()
+        }
     }
 }
 

@@ -179,7 +179,10 @@ mod tests {
                 .expect("valid scenario");
             let mut cfg = CampaignConfig::without_baseline();
             cfg.tracked.clear();
-            Campaign::new(world, cfg).run()
+            Campaign::new(world, cfg)
+                .expect("valid config")
+                .run()
+                .expect("campaign run")
         })
     }
 

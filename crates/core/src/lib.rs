@@ -19,11 +19,14 @@
 //! use fbs_core::{Campaign, CampaignConfig};
 //! use fbs_netsim::WorldScale;
 //!
+//! # fn main() -> fbs_types::Result<()> {
 //! let scenario = fbs_scenarios::ukraine(WorldScale::Small, 42);
 //! let world = scenario.into_world().unwrap();
-//! let campaign = Campaign::new(world, CampaignConfig::default());
-//! let report = campaign.run();
+//! let campaign = Campaign::new(world, CampaignConfig::default())?;
+//! let report = campaign.run()?;
 //! println!("{} AS outage events", report.total_as_outages());
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]

@@ -3,11 +3,11 @@
 use crate::classify::{classify_world, ClassificationOutcome};
 use crate::config::CampaignConfig;
 use crate::report::{CampaignReport, EntitySeries, MonthlyRtt, OblastMonth};
-use fbs_netsim::World;
+use fbs_netsim::{FaultPlan, World};
 use fbs_regional::Regionality;
 use fbs_signals::{ips_signal_usable, Detector, EntityId, EntityRound};
 use fbs_trinocular::{assess_block, BlockBelief, IodaPlatform};
-use fbs_types::{Asn, MonthId, Oblast, Round};
+use fbs_types::{Asn, MonthId, Oblast, Round, RoundQuality};
 use std::collections::BTreeMap;
 
 /// A configured campaign over a simulated world.
@@ -17,10 +17,10 @@ pub struct Campaign {
 }
 
 impl Campaign {
-    /// Creates a campaign. The configuration is validated eagerly.
-    pub fn new(world: World, config: CampaignConfig) -> Self {
-        config.validate().expect("valid campaign configuration");
-        Campaign { world, config }
+    /// Creates a campaign, validating the configuration eagerly.
+    pub fn new(world: World, config: CampaignConfig) -> fbs_types::Result<Self> {
+        config.validate()?;
+        Ok(Campaign { world, config })
     }
 
     /// The underlying world.
@@ -35,11 +35,16 @@ impl Campaign {
 
     /// Runs classification, the signal pipeline, detection and (optionally)
     /// the Trinocular/IODA baseline, producing the full report.
-    pub fn run(&self) -> CampaignReport {
+    pub fn run(&self) -> fbs_types::Result<CampaignReport> {
         let world = &self.world;
         let cfg = &self.config;
         let rounds = world.rounds();
         let classification = classify_world(world, &cfg.regionality);
+
+        // --- Fault schedule (oracle-path mirror of `FaultyTransport`). ---
+        let fault_plan = cfg.fault_plan.clone().unwrap_or_else(FaultPlan::none);
+        fault_plan.validate()?;
+        let fault_rng = world.rng().domain("faults");
 
         // --- Static block/AS indexes. ---
         let blocks = world.blocks();
@@ -136,6 +141,7 @@ impl Campaign {
         let mut non_regional_monthly: BTreeMap<MonthId, OblastMonth> = BTreeMap::new();
         let mut rtt_monthly: BTreeMap<(Asn, MonthId), MonthlyRtt> = BTreeMap::new();
         let mut missing_rounds = Vec::new();
+        let mut round_quality: Vec<RoundQuality> = Vec::with_capacity(rounds as usize);
 
         // Per-round scratch.
         let mut as_ips = vec![0u64; as_list.len()];
@@ -220,8 +226,20 @@ impl Campaign {
                 }
             }
 
-            if !world.vantage_online(round) {
-                missing_rounds.push(round);
+            // Per-round fault intensity and the expected quality verdict —
+            // the oracle-path mirror of what `QualityConfig::assess` would
+            // conclude from the wire-path `ScanStats`.
+            let intensity = fault_plan.intensity_at(round, rounds);
+            let quality = fault_plan.quality_at(round, rounds, cfg.scan_retries, &cfg.quality);
+
+            // A round without usable measurements — vantage offline, or the
+            // fault plan silences so much that the scan is `Unusable` — is
+            // skipped entirely: detectors freeze, series record gaps.
+            if !world.vantage_online(round) || quality == RoundQuality::Unusable {
+                if !world.vantage_online(round) {
+                    missing_rounds.push(round);
+                }
+                round_quality.push(RoundQuality::Unusable);
                 for d in as_detectors.iter_mut() {
                     d.observe(round, EntityRound::MISSING);
                 }
@@ -238,6 +256,7 @@ impl Campaign {
                 }
                 continue;
             }
+            round_quality.push(quality);
 
             // --- The per-block sweep. ---
             as_ips.fill(0);
@@ -250,12 +269,23 @@ impl Campaign {
 
             for bi in 0..n_blocks {
                 let truth = world.block_truth(round, bi);
+                // What the faulty measurement path lets through: the true
+                // responsive count binomially thinned by the delivery rate,
+                // capped by ICMP rate limiting, RTTs distorted by spikes.
+                let responsive = intensity.thin_responsive(
+                    truth.responsive,
+                    cfg.scan_retries,
+                    &fault_rng,
+                    r as u64,
+                    bi as u64,
+                );
+                let rtt_ns = truth.rtt_ns + intensity.extra_rtt_ns(&fault_rng, r as u64, bi as u64);
                 let ai = block_as[bi];
                 if truth.routed {
                     as_routed[ai] += 1;
                 }
-                as_ips[ai] += truth.responsive as u64;
-                let active = truth.responsive > 0;
+                as_ips[ai] += responsive as u64;
+                let active = responsive > 0;
                 if active && fbs_eligible[bi] {
                     as_active[ai] += 1;
                 }
@@ -264,7 +294,7 @@ impl Campaign {
                     if truth.routed {
                         reg_routed[oi] += 1;
                     }
-                    reg_ips[oi] += truth.responsive as u64;
+                    reg_ips[oi] += responsive as u64;
                     if active && fbs_eligible[bi] {
                         reg_active[oi] += 1;
                     }
@@ -274,7 +304,7 @@ impl Campaign {
                     let input = EntityRound {
                         bgp: Some(if truth.routed { 1.0 } else { 0.0 }),
                         fbs: Some(if active && fbs_eligible[bi] { 1.0 } else { 0.0 }),
-                        ips: Some(truth.responsive as f64),
+                        ips: Some(responsive as f64),
                     };
                     if let Some(series) = tracked.get_mut(&entity) {
                         series.bgp.push(input.bgp);
@@ -282,20 +312,20 @@ impl Campaign {
                         series.ips.push(input.ips);
                     }
                     if let Some(d) = block_detectors.get_mut(&entity) {
-                        d.observe(round, input);
+                        d.observe_quality(round, input, quality);
                     }
                 }
                 // RTT aggregation for tracked ASes.
                 if active {
                     if let Some(asn) = rtt_tracked[ai] {
                         let agg = rtt_monthly.entry((asn, month)).or_default();
-                        agg.sum_ns += truth.rtt_ns;
+                        agg.sum_ns += rtt_ns;
                         agg.count += 1;
                     }
                 }
                 // Trinocular belief update.
-                if ioda.is_some() {
-                    if trin_eligible[bi] {
+                if ioda.is_some()
+                    && trin_eligible[bi] {
                         // Believed long-term A vs instantaneous reply rate:
                         // during a real dip the probes go silent while the
                         // belief still expects replies — evidence of Down.
@@ -326,7 +356,6 @@ impl Campaign {
                             as_trin_up[ai] += 1;
                         }
                     }
-                }
             }
 
             // --- Feed detectors. ---
@@ -341,7 +370,7 @@ impl Campaign {
                     fbs: fbs_share,
                     ips: ips_usable_as[ai].then_some(as_ips[ai] as f64),
                 };
-                d.observe(round, input);
+                d.observe_quality(round, input, quality);
                 if let Some(entity) = tracked_as[ai] {
                     if let Some(series) = tracked.get_mut(&entity) {
                         series.bgp.push(input.bgp);
@@ -363,13 +392,14 @@ impl Campaign {
             for (oi, d) in region_detectors.iter_mut().enumerate() {
                 let fbs_share = (reg_fbs_count[oi] > 0)
                     .then(|| reg_active[oi] as f64 / reg_fbs_count[oi] as f64);
-                d.observe(
+                d.observe_quality(
                     round,
                     EntityRound {
                         bgp: Some(reg_routed[oi] as f64),
                         fbs: fbs_share,
                         ips: Some(reg_ips[oi] as f64),
                     },
+                    quality,
                 );
             }
 
@@ -410,7 +440,7 @@ impl Campaign {
             m
         };
 
-        CampaignReport {
+        Ok(CampaignReport {
             rounds,
             months,
             as_events,
@@ -424,7 +454,8 @@ impl Campaign {
             non_regional_monthly,
             as_sizes,
             missing_rounds,
-        }
+            round_quality,
+        })
     }
 
     /// Convenience: run classification only (cheaper than a full run).
@@ -448,7 +479,10 @@ mod tests {
         REPORT.get_or_init(|| {
             let scenario = fbs_scenarios::ukraine_with_rounds(WorldScale::Tiny, 21, 310 * 12);
             let world = scenario.into_world().unwrap();
-            Campaign::new(world, CampaignConfig::default()).run()
+            Campaign::new(world, CampaignConfig::default())
+                .expect("valid config")
+                .run()
+                .expect("campaign run")
         })
     }
 
@@ -595,6 +629,39 @@ mod tests {
             );
             assert_eq!(series.bgp.len(), series.fbs.len());
         }
+    }
+
+    #[test]
+    fn round_quality_covers_every_round_and_marks_gaps() {
+        let report = run_tiny();
+        assert_eq!(report.round_quality.len() as u32, report.rounds);
+        // No fault plan: every measured round is Ok, every vantage-offline
+        // round Unusable — and nothing is Degraded.
+        assert_eq!(report.degraded_rounds(), 0);
+        assert_eq!(report.unusable_rounds(), report.missing_rounds.len());
+        for r in &report.missing_rounds {
+            assert_eq!(report.quality_of(*r), fbs_types::RoundQuality::Unusable);
+        }
+        assert_eq!(report.quality_of(Round(0)), fbs_types::RoundQuality::Ok);
+        // Out-of-range lookups default to Ok rather than panicking.
+        assert_eq!(
+            report.quality_of(Round(report.rounds + 7)),
+            fbs_types::RoundQuality::Ok
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_by_new() {
+        let scenario = fbs_scenarios::ukraine_with_rounds(WorldScale::Tiny, 21, 40);
+        let world = scenario.into_world().unwrap();
+        let cfg = CampaignConfig {
+            fault_plan: Some(fbs_netsim::FaultPlan::constant(fbs_netsim::FaultIntensity {
+                reply_loss: 1.7,
+                ..fbs_netsim::FaultIntensity::default()
+            })),
+            ..CampaignConfig::default()
+        };
+        assert!(Campaign::new(world, cfg).is_err());
     }
 
     #[test]

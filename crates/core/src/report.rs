@@ -3,7 +3,7 @@
 use crate::classify::ClassificationOutcome;
 use fbs_signals::{EntityId, OutageEvent, SignalSeries};
 use fbs_trinocular::ioda::IodaReport;
-use fbs_types::{Asn, BlockId, MonthId, Oblast, Round};
+use fbs_types::{Asn, BlockId, MonthId, Oblast, Round, RoundQuality};
 use std::collections::BTreeMap;
 
 /// Full per-round signal series of one tracked entity.
@@ -117,6 +117,11 @@ pub struct CampaignReport {
     pub as_sizes: BTreeMap<Asn, usize>,
     /// Rounds with no measurement (vantage offline).
     pub missing_rounds: Vec<Round>,
+    /// Per-round measurement quality (indexed by round number): `Ok` on a
+    /// clean scan, `Degraded` under measurable injected loss, `Unusable`
+    /// when the round carried no usable measurement (vantage offline or
+    /// catastrophic loss).
+    pub round_quality: Vec<RoundQuality>,
 }
 
 impl CampaignReport {
@@ -161,5 +166,29 @@ impl CampaignReport {
     /// The tracked series of an entity, if tracked.
     pub fn series(&self, entity: EntityId) -> Option<&EntitySeries> {
         self.tracked.get(&entity)
+    }
+
+    /// The quality verdict of one round (`Ok` if out of range).
+    pub fn quality_of(&self, round: Round) -> RoundQuality {
+        self.round_quality
+            .get(round.0 as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Number of rounds scanned through measurable loss.
+    pub fn degraded_rounds(&self) -> usize {
+        self.round_quality
+            .iter()
+            .filter(|q| **q == RoundQuality::Degraded)
+            .count()
+    }
+
+    /// Number of rounds carrying no usable measurement.
+    pub fn unusable_rounds(&self) -> usize {
+        self.round_quality
+            .iter()
+            .filter(|q| **q == RoundQuality::Unusable)
+            .count()
     }
 }

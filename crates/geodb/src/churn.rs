@@ -29,10 +29,10 @@ impl RegionTotals {
     /// Oblasts empty in the baseline report `None` (no meaningful ratio).
     pub fn relative_change(&self, baseline: &RegionTotals) -> [Option<f64>; Oblast::COUNT] {
         let mut out = [None; Oblast::COUNT];
-        for i in 0..Oblast::COUNT {
+        for (i, slot) in out.iter_mut().enumerate() {
             let before = baseline.counts[i];
             if before > 0 {
-                out[i] = Some((self.counts[i] as f64 - before as f64) / before as f64 * 100.0);
+                *slot = Some((self.counts[i] as f64 - before as f64) / before as f64 * 100.0);
             }
         }
         out
@@ -74,9 +74,9 @@ impl ChurnReport {
     /// Relative per-oblast change in percent (`None` for empty baselines).
     pub fn relative_change(&self) -> [Option<f64>; Oblast::COUNT] {
         let mut out = [None; Oblast::COUNT];
-        for i in 0..Oblast::COUNT {
+        for (i, slot) in out.iter_mut().enumerate() {
             if self.before[i] > 0 {
-                out[i] = Some(
+                *slot = Some(
                     (self.after[i] as f64 - self.before[i] as f64) / self.before[i] as f64 * 100.0,
                 );
             }

@@ -35,7 +35,7 @@ proptest! {
         }
         let (dom, n) = g.dominant().expect("non-empty");
         prop_assert_eq!(g.count_in(dom), n);
-        prop_assert!(n as u32 * g.num_regions() as u32 >= total);
+        prop_assert!(n * g.num_regions() as u32 >= total);
     }
 
     /// Totals, per-region counts and dominant shares are internally
@@ -99,8 +99,8 @@ proptest! {
                 block: BlockId::from_octets(10, 0, c),
                 asn: Some(Asn(5)),
                 counts: vec![
-                    (GeoRegion::Ua(Oblast::Sumy), (n_after / 2).max(1).min(256)),
-                    (GeoRegion::Ua(Oblast::Kyiv), (n_after / 2).max(1).min(256)),
+                    (GeoRegion::Ua(Oblast::Sumy), (n_after / 2).clamp(1, 256)),
+                    (GeoRegion::Ua(Oblast::Kyiv), (n_after / 2).clamp(1, 256)),
                 ],
                 radius: RadiusKm::R100,
             });

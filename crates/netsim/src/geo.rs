@@ -46,7 +46,7 @@ pub fn geo_snapshot(world: &World, month: MonthId) -> GeoSnapshot {
         let base_pop = spec.geo_population.max(spec.base_responders) as u32;
         let survive = spec.annual_decay.powf(elapsed as f64 / 12.0);
         let alive = rng.uniform3(spec.block.0 as u64, 0, 55) < survive;
-        let growth = survive.min(1.3f64).max(1.0);
+        let growth = survive.clamp(1.0, 1.3f64);
         let mut remaining = if alive {
             ((base_pop as f64) * growth).min(256.0).round() as u32
         } else {

@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod geo;
 pub mod power;
 pub mod rng;
@@ -36,6 +37,7 @@ pub mod spec;
 pub mod transport;
 pub mod world;
 
+pub use faults::{FaultIntensity, FaultPlan, FaultStats, FaultWindow, FaultyTransport};
 pub use power::{PowerCalendar, StrikeEvent};
 pub use rng::WorldRng;
 pub use script::{EventKind, EventTarget, Script, ScriptedEvent};

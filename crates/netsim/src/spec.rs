@@ -252,7 +252,7 @@ mod tests {
         assert_eq!(b.responders_at(0), 30);
         // 0.9^3 ≈ 0.729 → ~22 after 36 months.
         let late = b.responders_at(36);
-        assert!(late >= 21 && late <= 23, "got {late}");
+        assert!((21..=23).contains(&late), "got {late}");
     }
 
     #[test]

@@ -2,11 +2,14 @@
 //! independence, and modifier correctness under arbitrary configurations.
 
 use fbs_netsim::{
-    AsProfile, AsSpec, BlockSpec, EventKind, EventTarget, Script, ScriptedEvent, World,
-    WorldConfig, WorldScale,
+    AsProfile, AsSpec, BlockSpec, EventKind, EventTarget, FaultIntensity, FaultyTransport, Script,
+    ScriptedEvent, World, WorldConfig, WorldRng, WorldScale,
 };
+use fbs_prober::scan::loopback::LoopbackTransport;
+use fbs_prober::{ScanConfig, Scanner, TargetSet};
 use fbs_types::{Asn, BlockId, Oblast, Prefix, Round, CAMPAIGN_START};
 use proptest::prelude::*;
+use std::net::Ipv4Addr;
 
 fn world_from(seed: u64, n_blocks: u8, events: Vec<(u8, u8, u8)>) -> World {
     // events: (start_day, len_days, kind 0..3)
@@ -138,5 +141,144 @@ proptest! {
         let a = base.rtt_ns(Round(r), 0);
         let b = rerouted.rtt_ns(Round(r), 0);
         prop_assert!(b >= a, "reroute lowered rtt: {} -> {}", a, b);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection properties: any intensity, the scanner survives and the
+// books balance.
+// ---------------------------------------------------------------------------
+
+fn fault_targets() -> TargetSet {
+    TargetSet::from_prefixes(&["10.1.0.0/24".parse::<Prefix>().unwrap()])
+}
+
+fn fault_loopback(hosts: &std::collections::HashSet<u8>, rtt_ns: u64) -> LoopbackTransport {
+    let mut lo = LoopbackTransport::new();
+    for &h in hosts {
+        lo.add_host(Ipv4Addr::new(10, 1, 0, h), rtt_ns);
+    }
+    lo
+}
+
+fn arb_intensity() -> impl Strategy<Value = FaultIntensity> {
+    (
+        (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0),
+        (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.3),
+        (0u64..5_000_000, 0u64..500_000_000, 0u32..64),
+    )
+        .prop_map(
+            |(
+                (probe_loss, reply_loss, duplicate),
+                (reorder, latency_spike, corrupt),
+                (reorder_jitter_ns, latency_spike_ns, icmp_reply_budget),
+            )| FaultIntensity {
+                probe_loss,
+                reply_loss,
+                duplicate,
+                reorder,
+                reorder_jitter_ns,
+                latency_spike,
+                latency_spike_ns,
+                corrupt,
+                // Keep unsolicited below the corruption knob: this strategy
+                // is reused by properties that compare responder sets.
+                unsolicited: corrupt,
+                icmp_reply_budget,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the fault intensity, a scan round completes without
+    /// panicking, its accounting is conserved, and every responder it
+    /// reports is a host that actually exists.
+    #[test]
+    fn faulty_scan_never_panics_and_conserves(
+        intensity in arb_intensity(),
+        seed in any::<u64>(),
+        retries in 0u32..3,
+        hosts in proptest::collection::hash_set(any::<u8>(), 0..40),
+    ) {
+        intensity.validate().expect("strategy yields valid intensities");
+        let mut faulty = FaultyTransport::new(
+            fault_loopback(&hosts, 25_000_000),
+            WorldRng::new(seed),
+            Round(3),
+            intensity,
+        );
+        let scanner = Scanner::new(ScanConfig {
+            rate_pps: 1_000_000,
+            retries,
+            ..ScanConfig::default()
+        });
+        let (obs, stats) = scanner.scan_round(Round(3), &fault_targets(), &mut faulty);
+        prop_assert!(stats.is_conserved(), "{:?}", stats);
+        prop_assert!(stats.valid <= stats.sent);
+        prop_assert_eq!(obs.total_responsive(), stats.valid);
+        for h in obs.blocks[0].responders.iter_hosts() {
+            prop_assert!(hosts.contains(&h), "phantom responder {}", h);
+        }
+    }
+
+    /// Faults only ever *remove* responders: the set observed through the
+    /// faulty transport is a subset of the clean scan's responders.
+    #[test]
+    fn faults_never_add_responders(
+        intensity in arb_intensity(),
+        seed in any::<u64>(),
+        hosts in proptest::collection::hash_set(any::<u8>(), 1..40),
+    ) {
+        let scanner = Scanner::new(ScanConfig {
+            rate_pps: 1_000_000,
+            ..ScanConfig::default()
+        });
+        let t = fault_targets();
+        let mut clean = fault_loopback(&hosts, 25_000_000);
+        let (clean_obs, _) = scanner.scan_round(Round(3), &t, &mut clean);
+        let mut faulty = FaultyTransport::new(
+            fault_loopback(&hosts, 25_000_000),
+            WorldRng::new(seed),
+            Round(3),
+            intensity,
+        );
+        let (noisy_obs, _) = scanner.scan_round(Round(3), &t, &mut faulty);
+        let kept = noisy_obs.blocks[0]
+            .responders
+            .intersection(&clean_obs.blocks[0].responders);
+        prop_assert_eq!(kept.count(), noisy_obs.blocks[0].responders.count());
+    }
+
+    /// The decorator is deterministic under arbitrary intensities: the same
+    /// seed reproduces bit-identical observations and fault statistics.
+    #[test]
+    fn faulty_transport_deterministic(
+        intensity in arb_intensity(),
+        seed in any::<u64>(),
+        hosts in proptest::collection::hash_set(any::<u8>(), 1..40),
+    ) {
+        let scanner = Scanner::new(ScanConfig {
+            rate_pps: 1_000_000,
+            retries: 1,
+            ..ScanConfig::default()
+        });
+        let t = fault_targets();
+        let run = || {
+            let mut faulty = FaultyTransport::new(
+                fault_loopback(&hosts, 25_000_000),
+                WorldRng::new(seed),
+                Round(3),
+                intensity,
+            );
+            let (obs, stats) = scanner.scan_round(Round(3), &t, &mut faulty);
+            (obs, stats, faulty.stats)
+        };
+        let (obs_a, stats_a, fstats_a) = run();
+        let (obs_b, stats_b, fstats_b) = run();
+        prop_assert_eq!(obs_a, obs_b);
+        prop_assert_eq!(stats_a, stats_b);
+        prop_assert_eq!(fstats_a, fstats_b);
     }
 }

@@ -45,5 +45,5 @@ pub use packet::{IcmpKind, ParsedReply, ProbePacket};
 pub use permutation::CyclicPermutation;
 pub use quantile::P2Quantile;
 pub use rate::TokenBucket;
-pub use scan::{ScanConfig, ScanStats, Scanner, Transport};
+pub use scan::{QualityConfig, ScanConfig, ScanStats, Scanner, Transport};
 pub use target::TargetSet;

@@ -60,8 +60,8 @@ impl ResponderBitmap {
     #[inline]
     pub fn intersection(&self, other: &ResponderBitmap) -> ResponderBitmap {
         let mut out = [0u64; 4];
-        for i in 0..4 {
-            out[i] = self.0[i] & other.0[i];
+        for (i, word) in out.iter_mut().enumerate() {
+            *word = self.0[i] & other.0[i];
         }
         ResponderBitmap(out)
     }
@@ -113,11 +113,7 @@ impl RttStat {
 
     /// Mean RTT in nanoseconds, or `None` when no samples were recorded.
     pub fn mean_ns(&self) -> Option<u64> {
-        if self.count == 0 {
-            None
-        } else {
-            Some(self.sum_ns / self.count)
-        }
+        self.sum_ns.checked_div(self.count)
     }
 
     /// Mean RTT in milliseconds as a float, or `None` when empty.
@@ -160,7 +156,11 @@ impl BlockObservation {
 
 /// All observations of one scan round, aligned with a `TargetSet`'s block
 /// order (index `i` describes `targets.blocks()[i]`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every bitmap and RTT aggregate bit-for-bit — the
+/// determinism tests rely on this to prove identical seeds yield identical
+/// observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundObservations {
     /// The probing round these observations belong to.
     pub round: Round,

@@ -46,13 +46,13 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     let mut d = n - 1;
     let mut r = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }
@@ -78,7 +78,7 @@ pub fn next_prime(n: u64) -> u64 {
     if c <= 2 {
         return 2;
     }
-    if c % 2 == 0 {
+    if c.is_multiple_of(2) {
         c += 1;
     }
     while !is_prime(c) {
@@ -95,9 +95,9 @@ fn prime_factors(mut n: u64) -> Vec<u64> {
     let mut factors = Vec::new();
     let mut d = 2u64;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             factors.push(d);
-            while n % d == 0 {
+            while n.is_multiple_of(d) {
                 n /= d;
             }
         }

@@ -17,7 +17,8 @@ use crate::packet::{self, ProbePacket};
 use crate::permutation::CyclicPermutation;
 use crate::rate::TokenBucket;
 use crate::target::TargetSet;
-use fbs_types::{BlockId, Round};
+use fbs_types::{BlockId, Round, RoundQuality};
+use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
 /// How the scanner reaches the network.
@@ -49,6 +50,14 @@ pub struct ScanConfig {
     pub ttl: u8,
     /// How long to keep listening after the last probe (cooldown).
     pub timeout_ns: u64,
+    /// Bounded re-probe passes for non-responders (ZMap's `--retries`).
+    ///
+    /// After the first full sweep the scanner waits one `timeout_ns` for
+    /// stragglers, then re-probes only the addresses that have not answered,
+    /// up to `retries` times. On a lossy path this recovers most of the
+    /// responders a single probe would miss; on a clean path the extra
+    /// passes cost nothing but the re-walk of the permutation.
+    pub retries: u32,
 }
 
 impl Default for ScanConfig {
@@ -61,6 +70,7 @@ impl Default for ScanConfig {
             burst: 8,
             ttl: 64,
             timeout_ns: 5_000_000_000,
+            retries: 0,
         }
     }
 }
@@ -83,6 +93,146 @@ pub struct ScanStats {
     pub duplicates: u64,
     /// Virtual duration of the round, send start to listen end.
     pub duration_ns: u64,
+}
+
+impl ScanStats {
+    /// Share of received packets that failed checksum/parse (0 when no
+    /// packets arrived at all).
+    pub fn parse_error_rate(&self) -> f64 {
+        if self.received == 0 {
+            0.0
+        } else {
+            self.parse_errors as f64 / self.received as f64
+        }
+    }
+
+    /// Shortfall of valid replies against an expected baseline (clamped to
+    /// `0..=1`); the baseline typically comes from recent healthy rounds.
+    pub fn loss_vs_baseline(&self, baseline_valid: f64) -> f64 {
+        if baseline_valid <= 0.0 {
+            0.0
+        } else {
+            (1.0 - self.valid as f64 / baseline_valid).clamp(0.0, 1.0)
+        }
+    }
+
+    /// The conservation invariant every round must satisfy: all received
+    /// packets are accounted for exactly once, and no more replies validate
+    /// than probes were sent.
+    pub fn is_conserved(&self) -> bool {
+        self.received == self.valid + self.parse_errors + self.invalid + self.duplicates
+            && self.valid <= self.sent
+    }
+}
+
+/// Thresholds for judging a round's measurement quality from its
+/// [`ScanStats`] (loss ratio, parse-error rate, sent-vs-expected).
+///
+/// The defaults are deliberately tolerant of the reply-loss levels the
+/// chaos tests inject (≤ 20%): such rounds come back [`Degraded`]
+/// (`RoundQuality::Degraded`), which damps detection without blinding it,
+/// while only a collapse of the measurement itself yields `Unusable`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct QualityConfig {
+    /// Valid-reply shortfall vs baseline at or above which a round is
+    /// `Degraded`.
+    pub degraded_loss: f64,
+    /// Shortfall at or above which a round is `Unusable`.
+    pub unusable_loss: f64,
+    /// Parse-error share of received packets ⇒ `Degraded`.
+    pub degraded_parse_errors: f64,
+    /// Parse-error share ⇒ `Unusable`.
+    pub unusable_parse_errors: f64,
+    /// Minimum `sent / expected` ratio; below it the sweep was truncated
+    /// and the round is `Unusable`.
+    pub min_sent_ratio: f64,
+}
+
+impl Default for QualityConfig {
+    fn default() -> Self {
+        QualityConfig {
+            degraded_loss: 0.05,
+            unusable_loss: 0.65,
+            degraded_parse_errors: 0.02,
+            unusable_parse_errors: 0.50,
+            min_sent_ratio: 0.90,
+        }
+    }
+}
+
+impl QualityConfig {
+    /// Validates that every ratio lies in `0..=1` and the degraded bounds
+    /// do not exceed their unusable counterparts.
+    pub fn validate(&self) -> fbs_types::Result<()> {
+        for (name, v) in [
+            ("degraded_loss", self.degraded_loss),
+            ("unusable_loss", self.unusable_loss),
+            ("degraded_parse_errors", self.degraded_parse_errors),
+            ("unusable_parse_errors", self.unusable_parse_errors),
+            ("min_sent_ratio", self.min_sent_ratio),
+        ] {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                return Err(fbs_types::FbsError::config(format!(
+                    "quality ratio {name}={v} outside 0..=1"
+                )));
+            }
+        }
+        if self.degraded_loss > self.unusable_loss {
+            return Err(fbs_types::FbsError::config(
+                "degraded_loss must not exceed unusable_loss",
+            ));
+        }
+        if self.degraded_parse_errors > self.unusable_parse_errors {
+            return Err(fbs_types::FbsError::config(
+                "degraded_parse_errors must not exceed unusable_parse_errors",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Verdict from a loss ratio alone (used when the expected loss is
+    /// known directly, e.g. from an injected fault plan).
+    pub fn from_loss(&self, loss: f64) -> RoundQuality {
+        if loss >= self.unusable_loss {
+            RoundQuality::Unusable
+        } else if loss >= self.degraded_loss {
+            RoundQuality::Degraded
+        } else {
+            RoundQuality::Ok
+        }
+    }
+
+    /// Full verdict for a completed round.
+    ///
+    /// `expected_probes` is the size of a complete first sweep
+    /// (`targets.num_addresses()`); `baseline_valid` is the expected number
+    /// of valid replies under healthy conditions (`None` = no baseline yet,
+    /// e.g. the first rounds of a campaign), typically a trailing average.
+    pub fn assess(
+        &self,
+        stats: &ScanStats,
+        expected_probes: u64,
+        baseline_valid: Option<f64>,
+    ) -> RoundQuality {
+        if expected_probes > 0
+            && (stats.sent as f64) < self.min_sent_ratio * expected_probes as f64
+        {
+            return RoundQuality::Unusable;
+        }
+        let mut q = RoundQuality::Ok;
+        let per = stats.parse_error_rate();
+        if per >= self.unusable_parse_errors && stats.received > 0 {
+            return RoundQuality::Unusable;
+        }
+        if per >= self.degraded_parse_errors && stats.received > 0 {
+            q = q.worst(RoundQuality::Degraded);
+        }
+        if let Some(base) = baseline_valid {
+            q = q.worst(self.from_loss(stats.loss_vs_baseline(base)));
+        }
+        q
+    }
 }
 
 /// A single-vantage-point full-block scanner.
@@ -152,6 +302,43 @@ impl Scanner {
                 since_drain = 0;
                 transport.recv(now_ns, &mut inbox);
                 self.process_inbox(&mut inbox, targets, &mut obs, &mut stats);
+            }
+        }
+
+        // Bounded re-probe passes: wait out the reply horizon, then probe
+        // only the addresses still silent. Responders found by an earlier
+        // pass are skipped, so duplicates stay rare even on lossy paths.
+        for _pass in 0..self.config.retries {
+            now_ns += self.config.timeout_ns;
+            transport.recv(now_ns, &mut inbox);
+            self.process_inbox(&mut inbox, targets, &mut obs, &mut stats);
+            if stats.valid >= targets.num_addresses() {
+                break; // everything answered; nothing left to re-probe
+            }
+            for idx in perm.iter() {
+                let bi = (idx / 256) as usize;
+                let host = (idx % 256) as u8;
+                if obs.blocks[bi].responders.get(host) {
+                    continue;
+                }
+                now_ns = bucket.next_send_time(now_ns);
+                bucket.consume(now_ns);
+                let dst = targets.addr_at(idx);
+                let probe = ProbePacket::echo_request(
+                    self.config.source,
+                    dst,
+                    self.config.key,
+                    now_ns,
+                    self.config.ttl,
+                );
+                transport.send(&probe.bytes, now_ns);
+                stats.sent += 1;
+                since_drain += 1;
+                if since_drain == 256 {
+                    since_drain = 0;
+                    transport.recv(now_ns, &mut inbox);
+                    self.process_inbox(&mut inbox, targets, &mut obs, &mut stats);
+                }
             }
         }
 
@@ -238,9 +425,15 @@ pub mod loopback {
     pub struct LoopbackTransport {
         hosts: HashMap<Ipv4Addr, u64>,
         queue: BinaryHeap<Pending>,
-        /// Corrupt every nth reply (0 = never).
+        /// Corrupt every nth reply (0 = never). Successive corruptions
+        /// cycle through a bit flip, a truncation, and a zero-length
+        /// packet, so one knob exercises all the scanner's parse paths.
         pub corrupt_every: u64,
+        /// Deliver every nth reply twice (0 = never): models the duplicate
+        /// packets loaded links produce.
+        pub duplicate_every: u64,
         reply_counter: u64,
+        corruptions: u64,
     }
 
     impl LoopbackTransport {
@@ -280,10 +473,23 @@ pub mod loopback {
             };
             let mut reply = ParsedReply::reply_for(&req, 55);
             self.reply_counter += 1;
-            if self.corrupt_every != 0 && self.reply_counter % self.corrupt_every == 0 {
-                // Flip a payload bit without fixing the checksum.
-                let last = reply.len() - 1;
-                reply[last] ^= 0xff;
+            if self.corrupt_every != 0 && self.reply_counter.is_multiple_of(self.corrupt_every) {
+                match self.corruptions % 3 {
+                    0 => {
+                        // Flip a payload bit without fixing the checksum.
+                        let last = reply.len() - 1;
+                        reply[last] ^= 0xff;
+                    }
+                    1 => reply.truncate(reply.len() / 2),
+                    _ => reply.clear(), // zero-length datagram
+                }
+                self.corruptions += 1;
+            }
+            if self.duplicate_every != 0 && self.reply_counter.is_multiple_of(self.duplicate_every) {
+                self.queue.push(Pending {
+                    arrival_ns: now_ns + rtt + 1, // the copy trails by 1 ns
+                    bytes: reply.clone(),
+                });
             }
             self.queue.push(Pending {
                 arrival_ns: now_ns + rtt,
@@ -411,6 +617,188 @@ mod tests {
         let (obs, stats) = scanner().scan_round(Round(0), &t, &mut lo);
         assert_eq!(stats.sent, 0);
         assert_eq!(obs.blocks.len(), 0);
+    }
+
+    /// Drops the first `drop_remaining` probes outright (they never reach
+    /// the loopback), then behaves normally — a deterministic lossy path.
+    struct LossyTransport {
+        inner: LoopbackTransport,
+        drop_remaining: u32,
+    }
+
+    impl Transport for LossyTransport {
+        fn send(&mut self, bytes: &[u8], now_ns: u64) {
+            if self.drop_remaining > 0 {
+                self.drop_remaining -= 1;
+                return;
+            }
+            self.inner.send(bytes, now_ns);
+        }
+
+        fn recv(&mut self, now_ns: u64, out: &mut Vec<(u64, Vec<u8>)>) {
+            self.inner.recv(now_ns, out);
+        }
+    }
+
+    #[test]
+    fn corruption_cycles_through_all_modes() {
+        let t = targets();
+        let mut lo = LoopbackTransport::new();
+        for host in [1u8, 2, 3] {
+            lo.add_host(Ipv4Addr::new(10, 1, 0, host), 1_000);
+        }
+        lo.corrupt_every = 1; // every reply corrupted: flip, truncate, clear
+        let (obs, stats) = scanner().scan_round(Round(0), &t, &mut lo);
+        assert_eq!(stats.received, 3);
+        assert_eq!(stats.parse_errors, 3, "all three modes must fail parse");
+        assert_eq!(stats.valid, 0);
+        assert_eq!(obs.total_responsive(), 0);
+        assert!(stats.is_conserved(), "{stats:?}");
+    }
+
+    #[test]
+    fn duplicates_counted_once_in_bitmaps_and_rtt() {
+        let t = targets();
+        let mut lo = LoopbackTransport::new();
+        let hosts = [1u8, 77, 200];
+        for host in hosts {
+            lo.add_host(Ipv4Addr::new(10, 1, 0, host), 40_000_000);
+        }
+        lo.duplicate_every = 1; // every reply arrives twice
+        let (obs, stats) = scanner().scan_round(Round(0), &t, &mut lo);
+        assert_eq!(stats.valid, 3);
+        assert_eq!(stats.duplicates, 3);
+        assert_eq!(stats.received, 6);
+        assert!(stats.is_conserved(), "{stats:?}");
+        // Bitmaps count each responder once...
+        assert_eq!(obs.total_responsive(), 3);
+        let b0 = t
+            .index_of_block(fbs_types::BlockId::from_octets(10, 1, 0))
+            .unwrap();
+        assert_eq!(obs.blocks[b0].responders.count(), 3);
+        // ...and RTT aggregates ignore the duplicate copies entirely (the
+        // trailing copy would otherwise skew the mean by its extra delay).
+        assert_eq!(obs.blocks[b0].rtt.count, 3);
+        assert_eq!(obs.blocks[b0].rtt.mean_ns(), Some(40_000_000));
+    }
+
+    #[test]
+    fn retries_recover_dropped_replies() {
+        let t = targets();
+        let run = |retries: u32| {
+            let mut inner = LoopbackTransport::new();
+            for host in [1u8, 77, 200] {
+                inner.add_host(Ipv4Addr::new(10, 1, 0, host), 1_000);
+            }
+            // Swallow the entire first sweep.
+            let mut lossy = LossyTransport {
+                inner,
+                drop_remaining: 512,
+            };
+            let scanner = Scanner::new(ScanConfig {
+                rate_pps: 1_000_000,
+                timeout_ns: 1_000_000,
+                retries,
+                ..ScanConfig::default()
+            });
+            scanner.scan_round(Round(0), &t, &mut lossy)
+        };
+        let (obs0, stats0) = run(0);
+        assert_eq!(stats0.valid, 0, "without retries the round is blind");
+        assert_eq!(obs0.total_responsive(), 0);
+        let (obs1, stats1) = run(1);
+        assert_eq!(stats1.sent, 1024, "one full re-probe pass");
+        assert_eq!(stats1.valid, 3, "the re-probe pass recovers responders");
+        assert_eq!(obs1.total_responsive(), 3);
+        assert!(stats1.is_conserved());
+    }
+
+    #[test]
+    fn retry_pass_skips_known_responders() {
+        let t = targets();
+        let mut lo = LoopbackTransport::new();
+        for host in [1u8, 77, 200] {
+            lo.add_host(Ipv4Addr::new(10, 1, 0, host), 1_000);
+        }
+        let scanner = Scanner::new(ScanConfig {
+            rate_pps: 1_000_000,
+            timeout_ns: 1_000_000,
+            retries: 2,
+            ..ScanConfig::default()
+        });
+        let (obs, stats) = scanner.scan_round(Round(0), &t, &mut lo);
+        // Responders answered in pass 1, so passes 2 and 3 only re-probe
+        // the 509 silent addresses.
+        assert_eq!(stats.sent, 512 + 2 * 509);
+        assert_eq!(stats.valid, 3);
+        assert_eq!(stats.duplicates, 0, "skipping responders avoids dups");
+        assert_eq!(obs.total_responsive(), 3);
+    }
+
+    #[test]
+    fn quality_verdicts_from_stats() {
+        let q = QualityConfig::default();
+        assert!(q.validate().is_ok());
+        let healthy = ScanStats {
+            sent: 512,
+            received: 100,
+            valid: 100,
+            ..ScanStats::default()
+        };
+        assert_eq!(q.assess(&healthy, 512, Some(100.0)), RoundQuality::Ok);
+        // 20% shortfall vs baseline: degraded, not unusable.
+        let lossy = ScanStats {
+            valid: 80,
+            received: 80,
+            ..healthy
+        };
+        assert_eq!(q.assess(&lossy, 512, Some(100.0)), RoundQuality::Degraded);
+        // Collapse of the signal: unusable.
+        let dead = ScanStats {
+            valid: 10,
+            received: 10,
+            ..healthy
+        };
+        assert_eq!(q.assess(&dead, 512, Some(100.0)), RoundQuality::Unusable);
+        // Garbled inbox: parse errors dominate received packets.
+        let garbled = ScanStats {
+            received: 100,
+            valid: 40,
+            parse_errors: 60,
+            ..ScanStats::default()
+        };
+        let garbled = ScanStats { sent: 512, ..garbled };
+        assert_eq!(q.assess(&garbled, 512, None), RoundQuality::Unusable);
+        // Truncated sweep: unusable regardless of replies.
+        let truncated = ScanStats {
+            sent: 100,
+            ..healthy
+        };
+        assert_eq!(q.assess(&truncated, 512, Some(100.0)), RoundQuality::Unusable);
+        // No baseline and a clean inbox: Ok.
+        assert_eq!(q.assess(&healthy, 512, None), RoundQuality::Ok);
+    }
+
+    #[test]
+    fn quality_from_loss_boundaries() {
+        let q = QualityConfig::default();
+        assert_eq!(q.from_loss(0.0), RoundQuality::Ok);
+        assert_eq!(q.from_loss(q.degraded_loss), RoundQuality::Degraded);
+        assert_eq!(q.from_loss(0.20), RoundQuality::Degraded);
+        assert_eq!(q.from_loss(q.unusable_loss), RoundQuality::Unusable);
+        assert_eq!(q.from_loss(1.0), RoundQuality::Unusable);
+        // Invalid configs are rejected.
+        let bad = QualityConfig {
+            degraded_loss: 0.9,
+            unusable_loss: 0.5,
+            ..QualityConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let nan = QualityConfig {
+            min_sent_ratio: f64::NAN,
+            ..QualityConfig::default()
+        };
+        assert!(nan.validate().is_err());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Property-based tests for the scanner's core data structures.
 
 use fbs_prober::packet::{self, encode, internet_checksum, IcmpKind};
-use fbs_prober::{CyclicPermutation, ResponderBitmap, TargetSet, TokenBucket};
-use fbs_types::{BlockId, Prefix};
+use fbs_prober::scan::loopback::LoopbackTransport;
+use fbs_prober::{CyclicPermutation, ResponderBitmap, ScanConfig, Scanner, TargetSet, TokenBucket};
+use fbs_types::{BlockId, Prefix, Round};
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
@@ -104,6 +105,62 @@ proptest! {
         let listed: Vec<u8> = bm.iter_hosts().collect();
         prop_assert_eq!(listed.len(), hosts.len());
         for h in listed { prop_assert!(hosts.contains(&h)); }
+    }
+
+    /// `packet::parse` is total: arbitrary byte soup — empty, truncated,
+    /// oversized, or a valid header with a garbage tail — returns a verdict,
+    /// never panics or over-reads.
+    #[test]
+    fn parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..100)) {
+        let _ = packet::parse(&bytes);
+    }
+
+    /// Mangled real packets are equally safe: truncate a well-formed reply
+    /// at any offset, then flip any byte, and parse must still return.
+    #[test]
+    fn parse_survives_truncation_and_mutation(cut in 0usize..=44, byte in 0usize..44, x in any::<u8>()) {
+        let mut bytes = encode(
+            Ipv4Addr::new(10, 1, 0, 9), Ipv4Addr::new(192, 0, 2, 1), 55,
+            IcmpKind::EchoReply, 3, 4, 1_000,
+        );
+        bytes.truncate(cut);
+        if byte < bytes.len() { bytes[byte] ^= x; }
+        let _ = packet::parse(&bytes);
+    }
+
+    /// A full scan round over a noisy loopback — arbitrary corruption and
+    /// duplication cadence, arbitrary retry budget — never panics, keeps the
+    /// ScanStats conservation invariant, and never validates more replies
+    /// than probes sent.
+    #[test]
+    fn scan_stats_conserved_under_noise(
+        corrupt_every in 0u64..6,
+        duplicate_every in 0u64..6,
+        retries in 0u32..3,
+        hosts in proptest::collection::hash_set(any::<u8>(), 0..40),
+        rtt_ms in 1u64..200,
+    ) {
+        let t = TargetSet::from_prefixes(&["10.1.0.0/24".parse::<Prefix>().unwrap()]);
+        let mut lo = LoopbackTransport::new();
+        for &h in &hosts {
+            lo.add_host(Ipv4Addr::new(10, 1, 0, h), rtt_ms * 1_000_000);
+        }
+        lo.corrupt_every = corrupt_every;
+        lo.duplicate_every = duplicate_every;
+        let scanner = Scanner::new(ScanConfig {
+            rate_pps: 1_000_000,
+            timeout_ns: 1_000_000_000,
+            retries,
+            ..ScanConfig::default()
+        });
+        let (obs, stats) = scanner.scan_round(Round(2), &t, &mut lo);
+        prop_assert!(stats.is_conserved(), "{:?}", stats);
+        prop_assert!(stats.valid <= stats.sent);
+        prop_assert_eq!(obs.total_responsive(), stats.valid);
+        // Nobody outside the configured host set ever appears responsive.
+        for h in obs.blocks[0].responders.iter_hosts() {
+            prop_assert!(hosts.contains(&h));
+        }
     }
 
     /// Target-set dense indexing is a bijection over its blocks.

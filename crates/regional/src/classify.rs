@@ -248,7 +248,7 @@ mod tests {
     #[test]
     fn as_non_regional_when_presence_substantial_by_ips() {
         // Many addresses (≥ 256) but low share: non-regional, not temporal.
-        let hist = months(&[(5_000, 100_000, true); 10].to_vec());
+        let hist = months([(5_000, 100_000, true); 10].as_ref());
         assert_eq!(
             classify_as(&hist, &RegionalityConfig::default()),
             Regionality::NonRegional
@@ -258,7 +258,7 @@ mod tests {
     #[test]
     fn as_non_regional_when_share_noticeable() {
         // Few addresses but > 10% share of a small AS.
-        let hist = months(&[(100, 512, true); 10].to_vec());
+        let hist = months([(100, 512, true); 10].as_ref());
         assert_eq!(
             classify_as(&hist, &RegionalityConfig::default()),
             Regionality::NonRegional
@@ -267,7 +267,7 @@ mod tests {
 
     #[test]
     fn as_regional_when_dominant() {
-        let hist = months(&[(900, 1024, true); 10].to_vec());
+        let hist = months([(900, 1024, true); 10].as_ref());
         assert_eq!(
             classify_as(&hist, &RegionalityConfig::default()),
             Regionality::Regional
@@ -277,7 +277,7 @@ mod tests {
     #[test]
     fn paper_example_status_strict_vs_default() {
         // ISP Status: 4 /24s, 3 in Kherson, 1 in Kyiv → share 0.75.
-        let hist = months(&[(768, 1024, true); 12].to_vec());
+        let hist = months([(768, 1024, true); 12].as_ref());
         // Default thresholds (0.7): regional.
         assert_eq!(
             classify_as(&hist, &RegionalityConfig::default()),

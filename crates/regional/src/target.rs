@@ -60,13 +60,13 @@ impl TargetSetBuilder {
     /// Tally for one category (Table 3 rows).
     pub fn summary(&self, class: Regionality) -> TargetSummary {
         let mut s = TargetSummary::default();
-        for (_, (c, ips)) in &self.as_class {
+        for (c, ips) in self.as_class.values() {
             if *c == class {
                 s.ases += 1;
                 s.ips += ips;
             }
         }
-        for (_, (c, owner)) in &self.blocks {
+        for (c, owner) in self.blocks.values() {
             // A block belongs to its own category row only when its owner
             // is in the tallied class.
             if self

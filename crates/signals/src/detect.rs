@@ -23,7 +23,7 @@
 use crate::events::{EntityId, OutageEvent};
 use crate::series::{MovingAverage, SignalKind};
 use crate::thresholds::Thresholds;
-use fbs_types::Round;
+use fbs_types::{Round, RoundQuality};
 use serde::{Deserialize, Serialize};
 
 /// Signal values of one entity at one round. `None` = not measured.
@@ -136,7 +136,46 @@ impl Detector {
     ///
     /// Rounds must be fed in increasing order.
     pub fn observe(&mut self, round: Round, input: EntityRound) -> [SignalState; 3] {
+        self.observe_with(round, input, RoundQuality::Ok)
+    }
+
+    /// Feeds one round together with the prober's quality verdict.
+    ///
+    /// * [`RoundQuality::Ok`] — identical to [`observe`](Self::observe).
+    /// * [`RoundQuality::Degraded`] — the scan ran through measurable loss:
+    ///   the scan-derived factors (FBS, IPS, and the IPS guard) are damped
+    ///   by [`Thresholds::degraded_damping`], so only a dip deeper than the
+    ///   injected loss can fire; the FBS/IPS moving averages are frozen so
+    ///   a run of degraded rounds cannot drag the baseline down. BGP rides
+    ///   routing data, not the scan, and is judged normally.
+    /// * [`RoundQuality::Unusable`] — the round carries no information; it
+    ///   is treated exactly like a vantage-offline round
+    ///   ([`EntityRound::MISSING`]): no state changes, no average updates.
+    pub fn observe_quality(
+        &mut self,
+        round: Round,
+        input: EntityRound,
+        quality: RoundQuality,
+    ) -> [SignalState; 3] {
+        match quality {
+            RoundQuality::Unusable => self.observe_with(round, EntityRound::MISSING, quality),
+            _ => self.observe_with(round, input, quality),
+        }
+    }
+
+    fn observe_with(
+        &mut self,
+        round: Round,
+        input: EntityRound,
+        quality: RoundQuality,
+    ) -> [SignalState; 3] {
         self.last_round = round;
+        let degraded = quality == RoundQuality::Degraded;
+        let damping = if degraded {
+            self.thresholds.degraded_damping
+        } else {
+            1.0
+        };
         let mut states = [SignalState::NoData; 3];
 
         // The FBS guard needs the IPS judgement of the *same* round, so
@@ -149,10 +188,12 @@ impl Detector {
             if let Some(v) = value {
                 if track.ma.warmed_up(self.warmup) {
                     let mean = track.ma.mean().expect("warmed up implies samples");
+                    // BGP factors are never damped: routing data does not
+                    // traverse the (possibly faulty) measurement path.
                     let factor = match kind {
                         SignalKind::Bgp => self.thresholds.bgp,
-                        SignalKind::Fbs => self.thresholds.fbs,
-                        SignalKind::Ips => self.thresholds.ips,
+                        SignalKind::Fbs => self.thresholds.fbs * damping,
+                        SignalKind::Ips => self.thresholds.ips * damping,
                     };
                     if mean > 0.0 {
                         let ratio = v / mean;
@@ -179,7 +220,7 @@ impl Detector {
                     // A guard factor of 1.0 (or more) disables the veto.
                     _ if self.thresholds.fbs_ips_guard >= 1.0 => true,
                     (Some(ips), Some(ips_mean)) if ips_mean > 0.0 => {
-                        ips / ips_mean < self.thresholds.fbs_ips_guard
+                        ips / ips_mean < self.thresholds.fbs_ips_guard * damping
                     }
                     // Without IPS context the guard cannot veto.
                     _ => true,
@@ -233,7 +274,13 @@ impl Detector {
                     // NoData or Warmup (already set): state freezes.
                 }
             }
-            track.ma.push(input.get(kind));
+            // Degraded rounds freeze the scan-fed averages: values measured
+            // through loss must not drag the FBS/IPS baselines down, and
+            // the window must not advance (pushing even a `None` would
+            // evict healthy samples and erode the baseline).
+            if !(degraded && kind != SignalKind::Bgp) {
+                track.ma.push(input.get(kind));
+            }
         }
         states
     }
@@ -463,6 +510,151 @@ mod tests {
         }
         let events = d.finish(Round(24));
         assert!(events.iter().any(|e| e.signal == SignalKind::Bgp && e.end == Round(24)));
+    }
+
+    #[test]
+    fn degraded_round_with_injected_loss_fires_nothing() {
+        // 22% signal loss — would fire the undamped IPS (0.8) and FBS (0.8)
+        // thresholds — but the round is flagged Degraded, so the damped
+        // factors (0.56) hold and no false outage appears.
+        let mut d = detector();
+        steady(&mut d, 0..20, 10.0, 10.0, 1000.0);
+        for r in 20..30 {
+            let states = d.observe_quality(
+                Round(r),
+                EntityRound {
+                    bgp: Some(10.0),
+                    fbs: Some(7.8),
+                    ips: Some(780.0),
+                },
+                RoundQuality::Degraded,
+            );
+            assert_eq!(states[SignalKind::Fbs.index()], SignalState::Ok);
+            assert_eq!(states[SignalKind::Ips.index()], SignalState::Ok);
+        }
+        steady(&mut d, 30..40, 10.0, 10.0, 1000.0);
+        assert!(d.finish(Round(40)).is_empty());
+    }
+
+    #[test]
+    fn degraded_round_still_detects_total_outage() {
+        // A real outage on a degraded round: the drop is far below even the
+        // damped threshold and must still fire.
+        let mut d = detector();
+        steady(&mut d, 0..20, 10.0, 10.0, 1000.0);
+        for r in 20..25 {
+            d.observe_quality(
+                Round(r),
+                EntityRound {
+                    bgp: Some(10.0),
+                    fbs: Some(0.0),
+                    ips: Some(10.0),
+                },
+                RoundQuality::Degraded,
+            );
+        }
+        steady(&mut d, 25..35, 10.0, 10.0, 1000.0);
+        let events = d.finish(Round(35));
+        assert!(events.iter().any(|e| e.signal == SignalKind::Ips));
+        assert!(events.iter().any(|e| e.signal == SignalKind::Fbs));
+    }
+
+    #[test]
+    fn degraded_rounds_do_not_drag_the_baseline() {
+        // A long run of degraded rounds at 80% must not adapt the FBS/IPS
+        // averages: the next genuine dip is still judged against the
+        // healthy baseline.
+        let mut d = detector();
+        steady(&mut d, 0..20, 10.0, 10.0, 1000.0);
+        for r in 20..50 {
+            d.observe_quality(
+                Round(r),
+                EntityRound {
+                    bgp: Some(10.0),
+                    fbs: Some(8.0),
+                    ips: Some(800.0),
+                },
+                RoundQuality::Degraded,
+            );
+        }
+        // 700 vs the frozen 1000-baseline = 0.70 < 0.80 → fires. Had the
+        // degraded 800s been folded in, 700/800 = 0.875 would stay silent.
+        for r in 50..55 {
+            d.observe(
+                Round(r),
+                EntityRound {
+                    bgp: Some(10.0),
+                    fbs: Some(10.0),
+                    ips: Some(700.0),
+                },
+            );
+        }
+        let events = d.finish(Round(55));
+        assert!(
+            events.iter().any(|e| e.signal == SignalKind::Ips),
+            "frozen baseline must still catch the genuine dip: {events:?}"
+        );
+    }
+
+    #[test]
+    fn degraded_round_judges_bgp_normally() {
+        // BGP does not ride the scan path: a routing collapse on a degraded
+        // round fires with the undamped factor.
+        let mut d = detector();
+        steady(&mut d, 0..20, 10.0, 10.0, 1000.0);
+        for r in 20..25 {
+            let states = d.observe_quality(
+                Round(r),
+                EntityRound {
+                    bgp: Some(5.0),
+                    fbs: Some(10.0),
+                    ips: Some(1000.0),
+                },
+                RoundQuality::Degraded,
+            );
+            assert_eq!(states[SignalKind::Bgp.index()], SignalState::Outage);
+        }
+        let events = d.finish(Round(25));
+        assert!(events.iter().any(|e| e.signal == SignalKind::Bgp));
+    }
+
+    #[test]
+    fn unusable_round_is_treated_as_missing() {
+        let mut d = detector();
+        steady(&mut d, 0..20, 10.0, 10.0, 1000.0);
+        // Unusable rounds carry values, but they must be ignored entirely —
+        // even an apparent total outage.
+        for r in 20..30 {
+            let states = d.observe_quality(
+                Round(r),
+                EntityRound {
+                    bgp: Some(0.0),
+                    fbs: Some(0.0),
+                    ips: Some(0.0),
+                },
+                RoundQuality::Unusable,
+            );
+            assert_eq!(states, [SignalState::NoData; 3]);
+        }
+        steady(&mut d, 30..40, 10.0, 10.0, 1000.0);
+        assert!(d.finish(Round(40)).is_empty());
+    }
+
+    #[test]
+    fn ok_quality_matches_plain_observe() {
+        let mut a = detector();
+        let mut b = detector();
+        for r in 0..30 {
+            let input = EntityRound {
+                bgp: Some(10.0),
+                fbs: Some(if r > 20 { 4.0 } else { 10.0 }),
+                ips: Some(if r > 20 { 400.0 } else { 1000.0 }),
+            };
+            let sa = a.observe(Round(r), input);
+            let sb = b.observe_quality(Round(r), input, RoundQuality::Ok);
+            assert_eq!(sa, sb);
+        }
+        assert_eq!(a.finish(Round(30)), b.finish(Round(30)));
     }
 
     #[test]

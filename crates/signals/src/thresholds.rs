@@ -30,6 +30,20 @@ pub struct Thresholds {
     /// Whether the zero-BGP flag holds outages open while an entity routes
     /// nothing at all (paper §3.1). Disable only for ablation studies.
     pub zero_bgp_flag: bool,
+    /// Damping multiplier applied to the scan-derived factors (`fbs`,
+    /// `ips`, and the IPS guard) on rounds the prober flagged as
+    /// `Degraded`: a round scanned through measurable loss must clear a
+    /// proportionally deeper dip before it counts as an outage, so
+    /// injected packet loss alone cannot fire a false event. `1.0`
+    /// disables damping; BGP factors are never damped (routing data does
+    /// not ride the faulty measurement path).
+    #[serde(default = "default_degraded_damping")]
+    pub degraded_damping: f64,
+}
+
+/// Serde default so threshold documents predating the field still load.
+fn default_degraded_damping() -> f64 {
+    0.7
 }
 
 impl Thresholds {
@@ -41,6 +55,7 @@ impl Thresholds {
             fbs_ips_guard: 0.95,
             ips: 0.80,
             zero_bgp_flag: true,
+            degraded_damping: default_degraded_damping(),
         }
     }
 
@@ -52,6 +67,7 @@ impl Thresholds {
             fbs_ips_guard: 0.95,
             ips: 0.90,
             zero_bgp_flag: true,
+            degraded_damping: default_degraded_damping(),
         }
     }
 
@@ -65,6 +81,7 @@ impl Thresholds {
             fbs_ips_guard: 0.95,
             ips: (factor - 0.05).max(0.0),
             zero_bgp_flag: true,
+            degraded_damping: default_degraded_damping(),
         }
     }
 
@@ -75,6 +92,7 @@ impl Thresholds {
             ("fbs", self.fbs),
             ("fbs_ips_guard", self.fbs_ips_guard),
             ("ips", self.ips),
+            ("degraded_damping", self.degraded_damping),
         ] {
             if !(0.0..=1.0).contains(&v) || !v.is_finite() {
                 return Err(fbs_types::FbsError::config(format!(
@@ -130,5 +148,22 @@ mod tests {
             ..Thresholds::as_level()
         };
         assert!(nan.validate().is_err());
+        let over = Thresholds {
+            degraded_damping: 1.2,
+            ..Thresholds::as_level()
+        };
+        assert!(over.validate().is_err());
+    }
+
+    #[test]
+    fn damping_keeps_false_positive_margin() {
+        // The resilience contract: at the paper's strictest scan-derived
+        // factor (regional FBS, 0.95), damping must push the effective
+        // threshold below the signal ratio that ≤ 20% injected reply loss
+        // produces (0.80), so loss alone can never fire an event.
+        for t in [Thresholds::as_level(), Thresholds::regional()] {
+            assert!(t.fbs * t.degraded_damping < 0.80);
+            assert!(t.ips * t.degraded_damping < 0.80);
+        }
     }
 }

@@ -77,6 +77,9 @@ impl IodaPlatform {
             fbs_ips_guard: 1.0,
             ips: self.config.drop_factor,
             zero_bgp_flag: true,
+            // IODA consumes BGP + Trinocular feeds, not our scans, so the
+            // degraded-round damping never applies; keep it neutral.
+            degraded_damping: 1.0,
         };
         let detector = Detector::with_window(
             EntityId::As(asn),

@@ -120,7 +120,7 @@ mod tests {
 
     #[test]
     fn io_error_converts() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire");
+        let io = std::io::Error::other("disk on fire");
         let err: FbsError = io.into();
         assert!(err.to_string().contains("disk on fire"));
     }

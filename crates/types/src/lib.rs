@@ -22,12 +22,14 @@
 pub mod block;
 pub mod error;
 pub mod ids;
+pub mod quality;
 pub mod region;
 pub mod time;
 
 pub use block::{BlockId, Prefix};
 pub use error::{FbsError, Result};
 pub use ids::Asn;
+pub use quality::RoundQuality;
 pub use region::{Oblast, RegionClass, ALL_OBLASTS, FRONTLINE_OBLASTS};
 pub use time::{
     CivilDate, MonthId, Round, Timestamp, CAMPAIGN_END, CAMPAIGN_START, ROUNDS_PER_DAY,

@@ -1,0 +1,84 @@
+//! Measurement-round quality verdicts.
+//!
+//! The campaign ran through wartime network conditions: packet loss on the
+//! paths to the vantage point, ICMP rate limiting, spoofed traffic, and
+//! partial vantage failures that are *not* clean on/off outages. An outage
+//! detector that cannot tell "the targets went dark" from "our measurement
+//! went bad" will hallucinate country-scale events. [`RoundQuality`] is the
+//! verdict the prober attaches to every round so downstream signal
+//! consumers can damp or discard tainted measurements.
+
+use serde::{Deserialize, Serialize};
+
+/// How trustworthy one measurement round is.
+///
+/// Ordered by severity: `Ok < Degraded < Unusable`, so [`Ord::max`] (or
+/// [`RoundQuality::worst`]) combines verdicts from independent checks.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum RoundQuality {
+    /// The round is trustworthy; feed signals at full strength.
+    #[default]
+    Ok,
+    /// Measurably impaired (elevated loss, parse errors, or a probe
+    /// shortfall) but still informative: detection thresholds should be
+    /// damped and baselines frozen, yet a *total* blackout must still fire.
+    Degraded,
+    /// Too impaired to interpret; treat exactly like a missing round
+    /// (vantage offline): no values, frozen detector state.
+    Unusable,
+}
+
+impl RoundQuality {
+    /// The more severe of two verdicts.
+    #[inline]
+    pub fn worst(self, other: RoundQuality) -> RoundQuality {
+        self.max(other)
+    }
+
+    /// Whether the round carries any usable measurement at all.
+    #[inline]
+    pub fn is_usable(self) -> bool {
+        self != RoundQuality::Unusable
+    }
+
+    /// Whether the round is fully trustworthy.
+    #[inline]
+    pub fn is_ok(self) -> bool {
+        self == RoundQuality::Ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_order() {
+        assert!(RoundQuality::Ok < RoundQuality::Degraded);
+        assert!(RoundQuality::Degraded < RoundQuality::Unusable);
+        assert_eq!(
+            RoundQuality::Ok.worst(RoundQuality::Degraded),
+            RoundQuality::Degraded
+        );
+        assert_eq!(
+            RoundQuality::Unusable.worst(RoundQuality::Degraded),
+            RoundQuality::Unusable
+        );
+    }
+
+    #[test]
+    fn usability_predicates() {
+        assert!(RoundQuality::Ok.is_ok());
+        assert!(RoundQuality::Ok.is_usable());
+        assert!(RoundQuality::Degraded.is_usable());
+        assert!(!RoundQuality::Degraded.is_ok());
+        assert!(!RoundQuality::Unusable.is_usable());
+    }
+
+    #[test]
+    fn default_is_ok() {
+        assert_eq!(RoundQuality::default(), RoundQuality::Ok);
+    }
+}

@@ -12,7 +12,10 @@ use ukraine_fbs::prelude::*;
 fn main() {
     let scenario = scenarios::ukraine_with_rounds(WorldScale::Tiny, 42, 300 * 12);
     let world = scenario.into_world().expect("scenario is valid");
-    let report = Campaign::new(world, CampaignConfig::default()).run();
+    let report = Campaign::new(world, CampaignConfig::default())
+        .expect("valid config")
+        .run()
+        .expect("campaign run");
     let ioda = report.ioda.as_ref().expect("baseline enabled by default");
 
     let points = coverage_cdf(&report.as_sizes, &report.as_events, &ioda.as_events);

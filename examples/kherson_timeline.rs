@@ -9,11 +9,11 @@
 use ukraine_fbs::prelude::*;
 use ukraine_fbs::signals::EntityId;
 
-fn window_events<'a>(
-    events: &'a [OutageEvent],
+fn window_events(
+    events: &[OutageEvent],
     from: CivilDate,
     to: CivilDate,
-) -> impl Iterator<Item = &'a OutageEvent> {
+) -> impl Iterator<Item = &OutageEvent> {
     let ws = Round::containing(from.midnight()).expect("in campaign");
     let we = Round::containing(to.midnight()).expect("in campaign");
     events.iter().filter(move |e| e.start < we && e.end > ws)
@@ -23,7 +23,10 @@ fn main() {
     // Ten months cover all the 2022 Kherson events.
     let scenario = scenarios::ukraine_with_rounds(WorldScale::Tiny, 42, 300 * 12);
     let world = scenario.into_world().expect("scenario is valid");
-    let report = Campaign::new(world, CampaignConfig::default()).run();
+    let report = Campaign::new(world, CampaignConfig::default())
+        .expect("valid config")
+        .run()
+        .expect("campaign run");
 
     println!("== April 30, 2022: the Mykolaiv backbone cable cut ==");
     let mut affected = Vec::new();

@@ -15,8 +15,8 @@ fn main() {
     // Through March 2023: covers the first winter of strikes.
     let scenario = scenarios::ukraine_with_rounds(WorldScale::Tiny, 42, 390 * 12);
     let world = scenario.into_world().expect("scenario is valid");
-    let campaign = Campaign::new(world, CampaignConfig::without_baseline());
-    let report = campaign.run();
+    let campaign = Campaign::new(world, CampaignConfig::without_baseline()).expect("valid config");
+    let report = campaign.run().expect("campaign run");
 
     let from = CivilDate::new(2022, 10, 1);
     let to = CivilDate::new(2023, 3, 1);
@@ -53,11 +53,10 @@ fn main() {
     println!("date         power_h  internet_h");
     let mut d = from;
     for i in 0..net_rear.len() {
-        if pow_rear[i] > 0.0 || net_rear[i] > 0.0 {
-            if i % 3 == 0 {
+        if (pow_rear[i] > 0.0 || net_rear[i] > 0.0)
+            && i % 3 == 0 {
                 println!("{d}   {:7.0}  {:9.0}", pow_rear[i], net_rear[i]);
             }
-        }
         d = d.plus_days(1);
     }
 

@@ -20,8 +20,8 @@ fn main() {
         world.rounds()
     );
 
-    let campaign = Campaign::new(world, CampaignConfig::default());
-    let report = campaign.run();
+    let campaign = Campaign::new(world, CampaignConfig::default()).expect("valid config");
+    let report = campaign.run().expect("campaign run");
 
     println!(
         "\ndetected {} AS-level outage events across {} ASes",

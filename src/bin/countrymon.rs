@@ -179,8 +179,8 @@ fn cmd_campaign(args: &Args) {
         world.blocks().len(),
         world.rounds()
     );
-    let campaign = Campaign::new(world, CampaignConfig::default());
-    let report = campaign.run();
+    let campaign = Campaign::new(world, CampaignConfig::default()).expect("valid config");
+    let report = campaign.run().expect("campaign run");
     println!(
         "{} outage events across {} of {} ASes; {} rounds missing (vantage offline)",
         report.total_as_outages(),
@@ -210,7 +210,7 @@ fn cmd_campaign(args: &Args) {
 
 fn cmd_classify(args: &Args) {
     let world = build_world(args);
-    let campaign = Campaign::new(world, CampaignConfig::without_baseline());
+    let campaign = Campaign::new(world, CampaignConfig::without_baseline()).expect("valid config");
     let outcome = campaign.classify_only();
     use ukraine_fbs::regional::Regionality;
     match &args.oblast {

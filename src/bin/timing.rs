@@ -6,8 +6,9 @@ fn main() {
     let world = scenario.into_world().unwrap();
     println!("world build: {:?} ({} blocks, {} ases)", t0.elapsed(), world.blocks().len(), world.config().ases.len());
     let t1 = Instant::now();
-    let campaign = fbs_core::Campaign::new(world, fbs_core::CampaignConfig::default());
-    let report = campaign.run();
+    let campaign = fbs_core::Campaign::new(world, fbs_core::CampaignConfig::default())
+        .expect("valid config");
+    let report = campaign.run().expect("campaign run");
     println!("campaign run: {:?}", t1.elapsed());
     let all = report.all_as_events();
     println!("AS outages: {} [bgp,fbs,ips]={:?}", all.len(), signal_shares(&all));

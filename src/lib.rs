@@ -15,10 +15,13 @@
 //! ```no_run
 //! use ukraine_fbs::prelude::*;
 //!
+//! # fn main() -> ukraine_fbs::types::Result<()> {
 //! let world = scenarios::ukraine(WorldScale::Small, 42).into_world().unwrap();
-//! let report = Campaign::new(world, CampaignConfig::default()).run();
+//! let report = Campaign::new(world, CampaignConfig::default())?.run()?;
 //! println!("{} outage events across {} ASes",
 //!          report.total_as_outages(), report.ases_with_outages());
+//! # Ok(())
+//! # }
 //! ```
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the

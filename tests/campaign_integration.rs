@@ -11,7 +11,10 @@ fn report() -> &'static CampaignReport {
     REPORT.get_or_init(|| {
         let scenario = scenarios::ukraine_with_rounds(WorldScale::Tiny, 42, 300 * 12);
         let world = scenario.into_world().expect("valid scenario");
-        Campaign::new(world, CampaignConfig::default()).run()
+        Campaign::new(world, CampaignConfig::default())
+            .expect("valid config")
+            .run()
+            .expect("campaign run")
     })
 }
 
@@ -193,7 +196,10 @@ fn paper_scale_campaign_smokes() {
     let mut cfg = CampaignConfig::without_baseline();
     cfg.tracked.clear();
     cfg.rtt_tracked.clear();
-    let report = Campaign::new(world, cfg).run();
+    let report = Campaign::new(world, cfg)
+        .expect("valid config")
+        .run()
+        .expect("campaign run");
     assert!(report.total_as_outages() > 0);
     // The April 30 cable cut lands inside the 60-day window.
     assert!(!report.as_events[&Asn(25482)].is_empty());

@@ -1,0 +1,260 @@
+//! The chaos matrix: end-to-end resilience of the scan → signal →
+//! detection chain under injected measurement faults.
+//!
+//! The contract under test, from the robustness work: reply loss at or
+//! below 20% — plus duplication and reordering — must produce **zero false
+//! outage events** on a healthy world, while a genuine scripted outage
+//! inside the same fault window is **still detected**. Degraded rounds damp
+//! detection; they must not blind it.
+
+use ukraine_fbs::netsim::{
+    AsProfile, AsSpec, BlockSpec, EventKind, EventTarget, FaultIntensity, FaultPlan, FaultWindow,
+    FaultyTransport, Script, ScriptedEvent, World, WorldConfig, WorldScale, WorldTransport,
+};
+use ukraine_fbs::prelude::*;
+use ukraine_fbs::prober::{ScanConfig, Scanner, TargetSet};
+use ukraine_fbs::types::{Oblast, Prefix, RoundQuality};
+
+const ROUNDS: u32 = 600; // 50 days at 12 rounds/day
+const FAULT_WINDOW: std::ops::Range<u32> = 100..500;
+
+/// A deliberately quiet world: one regional AS, eight well-populated
+/// blocks, no diurnal swing, no decay — so the only thing that can create
+/// an outage event is a scripted event or an injected fault.
+fn world(seed: u64, events: Vec<ScriptedEvent>) -> World {
+    let asn = Asn(100);
+    let blocks: Vec<BlockSpec> = (0..8u8)
+        .map(|c| BlockSpec {
+            block: BlockId::from_octets(10, 0, c),
+            owner: asn,
+            home: Oblast::Kherson,
+            base_responders: 120,
+            geo_population: 220,
+            response_prob: 0.9,
+            diurnal: false,
+            power_backup: 1.0,
+            annual_decay: 1.0,
+        })
+        .collect();
+    let config = WorldConfig {
+        seed,
+        scale: WorldScale::Tiny,
+        rounds: ROUNDS,
+        ases: vec![AsSpec {
+            asn,
+            name: "chaos-test".into(),
+            profile: AsProfile::Regional,
+            hq: Some(Oblast::Kherson),
+            prefixes: blocks.iter().map(|b| Prefix::from_block(b.block)).collect(),
+            base_rtt_ns: 40_000_000,
+            upstream: Asn(1),
+        }],
+        blocks,
+    };
+    let mut script = Script::new();
+    for e in events {
+        script.push(e);
+    }
+    World::new(config, script, vec![]).expect("valid config")
+}
+
+/// The acceptance-level fault mix: 20% reply loss plus duplication and
+/// reordering, active over rounds 100..500.
+fn chaos_plan() -> FaultPlan {
+    FaultPlan {
+        baseline: FaultIntensity::default(),
+        windows: vec![FaultWindow::over_rounds(
+            "chaos-matrix",
+            FAULT_WINDOW,
+            FaultIntensity {
+                reply_loss: 0.20,
+                duplicate: 0.15,
+                reorder: 0.20,
+                reorder_jitter_ns: 5_000_000,
+                ..FaultIntensity::default()
+            },
+        )],
+    }
+}
+
+fn campaign_config(plan: Option<FaultPlan>) -> CampaignConfig {
+    let mut cfg = CampaignConfig::without_baseline();
+    cfg.tracked.clear();
+    cfg.rtt_tracked.clear();
+    cfg.fault_plan = plan;
+    cfg
+}
+
+fn run(world: World, plan: Option<FaultPlan>) -> CampaignReport {
+    Campaign::new(world, campaign_config(plan))
+        .expect("valid config")
+        .run()
+        .expect("campaign run")
+}
+
+/// A BGP outage for the test AS, expressed in rounds.
+fn scripted_outage(rounds: std::ops::Range<u32>) -> ScriptedEvent {
+    ScriptedEvent {
+        name: "scripted-outage".into(),
+        target: EventTarget::As(Asn(100)),
+        kind: EventKind::BgpOutage,
+        start: Round(rounds.start).start(),
+        end: Some(Round(rounds.end).start()),
+    }
+}
+
+#[test]
+fn injected_loss_causes_no_false_outages() {
+    // Fault-free control: the quiet world must be genuinely quiet.
+    let clean = run(world(11, vec![]), None);
+    assert_eq!(
+        clean.total_as_outages(),
+        0,
+        "control run must be event-free: {:?}",
+        clean.as_events
+    );
+    assert_eq!(clean.degraded_rounds(), 0);
+
+    // Same world, same seed, chaos applied: still no events.
+    let noisy = run(world(11, vec![]), Some(chaos_plan()));
+    assert_eq!(
+        noisy.total_as_outages(),
+        0,
+        "injected loss fabricated outages: {:?}",
+        noisy.as_events
+    );
+    // Regional detection is unchanged by the chaos. (Oblasts with no
+    // blocks at all — everything but Kherson in this one-AS world — flag
+    // BGP-zero in both runs; what matters is that the faults add nothing.)
+    assert_eq!(
+        noisy.region_events.keys().collect::<Vec<_>>(),
+        clean.region_events.keys().collect::<Vec<_>>()
+    );
+    for (oblast, events) in &noisy.region_events {
+        let control = &clean.region_events[oblast];
+        assert_eq!(events.len(), control.len(), "{oblast:?}");
+        for (x, y) in events.iter().zip(control) {
+            assert_eq!(
+                (x.start, x.end, x.signal),
+                (y.start, y.end, y.signal),
+                "{oblast:?}"
+            );
+        }
+    }
+    assert!(
+        noisy.region_events_of(Oblast::Kherson).is_empty(),
+        "the populated region must not false-fire"
+    );
+
+    // The fault window is visible in the quality ledger — degraded, never
+    // unusable, and exactly where the plan put it.
+    assert_eq!(
+        noisy.degraded_rounds(),
+        (FAULT_WINDOW.end - FAULT_WINDOW.start) as usize
+    );
+    for (r, q) in noisy.round_quality.iter().enumerate() {
+        let expect = if FAULT_WINDOW.contains(&(r as u32)) {
+            RoundQuality::Degraded
+        } else {
+            RoundQuality::Ok
+        };
+        assert_eq!(*q, expect, "round {r}");
+    }
+    assert_eq!(noisy.unusable_rounds(), 0);
+    assert_eq!(noisy.quality_of(Round(0)), RoundQuality::Ok);
+    assert_eq!(noisy.quality_of(Round(FAULT_WINDOW.start)), RoundQuality::Degraded);
+}
+
+#[test]
+fn scripted_outage_survives_the_chaos() {
+    // A real 3-day BGP outage in the middle of the fault window.
+    let outage_rounds = 360u32..396;
+    let report = run(
+        world(11, vec![scripted_outage(outage_rounds.clone())]),
+        Some(chaos_plan()),
+    );
+    let events = report
+        .as_events
+        .get(&Asn(100))
+        .expect("the outage must still be detected under 20% loss");
+    assert!(!events.is_empty());
+    let hit = events.iter().any(|e| {
+        e.start.0 < outage_rounds.end + 12 && e.end.0 + 12 > outage_rounds.start
+    });
+    assert!(
+        hit,
+        "no detected event overlaps the scripted outage: {events:?}"
+    );
+    // And nothing fires outside the outage's neighbourhood: detection under
+    // damping is still precise, not just recall-preserving.
+    for e in events {
+        assert!(
+            e.end.0 >= outage_rounds.start.saturating_sub(12)
+                && e.start.0 <= outage_rounds.end + 12,
+            "event far from the scripted outage: {e:?}"
+        );
+    }
+}
+
+#[test]
+fn chaos_campaign_is_deterministic() {
+    let go = || {
+        run(
+            world(23, vec![scripted_outage(360..396)]),
+            Some(chaos_plan()),
+        )
+    };
+    let a = go();
+    let b = go();
+    assert_eq!(a.round_quality, b.round_quality);
+    assert_eq!(a.total_as_outages(), b.total_as_outages());
+    for (asn, events) in &a.as_events {
+        let other = &b.as_events[asn];
+        assert_eq!(events.len(), other.len());
+        for (x, y) in events.iter().zip(other) {
+            assert_eq!((x.start, x.end, x.signal), (y.start, y.end, y.signal));
+        }
+    }
+}
+
+#[test]
+fn wire_path_faults_only_remove_responders() {
+    // The same contract at the packet level: scanning the world through a
+    // FaultyTransport yields a subset of the clean scan's responders, with
+    // conserved accounting, and identical seeds reproduce it bit-for-bit.
+    let w = world(7, vec![]);
+    let targets = TargetSet::from_blocks(w.blocks().iter().map(|b| b.block).collect());
+    let scanner = Scanner::new(ScanConfig {
+        rate_pps: 1_000_000,
+        ..ScanConfig::default()
+    });
+    let round = Round(200);
+    let plan = chaos_plan();
+
+    let (clean_obs, _) = scanner.scan_round(round, &targets, &mut WorldTransport::new(&w, round));
+
+    let scan_faulty = || {
+        let mut t = FaultyTransport::for_round(
+            WorldTransport::new(&w, round),
+            w.rng(),
+            &plan,
+            round,
+            ROUNDS,
+        );
+        let (obs, stats) = scanner.scan_round(round, &targets, &mut t);
+        (obs, stats, t.stats)
+    };
+    let (obs_a, stats_a, fstats_a) = scan_faulty();
+    assert!(stats_a.is_conserved(), "{stats_a:?}");
+    assert!(fstats_a.replies_dropped > 0, "the window must be active");
+    for (i, block) in obs_a.blocks.iter().enumerate() {
+        let kept = block.responders.intersection(&clean_obs.blocks[i].responders);
+        assert_eq!(kept.count(), block.responders.count(), "phantom responders");
+    }
+    assert!(obs_a.total_responsive() < clean_obs.total_responsive());
+
+    let (obs_b, stats_b, fstats_b) = scan_faulty();
+    assert_eq!(obs_a, obs_b);
+    assert_eq!(stats_a, stats_b);
+    assert_eq!(fstats_a, fstats_b);
+}

@@ -95,7 +95,10 @@ fn delegation_snapshot_covers_world_blocks() {
 fn identical_seeds_identical_reports() {
     let run = || {
         let world = tiny_world(9);
-        Campaign::new(world, CampaignConfig::without_baseline()).run()
+        Campaign::new(world, CampaignConfig::without_baseline())
+            .expect("valid config")
+            .run()
+            .expect("campaign run")
     };
     let a = run();
     let b = run();
@@ -114,8 +117,14 @@ fn identical_seeds_identical_reports() {
 
 #[test]
 fn different_seeds_differ() {
-    let a = Campaign::new(tiny_world(1), CampaignConfig::without_baseline()).run();
-    let b = Campaign::new(tiny_world(2), CampaignConfig::without_baseline()).run();
+    let a = Campaign::new(tiny_world(1), CampaignConfig::without_baseline())
+        .expect("valid config")
+        .run()
+        .expect("campaign run");
+    let b = Campaign::new(tiny_world(2), CampaignConfig::without_baseline())
+        .expect("valid config")
+        .run()
+        .expect("campaign run");
     assert_ne!(
         a.total_as_outages(),
         b.total_as_outages(),
