@@ -151,7 +151,10 @@ mod tests {
         sizes.insert(Asn(3), 40);
         let mut ours = BTreeMap::new();
         ours.insert(Asn(1), vec![ev(1, 0, 2, SignalKind::Ips)]);
-        ours.insert(Asn(2), vec![ev(2, 0, 2, SignalKind::Ips), ev(2, 5, 6, SignalKind::Fbs)]);
+        ours.insert(
+            Asn(2),
+            vec![ev(2, 0, 2, SignalKind::Ips), ev(2, 5, 6, SignalKind::Fbs)],
+        );
         let mut ioda = BTreeMap::new();
         ioda.insert(Asn(1), vec![ev(1, 0, 2, SignalKind::Fbs)]);
 
@@ -192,7 +195,10 @@ mod tests {
     #[test]
     fn disjoint_event_sets_correlate_poorly() {
         let a = vec![ev(1, 0, 2, SignalKind::Ips), ev(1, 2, 3, SignalKind::Ips)];
-        let b = vec![ev(1, 240, 242, SignalKind::Ips), ev(1, 242, 243, SignalKind::Ips)];
+        let b = vec![
+            ev(1, 240, 242, SignalKind::Ips),
+            ev(1, 242, 243, SignalKind::Ips),
+        ];
         let (_, _, _, r) = daily_start_correlation(
             &a,
             &b,

@@ -112,8 +112,12 @@ mod tests {
             })
             .collect();
         let two_h = ProbingSchedule::paper().miss_rate(&durations);
-        let one_h = ProbingSchedule::paper().with_interval(3600.0).miss_rate(&durations);
-        let half_h = ProbingSchedule::paper().with_interval(1800.0).miss_rate(&durations);
+        let one_h = ProbingSchedule::paper()
+            .with_interval(3600.0)
+            .miss_rate(&durations);
+        let half_h = ProbingSchedule::paper()
+            .with_interval(1800.0)
+            .miss_rate(&durations);
         assert!(two_h > one_h, "2h {two_h} vs 1h {one_h}");
         assert!(one_h > half_h);
         // The 30-minute schedule with a 20-minute scan misses almost nothing.

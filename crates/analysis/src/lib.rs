@@ -20,12 +20,12 @@
 
 pub mod compare;
 pub mod daily;
-pub mod intervals;
 pub mod emit;
+pub mod intervals;
 pub mod stats;
 
 pub use compare::{coverage_cdf, daily_start_correlation, signal_shares, CoveragePoint};
 pub use daily::{DailyHours, MonthlyHours};
-pub use intervals::ProbingSchedule;
 pub use emit::{Series, TextTable};
+pub use intervals::ProbingSchedule;
 pub use stats::{cdf_points, mean, pearson, percentile, snr, stddev};

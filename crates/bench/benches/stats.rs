@@ -7,8 +7,12 @@ use fbs_analysis::{cdf_points, pearson, percentile, snr};
 use fbs_prober::P2Quantile;
 
 fn bench_stats(c: &mut Criterion) {
-    let xs: Vec<f64> = (0..1095).map(|i| (i as f64 * 0.7).sin().abs() * 24.0).collect();
-    let ys: Vec<f64> = (0..1095).map(|i| (i as f64 * 0.7 + 0.3).sin().abs() * 20.0).collect();
+    let xs: Vec<f64> = (0..1095)
+        .map(|i| (i as f64 * 0.7).sin().abs() * 24.0)
+        .collect();
+    let ys: Vec<f64> = (0..1095)
+        .map(|i| (i as f64 * 0.7 + 0.3).sin().abs() * 20.0)
+        .collect();
 
     let mut g = c.benchmark_group("stats");
     g.throughput(Throughput::Elements(xs.len() as u64));
@@ -22,7 +26,9 @@ fn bench_stats(c: &mut Criterion) {
     g.finish();
 
     let sizes: Vec<f64> = (0..2000).map(|i| (i * 7 % 997) as f64).collect();
-    c.bench_function("stats/cdf_2000", |b| b.iter(|| cdf_points(black_box(&sizes))));
+    c.bench_function("stats/cdf_2000", |b| {
+        b.iter(|| cdf_points(black_box(&sizes)))
+    });
 
     let mut g = c.benchmark_group("quantile");
     g.throughput(Throughput::Elements(10_000));

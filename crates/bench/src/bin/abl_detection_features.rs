@@ -60,7 +60,13 @@ fn main() {
 
     let mut t = TextTable::new(
         "Ablation: detection refinements (tiny world, first 360 days)",
-        &["Configuration", "Events", "FBS events", "BGP hours", "Longest BGP outage (h)"],
+        &[
+            "Configuration",
+            "Events",
+            "FBS events",
+            "BGP hours",
+            "Longest BGP outage (h)",
+        ],
     );
     let row = |t: &mut TextTable, name: &str, v: (usize, usize, f64, f64)| {
         t.row(&[
@@ -71,7 +77,11 @@ fn main() {
             format!("{:.0}", v.3),
         ]);
     };
-    row(&mut t, "full detector (paper)", (f_all, f_fbs, f_bh, f_long));
+    row(
+        &mut t,
+        "full detector (paper)",
+        (f_all, f_fbs, f_bh, f_long),
+    );
     row(&mut t, "- availability guard", (g_all, g_fbs, g_bh, g_long));
     row(&mut t, "- zero-BGP flag", (z_all, z_fbs, z_bh, z_long));
     println!("{}", t.render());

@@ -23,7 +23,9 @@ fn main() {
         for e in events {
             let quantized = e.hours() * 3600.0;
             // Deterministic jitter in (-1h, +1h).
-            h = h.wrapping_mul(6364136223846793005).wrapping_add(e.start.0 as u64 + 1);
+            h = h
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(e.start.0 as u64 + 1);
             let jitter = ((h >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 7200.0;
             durations.push((quantized + jitter).max(300.0));
         }
@@ -69,5 +71,12 @@ fn main() {
         "Paper shape: ~29.5% of short outages fall between two-hour sessions;\n\
          hourly probing misses ~9.5%, a 30-minute schedule ~0.1%."
     );
-    emit_series("exp_probing_interval", &[Series::from_pairs("exp_probing_interval", "miss_pct", &pairs)]);
+    emit_series(
+        "exp_probing_interval",
+        &[Series::from_pairs(
+            "exp_probing_interval",
+            "miss_pct",
+            &pairs,
+        )],
+    );
 }

@@ -47,5 +47,8 @@ fn main() {
         println!("Largest foreign absorber: {asn} with {n} addresses (paper: Amazon/AS16509).");
     }
     println!("Paper shape: Luhansk -67%, Kherson -62%, Donetsk -56%; Chernihiv positive.");
-    emit_series("fig01_churn_map", &[Series::from_pairs("fig01_churn_map", "change_pct", &pairs)]);
+    emit_series(
+        "fig01_churn_map",
+        &[Series::from_pairs("fig01_churn_map", "change_pct", &pairs)],
+    );
 }

@@ -14,8 +14,7 @@ fn main() {
     // The paper's block, or (if the seed moved it) the first Kyivstar
     // block regional to Kherson.
     let fig_block = BlockId::from_octets(176, 8, 28);
-    let block = if kherson.blocks.get(&fig_block).map(|(v, _)| *v) == Some(Regionality::Regional)
-    {
+    let block = if kherson.blocks.get(&fig_block).map(|(v, _)| *v) == Some(Regionality::Regional) {
         fig_block
     } else {
         *kherson
@@ -56,5 +55,8 @@ fn main() {
         kherson.blocks[&block].0
     );
     println!("Paper shape: the block meets M=0.7 in more than 70% of routed months.");
-    emit_series("fig02_block_share", &[Series::from_pairs("fig02_block_share", "share", &pairs)]);
+    emit_series(
+        "fig02_block_share",
+        &[Series::from_pairs("fig02_block_share", "share", &pairs)],
+    );
 }

@@ -12,13 +12,23 @@ fn main() {
 
     let mut t = TextTable::new(
         "Fig. 3: regional ASes per oblast, sensitivity to M",
-        &["Oblast", "Total ASes", "Reg. M=0.5", "Reg. M=0.7", "Reg. M=0.9", "Temporal", "Reg. share %"],
+        &[
+            "Oblast",
+            "Total ASes",
+            "Reg. M=0.5",
+            "Reg. M=0.7",
+            "Reg. M=0.9",
+            "Temporal",
+            "Reg. share %",
+        ],
     );
     let mut series_07 = Vec::new();
     let mut grand_total = 0usize;
     let mut grand_regional = 0usize;
     for o in ALL_OBLASTS {
-        let Some(rc) = cls.regions.get(&o) else { continue };
+        let Some(rc) = cls.regions.get(&o) else {
+            continue;
+        };
         let total = rc.ases.len();
         let count_at = |m: f64| {
             let cfg = RegionalityConfig::with_thresholds(m, 0.7);
@@ -55,5 +65,12 @@ fn main() {
          Kherson splits 13 regional / 40 non-regional / 65 temporal).",
         grand_regional as f64 / grand_total.max(1) as f64 * 100.0
     );
-    emit_series("fig03_regional_ases", &[Series::from_pairs("fig03_regional_ases", "regional_m07", &series_07)]);
+    emit_series(
+        "fig03_regional_ases",
+        &[Series::from_pairs(
+            "fig03_regional_ases",
+            "regional_m07",
+            &series_07,
+        )],
+    );
 }

@@ -16,7 +16,9 @@ fn main() {
     let mut sum_share = 0.0;
     let mut n = 0;
     for o in ALL_OBLASTS {
-        let Some(rc) = cls.regions.get(&o) else { continue };
+        let Some(rc) = cls.regions.get(&o) else {
+            continue;
+        };
         let total = rc.blocks.len();
         let regional = rc
             .blocks
@@ -39,5 +41,12 @@ fn main() {
         "Average regional-block share: {:.0}% (paper: ~50% on average, Kyiv highest at 69%, Volyn low at 30%).",
         sum_share / n as f64
     );
-    emit_series("fig04_regional_blocks", &[Series::from_pairs("fig04_regional_blocks", "share_pct", &pairs)]);
+    emit_series(
+        "fig04_regional_blocks",
+        &[Series::from_pairs(
+            "fig04_regional_blocks",
+            "share_pct",
+            &pairs,
+        )],
+    );
 }

@@ -29,7 +29,12 @@ fn main() {
 
     let mut t = TextTable::new(
         "Fig. 5: ASes with regional /24 blocks in Kherson, by regional IP share",
-        &["AS", "Mean share", "Routed months", "Unrouted months (white gaps)"],
+        &[
+            "AS",
+            "Mean share",
+            "Routed months",
+            "Unrouted months (white gaps)",
+        ],
     );
     for (name, mean, routed, gaps) in &rows {
         t.row(&[

@@ -10,7 +10,14 @@ fn main() {
     let report = &ctx.report;
     let mut t = TextTable::new(
         "Fig. 6: responsive IPs within regional blocks per oblast",
-        &["Oblast", "2022 mean resp.", "2022 share %", "2025 mean resp.", "2025 share %", "Frontline"],
+        &[
+            "Oblast",
+            "2022 mean resp.",
+            "2022 share %",
+            "2025 mean resp.",
+            "2025 share %",
+            "Frontline",
+        ],
     );
     let mut pairs = Vec::new();
     for o in ALL_OBLASTS {
@@ -49,7 +56,16 @@ fn main() {
     println!(
         "Kherson mean responsive: {:.0} (2022) -> {:.0} (2025). Paper: 4.5K -> 1.4K with the\n\
          lowest share of all oblasts (10.7% -> 3.4%); first month {}.",
-        kherson_2022, kherson_2025, MonthId::campaign_first()
+        kherson_2022,
+        kherson_2025,
+        MonthId::campaign_first()
     );
-    emit_series("fig06_responsiveness", &[Series::from_pairs("fig06_responsiveness", "share_2022_pct", &pairs)]);
+    emit_series(
+        "fig06_responsiveness",
+        &[Series::from_pairs(
+            "fig06_responsiveness",
+            "share_2022_pct",
+            &pairs,
+        )],
+    );
 }

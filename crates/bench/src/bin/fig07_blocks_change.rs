@@ -12,7 +12,12 @@ fn main() {
 
     let mut t = TextTable::new(
         &format!("Fig. 7: responsive regional /24 blocks, {first} vs {last}"),
-        &["Oblast", first.to_string().as_str(), last.to_string().as_str(), "Change %"],
+        &[
+            "Oblast",
+            first.to_string().as_str(),
+            last.to_string().as_str(),
+            "Change %",
+        ],
     );
     let mut pairs = Vec::new();
     let mut all_nonzero = true;
@@ -29,7 +34,11 @@ fn main() {
         if b <= 0.0 {
             all_nonzero = false;
         }
-        let change = if a > 0.0 { (b - a) / a * 100.0 } else { f64::NAN };
+        let change = if a > 0.0 {
+            (b - a) / a * 100.0
+        } else {
+            f64::NAN
+        };
         t.row(&[
             o.name().to_string(),
             fmt_f(a, 0),
@@ -42,7 +51,18 @@ fn main() {
     println!(
         "Measurable blocks remain in every oblast at campaign end: {}.\n\
          Paper shape: declines concentrate on the frontline, yet every oblast keeps blocks.",
-        if all_nonzero { "yes" } else { "NO (divergence)" }
+        if all_nonzero {
+            "yes"
+        } else {
+            "NO (divergence)"
+        }
     );
-    emit_series("fig07_blocks_change", &[Series::from_pairs("fig07_blocks_change", "delta_blocks", &pairs)]);
+    emit_series(
+        "fig07_blocks_change",
+        &[Series::from_pairs(
+            "fig07_blocks_change",
+            "delta_blocks",
+            &pairs,
+        )],
+    );
 }

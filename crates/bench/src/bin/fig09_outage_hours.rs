@@ -38,7 +38,13 @@ fn main() {
 
     let mut t = TextTable::new(
         "Fig. 9: mean monthly outage hours per oblast class",
-        &["Month", "Frontline", "Non-frontline", "Frontline (IODA)", "Non-frontline (IODA)"],
+        &[
+            "Month",
+            "Frontline",
+            "Non-frontline",
+            "Frontline (IODA)",
+            "Non-frontline (IODA)",
+        ],
     );
     let mut s1 = Vec::new();
     let mut s2 = Vec::new();

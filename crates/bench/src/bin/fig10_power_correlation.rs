@@ -79,5 +79,7 @@ fn main() {
         "{} documented strike days in 2024 (red marks in the paper's figure).",
         strike_days.len()
     );
-    println!("Paper shape: strong non-frontline correlation (r=0.725) vs weak frontline (r=0.298).");
+    println!(
+        "Paper shape: strong non-frontline correlation (r=0.725) vs weak frontline (r=0.298)."
+    );
 }

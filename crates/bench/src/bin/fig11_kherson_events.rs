@@ -18,9 +18,18 @@ fn main() {
     let ctx = context();
     let report = &ctx.report;
     let windows = [
-        ("Mykolaiv cable (2022-04-30..05-05)", window(CivilDate::new(2022, 4, 29), CivilDate::new(2022, 5, 5))),
-        ("Rerouting (2022-05-28..06-04)", window(CivilDate::new(2022, 5, 28), CivilDate::new(2022, 6, 4))),
-        ("Kakhovka dam (2023-06-04..06-14)", window(CivilDate::new(2023, 6, 4), CivilDate::new(2023, 6, 14))),
+        (
+            "Mykolaiv cable (2022-04-30..05-05)",
+            window(CivilDate::new(2022, 4, 29), CivilDate::new(2022, 5, 5)),
+        ),
+        (
+            "Rerouting (2022-05-28..06-04)",
+            window(CivilDate::new(2022, 5, 28), CivilDate::new(2022, 6, 4)),
+        ),
+        (
+            "Kakhovka dam (2023-06-04..06-14)",
+            window(CivilDate::new(2023, 6, 4), CivilDate::new(2023, 6, 14)),
+        ),
     ];
 
     let mut t = TextTable::new(
@@ -34,9 +43,9 @@ fn main() {
         for (wi, (_, (ws, we))) in windows.iter().enumerate() {
             let mut marks = String::new();
             for sig in [SignalKind::Bgp, SignalKind::Fbs, SignalKind::Ips] {
-                let hit = events.iter().any(|e| {
-                    e.signal == sig && e.start < *we && e.end > *ws
-                });
+                let hit = events
+                    .iter()
+                    .any(|e| e.signal == sig && e.start < *we && e.end > *ws);
                 if hit {
                     marks.push(match sig {
                         SignalKind::Bgp => 'B',

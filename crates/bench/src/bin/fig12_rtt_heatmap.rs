@@ -49,7 +49,11 @@ fn main() {
     println!("{}", t.render());
     println!(
         "Left-bank RTT persistence after liberation: {}.",
-        if persist_ok { "observed" } else { "NOT observed" }
+        if persist_ok {
+            "observed"
+        } else {
+            "NOT observed"
+        }
     );
     println!(
         "Paper shape: RTTs jump ~60 ms for rerouted ASes May-Nov 2022; RubinTV,\n\
@@ -67,5 +71,12 @@ fn main() {
                 .map(|v| (m.to_string(), v))
         })
         .collect();
-    emit_series("fig12_rtt_heatmap", &[Series::from_pairs("fig12_rtt_heatmap", "status_rtt_ms", &status)]);
+    emit_series(
+        "fig12_rtt_heatmap",
+        &[Series::from_pairs(
+            "fig12_rtt_heatmap",
+            "status_rtt_ms",
+            &status,
+        )],
+    );
 }

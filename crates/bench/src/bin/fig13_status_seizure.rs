@@ -58,5 +58,12 @@ fn main() {
          BGP and FBS stay stable — a provider-level event visible only through\n\
          comprehensive probing."
     );
-    emit_series("fig13_status_seizure", &[Series::from_pairs("fig13_status_seizure", "ips_ratio", &ips_series)]);
+    emit_series(
+        "fig13_status_seizure",
+        &[Series::from_pairs(
+            "fig13_status_seizure",
+            "ips_ratio",
+            &ips_series,
+        )],
+    );
 }

@@ -10,14 +10,22 @@ use fbs_types::{BlockId, CivilDate, Round};
 fn main() {
     let ctx = context();
     let report = &ctx.report;
-    let blocks: Vec<BlockId> = (0u8..4).map(|i| BlockId::from_octets(193, 151, 240 + i)).collect();
+    let blocks: Vec<BlockId> = (0u8..4)
+        .map(|i| BlockId::from_octets(193, 151, 240 + i))
+        .collect();
 
     let from = Round::containing(CivilDate::new(2022, 11, 8).midnight()).expect("in campaign");
     let to = Round::containing(CivilDate::new(2022, 12, 2).midnight()).expect("in campaign");
 
     let mut t = TextTable::new(
         "Fig. 14: per-block responsive IPs (daily mean), Status's four /24s",
-        &["Date", "193.151.240 (KHS)", "193.151.241 (KHS)", "193.151.242 (KHS)", "193.151.243 (Kyiv)"],
+        &[
+            "Date",
+            "193.151.240 (KHS)",
+            "193.151.241 (KHS)",
+            "193.151.242 (KHS)",
+            "193.151.243 (Kyiv)",
+        ],
     );
     let mut r = from.0;
     let mut s240 = Vec::new();
@@ -71,5 +79,12 @@ fn main() {
         "Paper shape: the three Kherson blocks stop responding Nov 11, return ~10\n\
          days later with clear day-night cycles; the Kyiv block never dips."
     );
-    emit_series("fig14_status_blocks", &[Series::from_pairs("fig14_status_blocks", "block_240_daily_ips", &s240)]);
+    emit_series(
+        "fig14_status_blocks",
+        &[Series::from_pairs(
+            "fig14_status_blocks",
+            "block_240_daily_ips",
+            &s240,
+        )],
+    );
 }

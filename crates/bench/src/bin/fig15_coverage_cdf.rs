@@ -15,7 +15,12 @@ fn main() {
     // Decile digest of the CDF.
     let mut t = TextTable::new(
         "Fig. 15: cumulative outages over ASes ranked by size (deciles)",
-        &["ASes (smallest first)", "AS size (/24s)", "Ours cumul.", "IODA cumul."],
+        &[
+            "ASes (smallest first)",
+            "AS size (/24s)",
+            "Ours cumul.",
+            "IODA cumul.",
+        ],
     );
     let mut ours_c = 0usize;
     let mut ioda_c = 0usize;
@@ -44,6 +49,15 @@ fn main() {
         summary.ioda_ases,
         ioda.suppressed_ases,
     );
-    println!("Paper shape: 77.6K outages / 1,674 ASes vs IODA's 31.9K / 333 — small ASes uncovered.");
-    emit_series("fig15_coverage_cdf", &[Series::from_pairs("fig15_coverage_cdf", "ours_cumulative", &series)]);
+    println!(
+        "Paper shape: 77.6K outages / 1,674 ASes vs IODA's 31.9K / 333 — small ASes uncovered."
+    );
+    emit_series(
+        "fig15_coverage_cdf",
+        &[Series::from_pairs(
+            "fig15_coverage_cdf",
+            "ours_cumulative",
+            &series,
+        )],
+    );
 }

@@ -29,15 +29,24 @@ fn main() {
         .collect();
 
     let from = CivilDate::new(2022, 3, 3);
-    let to = *report.months.last().map(|m| {
-        let d = m.first_date();
-        CivilDate::new(d.year, d.month, 1)
-    }).as_ref().unwrap();
+    let to = *report
+        .months
+        .last()
+        .map(|m| {
+            let d = m.first_date();
+            CivilDate::new(d.year, d.month, 1)
+        })
+        .as_ref()
+        .unwrap();
     let (dates, xs, ys, r) = daily_start_correlation(&ours, &theirs, from, to);
 
     // Print the busiest 20 days.
     let mut idx: Vec<usize> = (0..dates.len()).collect();
-    idx.sort_by(|&a, &b| (ys[b] + xs[b]).partial_cmp(&(ys[a] + xs[a])).expect("finite"));
+    idx.sort_by(|&a, &b| {
+        (ys[b] + xs[b])
+            .partial_cmp(&(ys[a] + xs[a]))
+            .expect("finite")
+    });
     let mut t = TextTable::new(
         "Fig. 16: outage starts per day, common AS set (top-20 days)",
         &["Date", "This work", "IODA"],
@@ -54,6 +63,17 @@ fn main() {
         fmt_f(r.unwrap_or(f64::NAN), 3)
     );
     println!("Paper shape: strong agreement on common ASes (r = 0.85).");
-    let series: Vec<(String, f64)> = dates.iter().zip(&xs).map(|(d, x)| (d.to_string(), *x)).collect();
-    emit_series("fig16_common_outages", &[Series::from_pairs("fig16_common_outages", "ours_daily_starts", &series)]);
+    let series: Vec<(String, f64)> = dates
+        .iter()
+        .zip(&xs)
+        .map(|(d, x)| (d.to_string(), *x))
+        .collect();
+    emit_series(
+        "fig16_common_outages",
+        &[Series::from_pairs(
+            "fig16_common_outages",
+            "ours_daily_starts",
+            &series,
+        )],
+    );
 }

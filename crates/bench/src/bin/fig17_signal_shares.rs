@@ -33,8 +33,16 @@ fn main() {
         "Fig. 17: signals and their share of total outages (common ASes)",
         &["Signal", "This work", "IODA"],
     );
-    t.row(&["BGP".into(), fmt_count(our_shares[0] as u64), fmt_count(their_shares[0] as u64)]);
-    t.row(&["FBS / TRIN".into(), fmt_count(our_shares[1] as u64), fmt_count(their_shares[1] as u64)]);
+    t.row(&[
+        "BGP".into(),
+        fmt_count(our_shares[0] as u64),
+        fmt_count(their_shares[0] as u64),
+    ]);
+    t.row(&[
+        "FBS / TRIN".into(),
+        fmt_count(our_shares[1] as u64),
+        fmt_count(their_shares[1] as u64),
+    ]);
     t.row(&["IPS".into(), fmt_count(our_shares[2] as u64), "-".into()]);
     println!("{}", t.render());
 

@@ -47,5 +47,12 @@ fn main() {
         "Paper shape: 98% of ranges survive, 12% change country code (31% to RU),\n\
          total allocations shrink ~7%, ~198 new prefixes."
     );
-    emit_series("fig18_delegations", &[Series::from_pairs("fig18_delegations", "cumulative_addresses", &pairs)]);
+    emit_series(
+        "fig18_delegations",
+        &[Series::from_pairs(
+            "fig18_delegations",
+            "cumulative_addresses",
+            &pairs,
+        )],
+    );
 }

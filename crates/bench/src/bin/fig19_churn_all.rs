@@ -44,5 +44,8 @@ fn main() {
     }
     println!("{}", t.render());
     println!("Paper shape: similar to Fig. 1; Luhansk diverges most (leased prefixes).");
-    emit_series("fig19_churn_all", &[Series::from_pairs("fig19_churn_all", "change_pct", &pairs)]);
+    emit_series(
+        "fig19_churn_all",
+        &[Series::from_pairs("fig19_churn_all", "change_pct", &pairs)],
+    );
 }

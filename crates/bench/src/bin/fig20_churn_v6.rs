@@ -36,5 +36,8 @@ fn main() {
         "{increases}/26 oblasts grow. Paper shape: noticeable IPv6 growth across\n\
          Ukraine, largest relative jumps where adoption was lowest."
     );
-    emit_series("fig20_churn_v6", &[Series::from_pairs("fig20_churn_v6", "change_pct", &pairs)]);
+    emit_series(
+        "fig20_churn_v6",
+        &[Series::from_pairs("fig20_churn_v6", "change_pct", &pairs)],
+    );
 }

@@ -47,13 +47,17 @@ fn main() {
     }
     println!("{}", t.render());
     let single_share = single as f64 / (single + multi).max(1) as f64 * 100.0;
-    let above_07 = shares.iter().filter(|s| **s >= 0.7).count() as f64
-        / shares.len().max(1) as f64
-        * 100.0;
+    let above_07 =
+        shares.iter().filter(|s| **s >= 0.7).count() as f64 / shares.len().max(1) as f64 * 100.0;
     println!(
         "{single_share:.0}% of blocks point to a single location; among multi-local\n\
          blocks, {above_07:.0}% still have a dominant share >= 0.7."
     );
-    println!("Paper shape: ~78-86% single-location; multi-local blocks usually dominated by one region.");
-    emit_series("fig21_dominant_share", &[Series::from_pairs("fig21_dominant_share", "cdf", &pairs)]);
+    println!(
+        "Paper shape: ~78-86% single-location; multi-local blocks usually dominated by one region."
+    );
+    emit_series(
+        "fig21_dominant_share",
+        &[Series::from_pairs("fig21_dominant_share", "cdf", &pairs)],
+    );
 }

@@ -16,7 +16,10 @@ fn main() {
     let mut header = vec!["T_perc \\ M".to_string()];
     header.extend((1..=10).map(|i| format!("{:.1}", i as f64 / 10.0)));
     let headers: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    let mut t = TextTable::new("Fig. 22: regional (AS, oblast) pairs per (M, T_perc)", &headers);
+    let mut t = TextTable::new(
+        "Fig. 22: regional (AS, oblast) pairs per (M, T_perc)",
+        &headers,
+    );
     let mut diag = Vec::new();
     for ti in 1..=10 {
         let t_perc = ti as f64 / 10.0;
@@ -48,5 +51,12 @@ fn main() {
         at(0.5, 0.5)
     );
     println!("Paper shape: monotone decreasing in both thresholds (1036 / 1428 / 1674 ASes).");
-    emit_series("fig22_sensitivity_as", &[Series::from_pairs("fig22_sensitivity_as", "diagonal", &diag)]);
+    emit_series(
+        "fig22_sensitivity_as",
+        &[Series::from_pairs(
+            "fig22_sensitivity_as",
+            "diagonal",
+            &diag,
+        )],
+    );
 }

@@ -15,7 +15,10 @@ fn main() {
     let mut header = vec!["T_perc \\ M".to_string()];
     header.extend((1..=10).map(|i| format!("{:.1}", i as f64 / 10.0)));
     let headers: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    let mut t = TextTable::new("Fig. 23: regional (block, oblast) pairs per (M, T_perc)", &headers);
+    let mut t = TextTable::new(
+        "Fig. 23: regional (block, oblast) pairs per (M, T_perc)",
+        &headers,
+    );
     let mut diag = Vec::new();
     for ti in 1..=10 {
         let t_perc = ti as f64 / 10.0;
@@ -35,5 +38,12 @@ fn main() {
     }
     println!("{}", t.render());
     println!("Paper shape: same monotone surface at block level (21,952 / 28,541 / 32,107 /24s).");
-    emit_series("fig23_sensitivity_blocks", &[Series::from_pairs("fig23_sensitivity_blocks", "diagonal", &diag)]);
+    emit_series(
+        "fig23_sensitivity_blocks",
+        &[Series::from_pairs(
+            "fig23_sensitivity_blocks",
+            "diagonal",
+            &diag,
+        )],
+    );
 }

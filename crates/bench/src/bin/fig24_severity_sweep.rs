@@ -16,7 +16,11 @@ fn main() {
 
     let mut t = TextTable::new(
         "Fig. 24: severity threshold vs outage hours and power correlation (non-frontline, 2024)",
-        &["Threshold", "Outage hours (mean/oblast)", "Pearson r vs power"],
+        &[
+            "Threshold",
+            "Outage hours (mean/oblast)",
+            "Pearson r vs power",
+        ],
     );
     let mut hours_series = Vec::new();
     let mut r_series = Vec::new();

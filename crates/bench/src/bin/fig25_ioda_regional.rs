@@ -12,7 +12,13 @@ fn main() {
 
     let mut t = TextTable::new(
         "Fig. 25: IODA-style regional outages vs ours (total hours per oblast)",
-        &["Oblast", "IODA events", "IODA hours", "Our events", "Our hours"],
+        &[
+            "Oblast",
+            "IODA events",
+            "IODA hours",
+            "Our events",
+            "Our hours",
+        ],
     );
     let mut ioda_total = 0.0;
     let mut ours_total = 0.0;

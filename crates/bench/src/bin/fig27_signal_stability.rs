@@ -52,9 +52,12 @@ fn main() {
                     let p_probe = world.trin_availability(round, bi) * stale;
                     let out = assess_block(beliefs[k], long_term[k], &cfg, |probe| {
                         truth.routed
-                            && world
-                                .rng()
-                                .chance3(p_probe, r as u64, bi as u64, 9000 + probe as u64)
+                            && world.rng().chance3(
+                                p_probe,
+                                r as u64,
+                                bi as u64,
+                                9000 + probe as u64,
+                            )
                     });
                     beliefs[k] = out.belief;
                     if out.state == BlockState::Up {
@@ -84,8 +87,16 @@ fn main() {
         "Fig. 27: per-AS signal-to-noise over one day (2023-03-02)",
         &["Signal", "ASes", "Mean SNR"],
     );
-    t.row(&["Full block scans (IPS)".into(), ours_snrs.len().to_string(), fmt_f(mean(&ours_snrs), 1)]);
-    t.row(&["Trinocular (up blocks)".into(), trin_snrs.len().to_string(), fmt_f(mean(&trin_snrs), 1)]);
+    t.row(&[
+        "Full block scans (IPS)".into(),
+        ours_snrs.len().to_string(),
+        fmt_f(mean(&ours_snrs), 1),
+    ]);
+    t.row(&[
+        "Trinocular (up blocks)".into(),
+        trin_snrs.len().to_string(),
+        fmt_f(mean(&trin_snrs), 1),
+    ]);
     println!("{}", t.render());
     println!(
         "Paper shape: FBS-derived signals are far more stable (SNR ~99.7) than\n\
@@ -93,11 +104,13 @@ fn main() {
     );
     emit_series(
         "fig27_signal_stability",
-        &[
-            Series::from_pairs("fig27_signal_stability", "snr", &[
+        &[Series::from_pairs(
+            "fig27_signal_stability",
+            "snr",
+            &[
                 ("ours".to_string(), mean(&ours_snrs)),
                 ("trinocular".to_string(), mean(&trin_snrs)),
-            ]),
-        ],
+            ],
+        )],
     );
 }

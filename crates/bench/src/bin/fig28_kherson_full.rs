@@ -71,9 +71,7 @@ fn main() {
             let overlap = |spans: &[(Round, Round)]| -> f64 {
                 spans
                     .iter()
-                    .map(|(s, e)| {
-                        (e.0.min(qe).saturating_sub(s.0.max(qs))) as f64
-                    })
+                    .map(|(s, e)| (e.0.min(qe).saturating_sub(s.0.max(qs))) as f64)
                     .sum::<f64>()
                     / q_rounds.max(1.0)
             };

@@ -10,8 +10,16 @@ fn main() {
     let mut t = TextTable::new(
         "Table 1: Methods for Internet outage detection (Ukraine focus)",
         &[
-            "Dataset", "Type", "IP/Block", "Protocols", "Vantage", "Interval",
-            "Probes//24", "Eligibility", "Geo conf.", "Target set",
+            "Dataset",
+            "Type",
+            "IP/Block",
+            "Protocols",
+            "Vantage",
+            "Interval",
+            "Probes//24",
+            "Eligibility",
+            "Geo conf.",
+            "Target set",
         ],
     );
     for r in rows {

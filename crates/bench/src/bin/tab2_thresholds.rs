@@ -9,11 +9,18 @@ fn main() {
         &["Level", "BGP *", "FBS #", "IPS ^"],
     );
     let pct = |v: f64| format!("< {:.0}%", v * 100.0);
-    for (name, th) in [("AS", Thresholds::as_level()), ("Regional", Thresholds::regional())] {
+    for (name, th) in [
+        ("AS", Thresholds::as_level()),
+        ("Regional", Thresholds::regional()),
+    ] {
         t.row(&[
             name.to_string(),
             pct(th.bgp),
-            format!("{} (if IPS < {:.0}%)", pct(th.fbs), th.fbs_ips_guard * 100.0),
+            format!(
+                "{} (if IPS < {:.0}%)",
+                pct(th.fbs),
+                th.fbs_ips_guard * 100.0
+            ),
             pct(th.ips),
         ]);
     }

@@ -35,9 +35,13 @@ fn main() {
         country_total.ases = as_best.len();
         country_total.ips += total.ips;
         country_total.blocks += total.blocks;
-        for (i, class) in [Regionality::Regional, Regionality::NonRegional, Regionality::Temporal]
-            .iter()
-            .enumerate()
+        for (i, class) in [
+            Regionality::Regional,
+            Regionality::NonRegional,
+            Regionality::Temporal,
+        ]
+        .iter()
+        .enumerate()
         {
             let s = rc.targets.summary(*class);
             country[i].ips += s.ips;
@@ -68,7 +72,9 @@ fn main() {
 
     let mut t = TextTable::new(
         "Table 3: Classification of regional, non-regional and temporal ASes",
-        &["Category", "UA ASes", "UA IPs", "UA /24s", "KHS ASes", "KHS IPs", "KHS /24s"],
+        &[
+            "Category", "UA ASes", "UA IPs", "UA /24s", "KHS ASes", "KHS IPs", "KHS /24s",
+        ],
     );
     let row = |t: &mut TextTable, name: &str, ua: TargetSummary, kh: TargetSummary| {
         t.row(&[
@@ -83,7 +89,12 @@ fn main() {
     };
     row(&mut t, "Total", country_total, k_total);
     row(&mut t, "Regional", country[0], k(Regionality::Regional));
-    row(&mut t, "Non-Regional", country[1], k(Regionality::NonRegional));
+    row(
+        &mut t,
+        "Non-Regional",
+        country[1],
+        k(Regionality::NonRegional),
+    );
     row(&mut t, "Temporal", country[2], k(Regionality::Temporal));
     row(&mut t, "Target Set", country_target, k_target);
     println!("{}", t.render());

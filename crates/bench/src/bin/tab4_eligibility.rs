@@ -39,10 +39,26 @@ fn main() {
         "Table 4: Eligible blocks, regional vs non-regional (monthly means)",
         &["Category", "Regional", "Non-Regional"],
     );
-    t.row(&["All blocks".into(), fmt_count(avg(reg.0)), fmt_count(avg(non.0))]);
-    t.row(&["-> Full Block Scans (E(b)>=3)".into(), fmt_count(avg(reg.2)), fmt_count(avg(non.2))]);
-    t.row(&["-> Trinocular (E(b)>=15 & A>0.1)".into(), fmt_count(avg(reg.3)), fmt_count(avg(non.3))]);
-    t.row(&["   thereof indeterminate (A<0.3)".into(), fmt_count(avg(reg.4)), fmt_count(avg(non.4))]);
+    t.row(&[
+        "All blocks".into(),
+        fmt_count(avg(reg.0)),
+        fmt_count(avg(non.0)),
+    ]);
+    t.row(&[
+        "-> Full Block Scans (E(b)>=3)".into(),
+        fmt_count(avg(reg.2)),
+        fmt_count(avg(non.2)),
+    ]);
+    t.row(&[
+        "-> Trinocular (E(b)>=15 & A>0.1)".into(),
+        fmt_count(avg(reg.3)),
+        fmt_count(avg(non.3)),
+    ]);
+    t.row(&[
+        "   thereof indeterminate (A<0.3)".into(),
+        fmt_count(avg(reg.4)),
+        fmt_count(avg(non.4)),
+    ]);
     println!("{}", t.render());
     println!(
         "Paper shape: FBS keeps more blocks eligible than Trinocular, and a\n\

@@ -14,7 +14,17 @@ fn main() {
 
     let mut t = TextTable::new(
         "Table 5: Regional and non-regional ASes in Kherson",
-        &["ASN", "Org", "HQ", "/24s", "Reg./24s(paper)", "Classified", "IODA", "Rerouted", "Dark 2025"],
+        &[
+            "ASN",
+            "Org",
+            "HQ",
+            "/24s",
+            "Reg./24s(paper)",
+            "Classified",
+            "IODA",
+            "Rerouted",
+            "Dark 2025",
+        ],
     );
     let mut correct = 0;
     for a in &KHERSON_ROSTER {
@@ -25,7 +35,11 @@ fn main() {
             Some(Regionality::Temporal) => "temporal",
             None => "-",
         };
-        let expected = if a.regional { "regional" } else { "non-regional" };
+        let expected = if a.regional {
+            "regional"
+        } else {
+            "non-regional"
+        };
         if classified == expected {
             correct += 1;
         }

@@ -34,7 +34,11 @@ pub struct Ctx {
 
 /// Scale selected by `FBS_SCALE` (default `small`).
 pub fn scale_from_env() -> WorldScale {
-    match std::env::var("FBS_SCALE").unwrap_or_default().to_lowercase().as_str() {
+    match std::env::var("FBS_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
         "tiny" => WorldScale::Tiny,
         "paper" => WorldScale::Paper,
         _ => WorldScale::Small,

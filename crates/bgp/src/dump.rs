@@ -68,8 +68,11 @@ mod tests {
             vec![Asn(3356), Asn(6849), Asn(25482)],
         )
         .unwrap();
-        rib.announce("91.237.4.0/23".parse().unwrap(), vec![Asn(3356), Asn(21151)])
-            .unwrap();
+        rib.announce(
+            "91.237.4.0/23".parse().unwrap(),
+            vec![Asn(3356), Asn(21151)],
+        )
+        .unwrap();
         rib
     }
 
@@ -105,6 +108,66 @@ mod tests {
         assert!(from_str("not-a-prefix|1").is_err());
         let err = from_str("x|1").unwrap_err();
         assert!(err.to_string().contains("line 1"));
+    }
+
+    /// Unwraps a [`FbsError::Parse`], panicking informatively otherwise.
+    fn parse_err(text: &str) -> (String, String) {
+        match from_str(text).unwrap_err() {
+            FbsError::Parse { reason, input } => (reason, input),
+            other => panic!("expected FbsError::Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_pipe_reports_one_based_line_number() {
+        // The malformed line is the 3rd physical line: a comment and a
+        // valid route precede it, so the number must count input lines
+        // (1-based), not parsed routes.
+        let (reason, input) = parse_err("# header\n10.0.0.0/24|65000\n10.0.1.0/24\n");
+        assert!(reason.contains("line 3"), "wrong line number: {reason}");
+        assert!(reason.contains("missing '|'"), "wrong reason: {reason}");
+        assert_eq!(input, "10.0.1.0/24");
+    }
+
+    #[test]
+    fn bad_prefix_reports_one_based_line_number() {
+        // Blank lines are skipped but still counted.
+        let (reason, input) = parse_err("\n\nnot-a-prefix|65000\n");
+        assert!(reason.contains("line 3"), "wrong line number: {reason}");
+        assert!(reason.contains("bad prefix"), "wrong reason: {reason}");
+        assert_eq!(input, "not-a-prefix|65000");
+
+        // Out-of-range octets and masks are prefix errors too.
+        let (reason, _) = parse_err("10.0.0.0/33|65000");
+        assert!(reason.contains("line 1"), "{reason}");
+        assert!(reason.contains("bad prefix"), "{reason}");
+        let (reason, _) = parse_err("10.0.0.0/24|1\n999.0.0.0/24|2");
+        assert!(reason.contains("line 2"), "{reason}");
+    }
+
+    #[test]
+    fn bad_asn_reports_one_based_line_number_and_token() {
+        let (reason, input) = parse_err("10.0.0.0/24|65000\n10.0.1.0/24|3356,abc,25482\n");
+        assert!(reason.contains("line 2"), "wrong line number: {reason}");
+        assert!(reason.contains("bad ASN"), "wrong reason: {reason}");
+        assert_eq!(input, "abc", "the offending token is carried as context");
+
+        // Negative and overflowing ASNs are rejected the same way.
+        let (reason, _) = parse_err("10.0.0.0/24|-5");
+        assert!(
+            reason.contains("line 1") && reason.contains("bad ASN"),
+            "{reason}"
+        );
+        let (reason, _) = parse_err("10.0.0.0/24|4294967296");
+        assert!(reason.contains("bad ASN"), "{reason}");
+    }
+
+    #[test]
+    fn first_malformed_line_wins() {
+        // Parsing is strict and fail-fast: the error names the first bad
+        // line even when later lines are also malformed.
+        let (reason, _) = parse_err("x|1\nalso-bad\n");
+        assert!(reason.contains("line 1"), "{reason}");
     }
 
     #[test]

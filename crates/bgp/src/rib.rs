@@ -179,8 +179,11 @@ mod tests {
     fn announce_withdraw_visibility() {
         let mut rib = Rib::new();
         assert!(!rib.is_visible(Asn(25482)));
-        rib.announce(p("193.151.240.0/22"), vec![Asn(3356), Asn(6849), Asn(25482)])
-            .unwrap();
+        rib.announce(
+            p("193.151.240.0/22"),
+            vec![Asn(3356), Asn(6849), Asn(25482)],
+        )
+        .unwrap();
         assert!(rib.is_visible(Asn(25482)));
         assert_eq!(rib.routed_blocks_of(Asn(25482)), 4);
         assert!(rib.block_routed(BlockId::from_octets(193, 151, 241)));
@@ -224,7 +227,9 @@ mod tests {
         rib.announce(p("91.0.0.0/8"), vec![Asn(100)]).unwrap();
         rib.announce(p("91.237.5.0/24"), vec![Asn(200)]).unwrap();
         assert_eq!(
-            rib.route_for(Ipv4Addr::new(91, 237, 5, 1)).unwrap().origin(),
+            rib.route_for(Ipv4Addr::new(91, 237, 5, 1))
+                .unwrap()
+                .origin(),
             Asn(200)
         );
         assert_eq!(
@@ -243,7 +248,8 @@ mod tests {
         rib.announce(p("10.0.1.0/24"), vec![Asn(3356), Asn(6849), Asn(21151)])
             .unwrap();
         // Origin itself does not count as transit.
-        rib.announce(p("10.0.2.0/24"), vec![Asn(3356), rostelecom]).unwrap();
+        rib.announce(p("10.0.2.0/24"), vec![Asn(3356), rostelecom])
+            .unwrap();
 
         let rerouted = rib.origins_transiting(rostelecom);
         assert!(rerouted.contains(&Asn(25482)));

@@ -237,7 +237,10 @@ mod tests {
         t.insert(p("91.237.4.0/23"), "twentythree");
         t.insert(p("91.237.5.0/24"), "twentyfour");
 
-        let m = |a: [u8; 4]| t.longest_match(Ipv4Addr::from(a)).map(|(p, v)| (p.len(), *v));
+        let m = |a: [u8; 4]| {
+            t.longest_match(Ipv4Addr::from(a))
+                .map(|(p, v)| (p.len(), *v))
+        };
         assert_eq!(m([91, 237, 5, 9]), Some((24, "twentyfour")));
         assert_eq!(m([91, 237, 4, 9]), Some((23, "twentythree")));
         assert_eq!(m([91, 1, 1, 1]), Some((8, "eight")));

@@ -61,10 +61,7 @@ impl RegionClassification {
 ///
 /// `routed_months` reports, per AS, which month indexes the AS announced
 /// anything (from the BGP side of the world).
-pub fn classify_world(
-    world: &World,
-    config: &RegionalityConfig,
-) -> ClassificationOutcome {
+pub fn classify_world(world: &World, config: &RegionalityConfig) -> ClassificationOutcome {
     let first = MonthId::campaign_first();
     let last_round = Round(world.rounds().saturating_sub(1));
     let last = last_round.month();
@@ -78,7 +75,9 @@ pub fn classify_world(
     for (mi, month) in months.iter().enumerate() {
         let rounds = world.month_rounds(*month);
         for (asn, blocks) in &by_as {
-            let entry = as_routed.entry(*asn).or_insert_with(|| vec![false; months.len()]);
+            let entry = as_routed
+                .entry(*asn)
+                .or_insert_with(|| vec![false; months.len()]);
             // Sample the month at day granularity — routing flaps shorter
             // than a day cannot unroute a month.
             'outer: for &bi in blocks {
@@ -231,7 +230,11 @@ mod tests {
         }
         // Nationals with a toe in Kherson are not regional there.
         let volia = kherson.ases.get(&Asn(25229));
-        assert_ne!(volia, Some(&Regionality::Regional), "Volia must not be regional");
+        assert_ne!(
+            volia,
+            Some(&Regionality::Regional),
+            "Volia must not be regional"
+        );
     }
 
     #[test]

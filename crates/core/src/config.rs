@@ -49,9 +49,8 @@ pub struct CampaignConfig {
 impl Default for CampaignConfig {
     fn default() -> Self {
         use fbs_types::{Asn, BlockId};
-        let status_blocks = (0u8..4).map(|i| {
-            EntityId::Block(BlockId::from_octets(193, 151, 240 + i))
-        });
+        let status_blocks =
+            (0u8..4).map(|i| EntityId::Block(BlockId::from_octets(193, 151, 240 + i)));
         let kherson_ases: Vec<Asn> = fbs_scenarios::KHERSON_ROSTER
             .iter()
             .map(|a| a.asn())
@@ -114,9 +113,7 @@ mod tests {
         let cfg = CampaignConfig::default();
         assert!(cfg.validate().is_ok());
         assert!(cfg.tracked.len() >= 38); // 4 blocks + 34 ASes
-        assert!(cfg
-            .tracked
-            .contains(&EntityId::As(fbs_types::Asn(25482))));
+        assert!(cfg.tracked.contains(&EntityId::As(fbs_types::Asn(25482))));
         assert!(cfg.rtt_tracked.contains(&fbs_types::Asn(49465)));
         assert!(cfg.run_baseline);
         assert!(!CampaignConfig::without_baseline().run_baseline);

@@ -101,7 +101,11 @@ pub fn availability_csv(rows: &[AvailabilityRow]) -> String {
         let _ = writeln!(
             out,
             "{},{},{},{},{:.2},{:.2}",
-            r.oblast, r.month, r.regional_blocks, r.fbs_eligible, r.mean_active_blocks,
+            r.oblast,
+            r.month,
+            r.regional_blocks,
+            r.fbs_eligible,
+            r.mean_active_blocks,
             r.mean_responsive_ips
         );
     }
@@ -145,10 +149,15 @@ pub fn contains_no_addresses(text: &str) -> bool {
     // A dotted quad with all four octets present; block ids like
     // "10.0.0.0/24" would match too, which is exactly the point — only
     // aggregate identifiers (oblast, month, ASN) belong in the export.
-    !text.split(|c: char| !(c.is_ascii_digit() || c == '.')).any(|tok| {
-        let parts: Vec<&str> = tok.split('.').collect();
-        parts.len() == 4 && parts.iter().all(|p| !p.is_empty() && p.parse::<u8>().is_ok())
-    })
+    !text
+        .split(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .any(|tok| {
+            let parts: Vec<&str> = tok.split('.').collect();
+            parts.len() == 4
+                && parts
+                    .iter()
+                    .all(|p| !p.is_empty() && p.parse::<u8>().is_ok())
+        })
 }
 
 /// Per-oblast availability summary for one month (CLI display).

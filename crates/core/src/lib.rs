@@ -32,15 +32,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod classify;
-pub mod dataset;
 pub mod config;
+pub mod dataset;
 pub mod methods;
 pub mod pipeline;
 pub mod report;
 
+pub use checkpoint::{CheckpointPolicy, ResumeDiagnostics};
 pub use classify::{ClassificationOutcome, RegionClassification};
 pub use config::CampaignConfig;
-pub use pipeline::Campaign;
-pub use report::{CampaignReport, EntitySeries, MonthlyRtt};
 pub use dataset::{availability_rows, export_all, outage_rows};
+pub use pipeline::{Campaign, CampaignRunner};
+pub use report::{CampaignReport, EntitySeries, MonthlyRtt};

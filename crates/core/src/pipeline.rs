@@ -1,14 +1,37 @@
-//! The main campaign loop.
+//! The main campaign loop, structured for crash-safe execution.
+//!
+//! The monolithic loop is split along the journaling boundary:
+//!
+//! * [`measure_round`] — the *measurement* half: everything that touches
+//!   the (faulty) wire. Its output is a [`RoundRecord`], the unit that
+//!   goes into the write-ahead journal.
+//! * [`apply_round`] — the *accumulation* half: month rollover,
+//!   eligibility refresh, detector feeds, trinocular belief updates and
+//!   monthly tallies, driven purely by a [`RoundRecord`] plus the world's
+//!   deterministic derived quantities. Replay after a crash runs exactly
+//!   this function over journaled records, so a resumed campaign is
+//!   bit-identical to an uninterrupted one.
+//!
+//! [`CampaignRunner`] owns the split state — immutable [`Statics`] plus
+//! the persistable [`PipelineState`] — and drives `step_round()` until the
+//! cursor is done; [`Campaign::run`], [`Campaign::run_checkpointed`] and
+//! [`Campaign::resume`] are thin drivers over it.
 
+use crate::checkpoint::{
+    BlockObs, CheckpointPolicy, CheckpointStore, ResumeDiagnostics, RoundRecord,
+};
 use crate::classify::{classify_world, ClassificationOutcome};
 use crate::config::CampaignConfig;
 use crate::report::{CampaignReport, EntitySeries, MonthlyRtt, OblastMonth};
-use fbs_netsim::{FaultPlan, World};
+use fbs_netsim::{BlockSpec, FaultPlan, World, WorldRng};
+use fbs_prober::RoundCursor;
 use fbs_regional::Regionality;
 use fbs_signals::{ips_signal_usable, Detector, EntityId, EntityRound};
 use fbs_trinocular::{assess_block, BlockBelief, IodaPlatform};
-use fbs_types::{Asn, MonthId, Oblast, Round, RoundQuality};
+use fbs_types::codec::{ByteReader, ByteWriter, Persist};
+use fbs_types::{Asn, FbsError, MonthId, Oblast, Round, RoundQuality};
 use std::collections::BTreeMap;
+use std::path::Path;
 
 /// A configured campaign over a simulated world.
 pub struct Campaign {
@@ -16,10 +39,32 @@ pub struct Campaign {
     config: CampaignConfig,
 }
 
+/// Rejects blocks owned by an AS that is not part of the world.
+///
+/// The world builder performs the same check, but a world assembled by
+/// other means (deserialized, hand-built in a test, produced by a future
+/// constructor) must not be able to panic the pipeline's AS indexing —
+/// an unknown owner is a lookup failure, not a crash.
+pub(crate) fn validate_block_owners(blocks: &[BlockSpec], known: &[Asn]) -> fbs_types::Result<()> {
+    let known: std::collections::BTreeSet<Asn> = known.iter().copied().collect();
+    for b in blocks {
+        if !known.contains(&b.owner) {
+            return Err(FbsError::not_found(format!(
+                "block {} is owned by {}, which is not in the world's AS list",
+                b.block, b.owner
+            )));
+        }
+    }
+    Ok(())
+}
+
 impl Campaign {
-    /// Creates a campaign, validating the configuration eagerly.
+    /// Creates a campaign, validating the configuration and the world's
+    /// block-ownership references eagerly.
     pub fn new(world: World, config: CampaignConfig) -> fbs_types::Result<Self> {
         config.validate()?;
+        let as_list: Vec<Asn> = world.config().ases.iter().map(|a| a.asn).collect();
+        validate_block_owners(world.blocks(), &as_list)?;
         Ok(Campaign { world, config })
     }
 
@@ -36,30 +81,227 @@ impl Campaign {
     /// Runs classification, the signal pipeline, detection and (optionally)
     /// the Trinocular/IODA baseline, producing the full report.
     pub fn run(&self) -> fbs_types::Result<CampaignReport> {
-        let world = &self.world;
-        let cfg = &self.config;
+        let mut runner = self.runner()?;
+        runner.run_to_end()?;
+        runner.finish()
+    }
+
+    /// Like [`Campaign::run`], but journaling every round and snapshotting
+    /// the pipeline state into `dir` so the campaign survives a crash.
+    ///
+    /// Any previous checkpoint in `dir` is discarded; use
+    /// [`Campaign::resume`] to continue one instead.
+    pub fn run_checkpointed(
+        &self,
+        dir: impl AsRef<Path>,
+        policy: CheckpointPolicy,
+    ) -> fbs_types::Result<CampaignReport> {
+        let mut runner = self.runner_checkpointed(dir.as_ref(), policy)?;
+        runner.run_to_end()?;
+        runner.finish()
+    }
+
+    /// Resumes an interrupted checkpointed run from `dir` and carries it to
+    /// completion with the default [`CheckpointPolicy`].
+    ///
+    /// The latest valid snapshot is loaded (a damaged one is quarantined),
+    /// journal records past it are replayed, and scanning continues; the
+    /// resulting report is bit-identical to an uninterrupted
+    /// [`Campaign::run`]. An empty or missing `dir` degenerates to a fresh
+    /// checkpointed run.
+    pub fn resume(&self, dir: impl AsRef<Path>) -> fbs_types::Result<CampaignReport> {
+        self.resume_with(dir, CheckpointPolicy::default())
+            .map(|(report, _)| report)
+    }
+
+    /// [`Campaign::resume`] with an explicit policy, also reporting what
+    /// recovery found (truncated journal tail, quarantined files, rounds
+    /// replayed or healed).
+    pub fn resume_with(
+        &self,
+        dir: impl AsRef<Path>,
+        policy: CheckpointPolicy,
+    ) -> fbs_types::Result<(CampaignReport, ResumeDiagnostics)> {
+        let mut runner = self.runner_resumed(dir.as_ref(), policy)?;
+        runner.run_to_end()?;
+        let diagnostics = runner.diagnostics().clone();
+        Ok((runner.finish()?, diagnostics))
+    }
+
+    /// An incremental runner with no durability (state lives in memory).
+    pub fn runner(&self) -> fbs_types::Result<CampaignRunner<'_>> {
+        let statics = Statics::build(self)?;
+        let state = initial_state(&self.world, &self.config, &statics);
+        Ok(CampaignRunner {
+            campaign: self,
+            statics,
+            state,
+            store: None,
+            diagnostics: ResumeDiagnostics::default(),
+        })
+    }
+
+    /// An incremental runner journaling into a fresh checkpoint directory.
+    pub fn runner_checkpointed(
+        &self,
+        dir: &Path,
+        policy: CheckpointPolicy,
+    ) -> fbs_types::Result<CampaignRunner<'_>> {
+        let statics = Statics::build(self)?;
+        let state = initial_state(&self.world, &self.config, &statics);
+        let store = CheckpointStore::fresh(dir, policy)?;
+        Ok(CampaignRunner {
+            campaign: self,
+            statics,
+            state,
+            store: Some(store),
+            diagnostics: ResumeDiagnostics::default(),
+        })
+    }
+
+    /// An incremental runner restored from an existing checkpoint
+    /// directory: snapshot loaded, journal replayed, ready to continue.
+    pub fn runner_resumed(
+        &self,
+        dir: &Path,
+        policy: CheckpointPolicy,
+    ) -> fbs_types::Result<CampaignRunner<'_>> {
+        let statics = Statics::build(self)?;
+        let (mut store, snapshot_payload, raw_records, mut diagnostics) =
+            CheckpointStore::open(dir, policy)?;
+
+        // Decode and contiguity-check the recovered journal. The WAL layer
+        // already CRC-validated every payload, so a decode failure here is
+        // logic-level corruption (foreign file, schema mismatch).
+        let mut records: Vec<RoundRecord> = Vec::with_capacity(raw_records.len());
+        for (i, raw) in raw_records.iter().enumerate() {
+            let record = RoundRecord::decode(raw).map_err(|e| {
+                FbsError::corrupt_journal(format!("record {i} undecodable: {e}"), i as u64)
+            })?;
+            if record.round != Round(i as u32) {
+                return Err(FbsError::corrupt_journal(
+                    format!(
+                        "record {i} describes round {}, journal is not contiguous",
+                        record.round.0
+                    ),
+                    i as u64,
+                ));
+            }
+            records.push(record);
+        }
+        if records.len() as u64 > statics.rounds as u64 {
+            return Err(FbsError::corrupt_journal(
+                format!(
+                    "journal holds {} records for a {}-round campaign",
+                    records.len(),
+                    statics.rounds
+                ),
+                records.len() as u64,
+            ));
+        }
+
+        // Load the snapshot if one survived validation; a payload that does
+        // not decode (or does not match this world) is quarantined and the
+        // journal alone rebuilds the state.
+        let mut state = None;
+        if let Some(payload) = snapshot_payload {
+            match decode_state(&payload, &statics) {
+                Ok(s) => state = Some(s),
+                Err(_) => {
+                    diagnostics.snapshot_loaded = false;
+                    diagnostics.snapshot_quarantined = store.quarantine_snapshot_file()?;
+                }
+            }
+        }
+        let mut state = state.unwrap_or_else(|| initial_state(&self.world, &self.config, &statics));
+
+        let completed = state.cursor.completed() as usize;
+        if records.len() < completed {
+            // The journal lags the snapshot (its tail was truncated after
+            // the snapshot was written). The missing rounds are already in
+            // the state; re-measure them — determinism makes the records
+            // identical — and heal the journal so it stays authoritative.
+            for i in records.len()..completed {
+                let record = measure_round(&self.world, &self.config, &statics, Round(i as u32));
+                store.append(&record)?;
+                diagnostics.healed_rounds += 1;
+            }
+        } else {
+            for record in &records[completed..] {
+                apply_round(&self.world, &self.config, &statics, &mut state, record)?;
+                diagnostics.replayed_rounds += 1;
+            }
+        }
+
+        Ok(CampaignRunner {
+            campaign: self,
+            statics,
+            state,
+            store: Some(store),
+            diagnostics,
+        })
+    }
+
+    /// Convenience: run classification only (cheaper than a full run).
+    pub fn classify_only(&self) -> ClassificationOutcome {
+        classify_world(&self.world, &self.config.regionality)
+    }
+}
+
+/// Everything the loop derives once from world + config and never mutates.
+pub(crate) struct Statics {
+    classification: ClassificationOutcome,
+    fault_plan: FaultPlan,
+    fault_rng: WorldRng,
+    as_list: Vec<Asn>,
+    block_as: Vec<usize>,
+    /// Which oblast (if any) counts each block as regional.
+    block_regional_oblast: Vec<Option<u8>>,
+    tracked_block: Vec<Option<EntityId>>,
+    tracked_as: Vec<Option<EntityId>>,
+    rtt_tracked: Vec<Option<Asn>>,
+    months: Vec<MonthId>,
+    rounds: u32,
+    n_blocks: usize,
+}
+
+impl Statics {
+    fn build(campaign: &Campaign) -> fbs_types::Result<Self> {
+        let world = &campaign.world;
+        let cfg = &campaign.config;
         let rounds = world.rounds();
         let classification = classify_world(world, &cfg.regionality);
 
-        // --- Fault schedule (oracle-path mirror of `FaultyTransport`). ---
+        // Fault schedule (oracle-path mirror of `FaultyTransport`).
         let fault_plan = cfg.fault_plan.clone().unwrap_or_else(FaultPlan::none);
         fault_plan.validate()?;
         let fault_rng = world.rng().domain("faults");
 
-        // --- Static block/AS indexes. ---
+        // Static block/AS indexes. Ownership was validated in
+        // `Campaign::new`, but stay panic-free regardless of how the
+        // campaign was obtained.
         let blocks = world.blocks();
         let n_blocks = blocks.len();
         let as_list: Vec<Asn> = world.config().ases.iter().map(|a| a.asn).collect();
-        let as_pos: BTreeMap<Asn, usize> = as_list.iter().enumerate().map(|(i, a)| (*a, i)).collect();
-        let block_as: Vec<usize> = blocks.iter().map(|b| as_pos[&b.owner]).collect();
-        // Which oblast (if any) counts this block as regional.
+        let as_pos: BTreeMap<Asn, usize> =
+            as_list.iter().enumerate().map(|(i, a)| (*a, i)).collect();
+        let block_as: Vec<usize> = blocks
+            .iter()
+            .map(|b| {
+                as_pos.get(&b.owner).copied().ok_or_else(|| {
+                    FbsError::not_found(format!(
+                        "block {} is owned by {}, which is not in the world's AS list",
+                        b.block, b.owner
+                    ))
+                })
+            })
+            .collect::<fbs_types::Result<_>>()?;
         let block_regional_oblast: Vec<Option<u8>> = blocks
             .iter()
             .map(|b| {
                 for o in fbs_types::ALL_OBLASTS {
                     if let Some(rc) = classification.regions.get(&o) {
-                        if rc.blocks.get(&b.block).map(|(v, _)| *v) == Some(Regionality::Regional)
-                        {
+                        if rc.blocks.get(&b.block).map(|(v, _)| *v) == Some(Regionality::Regional) {
                             return Some(o.index() as u8);
                         }
                     }
@@ -69,18 +311,13 @@ impl Campaign {
             .collect();
 
         // Tracked entity lookup tables.
-        let mut tracked: BTreeMap<EntityId, EntitySeries> = BTreeMap::new();
         let mut tracked_block: Vec<Option<EntityId>> = vec![None; n_blocks];
         let mut tracked_as: Vec<Option<EntityId>> = vec![None; as_list.len()];
-        let mut block_detectors: BTreeMap<EntityId, Detector> = BTreeMap::new();
         for entity in &cfg.tracked {
-            tracked.insert(*entity, EntitySeries::new(Round(0)));
             match entity {
                 EntityId::Block(b) => {
                     if let Some(bi) = world.block_index(*b) {
                         tracked_block[bi] = Some(*entity);
-                        block_detectors
-                            .insert(*entity, Detector::new(*entity, cfg.thresholds_as));
                     }
                 }
                 EntityId::As(a) => {
@@ -96,371 +333,682 @@ impl Campaign {
             .map(|a| cfg.rtt_tracked.contains(a).then_some(*a))
             .collect();
 
-        // --- Detectors. ---
-        let mut as_detectors: Vec<Detector> = as_list
-            .iter()
-            .map(|a| Detector::new(EntityId::As(*a), cfg.thresholds_as))
-            .collect();
-        let mut region_detectors: Vec<Detector> = fbs_types::ALL_OBLASTS
-            .iter()
-            .map(|o| Detector::new(EntityId::Region(*o), cfg.thresholds_region))
-            .collect();
-
-        // --- Baseline (Trinocular + IODA). ---
-        let mut beliefs: Vec<BlockBelief> = vec![BlockBelief::new(); n_blocks];
-        let mut ioda = cfg.run_baseline.then(|| {
-            let mut platform = IodaPlatform::new(cfg.ioda);
-            for (ai, asn) in as_list.iter().enumerate() {
-                let total = blocks.iter().filter(|b| as_pos[&b.owner] == ai).count();
-                // IODA's any-presence oblast mapping.
-                let oblasts: Vec<Oblast> = fbs_types::ALL_OBLASTS
-                    .iter()
-                    .copied()
-                    .filter(|o| classification.as_histories.contains_key(&(*asn, *o)))
-                    .collect();
-                platform.register_as(*asn, total, oblasts);
-            }
-            platform
-        });
-
-        // --- Monthly state. ---
         let months = classification.months.clone();
-        let mut current_month: Option<usize> = None;
-        let mut pool: Vec<u16> = vec![0; n_blocks];
-        let mut fbs_eligible: Vec<bool> = vec![false; n_blocks];
-        let mut trin_eligible: Vec<bool> = vec![false; n_blocks];
-        let mut trin_indet: Vec<bool> = vec![false; n_blocks];
-        let mut trin_avail: Vec<f64> = vec![0.0; n_blocks];
-        let mut ips_usable_as: Vec<bool> = vec![true; as_list.len()];
-        let mut as_fbs_count = vec![0u32; as_list.len()];
-        let mut as_trin_count = vec![0u32; as_list.len()];
-        let mut reg_fbs_count = [0u32; Oblast::COUNT];
+        Ok(Statics {
+            classification,
+            fault_plan,
+            fault_rng,
+            as_list,
+            block_as,
+            block_regional_oblast,
+            tracked_block,
+            tracked_as,
+            rtt_tracked,
+            months,
+            rounds,
+            n_blocks,
+        })
+    }
+}
 
-        // --- Report accumulators. ---
-        let mut oblast_monthly: BTreeMap<(Oblast, MonthId), OblastMonth> = BTreeMap::new();
-        let mut non_regional_monthly: BTreeMap<MonthId, OblastMonth> = BTreeMap::new();
-        let mut rtt_monthly: BTreeMap<(Asn, MonthId), MonthlyRtt> = BTreeMap::new();
-        let mut missing_rounds = Vec::new();
-        let mut round_quality: Vec<RoundQuality> = Vec::with_capacity(rounds as usize);
+/// The loop's entire mutable state — everything that must survive a crash
+/// for a resumed campaign to be bit-identical to an uninterrupted one.
+///
+/// Everything *not* here is either in [`Statics`] (pure derivation from
+/// world + config) or per-round scratch recomputed inside
+/// [`apply_round`].
+pub(crate) struct PipelineState {
+    cursor: RoundCursor,
+    current_month: Option<usize>,
+    // Monthly pools / eligibility gates.
+    pool: Vec<u16>,
+    fbs_eligible: Vec<bool>,
+    trin_eligible: Vec<bool>,
+    trin_indet: Vec<bool>,
+    trin_avail: Vec<f64>,
+    ips_usable_as: Vec<bool>,
+    as_fbs_count: Vec<u32>,
+    as_trin_count: Vec<u32>,
+    reg_fbs_count: Vec<u32>,
+    // Detection state.
+    as_detectors: Vec<Detector>,
+    region_detectors: Vec<Detector>,
+    block_detectors: BTreeMap<EntityId, Detector>,
+    beliefs: Vec<BlockBelief>,
+    ioda: Option<IodaPlatform>,
+    // Report accumulators.
+    tracked: BTreeMap<EntityId, EntitySeries>,
+    rtt_monthly: BTreeMap<(Asn, MonthId), MonthlyRtt>,
+    oblast_monthly: BTreeMap<(Oblast, MonthId), OblastMonth>,
+    non_regional_monthly: BTreeMap<MonthId, OblastMonth>,
+    missing_rounds: Vec<Round>,
+    round_quality: Vec<RoundQuality>,
+}
 
-        // Per-round scratch.
-        let mut as_ips = vec![0u64; as_list.len()];
-        let mut as_active = vec![0u32; as_list.len()];
-        let mut as_routed = vec![0u32; as_list.len()];
-        let mut as_trin_up = vec![0u32; as_list.len()];
-        let mut reg_ips = [0u64; Oblast::COUNT];
-        let mut reg_active = [0u32; Oblast::COUNT];
-        let mut reg_routed = [0u32; Oblast::COUNT];
+impl Persist for PipelineState {
+    fn persist(&self, w: &mut ByteWriter) {
+        self.cursor.persist(w);
+        self.current_month.persist(w);
+        self.pool.persist(w);
+        self.fbs_eligible.persist(w);
+        self.trin_eligible.persist(w);
+        self.trin_indet.persist(w);
+        self.trin_avail.persist(w);
+        self.ips_usable_as.persist(w);
+        self.as_fbs_count.persist(w);
+        self.as_trin_count.persist(w);
+        self.reg_fbs_count.persist(w);
+        self.as_detectors.persist(w);
+        self.region_detectors.persist(w);
+        self.block_detectors.persist(w);
+        self.beliefs.persist(w);
+        self.ioda.persist(w);
+        self.tracked.persist(w);
+        self.rtt_monthly.persist(w);
+        self.oblast_monthly.persist(w);
+        self.non_regional_monthly.persist(w);
+        self.missing_rounds.persist(w);
+        self.round_quality.persist(w);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> fbs_types::Result<Self> {
+        Ok(PipelineState {
+            cursor: RoundCursor::restore(r)?,
+            current_month: Option::<usize>::restore(r)?,
+            pool: Vec::<u16>::restore(r)?,
+            fbs_eligible: Vec::<bool>::restore(r)?,
+            trin_eligible: Vec::<bool>::restore(r)?,
+            trin_indet: Vec::<bool>::restore(r)?,
+            trin_avail: Vec::<f64>::restore(r)?,
+            ips_usable_as: Vec::<bool>::restore(r)?,
+            as_fbs_count: Vec::<u32>::restore(r)?,
+            as_trin_count: Vec::<u32>::restore(r)?,
+            reg_fbs_count: Vec::<u32>::restore(r)?,
+            as_detectors: Vec::<Detector>::restore(r)?,
+            region_detectors: Vec::<Detector>::restore(r)?,
+            block_detectors: BTreeMap::<EntityId, Detector>::restore(r)?,
+            beliefs: Vec::<BlockBelief>::restore(r)?,
+            ioda: Option::<IodaPlatform>::restore(r)?,
+            tracked: BTreeMap::<EntityId, EntitySeries>::restore(r)?,
+            rtt_monthly: BTreeMap::<(Asn, MonthId), MonthlyRtt>::restore(r)?,
+            oblast_monthly: BTreeMap::<(Oblast, MonthId), OblastMonth>::restore(r)?,
+            non_regional_monthly: BTreeMap::<MonthId, OblastMonth>::restore(r)?,
+            missing_rounds: Vec::<Round>::restore(r)?,
+            round_quality: Vec::<RoundQuality>::restore(r)?,
+        })
+    }
+}
 
-        for r in 0..rounds {
-            let round = Round(r);
-            let mi = world.month_index(round) as usize;
-            let month = months[mi];
+impl PipelineState {
+    /// Rejects a restored state that cannot belong to this campaign.
+    fn validate_against(&self, statics: &Statics) -> fbs_types::Result<()> {
+        let n_as = statics.as_list.len();
+        let checks = [
+            (self.cursor.total() == statics.rounds, "cursor span"),
+            (self.pool.len() == statics.n_blocks, "pool length"),
+            (self.fbs_eligible.len() == statics.n_blocks, "fbs gates"),
+            (self.trin_eligible.len() == statics.n_blocks, "trin gates"),
+            (self.trin_indet.len() == statics.n_blocks, "indet gates"),
+            (self.trin_avail.len() == statics.n_blocks, "availability"),
+            (self.beliefs.len() == statics.n_blocks, "beliefs"),
+            (self.ips_usable_as.len() == n_as, "ips gates"),
+            (self.as_fbs_count.len() == n_as, "as fbs counts"),
+            (self.as_trin_count.len() == n_as, "as trin counts"),
+            (self.as_detectors.len() == n_as, "as detectors"),
+            (self.reg_fbs_count.len() == Oblast::COUNT, "region counts"),
+            (
+                self.region_detectors.len() == Oblast::COUNT,
+                "region detectors",
+            ),
+            (
+                self.round_quality.len() as u32 == self.cursor.completed(),
+                "round-quality length",
+            ),
+        ];
+        for (ok, what) in checks {
+            if !ok {
+                return Err(FbsError::corrupt_snapshot(format!(
+                    "snapshot does not match this campaign: {what} disagrees with the world"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
 
-            // Month rollover: refresh pools, eligibility, gates.
-            if current_month != Some(mi) {
-                current_month = Some(mi);
-                let month_rounds = world.month_rounds(month);
-                let mid = Round((month_rounds.start + month_rounds.end) / 2);
-                for bi in 0..n_blocks {
-                    let ever = world.ever_active(month_rounds.clone(), bi);
-                    pool[bi] = ever;
-                    // Long-term availability: the best of a few sampled
-                    // rounds, so a blackout at the sampling instant does
-                    // not masquerade as the block's baseline.
-                    let availability = [mid.0, mid.0 + 7, mid.0.saturating_sub(9)]
-                        .iter()
-                        .map(|&r| world.trin_availability(Round(r.min(rounds - 1)), bi))
-                        .fold(0.0f64, f64::max);
-                    trin_avail[bi] = availability;
-                    fbs_eligible[bi] = ever as u32 >= cfg.eligibility.min_ever_active;
-                    trin_eligible[bi] = cfg.trinocular.eligible(ever as u32, availability);
-                    trin_indet[bi] =
-                        trin_eligible[bi] && cfg.trinocular.likely_indeterminate(availability);
-                }
-                as_fbs_count.fill(0);
-                as_trin_count.fill(0);
-                reg_fbs_count.fill(0);
-                for bi in 0..n_blocks {
-                    if fbs_eligible[bi] {
-                        as_fbs_count[block_as[bi]] += 1;
-                        if let Some(oi) = block_regional_oblast[bi] {
-                            reg_fbs_count[oi as usize] += 1;
-                        }
-                    }
-                    if trin_eligible[bi] {
-                        as_trin_count[block_as[bi]] += 1;
-                    }
-                }
-                // Expected mean responsive per AS for the IPS gate.
-                let mut as_expected = vec![0f64; as_list.len()];
-                for bi in 0..n_blocks {
-                    as_expected[block_as[bi]] +=
-                        pool[bi] as f64 * world.response_prob(mid, bi);
-                }
-                for (ai, exp) in as_expected.iter().enumerate() {
-                    ips_usable_as[ai] = ips_signal_usable(*exp, &cfg.eligibility);
-                }
-                // Monthly eligibility tallies per oblast + non-regional.
-                for bi in 0..n_blocks {
-                    let tally = match block_regional_oblast[bi] {
-                        Some(oi) => oblast_monthly
-                            .entry((Oblast::from_index(oi as usize).expect("valid"), month))
-                            .or_default(),
-                        None => non_regional_monthly.entry(month).or_default(),
-                    };
-                    tally.regional_blocks += 1;
-                    tally.regional_ips += pool[bi].max(world.blocks()[bi].geo_population.min(
-                        // approximate monthly DB population by decayed spec
-                        world.blocks()[bi].geo_population,
-                    )) as u64;
-                    if fbs_eligible[bi] {
-                        tally.fbs_eligible += 1;
-                    }
-                    if trin_eligible[bi] {
-                        tally.trin_eligible += 1;
-                    }
-                    if trin_indet[bi] {
-                        tally.trin_indeterminate += 1;
-                    }
+fn decode_state(payload: &[u8], statics: &Statics) -> fbs_types::Result<PipelineState> {
+    let mut r = ByteReader::new(payload);
+    let state = PipelineState::restore(&mut r)?;
+    r.expect_exhausted()?;
+    state.validate_against(statics)?;
+    Ok(state)
+}
+
+fn initial_state(world: &World, cfg: &CampaignConfig, statics: &Statics) -> PipelineState {
+    let n_blocks = statics.n_blocks;
+    let n_as = statics.as_list.len();
+    let blocks = world.blocks();
+
+    let mut tracked: BTreeMap<EntityId, EntitySeries> = BTreeMap::new();
+    let mut block_detectors: BTreeMap<EntityId, Detector> = BTreeMap::new();
+    for entity in &cfg.tracked {
+        tracked.insert(*entity, EntitySeries::new(Round(0)));
+        if let EntityId::Block(b) = entity {
+            if world.block_index(*b).is_some() {
+                block_detectors.insert(*entity, Detector::new(*entity, cfg.thresholds_as));
+            }
+        }
+    }
+
+    let as_detectors: Vec<Detector> = statics
+        .as_list
+        .iter()
+        .map(|a| Detector::new(EntityId::As(*a), cfg.thresholds_as))
+        .collect();
+    let region_detectors: Vec<Detector> = fbs_types::ALL_OBLASTS
+        .iter()
+        .map(|o| Detector::new(EntityId::Region(*o), cfg.thresholds_region))
+        .collect();
+
+    let ioda = cfg.run_baseline.then(|| {
+        let mut platform = IodaPlatform::new(cfg.ioda);
+        for (ai, asn) in statics.as_list.iter().enumerate() {
+            let total = statics.block_as.iter().filter(|&&a| a == ai).count();
+            // IODA's any-presence oblast mapping.
+            let oblasts: Vec<Oblast> = fbs_types::ALL_OBLASTS
+                .iter()
+                .copied()
+                .filter(|o| {
+                    statics
+                        .classification
+                        .as_histories
+                        .contains_key(&(*asn, *o))
+                })
+                .collect();
+            platform.register_as(*asn, total, oblasts);
+        }
+        platform
+    });
+    debug_assert_eq!(blocks.len(), n_blocks);
+
+    PipelineState {
+        cursor: RoundCursor::new(statics.rounds),
+        current_month: None,
+        pool: vec![0; n_blocks],
+        fbs_eligible: vec![false; n_blocks],
+        trin_eligible: vec![false; n_blocks],
+        trin_indet: vec![false; n_blocks],
+        trin_avail: vec![0.0; n_blocks],
+        ips_usable_as: vec![true; n_as],
+        as_fbs_count: vec![0; n_as],
+        as_trin_count: vec![0; n_as],
+        reg_fbs_count: vec![0; Oblast::COUNT],
+        as_detectors,
+        region_detectors,
+        block_detectors,
+        beliefs: vec![BlockBelief::new(); n_blocks],
+        ioda,
+        tracked,
+        rtt_monthly: BTreeMap::new(),
+        oblast_monthly: BTreeMap::new(),
+        non_regional_monthly: BTreeMap::new(),
+        missing_rounds: Vec::new(),
+        round_quality: Vec::new(),
+    }
+}
+
+/// Produces the journal record for `round`: the measurement half of the
+/// loop, and the only part that consults the faulty wire path.
+fn measure_round(
+    world: &World,
+    cfg: &CampaignConfig,
+    statics: &Statics,
+    round: Round,
+) -> RoundRecord {
+    let r = round.0;
+    let intensity = statics.fault_plan.intensity_at(round, statics.rounds);
+    let quality =
+        statics
+            .fault_plan
+            .quality_at(round, statics.rounds, cfg.scan_retries, &cfg.quality);
+    let online = world.vantage_online(round);
+    if !online || quality == RoundQuality::Unusable {
+        // The skip is itself the observation: no per-block data.
+        return RoundRecord {
+            round,
+            online,
+            quality,
+            blocks: Vec::new(),
+        };
+    }
+    let mut blocks = Vec::with_capacity(statics.n_blocks);
+    for bi in 0..statics.n_blocks {
+        let truth = world.block_truth(round, bi);
+        // What the faulty measurement path lets through: the true
+        // responsive count binomially thinned by the delivery rate,
+        // capped by ICMP rate limiting, RTTs distorted by spikes.
+        let responsive = intensity.thin_responsive(
+            truth.responsive,
+            cfg.scan_retries,
+            &statics.fault_rng,
+            r as u64,
+            bi as u64,
+        );
+        let rtt_ns = truth.rtt_ns + intensity.extra_rtt_ns(&statics.fault_rng, r as u64, bi as u64);
+        blocks.push(BlockObs {
+            responsive,
+            rtt_ns,
+            routed: truth.routed,
+        });
+    }
+    RoundRecord {
+        round,
+        online,
+        quality,
+        blocks,
+    }
+}
+
+/// Folds one measured round into the pipeline state: the accumulation half
+/// of the loop. Live execution and crash replay both go through here, so
+/// the two paths cannot diverge.
+fn apply_round(
+    world: &World,
+    cfg: &CampaignConfig,
+    statics: &Statics,
+    state: &mut PipelineState,
+    record: &RoundRecord,
+) -> fbs_types::Result<()> {
+    let n_blocks = statics.n_blocks;
+    let n_as = statics.as_list.len();
+    let rounds = statics.rounds;
+
+    let round = state.cursor.current().ok_or_else(|| {
+        FbsError::corrupt_journal(
+            "journal extends past the campaign's final round",
+            state.cursor.completed() as u64,
+        )
+    })?;
+    if record.round != round {
+        return Err(FbsError::corrupt_journal(
+            format!(
+                "journal record for round {} where round {} was expected",
+                record.round.0, round.0
+            ),
+            state.cursor.completed() as u64,
+        ));
+    }
+    let r = round.0;
+    let mi = world.month_index(round) as usize;
+    let month = statics.months[mi];
+
+    // Month rollover: refresh pools, eligibility, gates.
+    if state.current_month != Some(mi) {
+        state.current_month = Some(mi);
+        let month_rounds = world.month_rounds(month);
+        let mid = Round((month_rounds.start + month_rounds.end) / 2);
+        for bi in 0..n_blocks {
+            let ever = world.ever_active(month_rounds.clone(), bi);
+            state.pool[bi] = ever;
+            // Long-term availability: the best of a few sampled
+            // rounds, so a blackout at the sampling instant does
+            // not masquerade as the block's baseline.
+            let availability = [mid.0, mid.0 + 7, mid.0.saturating_sub(9)]
+                .iter()
+                .map(|&r| world.trin_availability(Round(r.min(rounds - 1)), bi))
+                .fold(0.0f64, f64::max);
+            state.trin_avail[bi] = availability;
+            state.fbs_eligible[bi] = ever as u32 >= cfg.eligibility.min_ever_active;
+            state.trin_eligible[bi] = cfg.trinocular.eligible(ever as u32, availability);
+            state.trin_indet[bi] =
+                state.trin_eligible[bi] && cfg.trinocular.likely_indeterminate(availability);
+        }
+        state.as_fbs_count.fill(0);
+        state.as_trin_count.fill(0);
+        state.reg_fbs_count.fill(0);
+        for bi in 0..n_blocks {
+            if state.fbs_eligible[bi] {
+                state.as_fbs_count[statics.block_as[bi]] += 1;
+                if let Some(oi) = statics.block_regional_oblast[bi] {
+                    state.reg_fbs_count[oi as usize] += 1;
                 }
             }
-
-            // Per-round fault intensity and the expected quality verdict —
-            // the oracle-path mirror of what `QualityConfig::assess` would
-            // conclude from the wire-path `ScanStats`.
-            let intensity = fault_plan.intensity_at(round, rounds);
-            let quality = fault_plan.quality_at(round, rounds, cfg.scan_retries, &cfg.quality);
-
-            // A round without usable measurements — vantage offline, or the
-            // fault plan silences so much that the scan is `Unusable` — is
-            // skipped entirely: detectors freeze, series record gaps.
-            if !world.vantage_online(round) || quality == RoundQuality::Unusable {
-                if !world.vantage_online(round) {
-                    missing_rounds.push(round);
-                }
-                round_quality.push(RoundQuality::Unusable);
-                for d in as_detectors.iter_mut() {
-                    d.observe(round, EntityRound::MISSING);
-                }
-                for d in region_detectors.iter_mut() {
-                    d.observe(round, EntityRound::MISSING);
-                }
-                for d in block_detectors.values_mut() {
-                    d.observe(round, EntityRound::MISSING);
-                }
-                for series in tracked.values_mut() {
-                    series.bgp.push(None);
-                    series.fbs.push(None);
-                    series.ips.push(None);
-                }
-                continue;
+            if state.trin_eligible[bi] {
+                state.as_trin_count[statics.block_as[bi]] += 1;
             }
-            round_quality.push(quality);
-
-            // --- The per-block sweep. ---
-            as_ips.fill(0);
-            as_active.fill(0);
-            as_routed.fill(0);
-            as_trin_up.fill(0);
-            reg_ips.fill(0);
-            reg_active.fill(0);
-            reg_routed.fill(0);
-
-            for bi in 0..n_blocks {
-                let truth = world.block_truth(round, bi);
-                // What the faulty measurement path lets through: the true
-                // responsive count binomially thinned by the delivery rate,
-                // capped by ICMP rate limiting, RTTs distorted by spikes.
-                let responsive = intensity.thin_responsive(
-                    truth.responsive,
-                    cfg.scan_retries,
-                    &fault_rng,
-                    r as u64,
-                    bi as u64,
-                );
-                let rtt_ns = truth.rtt_ns + intensity.extra_rtt_ns(&fault_rng, r as u64, bi as u64);
-                let ai = block_as[bi];
-                if truth.routed {
-                    as_routed[ai] += 1;
-                }
-                as_ips[ai] += responsive as u64;
-                let active = responsive > 0;
-                if active && fbs_eligible[bi] {
-                    as_active[ai] += 1;
-                }
-                if let Some(oi) = block_regional_oblast[bi] {
-                    let oi = oi as usize;
-                    if truth.routed {
-                        reg_routed[oi] += 1;
-                    }
-                    reg_ips[oi] += responsive as u64;
-                    if active && fbs_eligible[bi] {
-                        reg_active[oi] += 1;
-                    }
-                }
-                // Tracked block series + detector.
-                if let Some(entity) = tracked_block[bi] {
-                    let input = EntityRound {
-                        bgp: Some(if truth.routed { 1.0 } else { 0.0 }),
-                        fbs: Some(if active && fbs_eligible[bi] { 1.0 } else { 0.0 }),
-                        ips: Some(responsive as f64),
-                    };
-                    if let Some(series) = tracked.get_mut(&entity) {
-                        series.bgp.push(input.bgp);
-                        series.fbs.push(input.fbs);
-                        series.ips.push(input.ips);
-                    }
-                    if let Some(d) = block_detectors.get_mut(&entity) {
-                        d.observe_quality(round, input, quality);
-                    }
-                }
-                // RTT aggregation for tracked ASes.
-                if active {
-                    if let Some(asn) = rtt_tracked[ai] {
-                        let agg = rtt_monthly.entry((asn, month)).or_default();
-                        agg.sum_ns += rtt_ns;
-                        agg.count += 1;
-                    }
-                }
-                // Trinocular belief update.
-                if ioda.is_some()
-                    && trin_eligible[bi] {
-                        // Believed long-term A vs instantaneous reply rate:
-                        // during a real dip the probes go silent while the
-                        // belief still expects replies — evidence of Down.
-                        let p = trin_avail[bi];
-                        // Trinocular probes a fixed panel of ever-active
-                        // addresses; under dynamic addressing the panel is
-                        // often stale, so the instantaneous reply rate sits
-                        // well below the believed long-term A — the source
-                        // of the signal's flapping (paper Fig. 27).
-                        let stale = 0.2 + 0.8 * world.rng().uniform3(r as u64, bi as u64, 777);
-                        let p_probe = world.trin_availability(round, bi) * stale;
-                        let outcome = assess_block(
-                            beliefs[bi],
-                            p,
-                            &cfg.trinocular,
-                            |probe| {
-                                truth.routed
-                                    && world.rng().chance3(
-                                        p_probe,
-                                        r as u64,
-                                        bi as u64,
-                                        5000 + probe as u64,
-                                    )
-                            },
-                        );
-                        beliefs[bi] = outcome.belief;
-                        if outcome.state == fbs_trinocular::BlockState::Up {
-                            as_trin_up[ai] += 1;
-                        }
-                    }
+        }
+        // Expected mean responsive per AS for the IPS gate.
+        let mut as_expected = vec![0f64; n_as];
+        for bi in 0..n_blocks {
+            as_expected[statics.block_as[bi]] +=
+                state.pool[bi] as f64 * world.response_prob(mid, bi);
+        }
+        for (ai, exp) in as_expected.iter().enumerate() {
+            state.ips_usable_as[ai] = ips_signal_usable(*exp, &cfg.eligibility);
+        }
+        // Monthly eligibility tallies per oblast + non-regional.
+        for bi in 0..n_blocks {
+            let tally = match statics.block_regional_oblast[bi] {
+                Some(oi) => state
+                    .oblast_monthly
+                    .entry((Oblast::from_index(oi as usize).expect("valid"), month))
+                    .or_default(),
+                None => state.non_regional_monthly.entry(month).or_default(),
+            };
+            tally.regional_blocks += 1;
+            tally.regional_ips += state.pool[bi].max(world.blocks()[bi].geo_population.min(
+                // approximate monthly DB population by decayed spec
+                world.blocks()[bi].geo_population,
+            )) as u64;
+            if state.fbs_eligible[bi] {
+                tally.fbs_eligible += 1;
             }
+            if state.trin_eligible[bi] {
+                tally.trin_eligible += 1;
+            }
+            if state.trin_indet[bi] {
+                tally.trin_indeterminate += 1;
+            }
+        }
+    }
 
-            // --- Feed detectors. ---
-            for (ai, d) in as_detectors.iter_mut().enumerate() {
-                // FBS enters detection as the share of *eligible* blocks
-                // answering; eligibility churn at month boundaries then
-                // cancels out instead of stepping the signal.
-                let fbs_share = (as_fbs_count[ai] > 0)
-                    .then(|| as_active[ai] as f64 / as_fbs_count[ai] as f64);
-                let input = EntityRound {
-                    bgp: Some(as_routed[ai] as f64),
-                    fbs: fbs_share,
-                    ips: ips_usable_as[ai].then_some(as_ips[ai] as f64),
-                };
+    let quality = record.quality;
+
+    // A round without usable measurements — vantage offline, or the
+    // fault plan silences so much that the scan is `Unusable` — is
+    // skipped entirely: detectors freeze, series record gaps.
+    if !record.online || quality == RoundQuality::Unusable {
+        if !record.online {
+            state.missing_rounds.push(round);
+        }
+        state.round_quality.push(RoundQuality::Unusable);
+        for d in state.as_detectors.iter_mut() {
+            d.observe(round, EntityRound::MISSING);
+        }
+        for d in state.region_detectors.iter_mut() {
+            d.observe(round, EntityRound::MISSING);
+        }
+        for d in state.block_detectors.values_mut() {
+            d.observe(round, EntityRound::MISSING);
+        }
+        for series in state.tracked.values_mut() {
+            series.bgp.push(None);
+            series.fbs.push(None);
+            series.ips.push(None);
+        }
+        state.cursor.advance();
+        return Ok(());
+    }
+    if record.blocks.len() != n_blocks {
+        return Err(FbsError::corrupt_journal(
+            format!(
+                "round {} record carries {} block observations, world has {}",
+                r,
+                record.blocks.len(),
+                n_blocks
+            ),
+            state.cursor.completed() as u64,
+        ));
+    }
+    state.round_quality.push(quality);
+
+    // --- The per-block sweep. ---
+    let mut as_ips = vec![0u64; n_as];
+    let mut as_active = vec![0u32; n_as];
+    let mut as_routed = vec![0u32; n_as];
+    let mut as_trin_up = vec![0u32; n_as];
+    let mut reg_ips = [0u64; Oblast::COUNT];
+    let mut reg_active = [0u32; Oblast::COUNT];
+    let mut reg_routed = [0u32; Oblast::COUNT];
+
+    for (bi, obs) in record.blocks.iter().enumerate() {
+        let responsive = obs.responsive;
+        let rtt_ns = obs.rtt_ns;
+        let routed = obs.routed;
+        let ai = statics.block_as[bi];
+        if routed {
+            as_routed[ai] += 1;
+        }
+        as_ips[ai] += responsive as u64;
+        let active = responsive > 0;
+        if active && state.fbs_eligible[bi] {
+            as_active[ai] += 1;
+        }
+        if let Some(oi) = statics.block_regional_oblast[bi] {
+            let oi = oi as usize;
+            if routed {
+                reg_routed[oi] += 1;
+            }
+            reg_ips[oi] += responsive as u64;
+            if active && state.fbs_eligible[bi] {
+                reg_active[oi] += 1;
+            }
+        }
+        // Tracked block series + detector.
+        if let Some(entity) = statics.tracked_block[bi] {
+            let input = EntityRound {
+                bgp: Some(if routed { 1.0 } else { 0.0 }),
+                fbs: Some(if active && state.fbs_eligible[bi] {
+                    1.0
+                } else {
+                    0.0
+                }),
+                ips: Some(responsive as f64),
+            };
+            if let Some(series) = state.tracked.get_mut(&entity) {
+                series.bgp.push(input.bgp);
+                series.fbs.push(input.fbs);
+                series.ips.push(input.ips);
+            }
+            if let Some(d) = state.block_detectors.get_mut(&entity) {
                 d.observe_quality(round, input, quality);
-                if let Some(entity) = tracked_as[ai] {
-                    if let Some(series) = tracked.get_mut(&entity) {
-                        series.bgp.push(input.bgp);
-                        series.fbs.push(Some(as_active[ai] as f64));
-                        series.ips.push(input.ips);
-                    }
-                }
-                if let Some(platform) = ioda.as_mut() {
-                    let trin_share = (as_trin_count[ai] > 0)
-                        .then(|| as_trin_up[ai] as f64 / as_trin_count[ai] as f64);
-                    platform.observe(
-                        round,
-                        as_list[ai],
-                        Some(as_routed[ai] as f64),
-                        trin_share,
-                    );
-                }
-            }
-            for (oi, d) in region_detectors.iter_mut().enumerate() {
-                let fbs_share = (reg_fbs_count[oi] > 0)
-                    .then(|| reg_active[oi] as f64 / reg_fbs_count[oi] as f64);
-                d.observe_quality(
-                    round,
-                    EntityRound {
-                        bgp: Some(reg_routed[oi] as f64),
-                        fbs: fbs_share,
-                        ips: Some(reg_ips[oi] as f64),
-                    },
-                    quality,
-                );
-            }
-
-            // --- Monthly responsiveness tallies. ---
-            for oi in 0..Oblast::COUNT {
-                let o = Oblast::from_index(oi).expect("valid index");
-                let tally = oblast_monthly.entry((o, month)).or_default();
-                tally.responsive_sum += reg_ips[oi];
-                tally.active_block_sum += reg_active[oi] as u64;
-                tally.measured_rounds += 1;
             }
         }
-
-        // --- Collect events. ---
-        let end = Round(rounds);
-        let mut as_events = BTreeMap::new();
-        for (ai, d) in as_detectors.into_iter().enumerate() {
-            as_events.insert(as_list[ai], d.finish(end));
+        // RTT aggregation for tracked ASes.
+        if active {
+            if let Some(asn) = statics.rtt_tracked[ai] {
+                let agg = state.rtt_monthly.entry((asn, month)).or_default();
+                agg.sum_ns += rtt_ns;
+                agg.count += 1;
+            }
         }
-        let mut region_events = BTreeMap::new();
-        for (oi, d) in region_detectors.into_iter().enumerate() {
-            region_events.insert(
-                Oblast::from_index(oi).expect("valid index"),
-                d.finish(end),
+        // Trinocular belief update.
+        if state.ioda.is_some() && state.trin_eligible[bi] {
+            // Believed long-term A vs instantaneous reply rate:
+            // during a real dip the probes go silent while the
+            // belief still expects replies — evidence of Down.
+            let p = state.trin_avail[bi];
+            // Trinocular probes a fixed panel of ever-active
+            // addresses; under dynamic addressing the panel is
+            // often stale, so the instantaneous reply rate sits
+            // well below the believed long-term A — the source
+            // of the signal's flapping (paper Fig. 27).
+            let stale = 0.2 + 0.8 * world.rng().uniform3(r as u64, bi as u64, 777);
+            let p_probe = world.trin_availability(round, bi) * stale;
+            let outcome = assess_block(state.beliefs[bi], p, &cfg.trinocular, |probe| {
+                routed
+                    && world
+                        .rng()
+                        .chance3(p_probe, r as u64, bi as u64, 5000 + probe as u64)
+            });
+            state.beliefs[bi] = outcome.belief;
+            if outcome.state == fbs_trinocular::BlockState::Up {
+                as_trin_up[ai] += 1;
+            }
+        }
+    }
+
+    // --- Feed detectors. ---
+    for (ai, d) in state.as_detectors.iter_mut().enumerate() {
+        // FBS enters detection as the share of *eligible* blocks
+        // answering; eligibility churn at month boundaries then
+        // cancels out instead of stepping the signal.
+        let fbs_share = (state.as_fbs_count[ai] > 0)
+            .then(|| as_active[ai] as f64 / state.as_fbs_count[ai] as f64);
+        let input = EntityRound {
+            bgp: Some(as_routed[ai] as f64),
+            fbs: fbs_share,
+            ips: state.ips_usable_as[ai].then_some(as_ips[ai] as f64),
+        };
+        d.observe_quality(round, input, quality);
+        if let Some(entity) = statics.tracked_as[ai] {
+            if let Some(series) = state.tracked.get_mut(&entity) {
+                series.bgp.push(input.bgp);
+                series.fbs.push(Some(as_active[ai] as f64));
+                series.ips.push(input.ips);
+            }
+        }
+        if let Some(platform) = state.ioda.as_mut() {
+            let trin_share = (state.as_trin_count[ai] > 0)
+                .then(|| as_trin_up[ai] as f64 / state.as_trin_count[ai] as f64);
+            platform.observe(
+                round,
+                statics.as_list[ai],
+                Some(as_routed[ai] as f64),
+                trin_share,
             );
         }
+    }
+    for (oi, d) in state.region_detectors.iter_mut().enumerate() {
+        let fbs_share = (state.reg_fbs_count[oi] > 0)
+            .then(|| reg_active[oi] as f64 / state.reg_fbs_count[oi] as f64);
+        d.observe_quality(
+            round,
+            EntityRound {
+                bgp: Some(reg_routed[oi] as f64),
+                fbs: fbs_share,
+                ips: Some(reg_ips[oi] as f64),
+            },
+            quality,
+        );
+    }
+
+    // --- Monthly responsiveness tallies. ---
+    for oi in 0..Oblast::COUNT {
+        let o = Oblast::from_index(oi).expect("valid index");
+        let tally = state.oblast_monthly.entry((o, month)).or_default();
+        tally.responsive_sum += reg_ips[oi];
+        tally.active_block_sum += reg_active[oi] as u64;
+        tally.measured_rounds += 1;
+    }
+
+    state.cursor.advance();
+    Ok(())
+}
+
+/// Drives a campaign one round at a time over the split state.
+///
+/// Obtained from [`Campaign::runner`] (in-memory),
+/// [`Campaign::runner_checkpointed`] (journaling) or
+/// [`Campaign::runner_resumed`] (restored from disk). Dropping the runner
+/// mid-campaign is safe: with a checkpoint store attached, every completed
+/// round is already durable.
+pub struct CampaignRunner<'a> {
+    campaign: &'a Campaign,
+    statics: Statics,
+    state: PipelineState,
+    store: Option<CheckpointStore>,
+    diagnostics: ResumeDiagnostics,
+}
+
+impl CampaignRunner<'_> {
+    /// Measures and applies the next round, journaling it when a
+    /// checkpoint store is attached. Returns `false` once the campaign is
+    /// complete.
+    pub fn step_round(&mut self) -> fbs_types::Result<bool> {
+        let Some(round) = self.state.cursor.current() else {
+            return Ok(false);
+        };
+        let record = measure_round(
+            &self.campaign.world,
+            &self.campaign.config,
+            &self.statics,
+            round,
+        );
+        apply_round(
+            &self.campaign.world,
+            &self.campaign.config,
+            &self.statics,
+            &mut self.state,
+            &record,
+        )?;
+        if let Some(store) = self.store.as_mut() {
+            store.append(&record)?;
+            store.maybe_snapshot(self.state.cursor.completed(), &self.state)?;
+        }
+        Ok(true)
+    }
+
+    /// Steps until the final round is done.
+    pub fn run_to_end(&mut self) -> fbs_types::Result<()> {
+        while self.step_round()? {}
+        Ok(())
+    }
+
+    /// Rounds completed so far (including restored/replayed ones).
+    pub fn completed_rounds(&self) -> u32 {
+        self.state.cursor.completed()
+    }
+
+    /// Whether every round has been processed.
+    pub fn is_done(&self) -> bool {
+        self.state.cursor.is_done()
+    }
+
+    /// What recovery found when this runner was resumed from disk.
+    pub fn diagnostics(&self) -> &ResumeDiagnostics {
+        &self.diagnostics
+    }
+
+    /// Collects events and assembles the report. Fails if rounds remain.
+    pub fn finish(self) -> fbs_types::Result<CampaignReport> {
+        if !self.state.cursor.is_done() {
+            return Err(FbsError::config(format!(
+                "campaign unfinished: {} of {} rounds completed",
+                self.state.cursor.completed(),
+                self.state.cursor.total()
+            )));
+        }
+        let statics = self.statics;
+        let state = self.state;
+        let end = Round(statics.rounds);
+        let mut as_events = BTreeMap::new();
+        for (ai, d) in state.as_detectors.into_iter().enumerate() {
+            as_events.insert(statics.as_list[ai], d.finish(end));
+        }
+        let mut region_events = BTreeMap::new();
+        for (oi, d) in state.region_detectors.into_iter().enumerate() {
+            region_events.insert(Oblast::from_index(oi).expect("valid index"), d.finish(end));
+        }
         let mut block_events = BTreeMap::new();
-        for (entity, d) in block_detectors {
+        for (entity, d) in state.block_detectors {
             if let EntityId::Block(b) = entity {
                 block_events.insert(b, d.finish(end));
             }
         }
         let as_sizes: BTreeMap<Asn, usize> = {
             let mut m: BTreeMap<Asn, usize> = BTreeMap::new();
-            for b in blocks {
+            for b in self.campaign.world.blocks() {
                 *m.entry(b.owner).or_insert(0) += 1;
             }
             m
         };
 
         Ok(CampaignReport {
-            rounds,
-            months,
+            rounds: statics.rounds,
+            months: statics.months,
             as_events,
             region_events,
             block_events,
-            ioda: ioda.map(|p| p.finish(end)),
-            classification,
-            tracked,
-            rtt_monthly,
-            oblast_monthly,
-            non_regional_monthly,
+            ioda: state.ioda.map(|p| p.finish(end)),
+            classification: statics.classification,
+            tracked: state.tracked,
+            rtt_monthly: state.rtt_monthly,
+            oblast_monthly: state.oblast_monthly,
+            non_regional_monthly: state.non_regional_monthly,
             as_sizes,
-            missing_rounds,
-            round_quality,
+            missing_rounds: state.missing_rounds,
+            round_quality: state.round_quality,
         })
-    }
-
-    /// Convenience: run classification only (cheaper than a full run).
-    pub fn classify_only(&self) -> ClassificationOutcome {
-        classify_world(&self.world, &self.config.regionality)
     }
 }
 
@@ -496,9 +1044,7 @@ mod tests {
         let cut_start = fbs_types::CivilDate::new(2022, 4, 30).midnight();
         let cut_round = Round::containing(cut_start).unwrap();
         let hit = status.iter().any(|e| {
-            e.signal == SignalKind::Bgp
-                && e.start.0 <= cut_round.0 + 6
-                && e.end.0 >= cut_round.0
+            e.signal == SignalKind::Bgp && e.start.0 <= cut_round.0 + 6 && e.end.0 >= cut_round.0
         });
         assert!(hit, "cable-cut BGP outage not detected: {status:?}");
     }
@@ -509,9 +1055,9 @@ mod tests {
         let status = &report.as_events[&fbs_types::Asn(25482)];
         let seizure = fbs_types::CivilDate::new(2022, 5, 13).at(6, 0);
         let seizure_round = Round::containing(seizure).unwrap();
-        let ips_hit = status.iter().any(|e| {
-            e.signal == SignalKind::Ips && e.contains(seizure_round.next())
-        });
+        let ips_hit = status
+            .iter()
+            .any(|e| e.signal == SignalKind::Ips && e.contains(seizure_round.next()));
         assert!(ips_hit, "seizure IPS dip not detected: {status:?}");
         // No BGP outage at that moment.
         let bgp_hit = status
@@ -532,7 +1078,10 @@ mod tests {
             .expect("tracked");
         assert_eq!(series.ips.at(nov12), Some(0.0));
         let kyiv_series = report.series(EntityId::Block(kyiv_block)).expect("tracked");
-        assert!(kyiv_series.ips.at(nov12).unwrap() > 0.0, "Kyiv block stays up");
+        assert!(
+            kyiv_series.ips.at(nov12).unwrap() > 0.0,
+            "Kyiv block stays up"
+        );
         // Before the outage, the Kherson block answered.
         let oct1 = Round::containing(fbs_types::CivilDate::new(2022, 10, 1).midnight()).unwrap();
         assert!(series.ips.at(oct1).unwrap() > 0.0);
@@ -546,8 +1095,7 @@ mod tests {
         let report = run_tiny();
         assert!(!report.missing_rounds.is_empty());
         // March 6-7 2022 window.
-        let in_window =
-            Round::containing(fbs_types::CivilDate::new(2022, 3, 6).at(12, 0)).unwrap();
+        let in_window = Round::containing(fbs_types::CivilDate::new(2022, 3, 6).at(12, 0)).unwrap();
         assert!(report.missing_rounds.contains(&in_window));
         // Tracked series hold None there.
         let series = report
@@ -560,9 +1108,15 @@ mod tests {
     fn rtt_rises_during_occupation_for_rerouted_as() {
         let report = run_tiny();
         let asn = fbs_types::Asn(25482);
-        let before = report.rtt_monthly[&(asn, MonthId::new(2022, 4))].mean_ms().unwrap();
-        let during = report.rtt_monthly[&(asn, MonthId::new(2022, 8))].mean_ms().unwrap();
-        let after = report.rtt_monthly[&(asn, MonthId::new(2022, 12))].mean_ms().unwrap();
+        let before = report.rtt_monthly[&(asn, MonthId::new(2022, 4))]
+            .mean_ms()
+            .unwrap();
+        let during = report.rtt_monthly[&(asn, MonthId::new(2022, 8))]
+            .mean_ms()
+            .unwrap();
+        let after = report.rtt_monthly[&(asn, MonthId::new(2022, 12))]
+            .mean_ms()
+            .unwrap();
         assert!(during > before + 40.0, "during {during} before {before}");
         assert!(after < during - 40.0, "after {after} during {during}");
     }
@@ -599,8 +1153,7 @@ mod tests {
             // Per (entity, signal): sorted by start, non-overlapping, and
             // inside the campaign window.
             for kind in fbs_signals::SignalKind::ALL {
-                let of_kind: Vec<_> =
-                    events.iter().filter(|e| e.signal == kind).collect();
+                let of_kind: Vec<_> = events.iter().filter(|e| e.signal == kind).collect();
                 for w in of_kind.windows(2) {
                     assert!(
                         w[0].end <= w[1].start,
@@ -655,13 +1208,47 @@ mod tests {
         let scenario = fbs_scenarios::ukraine_with_rounds(WorldScale::Tiny, 21, 40);
         let world = scenario.into_world().unwrap();
         let cfg = CampaignConfig {
-            fault_plan: Some(fbs_netsim::FaultPlan::constant(fbs_netsim::FaultIntensity {
-                reply_loss: 1.7,
-                ..fbs_netsim::FaultIntensity::default()
-            })),
+            fault_plan: Some(fbs_netsim::FaultPlan::constant(
+                fbs_netsim::FaultIntensity {
+                    reply_loss: 1.7,
+                    ..fbs_netsim::FaultIntensity::default()
+                },
+            )),
             ..CampaignConfig::default()
         };
         assert!(Campaign::new(world, cfg).is_err());
+    }
+
+    #[test]
+    fn unknown_block_owner_is_not_found_not_a_panic() {
+        // Regression: the AS index used to be built with `as_pos[&b.owner]`
+        // and panicked on a block whose owner is absent from the world's
+        // AS list. The check now reports `FbsError::NotFound` instead.
+        let orphan = BlockSpec {
+            block: BlockId::from_octets(10, 99, 1),
+            owner: Asn(64999),
+            home: Oblast::Kherson,
+            base_responders: 100,
+            geo_population: 150,
+            response_prob: 0.9,
+            diurnal: false,
+            power_backup: 1.0,
+            annual_decay: 1.0,
+        };
+        let err = validate_block_owners(std::slice::from_ref(&orphan), &[Asn(100), Asn(200)])
+            .unwrap_err();
+        match &err {
+            FbsError::NotFound { what } => {
+                assert!(
+                    what.contains("64999"),
+                    "message names the orphan AS: {what}"
+                );
+                assert!(what.contains("10.99.1"), "message names the block: {what}");
+            }
+            other => panic!("expected NotFound, got {other:?}"),
+        }
+        // A block whose owner is known passes.
+        validate_block_owners(&[orphan], &[Asn(64999)]).expect("known owner is fine");
     }
 
     #[test]
@@ -674,5 +1261,28 @@ mod tests {
             kherson > lviv,
             "kherson {kherson}h should exceed lviv {lviv}h"
         );
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run() {
+        let scenario = fbs_scenarios::ukraine_with_rounds(WorldScale::Tiny, 21, 180);
+        let world = scenario.into_world().unwrap();
+        let campaign = Campaign::new(world, CampaignConfig::default()).unwrap();
+        let plain = campaign.run().unwrap();
+        let dir = std::env::temp_dir().join(format!("fbs-ckpt-unit-{}", std::process::id()));
+        let checkpointed = campaign
+            .run_checkpointed(
+                &dir,
+                CheckpointPolicy {
+                    snapshot_every: 24,
+                    fsync: false,
+                },
+            )
+            .unwrap();
+        assert_eq!(format!("{plain:?}"), format!("{checkpointed:?}"));
+        // The journal holds one record per round; a snapshot exists.
+        assert!(dir.join(crate::checkpoint::JOURNAL_FILE).exists());
+        assert!(dir.join(crate::checkpoint::SNAPSHOT_FILE).exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -3,6 +3,7 @@
 use crate::classify::ClassificationOutcome;
 use fbs_signals::{EntityId, OutageEvent, SignalSeries};
 use fbs_trinocular::ioda::IodaReport;
+use fbs_types::codec::{ByteReader, ByteWriter, Persist};
 use fbs_types::{Asn, BlockId, MonthId, Oblast, Round, RoundQuality};
 use std::collections::BTreeMap;
 
@@ -27,6 +28,21 @@ impl EntitySeries {
     }
 }
 
+impl Persist for EntitySeries {
+    fn persist(&self, w: &mut ByteWriter) {
+        self.bgp.persist(w);
+        self.fbs.persist(w);
+        self.ips.persist(w);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> fbs_types::Result<Self> {
+        Ok(EntitySeries {
+            bgp: SignalSeries::restore(r)?,
+            fbs: SignalSeries::restore(r)?,
+            ips: SignalSeries::restore(r)?,
+        })
+    }
+}
+
 /// Monthly RTT aggregate of one AS.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct MonthlyRtt {
@@ -44,6 +60,19 @@ impl MonthlyRtt {
         } else {
             Some(self.sum_ns as f64 / self.count as f64 / 1e6)
         }
+    }
+}
+
+impl Persist for MonthlyRtt {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_u64(self.sum_ns);
+        w.put_u64(self.count);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> fbs_types::Result<Self> {
+        Ok(MonthlyRtt {
+            sum_ns: r.get_u64()?,
+            count: r.get_u64()?,
+        })
     }
 }
 
@@ -85,6 +114,31 @@ impl OblastMonth {
         } else {
             self.active_block_sum as f64 / self.measured_rounds as f64
         }
+    }
+}
+
+impl Persist for OblastMonth {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_u64(self.responsive_sum);
+        w.put_u32(self.measured_rounds);
+        w.put_u64(self.active_block_sum);
+        w.put_u32(self.regional_blocks);
+        w.put_u64(self.regional_ips);
+        w.put_u32(self.fbs_eligible);
+        w.put_u32(self.trin_eligible);
+        w.put_u32(self.trin_indeterminate);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> fbs_types::Result<Self> {
+        Ok(OblastMonth {
+            responsive_sum: r.get_u64()?,
+            measured_rounds: r.get_u32()?,
+            active_block_sum: r.get_u64()?,
+            regional_blocks: r.get_u32()?,
+            regional_ips: r.get_u64()?,
+            fbs_eligible: r.get_u32()?,
+            trin_eligible: r.get_u32()?,
+            trin_indeterminate: r.get_u32()?,
+        })
     }
 }
 

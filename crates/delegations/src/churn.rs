@@ -58,7 +58,11 @@ pub fn compare(before: &DelegationFile, after: &DelegationFile, cc: &str) -> Del
 
     // Index the later snapshot's IPv4 ranges by identity.
     let mut after_index: BTreeMap<(String, u64), String> = BTreeMap::new();
-    for r in after.records.iter().filter(|r| r.family == AddrFamily::Ipv4) {
+    for r in after
+        .records
+        .iter()
+        .filter(|r| r.family == AddrFamily::Ipv4)
+    {
         after_index.insert((r.start.clone(), r.value), r.cc_str());
     }
 
@@ -95,7 +99,11 @@ pub fn compare(before: &DelegationFile, after: &DelegationFile, cc: &str) -> Del
 /// Cumulative delegated-address series over time for `cc` (Fig. 18):
 /// for each year, the number of addresses whose delegation date is at or
 /// before the end of that year.
-pub fn allocation_series(file: &DelegationFile, cc: &str, years: std::ops::RangeInclusive<i32>) -> Vec<(i32, u64)> {
+pub fn allocation_series(
+    file: &DelegationFile,
+    cc: &str,
+    years: std::ops::RangeInclusive<i32>,
+) -> Vec<(i32, u64)> {
     let mut out = Vec::new();
     for year in years {
         let cutoff = CivilDate::new(year, 12, 31);
@@ -140,10 +148,10 @@ mod tests {
             "ripencc",
             CivilDate::new(2025, 1, 1),
             vec![
-                rec("UA", [10, 0, 0, 0], 256, 2010),   // kept
-                rec("RU", [10, 1, 0, 0], 512, 2012),   // cc changed
-                rec("UA", [10, 9, 0, 0], 1024, 2023),  // new
-                                                        // 10.2/24 vanished
+                rec("UA", [10, 0, 0, 0], 256, 2010), // kept
+                rec("RU", [10, 1, 0, 0], 512, 2012), // cc changed
+                rec("UA", [10, 9, 0, 0], 1024, 2023), // new
+                                                     // 10.2/24 vanished
             ],
         );
         let churn = compare(&before, &after, "UA");

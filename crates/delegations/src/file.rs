@@ -103,7 +103,10 @@ pub fn parse_file(text: &str) -> Result<DelegationFile> {
         records.push(DelegationRecord::parse_line(line)?);
     }
     if !saw_header {
-        return Err(FbsError::parse("missing header line", text.lines().next().unwrap_or("")));
+        return Err(FbsError::parse(
+            "missing header line",
+            text.lines().next().unwrap_or(""),
+        ));
     }
     Ok(DelegationFile {
         registry,

@@ -51,7 +51,10 @@ impl DelegationStatus {
 
     /// Whether the range is in use (the paper's target criterion).
     pub fn is_delegated(self) -> bool {
-        matches!(self, DelegationStatus::Allocated | DelegationStatus::Assigned)
+        matches!(
+            self,
+            DelegationStatus::Allocated | DelegationStatus::Assigned
+        )
     }
 }
 
@@ -117,7 +120,11 @@ impl DelegationRecord {
         let mut remaining = self.value;
         while remaining > 0 {
             // Largest power of two that is both aligned at `addr` and fits.
-            let align = if addr == 0 { 32 } else { (addr & addr.wrapping_neg()).trailing_zeros() };
+            let align = if addr == 0 {
+                32
+            } else {
+                (addr & addr.wrapping_neg()).trailing_zeros()
+            };
             let fit = 63 - remaining.leading_zeros();
             let bits = align.min(fit).min(32);
             let size = 1u64 << bits;
@@ -160,7 +167,10 @@ impl DelegationRecord {
         };
         Ok(DelegationRecord {
             registry: fields[0].to_string(),
-            cc: [cc_raw[0].to_ascii_uppercase(), cc_raw[1].to_ascii_uppercase()],
+            cc: [
+                cc_raw[0].to_ascii_uppercase(),
+                cc_raw[1].to_ascii_uppercase(),
+            ],
             family,
             start: fields[3].to_string(),
             value,
@@ -233,19 +243,16 @@ mod tests {
                 .is_err()
         );
         assert!(
-            DelegationRecord::parse_line("ripencc|UA|ipvX|1.0.0.0|256|20120601|allocated")
-                .is_err()
+            DelegationRecord::parse_line("ripencc|UA|ipvX|1.0.0.0|256|20120601|allocated").is_err()
         );
         assert!(
-            DelegationRecord::parse_line("ripencc|UA|ipv4|1.0.0.0|abc|20120601|allocated")
-                .is_err()
+            DelegationRecord::parse_line("ripencc|UA|ipv4|1.0.0.0|abc|20120601|allocated").is_err()
         );
         assert!(
             DelegationRecord::parse_line("ripencc|UA|ipv4|1.0.0.0|256|2012|allocated").is_err()
         );
         assert!(
-            DelegationRecord::parse_line("ripencc|UA|ipv4|1.0.0.0|256|20121301|allocated")
-                .is_err()
+            DelegationRecord::parse_line("ripencc|UA|ipv4|1.0.0.0|256|20121301|allocated").is_err()
         );
         assert!(
             DelegationRecord::parse_line("ripencc|UA|ipv4|1.0.0.0|256|20120601|stolen").is_err()

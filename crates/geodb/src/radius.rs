@@ -57,13 +57,19 @@ impl RadiusKm {
 
     /// The next-coarser step (saturating at 5,000 km).
     pub fn coarser(self) -> RadiusKm {
-        let idx = RADIUS_SCALE.iter().position(|r| *r == self).expect("in scale");
+        let idx = RADIUS_SCALE
+            .iter()
+            .position(|r| *r == self)
+            .expect("in scale");
         RADIUS_SCALE[(idx + 1).min(RADIUS_SCALE.len() - 1)]
     }
 
     /// The next-finer step (saturating at 5 km).
     pub fn finer(self) -> RadiusKm {
-        let idx = RADIUS_SCALE.iter().position(|r| *r == self).expect("in scale");
+        let idx = RADIUS_SCALE
+            .iter()
+            .position(|r| *r == self)
+            .expect("in scale");
         RADIUS_SCALE[idx.saturating_sub(1)]
     }
 }

@@ -216,7 +216,9 @@ mod tests {
             vec![
                 rec(10, 0, 0, vec![(GeoRegion::Ua(Oblast::Kherson), 200)]),
                 rec(
-                    10, 0, 1,
+                    10,
+                    0,
+                    1,
                     vec![
                         (GeoRegion::Ua(Oblast::Kherson), 100),
                         (GeoRegion::Ua(Oblast::Kyiv), 40),
@@ -301,7 +303,10 @@ mod tests {
         assert_eq!(GeoRegion::foreign("us"), GeoRegion::foreign("US"));
         assert_eq!(GeoRegion::foreign("US").label(), "US");
         assert_eq!(GeoRegion::Ua(Oblast::Kherson).label(), "Kherson");
-        assert_eq!(GeoRegion::Ua(Oblast::Kherson).oblast(), Some(Oblast::Kherson));
+        assert_eq!(
+            GeoRegion::Ua(Oblast::Kherson).oblast(),
+            Some(Oblast::Kherson)
+        );
         assert_eq!(GeoRegion::foreign("US").oblast(), None);
     }
 }

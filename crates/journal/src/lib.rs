@@ -1,0 +1,30 @@
+//! Crash-safe persistence for long-running campaigns.
+//!
+//! The reproduced paper's measurement system ran continuously for three
+//! years; the durable record, not any single process, is the asset. This
+//! crate provides the two storage primitives the campaign runner builds
+//! on:
+//!
+//! - [`Journal`] — an append-only write-ahead log of per-round records,
+//!   each length-prefixed and CRC-32 checksummed. Opening a journal
+//!   recovers the longest valid prefix: torn or bit-corrupted tails are
+//!   physically truncated away, and a file with a damaged header is
+//!   quarantined (renamed to `<name>.quarantined`) rather than trusted or
+//!   deleted.
+//! - [`write_snapshot`] / [`read_snapshot`] — atomic whole-state
+//!   snapshots (temp file + fsync + rename) with a versioned header, so a
+//!   resume can skip replaying most of the journal.
+//!
+//! Both formats checksum with the zlib-compatible CRC-32 ([`crc32`]) and
+//! carry explicit magic/version bytes so stale or foreign files fail fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc32;
+pub mod snapshot;
+pub mod wal;
+
+pub use crc32::crc32;
+pub use snapshot::{quarantine_snapshot, read_snapshot, write_snapshot, SNAPSHOT_MAGIC};
+pub use wal::{Journal, JournalRecovery, MAX_RECORD_LEN, WAL_MAGIC};

@@ -184,7 +184,13 @@ impl FaultIntensity {
         if self.is_null() {
             return responsive;
         }
-        let mut n = rng.binomial3(responsive, self.delivery_rate(retries), round, block, salt::THIN);
+        let mut n = rng.binomial3(
+            responsive,
+            self.delivery_rate(retries),
+            round,
+            block,
+            salt::THIN,
+        );
         if self.icmp_reply_budget > 0 {
             n = n.min(self.icmp_reply_budget);
         }
@@ -194,9 +200,7 @@ impl FaultIntensity {
     /// Oracle-path latency distortion: the extra RTT a block's replies see
     /// this round (a latency spike, when one strikes).
     pub fn extra_rtt_ns(&self, rng: &WorldRng, round: u64, block: u64) -> u64 {
-        if self.latency_spike > 0.0
-            && rng.chance3(self.latency_spike, round, block, salt::SPIKE)
-        {
+        if self.latency_spike > 0.0 && rng.chance3(self.latency_spike, round, block, salt::SPIKE) {
             self.latency_spike_ns
         } else {
             0
@@ -477,7 +481,10 @@ impl<T: Transport> FaultyTransport<T> {
                 return None;
             }
         }
-        if i.reply_loss > 0.0 && self.rng.chance3(i.reply_loss, self.round, seq, salt::REPLY_LOSS)
+        if i.reply_loss > 0.0
+            && self
+                .rng
+                .chance3(i.reply_loss, self.round, seq, salt::REPLY_LOSS)
         {
             self.stats.replies_dropped += 1;
             return None;
@@ -489,7 +496,8 @@ impl<T: Transport> FaultyTransport<T> {
             match self.rng.below3(3, self.round, seq, salt::CORRUPT ^ 0xC0) {
                 0 => {
                     let pos =
-                        self.rng.below3(bytes.len() as u64, self.round, seq, salt::CORRUPT ^ 0xC1)
+                        self.rng
+                            .below3(bytes.len() as u64, self.round, seq, salt::CORRUPT ^ 0xC1)
                             as usize;
                     bytes[pos] ^= 0xff;
                 }
@@ -498,7 +506,11 @@ impl<T: Transport> FaultyTransport<T> {
             }
             self.stats.replies_corrupted += 1;
         }
-        if i.duplicate > 0.0 && self.rng.chance3(i.duplicate, self.round, seq, salt::DUPLICATE) {
+        if i.duplicate > 0.0
+            && self
+                .rng
+                .chance3(i.duplicate, self.round, seq, salt::DUPLICATE)
+        {
             self.delayed.push(Pending {
                 arrival_ns: arrival_ns + 1, // the copy trails by 1 ns
                 bytes: bytes.clone(),
@@ -506,7 +518,9 @@ impl<T: Transport> FaultyTransport<T> {
             self.stats.replies_duplicated += 1;
         }
         if i.latency_spike > 0.0
-            && self.rng.chance3(i.latency_spike, self.round, seq, salt::SPIKE)
+            && self
+                .rng
+                .chance3(i.latency_spike, self.round, seq, salt::SPIKE)
         {
             self.stats.replies_delayed += 1;
             self.delayed.push(Pending {
@@ -517,7 +531,8 @@ impl<T: Transport> FaultyTransport<T> {
         }
         if i.reorder > 0.0 && self.rng.chance3(i.reorder, self.round, seq, salt::REORDER) {
             let jitter = if i.reorder_jitter_ns > 0 {
-                self.rng.below3(i.reorder_jitter_ns, self.round, seq, salt::REORDER ^ 0xD0)
+                self.rng
+                    .below3(i.reorder_jitter_ns, self.round, seq, salt::REORDER ^ 0xD0)
             } else {
                 0
             };
@@ -540,9 +555,12 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         self.probe_seq += 1;
         let seq = self.probe_seq;
         if self.intensity.unsolicited > 0.0
-            && self
-                .rng
-                .chance3(self.intensity.unsolicited, self.round, seq, salt::UNSOLICITED)
+            && self.rng.chance3(
+                self.intensity.unsolicited,
+                self.round,
+                seq,
+                salt::UNSOLICITED,
+            )
         {
             let junk = self.unsolicited_packet(bytes, seq);
             self.stats.unsolicited_injected += 1;
@@ -618,9 +636,12 @@ mod tests {
         intensity: FaultIntensity,
         retries: u32,
         seed: u64,
-    ) -> (fbs_prober::RoundObservations, fbs_prober::ScanStats, FaultStats) {
-        let mut t =
-            FaultyTransport::new(loopback(40), WorldRng::new(seed), Round(3), intensity);
+    ) -> (
+        fbs_prober::RoundObservations,
+        fbs_prober::ScanStats,
+        FaultStats,
+    ) {
+        let mut t = FaultyTransport::new(loopback(40), WorldRng::new(seed), Round(3), intensity);
         let (obs, stats) = scanner(retries).scan_round(Round(3), &targets(), &mut t);
         (obs, stats, t.stats)
     }
@@ -670,7 +691,10 @@ mod tests {
         let (obs, stats, fstats) = scan_with(intensity, 0, 7);
         assert!(fstats.replies_corrupted > 0);
         assert!(fstats.unsolicited_injected > 0);
-        assert!(stats.parse_errors > 0, "corruption must surface as parse errors");
+        assert!(
+            stats.parse_errors > 0,
+            "corruption must surface as parse errors"
+        );
         assert!(
             stats.invalid > 0,
             "spoofed replies must surface as validation failures"

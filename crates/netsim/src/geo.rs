@@ -61,7 +61,12 @@ pub fn geo_snapshot(world: &World, month: MonthId) -> GeoSnapshot {
         // and the paper's flow counts are block-level). Region-wide flight
         // spares regional providers — their subscribers are what stayed.
         for (ei, e) in world.script().events().iter().enumerate() {
-            let EventKind::GeoMove { to, fraction, new_owner } = e.kind else {
+            let EventKind::GeoMove {
+                to,
+                fraction,
+                new_owner,
+            } = e.kind
+            else {
                 continue;
             };
             let applies = match e.target {
@@ -336,8 +341,9 @@ mod tests {
     #[test]
     fn regional_blocks_drift_less_than_national() {
         let w = world_with(Script::new());
-        let months: Vec<MonthId> =
-            MonthId::new(2022, 3).range_inclusive(MonthId::new(2024, 12)).collect();
+        let months: Vec<MonthId> = MonthId::new(2022, 3)
+            .range_inclusive(MonthId::new(2024, 12))
+            .collect();
         let mut regional_dominant = 0usize;
         let mut national_dominant = 0usize;
         let mut total = 0usize;

@@ -25,7 +25,9 @@ fn mix(mut z: u64) -> u64 {
 impl WorldRng {
     /// Creates a source from the world seed.
     pub fn new(seed: u64) -> Self {
-        WorldRng { seed: mix(seed ^ GOLDEN) }
+        WorldRng {
+            seed: mix(seed ^ GOLDEN),
+        }
     }
 
     /// A derived source for a named domain (e.g. "power", "geo"), so the

@@ -303,7 +303,13 @@ mod tests {
         CAMPAIGN_START.plus_seconds(days * 86_400)
     }
 
-    fn event(name: &str, target: EventTarget, kind: EventKind, d0: i64, d1: Option<i64>) -> ScriptedEvent {
+    fn event(
+        name: &str,
+        target: EventTarget,
+        kind: EventKind,
+        d0: i64,
+        d1: Option<i64>,
+    ) -> ScriptedEvent {
         ScriptedEvent {
             name: name.into(),
             target,
@@ -326,7 +332,13 @@ mod tests {
     #[test]
     fn vantage_outage_lookup() {
         let mut s = Script::new();
-        s.push(event("gap", EventTarget::Country, EventKind::VantageOutage, 2, Some(4)));
+        s.push(event(
+            "gap",
+            EventTarget::Country,
+            EventKind::VantageOutage,
+            2,
+            Some(4),
+        ));
         s.compile(1000);
         assert!(!s.vantage_offline(23));
         assert!(s.vantage_offline(24));
@@ -359,7 +371,10 @@ mod tests {
         ];
         assert!((s.ips_scale(0, &targets) - 0.2).abs() < 1e-12);
         // Only the region matches for another AS.
-        let other = [EventTarget::As(Asn(1)), EventTarget::Region(Oblast::Kherson)];
+        let other = [
+            EventTarget::As(Asn(1)),
+            EventTarget::Region(Oblast::Kherson),
+        ];
         assert!((s.ips_scale(0, &other) - 0.5).abs() < 1e-12);
         // After the window: no effect.
         assert_eq!(s.ips_scale(200, &targets), 1.0);
@@ -368,9 +383,27 @@ mod tests {
     #[test]
     fn bgp_outage_decommission_activation() {
         let mut s = Script::new();
-        s.push(event("cable", EventTarget::As(Asn(1)), EventKind::BgpOutage, 10, Some(13)));
-        s.push(event("gone", EventTarget::As(Asn(2)), EventKind::Decommission, 100, None));
-        s.push(event("born", EventTarget::As(Asn(3)), EventKind::Activate, 50, None));
+        s.push(event(
+            "cable",
+            EventTarget::As(Asn(1)),
+            EventKind::BgpOutage,
+            10,
+            Some(13),
+        ));
+        s.push(event(
+            "gone",
+            EventTarget::As(Asn(2)),
+            EventKind::Decommission,
+            100,
+            None,
+        ));
+        s.push(event(
+            "born",
+            EventTarget::As(Asn(3)),
+            EventKind::Activate,
+            50,
+            None,
+        ));
         s.compile(10_000);
         let t1 = [EventTarget::As(Asn(1))];
         assert!(!s.bgp_down(119, &t1));
@@ -393,19 +426,28 @@ mod tests {
         s.push(event(
             "reroute-region",
             EventTarget::Region(Oblast::Kherson),
-            EventKind::Reroute { via: Asn(12389), extra_rtt_ns: 30_000_000 },
+            EventKind::Reroute {
+                via: Asn(12389),
+                extra_rtt_ns: 30_000_000,
+            },
             0,
             Some(100),
         ));
         s.push(event(
             "reroute-as",
             EventTarget::As(Asn(25482)),
-            EventKind::Reroute { via: Asn(201776), extra_rtt_ns: 50_000_000 },
+            EventKind::Reroute {
+                via: Asn(201776),
+                extra_rtt_ns: 50_000_000,
+            },
             0,
             Some(100),
         ));
         s.compile(10_000);
-        let targets = [EventTarget::As(Asn(25482)), EventTarget::Region(Oblast::Kherson)];
+        let targets = [
+            EventTarget::As(Asn(25482)),
+            EventTarget::Region(Oblast::Kherson),
+        ];
         let (via, extra) = s.reroute(10, &targets).unwrap();
         assert_eq!(via, Asn(201776));
         assert_eq!(extra, 50_000_000);
@@ -415,7 +457,13 @@ mod tests {
     #[test]
     fn transitions_for_event_log() {
         let mut s = Script::new();
-        s.push(event("cable", EventTarget::As(Asn(1)), EventKind::BgpOutage, 10, Some(13)));
+        s.push(event(
+            "cable",
+            EventTarget::As(Asn(1)),
+            EventKind::BgpOutage,
+            10,
+            Some(13),
+        ));
         s.compile(10_000);
         let tr = s.bgp_transitions(EventTarget::As(Asn(1)), 10_000);
         assert_eq!(tr, vec![(0, false), (120, true), (156, false)]);
@@ -427,7 +475,13 @@ mod tests {
     #[test]
     fn find_by_name() {
         let mut s = Script::new();
-        s.push(event("Kakhovka dam", EventTarget::Region(Oblast::Kherson), EventKind::IpsScale(0.3), 0, Some(1)));
+        s.push(event(
+            "Kakhovka dam",
+            EventTarget::Region(Oblast::Kherson),
+            EventKind::IpsScale(0.3),
+            0,
+            Some(1),
+        ));
         assert_eq!(s.find("Kakhovka").len(), 1);
         assert!(s.find("Chernobyl").is_empty());
     }

@@ -457,7 +457,9 @@ impl World {
         let mut log = EventLog::new();
         let total = self.config.rounds;
         for spec in &self.config.ases {
-            let transitions = self.script.bgp_transitions(EventTarget::As(spec.asn), total);
+            let transitions = self
+                .script
+                .bgp_transitions(EventTarget::As(spec.asn), total);
             for prefix in &spec.prefixes {
                 for &(round, down) in &transitions {
                     if down {
@@ -626,7 +628,8 @@ mod tests {
     }
 
     fn sbi(w: &World, i: u8) -> usize {
-        w.block_index(BlockId::from_octets(193, 151, 240 + i)).unwrap()
+        w.block_index(BlockId::from_octets(193, 151, 240 + i))
+            .unwrap()
     }
 
     fn kbi(w: &World, i: u8) -> usize {
@@ -695,7 +698,10 @@ mod tests {
         let w = test_world(s, vec![]);
         let during = Round(5 * 12 + 6);
         assert_eq!(w.block_truth(during, sbi(&w, 1)).responsive, 0);
-        assert!(w.block_truth(during, sbi(&w, 1)).routed, "IPS-scale keeps BGP up");
+        assert!(
+            w.block_truth(during, sbi(&w, 1)).routed,
+            "IPS-scale keeps BGP up"
+        );
         assert!(w.block_truth(during, sbi(&w, 0)).responsive > 0);
     }
 
@@ -833,7 +839,10 @@ mod tests {
         let w = test_world(s, vec![]);
         let before = w.rtt_ns(Round(100), sbi(&w, 0));
         let during = w.rtt_ns(Round(70 * 12), sbi(&w, 0));
-        assert!(during > before + 40_000_000, "during {during} before {before}");
+        assert!(
+            during > before + 40_000_000,
+            "during {during} before {before}"
+        );
         let path = w.as_path(Asn(25482), Round(70 * 12));
         assert!(path.contains(&rostelecom));
         assert_eq!(*path.last().unwrap(), Asn(25482));

@@ -1,0 +1,120 @@
+//! The campaign's durable position: which round scans next.
+//!
+//! Everything else a resume needs — fault schedules, probe thinning,
+//! vantage availability — is derived from the world RNG, which is a pure
+//! function of `(seed, domain, round, …)` coordinates and carries no
+//! mutable state. The one thing that *must* survive a crash is therefore
+//! the position itself: the index of the next unscanned round. The cursor
+//! is persisted in every snapshot and implied by every journal record, and
+//! a restored cursor re-derives the exact probe/fault stream an
+//! uninterrupted run would have produced.
+
+use fbs_types::codec::{ByteReader, ByteWriter, Persist};
+use fbs_types::{FbsError, Round};
+
+/// Position of a campaign inside its fixed span of rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundCursor {
+    next: u32,
+    total: u32,
+}
+
+impl RoundCursor {
+    /// A cursor at the start of a `total`-round campaign.
+    pub fn new(total: u32) -> Self {
+        RoundCursor { next: 0, total }
+    }
+
+    /// The next round to scan, or `None` when the campaign is complete.
+    pub fn current(&self) -> Option<Round> {
+        (self.next < self.total).then_some(Round(self.next))
+    }
+
+    /// Advances past the round just completed, returning it.
+    ///
+    /// # Panics
+    /// Panics when called on a finished cursor — scanning past the end of
+    /// the campaign is a driver bug, not a recoverable condition.
+    pub fn advance(&mut self) -> Round {
+        assert!(self.next < self.total, "advanced past the final round");
+        let round = Round(self.next);
+        self.next += 1;
+        round
+    }
+
+    /// Rounds completed so far.
+    pub fn completed(&self) -> u32 {
+        self.next
+    }
+
+    /// Total rounds in the campaign.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Whether every round has been scanned.
+    pub fn is_done(&self) -> bool {
+        self.next >= self.total
+    }
+}
+
+impl Persist for RoundCursor {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_u32(self.next);
+        w.put_u32(self.total);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> fbs_types::Result<Self> {
+        let next = r.get_u32()?;
+        let total = r.get_u32()?;
+        if next > total {
+            return Err(FbsError::Io {
+                reason: format!("cursor position {next} beyond campaign end {total}"),
+            });
+        }
+        Ok(RoundCursor { next, total })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_the_full_span_once() {
+        let mut c = RoundCursor::new(3);
+        assert_eq!(c.current(), Some(Round(0)));
+        assert_eq!(c.advance(), Round(0));
+        assert_eq!(c.advance(), Round(1));
+        assert_eq!(c.completed(), 2);
+        assert!(!c.is_done());
+        assert_eq!(c.advance(), Round(2));
+        assert!(c.is_done());
+        assert_eq!(c.current(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "advanced past the final round")]
+    fn advancing_past_the_end_panics() {
+        let mut c = RoundCursor::new(0);
+        c.advance();
+    }
+
+    #[test]
+    fn persist_roundtrip_and_validation() {
+        let mut c = RoundCursor::new(10);
+        c.advance();
+        c.advance();
+        let mut w = ByteWriter::new();
+        c.persist(&mut w);
+        let bytes = w.into_bytes();
+        let back = RoundCursor::restore(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(back, c);
+
+        // A cursor claiming to be past the end is corrupt state.
+        let mut w = ByteWriter::new();
+        w.put_u32(11);
+        w.put_u32(10);
+        let bytes = w.into_bytes();
+        assert!(RoundCursor::restore(&mut ByteReader::new(&bytes)).is_err());
+    }
+}

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cursor;
 pub mod observe;
 pub mod packet;
 pub mod permutation;
@@ -40,6 +41,7 @@ pub mod rate;
 pub mod scan;
 pub mod target;
 
+pub use cursor::RoundCursor;
 pub use observe::{BlockObservation, ResponderBitmap, RoundObservations, RttStat};
 pub use packet::{IcmpKind, ParsedReply, ProbePacket};
 pub use permutation::CyclicPermutation;

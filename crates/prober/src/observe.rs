@@ -260,7 +260,10 @@ mod tests {
 
     #[test]
     fn round_observation_aggregates() {
-        let ids = vec![BlockId::from_octets(10, 0, 0), BlockId::from_octets(10, 0, 1)];
+        let ids = vec![
+            BlockId::from_octets(10, 0, 0),
+            BlockId::from_octets(10, 0, 1),
+        ];
         let mut obs = RoundObservations::silent(Round(0), ids);
         assert_eq!(obs.total_responsive(), 0);
         assert_eq!(obs.active_blocks(), 0);

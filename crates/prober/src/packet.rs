@@ -119,15 +119,7 @@ impl ProbePacket {
         let h = validation_hash(dst, key);
         let ident = (h >> 16) as u16;
         let seq = h as u16;
-        let bytes = encode(
-            src,
-            dst,
-            ttl,
-            IcmpKind::EchoRequest,
-            ident,
-            seq,
-            now_ns,
-        );
+        let bytes = encode(src, dst, ttl, IcmpKind::EchoRequest, ident, seq, now_ns);
         ProbePacket { dst, bytes }
     }
 }

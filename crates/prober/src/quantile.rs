@@ -59,7 +59,8 @@ impl P2Quantile {
             self.q[self.count as usize] = x;
             self.count += 1;
             if self.count == 5 {
-                self.q.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+                self.q
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
             }
             return;
         }
@@ -145,7 +146,9 @@ mod tests {
         let mut x = seed | 1;
         (0..n)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 11) as f64 / (1u64 << 53) as f64) * 100.0
             })
             .collect()
@@ -208,7 +211,10 @@ mod tests {
             lo = lo.min(*x);
             hi = hi.max(*x);
             let est = q.estimate().unwrap();
-            assert!(est >= lo - 1e-9 && est <= hi + 1e-9, "estimate escaped range");
+            assert!(
+                est >= lo - 1e-9 && est <= hi + 1e-9,
+                "estimate escaped range"
+            );
         }
     }
 

@@ -215,8 +215,7 @@ impl QualityConfig {
         expected_probes: u64,
         baseline_valid: Option<f64>,
     ) -> RoundQuality {
-        if expected_probes > 0
-            && (stats.sent as f64) < self.min_sent_ratio * expected_probes as f64
+        if expected_probes > 0 && (stats.sent as f64) < self.min_sent_ratio * expected_probes as f64
         {
             return RoundQuality::Unusable;
         }
@@ -289,8 +288,13 @@ impl Scanner {
             now_ns = bucket.next_send_time(now_ns);
             bucket.consume(now_ns);
             let dst = targets.addr_at(idx);
-            let probe =
-                ProbePacket::echo_request(self.config.source, dst, self.config.key, now_ns, self.config.ttl);
+            let probe = ProbePacket::echo_request(
+                self.config.source,
+                dst,
+                self.config.key,
+                now_ns,
+                self.config.ttl,
+            );
             transport.send(&probe.bytes, now_ns);
             stats.sent += 1;
 
@@ -485,7 +489,8 @@ pub mod loopback {
                 }
                 self.corruptions += 1;
             }
-            if self.duplicate_every != 0 && self.reply_counter.is_multiple_of(self.duplicate_every) {
+            if self.duplicate_every != 0 && self.reply_counter.is_multiple_of(self.duplicate_every)
+            {
                 self.queue.push(Pending {
                     arrival_ns: now_ns + rtt + 1, // the copy trails by 1 ns
                     bytes: reply.clone(),
@@ -549,7 +554,9 @@ mod tests {
         assert_eq!(obs.total_responsive(), 3);
         assert_eq!(obs.active_blocks(), 2);
         // The exact addresses are marked.
-        let b0 = t.index_of_block(fbs_types::BlockId::from_octets(10, 1, 0)).unwrap();
+        let b0 = t
+            .index_of_block(fbs_types::BlockId::from_octets(10, 1, 0))
+            .unwrap();
         assert!(obs.blocks[b0].responders.get(1));
         assert!(obs.blocks[b0].responders.get(77));
         assert!(!obs.blocks[b0].responders.get(2));
@@ -561,7 +568,9 @@ mod tests {
         let mut lo = LoopbackTransport::new();
         lo.add_host(Ipv4Addr::new(10, 1, 0, 1), 40_000_000);
         let (obs, _) = scanner().scan_round(Round(1), &t, &mut lo);
-        let b0 = t.index_of_block(fbs_types::BlockId::from_octets(10, 1, 0)).unwrap();
+        let b0 = t
+            .index_of_block(fbs_types::BlockId::from_octets(10, 1, 0))
+            .unwrap();
         assert_eq!(obs.blocks[b0].rtt.mean_ns(), Some(40_000_000));
     }
 
@@ -606,7 +615,9 @@ mod tests {
         let (b, _) = scanner().scan_round(Round(7), &t, &mut lo);
         assert_eq!(a.total_responsive(), 1);
         assert_eq!(b.total_responsive(), 1);
-        let bi = t.index_of_block(fbs_types::BlockId::from_octets(10, 1, 1)).unwrap();
+        let bi = t
+            .index_of_block(fbs_types::BlockId::from_octets(10, 1, 1))
+            .unwrap();
         assert_eq!(a.blocks[bi].responders, b.blocks[bi].responders);
     }
 
@@ -767,14 +778,20 @@ mod tests {
             parse_errors: 60,
             ..ScanStats::default()
         };
-        let garbled = ScanStats { sent: 512, ..garbled };
+        let garbled = ScanStats {
+            sent: 512,
+            ..garbled
+        };
         assert_eq!(q.assess(&garbled, 512, None), RoundQuality::Unusable);
         // Truncated sweep: unusable regardless of replies.
         let truncated = ScanStats {
             sent: 100,
             ..healthy
         };
-        assert_eq!(q.assess(&truncated, 512, Some(100.0)), RoundQuality::Unusable);
+        assert_eq!(
+            q.assess(&truncated, 512, Some(100.0)),
+            RoundQuality::Unusable
+        );
         // No baseline and a clean inbox: Ok.
         assert_eq!(q.assess(&healthy, 512, None), RoundQuality::Ok);
     }
@@ -813,6 +830,10 @@ mod tests {
             ..ScanConfig::default()
         });
         let (_, stats) = scanner.scan_round(Round(0), &t, &mut lo);
-        assert!(stats.duration_ns >= 511_000_000, "duration {}", stats.duration_ns);
+        assert!(
+            stats.duration_ns >= 511_000_000,
+            "duration {}",
+            stats.duration_ns
+        );
     }
 }

@@ -53,9 +53,15 @@ impl RegionalityConfig {
 
     /// Validates thresholds lie in `0..=1`.
     pub fn validate(&self) -> fbs_types::Result<()> {
-        for (name, v) in [("m", self.m), ("t_perc", self.t_perc), ("temporal_min_share", self.temporal_min_share)] {
+        for (name, v) in [
+            ("m", self.m),
+            ("t_perc", self.t_perc),
+            ("temporal_min_share", self.temporal_min_share),
+        ] {
             if !(0.0..=1.0).contains(&v) || !v.is_finite() {
-                return Err(fbs_types::FbsError::config(format!("{name}={v} outside 0..=1")));
+                return Err(fbs_types::FbsError::config(format!(
+                    "{name}={v} outside 0..=1"
+                )));
             }
         }
         Ok(())
@@ -132,10 +138,7 @@ pub fn classify_as(history: &[MonthSample], config: &RegionalityConfig) -> Regio
         return Regionality::Regional;
     }
     let max_ips = history.iter().map(|s| s.ips_in_region).max().unwrap_or(0);
-    let max_share = history
-        .iter()
-        .map(|s| s.share())
-        .fold(0.0f64, f64::max);
+    let max_share = history.iter().map(|s| s.share()).fold(0.0f64, f64::max);
     if max_ips < config.temporal_min_ips && max_share <= config.temporal_min_share {
         Regionality::Temporal
     } else {
@@ -234,11 +237,7 @@ mod tests {
     #[test]
     fn as_temporal_when_presence_marginal() {
         // A national ISP with a handful of addresses briefly in the region.
-        let hist = months(&[
-            (10, 100_000, true),
-            (0, 100_000, true),
-            (0, 100_000, true),
-        ]);
+        let hist = months(&[(10, 100_000, true), (0, 100_000, true), (0, 100_000, true)]);
         assert_eq!(
             classify_as(&hist, &RegionalityConfig::default()),
             Regionality::Temporal
@@ -303,7 +302,11 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(RegionalityConfig::default().validate().is_ok());
-        assert!(RegionalityConfig::with_thresholds(1.5, 0.5).validate().is_err());
-        assert!(RegionalityConfig::with_thresholds(0.5, -0.1).validate().is_err());
+        assert!(RegionalityConfig::with_thresholds(1.5, 0.5)
+            .validate()
+            .is_err());
+        assert!(RegionalityConfig::with_thresholds(0.5, -0.1)
+            .validate()
+            .is_err());
     }
 }

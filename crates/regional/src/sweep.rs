@@ -41,7 +41,11 @@ pub fn sweep_grid(histories: &[Vec<MonthSample>], as_level: bool) -> Vec<SweepPo
                     class == Regionality::Regional
                 })
                 .count();
-            out.push(SweepPoint { m, t_perc, regional });
+            out.push(SweepPoint {
+                m,
+                t_perc,
+                regional,
+            });
         }
     }
     out

@@ -130,7 +130,10 @@ pub fn ukraine_with_rounds(scale: WorldScale, seed: u64, rounds: u32) -> Scenari
         // for them is modeled by homing roughly half their blocks in
         // neighbouring space instead.
         let regional_n_eff = if !entry.regional && regional_n == total_n {
-            (total_n / 2).max(1).min(total_n.saturating_sub(1)).max(if total_n == 1 { 0 } else { 1 })
+            (total_n / 2)
+                .max(1)
+                .min(total_n.saturating_sub(1))
+                .max(if total_n == 1 { 0 } else { 1 })
         } else {
             regional_n
         };
@@ -153,7 +156,11 @@ pub fn ukraine_with_rounds(scale: WorldScale, seed: u64, rounds: u32) -> Scenari
 
         for (i, block) in block_ids.iter().enumerate() {
             let home = if entry.asn == 25482 {
-                if i < 3 { Oblast::Kherson } else { Oblast::Kyiv }
+                if i < 3 {
+                    Oblast::Kherson
+                } else {
+                    Oblast::Kyiv
+                }
             } else if entry.asn == 15895 {
                 // Block 176.8.28 (index 28) must be Kherson; the first
                 // `regional_n` synthetic slots are too, the rest spread.
@@ -304,7 +311,13 @@ fn spread_home(rng: &WorldRng, asn: u32, i: usize) -> Oblast {
     Oblast::Kyiv
 }
 
-fn block_spec(rng: &WorldRng, block: BlockId, owner: u32, home: Oblast, profile: AsProfile) -> BlockSpec {
+fn block_spec(
+    rng: &WorldRng,
+    block: BlockId,
+    owner: u32,
+    home: Oblast,
+    profile: AsProfile,
+) -> BlockSpec {
     let rp = params(home);
     let c = block.0 as u64;
     // Geo population first (192–255 DB entries per block — a stable block
@@ -380,10 +393,7 @@ fn frontline_noise(script: &mut Script, rng: &WorldRng, ases: &[AsSpec], rounds:
             let p_as_outage = if frontline { 0.25 } else { 0.04 };
             if rng.chance3(p_as_outage, o, week as u64, 60) {
                 // A random AS headquartered here goes dark for a few hours.
-                let local: Vec<&AsSpec> = ases
-                    .iter()
-                    .filter(|a| a.hq == Some(rp.oblast))
-                    .collect();
+                let local: Vec<&AsSpec> = ases.iter().filter(|a| a.hq == Some(rp.oblast)).collect();
                 if !local.is_empty() {
                     let pick = rng.below3(local.len() as u64, o, week as u64, 61) as usize;
                     let start_round = week * 84 + rng.below3(84, o, week as u64, 62) as u32;

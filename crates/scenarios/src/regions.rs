@@ -33,32 +33,188 @@ impl RegionParams {
 
 /// The 26 regions' parameters.
 pub const REGION_PARAMS: [RegionParams; 26] = [
-    RegionParams { oblast: Oblast::Cherkasy, blocks_paper: 900, regional_ases_paper: 55, change_pct: -15.0, responsiveness: 0.16 },
-    RegionParams { oblast: Oblast::Chernihiv, blocks_paper: 700, regional_ases_paper: 40, change_pct: 24.0, responsiveness: 0.14 },
-    RegionParams { oblast: Oblast::Chernivtsi, blocks_paper: 500, regional_ases_paper: 30, change_pct: -10.0, responsiveness: 0.17 },
-    RegionParams { oblast: Oblast::Crimea, blocks_paper: 600, regional_ases_paper: 30, change_pct: -17.0, responsiveness: 0.12 },
-    RegionParams { oblast: Oblast::Dnipropetrovsk, blocks_paper: 3000, regional_ases_paper: 130, change_pct: -8.0, responsiveness: 0.18 },
-    RegionParams { oblast: Oblast::Donetsk, blocks_paper: 1500, regional_ases_paper: 70, change_pct: -56.0, responsiveness: 0.08 },
-    RegionParams { oblast: Oblast::IvanoFrankivsk, blocks_paper: 700, regional_ases_paper: 45, change_pct: -12.0, responsiveness: 0.17 },
-    RegionParams { oblast: Oblast::Kharkiv, blocks_paper: 2600, regional_ases_paper: 120, change_pct: -27.0, responsiveness: 0.11 },
-    RegionParams { oblast: Oblast::Kherson, blocks_paper: 512, regional_ases_paper: 13, change_pct: -62.0, responsiveness: 0.065 },
-    RegionParams { oblast: Oblast::Khmelnytskyi, blocks_paper: 700, regional_ases_paper: 45, change_pct: -12.0, responsiveness: 0.16 },
-    RegionParams { oblast: Oblast::Kirovohrad, blocks_paper: 500, regional_ases_paper: 30, change_pct: -14.0, responsiveness: 0.15 },
-    RegionParams { oblast: Oblast::Kyiv, blocks_paper: 9100, regional_ases_paper: 300, change_pct: 13.0, responsiveness: 0.22 },
-    RegionParams { oblast: Oblast::Luhansk, blocks_paper: 600, regional_ases_paper: 30, change_pct: -67.0, responsiveness: 0.07 },
-    RegionParams { oblast: Oblast::Lviv, blocks_paper: 2100, regional_ases_paper: 110, change_pct: -6.0, responsiveness: 0.19 },
-    RegionParams { oblast: Oblast::Mykolaiv, blocks_paper: 700, regional_ases_paper: 40, change_pct: -20.0, responsiveness: 0.13 },
-    RegionParams { oblast: Oblast::Odessa, blocks_paper: 2200, regional_ases_paper: 110, change_pct: -11.0, responsiveness: 0.17 },
-    RegionParams { oblast: Oblast::Poltava, blocks_paper: 900, regional_ases_paper: 55, change_pct: -13.0, responsiveness: 0.16 },
-    RegionParams { oblast: Oblast::Rivne, blocks_paper: 600, regional_ases_paper: 40, change_pct: -24.0, responsiveness: 0.15 },
-    RegionParams { oblast: Oblast::Sevastopol, blocks_paper: 250, regional_ases_paper: 12, change_pct: -15.0, responsiveness: 0.12 },
-    RegionParams { oblast: Oblast::Sumy, blocks_paper: 600, regional_ases_paper: 35, change_pct: -21.0, responsiveness: 0.12 },
-    RegionParams { oblast: Oblast::Ternopil, blocks_paper: 500, regional_ases_paper: 30, change_pct: -16.0, responsiveness: 0.16 },
-    RegionParams { oblast: Oblast::Transcarpathia, blocks_paper: 500, regional_ases_paper: 30, change_pct: -9.0, responsiveness: 0.17 },
-    RegionParams { oblast: Oblast::Vinnytsia, blocks_paper: 800, regional_ases_paper: 50, change_pct: -18.0, responsiveness: 0.16 },
-    RegionParams { oblast: Oblast::Volyn, blocks_paper: 500, regional_ases_paper: 35, change_pct: -37.0, responsiveness: 0.15 },
-    RegionParams { oblast: Oblast::Zaporizhzhia, blocks_paper: 1100, regional_ases_paper: 55, change_pct: -52.0, responsiveness: 0.09 },
-    RegionParams { oblast: Oblast::Zhytomyr, blocks_paper: 600, regional_ases_paper: 40, change_pct: -30.0, responsiveness: 0.14 },
+    RegionParams {
+        oblast: Oblast::Cherkasy,
+        blocks_paper: 900,
+        regional_ases_paper: 55,
+        change_pct: -15.0,
+        responsiveness: 0.16,
+    },
+    RegionParams {
+        oblast: Oblast::Chernihiv,
+        blocks_paper: 700,
+        regional_ases_paper: 40,
+        change_pct: 24.0,
+        responsiveness: 0.14,
+    },
+    RegionParams {
+        oblast: Oblast::Chernivtsi,
+        blocks_paper: 500,
+        regional_ases_paper: 30,
+        change_pct: -10.0,
+        responsiveness: 0.17,
+    },
+    RegionParams {
+        oblast: Oblast::Crimea,
+        blocks_paper: 600,
+        regional_ases_paper: 30,
+        change_pct: -17.0,
+        responsiveness: 0.12,
+    },
+    RegionParams {
+        oblast: Oblast::Dnipropetrovsk,
+        blocks_paper: 3000,
+        regional_ases_paper: 130,
+        change_pct: -8.0,
+        responsiveness: 0.18,
+    },
+    RegionParams {
+        oblast: Oblast::Donetsk,
+        blocks_paper: 1500,
+        regional_ases_paper: 70,
+        change_pct: -56.0,
+        responsiveness: 0.08,
+    },
+    RegionParams {
+        oblast: Oblast::IvanoFrankivsk,
+        blocks_paper: 700,
+        regional_ases_paper: 45,
+        change_pct: -12.0,
+        responsiveness: 0.17,
+    },
+    RegionParams {
+        oblast: Oblast::Kharkiv,
+        blocks_paper: 2600,
+        regional_ases_paper: 120,
+        change_pct: -27.0,
+        responsiveness: 0.11,
+    },
+    RegionParams {
+        oblast: Oblast::Kherson,
+        blocks_paper: 512,
+        regional_ases_paper: 13,
+        change_pct: -62.0,
+        responsiveness: 0.065,
+    },
+    RegionParams {
+        oblast: Oblast::Khmelnytskyi,
+        blocks_paper: 700,
+        regional_ases_paper: 45,
+        change_pct: -12.0,
+        responsiveness: 0.16,
+    },
+    RegionParams {
+        oblast: Oblast::Kirovohrad,
+        blocks_paper: 500,
+        regional_ases_paper: 30,
+        change_pct: -14.0,
+        responsiveness: 0.15,
+    },
+    RegionParams {
+        oblast: Oblast::Kyiv,
+        blocks_paper: 9100,
+        regional_ases_paper: 300,
+        change_pct: 13.0,
+        responsiveness: 0.22,
+    },
+    RegionParams {
+        oblast: Oblast::Luhansk,
+        blocks_paper: 600,
+        regional_ases_paper: 30,
+        change_pct: -67.0,
+        responsiveness: 0.07,
+    },
+    RegionParams {
+        oblast: Oblast::Lviv,
+        blocks_paper: 2100,
+        regional_ases_paper: 110,
+        change_pct: -6.0,
+        responsiveness: 0.19,
+    },
+    RegionParams {
+        oblast: Oblast::Mykolaiv,
+        blocks_paper: 700,
+        regional_ases_paper: 40,
+        change_pct: -20.0,
+        responsiveness: 0.13,
+    },
+    RegionParams {
+        oblast: Oblast::Odessa,
+        blocks_paper: 2200,
+        regional_ases_paper: 110,
+        change_pct: -11.0,
+        responsiveness: 0.17,
+    },
+    RegionParams {
+        oblast: Oblast::Poltava,
+        blocks_paper: 900,
+        regional_ases_paper: 55,
+        change_pct: -13.0,
+        responsiveness: 0.16,
+    },
+    RegionParams {
+        oblast: Oblast::Rivne,
+        blocks_paper: 600,
+        regional_ases_paper: 40,
+        change_pct: -24.0,
+        responsiveness: 0.15,
+    },
+    RegionParams {
+        oblast: Oblast::Sevastopol,
+        blocks_paper: 250,
+        regional_ases_paper: 12,
+        change_pct: -15.0,
+        responsiveness: 0.12,
+    },
+    RegionParams {
+        oblast: Oblast::Sumy,
+        blocks_paper: 600,
+        regional_ases_paper: 35,
+        change_pct: -21.0,
+        responsiveness: 0.12,
+    },
+    RegionParams {
+        oblast: Oblast::Ternopil,
+        blocks_paper: 500,
+        regional_ases_paper: 30,
+        change_pct: -16.0,
+        responsiveness: 0.16,
+    },
+    RegionParams {
+        oblast: Oblast::Transcarpathia,
+        blocks_paper: 500,
+        regional_ases_paper: 30,
+        change_pct: -9.0,
+        responsiveness: 0.17,
+    },
+    RegionParams {
+        oblast: Oblast::Vinnytsia,
+        blocks_paper: 800,
+        regional_ases_paper: 50,
+        change_pct: -18.0,
+        responsiveness: 0.16,
+    },
+    RegionParams {
+        oblast: Oblast::Volyn,
+        blocks_paper: 500,
+        regional_ases_paper: 35,
+        change_pct: -37.0,
+        responsiveness: 0.15,
+    },
+    RegionParams {
+        oblast: Oblast::Zaporizhzhia,
+        blocks_paper: 1100,
+        regional_ases_paper: 55,
+        change_pct: -52.0,
+        responsiveness: 0.09,
+    },
+    RegionParams {
+        oblast: Oblast::Zhytomyr,
+        blocks_paper: 600,
+        regional_ases_paper: 40,
+        change_pct: -30.0,
+        responsiveness: 0.14,
+    },
 ];
 
 /// Parameters of one oblast.

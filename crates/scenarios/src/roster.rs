@@ -67,41 +67,449 @@ const KY: Oblast = Oblast::Kyiv;
 /// ranked by regional /24 count).
 pub const KHERSON_ROSTER: [KhersonAs; 34] = [
     // --- Regional (13) ---
-    KhersonAs { asn: 49465, name: "RubinTV", total_24s: 16, regional_24s: 16, regional: true, hq: Hq::City("Nova Kakhovka", KH), left_bank: true, ioda_covered: false, rerouted: true, dark_2025: false, late_arrival: false },
-    KhersonAs { asn: 56404, name: "Norma4", total_24s: 8, regional_24s: 8, regional: true, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: true, dark_2025: false, late_arrival: false },
-    KhersonAs { asn: 56359, name: "RostNet", total_24s: 5, regional_24s: 5, regional: true, hq: Hq::City("Oleshky", KH), left_bank: true, ioda_covered: false, rerouted: true, dark_2025: true, late_arrival: false },
-    KhersonAs { asn: 25482, name: "Status", total_24s: 4, regional_24s: 3, regional: true, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: true, dark_2025: false, late_arrival: false },
-    KhersonAs { asn: 15458, name: "TLC-K", total_24s: 2, regional_24s: 2, regional: true, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: true, dark_2025: true, late_arrival: false },
-    KhersonAs { asn: 47598, name: "Kherson Telecom", total_24s: 3, regional_24s: 2, regional: true, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: true, dark_2025: true, late_arrival: false },
-    KhersonAs { asn: 56446, name: "OstrovNet", total_24s: 2, regional_24s: 2, regional: true, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: true, dark_2025: false, late_arrival: false },
-    KhersonAs { asn: 25256, name: "M-Net", total_24s: 1, regional_24s: 1, regional: true, hq: Hq::City("Henichesk", KH), left_bank: true, ioda_covered: false, rerouted: false, dark_2025: true, late_arrival: false },
-    KhersonAs { asn: 34720, name: "JSC-Chumak", total_24s: 1, regional_24s: 1, regional: true, hq: Hq::City("Kyiv", KY), left_bank: false, ioda_covered: false, rerouted: false, dark_2025: true, late_arrival: false },
-    KhersonAs { asn: 42469, name: "Askad", total_24s: 1, regional_24s: 1, regional: true, hq: Hq::City("Skadovsk", KH), left_bank: true, ioda_covered: false, rerouted: false, dark_2025: true, late_arrival: false },
-    KhersonAs { asn: 44737, name: "Next", total_24s: 1, regional_24s: 1, regional: true, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: false, dark_2025: true, late_arrival: false },
-    KhersonAs { asn: 59500, name: "LineVPS", total_24s: 1, regional_24s: 1, regional: true, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: false, dark_2025: false, late_arrival: false },
-    KhersonAs { asn: 211171, name: "Pluton", total_24s: 1, regional_24s: 1, regional: true, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: true, dark_2025: false, late_arrival: false },
+    KhersonAs {
+        asn: 49465,
+        name: "RubinTV",
+        total_24s: 16,
+        regional_24s: 16,
+        regional: true,
+        hq: Hq::City("Nova Kakhovka", KH),
+        left_bank: true,
+        ioda_covered: false,
+        rerouted: true,
+        dark_2025: false,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 56404,
+        name: "Norma4",
+        total_24s: 8,
+        regional_24s: 8,
+        regional: true,
+        hq: Hq::City("Kherson", KH),
+        left_bank: false,
+        ioda_covered: false,
+        rerouted: true,
+        dark_2025: false,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 56359,
+        name: "RostNet",
+        total_24s: 5,
+        regional_24s: 5,
+        regional: true,
+        hq: Hq::City("Oleshky", KH),
+        left_bank: true,
+        ioda_covered: false,
+        rerouted: true,
+        dark_2025: true,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 25482,
+        name: "Status",
+        total_24s: 4,
+        regional_24s: 3,
+        regional: true,
+        hq: Hq::City("Kherson", KH),
+        left_bank: false,
+        ioda_covered: false,
+        rerouted: true,
+        dark_2025: false,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 15458,
+        name: "TLC-K",
+        total_24s: 2,
+        regional_24s: 2,
+        regional: true,
+        hq: Hq::City("Kherson", KH),
+        left_bank: false,
+        ioda_covered: false,
+        rerouted: true,
+        dark_2025: true,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 47598,
+        name: "Kherson Telecom",
+        total_24s: 3,
+        regional_24s: 2,
+        regional: true,
+        hq: Hq::City("Kherson", KH),
+        left_bank: false,
+        ioda_covered: false,
+        rerouted: true,
+        dark_2025: true,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 56446,
+        name: "OstrovNet",
+        total_24s: 2,
+        regional_24s: 2,
+        regional: true,
+        hq: Hq::City("Kherson", KH),
+        left_bank: false,
+        ioda_covered: false,
+        rerouted: true,
+        dark_2025: false,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 25256,
+        name: "M-Net",
+        total_24s: 1,
+        regional_24s: 1,
+        regional: true,
+        hq: Hq::City("Henichesk", KH),
+        left_bank: true,
+        ioda_covered: false,
+        rerouted: false,
+        dark_2025: true,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 34720,
+        name: "JSC-Chumak",
+        total_24s: 1,
+        regional_24s: 1,
+        regional: true,
+        hq: Hq::City("Kyiv", KY),
+        left_bank: false,
+        ioda_covered: false,
+        rerouted: false,
+        dark_2025: true,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 42469,
+        name: "Askad",
+        total_24s: 1,
+        regional_24s: 1,
+        regional: true,
+        hq: Hq::City("Skadovsk", KH),
+        left_bank: true,
+        ioda_covered: false,
+        rerouted: false,
+        dark_2025: true,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 44737,
+        name: "Next",
+        total_24s: 1,
+        regional_24s: 1,
+        regional: true,
+        hq: Hq::City("Kherson", KH),
+        left_bank: false,
+        ioda_covered: false,
+        rerouted: false,
+        dark_2025: true,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 59500,
+        name: "LineVPS",
+        total_24s: 1,
+        regional_24s: 1,
+        regional: true,
+        hq: Hq::City("Kherson", KH),
+        left_bank: false,
+        ioda_covered: false,
+        rerouted: false,
+        dark_2025: false,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 211171,
+        name: "Pluton",
+        total_24s: 1,
+        regional_24s: 1,
+        regional: true,
+        hq: Hq::City("Kherson", KH),
+        left_bank: false,
+        ioda_covered: false,
+        rerouted: true,
+        dark_2025: false,
+        late_arrival: false,
+    },
     // --- Non-regional (21) ---
-    KhersonAs { asn: 25229, name: "Volia", total_24s: 190, regional_24s: 160, regional: false, hq: Hq::City("Kyiv", KY), left_bank: false, ioda_covered: true, rerouted: false, dark_2025: false, late_arrival: false },
-    KhersonAs { asn: 15895, name: "Kyivstar", total_24s: 299, regional_24s: 52, regional: false, hq: Hq::City("Kyiv", KY), left_bank: false, ioda_covered: true, rerouted: false, dark_2025: false, late_arrival: false },
-    KhersonAs { asn: 6877, name: "Ukrtelecom", total_24s: 239, regional_24s: 49, regional: false, hq: Hq::City("Kyiv", KY), left_bank: false, ioda_covered: true, rerouted: false, dark_2025: false, late_arrival: false },
-    KhersonAs { asn: 6849, name: "Ukrtelecom", total_24s: 682, regional_24s: 31, regional: false, hq: Hq::City("Kyiv", KY), left_bank: false, ioda_covered: true, rerouted: false, dark_2025: false, late_arrival: false },
-    KhersonAs { asn: 6703, name: "Alkar-As (Vega)", total_24s: 29, regional_24s: 12, regional: false, hq: Hq::City("Kyiv", KY), left_bank: false, ioda_covered: true, rerouted: false, dark_2025: false, late_arrival: false },
-    KhersonAs { asn: 21151, name: "Ukrcom", total_24s: 18, regional_24s: 10, regional: false, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: true, dark_2025: false, late_arrival: false },
-    KhersonAs { asn: 6698, name: "Virtualsystems", total_24s: 16, regional_24s: 9, regional: false, hq: Hq::City("Kyiv", KY), left_bank: false, ioda_covered: true, rerouted: false, dark_2025: false, late_arrival: false },
-    KhersonAs { asn: 30823, name: "Aurologic", total_24s: 6, regional_24s: 6, regional: false, hq: Hq::Foreign("Langen (DE)"), left_bank: false, ioda_covered: true, rerouted: false, dark_2025: false, late_arrival: false },
-    KhersonAs { asn: 205172, name: "Yanina", total_24s: 6, regional_24s: 6, regional: false, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: false, dark_2025: true, late_arrival: false },
-    KhersonAs { asn: 39862, name: "Digicom", total_24s: 7, regional_24s: 4, regional: false, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: false, dark_2025: false, late_arrival: false },
-    KhersonAs { asn: 57498, name: "Smart-M", total_24s: 4, regional_24s: 3, regional: false, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: false, dark_2025: true, late_arrival: false },
-    KhersonAs { asn: 2914, name: "NTT", total_24s: 2, regional_24s: 2, regional: false, hq: Hq::Foreign("Redmond (US)"), left_bank: false, ioda_covered: true, rerouted: false, dark_2025: false, late_arrival: true },
-    KhersonAs { asn: 12883, name: "Vega", total_24s: 8, regional_24s: 2, regional: false, hq: Hq::City("Kyiv", KY), left_bank: false, ioda_covered: true, rerouted: false, dark_2025: false, late_arrival: false },
-    KhersonAs { asn: 25082, name: "Viner Telecom", total_24s: 12, regional_24s: 2, regional: false, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: true, dark_2025: false, late_arrival: false },
-    KhersonAs { asn: 35213, name: "CompNetUA", total_24s: 12, regional_24s: 2, regional: false, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: false, dark_2025: false, late_arrival: false },
-    KhersonAs { asn: 49168, name: "Brok-X", total_24s: 2, regional_24s: 2, regional: false, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: true, dark_2025: false, late_arrival: true },
-    KhersonAs { asn: 6846, name: "Infocom", total_24s: 7, regional_24s: 1, regional: false, hq: Hq::City("Kyiv", KY), left_bank: false, ioda_covered: true, rerouted: false, dark_2025: false, late_arrival: false },
-    KhersonAs { asn: 12687, name: "Uran Kiev", total_24s: 1, regional_24s: 1, regional: false, hq: Hq::City("Kyiv", KY), left_bank: false, ioda_covered: true, rerouted: false, dark_2025: false, late_arrival: false },
-    KhersonAs { asn: 45043, name: "Viner Telecom", total_24s: 4, regional_24s: 1, regional: false, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: false, dark_2025: false, late_arrival: false },
-    KhersonAs { asn: 197361, name: "LLC AIT", total_24s: 1, regional_24s: 1, regional: false, hq: Hq::City("Kherson", KH), left_bank: false, ioda_covered: false, rerouted: true, dark_2025: true, late_arrival: false },
-    KhersonAs { asn: 215654, name: "Genicheskonline", total_24s: 1, regional_24s: 1, regional: false, hq: Hq::City("Henichesk", KH), left_bank: true, ioda_covered: false, rerouted: false, dark_2025: false, late_arrival: true },
+    KhersonAs {
+        asn: 25229,
+        name: "Volia",
+        total_24s: 190,
+        regional_24s: 160,
+        regional: false,
+        hq: Hq::City("Kyiv", KY),
+        left_bank: false,
+        ioda_covered: true,
+        rerouted: false,
+        dark_2025: false,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 15895,
+        name: "Kyivstar",
+        total_24s: 299,
+        regional_24s: 52,
+        regional: false,
+        hq: Hq::City("Kyiv", KY),
+        left_bank: false,
+        ioda_covered: true,
+        rerouted: false,
+        dark_2025: false,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 6877,
+        name: "Ukrtelecom",
+        total_24s: 239,
+        regional_24s: 49,
+        regional: false,
+        hq: Hq::City("Kyiv", KY),
+        left_bank: false,
+        ioda_covered: true,
+        rerouted: false,
+        dark_2025: false,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 6849,
+        name: "Ukrtelecom",
+        total_24s: 682,
+        regional_24s: 31,
+        regional: false,
+        hq: Hq::City("Kyiv", KY),
+        left_bank: false,
+        ioda_covered: true,
+        rerouted: false,
+        dark_2025: false,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 6703,
+        name: "Alkar-As (Vega)",
+        total_24s: 29,
+        regional_24s: 12,
+        regional: false,
+        hq: Hq::City("Kyiv", KY),
+        left_bank: false,
+        ioda_covered: true,
+        rerouted: false,
+        dark_2025: false,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 21151,
+        name: "Ukrcom",
+        total_24s: 18,
+        regional_24s: 10,
+        regional: false,
+        hq: Hq::City("Kherson", KH),
+        left_bank: false,
+        ioda_covered: false,
+        rerouted: true,
+        dark_2025: false,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 6698,
+        name: "Virtualsystems",
+        total_24s: 16,
+        regional_24s: 9,
+        regional: false,
+        hq: Hq::City("Kyiv", KY),
+        left_bank: false,
+        ioda_covered: true,
+        rerouted: false,
+        dark_2025: false,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 30823,
+        name: "Aurologic",
+        total_24s: 6,
+        regional_24s: 6,
+        regional: false,
+        hq: Hq::Foreign("Langen (DE)"),
+        left_bank: false,
+        ioda_covered: true,
+        rerouted: false,
+        dark_2025: false,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 205172,
+        name: "Yanina",
+        total_24s: 6,
+        regional_24s: 6,
+        regional: false,
+        hq: Hq::City("Kherson", KH),
+        left_bank: false,
+        ioda_covered: false,
+        rerouted: false,
+        dark_2025: true,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 39862,
+        name: "Digicom",
+        total_24s: 7,
+        regional_24s: 4,
+        regional: false,
+        hq: Hq::City("Kherson", KH),
+        left_bank: false,
+        ioda_covered: false,
+        rerouted: false,
+        dark_2025: false,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 57498,
+        name: "Smart-M",
+        total_24s: 4,
+        regional_24s: 3,
+        regional: false,
+        hq: Hq::City("Kherson", KH),
+        left_bank: false,
+        ioda_covered: false,
+        rerouted: false,
+        dark_2025: true,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 2914,
+        name: "NTT",
+        total_24s: 2,
+        regional_24s: 2,
+        regional: false,
+        hq: Hq::Foreign("Redmond (US)"),
+        left_bank: false,
+        ioda_covered: true,
+        rerouted: false,
+        dark_2025: false,
+        late_arrival: true,
+    },
+    KhersonAs {
+        asn: 12883,
+        name: "Vega",
+        total_24s: 8,
+        regional_24s: 2,
+        regional: false,
+        hq: Hq::City("Kyiv", KY),
+        left_bank: false,
+        ioda_covered: true,
+        rerouted: false,
+        dark_2025: false,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 25082,
+        name: "Viner Telecom",
+        total_24s: 12,
+        regional_24s: 2,
+        regional: false,
+        hq: Hq::City("Kherson", KH),
+        left_bank: false,
+        ioda_covered: false,
+        rerouted: true,
+        dark_2025: false,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 35213,
+        name: "CompNetUA",
+        total_24s: 12,
+        regional_24s: 2,
+        regional: false,
+        hq: Hq::City("Kherson", KH),
+        left_bank: false,
+        ioda_covered: false,
+        rerouted: false,
+        dark_2025: false,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 49168,
+        name: "Brok-X",
+        total_24s: 2,
+        regional_24s: 2,
+        regional: false,
+        hq: Hq::City("Kherson", KH),
+        left_bank: false,
+        ioda_covered: false,
+        rerouted: true,
+        dark_2025: false,
+        late_arrival: true,
+    },
+    KhersonAs {
+        asn: 6846,
+        name: "Infocom",
+        total_24s: 7,
+        regional_24s: 1,
+        regional: false,
+        hq: Hq::City("Kyiv", KY),
+        left_bank: false,
+        ioda_covered: true,
+        rerouted: false,
+        dark_2025: false,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 12687,
+        name: "Uran Kiev",
+        total_24s: 1,
+        regional_24s: 1,
+        regional: false,
+        hq: Hq::City("Kyiv", KY),
+        left_bank: false,
+        ioda_covered: true,
+        rerouted: false,
+        dark_2025: false,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 45043,
+        name: "Viner Telecom",
+        total_24s: 4,
+        regional_24s: 1,
+        regional: false,
+        hq: Hq::City("Kherson", KH),
+        left_bank: false,
+        ioda_covered: false,
+        rerouted: false,
+        dark_2025: false,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 197361,
+        name: "LLC AIT",
+        total_24s: 1,
+        regional_24s: 1,
+        regional: false,
+        hq: Hq::City("Kherson", KH),
+        left_bank: false,
+        ioda_covered: false,
+        rerouted: true,
+        dark_2025: true,
+        late_arrival: false,
+    },
+    KhersonAs {
+        asn: 215654,
+        name: "Genicheskonline",
+        total_24s: 1,
+        regional_24s: 1,
+        regional: false,
+        hq: Hq::City("Henichesk", KH),
+        left_bank: true,
+        ioda_covered: false,
+        rerouted: false,
+        dark_2025: false,
+        late_arrival: true,
+    },
 ];
 
 /// The 24 ASes that lost BGP visibility in the April 30, 2022 Mykolaiv
@@ -182,7 +590,10 @@ mod tests {
     fn regional_counts_follow_paper() {
         let status = KHERSON_ROSTER.iter().find(|a| a.asn == 25482).unwrap();
         assert_eq!(status.total_24s, 4);
-        assert_eq!(status.regional_24s, 3, "one Status block is regional to Kyiv");
+        assert_eq!(
+            status.regional_24s, 3,
+            "one Status block is regional to Kyiv"
+        );
         let kyivstar = KHERSON_ROSTER.iter().find(|a| a.asn == 15895).unwrap();
         assert_eq!(kyivstar.regional_24s, 52);
         assert_eq!(kyivstar.total_24s, 299);
@@ -191,7 +602,11 @@ mod tests {
     #[test]
     fn cable_cut_hits_24_ases() {
         let victims = cable_cut_victims();
-        assert_eq!(victims.len(), 24, "paper: 24 ASes affected, got {victims:?}");
+        assert_eq!(
+            victims.len(),
+            24,
+            "paper: 24 ASes affected, got {victims:?}"
+        );
         assert!(victims.contains(&Asn(25482)));
         assert!(victims.contains(&Asn(211171))); // Pluton
         assert!(!victims.contains(&Asn(15895))); // Kyivstar has diverse paths

@@ -260,16 +260,16 @@ pub fn core_events(
     // Decommissions: seven Kherson regional providers cease operating
     // (falling subscriber bases, §4.3 / Table 5).
     for (asn, date) in [
-        (44737u32, d(2023, 2, 1)),  // Next
-        (57498, d(2023, 3, 1)),     // Smart-M (non-regional, also dark)
-        (42469, d(2023, 5, 1)),     // Askad
-        (34720, d(2023, 8, 1)),     // JSC-Chumak
-        (205172, d(2023, 8, 15)),   // Yanina
-        (25256, d(2023, 11, 1)),    // M-Net
-        (15458, d(2024, 3, 1)),     // TLC-K
-        (197361, d(2024, 5, 1)),    // LLC AIT
-        (56359, d(2024, 6, 1)),     // RostNet
-        (47598, d(2024, 9, 1)),     // Kherson Telecom
+        (44737u32, d(2023, 2, 1)), // Next
+        (57498, d(2023, 3, 1)),    // Smart-M (non-regional, also dark)
+        (42469, d(2023, 5, 1)),    // Askad
+        (34720, d(2023, 8, 1)),    // JSC-Chumak
+        (205172, d(2023, 8, 15)),  // Yanina
+        (25256, d(2023, 11, 1)),   // M-Net
+        (15458, d(2024, 3, 1)),    // TLC-K
+        (197361, d(2024, 5, 1)),   // LLC AIT
+        (56359, d(2024, 6, 1)),    // RostNet
+        (47598, d(2024, 9, 1)),    // Kherson Telecom
     ] {
         events.push(ev(
             "decommissioned",
@@ -494,16 +494,12 @@ mod tests {
         let events = core_events(&[], &[Asn(49465), Asn(25482)], &[Asn(49465)]);
         let rubin = events
             .iter()
-            .find(|e| {
-                e.name == "occupation rerouting" && e.target == EventTarget::As(Asn(49465))
-            })
+            .find(|e| e.name == "occupation rerouting" && e.target == EventTarget::As(Asn(49465)))
             .unwrap();
         assert!(rubin.end.is_none(), "left-bank reroute persists");
         let status = events
             .iter()
-            .find(|e| {
-                e.name == "occupation rerouting" && e.target == EventTarget::As(Asn(25482))
-            })
+            .find(|e| e.name == "occupation rerouting" && e.target == EventTarget::As(Asn(25482)))
             .unwrap();
         assert_eq!(status.end.unwrap().date(), d(2022, 11, 11));
     }

@@ -23,6 +23,7 @@
 use crate::events::{EntityId, OutageEvent};
 use crate::series::{MovingAverage, SignalKind};
 use crate::thresholds::Thresholds;
+use fbs_types::codec::{ByteReader, ByteWriter, Persist};
 use fbs_types::{Round, RoundQuality};
 use serde::{Deserialize, Serialize};
 
@@ -102,7 +103,12 @@ impl Detector {
 
     /// Creates a detector with the seven-day window of the paper.
     pub fn new(entity: EntityId, thresholds: Thresholds) -> Self {
-        Self::with_window(entity, thresholds, MovingAverage::SEVEN_DAYS, Self::DEFAULT_WARMUP)
+        Self::with_window(
+            entity,
+            thresholds,
+            MovingAverage::SEVEN_DAYS,
+            Self::DEFAULT_WARMUP,
+        )
     }
 
     /// Creates a detector with a custom window and warm-up (tests, sweeps).
@@ -213,10 +219,8 @@ impl Detector {
         // depressed below the guard factor (or IPS has no data).
         if let Some((fbs_below, _)) = below[SignalKind::Fbs.index()] {
             if fbs_below {
-                let ips_guard_ok = match (
-                    input.ips,
-                    self.tracks[SignalKind::Ips.index()].ma.mean(),
-                ) {
+                let ips_guard_ok = match (input.ips, self.tracks[SignalKind::Ips.index()].ma.mean())
+                {
                     // A guard factor of 1.0 (or more) disables the veto.
                     _ if self.thresholds.fbs_ips_guard >= 1.0 => true,
                     (Some(ips), Some(ips_mean)) if ips_mean > 0.0 => {
@@ -234,7 +238,11 @@ impl Detector {
         // Zero-BGP flag: routing nothing at all is always an outage.
         if self.thresholds.zero_bgp_flag {
             if let Some(bgp) = input.bgp {
-                if bgp == 0.0 && self.tracks[SignalKind::Bgp.index()].ma.warmed_up(self.warmup) {
+                if bgp == 0.0
+                    && self.tracks[SignalKind::Bgp.index()]
+                        .ma
+                        .warmed_up(self.warmup)
+                {
                     let entry = &mut below[SignalKind::Bgp.index()];
                     let ratio = entry.map(|(_, r)| r).unwrap_or(0.0);
                     *entry = Some((true, ratio.min(0.0)));
@@ -309,6 +317,54 @@ impl Detector {
     }
 }
 
+impl Persist for SignalTrack {
+    fn persist(&self, w: &mut ByteWriter) {
+        self.ma.persist(w);
+        w.put_bool(self.in_outage);
+        self.outage_start.persist(w);
+        w.put_f64(self.min_ratio);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> fbs_types::Result<Self> {
+        Ok(SignalTrack {
+            ma: MovingAverage::restore(r)?,
+            in_outage: r.get_bool()?,
+            outage_start: Round::restore(r)?,
+            min_ratio: r.get_f64()?,
+        })
+    }
+}
+
+impl Persist for Detector {
+    // Full mid-stream state: window contents, open-outage flags, and the
+    // events already closed. A restored detector continues producing the
+    // same observations and the same final event list as one that was
+    // never interrupted.
+    fn persist(&self, w: &mut ByteWriter) {
+        self.entity.persist(w);
+        self.thresholds.persist(w);
+        self.warmup.persist(w);
+        for track in &self.tracks {
+            track.persist(w);
+        }
+        self.events.persist(w);
+        self.last_round.persist(w);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> fbs_types::Result<Self> {
+        Ok(Detector {
+            entity: EntityId::restore(r)?,
+            thresholds: Thresholds::restore(r)?,
+            warmup: usize::restore(r)?,
+            tracks: [
+                SignalTrack::restore(r)?,
+                SignalTrack::restore(r)?,
+                SignalTrack::restore(r)?,
+            ],
+            events: Vec::<OutageEvent>::restore(r)?,
+            last_round: Round::restore(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,12 +372,7 @@ mod tests {
 
     fn detector() -> Detector {
         // Short window (12) and warmup (4) keep tests compact.
-        Detector::with_window(
-            EntityId::As(Asn(25482)),
-            Thresholds::as_level(),
-            12,
-            4,
-        )
+        Detector::with_window(EntityId::As(Asn(25482)), Thresholds::as_level(), 12, 4)
     }
 
     fn steady(d: &mut Detector, rounds: std::ops::Range<u32>, bgp: f64, fbs: f64, ips: f64) {
@@ -509,7 +560,9 @@ mod tests {
             );
         }
         let events = d.finish(Round(24));
-        assert!(events.iter().any(|e| e.signal == SignalKind::Bgp && e.end == Round(24)));
+        assert!(events
+            .iter()
+            .any(|e| e.signal == SignalKind::Bgp && e.end == Round(24)));
     }
 
     #[test]
@@ -655,6 +708,80 @@ mod tests {
             assert_eq!(sa, sb);
         }
         assert_eq!(a.finish(Round(30)), b.finish(Round(30)));
+    }
+
+    #[test]
+    fn persisted_detector_resumes_bit_identically() {
+        // Interrupt a detector mid-outage (open outage, partially warmed
+        // window, one closed event) and restore it: both copies must
+        // produce identical states for the remaining rounds and identical
+        // final event lists, min_ratio bits included.
+        let mut d = detector();
+        steady(&mut d, 0..20, 10.0, 10.0, 1000.0);
+        for r in 20..23 {
+            d.observe(
+                Round(r),
+                EntityRound {
+                    bgp: Some(10.0),
+                    fbs: Some(10.0),
+                    ips: Some(300.0),
+                },
+            );
+        }
+        steady(&mut d, 23..26, 10.0, 10.0, 1000.0);
+        // Interrupt inside a second, still-open outage.
+        for r in 26..28 {
+            d.observe(
+                Round(r),
+                EntityRound {
+                    bgp: Some(0.0),
+                    fbs: Some(1.0),
+                    ips: Some(50.0),
+                },
+            );
+        }
+
+        let mut w = fbs_types::ByteWriter::new();
+        d.persist(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = fbs_types::ByteReader::new(&bytes);
+        let mut restored = Detector::restore(&mut r).unwrap();
+        r.expect_exhausted().unwrap();
+
+        for round in 28..45 {
+            let input = EntityRound {
+                bgp: Some(10.0),
+                fbs: Some(10.0),
+                ips: Some(if round < 32 { 50.0 } else { 1000.0 }),
+            };
+            let sa = d.observe(Round(round), input);
+            let sb = restored.observe(Round(round), input);
+            assert_eq!(sa, sb, "round {round} diverged after restore");
+        }
+        let original = d.finish(Round(45));
+        let resumed = restored.finish(Round(45));
+        assert_eq!(original.len(), resumed.len());
+        for (a, b) in original.iter().zip(&resumed) {
+            assert_eq!(a.entity, b.entity);
+            assert_eq!(a.signal, b.signal);
+            assert_eq!((a.start, a.end), (b.start, b.end));
+            assert_eq!(a.min_ratio.to_bits(), b.min_ratio.to_bits());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_tampered_state() {
+        let d = detector();
+        let mut w = fbs_types::ByteWriter::new();
+        d.persist(&mut w);
+        let mut bytes = w.into_bytes();
+        // Corrupt the thresholds region: entity tag (1) + ASN (4) puts the
+        // first threshold f64 at offset 5; an all-ones pattern is NaN.
+        for b in bytes.iter_mut().skip(5).take(8) {
+            *b = 0xFF;
+        }
+        let mut r = fbs_types::ByteReader::new(&bytes);
+        assert!(Detector::restore(&mut r).is_err());
     }
 
     #[test]

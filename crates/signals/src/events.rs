@@ -1,7 +1,8 @@
 //! Outage events: periods, merging, hour accounting.
 
 use crate::series::SignalKind;
-use fbs_types::{Asn, BlockId, Oblast, Round};
+use fbs_types::codec::{ByteReader, ByteWriter, Persist};
+use fbs_types::{Asn, BlockId, FbsError, Oblast, Round};
 use serde::{Deserialize, Serialize};
 
 /// What an outage is attributed to.
@@ -64,6 +65,54 @@ impl OutageEvent {
     /// Whether two events overlap in time (entity/signal ignored).
     pub fn overlaps(&self, other: &OutageEvent) -> bool {
         self.start < other.end && other.start < self.end
+    }
+}
+
+impl Persist for EntityId {
+    fn persist(&self, w: &mut ByteWriter) {
+        match self {
+            EntityId::As(a) => {
+                w.put_u8(0);
+                a.persist(w);
+            }
+            EntityId::Region(o) => {
+                w.put_u8(1);
+                o.persist(w);
+            }
+            EntityId::Block(b) => {
+                w.put_u8(2);
+                b.persist(w);
+            }
+        }
+    }
+    fn restore(r: &mut ByteReader<'_>) -> fbs_types::Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(EntityId::As(Asn::restore(r)?)),
+            1 => Ok(EntityId::Region(Oblast::restore(r)?)),
+            2 => Ok(EntityId::Block(BlockId::restore(r)?)),
+            other => Err(FbsError::Io {
+                reason: format!("invalid entity tag {other:#x}"),
+            }),
+        }
+    }
+}
+
+impl Persist for OutageEvent {
+    fn persist(&self, w: &mut ByteWriter) {
+        self.entity.persist(w);
+        self.signal.persist(w);
+        self.start.persist(w);
+        self.end.persist(w);
+        w.put_f64(self.min_ratio);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> fbs_types::Result<Self> {
+        Ok(OutageEvent {
+            entity: EntityId::restore(r)?,
+            signal: SignalKind::restore(r)?,
+            start: Round::restore(r)?,
+            end: Round::restore(r)?,
+            min_ratio: r.get_f64()?,
+        })
     }
 }
 

@@ -73,7 +73,9 @@ impl AvailabilitySensor {
     pub fn new(n_blocks: usize, config: SensingConfig) -> Self {
         AvailabilitySensor {
             config,
-            blocks: (0..n_blocks).map(|_| MovingAverage::new(config.window)).collect(),
+            blocks: (0..n_blocks)
+                .map(|_| MovingAverage::new(config.window))
+                .collect(),
             total: MovingAverage::new(config.window),
         }
     }
@@ -106,9 +108,7 @@ impl AvailabilitySensor {
             false
         } else {
             match self.total.mean() {
-                Some(mean) if mean > 0.0 => {
-                    total as f64 >= self.config.total_stable * mean
-                }
+                Some(mean) if mean > 0.0 => total as f64 >= self.config.total_stable * mean,
                 _ => false,
             }
         };

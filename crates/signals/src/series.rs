@@ -1,6 +1,7 @@
 //! Signal time series and the seven-day moving average.
 
-use fbs_types::{Round, ROUNDS_PER_DAY};
+use fbs_types::codec::{ByteReader, ByteWriter, Persist};
+use fbs_types::{FbsError, Round, ROUNDS_PER_DAY};
 use serde::{Deserialize, Serialize};
 
 /// Which of the three availability signals a value belongs to.
@@ -164,6 +165,71 @@ impl MovingAverage {
         }
         // Periodic drift correction is unnecessary at these magnitudes:
         // counts are ≤ 1e7 and windows ≤ 84, well inside f64 exactness.
+    }
+}
+
+impl Persist for SignalKind {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_u8(self.index() as u8);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> fbs_types::Result<Self> {
+        let i = r.get_u8()? as usize;
+        SignalKind::ALL.get(i).copied().ok_or_else(|| FbsError::Io {
+            reason: format!("invalid signal kind index {i}"),
+        })
+    }
+}
+
+impl Persist for SignalSeries {
+    fn persist(&self, w: &mut ByteWriter) {
+        self.start.persist(w);
+        self.values.persist(w);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> fbs_types::Result<Self> {
+        Ok(SignalSeries {
+            start: Round::restore(r)?,
+            values: Vec::<Option<f64>>::restore(r)?,
+        })
+    }
+}
+
+impl Persist for MovingAverage {
+    // The running `sum` is persisted as raw bits rather than recomputed
+    // from the ring: recomputation would change the floating-point
+    // accumulation order and break bit-identical resume.
+    fn persist(&self, w: &mut ByteWriter) {
+        self.window.persist(w);
+        self.ring.persist(w);
+        self.head.persist(w);
+        self.measured.persist(w);
+        w.put_f64(self.sum);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> fbs_types::Result<Self> {
+        let window = usize::restore(r)?;
+        let ring = Vec::<Option<f64>>::restore(r)?;
+        let head = usize::restore(r)?;
+        let measured = usize::restore(r)?;
+        let sum = r.get_f64()?;
+        if window == 0 || ring.len() != window || head >= window {
+            return Err(FbsError::Io {
+                reason: format!(
+                    "inconsistent moving-average state: window {window}, ring {}, head {head}",
+                    ring.len()
+                ),
+            });
+        }
+        if measured != ring.iter().filter(|v| v.is_some()).count() {
+            return Err(FbsError::Io {
+                reason: "moving-average measured count disagrees with ring".to_string(),
+            });
+        }
+        Ok(MovingAverage {
+            window,
+            ring,
+            head,
+            measured,
+            sum,
+        })
     }
 }
 

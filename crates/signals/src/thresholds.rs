@@ -9,6 +9,7 @@
 //! | AS       | < 95%  | < 80% (if IPS < 95%)   | < 80%  |
 //! | Regional | < 95%  | < 95% (if IPS < 95%)   | < 90%  |
 
+use fbs_types::codec::{ByteReader, ByteWriter, Persist};
 use serde::{Deserialize, Serialize};
 
 /// Relative drop thresholds for the three signals.
@@ -104,6 +105,29 @@ impl Thresholds {
     }
 }
 
+impl Persist for Thresholds {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_f64(self.bgp);
+        w.put_f64(self.fbs);
+        w.put_f64(self.fbs_ips_guard);
+        w.put_f64(self.ips);
+        w.put_bool(self.zero_bgp_flag);
+        w.put_f64(self.degraded_damping);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> fbs_types::Result<Self> {
+        let t = Thresholds {
+            bgp: r.get_f64()?,
+            fbs: r.get_f64()?,
+            fbs_ips_guard: r.get_f64()?,
+            ips: r.get_f64()?,
+            zero_bgp_flag: r.get_bool()?,
+            degraded_damping: r.get_f64()?,
+        };
+        t.validate()?;
+        Ok(t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,9 +135,15 @@ mod tests {
     #[test]
     fn table2_values() {
         let a = Thresholds::as_level();
-        assert_eq!((a.bgp, a.fbs, a.fbs_ips_guard, a.ips), (0.95, 0.80, 0.95, 0.80));
+        assert_eq!(
+            (a.bgp, a.fbs, a.fbs_ips_guard, a.ips),
+            (0.95, 0.80, 0.95, 0.80)
+        );
         let r = Thresholds::regional();
-        assert_eq!((r.bgp, r.fbs, r.fbs_ips_guard, r.ips), (0.95, 0.95, 0.95, 0.90));
+        assert_eq!(
+            (r.bgp, r.fbs, r.fbs_ips_guard, r.ips),
+            (0.95, 0.95, 0.95, 0.90)
+        );
     }
 
     #[test]

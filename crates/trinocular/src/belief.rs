@@ -109,6 +109,17 @@ impl Default for BlockBelief {
     }
 }
 
+impl fbs_types::Persist for BlockBelief {
+    fn persist(&self, w: &mut fbs_types::ByteWriter) {
+        w.put_f64(self.belief_up);
+    }
+    fn restore(r: &mut fbs_types::ByteReader<'_>) -> fbs_types::Result<Self> {
+        Ok(BlockBelief {
+            belief_up: r.get_f64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,7 +173,12 @@ mod tests {
         for _ in 0..15 {
             b.update(false, 0.05, &CFG);
         }
-        assert_eq!(b.state(&CFG), BlockState::Uncertain, "belief {}", b.belief_up);
+        assert_eq!(
+            b.state(&CFG),
+            BlockState::Uncertain,
+            "belief {}",
+            b.belief_up
+        );
     }
 
     #[test]
@@ -182,7 +198,10 @@ mod tests {
     #[test]
     fn state_thresholds() {
         assert_eq!(BlockBelief { belief_up: 0.95 }.state(&CFG), BlockState::Up);
-        assert_eq!(BlockBelief { belief_up: 0.05 }.state(&CFG), BlockState::Down);
+        assert_eq!(
+            BlockBelief { belief_up: 0.05 }.state(&CFG),
+            BlockState::Down
+        );
         assert_eq!(
             BlockBelief { belief_up: 0.5 }.state(&CFG),
             BlockState::Uncertain

@@ -16,6 +16,7 @@
 //! drop threshold on both signals.
 
 use fbs_signals::{Detector, EntityId, EntityRound, OutageEvent, Thresholds};
+use fbs_types::codec::{ByteReader, ByteWriter, Persist};
 use fbs_types::{Asn, Oblast, Round};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -152,6 +153,51 @@ impl IodaPlatform {
             report.as_events.insert(asn, events);
         }
         report
+    }
+}
+
+impl Persist for AsTrack {
+    fn persist(&self, w: &mut ByteWriter) {
+        self.detector.persist(w);
+        self.total_blocks.persist(w);
+        self.oblasts.persist(w);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> fbs_types::Result<Self> {
+        Ok(AsTrack {
+            detector: Detector::restore(r)?,
+            total_blocks: usize::restore(r)?,
+            oblasts: Vec::<Oblast>::restore(r)?,
+        })
+    }
+}
+
+impl Persist for IodaConfig {
+    fn persist(&self, w: &mut ByteWriter) {
+        self.min_blocks.persist(w);
+        w.put_f64(self.drop_factor);
+        self.window.persist(w);
+        self.warmup.persist(w);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> fbs_types::Result<Self> {
+        Ok(IodaConfig {
+            min_blocks: usize::restore(r)?,
+            drop_factor: r.get_f64()?,
+            window: usize::restore(r)?,
+            warmup: usize::restore(r)?,
+        })
+    }
+}
+
+impl Persist for IodaPlatform {
+    fn persist(&self, w: &mut ByteWriter) {
+        self.config.persist(w);
+        self.ases.persist(w);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> fbs_types::Result<Self> {
+        Ok(IodaPlatform {
+            config: IodaConfig::restore(r)?,
+            ases: BTreeMap::<Asn, AsTrack>::restore(r)?,
+        })
     }
 }
 

@@ -105,7 +105,10 @@ mod tests {
         let cfg = TrinocularConfig::default();
         let round = assess_block(BlockBelief::new(), 0.5, &cfg, |_| true);
         assert_eq!(round.state, BlockState::Up);
-        assert_eq!(round.probes_sent, 1, "first reply should settle an up block");
+        assert_eq!(
+            round.probes_sent, 1,
+            "first reply should settle an up block"
+        );
         assert_eq!(round.replies, 1);
     }
 

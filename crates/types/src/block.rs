@@ -98,13 +98,20 @@ impl Prefix {
     pub fn new(addr: Ipv4Addr, len: u8) -> Self {
         assert!(len <= 32, "prefix length {len} > 32");
         let raw = u32::from(addr);
-        let net = if len == 0 { 0 } else { raw & (u32::MAX << (32 - len)) };
+        let net = if len == 0 {
+            0
+        } else {
+            raw & (u32::MAX << (32 - len))
+        };
         Prefix { net, len }
     }
 
     /// The /24 block `b` as a prefix.
     pub fn from_block(b: BlockId) -> Self {
-        Prefix { net: b.0 << 8, len: 24 }
+        Prefix {
+            net: b.0 << 8,
+            len: 24,
+        }
     }
 
     /// Network address.

@@ -42,6 +42,29 @@ pub enum FbsError {
         /// Description of the failure.
         reason: String,
     },
+    /// A round journal was damaged beyond its recoverable prefix.
+    ///
+    /// Tail corruption (a torn append, a truncated file) is handled
+    /// silently by truncating to the last CRC-valid record; this variant
+    /// covers damage that recovery cannot paper over, such as a record
+    /// stream inconsistent with the snapshot it should extend. Carries how
+    /// many records were recovered before the failure so callers can report
+    /// exactly where the durable history ends.
+    CorruptJournal {
+        /// Description of the damage.
+        reason: String,
+        /// Number of records successfully recovered before the failure.
+        recovered_records: u64,
+    },
+    /// A snapshot file failed its header or checksum validation.
+    ///
+    /// Snapshots are written atomically, so a corrupt one indicates storage
+    /// damage rather than a crash mid-write; callers quarantine the file and
+    /// fall back to replaying the journal from the start.
+    CorruptSnapshot {
+        /// Description of the damage.
+        reason: String,
+    },
 }
 
 impl FbsError {
@@ -69,16 +92,41 @@ impl FbsError {
     pub fn not_found(what: impl Into<String>) -> Self {
         FbsError::NotFound { what: what.into() }
     }
+
+    /// Builds a [`FbsError::CorruptJournal`].
+    pub fn corrupt_journal(reason: impl Into<String>, recovered_records: u64) -> Self {
+        FbsError::CorruptJournal {
+            reason: reason.into(),
+            recovered_records,
+        }
+    }
+
+    /// Builds a [`FbsError::CorruptSnapshot`].
+    pub fn corrupt_snapshot(reason: impl Into<String>) -> Self {
+        FbsError::CorruptSnapshot {
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for FbsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FbsError::Parse { reason, input } => write!(f, "parse error: {reason} (input: {input:?})"),
+            FbsError::Parse { reason, input } => {
+                write!(f, "parse error: {reason} (input: {input:?})")
+            }
             FbsError::TimeOutOfRange { reason } => write!(f, "time out of range: {reason}"),
             FbsError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             FbsError::NotFound { what } => write!(f, "not found: {what}"),
             FbsError::Io { reason } => write!(f, "i/o error: {reason}"),
+            FbsError::CorruptJournal {
+                reason,
+                recovered_records,
+            } => write!(
+                f,
+                "corrupt journal: {reason} ({recovered_records} records recovered)"
+            ),
+            FbsError::CorruptSnapshot { reason } => write!(f, "corrupt snapshot: {reason}"),
         }
     }
 }
@@ -116,6 +164,15 @@ mod tests {
         assert!(err.to_string().contains("threshold"));
         let err = FbsError::not_found("AS25482");
         assert!(err.to_string().contains("AS25482"));
+    }
+
+    #[test]
+    fn corruption_errors_carry_recovery_context() {
+        let err = FbsError::corrupt_journal("crc mismatch at offset 4096", 17);
+        assert!(err.to_string().contains("17 records recovered"));
+        assert!(err.to_string().contains("crc mismatch"));
+        let err = FbsError::corrupt_snapshot("bad magic");
+        assert!(err.to_string().contains("bad magic"));
     }
 
     #[test]

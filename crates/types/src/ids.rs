@@ -47,7 +47,10 @@ impl std::str::FromStr for Asn {
 
     /// Parses `"AS25482"` or plain `"25482"`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let digits = s.strip_prefix("AS").or_else(|| s.strip_prefix("as")).unwrap_or(s);
+        let digits = s
+            .strip_prefix("AS")
+            .or_else(|| s.strip_prefix("as"))
+            .unwrap_or(s);
         digits
             .parse::<u32>()
             .map(Asn)

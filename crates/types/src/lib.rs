@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod codec;
 pub mod error;
 pub mod ids;
 pub mod quality;
@@ -27,6 +28,7 @@ pub mod region;
 pub mod time;
 
 pub use block::{BlockId, Prefix};
+pub use codec::{ByteReader, ByteWriter, Persist};
 pub use error::{FbsError, Result};
 pub use ids::Asn;
 pub use quality::RoundQuality;

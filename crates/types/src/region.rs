@@ -241,8 +241,14 @@ mod tests {
 
     #[test]
     fn name_parsing_is_tolerant() {
-        assert_eq!(Oblast::parse_name("Ivano-Frankivsk"), Some(Oblast::IvanoFrankivsk));
-        assert_eq!(Oblast::parse_name("ivano frankivsk"), Some(Oblast::IvanoFrankivsk));
+        assert_eq!(
+            Oblast::parse_name("Ivano-Frankivsk"),
+            Some(Oblast::IvanoFrankivsk)
+        );
+        assert_eq!(
+            Oblast::parse_name("ivano frankivsk"),
+            Some(Oblast::IvanoFrankivsk)
+        );
         assert_eq!(Oblast::parse_name("KHERSON"), Some(Oblast::Kherson));
         assert_eq!(Oblast::parse_name("Atlantis"), None);
     }

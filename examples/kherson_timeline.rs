@@ -32,8 +32,12 @@ fn main() {
     let mut affected = Vec::new();
     for entry in &scenarios::KHERSON_ROSTER {
         if let Some(events) = report.as_events.get(&entry.asn()) {
-            let hit = window_events(events, CivilDate::new(2022, 4, 30), CivilDate::new(2022, 5, 4))
-                .any(|e| e.signal == SignalKind::Bgp);
+            let hit = window_events(
+                events,
+                CivilDate::new(2022, 4, 30),
+                CivilDate::new(2022, 5, 4),
+            )
+            .any(|e| e.signal == SignalKind::Bgp);
             if hit {
                 affected.push(entry.name);
             }
@@ -48,7 +52,11 @@ fn main() {
 
     println!("== May 13, 2022: Russian troops search the Status offices ==");
     let status = &report.as_events[&Asn(25482)];
-    for e in window_events(status, CivilDate::new(2022, 5, 13), CivilDate::new(2022, 5, 14)) {
+    for e in window_events(
+        status,
+        CivilDate::new(2022, 5, 13),
+        CivilDate::new(2022, 5, 14),
+    ) {
         println!(
             "  {} outage {} .. {} (deepest ratio {:.2})",
             e.signal.glyph(),

@@ -53,10 +53,9 @@ fn main() {
     println!("date         power_h  internet_h");
     let mut d = from;
     for i in 0..net_rear.len() {
-        if (pow_rear[i] > 0.0 || net_rear[i] > 0.0)
-            && i % 3 == 0 {
-                println!("{d}   {:7.0}  {:9.0}", pow_rear[i], net_rear[i]);
-            }
+        if (pow_rear[i] > 0.0 || net_rear[i] > 0.0) && i % 3 == 0 {
+            println!("{d}   {:7.0}  {:9.0}", pow_rear[i], net_rear[i]);
+        }
         d = d.plus_days(1);
     }
 

@@ -137,7 +137,9 @@ fn build_scenario(args: &Args) -> scenarios::Scenario {
 }
 
 fn build_world(args: &Args) -> ukraine_fbs::netsim::World {
-    build_scenario(args).into_world().expect("scenario is valid")
+    build_scenario(args)
+        .into_world()
+        .expect("scenario is valid")
 }
 
 fn cmd_scan(args: &Args) {
@@ -157,8 +159,10 @@ fn cmd_scan(args: &Args) {
     let mut transport = WorldTransport::new(&world, round);
     let started = std::time::Instant::now();
     let (obs, stats) = scanner.scan_round(round, &targets, &mut transport);
-    println!("sent {} probes, {} valid replies ({} invalid, {} parse errors)",
-        stats.sent, stats.valid, stats.invalid, stats.parse_errors);
+    println!(
+        "sent {} probes, {} valid replies ({} invalid, {} parse errors)",
+        stats.sent, stats.valid, stats.invalid, stats.parse_errors
+    );
     println!(
         "{} responsive addresses in {} active blocks ({:.1}% of blocks)",
         obs.total_responsive(),
@@ -190,7 +194,12 @@ fn cmd_campaign(args: &Args) {
     );
     let mut hours: Vec<(Oblast, f64)> = ukraine_fbs::types::ALL_OBLASTS
         .iter()
-        .map(|o| (*o, ukraine_fbs::signals::outage_hours(report.region_events_of(*o))))
+        .map(|o| {
+            (
+                *o,
+                ukraine_fbs::signals::outage_hours(report.region_events_of(*o)),
+            )
+        })
         .collect();
     hours.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite hours"));
     println!("\nhardest-hit oblasts (regional outage hours):");
@@ -224,8 +233,11 @@ fn cmd_classify(args: &Args) {
                 return;
             };
             println!("{oblast}:");
-            for class in [Regionality::Regional, Regionality::NonRegional, Regionality::Temporal]
-            {
+            for class in [
+                Regionality::Regional,
+                Regionality::NonRegional,
+                Regionality::Temporal,
+            ] {
                 let ases = rc.ases_with(class);
                 println!("  {class:?}: {} ASes", ases.len());
                 for asn in ases.iter().take(20) {
@@ -237,7 +249,9 @@ fn cmd_classify(args: &Args) {
         None => {
             println!("oblast            regional  non-regional  temporal  reg. blocks");
             for o in ukraine_fbs::types::ALL_OBLASTS {
-                let Some(rc) = outcome.regions.get(&o) else { continue };
+                let Some(rc) = outcome.regions.get(&o) else {
+                    continue;
+                };
                 println!(
                     "{:16}  {:8}  {:12}  {:8}  {}",
                     o.name(),
@@ -273,7 +287,10 @@ fn cmd_timeline(args: &Args) {
         println!("{} .. {end}  {}", e.start, e.name);
         shown += 1;
     }
-    println!("\n{shown} events shown ({} total in the script)", scenario.script.events().len());
+    println!(
+        "\n{shown} events shown ({} total in the script)",
+        scenario.script.events().len()
+    );
 }
 
 fn main() -> ExitCode {
@@ -285,7 +302,11 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}\n");
             }
             eprint!("{USAGE}");
-            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+            return if msg.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
         }
     };
     match args.command.as_str() {

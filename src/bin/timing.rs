@@ -1,30 +1,62 @@
-use std::time::Instant;
 use fbs_analysis::signal_shares;
+use std::time::Instant;
 fn main() {
     let t0 = Instant::now();
     let scenario = fbs_scenarios::ukraine(fbs_netsim::WorldScale::Small, 42);
     let world = scenario.into_world().unwrap();
-    println!("world build: {:?} ({} blocks, {} ases)", t0.elapsed(), world.blocks().len(), world.config().ases.len());
+    println!(
+        "world build: {:?} ({} blocks, {} ases)",
+        t0.elapsed(),
+        world.blocks().len(),
+        world.config().ases.len()
+    );
     let t1 = Instant::now();
-    let campaign = fbs_core::Campaign::new(world, fbs_core::CampaignConfig::default())
-        .expect("valid config");
+    let campaign =
+        fbs_core::Campaign::new(world, fbs_core::CampaignConfig::default()).expect("valid config");
     let report = campaign.run().expect("campaign run");
     println!("campaign run: {:?}", t1.elapsed());
     let all = report.all_as_events();
-    println!("AS outages: {} [bgp,fbs,ips]={:?}", all.len(), signal_shares(&all));
+    println!(
+        "AS outages: {} [bgp,fbs,ips]={:?}",
+        all.len(),
+        signal_shares(&all)
+    );
     // histogram of event durations
-    let mut short=0; let mut med=0; let mut long=0;
-    for e in &all { let h = e.hours(); if h <= 4.0 {short+=1} else if h <= 48.0 {med+=1} else {long+=1} }
+    let mut short = 0;
+    let mut med = 0;
+    let mut long = 0;
+    for e in &all {
+        let h = e.hours();
+        if h <= 4.0 {
+            short += 1
+        } else if h <= 48.0 {
+            med += 1
+        } else {
+            long += 1
+        }
+    }
     println!("durations: <=4h {short}, <=48h {med}, >48h {long}");
     // top-5 ASes by events
-    let mut v: Vec<(usize, fbs_types::Asn)> = report.as_events.iter().map(|(a,e)|(e.len(),*a)).collect();
-    v.sort(); v.reverse();
-    for (n, a) in v.iter().take(5) { println!("  {a}: {n} events"); }
+    let mut v: Vec<(usize, fbs_types::Asn)> = report
+        .as_events
+        .iter()
+        .map(|(a, e)| (e.len(), *a))
+        .collect();
+    v.sort();
+    v.reverse();
+    for (n, a) in v.iter().take(5) {
+        println!("  {a}: {n} events");
+    }
     // frontline vs non-frontline event counts
-    let mut fl=0.0; let mut nfl=0.0;
+    let mut fl = 0.0;
+    let mut nfl = 0.0;
     for (o, ev) in &report.region_events {
         let h = fbs_signals::outage_hours(ev);
-        if o.is_frontline() { fl += h } else { nfl += h }
+        if o.is_frontline() {
+            fl += h
+        } else {
+            nfl += h
+        }
     }
     println!("region outage hours: frontline {fl:.0}, non-frontline {nfl:.0}");
 }

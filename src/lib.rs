@@ -48,6 +48,9 @@ pub use fbs_delegations as delegations;
 /// Outage signals, thresholds and the moving-average detector.
 pub use fbs_signals as signals;
 
+/// Write-ahead round journal and atomic snapshots for crash-safe campaigns.
+pub use fbs_journal as journal;
+
 /// Regionality classification of ASes and /24 blocks.
 pub use fbs_regional as regional;
 

@@ -27,8 +27,14 @@ fn cable_cut_detected_as_multi_signal_outage() {
         .filter(|e| e.contains(cut))
         .map(|e| e.signal)
         .collect();
-    assert!(signals.contains(&SignalKind::Bgp), "BGP outage: {signals:?}");
-    assert!(signals.contains(&SignalKind::Ips), "IPS outage: {signals:?}");
+    assert!(
+        signals.contains(&SignalKind::Bgp),
+        "BGP outage: {signals:?}"
+    );
+    assert!(
+        signals.contains(&SignalKind::Ips),
+        "IPS outage: {signals:?}"
+    );
 }
 
 #[test]
@@ -113,7 +119,12 @@ fn ioda_baseline_misses_small_providers() {
     let covered = scenarios::KHERSON_ROSTER
         .iter()
         .filter(|a| a.regional)
-        .filter(|a| r.as_events.get(&a.asn()).map(|v| !v.is_empty()).unwrap_or(false))
+        .filter(|a| {
+            r.as_events
+                .get(&a.asn())
+                .map(|v| !v.is_empty())
+                .unwrap_or(false)
+        })
         .count();
     assert!(covered >= 8, "only {covered} regional ASes have events");
 }
@@ -122,11 +133,15 @@ fn ioda_baseline_misses_small_providers() {
 fn missing_rounds_cover_documented_vantage_windows() {
     let r = report();
     for (start, end) in scenarios::timeline::vantage_outages() {
-        let Some(s) = Round::containing(start) else { continue };
+        let Some(s) = Round::containing(start) else {
+            continue;
+        };
         if s.0 >= r.rounds {
             continue;
         }
-        let e = Round::containing(end).map(|x| x.0.min(r.rounds)).unwrap_or(r.rounds);
+        let e = Round::containing(end)
+            .map(|x| x.0.min(r.rounds))
+            .unwrap_or(r.rounds);
         for probe in [s.0, (s.0 + e) / 2] {
             assert!(
                 r.missing_rounds.contains(&Round(probe)),
@@ -191,7 +206,11 @@ fn report_accessors_are_consistent() {
 fn paper_scale_campaign_smokes() {
     let scenario = scenarios::ukraine_with_rounds(WorldScale::Paper, 42, 60 * 12);
     let world = scenario.into_world().expect("paper-scale scenario builds");
-    assert!(world.blocks().len() > 20_000, "blocks {}", world.blocks().len());
+    assert!(
+        world.blocks().len() > 20_000,
+        "blocks {}",
+        world.blocks().len()
+    );
     assert!(world.config().ases.len() > 2_000);
     let mut cfg = CampaignConfig::without_baseline();
     cfg.tracked.clear();

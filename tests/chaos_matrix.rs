@@ -162,7 +162,10 @@ fn injected_loss_causes_no_false_outages() {
     }
     assert_eq!(noisy.unusable_rounds(), 0);
     assert_eq!(noisy.quality_of(Round(0)), RoundQuality::Ok);
-    assert_eq!(noisy.quality_of(Round(FAULT_WINDOW.start)), RoundQuality::Degraded);
+    assert_eq!(
+        noisy.quality_of(Round(FAULT_WINDOW.start)),
+        RoundQuality::Degraded
+    );
 }
 
 #[test]
@@ -178,9 +181,9 @@ fn scripted_outage_survives_the_chaos() {
         .get(&Asn(100))
         .expect("the outage must still be detected under 20% loss");
     assert!(!events.is_empty());
-    let hit = events.iter().any(|e| {
-        e.start.0 < outage_rounds.end + 12 && e.end.0 + 12 > outage_rounds.start
-    });
+    let hit = events
+        .iter()
+        .any(|e| e.start.0 < outage_rounds.end + 12 && e.end.0 + 12 > outage_rounds.start);
     assert!(
         hit,
         "no detected event overlaps the scripted outage: {events:?}"
@@ -248,7 +251,9 @@ fn wire_path_faults_only_remove_responders() {
     assert!(stats_a.is_conserved(), "{stats_a:?}");
     assert!(fstats_a.replies_dropped > 0, "the window must be active");
     for (i, block) in obs_a.blocks.iter().enumerate() {
-        let kept = block.responders.intersection(&clean_obs.blocks[i].responders);
+        let kept = block
+            .responders
+            .intersection(&clean_obs.blocks[i].responders);
         assert_eq!(kept.count(), block.responders.count(), "phantom responders");
     }
     assert!(obs_a.total_responsive() < clean_obs.total_responsive());

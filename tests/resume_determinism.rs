@@ -1,0 +1,281 @@
+//! Crash/resume determinism of checkpointed campaigns.
+//!
+//! The contract under test, from the crash-safety work: a campaign killed
+//! at *any* round boundary and resumed from its checkpoint directory must
+//! produce a report **bit-identical** to an uninterrupted run — including
+//! under the chaos-matrix fault plan, whose injected loss exercises the
+//! fault-RNG recomputation path during journal replay. Damage to the
+//! checkpoint files must degrade recovery, never correctness: a corrupt
+//! journal tail is truncated and the lost rounds rescanned, a corrupt
+//! snapshot is quarantined and the journal replayed from round zero.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use ukraine_fbs::core::checkpoint::{JOURNAL_FILE, SNAPSHOT_FILE};
+use ukraine_fbs::core::CheckpointPolicy;
+use ukraine_fbs::netsim::{
+    AsProfile, AsSpec, BlockSpec, EventKind, EventTarget, FaultIntensity, FaultPlan, FaultWindow,
+    Script, ScriptedEvent, World, WorldConfig, WorldScale,
+};
+use ukraine_fbs::prelude::*;
+use ukraine_fbs::types::{Oblast, Prefix};
+
+const ROUNDS: u32 = 600; // 50 days at 12 rounds/day
+
+/// The quiet one-AS world of the chaos matrix: the only sources of events
+/// are scripted outages and injected faults.
+fn world(seed: u64, events: Vec<ScriptedEvent>) -> World {
+    let asn = Asn(100);
+    let blocks: Vec<BlockSpec> = (0..8u8)
+        .map(|c| BlockSpec {
+            block: BlockId::from_octets(10, 0, c),
+            owner: asn,
+            home: Oblast::Kherson,
+            base_responders: 120,
+            geo_population: 220,
+            response_prob: 0.9,
+            diurnal: false,
+            power_backup: 1.0,
+            annual_decay: 1.0,
+        })
+        .collect();
+    let config = WorldConfig {
+        seed,
+        scale: WorldScale::Tiny,
+        rounds: ROUNDS,
+        ases: vec![AsSpec {
+            asn,
+            name: "resume-test".into(),
+            profile: AsProfile::Regional,
+            hq: Some(Oblast::Kherson),
+            prefixes: blocks.iter().map(|b| Prefix::from_block(b.block)).collect(),
+            base_rtt_ns: 40_000_000,
+            upstream: Asn(1),
+        }],
+        blocks,
+    };
+    let mut script = Script::new();
+    for e in events {
+        script.push(e);
+    }
+    World::new(config, script, vec![]).expect("valid config")
+}
+
+/// The chaos-matrix fault mix: 20% reply loss plus duplication and
+/// reordering over rounds 100..500.
+fn chaos_plan() -> FaultPlan {
+    FaultPlan {
+        baseline: FaultIntensity::default(),
+        windows: vec![FaultWindow::over_rounds(
+            "chaos-matrix",
+            100..500,
+            FaultIntensity {
+                reply_loss: 0.20,
+                duplicate: 0.15,
+                reorder: 0.20,
+                reorder_jitter_ns: 5_000_000,
+                ..FaultIntensity::default()
+            },
+        )],
+    }
+}
+
+fn chaos_campaign() -> Campaign {
+    let outage = ScriptedEvent {
+        name: "scripted-outage".into(),
+        target: EventTarget::As(Asn(100)),
+        kind: EventKind::BgpOutage,
+        start: Round(360).start(),
+        end: Some(Round(396).start()),
+    };
+    let mut cfg = CampaignConfig::without_baseline();
+    cfg.tracked.clear();
+    cfg.rtt_tracked.clear();
+    cfg.fault_plan = Some(chaos_plan());
+    Campaign::new(world(11, vec![outage]), cfg).expect("valid config")
+}
+
+/// A unique scratch checkpoint directory per call (tests run in parallel).
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("fbs-resume-{tag}-{}-{n}", std::process::id()))
+}
+
+/// Snapshot weekly, skip per-round fsync: the tests simulate the kill by
+/// abandoning the runner, so durability-vs-throughput is not under test.
+fn policy() -> CheckpointPolicy {
+    CheckpointPolicy {
+        snapshot_every: 84,
+        fsync: false,
+    }
+}
+
+/// Runs a checkpointed campaign for exactly `kill_at` rounds, then drops
+/// the runner without finishing — the crash.
+fn run_and_kill(campaign: &Campaign, dir: &std::path::Path, kill_at: u32) {
+    let mut runner = campaign
+        .runner_checkpointed(dir, policy())
+        .expect("checkpoint dir");
+    for _ in 0..kill_at {
+        assert!(runner.step_round().expect("step"), "killed past the end");
+    }
+    assert_eq!(runner.completed_rounds(), kill_at);
+}
+
+/// Flips one bit at `offset` bytes from the end of `path`.
+fn flip_bit_near_end(path: &std::path::Path, offset_from_end: u64) {
+    use std::io::{Read, Seek, SeekFrom, Write};
+    let mut f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)
+        .expect("open for corruption");
+    let len = f.metadata().unwrap().len();
+    let pos = len.checked_sub(offset_from_end).expect("file long enough");
+    f.seek(SeekFrom::Start(pos)).unwrap();
+    let mut byte = [0u8];
+    f.read_exact(&mut byte).unwrap();
+    byte[0] ^= 0x40;
+    f.seek(SeekFrom::Start(pos)).unwrap();
+    f.write_all(&byte).unwrap();
+}
+
+#[test]
+fn resume_determinism() {
+    let campaign = chaos_campaign();
+    let baseline = format!("{:?}", campaign.run().expect("uninterrupted run"));
+
+    // Kill before the first snapshot (journal-only resume), mid-campaign
+    // (snapshot at 168 + 82 rounds of replay), and one round short of the
+    // end (everything replayed or restored, a single live round left).
+    for kill_at in [47u32, 250, 599] {
+        let dir = fresh_dir("kill");
+        run_and_kill(&campaign, &dir, kill_at);
+
+        let (resumed, diag) = campaign
+            .resume_with(&dir, policy())
+            .expect("resume after kill");
+        assert_eq!(
+            format!("{resumed:?}"),
+            baseline,
+            "resumed report diverges after kill at round {kill_at}"
+        );
+
+        // The journal was intact, so recovery was clean and replay covered
+        // exactly the rounds past the last snapshot.
+        assert!(diag.journal.was_clean(), "kill at {kill_at}: {diag:?}");
+        assert_eq!(diag.journal.records, kill_at as u64);
+        let snapshot_rounds = kill_at - kill_at % 84;
+        assert_eq!(diag.snapshot_loaded, snapshot_rounds > 0);
+        assert_eq!(diag.replayed_rounds, kill_at - snapshot_rounds);
+        assert_eq!(diag.healed_rounds, 0);
+        assert!(diag.snapshot_quarantined.is_none());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn resume_of_a_finished_campaign_just_reassembles_the_report() {
+    let campaign = chaos_campaign();
+    let dir = fresh_dir("finished");
+    let direct = campaign
+        .run_checkpointed(&dir, policy())
+        .expect("checkpointed run");
+    let (resumed, diag) = campaign.resume_with(&dir, policy()).expect("resume");
+    assert_eq!(format!("{resumed:?}"), format!("{direct:?}"));
+    assert_eq!(diag.journal.records, ROUNDS as u64);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_journal_tail_is_truncated_and_rescanned() {
+    let campaign = chaos_campaign();
+    let baseline = format!("{:?}", campaign.run().expect("uninterrupted run"));
+
+    let dir = fresh_dir("tail");
+    run_and_kill(&campaign, &dir, 300);
+    // Damage the last journal record (a torn or bit-rotted tail). The last
+    // snapshot is at round 252, so the valid prefix still covers it.
+    flip_bit_near_end(&dir.join(JOURNAL_FILE), 3);
+
+    let (resumed, diag) = campaign
+        .resume_with(&dir, policy())
+        .expect("resume over corrupt tail");
+    assert_eq!(
+        format!("{resumed:?}"),
+        baseline,
+        "corrupt journal tail changed the report"
+    );
+    assert!(!diag.journal.was_clean(), "{diag:?}");
+    assert!(diag.journal.dropped_bytes > 0);
+    assert_eq!(diag.journal.records, 299, "exactly the damaged record lost");
+    assert!(diag.snapshot_loaded);
+    assert_eq!(diag.replayed_rounds, 299 - 252);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_snapshot_is_quarantined_and_journal_replays_from_zero() {
+    let campaign = chaos_campaign();
+    let baseline = format!("{:?}", campaign.run().expect("uninterrupted run"));
+
+    let dir = fresh_dir("snap");
+    run_and_kill(&campaign, &dir, 300);
+    // Damage the snapshot payload: its CRC check must fail on open.
+    flip_bit_near_end(&dir.join(SNAPSHOT_FILE), 5);
+
+    let (resumed, diag) = campaign
+        .resume_with(&dir, policy())
+        .expect("resume over corrupt snapshot");
+    assert_eq!(
+        format!("{resumed:?}"),
+        baseline,
+        "corrupt snapshot changed the report"
+    );
+    // The snapshot was moved aside, not deleted, and the full journal
+    // rebuilt the state from round zero.
+    let quarantined = diag
+        .snapshot_quarantined
+        .as_ref()
+        .expect("snapshot quarantined");
+    assert!(quarantined.exists(), "quarantine file kept for inspection");
+    assert!(!diag.snapshot_loaded);
+    assert!(diag.journal.was_clean());
+    assert_eq!(diag.replayed_rounds, 300, "journal replayed from round 0");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn journal_behind_snapshot_is_healed_by_rescanning() {
+    let campaign = chaos_campaign();
+    let baseline = format!("{:?}", campaign.run().expect("uninterrupted run"));
+
+    let dir = fresh_dir("heal");
+    run_and_kill(&campaign, &dir, 252); // snapshot exactly at the kill point
+                                        // Truncate the journal well behind the snapshot — as if the journal's
+                                        // tail sectors were lost while the snapshot survived.
+    let wal = dir.join(JOURNAL_FILE);
+    let len = std::fs::metadata(&wal).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
+    f.set_len(len * 2 / 3).unwrap();
+    drop(f);
+
+    let (resumed, diag) = campaign
+        .resume_with(&dir, policy())
+        .expect("resume with lagging journal");
+    assert_eq!(
+        format!("{resumed:?}"),
+        baseline,
+        "healed journal changed the report"
+    );
+    assert!(diag.snapshot_loaded);
+    assert_eq!(diag.replayed_rounds, 0, "the snapshot was ahead");
+    assert!(diag.healed_rounds > 0, "missing records re-measured");
+    assert_eq!(
+        diag.journal.records + diag.healed_rounds as u64,
+        252,
+        "journal healed exactly up to the snapshot"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
