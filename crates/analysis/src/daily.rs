@@ -109,7 +109,7 @@ impl MonthlyHours {
     pub fn peak(&self) -> Option<(MonthId, f64)> {
         self.hours
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("hours are finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(m, h)| (*m, *h))
     }
 }

@@ -36,6 +36,9 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
         vx += dx * dx;
         vy += dy * dy;
     }
+    // Exact-zero variance means a constant series (the accumulator only
+    // sums squares); correlation is undefined there, not approximately so.
+    // fbs-lint: allow(nan-unsafe-cmp) exact-zero sentinel, not a tolerance test
     if vx == 0.0 || vy == 0.0 {
         return None;
     }
@@ -49,7 +52,7 @@ pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
         return None;
     }
     let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in percentile input"));
+    v.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (v.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -69,6 +72,7 @@ pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
 pub fn snr(xs: &[f64]) -> Option<f64> {
     let m = mean(xs)?;
     let s = stddev(xs)?;
+    // fbs-lint: allow(nan-unsafe-cmp) exact-zero sentinel for "no deviation"
     if s == 0.0 {
         None
     } else {
@@ -83,7 +87,7 @@ pub fn cdf_points(xs: &[f64]) -> Vec<(f64, f64)> {
         return Vec::new();
     }
     let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in cdf input"));
+    v.sort_by(f64::total_cmp);
     let n = v.len() as f64;
     let mut out: Vec<(f64, f64)> = Vec::new();
     for (i, x) in v.iter().enumerate() {

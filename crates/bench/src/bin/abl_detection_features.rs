@@ -8,6 +8,8 @@
 //! Runs three short campaigns: full detector, guard disabled, flag
 //! disabled — and compares event counts and long-outage coverage.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::TextTable;
 use fbs_bench::{fmt_count, seed_from_env};
 use fbs_core::{Campaign, CampaignConfig};

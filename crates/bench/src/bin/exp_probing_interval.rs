@@ -7,6 +7,8 @@
 //! emulation's events (with sub-round jitter, since our rounds quantize at
 //! two hours) and evaluate the same schedules analytically.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::{ProbingSchedule, Series, TextTable};
 use fbs_bench::{context, emit_series, fmt_f};
 

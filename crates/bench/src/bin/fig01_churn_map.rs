@@ -1,6 +1,8 @@
 //! Paper Fig. 1: relative change in IPv4 address counts per oblast
 //! (2022-02-01 vs 2025-02-01), measurement targets only.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::{Series, TextTable};
 use fbs_bench::{emit_series, fmt_f, world};
 use fbs_netsim::geo::geo_snapshot;

@@ -1,6 +1,8 @@
 //! Paper Fig. 2: the Kyivstar block 176.8.28/24's monthly share of IPs in
 //! Kherson — a regional block despite belonging to a national ISP.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::{Series, TextTable};
 use fbs_bench::{context, emit_series, fmt_f};
 use fbs_regional::Regionality;

@@ -1,6 +1,8 @@
 //! Paper Fig. 3: regional ASes per oblast at M = 0.5 / 0.7 / 0.9, plus
 //! the total and temporal counts.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::{Series, TextTable};
 use fbs_bench::{context, emit_series};
 use fbs_regional::{classify_as, Regionality, RegionalityConfig};

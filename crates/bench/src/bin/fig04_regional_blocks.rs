@@ -1,5 +1,7 @@
 //! Paper Fig. 4: share of regional /24 blocks per oblast.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::{Series, TextTable};
 use fbs_bench::{context, emit_series};
 use fbs_regional::Regionality;

@@ -1,6 +1,8 @@
 //! Paper Fig. 5: Kherson ASes ordered by regional IP share, with their
 //! monthly share values (the heatmap's data) and BGP-invisible gaps.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::TextTable;
 use fbs_bench::{context, fmt_f};
 use fbs_scenarios::KHERSON_ROSTER;

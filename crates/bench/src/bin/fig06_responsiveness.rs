@@ -1,6 +1,8 @@
 //! Paper Fig. 6: share of responsive IP addresses per oblast (within
 //! regional blocks), 2022 vs 2025.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::{Series, TextTable};
 use fbs_bench::{context, emit_series, fmt_f};
 use fbs_types::{MonthId, ALL_OBLASTS};

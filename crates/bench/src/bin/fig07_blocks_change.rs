@@ -1,5 +1,7 @@
 //! Paper Fig. 7: responsive /24 blocks per oblast, 2022-03 vs 2025-02.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::{Series, TextTable};
 use fbs_bench::{context, emit_series, fmt_f};
 use fbs_types::{MonthId, ALL_OBLASTS};

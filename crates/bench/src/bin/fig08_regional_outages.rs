@@ -1,6 +1,8 @@
 //! Paper Fig. 8: Internet disruptions per oblast over the campaign, per
 //! signal — printed as a per-oblast, per-quarter outage-hour matrix.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::{DailyHours, TextTable};
 use fbs_bench::{context, fmt_f};
 use fbs_signals::SignalKind;

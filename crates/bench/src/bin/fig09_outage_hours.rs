@@ -1,6 +1,8 @@
 //! Paper Fig. 9: monthly outage hours, frontline vs non-frontline,
 //! this work vs the IODA emulation.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::{DailyHours, Series, TextTable};
 use fbs_bench::{context, emit_series, fmt_f};
 use fbs_types::{Oblast, ALL_OBLASTS};

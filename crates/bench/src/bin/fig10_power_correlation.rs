@@ -2,6 +2,8 @@
 //! regions (2024), with the Pearson correlation (paper: r = 0.725
 //! non-frontline vs 0.298 frontline).
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::{pearson, DailyHours, TextTable};
 use fbs_bench::{context, fmt_f};
 use fbs_types::{CivilDate, ALL_OBLASTS};

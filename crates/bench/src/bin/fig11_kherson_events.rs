@@ -1,6 +1,8 @@
 //! Paper Fig. 11: Kherson AS disruptions around the three key events —
 //! the Mykolaiv cable cut, occupation rerouting, and the Kakhovka dam.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::TextTable;
 use fbs_bench::context;
 use fbs_scenarios::KHERSON_ROSTER;

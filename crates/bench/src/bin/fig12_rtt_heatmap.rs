@@ -1,6 +1,8 @@
 //! Paper Fig. 12: average monthly RTT of Kherson ASes — elevated during
 //! occupation rerouting, persisting for left-bank headquarters.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::{Series, TextTable};
 use fbs_bench::{context, emit_series, fmt_f};
 use fbs_scenarios::KHERSON_ROSTER;

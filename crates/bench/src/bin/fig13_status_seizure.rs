@@ -1,6 +1,8 @@
 //! Paper Fig. 13: outage signals for Status (AS25482), May 12–14 2022 —
 //! the office seizure shows as an IPS dip while BGP and FBS stay flat.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::{Series, TextTable};
 use fbs_bench::{context, emit_series, fmt_f};
 use fbs_signals::EntityId;

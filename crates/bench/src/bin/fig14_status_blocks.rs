@@ -2,6 +2,8 @@
 //! liberation — Kherson blocks dark for ten days, the Kyiv block
 //! unaffected, diurnal cycles on recovery.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::{Series, TextTable};
 use fbs_bench::{context, emit_series, fmt_f};
 use fbs_signals::EntityId;

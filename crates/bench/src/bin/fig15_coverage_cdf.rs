@@ -1,6 +1,8 @@
 //! Paper Fig. 15: AS outage coverage, this work vs IODA — ASes ranked by
 //! size with cumulative outage counts.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::compare::{coverage_cdf, coverage_summary};
 use fbs_analysis::{Series, TextTable};
 use fbs_bench::{context, emit_series, fmt_count};

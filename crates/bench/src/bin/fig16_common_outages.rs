@@ -1,6 +1,8 @@
 //! Paper Fig. 16: daily outage starts for the common AS set, this work vs
 //! IODA (paper: r = 0.85).
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::compare::daily_start_correlation;
 use fbs_analysis::{Series, TextTable};
 use fbs_bench::{context, emit_series, fmt_f};

@@ -1,6 +1,8 @@
 //! Paper Fig. 17: per-signal share of total outages for the common AS set
 //! — IODA is TRIN-dominated, this work is IPS-dominated.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::compare::{one_sided_detection_days, signal_shares};
 use fbs_analysis::TextTable;
 use fbs_bench::{context, fmt_count};

@@ -1,6 +1,8 @@
 //! Paper Fig. 18 + appendix B: UA delegated address ranges over time and
 //! their churn between the 2021-12-14 and 2025-01 snapshots.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::{Series, TextTable};
 use fbs_bench::{emit_series, fmt_count, scenario};
 use fbs_delegations::churn::{allocation_series, compare};

@@ -1,6 +1,8 @@
 //! Paper Fig. 19 (appendix C): churn of ALL IPv4 addresses per oblast —
 //! like Fig. 1, but without restricting to measurement targets.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::{Series, TextTable};
 use fbs_bench::{emit_series, fmt_f, world};
 use fbs_geodb::RegionTotals;

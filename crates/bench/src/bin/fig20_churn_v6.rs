@@ -1,6 +1,8 @@
 //! Paper Fig. 20 (appendix C): IPv6 address churn per oblast — adoption
 //! grows everywhere while IPv4 declines.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::{Series, TextTable};
 use fbs_bench::{emit_series, fmt_f, world};
 use fbs_netsim::geo::v6_totals;

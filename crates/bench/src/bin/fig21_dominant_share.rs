@@ -1,6 +1,8 @@
 //! Paper Fig. 21 (appendix D): CDF of the dominant-location share within
 //! multi-local /24 blocks.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::{cdf_points, Series, TextTable};
 use fbs_bench::{emit_series, fmt_f, world};
 use fbs_netsim::geo::geo_snapshot;

@@ -1,6 +1,8 @@
 //! Paper Fig. 22 (appendix D): regional-AS counts over the (M, T_perc)
 //! grid.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::{Series, TextTable};
 use fbs_bench::{context, emit_series};
 use fbs_regional::sweep_grid;

@@ -3,6 +3,8 @@
 //!
 //! Re-runs detection at each threshold — expect ~10 campaign runs.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::{pearson, DailyHours, Series, TextTable};
 use fbs_bench::{emit_series, fmt_f, scale_from_env, seed_from_env};
 use fbs_core::{Campaign, CampaignConfig};

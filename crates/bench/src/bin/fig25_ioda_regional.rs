@@ -1,6 +1,8 @@
 //! Paper Fig. 25 (appendix G): IODA's regional outages — BGP events of
 //! non-regional ASes smear across every oblast they touch.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::{DailyHours, TextTable};
 use fbs_bench::{context, fmt_f};
 use fbs_types::ALL_OBLASTS;

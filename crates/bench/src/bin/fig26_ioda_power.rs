@@ -1,6 +1,8 @@
 //! Paper Fig. 26 (appendix G): IODA's power-outage correlation in
 //! non-frontline regions (paper: r = 0.328 vs our 0.725).
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::{pearson, DailyHours};
 use fbs_bench::{context, fmt_f};
 use fbs_types::{CivilDate, ALL_OBLASTS};

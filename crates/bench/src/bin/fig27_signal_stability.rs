@@ -1,6 +1,8 @@
 //! Paper Fig. 27 (appendix G): signal stability over one quiet day —
 //! full-block scanning vs Trinocular (paper SNR: 99.7 vs 7.6).
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::{snr, Series, TextTable};
 use fbs_bench::{emit_series, fmt_f, world};
 use fbs_trinocular::{assess_block, BlockBelief, BlockState, TrinocularConfig};

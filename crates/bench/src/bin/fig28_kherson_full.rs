@@ -1,6 +1,8 @@
 //! Paper Fig. 28 (appendix F): the full three-year Kherson timeline —
 //! per-AS outage and BGP-invisibility periods by quarter.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::TextTable;
 use fbs_bench::context;
 use fbs_scenarios::KHERSON_ROSTER;

@@ -1,5 +1,7 @@
 //! Paper Table 1: comparison of outage-detection methods.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::TextTable;
 use fbs_core::methods::table1;
 use fbs_signals::EligibilityConfig;

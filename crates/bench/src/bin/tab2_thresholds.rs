@@ -1,5 +1,7 @@
 //! Paper Table 2: static detection thresholds per aggregation level.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::TextTable;
 use fbs_signals::Thresholds;
 

@@ -1,6 +1,8 @@
 //! Paper Table 3: regional / non-regional / temporal classification counts
 //! for Ukraine (all oblasts) and Kherson, plus the outage target set.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::TextTable;
 use fbs_bench::{context, fmt_count};
 use fbs_regional::{Regionality, TargetSummary};

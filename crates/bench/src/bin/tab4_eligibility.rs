@@ -1,6 +1,8 @@
 //! Paper Table 4: block eligibility — full-block scans vs Trinocular,
 //! regional vs (filtered) non-regional blocks.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::TextTable;
 use fbs_bench::{context, fmt_count};
 

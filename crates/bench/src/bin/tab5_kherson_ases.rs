@@ -2,6 +2,8 @@
 //! counts, headquarters, IODA coverage, rerouting, and 2025 BGP status —
 //! the scripted ground truth side by side with what the campaign measured.
 
+#![forbid(unsafe_code)]
+
 use fbs_analysis::TextTable;
 use fbs_bench::context;
 use fbs_regional::Regionality;

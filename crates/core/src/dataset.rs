@@ -130,16 +130,17 @@ pub fn export_all(report: &CampaignReport, dir: &std::path::Path) -> fbs_types::
     std::fs::create_dir_all(dir)?;
     let avail = availability_rows(report);
     let outages = outage_rows(report);
+    let avail_json = serde_json::to_string_pretty(&avail).map_err(|e| fbs_types::FbsError::Io {
+        reason: format!("serializing block_availability.json: {e}"),
+    })?;
+    let outages_json =
+        serde_json::to_string_pretty(&outages).map_err(|e| fbs_types::FbsError::Io {
+            reason: format!("serializing outages.json: {e}"),
+        })?;
     std::fs::write(dir.join("block_availability.csv"), availability_csv(&avail))?;
-    std::fs::write(
-        dir.join("block_availability.json"),
-        serde_json::to_string_pretty(&avail).expect("rows serialize"),
-    )?;
+    std::fs::write(dir.join("block_availability.json"), avail_json)?;
     std::fs::write(dir.join("outages.csv"), outage_csv(&outages))?;
-    std::fs::write(
-        dir.join("outages.json"),
-        serde_json::to_string_pretty(&outages).expect("rows serialize"),
-    )?;
+    std::fs::write(dir.join("outages.json"), outages_json)?;
     Ok(())
 }
 

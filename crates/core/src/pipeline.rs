@@ -688,10 +688,12 @@ fn apply_round(
         // Monthly eligibility tallies per oblast + non-regional.
         for bi in 0..n_blocks {
             let tally = match statics.block_regional_oblast[bi] {
-                Some(oi) => state
-                    .oblast_monthly
-                    .entry((Oblast::from_index(oi as usize).expect("valid"), month))
-                    .or_default(),
+                Some(oi) => {
+                    let oblast = Oblast::from_index(oi as usize).ok_or_else(|| FbsError::Io {
+                        reason: format!("invalid oblast index {oi} in block statics"),
+                    })?;
+                    state.oblast_monthly.entry((oblast, month)).or_default()
+                }
                 None => state.non_regional_monthly.entry(month).or_default(),
             };
             tally.regional_blocks += 1;
@@ -884,7 +886,9 @@ fn apply_round(
 
     // --- Monthly responsiveness tallies. ---
     for oi in 0..Oblast::COUNT {
-        let o = Oblast::from_index(oi).expect("valid index");
+        let o = Oblast::from_index(oi).ok_or_else(|| FbsError::Io {
+            reason: format!("invalid oblast index {oi}"),
+        })?;
         let tally = state.oblast_monthly.entry((o, month)).or_default();
         tally.responsive_sum += reg_ips[oi];
         tally.active_block_sum += reg_active[oi] as u64;
@@ -977,7 +981,10 @@ impl CampaignRunner<'_> {
         }
         let mut region_events = BTreeMap::new();
         for (oi, d) in state.region_detectors.into_iter().enumerate() {
-            region_events.insert(Oblast::from_index(oi).expect("valid index"), d.finish(end));
+            let o = Oblast::from_index(oi).ok_or_else(|| FbsError::Io {
+                reason: format!("invalid oblast index {oi}"),
+            })?;
+            region_events.insert(o, d.finish(end));
         }
         let mut block_events = BTreeMap::new();
         for (entity, d) in state.block_detectors {

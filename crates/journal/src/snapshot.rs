@@ -82,8 +82,13 @@ pub fn read_snapshot(path: impl AsRef<Path>) -> Result<Option<(u32, Vec<u8>)>> {
             &bytes[..8]
         )));
     }
+    // Slice-to-array conversions on ranges already guarded by the
+    // HEADER_LEN length check above; the expects cannot fire.
+    // fbs-lint: allow(panic-in-pipeline) fixed-width slice, length checked above
     let version = u32::from_le_bytes(bytes[8..12].try_into().expect("len 4"));
+    // fbs-lint: allow(panic-in-pipeline) fixed-width slice, length checked above
     let len = u64::from_le_bytes(bytes[12..20].try_into().expect("len 8"));
+    // fbs-lint: allow(panic-in-pipeline) fixed-width slice, length checked above
     let crc = u32::from_le_bytes(bytes[20..24].try_into().expect("len 4"));
     let payload = &bytes[HEADER_LEN..];
     if payload.len() as u64 != len {

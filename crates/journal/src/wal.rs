@@ -128,7 +128,9 @@ impl Journal {
             if rest < FRAME_HEADER_LEN {
                 break; // torn frame header
             }
+            // fbs-lint: allow(panic-in-pipeline) fixed-width slice, rest >= FRAME_HEADER_LEN checked above
             let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("len 4"));
+            // fbs-lint: allow(panic-in-pipeline) fixed-width slice, rest >= FRAME_HEADER_LEN checked above
             let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("len 4"));
             if len > MAX_RECORD_LEN {
                 break; // corrupt length prefix

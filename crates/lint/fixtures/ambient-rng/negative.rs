@@ -1,0 +1,21 @@
+//! Fixture: seeded, coordinate-addressed randomness (must NOT fire).
+//!
+//! The world-RNG idiom: every random decision is derived from a named
+//! domain of a fixed seed, so replays are bit-identical. The words
+//! `thread_rng` and `OsRng` appear only in this comment and in a string.
+
+pub struct WorldRng {
+    seed: u64,
+}
+
+impl WorldRng {
+    pub fn domain(&self, name: &str) -> u64 {
+        let mut h = self.seed;
+        for b in name.bytes() {
+            h = h.wrapping_mul(0x100000001b3).wrapping_add(b as u64);
+        }
+        h
+    }
+}
+
+pub const WHY: &str = "thread_rng() and OsRng break resume determinism";

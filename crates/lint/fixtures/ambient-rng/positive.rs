@@ -1,0 +1,6 @@
+//! Fixture: ambient randomness in library code (must fire).
+
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rand::Rng::gen::<f64>(&mut rng)
+}

@@ -1,0 +1,7 @@
+//! Fixture: a crate root carrying `#![forbid(unsafe_code)]` (must NOT fire).
+
+#![forbid(unsafe_code)]
+
+pub fn id(x: u32) -> u32 {
+    x
+}

@@ -1,0 +1,5 @@
+//! Fixture: a crate root without the unsafe-code lockout (must fire).
+
+pub fn id(x: u32) -> u32 {
+    x
+}

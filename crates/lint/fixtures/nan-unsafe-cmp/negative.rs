@@ -1,0 +1,29 @@
+//! Fixture: NaN-safe ordering (must NOT fire).
+//!
+//! Defining `fn partial_cmp` in a trait impl is fine; calling
+//! `total_cmp` is the sanctioned ordering; tolerance comparison replaces
+//! float `==`.
+
+use std::cmp::Ordering;
+
+pub struct Ratio(pub f64);
+
+impl PartialEq for Ratio {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.0.total_cmp(&other.0))
+    }
+}
+
+pub fn sort_ratios(v: &mut [f64]) {
+    v.sort_by(f64::total_cmp);
+}
+
+pub fn near_zero(x: f64) -> bool {
+    x.abs() < 1e-12
+}

@@ -1,0 +1,9 @@
+//! Fixture: NaN-hostile comparisons in detector math (must fire).
+
+pub fn sort_ratios(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn is_exactly_zero(x: f64) -> bool {
+    x == 0.0
+}

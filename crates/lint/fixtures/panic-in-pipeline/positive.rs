@@ -1,0 +1,12 @@
+//! Fixture: every panic shape the rule knows, in a pipeline crate.
+
+use std::collections::BTreeMap;
+
+pub fn lookup(m: &BTreeMap<u32, u32>, k: u32) -> u32 {
+    let v = m.get(&k).unwrap();
+    m[&k] + v
+}
+
+pub fn fail() -> u32 {
+    panic!("boom")
+}

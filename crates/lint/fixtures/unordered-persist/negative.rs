@@ -1,0 +1,11 @@
+//! Fixture: ordered containers in a persistence path (must NOT fire).
+//!
+//! `BTreeMap` iterates in key order, so the encoded bytes are a pure
+//! function of content. The word HashMap appears only in this comment.
+
+use fbs_types::codec::Persist;
+use std::collections::BTreeMap;
+
+pub struct Tallies {
+    pub per_block: BTreeMap<u32, u64>,
+}

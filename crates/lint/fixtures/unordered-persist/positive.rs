@@ -1,0 +1,8 @@
+//! Fixture: hash-ordered container in a persistence path (must fire).
+
+use fbs_types::codec::Persist;
+use std::collections::HashMap;
+
+pub struct Tallies {
+    pub per_block: HashMap<u32, u64>,
+}

@@ -1,0 +1,33 @@
+//! Fixture: near-misses that must NOT fire.
+//!
+//! Mentions `Instant::now()` only in comments and strings, stores an
+//! `Instant` handed in by a caller, and defines its own `now` that is a
+//! round counter, not wall time.
+
+use std::time::Instant;
+
+pub struct Stamped {
+    pub at: Instant, // the *caller* read the clock; libraries only carry it
+}
+
+pub struct RoundClock {
+    round: u64,
+}
+
+impl RoundClock {
+    /// Simulated time, not `Instant::now()`.
+    pub fn now(&self) -> u64 {
+        self.round
+    }
+}
+
+pub const HINT: &str = "never call SystemTime::now() in a library crate";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_secs() < 60);
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: a library crate reading the wall clock (must fire).
+
+use std::time::Instant;
+
+pub fn elapsed_ms() -> u128 {
+    let started = Instant::now();
+    started.elapsed().as_millis()
+}

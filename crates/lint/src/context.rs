@@ -1,0 +1,430 @@
+//! Per-file analysis context: classification, pragmas, test regions.
+//!
+//! Rules do not see raw bytes; they see a [`SourceFile`] — the token
+//! stream plus everything scoping needs: what kind of file this is
+//! (library / binary / test / bench / example), which crate it belongs
+//! to, which lines sit inside `#[cfg(test)]` or `#[test]` items, and
+//! which lines carry `// fbs-lint: allow(rule)` pragmas.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How a file participates in the build — the unit of rule scoping.
+///
+/// Determinism rules bind tightest on library code: a library crate runs
+/// inside resumable campaigns, while binaries, benches and tests run at
+/// the edge where wall clocks and ad-hoc state are legitimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Part of a library crate's `src/` tree.
+    Library,
+    /// A binary target (`src/main.rs`, `src/bin/*.rs`).
+    Bin,
+    /// An `examples/` target.
+    Example,
+    /// An integration-test target (`tests/`).
+    Test,
+    /// Anything under `crates/bench/` or a `benches/` directory.
+    Bench,
+}
+
+impl FileKind {
+    /// Display name used in diagnostics and `--list-rules`.
+    pub fn name(self) -> &'static str {
+        match self {
+            FileKind::Library => "library",
+            FileKind::Bin => "bin",
+            FileKind::Example => "example",
+            FileKind::Test => "test",
+            FileKind::Bench => "bench",
+        }
+    }
+}
+
+/// Where a file sits in the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMeta {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Build role; drives rule applicability.
+    pub kind: FileKind,
+    /// Package name (`fbs-core`, `ukraine-fbs`, …).
+    pub crate_name: String,
+    /// Whether this file is a crate root (`lib.rs`, `main.rs`,
+    /// `src/bin/*.rs`, an example, or a bench binary) — the place crate
+    /// attributes like `#![forbid(unsafe_code)]` must live.
+    pub is_crate_root: bool,
+}
+
+impl FileMeta {
+    /// Classifies a workspace-relative path.
+    pub fn infer(rel_path: &str) -> FileMeta {
+        let path = rel_path.replace('\\', "/");
+        let parts: Vec<&str> = path.split('/').collect();
+        let crate_name = if parts.first() == Some(&"crates") && parts.len() > 1 {
+            format!("fbs-{}", parts[1])
+        } else {
+            "ukraine-fbs".to_string()
+        };
+        let has = |name: &str| parts.contains(&name);
+        let kind = if parts.first() == Some(&"crates") && parts.get(1) == Some(&"bench")
+            || has("benches")
+        {
+            FileKind::Bench
+        } else if has("tests") {
+            FileKind::Test
+        } else if has("examples") {
+            FileKind::Example
+        } else if has("bin") || path.ends_with("src/main.rs") {
+            FileKind::Bin
+        } else {
+            FileKind::Library
+        };
+        let file = parts.last().copied().unwrap_or("");
+        let parent = parts.len().checked_sub(2).map(|i| parts[i]).unwrap_or("");
+        let is_crate_root = (file == "lib.rs" || file == "main.rs") && parent == "src"
+            || parent == "bin"
+            || parent == "examples"
+            || (parent == "tests" && file.ends_with(".rs"));
+        FileMeta {
+            path,
+            kind,
+            crate_name,
+            is_crate_root,
+        }
+    }
+}
+
+/// A lexed file, ready for rules.
+pub struct SourceFile {
+    pub meta: FileMeta,
+    pub src: Vec<u8>,
+    /// All tokens, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices (into `tokens`) of non-comment tokens — what rules match on.
+    pub sig: Vec<usize>,
+    /// Lines covered by `#[cfg(test)]` / `#[test]` items.
+    test_lines: BTreeSet<u32>,
+    /// Line → rules allowed there by pragma.
+    allows: BTreeMap<u32, BTreeSet<String>>,
+}
+
+/// The pragma prefix recognized in line comments.
+const PRAGMA: &str = "fbs-lint:";
+
+impl SourceFile {
+    /// Lexes and analyzes one file.
+    pub fn analyze(meta: FileMeta, src: Vec<u8>) -> SourceFile {
+        let tokens = lex(&src);
+        let sig: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let mut file = SourceFile {
+            meta,
+            src,
+            tokens,
+            sig,
+            test_lines: BTreeSet::new(),
+            allows: BTreeMap::new(),
+        };
+        file.collect_pragmas();
+        file.collect_test_regions();
+        file
+    }
+
+    /// The `i`-th significant (non-comment) token.
+    pub fn sig_token(&self, i: usize) -> &Token {
+        &self.tokens[self.sig[i]]
+    }
+
+    /// Number of significant tokens.
+    pub fn sig_len(&self) -> usize {
+        self.sig.len()
+    }
+
+    /// Whether `line` is inside a `#[cfg(test)]` / `#[test]` region.
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_lines.contains(&line)
+    }
+
+    /// Whether a pragma allows `rule` on `line`.
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .get(&line)
+            .is_some_and(|set| set.contains(rule) || set.contains("all"))
+    }
+
+    /// Whether the whole token stream contains an identifier `name`
+    /// outside comments (used by content-triggered rules).
+    pub fn mentions_ident(&self, name: &str) -> bool {
+        self.sig
+            .iter()
+            .any(|&i| self.tokens[i].is_ident(&self.src, name))
+    }
+
+    /// Scans line comments for `// fbs-lint: allow(rule-a, rule-b) …`.
+    ///
+    /// A pragma covers its own line *and* the next one, so both styles
+    /// work: trailing on the offending line, or on its own line above.
+    fn collect_pragmas(&mut self) {
+        for t in &self.tokens {
+            if t.kind != TokenKind::LineComment {
+                continue;
+            }
+            let text = String::from_utf8_lossy(t.bytes(&self.src)).into_owned();
+            let Some(at) = text.find(PRAGMA) else {
+                continue;
+            };
+            let rest = text[at + PRAGMA.len()..].trim_start();
+            let Some(args) = rest
+                .strip_prefix("allow(")
+                .and_then(|r| r.split_once(')'))
+                .map(|(inside, _)| inside)
+            else {
+                continue;
+            };
+            let rules: BTreeSet<String> = args
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect();
+            if rules.is_empty() {
+                continue;
+            }
+            for line in [t.line, t.line + 1] {
+                self.allows.entry(line).or_default().extend(rules.clone());
+            }
+        }
+    }
+
+    /// Marks the line span of every item annotated `#[test]` or
+    /// `#[cfg(test)]` (and not `#[cfg(not(test))]`): attribute sequences
+    /// are parsed, then the braced body of the following item is matched.
+    fn collect_test_regions(&mut self) {
+        let mut marks: Vec<(u32, u32)> = Vec::new();
+        let mut i = 0usize;
+        while i < self.sig.len() {
+            if !self.is_attr_start(i) {
+                i += 1;
+                continue;
+            }
+            let attr_line = self.sig_token(i).line;
+            let mut is_test_attr = false;
+            let mut j = i;
+            // A run of attributes (`#[…] #[…]`) guards one item; any
+            // test-ish attribute in the run marks the whole item.
+            while self.is_attr_start(j) {
+                let (end, testish) = self.scan_attr(j);
+                is_test_attr |= testish;
+                j = end;
+            }
+            if !is_test_attr {
+                i = j;
+                continue;
+            }
+            // Find the item body: the first `{` before a top-level `;`.
+            let mut k = j;
+            let mut body_open = None;
+            while k < self.sig.len() {
+                let t = self.sig_token(k);
+                if t.is_punct(&self.src, "{") {
+                    body_open = Some(k);
+                    break;
+                }
+                if t.is_punct(&self.src, ";") {
+                    break;
+                }
+                k += 1;
+            }
+            if let Some(open) = body_open {
+                let close = self.match_brace(open);
+                let end_line = self.sig_token(close.min(self.sig.len() - 1)).line;
+                marks.push((attr_line, end_line));
+                i = close + 1;
+            } else {
+                // `#[cfg(test)] mod tests;` — out-of-line; only the
+                // declaration itself is in this file.
+                marks.push((attr_line, self.sig_token(k.min(self.sig.len() - 1)).line));
+                i = k + 1;
+            }
+        }
+        for (from, to) in marks {
+            for line in from..=to {
+                self.test_lines.insert(line);
+            }
+        }
+    }
+
+    /// Whether significant token `i` starts an outer attribute `#[…]`.
+    fn is_attr_start(&self, i: usize) -> bool {
+        i + 1 < self.sig.len()
+            && self.sig_token(i).is_punct(&self.src, "#")
+            && self.sig_token(i + 1).is_punct(&self.src, "[")
+    }
+
+    /// Scans the attribute starting at `i`; returns (one past its `]`,
+    /// whether it marks test-only code).
+    fn scan_attr(&self, i: usize) -> (usize, bool) {
+        let mut depth = 0usize;
+        let mut k = i + 1; // at `[`
+        let mut idents: Vec<String> = Vec::new();
+        while k < self.sig.len() {
+            let t = self.sig_token(k);
+            if t.is_punct(&self.src, "[") {
+                depth += 1;
+            } else if t.is_punct(&self.src, "]") {
+                depth -= 1;
+                if depth == 0 {
+                    k += 1;
+                    break;
+                }
+            } else if t.kind == TokenKind::Ident {
+                idents.push(String::from_utf8_lossy(t.bytes(&self.src)).into_owned());
+            }
+            k += 1;
+        }
+        let first = idents.first().map(String::as_str);
+        let testish = match first {
+            Some("test") => true,
+            Some("cfg") => idents.iter().any(|s| s == "test") && !idents.iter().any(|s| s == "not"),
+            _ => false,
+        };
+        (k, testish)
+    }
+
+    /// Given significant index `open` at a `{`, returns the index of the
+    /// matching `}` (or the last token on unbalanced input).
+    fn match_brace(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        for k in open..self.sig.len() {
+            let t = self.sig_token(k);
+            if t.is_punct(&self.src, "{") {
+                depth += 1;
+            } else if t.is_punct(&self.src, "}") {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+        }
+        self.sig.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_file(src: &str) -> SourceFile {
+        SourceFile::analyze(
+            FileMeta::infer("crates/core/src/pipeline.rs"),
+            src.as_bytes().to_vec(),
+        )
+    }
+
+    #[test]
+    fn classification_by_path() {
+        let cases = [
+            (
+                "crates/core/src/pipeline.rs",
+                FileKind::Library,
+                "fbs-core",
+                false,
+            ),
+            (
+                "crates/core/src/lib.rs",
+                FileKind::Library,
+                "fbs-core",
+                true,
+            ),
+            ("src/lib.rs", FileKind::Library, "ukraine-fbs", true),
+            ("src/bin/countrymon.rs", FileKind::Bin, "ukraine-fbs", true),
+            (
+                "crates/bench/src/bin/fig02.rs",
+                FileKind::Bench,
+                "fbs-bench",
+                true,
+            ),
+            (
+                "crates/journal/tests/proptests.rs",
+                FileKind::Test,
+                "fbs-journal",
+                true,
+            ),
+            (
+                "examples/quickstart.rs",
+                FileKind::Example,
+                "ukraine-fbs",
+                true,
+            ),
+            (
+                "crates/bench/benches/scan.rs",
+                FileKind::Bench,
+                "fbs-bench",
+                false,
+            ),
+        ];
+        for (path, kind, krate, root) in cases {
+            let meta = FileMeta::infer(path);
+            assert_eq!(meta.kind, kind, "{path}");
+            assert_eq!(meta.crate_name, krate, "{path}");
+            assert_eq!(meta.is_crate_root, root, "{path}");
+        }
+    }
+
+    #[test]
+    fn pragmas_cover_their_line_and_the_next() {
+        let f = lib_file(
+            "fn a() {} // fbs-lint: allow(wall-clock)\n\
+             // fbs-lint: allow(ambient-rng, unordered-persist) justified\n\
+             fn b() {}\n\
+             fn c() {}\n",
+        );
+        assert!(f.is_allowed("wall-clock", 1));
+        assert!(f.is_allowed("ambient-rng", 2));
+        assert!(f.is_allowed("ambient-rng", 3));
+        assert!(f.is_allowed("unordered-persist", 3));
+        assert!(!f.is_allowed("ambient-rng", 4));
+        assert!(!f.is_allowed("wall-clock", 3));
+    }
+
+    #[test]
+    fn pragma_inside_string_is_inert() {
+        let f = lib_file("fn a() { let s = \"// fbs-lint: allow(wall-clock)\"; }\n");
+        assert!(!f.is_allowed("wall-clock", 1));
+    }
+
+    #[test]
+    fn cfg_test_module_is_a_test_region() {
+        let f = lib_file(
+            "fn live() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 #[test]\n\
+                 fn t() { let x = vec![1].pop().unwrap(); }\n\
+             }\n\
+             fn also_live() {}\n",
+        );
+        assert!(!f.in_test_region(1));
+        assert!(f.in_test_region(2));
+        assert!(f.in_test_region(5));
+        assert!(f.in_test_region(6));
+        assert!(!f.in_test_region(7));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let f = lib_file("#[cfg(not(test))]\nfn live() { work(); }\n");
+        assert!(!f.in_test_region(2));
+    }
+
+    #[test]
+    fn attribute_runs_guard_one_item() {
+        let f = lib_file("#[test]\n#[ignore]\nfn slow() { body(); }\nfn live() {}\n");
+        assert!(f.in_test_region(3));
+        assert!(!f.in_test_region(4));
+    }
+}

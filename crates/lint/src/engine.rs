@@ -1,0 +1,238 @@
+//! Running rules over files and walking the workspace.
+
+use crate::context::{FileMeta, SourceFile};
+use crate::rules::{Finding, RULES};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A finding bound to its file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileFinding {
+    /// Workspace-relative path.
+    pub path: String,
+    pub finding: Finding,
+}
+
+impl FileFinding {
+    /// `path:line:col: [rule] message` — the human diagnostic line.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: [{}] {}",
+            self.path, self.finding.line, self.finding.col, self.finding.rule, self.finding.message
+        )
+    }
+}
+
+/// Result of linting a set of files.
+#[derive(Debug, Default)]
+pub struct LintRun {
+    pub files_checked: usize,
+    pub findings: Vec<FileFinding>,
+}
+
+impl LintRun {
+    /// Whether the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Lints one already-analyzed file: runs every applicable rule, then
+/// filters by test regions and `allow` pragmas.
+pub fn lint_source(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for rule in RULES {
+        if !(rule.applies)(file) {
+            continue;
+        }
+        let mut raw = Vec::new();
+        (rule.check)(file, &mut raw);
+        for f in raw {
+            if rule.skip_test_regions && file.in_test_region(f.line) {
+                continue;
+            }
+            if file.is_allowed(f.rule, f.line) {
+                continue;
+            }
+            findings.push(f);
+        }
+    }
+    findings.sort_by_key(|f| (f.line, f.col, f.rule));
+    findings
+}
+
+/// Lints the bytes of one file at a workspace-relative path.
+pub fn lint_bytes(rel_path: &str, src: Vec<u8>) -> Vec<Finding> {
+    let file = SourceFile::analyze(FileMeta::infer(rel_path), src);
+    lint_source(&file)
+}
+
+/// Directories never descended into. `fixtures` holds the linter's own
+/// deliberate-violation corpus; `target` and VCS metadata are not source.
+fn skip_dir(rel: &str, name: &str) -> bool {
+    matches!(name, "target" | ".git" | ".github" | "node_modules")
+        || (rel == "crates/lint" && name == "fixtures")
+}
+
+/// Collects every `.rs` file under `root` in deterministic (sorted) order.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![(root.to_path_buf(), String::new())];
+    while let Some((dir, rel)) = stack.pop() {
+        let mut entries: Vec<_> = fs::read_dir(&dir)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let child_rel = if rel.is_empty() {
+                name.clone()
+            } else {
+                format!("{rel}/{name}")
+            };
+            if path.is_dir() {
+                if !skip_dir(&rel, &name) {
+                    stack.push((path, child_rel));
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints every Rust source file under `root` (the workspace).
+pub fn lint_workspace(root: &Path) -> io::Result<LintRun> {
+    let mut run = LintRun::default();
+    for path in collect_rs_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read(&path)?;
+        run.files_checked += 1;
+        for finding in lint_bytes(&rel, src) {
+            run.findings.push(FileFinding {
+                path: rel.clone(),
+                finding,
+            });
+        }
+    }
+    run.findings.sort_by(|a, b| {
+        (&a.path, a.finding.line, a.finding.col).cmp(&(&b.path, b.finding.line, b.finding.col))
+    });
+    Ok(run)
+}
+
+/// Walks upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Escapes a string for JSON output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a run as a JSON document (hand-rolled: the linter is
+/// dependency-free by design).
+pub fn render_json(run: &LintRun) -> String {
+    let mut out = String::from("{\n  \"files_checked\": ");
+    out.push_str(&run.files_checked.to_string());
+    out.push_str(",\n  \"violations\": [");
+    for (i, f) in run.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&f.path),
+            f.finding.line,
+            f.finding.col,
+            f.finding.rule,
+            json_escape(&f.finding.message)
+        ));
+    }
+    if !run.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_file_produces_no_findings() {
+        let src = b"#![forbid(unsafe_code)]\npub fn add(a: u32, b: u32) -> u32 { a + b }\n";
+        assert!(lint_bytes("crates/core/src/lib.rs", src.to_vec()).is_empty());
+    }
+
+    #[test]
+    fn pragma_suppresses_and_its_absence_fires() {
+        let dirty = b"fn f() -> u32 { OPT.unwrap() }\n".to_vec();
+        let hits = lint_bytes("crates/core/src/x.rs", dirty);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "panic-in-pipeline");
+
+        let excused =
+            b"fn f() -> u32 { OPT.unwrap() } // fbs-lint: allow(panic-in-pipeline) static\n"
+                .to_vec();
+        assert!(lint_bytes("crates/core/src/x.rs", excused).is_empty());
+    }
+
+    #[test]
+    fn json_escapes_and_renders() {
+        let mut run = LintRun {
+            files_checked: 1,
+            findings: vec![FileFinding {
+                path: "a\"b.rs".into(),
+                finding: crate::rules::Finding {
+                    rule: "wall-clock",
+                    line: 3,
+                    col: 7,
+                    message: "tab\there".into(),
+                },
+            }],
+        };
+        let json = render_json(&run);
+        assert!(json.contains("a\\\"b.rs"));
+        assert!(json.contains("tab\\there"));
+        run.findings.clear();
+        assert!(render_json(&run).contains("\"violations\": []"));
+    }
+}

@@ -1,0 +1,513 @@
+//! A small, total Rust lexer.
+//!
+//! The linter's rules are token-shape patterns, so the lexer only needs to
+//! be right about the things that make naive `grep` wrong: string literals
+//! (including raw strings with arbitrary `#` fences), nested block
+//! comments, character literals versus lifetimes, and numeric literals
+//! (so float comparisons can be told apart from integer ones).
+//!
+//! Two properties are load-bearing and property-tested:
+//!
+//! * **Totality** — the lexer accepts *any* byte string (not just valid
+//!   UTF-8 or valid Rust) and never panics.
+//! * **Termination & coverage** — every iteration of the scan loop
+//!   consumes at least one byte, tokens appear in source order, and the
+//!   whole input is covered, so positions reported to the user are real.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#match`).
+    Ident,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// Integer literal (any base, any suffix except `f32`/`f64`).
+    Int,
+    /// Float literal (decimal point, exponent, or an `fNN` suffix).
+    Float,
+    /// String / byte-string / raw-string / C-string literal.
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// `// …` comment (pragmas live here).
+    LineComment,
+    /// `/* … */` comment, nesting handled.
+    BlockComment,
+    /// Punctuation; multi-byte operators the rules care about are joined.
+    Punct,
+    /// A byte the lexer does not understand; consumed and carried along.
+    Unknown,
+}
+
+/// One token: kind plus the byte span and the 1-based source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's raw bytes.
+    pub fn bytes<'a>(&self, src: &'a [u8]) -> &'a [u8] {
+        &src[self.start..self.end]
+    }
+
+    /// Whether the token is exactly the given text.
+    pub fn is(&self, src: &[u8], text: &str) -> bool {
+        self.bytes(src) == text.as_bytes()
+    }
+
+    /// Whether the token is an identifier with exactly the given name.
+    pub fn is_ident(&self, src: &[u8], name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.is(src, name)
+    }
+
+    /// Whether the token is punctuation with exactly the given spelling.
+    pub fn is_punct(&self, src: &[u8], spelling: &str) -> bool {
+        self.kind == TokenKind::Punct && self.is(src, spelling)
+    }
+}
+
+/// Multi-byte operators joined into one `Punct` token. Longest first so
+/// `..=` wins over `..`; everything else falls back to a single byte.
+const JOINED: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "==", "!=", "<=", ">=", "::", "->", "=>", "..", "&&", "||", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Scanner<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one byte, maintaining the line/column counters.
+    fn bump(&mut self) {
+        if let Some(b) = self.src.get(self.pos) {
+            if *b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while let Some(b) = self.peek(0) {
+            if pred(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// `// …` to end of line (newline not included).
+    fn line_comment(&mut self) {
+        self.eat_while(|b| b != b'\n');
+    }
+
+    /// `/* … */` with nesting; an unterminated comment runs to EOF.
+    fn block_comment(&mut self) {
+        self.bump_n(2); // `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump_n(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump_n(2);
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// `"…"` with escapes; unterminated runs to EOF.
+    fn string(&mut self) {
+        self.bump(); // opening quote
+        loop {
+            match self.peek(0) {
+                Some(b'\\') => self.bump_n(2),
+                Some(b'"') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => self.bump(),
+                None => break,
+            }
+        }
+    }
+
+    /// Raw string body after the `r`: `#…#"…"#…#`. Returns `false` if what
+    /// follows is not actually a raw string (caller falls back to ident).
+    fn raw_string(&mut self) -> bool {
+        let mut fence = 0usize;
+        while self.peek(fence) == Some(b'#') {
+            fence += 1;
+        }
+        if self.peek(fence) != Some(b'"') {
+            return false;
+        }
+        self.bump_n(fence + 1); // fence + opening quote
+        loop {
+            match self.peek(0) {
+                Some(b'"') => {
+                    let mut close = 0usize;
+                    while close < fence && self.peek(1 + close) == Some(b'#') {
+                        close += 1;
+                    }
+                    self.bump_n(1 + close);
+                    if close == fence {
+                        return true;
+                    }
+                }
+                Some(_) => self.bump(),
+                None => return true,
+            }
+        }
+    }
+
+    /// After a `'`: either a lifetime (`'a`) or a char literal (`'x'`,
+    /// `'\n'`). A quote followed by ident characters is a lifetime unless
+    /// a closing quote follows exactly one character later.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: consume the escape, then scan for
+                // the closing quote (covers `\u{…}` of any length).
+                self.bump_n(2);
+                self.eat_while(|b| b != b'\'' && b != b'\n');
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                TokenKind::Char
+            }
+            Some(b) if is_ident_continue(b) => {
+                if self.peek(1) == Some(b'\'') && b != b'\'' {
+                    self.bump_n(2); // `'a'`
+                    TokenKind::Char
+                } else {
+                    // `'abc` — a lifetime (or `'static`).
+                    self.eat_while(is_ident_continue);
+                    TokenKind::Lifetime
+                }
+            }
+            Some(b'\'') => {
+                // `''` — not valid Rust; treat as an empty char literal.
+                self.bump();
+                TokenKind::Char
+            }
+            Some(_) => {
+                // Non-identifier char such as `'+'` — char literal if a
+                // quote closes it, else a stray quote.
+                self.bump();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                TokenKind::Char
+            }
+            None => TokenKind::Char,
+        }
+    }
+
+    /// Numeric literal; decides Int vs Float.
+    fn number(&mut self) -> TokenKind {
+        let mut float = false;
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        {
+            self.bump_n(2);
+            self.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+            return TokenKind::Int;
+        }
+        self.eat_while(|b| b.is_ascii_digit() || b == b'_');
+        // A decimal point only belongs to the number when it is not `..`
+        // (range) and not a method call / tuple access (`1.max(2)`).
+        if self.peek(0) == Some(b'.') {
+            match self.peek(1) {
+                Some(b'.') => {}
+                Some(b) if is_ident_start(b) => {}
+                _ => {
+                    float = true;
+                    self.bump();
+                    self.eat_while(|b| b.is_ascii_digit() || b == b'_');
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let (sign, digit) = (self.peek(1), self.peek(2));
+            let has_exp = match sign {
+                Some(b'+' | b'-') => digit.is_some_and(|b| b.is_ascii_digit()),
+                Some(b) => b.is_ascii_digit(),
+                None => false,
+            };
+            if has_exp {
+                float = true;
+                self.bump(); // e
+                if matches!(self.peek(0), Some(b'+' | b'-')) {
+                    self.bump();
+                }
+                self.eat_while(|b| b.is_ascii_digit() || b == b'_');
+            }
+        }
+        // Suffix (`u32`, `f64`, …) — an `f` suffix makes it a float.
+        if self.peek(0).is_some_and(is_ident_start) {
+            if self.peek(0) == Some(b'f') {
+                float = true;
+            }
+            self.eat_while(is_ident_continue);
+        }
+        if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `src` completely. Total: accepts any byte string, never panics,
+/// and always terminates with tokens in source order.
+pub fn lex(src: &[u8]) -> Vec<Token> {
+    let mut s = Scanner {
+        src,
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens = Vec::new();
+    while s.pos < src.len() {
+        let (start, line, col) = (s.pos, s.line, s.col);
+        let b = src[start];
+        let kind = match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                s.bump();
+                continue;
+            }
+            b'/' if s.peek(1) == Some(b'/') => {
+                s.line_comment();
+                TokenKind::LineComment
+            }
+            b'/' if s.peek(1) == Some(b'*') => {
+                s.block_comment();
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                s.string();
+                TokenKind::Str
+            }
+            b'\'' => s.char_or_lifetime(),
+            b'r' | b'b' | b'c' => {
+                // Possible literal prefixes: r"", r#""#, b"", b'', br"",
+                // c"", raw identifiers r#name. Try them in order; fall
+                // back to a plain identifier.
+                let two = s.peek(1);
+                if b == b'b' && two == Some(b'\'') {
+                    s.bump(); // b
+                    s.char_or_lifetime();
+                    TokenKind::Char
+                } else if two == Some(b'"') && b != b'r' {
+                    s.bump();
+                    s.string();
+                    TokenKind::Str
+                } else if b == b'r' && (two == Some(b'"') || two == Some(b'#')) {
+                    s.bump(); // r
+                    if s.raw_string() {
+                        TokenKind::Str
+                    } else if s.peek(0) == Some(b'#') && s.peek(1).is_some_and(is_ident_start) {
+                        s.bump(); // #
+                        s.eat_while(is_ident_continue);
+                        TokenKind::Ident
+                    } else {
+                        s.eat_while(is_ident_continue);
+                        TokenKind::Ident
+                    }
+                } else if (b == b'b' && two == Some(b'r'))
+                    && (s.peek(2) == Some(b'"') || s.peek(2) == Some(b'#'))
+                {
+                    s.bump_n(2); // br
+                    if !s.raw_string() {
+                        s.eat_while(is_ident_continue);
+                    }
+                    TokenKind::Str
+                } else {
+                    s.eat_while(is_ident_continue);
+                    TokenKind::Ident
+                }
+            }
+            _ if is_ident_start(b) => {
+                s.eat_while(is_ident_continue);
+                TokenKind::Ident
+            }
+            _ if b.is_ascii_digit() => s.number(),
+            _ => {
+                let mut joined = None;
+                for op in JOINED {
+                    let bytes = op.as_bytes();
+                    if src[start..].starts_with(bytes) {
+                        joined = Some(bytes.len());
+                        break;
+                    }
+                }
+                s.bump_n(joined.unwrap_or(1));
+                if joined.is_some() || b.is_ascii_punctuation() {
+                    TokenKind::Punct
+                } else {
+                    TokenKind::Unknown
+                }
+            }
+        };
+        debug_assert!(s.pos > start, "lexer must always advance");
+        if s.pos == start {
+            // Unreachable by construction; belt-and-braces so a logic bug
+            // degrades to a skipped byte instead of an infinite loop.
+            s.bump();
+        }
+        tokens.push(Token {
+            kind,
+            start,
+            end: s.pos,
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src.as_bytes())
+            .into_iter()
+            .map(|t| {
+                (
+                    t.kind,
+                    String::from_utf8_lossy(t.bytes(src.as_bytes())).into_owned(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x: u32 = a::b(c);");
+        assert_eq!(toks[0], (TokenKind::Ident, "let".into()));
+        assert!(toks.iter().any(|t| t == &(TokenKind::Punct, "::".into())));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let toks = kinds(r###"let s = r#"unwrap() // not a comment"#; x"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap")));
+        // Nothing after the raw string was swallowed.
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Ident, "x".into()));
+        // And no token in the raw string was lexed as an identifier.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert_eq!(toks[2], (TokenKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn floats_vs_ints_vs_ranges_vs_methods() {
+        let toks = kinds("1.0 2 0x1F 1e5 2.5e-3 0..n 1.max(2) 3f64 4u32");
+        let of = |kind| {
+            toks.iter()
+                .filter(move |(k, _)| *k == kind)
+                .map(|(_, t)| t.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(of(TokenKind::Float), vec!["1.0", "1e5", "2.5e-3", "3f64"]);
+        assert_eq!(of(TokenKind::Int), vec!["2", "0x1F", "0", "1", "2", "4u32"]);
+    }
+
+    #[test]
+    fn line_positions_are_one_based_and_track_newlines() {
+        let toks = lex(b"a\n  b\n\tc");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!((toks[2].line, toks[2].col), (3, 2));
+    }
+
+    #[test]
+    fn unterminated_everything_still_terminates() {
+        for src in [
+            "\"unterminated",
+            "/* unterminated",
+            "r#\"unterminated",
+            "'",
+            "b'",
+            "r#",
+        ] {
+            let toks = lex(src.as_bytes());
+            assert!(!toks.is_empty());
+            assert_eq!(toks.last().unwrap().end, src.len());
+        }
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks
+            .iter()
+            .any(|t| t == &(TokenKind::Ident, "r#match".into())));
+    }
+}

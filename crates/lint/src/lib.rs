@@ -1,0 +1,40 @@
+//! `fbs-lint` — the workspace invariant linter.
+//!
+//! The crash-safe campaign work (journaling + resume) made this
+//! workspace's headline guarantee *"a resumed campaign is bit-identical
+//! to an uninterrupted run"*. That guarantee rests on conventions no
+//! compiler checks: randomness flows through named world-RNG domains,
+//! library crates never read the wall clock, unordered iteration never
+//! reaches persisted bytes or reports, and nothing reachable from the
+//! `Campaign` API panics. This crate turns those conventions into a
+//! mechanical gate: a dependency-free static-analysis pass with
+//! `file:line:col` diagnostics, a `--json` mode, and a non-zero exit for
+//! CI.
+//!
+//! Architecture, in three layers:
+//!
+//! * [`lexer`] — a small, *total* Rust lexer (raw strings, nested block
+//!   comments, char-vs-lifetime disambiguation). Property-tested to never
+//!   panic and always terminate on arbitrary bytes.
+//! * [`context`] — per-file scoping: library vs bin vs test vs bench
+//!   classification from the path, `#[cfg(test)]` region detection, and
+//!   `// fbs-lint: allow(rule)` pragmas.
+//! * [`rules`] + [`engine`] — the rule registry and the driver that walks
+//!   the workspace, applies each rule in scope, and filters excused
+//!   lines.
+//!
+//! Run it as `cargo run -p fbs-lint -- --workspace`.
+
+#![forbid(unsafe_code)]
+
+pub mod context;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use context::{FileKind, FileMeta, SourceFile};
+pub use engine::{
+    collect_rs_files, find_workspace_root, lint_bytes, lint_source, lint_workspace, render_json,
+    FileFinding, LintRun,
+};
+pub use rules::{rule_by_name, Finding, Rule, RULES};

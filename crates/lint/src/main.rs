@@ -1,0 +1,157 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! fbs-lint --workspace             # lint the enclosing cargo workspace
+//! fbs-lint --workspace --json     # machine-readable output
+//! fbs-lint --list-rules           # what is enforced, and why
+//! fbs-lint path/to/file.rs …      # lint specific files
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use fbs_lint::{
+    find_workspace_root, lint_bytes, lint_workspace, render_json, FileFinding, LintRun, RULES,
+};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+// Wall-clock timing is exactly what the `wall-clock` rule bans in library
+// crates; a binary reporting its own runtime is the sanctioned use.
+use std::time::Instant;
+
+struct Args {
+    workspace: bool,
+    json: bool,
+    list_rules: bool,
+    root: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        json: false,
+        list_rules: false,
+        root: None,
+        paths: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => args.workspace = true,
+            "--json" => args.json = true,
+            "--list-rules" => args.list_rules = true,
+            "--root" => {
+                let dir = it.next().ok_or("--root requires a directory argument")?;
+                args.root = Some(PathBuf::from(dir));
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag: {flag}\n{USAGE}"));
+            }
+            path => args.paths.push(PathBuf::from(path)),
+        }
+    }
+    if !args.workspace && !args.list_rules && args.paths.is_empty() {
+        return Err(format!("nothing to lint\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+const USAGE: &str = "usage: fbs-lint [--workspace] [--json] [--list-rules] [--root DIR] [FILES…]";
+
+fn list_rules() {
+    println!("fbs-lint rules (suppress a line with `// fbs-lint: allow(<rule>) <why>`):");
+    for rule in RULES {
+        println!("  {:22} {}", rule.name, rule.summary);
+    }
+}
+
+/// Lints explicitly-listed files, classifying each by its path relative
+/// to the workspace root when it sits under one.
+fn lint_paths(paths: &[PathBuf], root: &Path) -> Result<LintRun, String> {
+    let mut run = LintRun::default();
+    for path in paths {
+        let canon = path
+            .canonicalize()
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let rel = canon
+            .strip_prefix(root)
+            .unwrap_or(&canon)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read(&canon).map_err(|e| format!("{}: {e}", path.display()))?;
+        run.files_checked += 1;
+        for finding in lint_bytes(&rel, src) {
+            run.findings.push(FileFinding {
+                path: rel.clone(),
+                finding,
+            });
+        }
+    }
+    Ok(run)
+}
+
+fn main() -> ExitCode {
+    let started = Instant::now();
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("fbs-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        list_rules();
+        return ExitCode::SUCCESS;
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = match &args.root {
+        Some(dir) => dir.clone(),
+        None => find_workspace_root(&cwd).unwrap_or(cwd),
+    };
+
+    let run = if args.workspace {
+        match lint_workspace(&root) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("fbs-lint: walking {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match lint_paths(&args.paths, &root) {
+            Ok(run) => run,
+            Err(msg) => {
+                eprintln!("fbs-lint: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    if args.json {
+        print!("{}", render_json(&run));
+    } else {
+        for f in &run.findings {
+            println!("{}", f.render());
+        }
+        eprintln!(
+            "fbs-lint: {} file{} checked, {} violation{} ({} ms)",
+            run.files_checked,
+            if run.files_checked == 1 { "" } else { "s" },
+            run.findings.len(),
+            if run.findings.len() == 1 { "" } else { "s" },
+            started.elapsed().as_millis(),
+        );
+    }
+    if run.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,168 @@
+//! Fixture-driven rule tests: one firing and one non-firing case per rule.
+//!
+//! Every fixture under `fixtures/<rule>/` is linted as if it lived at a
+//! chosen workspace-relative path — the path controls the file kind and
+//! crate scoping, so positives are checked against the exact rule name
+//! *and* line, and negatives (near-misses: comments, strings, test
+//! regions, sanctioned idioms) must produce zero findings.
+
+#![forbid(unsafe_code)]
+
+use fbs_lint::lint_bytes;
+use std::path::Path;
+
+fn fixture(rule: &str, which: &str) -> Vec<u8> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(rule)
+        .join(format!("{which}.rs"));
+    std::fs::read(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Lints a fixture as if it lived at `virtual_path`, returning
+/// `(rule, line)` pairs in diagnostic order.
+fn lint_fixture(rule: &str, which: &str, virtual_path: &str) -> Vec<(String, u32)> {
+    lint_bytes(virtual_path, fixture(rule, which))
+        .into_iter()
+        .map(|f| (f.rule.to_string(), f.line))
+        .collect()
+}
+
+fn assert_fires(rule: &str, virtual_path: &str, expected_lines: &[u32]) {
+    let got = lint_fixture(rule, "positive", virtual_path);
+    let want: Vec<(String, u32)> = expected_lines
+        .iter()
+        .map(|&l| (rule.to_string(), l))
+        .collect();
+    assert_eq!(got, want, "positive fixture for {rule} at {virtual_path}");
+}
+
+fn assert_clean(rule: &str, virtual_path: &str) {
+    let got = lint_fixture(rule, "negative", virtual_path);
+    assert!(got.is_empty(), "negative fixture for {rule} fired: {got:?}");
+}
+
+#[test]
+fn wall_clock_fires_on_library_instant_now() {
+    assert_fires("wall-clock", "crates/geodb/src/fixture.rs", &[6]);
+}
+
+#[test]
+fn wall_clock_ignores_comments_strings_and_tests() {
+    assert_clean("wall-clock", "crates/geodb/src/fixture.rs");
+}
+
+#[test]
+fn wall_clock_exempts_binaries() {
+    // The same clock-reading code is sanctioned in a bin target (the
+    // missing-forbid-unsafe finding is expected there: a file under
+    // src/bin/ is a crate root, and the fixture omits the attribute).
+    let got = lint_fixture("wall-clock", "positive", "crates/bench/src/bin/fixture.rs");
+    assert!(
+        !got.iter().any(|(rule, _)| rule == "wall-clock"),
+        "bin target must be exempt from wall-clock, got {got:?}"
+    );
+}
+
+#[test]
+fn ambient_rng_fires_on_thread_rng() {
+    assert_fires("ambient-rng", "crates/geodb/src/fixture.rs", &[4]);
+}
+
+#[test]
+fn ambient_rng_ignores_world_rng_idiom() {
+    assert_clean("ambient-rng", "crates/geodb/src/fixture.rs");
+}
+
+#[test]
+fn unordered_persist_fires_on_hashmap_near_persist() {
+    assert_fires("unordered-persist", "crates/geodb/src/fixture.rs", &[4, 7]);
+}
+
+#[test]
+fn unordered_persist_accepts_btreemap() {
+    assert_clean("unordered-persist", "crates/geodb/src/fixture.rs");
+}
+
+#[test]
+fn unordered_persist_only_guards_persist_files() {
+    // Without a Persist/ByteWriter mention the rule does not apply, so a
+    // HashMap far from serialization is fine. Strip the `use ... Persist`
+    // line to simulate that.
+    let src = fixture("unordered-persist", "positive");
+    let stripped: Vec<u8> = String::from_utf8(src)
+        .unwrap()
+        .lines()
+        .filter(|l| !l.contains("Persist"))
+        .flat_map(|l| l.bytes().chain([b'\n']))
+        .collect();
+    let got = lint_bytes("crates/geodb/src/fixture.rs", stripped);
+    assert!(got.is_empty(), "rule over-applies: {got:?}");
+}
+
+#[test]
+fn panic_in_pipeline_fires_on_all_shapes() {
+    // line 6: .unwrap(), line 7: m[&k] map indexing, line 11: panic!.
+    assert_fires(
+        "panic-in-pipeline",
+        "crates/core/src/fixture.rs",
+        &[6, 7, 11],
+    );
+}
+
+#[test]
+fn panic_in_pipeline_ignores_safe_idioms_and_tests() {
+    assert_clean("panic-in-pipeline", "crates/core/src/fixture.rs");
+}
+
+#[test]
+fn panic_in_pipeline_scopes_to_pipeline_crates() {
+    // The same panicking code is out of scope in a non-pipeline crate.
+    let got = lint_fixture(
+        "panic-in-pipeline",
+        "positive",
+        "crates/geodb/src/fixture.rs",
+    );
+    assert!(got.is_empty(), "rule escaped its crates: {got:?}");
+}
+
+#[test]
+fn nan_unsafe_cmp_fires_on_partial_cmp_unwrap_and_float_eq() {
+    // line 4: partial_cmp().unwrap(), line 8: x == 0.0.
+    assert_fires("nan-unsafe-cmp", "crates/analysis/src/fixture.rs", &[4, 8]);
+}
+
+#[test]
+fn nan_unsafe_cmp_accepts_total_cmp_and_tolerances() {
+    assert_clean("nan-unsafe-cmp", "crates/analysis/src/fixture.rs");
+}
+
+#[test]
+fn missing_forbid_unsafe_fires_at_file_head() {
+    assert_fires("missing-forbid-unsafe", "crates/geodb/src/lib.rs", &[1]);
+}
+
+#[test]
+fn missing_forbid_unsafe_satisfied_by_attribute() {
+    assert_clean("missing-forbid-unsafe", "crates/geodb/src/lib.rs");
+}
+
+#[test]
+fn missing_forbid_unsafe_only_guards_crate_roots() {
+    // A non-root module without the attribute is fine.
+    let got = lint_fixture(
+        "missing-forbid-unsafe",
+        "positive",
+        "crates/geodb/src/fixture.rs",
+    );
+    assert!(got.is_empty(), "rule fired off the crate root: {got:?}");
+}
+
+#[test]
+fn every_rule_has_both_fixtures() {
+    for rule in fbs_lint::RULES {
+        for which in ["positive", "negative"] {
+            let _ = fixture(rule.name, which); // panics with the path if missing
+        }
+    }
+}

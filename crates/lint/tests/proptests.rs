@@ -1,0 +1,64 @@
+//! Property tests for the linter's lexer and pipeline.
+//!
+//! The lexer is the linter's trust boundary: it must be *total* — never
+//! panic, always terminate, and account for every input byte — on
+//! arbitrary bytes, not just valid Rust. The full lint pipeline inherits
+//! the same obligation, since CI points it at whatever is on disk.
+
+#![forbid(unsafe_code)]
+
+use fbs_lint::lexer::lex;
+use fbs_lint::lint_bytes;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn lexer_is_total_on_arbitrary_bytes(src in vec(any::<u8>(), 0..512usize)) {
+        // Terminates (no infinite loop) and never panics.
+        let tokens = lex(&src);
+        // Tokens are in order, within bounds, and never empty — the
+        // guarantee that the scanner always advances.
+        let mut pos = 0usize;
+        for t in &tokens {
+            prop_assert!(t.start >= pos, "token moved backwards");
+            prop_assert!(t.start < t.end, "empty token");
+            prop_assert!(t.end <= src.len(), "token past end of input");
+            pos = t.end;
+        }
+    }
+
+    #[test]
+    fn lexer_is_total_on_rust_like_soup(picks in vec(any::<u8>(), 0..24usize)) {
+        // Adversarial near-Rust: unterminated strings, raw-string fences,
+        // nested comment openers, lifetimes vs chars. Must still be total.
+        const PIECES: &[&str] = &[
+            "fn ", "let x = ", "\"str", "r#\"raw", "/* nest /* ed ",
+            "// line\n", "'a'", "'life", "1.5e3", "0..n", "::", "#![",
+            "unwrap()", ".expect(\"msg\")", "\\u{7f}", "\u{410}\u{431}",
+        ];
+        let src: Vec<u8> = picks
+            .iter()
+            .flat_map(|p| PIECES[*p as usize % PIECES.len()].bytes())
+            .collect();
+        let tokens = lex(&src);
+        let covered: usize = tokens.iter().map(|t| t.end - t.start).sum();
+        prop_assert!(covered <= src.len());
+    }
+
+    #[test]
+    fn lint_pipeline_is_total_on_arbitrary_bytes(
+        src in vec(any::<u8>(), 0..512usize),
+        path_pick in 0usize..4,
+    ) {
+        // The whole pipeline (lex → classify → rules → pragma filter)
+        // must hold the same no-panic guarantee the rules enforce.
+        let path = [
+            "crates/core/src/lib.rs",
+            "crates/analysis/src/fuzz.rs",
+            "crates/journal/src/wal.rs",
+            "src/bin/fuzz.rs",
+        ][path_pick];
+        let _ = lint_bytes(path, src);
+    }
+}

@@ -26,7 +26,7 @@ use fbs_prober::packet::{self, IcmpKind};
 use fbs_prober::{QualityConfig, Transport};
 use fbs_types::{Round, RoundQuality, Timestamp};
 use serde::{Deserialize, Serialize};
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Salts decorrelating the per-fault decision streams.
 mod salt {
@@ -381,7 +381,7 @@ pub struct FaultyTransport<T> {
     pub stats: FaultStats,
     probe_seq: u64,
     reply_seq: u64,
-    budgets: HashMap<[u8; 3], u32>,
+    budgets: BTreeMap<[u8; 3], u32>,
     delayed: BinaryHeap<Pending>,
     scratch: Vec<(u64, Vec<u8>)>,
 }
@@ -407,7 +407,7 @@ impl<T: Transport> FaultyTransport<T> {
             stats: FaultStats::default(),
             probe_seq: 0,
             reply_seq: 0,
-            budgets: HashMap::new(),
+            budgets: BTreeMap::new(),
             delayed: BinaryHeap::new(),
             scratch: Vec::new(),
         }

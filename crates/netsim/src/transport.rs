@@ -11,7 +11,7 @@ use crate::world::World;
 use fbs_prober::packet::{self, ParsedReply};
 use fbs_prober::{ResponderBitmap, Transport};
 use fbs_types::{BlockId, Round};
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 #[derive(Debug, PartialEq, Eq)]
 struct Pending {
@@ -36,7 +36,7 @@ pub struct WorldTransport<'a> {
     world: &'a World,
     round: Round,
     queue: BinaryHeap<Pending>,
-    bitmap_cache: HashMap<usize, ResponderBitmap>,
+    bitmap_cache: BTreeMap<usize, ResponderBitmap>,
     /// Probes that reached no simulated host.
     pub unanswered: u64,
 }
@@ -52,7 +52,7 @@ impl<'a> WorldTransport<'a> {
             world,
             round,
             queue: BinaryHeap::new(),
-            bitmap_cache: HashMap::new(),
+            bitmap_cache: BTreeMap::new(),
             unanswered: 0,
         }
     }

@@ -59,8 +59,7 @@ impl P2Quantile {
             self.q[self.count as usize] = x;
             self.count += 1;
             if self.count == 5 {
-                self.q
-                    .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+                self.q.sort_by(f64::total_cmp);
             }
             return;
         }
@@ -128,7 +127,7 @@ impl P2Quantile {
             0 => None,
             c if c < 5 => {
                 let mut head: Vec<f64> = self.q[..c as usize].to_vec();
-                head.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+                head.sort_by(f64::total_cmp);
                 let rank = (self.p * (c as f64 - 1.0)).round() as usize;
                 Some(head[rank.min(c as usize - 1)])
             }

@@ -118,6 +118,11 @@ impl Detector {
         window: usize,
         warmup: usize,
     ) -> Self {
+        // Constructor contract: thresholds are validated before any
+        // detector is built on the Campaign path (CampaignConfig::validate
+        // runs at Campaign::new). A direct caller handing in garbage is a
+        // programming error, not a recoverable runtime condition.
+        // fbs-lint: allow(panic-in-pipeline) constructor precondition, validated upstream
         thresholds.validate().expect("validated thresholds");
         Detector {
             entity,
@@ -193,6 +198,7 @@ impl Detector {
             let track = &self.tracks[i];
             if let Some(v) = value {
                 if track.ma.warmed_up(self.warmup) {
+                    // fbs-lint: allow(panic-in-pipeline) warmed_up(n>=1) implies samples exist
                     let mean = track.ma.mean().expect("warmed up implies samples");
                     // BGP factors are never damped: routing data does not
                     // traverse the (possibly faulty) measurement path.
@@ -238,6 +244,7 @@ impl Detector {
         // Zero-BGP flag: routing nothing at all is always an outage.
         if self.thresholds.zero_bgp_flag {
             if let Some(bgp) = input.bgp {
+                // fbs-lint: allow(nan-unsafe-cmp) exact-zero sentinel: zero announced routes
                 if bgp == 0.0
                     && self.tracks[SignalKind::Bgp.index()]
                         .ma

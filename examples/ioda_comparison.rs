@@ -6,6 +6,8 @@
 //! cargo run --release --example ioda_comparison
 //! ```
 
+#![forbid(unsafe_code)]
+
 use ukraine_fbs::analysis::compare::{coverage_cdf, coverage_summary, signal_shares};
 use ukraine_fbs::prelude::*;
 

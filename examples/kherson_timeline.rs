@@ -6,6 +6,8 @@
 //! cargo run --release --example kherson_timeline
 //! ```
 
+#![forbid(unsafe_code)]
+
 use ukraine_fbs::prelude::*;
 use ukraine_fbs::signals::EntityId;
 

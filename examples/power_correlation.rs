@@ -7,6 +7,8 @@
 //! cargo run --release --example power_correlation
 //! ```
 
+#![forbid(unsafe_code)]
+
 use ukraine_fbs::analysis::{pearson, DailyHours};
 use ukraine_fbs::prelude::*;
 use ukraine_fbs::types::ALL_OBLASTS;

@@ -5,6 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![forbid(unsafe_code)]
+
 use ukraine_fbs::prelude::*;
 
 fn main() {

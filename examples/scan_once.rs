@@ -6,6 +6,8 @@
 //! cargo run --release --example scan_once
 //! ```
 
+#![forbid(unsafe_code)]
+
 use ukraine_fbs::netsim::WorldTransport;
 use ukraine_fbs::prelude::*;
 use ukraine_fbs::prober::{ScanConfig, Scanner, TargetSet};

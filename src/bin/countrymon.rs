@@ -9,6 +9,8 @@
 //!
 //! Scales: `tiny` (seconds), `small` (default, ~10 s), `paper` (minutes).
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 use ukraine_fbs::netsim::WorldTransport;
 use ukraine_fbs::prelude::*;

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 use fbs_analysis::signal_shares;
 use std::time::Instant;
 fn main() {

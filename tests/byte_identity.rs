@@ -1,0 +1,129 @@
+//! Byte-identity of everything the pipeline persists.
+//!
+//! The `unordered-persist` lint rule exists because hash-ordered
+//! iteration can leak process-random ordering into serialized state.
+//! These tests pin the property the rule protects, end to end: two
+//! independent runs of the same campaign must produce **byte-identical**
+//! checkpoint files (snapshot + journal) and byte-identical dataset
+//! exports — not merely equal in-memory reports.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use ukraine_fbs::core::checkpoint::{JOURNAL_FILE, SNAPSHOT_FILE};
+use ukraine_fbs::core::dataset::{availability_csv, availability_rows, outage_csv, outage_rows};
+use ukraine_fbs::core::CheckpointPolicy;
+use ukraine_fbs::netsim::{AsProfile, AsSpec, BlockSpec, Script, World, WorldConfig, WorldScale};
+use ukraine_fbs::prelude::*;
+use ukraine_fbs::types::{Oblast, Prefix};
+
+const ROUNDS: u32 = 240; // 20 days at 12 rounds/day
+
+fn world(seed: u64) -> World {
+    let asn = Asn(200);
+    let blocks: Vec<BlockSpec> = (0..6u8)
+        .map(|c| BlockSpec {
+            block: BlockId::from_octets(10, 1, c),
+            owner: asn,
+            home: Oblast::Kharkiv,
+            base_responders: 100,
+            geo_population: 200,
+            response_prob: 0.9,
+            diurnal: true,
+            power_backup: 1.0,
+            annual_decay: 1.0,
+        })
+        .collect();
+    let config = WorldConfig {
+        seed,
+        scale: WorldScale::Tiny,
+        rounds: ROUNDS,
+        ases: vec![AsSpec {
+            asn,
+            name: "byte-identity".into(),
+            profile: AsProfile::Regional,
+            hq: Some(Oblast::Kharkiv),
+            prefixes: blocks.iter().map(|b| Prefix::from_block(b.block)).collect(),
+            base_rtt_ns: 40_000_000,
+            upstream: Asn(1),
+        }],
+        blocks,
+    };
+    World::new(config, Script::new(), vec![]).expect("valid config")
+}
+
+fn campaign() -> Campaign {
+    let mut cfg = CampaignConfig::without_baseline();
+    cfg.tracked.clear();
+    cfg.rtt_tracked.clear();
+    Campaign::new(world(23), cfg).expect("valid config")
+}
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("fbs-bytes-{tag}-{}-{n}", std::process::id()))
+}
+
+fn policy() -> CheckpointPolicy {
+    CheckpointPolicy {
+        snapshot_every: 84,
+        fsync: false,
+    }
+}
+
+#[test]
+fn two_runs_write_identical_checkpoint_bytes() {
+    let campaign = campaign();
+    let (dir_a, dir_b) = (fresh_dir("a"), fresh_dir("b"));
+    let report_a = campaign.run_checkpointed(&dir_a, policy()).expect("run a");
+    let report_b = campaign.run_checkpointed(&dir_b, policy()).expect("run b");
+    assert_eq!(format!("{report_a:?}"), format!("{report_b:?}"));
+
+    for file in [SNAPSHOT_FILE, JOURNAL_FILE] {
+        let a = std::fs::read(dir_a.join(file)).expect(file);
+        let b = std::fs::read(dir_b.join(file)).expect(file);
+        assert_eq!(a, b, "{file} differs between two identical runs");
+    }
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn two_reports_render_identical_dataset_bytes() {
+    let campaign = campaign();
+    let report_a = campaign.run().expect("run a");
+    let report_b = campaign.run().expect("run b");
+
+    // CSV rendering is pure string assembly: any divergence here means
+    // iteration order leaked into an emission boundary.
+    let avail_a = availability_csv(&availability_rows(&report_a));
+    let avail_b = availability_csv(&availability_rows(&report_b));
+    assert_eq!(avail_a.into_bytes(), avail_b.into_bytes());
+    let out_a = outage_csv(&outage_rows(&report_a));
+    let out_b = outage_csv(&outage_rows(&report_b));
+    assert_eq!(out_a.into_bytes(), out_b.into_bytes());
+}
+
+#[test]
+fn two_exports_write_identical_files() {
+    let campaign = campaign();
+    let report = campaign.run().expect("run");
+    let (dir_a, dir_b) = (fresh_dir("xa"), fresh_dir("xb"));
+    // Offline stub builds cannot serialize the JSON halves; when export
+    // succeeds (any real build), every emitted file must be byte-stable.
+    let exported = ukraine_fbs::core::dataset::export_all(&report, &dir_a).is_ok()
+        && ukraine_fbs::core::dataset::export_all(&report, &dir_b).is_ok();
+    if exported {
+        for file in [
+            "block_availability.csv",
+            "block_availability.json",
+            "outages.csv",
+            "outages.json",
+        ] {
+            let a = std::fs::read(dir_a.join(file)).expect(file);
+            let b = std::fs::read(dir_b.join(file)).expect(file);
+            assert_eq!(a, b, "{file} differs between two exports");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
