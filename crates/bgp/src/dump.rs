@@ -2,17 +2,29 @@
 //!
 //! One route per line: `prefix|asn,asn,...,origin` — a deliberately minimal
 //! analogue of the `show ip bgp`-style exports RouteViews publishes. The
-//! format is line-oriented so dumps can be streamed, diffed and grepped;
-//! parsing is strict (any malformed line is an error with context) because
-//! dumps are machine-generated.
+//! format is line-oriented so dumps can be streamed, diffed and grepped.
+//!
+//! Two parse modes exist. [`from_str`] is strict (any malformed or
+//! duplicate line is an error with `line N:` context) because
+//! machine-generated round-trips must be perfect. [`parse_lossy`] is the
+//! feed-resilience path: it never fails, instead quarantining each
+//! malformed record with its line context so the feed layer can judge the
+//! dump against tolerance thresholds.
 
 use crate::rib::Rib;
-use fbs_types::{Asn, FbsError, Prefix, Result};
+use fbs_types::{Asn, FbsError, Prefix, QuarantinedRecord, Result};
 use std::fmt::Write as _;
 
 /// Serializes a RIB to the line format, prefixes in address order.
+///
+/// The first line is a `# routes: N` comment declaring the record count.
+/// Parsers skip it like any comment, but the feed layer reads it to
+/// detect truncated deliveries — absent bytes leave no malformed lines
+/// for the lossy parser to quarantine, so only a declared count makes a
+/// short dump distinguishable from a genuinely small one.
 pub fn to_string(rib: &Rib) -> String {
     let mut out = String::new();
+    let _ = writeln!(out, "# routes: {}", rib.num_routes());
     for (prefix, entry) in rib.iter() {
         let _ = write!(out, "{prefix}|");
         for (i, asn) in entry.path.iter().enumerate() {
@@ -26,10 +38,33 @@ pub fn to_string(rib: &Rib) -> String {
     out
 }
 
+/// Splits one non-blank, non-comment dump line into its route. Errors
+/// carry `(reason, offending input)` without line context — the strict and
+/// lossy wrappers add the `line N:` prefix.
+fn parse_route_line(line: &str) -> std::result::Result<(Prefix, Vec<Asn>), (String, String)> {
+    let (prefix, path) = line
+        .split_once('|')
+        .ok_or_else(|| ("missing '|'".to_string(), line.to_string()))?;
+    let prefix: Prefix = prefix
+        .parse()
+        .map_err(|_| ("bad prefix".to_string(), line.to_string()))?;
+    let mut asns = Vec::with_capacity(4);
+    for a in path.split(',') {
+        let asn = a
+            .trim()
+            .parse::<u32>()
+            .map(Asn)
+            .map_err(|_| ("bad ASN".to_string(), a.to_string()))?;
+        asns.push(asn);
+    }
+    Ok((prefix, asns))
+}
+
 /// Parses a dump produced by [`to_string`] back into a RIB.
 ///
-/// Blank lines and `#` comments are permitted; anything else malformed is a
-/// [`FbsError::Parse`].
+/// Blank lines and `#` comments are permitted; anything else malformed —
+/// including a prefix announced twice, which a canonical dump never
+/// contains — is a [`FbsError::Parse`] with `line N:` context.
 pub fn from_str(s: &str) -> Result<Rib> {
     let mut rib = Rib::new();
     for (lineno, line) in s.lines().enumerate() {
@@ -37,24 +72,46 @@ pub fn from_str(s: &str) -> Result<Rib> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (prefix, path) = line
-            .split_once('|')
-            .ok_or_else(|| FbsError::parse(format!("line {}: missing '|'", lineno + 1), line))?;
-        let prefix: Prefix = prefix
-            .parse()
-            .map_err(|_| FbsError::parse(format!("line {}: bad prefix", lineno + 1), line))?;
-        let path: Result<Vec<Asn>> = path
-            .split(',')
-            .map(|a| {
-                a.trim()
-                    .parse::<u32>()
-                    .map(Asn)
-                    .map_err(|_| FbsError::parse(format!("line {}: bad ASN", lineno + 1), a))
-            })
-            .collect();
-        rib.announce(prefix, path?)?;
+        let (prefix, path) = parse_route_line(line).map_err(|(reason, input)| {
+            FbsError::parse(format!("line {}: {reason}", lineno + 1), &input)
+        })?;
+        if rib.route_exact(prefix).is_some() {
+            return Err(FbsError::parse(
+                format!("line {}: duplicate prefix", lineno + 1),
+                line,
+            ));
+        }
+        rib.announce(prefix, path)
+            .map_err(|e| FbsError::parse(format!("line {}: {e}", lineno + 1), line))?;
     }
     Ok(rib)
+}
+
+/// Lossy parse: never fails. Malformed and duplicate lines are set aside
+/// as [`QuarantinedRecord`]s (with 1-based line context) while every
+/// well-formed route still lands in the RIB. Tolerance judgement — how
+/// much quarantine is too much — belongs to the caller (`fbs-feeds`).
+pub fn parse_lossy(s: &str) -> (Rib, Vec<QuarantinedRecord>) {
+    let mut rib = Rib::new();
+    let mut quarantine = Vec::new();
+    for (lineno, line) in s.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = (lineno + 1) as u32;
+        match parse_route_line(line) {
+            Err((reason, _)) => quarantine.push(QuarantinedRecord::new(lineno, reason, line)),
+            Ok((prefix, path)) => {
+                if rib.route_exact(prefix).is_some() {
+                    quarantine.push(QuarantinedRecord::new(lineno, "duplicate prefix", line));
+                } else if let Err(e) = rib.announce(prefix, path) {
+                    quarantine.push(QuarantinedRecord::new(lineno, e.to_string(), line));
+                }
+            }
+        }
+    }
+    (rib, quarantine)
 }
 
 #[cfg(test)]
@@ -171,9 +228,59 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_prefix_is_an_error_with_line_context() {
+        // Regression: route-table errors used to propagate out of
+        // `rib.announce` without the `line N:` prefix the other parse
+        // errors carry. A duplicate prefix is the reachable case — a
+        // canonical dump never repeats a prefix, so strict mode rejects it.
+        let (reason, input) = parse_err("10.0.0.0/24|65000\n10.0.0.0/24|65001\n");
+        assert!(reason.contains("line 2"), "missing line context: {reason}");
+        assert!(
+            reason.contains("duplicate prefix"),
+            "wrong reason: {reason}"
+        );
+        assert_eq!(input, "10.0.0.0/24|65001");
+    }
+
+    #[test]
+    fn lossy_quarantines_instead_of_failing() {
+        let text = "10.0.0.0/24|65000\n\
+                    not-a-prefix|1\n\
+                    10.0.1.0/24|3356,abc\n\
+                    10.0.0.0/24|65001\n\
+                    10.0.2.0/24|21151\n";
+        let (rib, quarantine) = parse_lossy(text);
+        assert_eq!(rib.num_routes(), 2);
+        assert!(rib.route_exact("10.0.2.0/24".parse().unwrap()).is_some());
+        // The duplicate keeps the first announcement, not last-wins.
+        assert_eq!(
+            rib.route_exact("10.0.0.0/24".parse().unwrap())
+                .unwrap()
+                .path,
+            vec![Asn(65000)]
+        );
+        assert_eq!(quarantine.len(), 3);
+        assert_eq!(quarantine[0].line, 2);
+        assert!(quarantine[0].reason.contains("bad prefix"));
+        assert_eq!(quarantine[1].line, 3);
+        assert!(quarantine[1].reason.contains("bad ASN"));
+        assert_eq!(quarantine[2].line, 4);
+        assert!(quarantine[2].reason.contains("duplicate prefix"));
+    }
+
+    #[test]
+    fn lossy_on_valid_dump_quarantines_nothing_and_roundtrips() {
+        let dump = to_string(&sample_rib());
+        let (rib, quarantine) = parse_lossy(&dump);
+        assert!(quarantine.is_empty());
+        assert_eq!(to_string(&rib), dump);
+    }
+
+    #[test]
     fn dump_is_line_oriented() {
         let dump = to_string(&sample_rib());
-        assert_eq!(dump.lines().count(), 2);
-        assert!(dump.lines().all(|l| l.contains('|')));
+        assert_eq!(dump.lines().count(), 3);
+        assert_eq!(dump.lines().next().unwrap(), "# routes: 2");
+        assert!(dump.lines().skip(1).all(|l| l.contains('|')));
     }
 }

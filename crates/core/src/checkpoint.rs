@@ -24,6 +24,7 @@
 //! full state).
 
 use crate::pipeline::PipelineState;
+use fbs_feeds::FeedQuarantine;
 use fbs_journal::{quarantine_snapshot, read_snapshot, write_snapshot, Journal, JournalRecovery};
 use fbs_types::codec::{ByteReader, ByteWriter, Persist};
 use fbs_types::{FbsError, Result, Round, RoundQuality};
@@ -33,7 +34,10 @@ use std::path::{Path, PathBuf};
 /// payload. Bumped on any change to [`RoundRecord`] or `PipelineState`
 /// encoding; files with another version are rejected as corrupt rather
 /// than misread.
-pub const STATE_VERSION: u32 = 1;
+///
+/// Version history: 1 — initial crash-safe campaigns; 2 — feed-delivery
+/// observations ([`FeedObs`]) and the per-block `routed_known` bit.
+pub const STATE_VERSION: u32 = 2;
 
 /// Journal file name inside a checkpoint directory.
 pub const JOURNAL_FILE: &str = "rounds.wal";
@@ -79,6 +83,11 @@ pub(crate) struct RoundRecord {
     /// Per-block observations, indexed like `World::blocks`; empty when
     /// the round was skipped.
     pub blocks: Vec<BlockObs>,
+    /// Feed-delivery observations in [`fbs_types::FeedKind::ALL`] order.
+    /// Empty when the feed layer is disabled (`feed_plan: None`), exactly
+    /// three entries when it is on. Feeds are fetched even on rounds the
+    /// vantage sat offline — the mirrors do not care about our scanner.
+    pub feeds: Vec<FeedObs>,
 }
 
 /// One block's measured values after the faulty measurement path.
@@ -90,6 +99,12 @@ pub(crate) struct BlockObs {
     pub rtt_ns: u64,
     /// Whether the block was BGP-routed.
     pub routed: bool,
+    /// Whether this round's BGP feed actually delivered knowledge of the
+    /// block's routing state. `false` means the route record was lost to
+    /// quarantine (or the whole dump was rejected or absent): the pipeline
+    /// must carry the last known routed bit forward instead of trusting
+    /// `routed`. Always `true` when the feed layer is off.
+    pub routed_known: bool,
 }
 
 impl Persist for BlockObs {
@@ -97,13 +112,93 @@ impl Persist for BlockObs {
         w.put_u32(self.responsive);
         w.put_u64(self.rtt_ns);
         w.put_bool(self.routed);
+        w.put_bool(self.routed_known);
     }
     fn restore(r: &mut ByteReader<'_>) -> Result<Self> {
         Ok(BlockObs {
             responsive: r.get_u32()?,
             rtt_ns: r.get_u64()?,
             routed: r.get_bool()?,
+            routed_known: r.get_bool()?,
         })
+    }
+}
+
+/// What one round's delivery attempt(s) for one feed produced.
+///
+/// The journal keeps the full quarantine detail so crash replay reproduces
+/// the staleness ledger and the quarantine report byte-for-byte without
+/// re-fetching anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum FeedObs {
+    /// The feed was not due this round (monthly / yearly cadence).
+    NotDue,
+    /// A delivery arrived and passed tolerance; `quarantine` may still
+    /// carry individually lost records.
+    Accepted {
+        /// Extra fetch attempts consumed before the delivery landed.
+        retries: u32,
+        /// What the lossy parse set aside.
+        quarantine: FeedQuarantine,
+    },
+    /// A delivery arrived but exceeded tolerance; carried forward.
+    Rejected {
+        /// Extra fetch attempts consumed before the delivery landed.
+        retries: u32,
+        /// The evidence for the rejection.
+        quarantine: FeedQuarantine,
+    },
+    /// No delivery at all after the retry budget.
+    Absent {
+        /// Extra fetch attempts consumed (the whole budget).
+        retries: u32,
+    },
+}
+
+impl Persist for FeedObs {
+    fn persist(&self, w: &mut ByteWriter) {
+        match self {
+            FeedObs::NotDue => w.put_u8(0),
+            FeedObs::Accepted {
+                retries,
+                quarantine,
+            } => {
+                w.put_u8(1);
+                w.put_u32(*retries);
+                quarantine.persist(w);
+            }
+            FeedObs::Rejected {
+                retries,
+                quarantine,
+            } => {
+                w.put_u8(2);
+                w.put_u32(*retries);
+                quarantine.persist(w);
+            }
+            FeedObs::Absent { retries } => {
+                w.put_u8(3);
+                w.put_u32(*retries);
+            }
+        }
+    }
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(FeedObs::NotDue),
+            1 => Ok(FeedObs::Accepted {
+                retries: r.get_u32()?,
+                quarantine: FeedQuarantine::restore(r)?,
+            }),
+            2 => Ok(FeedObs::Rejected {
+                retries: r.get_u32()?,
+                quarantine: FeedQuarantine::restore(r)?,
+            }),
+            3 => Ok(FeedObs::Absent {
+                retries: r.get_u32()?,
+            }),
+            other => Err(FbsError::Io {
+                reason: format!("unknown feed observation tag {other}"),
+            }),
+        }
     }
 }
 
@@ -114,6 +209,7 @@ impl Persist for RoundRecord {
         w.put_bool(self.online);
         self.quality.persist(w);
         self.blocks.persist(w);
+        self.feeds.persist(w);
     }
     fn restore(r: &mut ByteReader<'_>) -> Result<Self> {
         let version = r.get_u32()?;
@@ -127,6 +223,7 @@ impl Persist for RoundRecord {
             online: r.get_bool()?,
             quality: RoundQuality::restore(r)?,
             blocks: Vec::<BlockObs>::restore(r)?,
+            feeds: Vec::<FeedObs>::restore(r)?,
         })
     }
 }
@@ -296,13 +393,16 @@ mod tests {
                     responsive: 118,
                     rtt_ns: 40_120_000,
                     routed: true,
+                    routed_known: true,
                 },
                 BlockObs {
                     responsive: 0,
                     rtt_ns: 0,
                     routed: false,
+                    routed_known: false,
                 },
             ],
+            feeds: Vec::new(),
         };
         let back = RoundRecord::decode(&record.encode()).unwrap();
         assert_eq!(back, record);
@@ -312,8 +412,50 @@ mod tests {
             online: false,
             quality: RoundQuality::Unusable,
             blocks: Vec::new(),
+            feeds: Vec::new(),
         };
         assert_eq!(RoundRecord::decode(&skipped.encode()).unwrap(), skipped);
+    }
+
+    #[test]
+    fn round_record_with_feed_observations_roundtrips() {
+        let quarantine = FeedQuarantine::measure(
+            "10.0.0.0/24|65000\ngarbage\n",
+            1,
+            vec![fbs_types::QuarantinedRecord::new(
+                2,
+                "missing '|'",
+                "garbage",
+            )],
+        );
+        let record = RoundRecord {
+            round: Round(9),
+            online: true,
+            quality: RoundQuality::Ok,
+            blocks: vec![BlockObs {
+                responsive: 3,
+                rtt_ns: 1,
+                routed: true,
+                routed_known: false,
+            }],
+            feeds: vec![
+                FeedObs::Accepted {
+                    retries: 1,
+                    quarantine: quarantine.clone(),
+                },
+                FeedObs::NotDue,
+                FeedObs::Rejected {
+                    retries: 0,
+                    quarantine,
+                },
+            ],
+        };
+        assert_eq!(RoundRecord::decode(&record.encode()).unwrap(), record);
+        let absent = RoundRecord {
+            feeds: vec![FeedObs::Absent { retries: 2 }; 3],
+            ..record
+        };
+        assert_eq!(RoundRecord::decode(&absent.encode()).unwrap(), absent);
     }
 
     #[test]
@@ -323,9 +465,14 @@ mod tests {
             online: true,
             quality: RoundQuality::Ok,
             blocks: Vec::new(),
+            feeds: Vec::new(),
         };
         let mut bytes = record.encode();
         bytes[0] = 99; // version byte
+        assert!(RoundRecord::decode(&bytes).is_err());
+        // A version-1 record (pre-feed-layer schema) is version drift too.
+        let mut bytes = record.encode();
+        bytes[0] = 1;
         assert!(RoundRecord::decode(&bytes).is_err());
         // Trailing garbage after a valid record is also rejected.
         let mut bytes = record.encode();

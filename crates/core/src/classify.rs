@@ -57,15 +57,39 @@ impl RegionClassification {
     }
 }
 
-/// Runs the monthly snapshot loop and classification.
-///
-/// `routed_months` reports, per AS, which month indexes the AS announced
-/// anything (from the BGP side of the world).
-pub fn classify_world(world: &World, config: &RegionalityConfig) -> ClassificationOutcome {
+/// The months a campaign over `world` covers, in order.
+pub fn campaign_months(world: &World) -> Vec<MonthId> {
     let first = MonthId::campaign_first();
     let last_round = Round(world.rounds().saturating_sub(1));
     let last = last_round.month();
-    let months: Vec<MonthId> = first.range_inclusive(last).collect();
+    first.range_inclusive(last).collect()
+}
+
+/// Runs the monthly snapshot loop and classification against the world's
+/// pristine geolocation snapshots (the no-feed-faults path).
+pub fn classify_world(world: &World, config: &RegionalityConfig) -> ClassificationOutcome {
+    let snapshots: Vec<GeoSnapshot> = campaign_months(world)
+        .iter()
+        .map(|month| geo::geo_snapshot(world, *month))
+        .collect();
+    classify_world_with_snapshots(world, config, &snapshots)
+}
+
+/// Runs classification over externally supplied monthly snapshots, one per
+/// campaign month in order.
+///
+/// This is the feed-resilience entry point: when the geolocation feed goes
+/// stale or dark, the caller passes the *delivered* snapshot history —
+/// with missing months carried forward from the last accepted delivery —
+/// so regional classification freezes on stale data instead of silently
+/// reclassifying against a database that never arrived.
+pub fn classify_world_with_snapshots(
+    world: &World,
+    config: &RegionalityConfig,
+    snapshots: &[GeoSnapshot],
+) -> ClassificationOutcome {
+    let months = campaign_months(world);
+    debug_assert_eq!(months.len(), snapshots.len(), "one snapshot per month");
 
     // Per-AS routed months from the block timelines: an AS is routed in a
     // month if any of its blocks is reachable at any round of the month.
@@ -107,8 +131,10 @@ pub fn classify_world(world: &World, config: &RegionalityConfig) -> Classificati
     let mut as_total_ua: BTreeMap<Asn, Vec<u32>> = BTreeMap::new();
     let mut block_region: BTreeMap<(BlockId, Oblast), Vec<u16>> = BTreeMap::new();
     let mut block_owner: BTreeMap<BlockId, Asn> = BTreeMap::new();
-    for (mi, month) in months.iter().enumerate() {
-        let snap: GeoSnapshot = geo::geo_snapshot(world, *month);
+    for (mi, _month) in months.iter().enumerate() {
+        let Some(snap) = snapshots.get(mi) else {
+            continue; // defensively tolerate a short snapshot history
+        };
         for rec in snap.iter() {
             let owner = rec.asn.unwrap_or(Asn(0));
             block_owner.entry(rec.block).or_insert(owner);

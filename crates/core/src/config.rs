@@ -1,6 +1,7 @@
 //! Campaign configuration.
 
-use fbs_netsim::FaultPlan;
+use fbs_feeds::{LossyTolerance, RetryPolicy};
+use fbs_netsim::{FaultPlan, FeedFaultPlan};
 use fbs_prober::QualityConfig;
 use fbs_regional::RegionalityConfig;
 use fbs_signals::{EligibilityConfig, EntityId, Thresholds};
@@ -44,6 +45,20 @@ pub struct CampaignConfig {
     /// delivery rate under loss before a round is declared degraded.
     #[serde(default)]
     pub scan_retries: u32,
+    /// Optional feed-fault schedule for the three metadata feeds (BGP RIB
+    /// dumps, monthly geolocation snapshots, RIR delegation files).
+    /// `None` disables the feed-delivery layer entirely: the pipeline
+    /// consumes world truth directly, exactly as before the feed layer
+    /// existed. `Some` — even of an empty plan — routes every feed
+    /// through delivery, ingest and the staleness ledger.
+    #[serde(default)]
+    pub feed_plan: Option<FeedFaultPlan>,
+    /// Lossy-parse acceptance thresholds for feed deliveries.
+    #[serde(default)]
+    pub feed_tolerance: LossyTolerance,
+    /// Deterministic fetch retry/backoff budget per feed per round.
+    #[serde(default)]
+    pub feed_retry: RetryPolicy,
 }
 
 impl Default for CampaignConfig {
@@ -70,6 +85,9 @@ impl Default for CampaignConfig {
             fault_plan: None,
             quality: QualityConfig::default(),
             scan_retries: 0,
+            feed_plan: None,
+            feed_tolerance: LossyTolerance::default(),
+            feed_retry: RetryPolicy::default(),
         }
     }
 }
@@ -92,6 +110,10 @@ impl CampaignConfig {
         if let Some(plan) = &self.fault_plan {
             plan.validate()?;
         }
+        self.feed_tolerance.validate()?;
+        if let Some(plan) = &self.feed_plan {
+            plan.validate()?;
+        }
         Ok(())
     }
 
@@ -99,6 +121,14 @@ impl CampaignConfig {
     pub fn with_fault_plan(plan: FaultPlan) -> Self {
         CampaignConfig {
             fault_plan: Some(plan),
+            ..CampaignConfig::default()
+        }
+    }
+
+    /// A configuration routing the metadata feeds through `plan`.
+    pub fn with_feed_plan(plan: FeedFaultPlan) -> Self {
+        CampaignConfig {
+            feed_plan: Some(plan),
             ..CampaignConfig::default()
         }
     }
@@ -117,5 +147,37 @@ mod tests {
         assert!(cfg.rtt_tracked.contains(&fbs_types::Asn(49465)));
         assert!(cfg.run_baseline);
         assert!(!CampaignConfig::without_baseline().run_baseline);
+    }
+
+    #[test]
+    fn feed_layer_defaults_off_and_validates() {
+        let cfg = CampaignConfig::default();
+        assert!(cfg.feed_plan.is_none(), "feed layer must default off");
+        let with = CampaignConfig::with_feed_plan(FeedFaultPlan::none());
+        assert!(with.feed_plan.is_some());
+        assert!(with.validate().is_ok());
+        let bad = CampaignConfig {
+            feed_tolerance: LossyTolerance {
+                max_record_rate: 2.0,
+                max_byte_rate: 0.1,
+            },
+            ..CampaignConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = CampaignConfig {
+            feed_plan: Some(FeedFaultPlan {
+                windows: vec![fbs_netsim::FeedFaultWindow::over_rounds(
+                    "bad",
+                    fbs_types::FeedKind::Bgp,
+                    0..10,
+                    fbs_netsim::FeedFaultIntensity {
+                        drop: -0.5,
+                        ..fbs_netsim::FeedFaultIntensity::default()
+                    },
+                )],
+            }),
+            ..CampaignConfig::default()
+        };
+        assert!(bad.validate().is_err());
     }
 }

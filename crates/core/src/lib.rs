@@ -41,8 +41,8 @@ pub mod pipeline;
 pub mod report;
 
 pub use checkpoint::{CheckpointPolicy, ResumeDiagnostics};
-pub use classify::{ClassificationOutcome, RegionClassification};
+pub use classify::{classify_world_with_snapshots, ClassificationOutcome, RegionClassification};
 pub use config::CampaignConfig;
 pub use dataset::{availability_rows, export_all, outage_rows};
 pub use pipeline::{Campaign, CampaignRunner};
-pub use report::{CampaignReport, EntitySeries, MonthlyRtt};
+pub use report::{CampaignReport, EntitySeries, FeedLedger, MonthlyRtt};

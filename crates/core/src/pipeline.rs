@@ -18,20 +18,30 @@
 //! [`Campaign::resume`] are thin drivers over it.
 
 use crate::checkpoint::{
-    BlockObs, CheckpointPolicy, CheckpointStore, ResumeDiagnostics, RoundRecord,
+    BlockObs, CheckpointPolicy, CheckpointStore, FeedObs, ResumeDiagnostics, RoundRecord,
 };
-use crate::classify::{classify_world, ClassificationOutcome};
+use crate::classify::{
+    campaign_months, classify_world, classify_world_with_snapshots, ClassificationOutcome,
+};
 use crate::config::CampaignConfig;
-use crate::report::{CampaignReport, EntitySeries, MonthlyRtt, OblastMonth};
-use fbs_netsim::{BlockSpec, FaultPlan, World, WorldRng};
+use crate::report::{CampaignReport, EntitySeries, FeedLedger, MonthlyRtt, OblastMonth};
+use fbs_feeds::{FeedHealth, FeedLoader, FeedOutcome, FeedQuarantine, TaggedQuarantine};
+use fbs_geodb::GeoSnapshot;
+use fbs_netsim::{feedfaults, geo, BlockSpec, FaultPlan, FeedFaultPlan, World, WorldRng};
 use fbs_prober::RoundCursor;
 use fbs_regional::Regionality;
-use fbs_signals::{ips_signal_usable, Detector, EntityId, EntityRound};
+use fbs_signals::{ips_signal_usable, Detector, EntityId, EntityRound, SignalQuality};
 use fbs_trinocular::{assess_block, BlockBelief, IodaPlatform};
 use fbs_types::codec::{ByteReader, ByteWriter, Persist};
-use fbs_types::{Asn, FbsError, MonthId, Oblast, Round, RoundQuality};
+use fbs_types::{
+    Asn, FbsError, FeedKind, FeedStatus, MonthId, Oblast, Prefix, Round, RoundQuality,
+};
 use std::collections::BTreeMap;
 use std::path::Path;
+
+/// How often the RIR delegation file is refetched, in rounds (daily: the
+/// registries publish one delegated-extended file per day).
+const DELEGATIONS_CADENCE: u32 = 12;
 
 /// A configured campaign over a simulated world.
 pub struct Campaign {
@@ -263,6 +273,13 @@ pub(crate) struct Statics {
     months: Vec<MonthId>,
     rounds: u32,
     n_blocks: usize,
+    // Feed-delivery machinery (only populated when `cfg.feed_plan` is set).
+    feed_plan: Option<FeedFaultPlan>,
+    feed_rng: WorldRng,
+    /// Pristine geolocation feed text per campaign month.
+    geo_texts: Vec<String>,
+    /// Pristine delegated-extended feed text (world-static).
+    delegations_text: String,
 }
 
 impl Statics {
@@ -270,7 +287,74 @@ impl Statics {
         let world = &campaign.world;
         let cfg = &campaign.config;
         let rounds = world.rounds();
-        let classification = classify_world(world, &cfg.regionality);
+
+        // Feed delivery: when a feed-fault plan is configured, the monthly
+        // geolocation snapshots that drive classification come through the
+        // (lossy) feed channel — an undelivered month freezes on the last
+        // accepted snapshot instead of silently using data that never
+        // arrived. Without a plan the pristine snapshots are used directly.
+        let feed_plan = cfg.feed_plan.clone();
+        if let Some(plan) = &feed_plan {
+            plan.validate()?;
+        }
+        let feed_rng = feedfaults::feed_domain(world.rng());
+        let month_list = campaign_months(world);
+        let (classification, geo_texts, delegations_text) = match &feed_plan {
+            None => (
+                classify_world(world, &cfg.regionality),
+                Vec::new(),
+                String::new(),
+            ),
+            Some(plan) => {
+                let geo_texts: Vec<String> = month_list
+                    .iter()
+                    .map(|m| feedfaults::geo_feed_text(world, *m))
+                    .collect();
+                let delegations_text = feedfaults::delegations_feed_text(world);
+                let mut snapshots: Vec<GeoSnapshot> = Vec::with_capacity(month_list.len());
+                let mut last_good: Option<GeoSnapshot> = None;
+                for (mi, month) in month_list.iter().enumerate() {
+                    let due = Round(world.month_rounds(*month).start);
+                    let mut delivered = None;
+                    for attempt in 0..cfg.feed_retry.attempts_allowed() {
+                        if let Some(text) = feedfaults::deliver(
+                            plan,
+                            &feed_rng,
+                            FeedKind::Geo,
+                            due,
+                            attempt,
+                            &geo_texts[mi],
+                        ) {
+                            delivered = Some(text);
+                            break;
+                        }
+                    }
+                    let accepted = delivered.and_then(|text| {
+                        let result = fbs_feeds::ingest_geo(&text, &cfg.feed_tolerance);
+                        result.accepted.then_some(result.value)
+                    });
+                    let snap = match accepted {
+                        Some(s) => {
+                            last_good = Some(s.clone());
+                            s
+                        }
+                        // Carry the last accepted snapshot forward. Before
+                        // any delivery at all, fall back to the bootstrap
+                        // database the scanner shipped with: the first
+                        // month's pristine snapshot.
+                        None => last_good
+                            .clone()
+                            .unwrap_or_else(|| geo::geo_snapshot(world, month_list[0])),
+                    };
+                    snapshots.push(snap);
+                }
+                (
+                    classify_world_with_snapshots(world, &cfg.regionality, &snapshots),
+                    geo_texts,
+                    delegations_text,
+                )
+            }
+        };
 
         // Fault schedule (oracle-path mirror of `FaultyTransport`).
         let fault_plan = cfg.fault_plan.clone().unwrap_or_else(FaultPlan::none);
@@ -347,6 +431,10 @@ impl Statics {
             months,
             rounds,
             n_blocks,
+            feed_plan,
+            feed_rng,
+            geo_texts,
+            delegations_text,
         })
     }
 }
@@ -383,6 +471,16 @@ pub(crate) struct PipelineState {
     non_regional_monthly: BTreeMap<MonthId, OblastMonth>,
     missing_rounds: Vec<Round>,
     round_quality: Vec<RoundQuality>,
+    // Feed staleness state (sized but inert when the feed layer is off).
+    /// Rounds since the last accepted delivery per feed; `None` = never.
+    feed_ages: Vec<Option<u32>>,
+    feed_ledger: FeedLedger,
+    feed_retries: Vec<u32>,
+    feed_rejections: Vec<u32>,
+    /// Last known routing state per block, for carry-forward when the BGP
+    /// feed loses a block's record.
+    last_routed: Vec<bool>,
+    feed_quarantines: Vec<TaggedQuarantine>,
 }
 
 impl Persist for PipelineState {
@@ -409,6 +507,12 @@ impl Persist for PipelineState {
         self.non_regional_monthly.persist(w);
         self.missing_rounds.persist(w);
         self.round_quality.persist(w);
+        self.feed_ages.persist(w);
+        self.feed_ledger.persist(w);
+        self.feed_retries.persist(w);
+        self.feed_rejections.persist(w);
+        self.last_routed.persist(w);
+        self.feed_quarantines.persist(w);
     }
     fn restore(r: &mut ByteReader<'_>) -> fbs_types::Result<Self> {
         Ok(PipelineState {
@@ -434,6 +538,12 @@ impl Persist for PipelineState {
             non_regional_monthly: BTreeMap::<MonthId, OblastMonth>::restore(r)?,
             missing_rounds: Vec::<Round>::restore(r)?,
             round_quality: Vec::<RoundQuality>::restore(r)?,
+            feed_ages: Vec::<Option<u32>>::restore(r)?,
+            feed_ledger: FeedLedger::restore(r)?,
+            feed_retries: Vec::<u32>::restore(r)?,
+            feed_rejections: Vec::<u32>::restore(r)?,
+            last_routed: Vec::<bool>::restore(r)?,
+            feed_quarantines: Vec::<TaggedQuarantine>::restore(r)?,
         })
     }
 }
@@ -462,6 +572,23 @@ impl PipelineState {
             (
                 self.round_quality.len() as u32 == self.cursor.completed(),
                 "round-quality length",
+            ),
+            (self.feed_ages.len() == FeedKind::ALL.len(), "feed ages"),
+            (
+                self.feed_retries.len() == FeedKind::ALL.len(),
+                "feed retries",
+            ),
+            (
+                self.feed_rejections.len() == FeedKind::ALL.len(),
+                "feed rejections",
+            ),
+            (self.last_routed.len() == statics.n_blocks, "routed memory"),
+            (
+                self.feed_ledger
+                    .statuses
+                    .iter()
+                    .all(|v| v.is_empty() || v.len() as u32 == self.cursor.completed()),
+                "feed-ledger length",
             ),
         ];
         for (ok, what) in checks {
@@ -553,6 +680,12 @@ fn initial_state(world: &World, cfg: &CampaignConfig, statics: &Statics) -> Pipe
         non_regional_monthly: BTreeMap::new(),
         missing_rounds: Vec::new(),
         round_quality: Vec::new(),
+        feed_ages: vec![None; FeedKind::ALL.len()],
+        feed_ledger: FeedLedger::default(),
+        feed_retries: vec![0; FeedKind::ALL.len()],
+        feed_rejections: vec![0; FeedKind::ALL.len()],
+        last_routed: vec![false; n_blocks],
+        feed_quarantines: Vec::new(),
     }
 }
 
@@ -571,6 +704,10 @@ fn measure_round(
             .fault_plan
             .quality_at(round, statics.rounds, cfg.scan_retries, &cfg.quality);
     let online = world.vantage_online(round);
+    // Feeds are fetched by infrastructure independent of the probing
+    // vantage, so feed observations are collected even for rounds the
+    // scanner itself cannot measure.
+    let (feeds, routed_unknown) = measure_feeds(world, cfg, statics, round);
     if !online || quality == RoundQuality::Unusable {
         // The skip is itself the observation: no per-block data.
         return RoundRecord {
@@ -578,10 +715,11 @@ fn measure_round(
             online,
             quality,
             blocks: Vec::new(),
+            feeds,
         };
     }
     let mut blocks = Vec::with_capacity(statics.n_blocks);
-    for bi in 0..statics.n_blocks {
+    for (bi, unknown) in routed_unknown.iter().enumerate() {
         let truth = world.block_truth(round, bi);
         // What the faulty measurement path lets through: the true
         // responsive count binomially thinned by the delivery rate,
@@ -598,6 +736,7 @@ fn measure_round(
             responsive,
             rtt_ns,
             routed: truth.routed,
+            routed_known: !unknown,
         });
     }
     RoundRecord {
@@ -605,7 +744,215 @@ fn measure_round(
         online,
         quality,
         blocks,
+        feeds,
     }
+}
+
+/// Fetches every feed due this round through the (lossy) delivery channel.
+///
+/// Returns the per-feed observations — `Vec::new()` when the feed layer is
+/// off, exactly three entries in [`FeedKind::ALL`] order when on — plus the
+/// per-block "routing state unknown" mask derived from what the BGP dump
+/// delivery lost.
+fn measure_feeds(
+    world: &World,
+    cfg: &CampaignConfig,
+    statics: &Statics,
+    round: Round,
+) -> (Vec<FeedObs>, Vec<bool>) {
+    let n_blocks = statics.n_blocks;
+    let Some(plan) = statics.feed_plan.as_ref() else {
+        return (Vec::new(), vec![false; n_blocks]);
+    };
+    let mi = world.month_index(round) as usize;
+    let bgp_text = feedfaults::bgp_dump_text(world, round);
+    let geo_due = statics
+        .months
+        .get(mi)
+        .is_some_and(|m| world.month_rounds(*m).start == round.0);
+    let delegations_due = round.0.is_multiple_of(DELEGATIONS_CADENCE);
+
+    let rng = &statics.feed_rng;
+    let source = |kind: FeedKind, r: Round, attempt: u32| -> Option<String> {
+        let pristine: &str = match kind {
+            FeedKind::Bgp => &bgp_text,
+            FeedKind::Geo => statics.geo_texts.get(mi).map(String::as_str).unwrap_or(""),
+            FeedKind::Delegations => &statics.delegations_text,
+        };
+        feedfaults::deliver(plan, rng, kind, r, attempt, pristine)
+    };
+    let mut loader = FeedLoader::new(source, cfg.feed_retry, cfg.feed_tolerance);
+
+    // BGP is due every round. The parsed RIB itself is discarded — the
+    // journal's `routed` bits carry the truth — but which *records* the
+    // delivery lost decides which blocks' routing state is known.
+    let mut routed_unknown = vec![false; n_blocks];
+    let bgp_obs = match loader.load_bgp(round) {
+        FeedOutcome::Accepted { quarantine, .. } => {
+            mark_unknown_routes(world, &bgp_text, &quarantine, &mut routed_unknown);
+            FeedObs::Accepted {
+                retries: loader.health(FeedKind::Bgp).retries,
+                quarantine,
+            }
+        }
+        FeedOutcome::Rejected(quarantine) => {
+            routed_unknown.fill(true);
+            FeedObs::Rejected {
+                retries: loader.health(FeedKind::Bgp).retries,
+                quarantine,
+            }
+        }
+        FeedOutcome::Absent => {
+            routed_unknown.fill(true);
+            FeedObs::Absent {
+                retries: loader.health(FeedKind::Bgp).retries,
+            }
+        }
+    };
+
+    let geo_obs = if geo_due {
+        let outcome = loader.load_geo(round);
+        feed_obs_of(outcome, loader.health(FeedKind::Geo).retries)
+    } else {
+        FeedObs::NotDue
+    };
+    let delegations_obs = if delegations_due {
+        let outcome = loader.load_delegations(round);
+        feed_obs_of(outcome, loader.health(FeedKind::Delegations).retries)
+    } else {
+        FeedObs::NotDue
+    };
+
+    (vec![bgp_obs, geo_obs, delegations_obs], routed_unknown)
+}
+
+/// Collapses a typed [`FeedOutcome`] into its journalable observation.
+fn feed_obs_of<T>(outcome: FeedOutcome<T>, retries: u32) -> FeedObs {
+    match outcome {
+        FeedOutcome::Accepted { quarantine, .. } => FeedObs::Accepted {
+            retries,
+            quarantine,
+        },
+        FeedOutcome::Rejected(quarantine) => FeedObs::Rejected {
+            retries,
+            quarantine,
+        },
+        FeedOutcome::Absent => FeedObs::Absent { retries },
+    }
+}
+
+/// Maps an accepted-but-lossy BGP dump's quarantined lines back onto world
+/// blocks. Line corruption preserves line structure and truncation is
+/// caught by the declared-count completeness check, so a quarantined line
+/// number in the delivered text addresses the same record in the pristine
+/// text.
+fn mark_unknown_routes(
+    world: &World,
+    pristine: &str,
+    quarantine: &FeedQuarantine,
+    unknown: &mut [bool],
+) {
+    if quarantine.records.is_empty() {
+        return;
+    }
+    let lines: Vec<&str> = pristine.lines().collect();
+    for q in &quarantine.records {
+        // Line 0 is the synthetic completeness record; a dump failing
+        // completeness is rejected before reaching here anyway.
+        let Some(line) = (q.line as usize).checked_sub(1).and_then(|i| lines.get(i)) else {
+            continue;
+        };
+        let Some((prefix, _)) = line.split_once('|') else {
+            continue;
+        };
+        let Ok(prefix) = prefix.trim().parse::<Prefix>() else {
+            continue;
+        };
+        for block in prefix.blocks() {
+            if let Some(bi) = world.block_index(block) {
+                unknown[bi] = true;
+            }
+        }
+    }
+}
+
+/// Folds one round's feed observations into the staleness ledger and
+/// derives the [`SignalQuality`] every detector sees this round.
+///
+/// With the feed layer off (`record.feeds` empty) this is a no-op
+/// returning [`SignalQuality::FRESH`], so detection behaves exactly as it
+/// did before feeds existed.
+fn apply_feeds(
+    state: &mut PipelineState,
+    record: &RoundRecord,
+) -> fbs_types::Result<SignalQuality> {
+    if record.feeds.is_empty() {
+        return Ok(SignalQuality::FRESH);
+    }
+    if record.feeds.len() != FeedKind::ALL.len() {
+        return Err(FbsError::corrupt_journal(
+            format!(
+                "round {} record carries {} feed observations, expected {}",
+                record.round.0,
+                record.feeds.len(),
+                FeedKind::ALL.len()
+            ),
+            record.round.0 as u64,
+        ));
+    }
+    let mut statuses = [FeedStatus::Missing; 3];
+    for (kind, obs) in FeedKind::ALL.iter().zip(&record.feeds) {
+        let ki = kind.index();
+        match obs {
+            FeedObs::NotDue => {
+                // Age only advances at due rounds: staleness is counted in
+                // the feed's own cadence units, not in scan rounds.
+            }
+            FeedObs::Accepted {
+                retries,
+                quarantine,
+            } => {
+                state.feed_ages[ki] = Some(0);
+                state.feed_retries[ki] += retries;
+                if !quarantine.records.is_empty() {
+                    state.feed_quarantines.push(TaggedQuarantine {
+                        kind: *kind,
+                        round: record.round,
+                        quarantine: quarantine.clone(),
+                    });
+                }
+            }
+            FeedObs::Rejected {
+                retries,
+                quarantine,
+            } => {
+                state.feed_ages[ki] = state.feed_ages[ki].map(|n| n.saturating_add(1));
+                state.feed_retries[ki] += retries;
+                state.feed_rejections[ki] += 1;
+                state.feed_quarantines.push(TaggedQuarantine {
+                    kind: *kind,
+                    round: record.round,
+                    quarantine: quarantine.clone(),
+                });
+            }
+            FeedObs::Absent { retries } => {
+                state.feed_ages[ki] = state.feed_ages[ki].map(|n| n.saturating_add(1));
+                state.feed_retries[ki] += retries;
+            }
+        }
+        let status = match state.feed_ages[ki] {
+            None => FeedStatus::Missing,
+            Some(0) => FeedStatus::Fresh,
+            Some(age) => FeedStatus::Stale(age),
+        };
+        statuses[ki] = status;
+        state.feed_ledger.statuses[ki].push(status);
+    }
+    Ok(SignalQuality {
+        bgp: statuses[FeedKind::Bgp.index()],
+        geo: statuses[FeedKind::Geo.index()],
+        delegations: statuses[FeedKind::Delegations.index()],
+    })
 }
 
 /// Folds one measured round into the pipeline state: the accumulation half
@@ -713,6 +1060,11 @@ fn apply_round(
         }
     }
 
+    // Feed deliveries fold into the staleness ledger regardless of the
+    // vantage's own state: the ingest infrastructure keeps running while
+    // the scanner is offline.
+    let feed_quality = apply_feeds(state, record)?;
+
     let quality = record.quality;
 
     // A round without usable measurements — vantage offline, or the
@@ -765,7 +1117,15 @@ fn apply_round(
     for (bi, obs) in record.blocks.iter().enumerate() {
         let responsive = obs.responsive;
         let rtt_ns = obs.rtt_ns;
-        let routed = obs.routed;
+        // When the BGP delivery lost this block's record, the collector
+        // carries the last known routing state forward instead of reading
+        // a withdrawal into the gap.
+        let routed = if obs.routed_known {
+            obs.routed
+        } else {
+            state.last_routed[bi]
+        };
+        state.last_routed[bi] = routed;
         let ai = statics.block_as[bi];
         if routed {
             as_routed[ai] += 1;
@@ -797,12 +1157,14 @@ fn apply_round(
                 ips: Some(responsive as f64),
             };
             if let Some(series) = state.tracked.get_mut(&entity) {
-                series.bgp.push(input.bgp);
+                // A non-fresh BGP feed gaps the tracked BGP series: the
+                // collector has no dump to read the state from.
+                series.bgp.push(feed_quality.mask(input).bgp);
                 series.fbs.push(input.fbs);
                 series.ips.push(input.ips);
             }
             if let Some(d) = state.block_detectors.get_mut(&entity) {
-                d.observe_quality(round, input, quality);
+                d.observe_feeds(round, input, quality, feed_quality);
             }
         }
         // RTT aggregation for tracked ASes.
@@ -851,10 +1213,10 @@ fn apply_round(
             fbs: fbs_share,
             ips: state.ips_usable_as[ai].then_some(as_ips[ai] as f64),
         };
-        d.observe_quality(round, input, quality);
+        d.observe_feeds(round, input, quality, feed_quality);
         if let Some(entity) = statics.tracked_as[ai] {
             if let Some(series) = state.tracked.get_mut(&entity) {
-                series.bgp.push(input.bgp);
+                series.bgp.push(feed_quality.mask(input).bgp);
                 series.fbs.push(Some(as_active[ai] as f64));
                 series.ips.push(input.ips);
             }
@@ -862,18 +1224,16 @@ fn apply_round(
         if let Some(platform) = state.ioda.as_mut() {
             let trin_share = (state.as_trin_count[ai] > 0)
                 .then(|| as_trin_up[ai] as f64 / state.as_trin_count[ai] as f64);
-            platform.observe(
-                round,
-                statics.as_list[ai],
-                Some(as_routed[ai] as f64),
-                trin_share,
-            );
+            // IODA's BGP feed shares the collector: a stale or missing
+            // dump blinds its BGP dimension for the round too.
+            let ioda_bgp = feed_quality.bgp.is_fresh().then_some(as_routed[ai] as f64);
+            platform.observe(round, statics.as_list[ai], ioda_bgp, trin_share);
         }
     }
     for (oi, d) in state.region_detectors.iter_mut().enumerate() {
         let fbs_share = (state.reg_fbs_count[oi] > 0)
             .then(|| reg_active[oi] as f64 / state.reg_fbs_count[oi] as f64);
-        d.observe_quality(
+        d.observe_feeds(
             round,
             EntityRound {
                 bgp: Some(reg_routed[oi] as f64),
@@ -881,6 +1241,7 @@ fn apply_round(
                 ips: Some(reg_ips[oi] as f64),
             },
             quality,
+            feed_quality,
         );
     }
 
@@ -1000,6 +1361,29 @@ impl CampaignRunner<'_> {
             m
         };
 
+        // Rebuild per-feed health summaries by replaying the ledger (the
+        // summaries hold derived run-length state that is cheaper to replay
+        // than to persist).
+        let feed_health: Vec<FeedHealth> = if state.feed_ledger.is_empty() {
+            Vec::new()
+        } else {
+            FeedKind::ALL
+                .iter()
+                .map(|kind| {
+                    let ki = kind.index();
+                    let mut health = FeedHealth::new(*kind);
+                    for status in &state.feed_ledger.statuses[ki] {
+                        health.record(*status);
+                    }
+                    health.record_retries(state.feed_retries[ki]);
+                    for _ in 0..state.feed_rejections[ki] {
+                        health.record_rejection();
+                    }
+                    health
+                })
+                .collect()
+        };
+
         Ok(CampaignReport {
             rounds: statics.rounds,
             months: statics.months,
@@ -1015,6 +1399,9 @@ impl CampaignRunner<'_> {
             as_sizes,
             missing_rounds: state.missing_rounds,
             round_quality: state.round_quality,
+            feed_ledger: state.feed_ledger,
+            feed_health,
+            feed_quarantines: state.feed_quarantines,
         })
     }
 }

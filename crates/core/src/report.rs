@@ -1,10 +1,11 @@
 //! The assembled output of a campaign run.
 
 use crate::classify::ClassificationOutcome;
+use fbs_feeds::{FeedHealth, TaggedQuarantine};
 use fbs_signals::{EntityId, OutageEvent, SignalSeries};
 use fbs_trinocular::ioda::IodaReport;
 use fbs_types::codec::{ByteReader, ByteWriter, Persist};
-use fbs_types::{Asn, BlockId, MonthId, Oblast, Round, RoundQuality};
+use fbs_types::{Asn, BlockId, FeedKind, FeedStatus, MonthId, Oblast, Round, RoundQuality};
 use std::collections::BTreeMap;
 
 /// Full per-round signal series of one tracked entity.
@@ -142,6 +143,75 @@ impl Persist for OblastMonth {
     }
 }
 
+/// The per-round, per-feed staleness ledger of a campaign.
+///
+/// One status per round per feed in [`FeedKind::ALL`] order; every vector
+/// is empty when the feed layer is off (`feed_plan: None`), and exactly
+/// campaign-length when it is on. A round's status is what the pipeline
+/// *settled on* after its carry-forward decision: `Fresh` when the round
+/// was served by an accepted delivery of the feed's current cadence
+/// period, `Stale(age)` when carried data `age` cadence periods old
+/// served it, `Missing` when the feed has never delivered at all.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FeedLedger {
+    /// Per-feed status vectors, indexed by [`FeedKind::index`].
+    pub statuses: [Vec<FeedStatus>; 3],
+}
+
+impl FeedLedger {
+    /// Whether the ledger recorded anything (feed layer on).
+    pub fn is_empty(&self) -> bool {
+        self.statuses.iter().all(|v| v.is_empty())
+    }
+
+    /// One feed's full status history.
+    pub fn of(&self, kind: FeedKind) -> &[FeedStatus] {
+        &self.statuses[kind.index()]
+    }
+
+    /// The status of one feed at one round (`None` out of range or when
+    /// the feed layer was off).
+    pub fn status_of(&self, kind: FeedKind, round: Round) -> Option<FeedStatus> {
+        self.statuses[kind.index()].get(round.0 as usize).copied()
+    }
+
+    /// Rounds where `kind`'s status satisfies the predicate.
+    pub fn rounds_where(
+        &self,
+        kind: FeedKind,
+        mut pred: impl FnMut(FeedStatus) -> bool,
+    ) -> Vec<Round> {
+        self.statuses[kind.index()]
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| pred(**s))
+            .map(|(r, _)| Round(r as u32))
+            .collect()
+    }
+
+    /// Rounds where `kind` was not served fresh.
+    pub fn degraded_rounds_of(&self, kind: FeedKind) -> Vec<Round> {
+        self.rounds_where(kind, |s| !s.is_fresh())
+    }
+}
+
+impl Persist for FeedLedger {
+    fn persist(&self, w: &mut ByteWriter) {
+        for v in &self.statuses {
+            v.persist(w);
+        }
+    }
+    fn restore(r: &mut ByteReader<'_>) -> fbs_types::Result<Self> {
+        Ok(FeedLedger {
+            statuses: [
+                Vec::<FeedStatus>::restore(r)?,
+                Vec::<FeedStatus>::restore(r)?,
+                Vec::<FeedStatus>::restore(r)?,
+            ],
+        })
+    }
+}
+
 /// Everything a campaign run produces.
 #[derive(Debug)]
 pub struct CampaignReport {
@@ -176,6 +246,15 @@ pub struct CampaignReport {
     /// when the round carried no usable measurement (vantage offline or
     /// catastrophic loss).
     pub round_quality: Vec<RoundQuality>,
+    /// Per-round per-feed staleness ledger (empty when the feed layer is
+    /// off).
+    pub feed_ledger: FeedLedger,
+    /// Summary health per feed in [`FeedKind::ALL`] order (empty when the
+    /// feed layer is off).
+    pub feed_health: Vec<FeedHealth>,
+    /// Every non-empty quarantine a feed delivery produced, in round
+    /// order, for the quarantine report writer.
+    pub feed_quarantines: Vec<TaggedQuarantine>,
 }
 
 impl CampaignReport {
@@ -244,5 +323,18 @@ impl CampaignReport {
             .iter()
             .filter(|q| **q == RoundQuality::Unusable)
             .count()
+    }
+
+    /// The summary health ledger of one feed (`None` when the feed layer
+    /// was off).
+    pub fn feed_health_of(&self, kind: FeedKind) -> Option<&FeedHealth> {
+        self.feed_health.iter().find(|h| h.kind == kind)
+    }
+
+    /// The quarantine report text for every feed delivery that lost
+    /// records, ready for [`fbs_feeds::quarantine::write_report`]-style
+    /// consumption.
+    pub fn feed_quarantine_report(&self) -> String {
+        fbs_feeds::render_report(&self.feed_quarantines)
     }
 }

@@ -6,8 +6,9 @@
 //! line. Comments start with `#`.
 
 use crate::record::{AddrFamily, DelegationRecord};
-use fbs_types::{CivilDate, FbsError, Prefix, Result};
+use fbs_types::{CivilDate, FbsError, Prefix, QuarantinedRecord, Result};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 /// A parsed delegation file.
@@ -64,43 +65,88 @@ impl DelegationFile {
     }
 }
 
+/// Header fields pulled from the version line, when recognized.
+struct HeaderInfo {
+    registry: String,
+    serial: String,
+    date: Option<CivilDate>,
+}
+
+/// Recognizes the version/header line (`2|ripencc|serial|...`); only
+/// considered before any header has been seen.
+fn parse_header(fields: &[&str]) -> Option<HeaderInfo> {
+    if fields.len() < 4 || fields[0].is_empty() || !fields[0].chars().all(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    let registry = fields[1].to_string();
+    let serial = fields[2].to_string();
+    let mut date = None;
+    if serial.len() == 8 && serial.bytes().all(|b| b.is_ascii_digit()) {
+        let y: i32 = serial[0..4].parse().unwrap_or(0);
+        let m: u8 = serial[4..6].parse().unwrap_or(0);
+        let d: u8 = serial[6..8].parse().unwrap_or(0);
+        if (1..=12).contains(&m) && d >= 1 {
+            date = Some(CivilDate::new(y, m, d));
+        }
+    }
+    Some(HeaderInfo {
+        registry,
+        serial,
+        date,
+    })
+}
+
 /// Parses a full delegation file.
 ///
 /// Header and summary lines are validated loosely (their counts are
-/// informational); data lines strictly.
+/// informational); data lines strictly, with `line N:` context. Two
+/// records delegating the same `(family, start)` key are a duplicate-key
+/// error — last-wins acceptance would let a corrupt file silently shadow
+/// a real delegation.
 pub fn parse_file(text: &str) -> Result<DelegationFile> {
     let mut registry = String::new();
     let mut serial = String::new();
     let mut date = None;
     let mut records = Vec::new();
     let mut saw_header = false;
+    let mut seen: BTreeSet<(AddrFamily, String)> = BTreeSet::new();
 
-    for line in text.lines() {
+    for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         let fields: Vec<&str> = line.split('|').collect();
-        // Version/header line: starts with a format version number.
-        if !saw_header && fields.len() >= 4 && fields[0].chars().all(|c| c.is_ascii_digit()) {
-            saw_header = true;
-            registry = fields[1].to_string();
-            serial = fields[2].to_string();
-            if serial.len() == 8 {
-                let y: i32 = serial[0..4].parse().unwrap_or(0);
-                let m: u8 = serial[4..6].parse().unwrap_or(0);
-                let d: u8 = serial[6..8].parse().unwrap_or(0);
-                if (1..=12).contains(&m) && d >= 1 {
-                    date = Some(CivilDate::new(y, m, d));
-                }
+        if !saw_header {
+            if let Some(h) = parse_header(&fields) {
+                saw_header = true;
+                registry = h.registry;
+                serial = h.serial;
+                date = h.date;
+                continue;
             }
-            continue;
         }
         // Summary line: `<registry>|*|<type>|*|<count>|summary`.
         if fields.len() >= 6 && fields[5] == "summary" {
             continue;
         }
-        records.push(DelegationRecord::parse_line(line)?);
+        let rec = DelegationRecord::parse_line(line).map_err(|e| match e {
+            FbsError::Parse { reason, input } => {
+                FbsError::parse(format!("line {}: {reason}", lineno + 1), &input)
+            }
+            other => other,
+        })?;
+        if !seen.insert((rec.family, rec.start.clone())) {
+            return Err(FbsError::parse(
+                format!(
+                    "line {}: duplicate delegation for start {}",
+                    lineno + 1,
+                    rec.start
+                ),
+                line,
+            ));
+        }
+        records.push(rec);
     }
     if !saw_header {
         return Err(FbsError::parse(
@@ -114,6 +160,82 @@ pub fn parse_file(text: &str) -> Result<DelegationFile> {
         date,
         records,
     })
+}
+
+/// Lossy parse: never fails. Malformed data lines and duplicate
+/// `(family, start)` keys are quarantined with 1-based line context while
+/// every well-formed record is kept (first occurrence wins on duplicates).
+/// A file with no recognizable header yields an empty-registry file plus a
+/// quarantine entry, so the caller's tolerance judgement sees the
+/// structural failure rather than a crash.
+pub fn parse_lossy(text: &str) -> (DelegationFile, Vec<QuarantinedRecord>) {
+    let mut registry = String::new();
+    let mut serial = String::new();
+    let mut date = None;
+    let mut records = Vec::new();
+    let mut saw_header = false;
+    let mut quarantine = Vec::new();
+    let mut seen: BTreeSet<(AddrFamily, String)> = BTreeSet::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = (lineno + 1) as u32;
+        let fields: Vec<&str> = line.split('|').collect();
+        if !saw_header {
+            if let Some(h) = parse_header(&fields) {
+                saw_header = true;
+                registry = h.registry;
+                serial = h.serial;
+                date = h.date;
+                continue;
+            }
+        }
+        if fields.len() >= 6 && fields[5] == "summary" {
+            continue;
+        }
+        match DelegationRecord::parse_line(line) {
+            Err(e) => {
+                let reason = match e {
+                    FbsError::Parse { reason, .. } => reason,
+                    other => other.to_string(),
+                };
+                quarantine.push(QuarantinedRecord::new(lineno, reason, line));
+            }
+            Ok(rec) => {
+                if seen.insert((rec.family, rec.start.clone())) {
+                    records.push(rec);
+                } else {
+                    quarantine.push(QuarantinedRecord::new(
+                        lineno,
+                        format!("duplicate delegation for start {}", rec.start),
+                        line,
+                    ));
+                }
+            }
+        }
+    }
+    if !saw_header {
+        // Synthetic entry (line 0): a structural failure of the whole
+        // delivery, not of any one line — the tolerance judgement weighs
+        // it as the full payload.
+        quarantine.push(QuarantinedRecord::new(
+            0,
+            "missing header line",
+            text.lines().next().unwrap_or(""),
+        ));
+    }
+    (
+        DelegationFile {
+            registry,
+            serial,
+            date,
+            records,
+        },
+        quarantine,
+    )
 }
 
 /// Serializes a file back to the exchange format.
@@ -218,5 +340,80 @@ ripencc|UA|asn|25482|1|20020101|assigned
     fn missing_header_is_an_error() {
         let text = "ripencc|UA|ipv4|91.237.4.0|512|20120601|allocated\n";
         assert!(parse_file(text).is_err());
+    }
+
+    #[test]
+    fn malformed_record_errors_carry_line_context() {
+        let text = "\
+2|ripencc|20211214|2|19920101|20211214|+0000
+ripencc|UA|ipv4|91.237.4.0|512|20120601|allocated
+ripencc|UA|ipv4|1.0.0.0|abc|20120601|allocated
+";
+        let err = parse_file(text).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_start_is_a_strict_error() {
+        // Two records delegating the same (family, start) key: the old
+        // parser silently accepted them (last-wins downstream). Strict
+        // mode now rejects with line context.
+        let text = "\
+2|ripencc|20211214|2|19920101|20211214|+0000
+ripencc|UA|ipv4|91.237.4.0|512|20120601|allocated
+ripencc|UA|ipv4|91.237.4.0|256|20150101|assigned
+";
+        let err = parse_file(text).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("duplicate"), "{msg}");
+        // Same start under a different family is NOT a duplicate.
+        let ok = "\
+2|ripencc|20211214|2|19920101|20211214|+0000
+ripencc|UA|ipv4|25482|256|20120601|allocated
+ripencc|UA|asn|25482|1|20020101|assigned
+";
+        assert!(parse_file(ok).is_ok());
+    }
+
+    #[test]
+    fn lossy_quarantines_instead_of_failing() {
+        let text = "\
+2|ripencc|20211214|4|19920101|20211214|+0000
+ripencc|UA|ipv4|91.237.4.0|512|20120601|allocated
+ripencc|UA|ipv4|1.0.0.0|abc|20120601|allocated
+ripencc|UA|ipv4|91.237.4.0|256|20150101|assigned
+ripencc|UA|asn|25482|1|20020101|assigned
+";
+        let (file, quarantine) = parse_lossy(text);
+        assert_eq!(file.registry, "ripencc");
+        assert_eq!(file.records.len(), 2);
+        // First occurrence wins on the duplicate key.
+        assert_eq!(file.records[0].value, 512);
+        assert_eq!(quarantine.len(), 2);
+        assert_eq!(quarantine[0].line, 3);
+        assert!(quarantine[0].reason.contains("bad value"));
+        assert_eq!(quarantine[1].line, 4);
+        assert!(quarantine[1].reason.contains("duplicate"));
+    }
+
+    #[test]
+    fn lossy_missing_header_is_quarantined_not_fatal() {
+        let (file, quarantine) = parse_lossy("ripencc|UA|ipv4|91.237.4.0|512|20120601|allocated\n");
+        assert!(file.registry.is_empty());
+        assert_eq!(file.records.len(), 1);
+        assert!(quarantine
+            .iter()
+            .any(|q| q.reason.contains("missing header")));
+    }
+
+    #[test]
+    fn lossy_on_valid_file_quarantines_nothing_and_roundtrips() {
+        let f = parse_file(&sample_text()).unwrap();
+        let text = serialize_file(&f);
+        let (g, quarantine) = parse_lossy(&text);
+        assert!(quarantine.is_empty());
+        assert_eq!(f, g);
+        assert_eq!(serialize_file(&g), text);
     }
 }

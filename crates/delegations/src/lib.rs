@@ -19,5 +19,5 @@ pub mod file;
 pub mod record;
 
 pub use churn::{compare, DelegationChurn};
-pub use file::{parse_file, serialize_file, DelegationFile};
+pub use file::{parse_file, parse_lossy, serialize_file, DelegationFile};
 pub use record::{AddrFamily, DelegationRecord, DelegationStatus};

@@ -6,7 +6,7 @@ use std::fmt;
 use std::net::Ipv4Addr;
 
 /// Address family of a record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum AddrFamily {
     /// `ipv4` records: `value` counts addresses.
     Ipv4,

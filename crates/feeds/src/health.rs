@@ -1,0 +1,129 @@
+//! The per-feed health ledger.
+
+use fbs_types::{FeedKind, FeedStatus};
+use serde::{Deserialize, Serialize};
+
+/// Running health of one feed across a campaign.
+///
+/// The ledger is pure bookkeeping — it never decides anything. The
+/// carry-forward policy (what to do when a delivery is absent or
+/// rejected) lives with the pipeline state; the acceptance policy lives
+/// in [`crate::ingest`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeedHealth {
+    /// Which feed this ledger tracks.
+    pub kind: FeedKind,
+    /// Rounds with a fresh, accepted delivery.
+    pub fresh_rounds: u32,
+    /// Rounds served by carried-forward (stale) data.
+    pub stale_rounds: u32,
+    /// Rounds with no data at all.
+    pub missing_rounds: u32,
+    /// Deliveries rejected by the tolerance judgement (these rounds also
+    /// count as stale or missing, depending on carry-forward).
+    pub rejected_deliveries: u32,
+    /// Extra fetch attempts consumed by the retry loop.
+    pub retries: u32,
+    /// Longest run of consecutive non-fresh rounds seen so far.
+    pub longest_gap: u32,
+    /// Status as of the most recent recorded round.
+    pub current: FeedStatus,
+    gap_run: u32,
+}
+
+impl FeedHealth {
+    /// A ledger with nothing recorded yet.
+    pub fn new(kind: FeedKind) -> Self {
+        FeedHealth {
+            kind,
+            fresh_rounds: 0,
+            stale_rounds: 0,
+            missing_rounds: 0,
+            rejected_deliveries: 0,
+            retries: 0,
+            longest_gap: 0,
+            current: FeedStatus::Missing,
+            gap_run: 0,
+        }
+    }
+
+    /// Records the status the pipeline settled on for one round.
+    pub fn record(&mut self, status: FeedStatus) {
+        match status {
+            FeedStatus::Fresh => {
+                self.fresh_rounds += 1;
+                self.gap_run = 0;
+            }
+            FeedStatus::Stale(_) => {
+                self.stale_rounds += 1;
+                self.gap_run += 1;
+            }
+            FeedStatus::Missing => {
+                self.missing_rounds += 1;
+                self.gap_run += 1;
+            }
+        }
+        self.longest_gap = self.longest_gap.max(self.gap_run);
+        self.current = status;
+    }
+
+    /// Records a delivery the tolerance judgement rejected.
+    pub fn record_rejection(&mut self) {
+        self.rejected_deliveries += 1;
+    }
+
+    /// Records `n` extra fetch attempts.
+    pub fn record_retries(&mut self, n: u32) {
+        self.retries += n;
+    }
+
+    /// Total rounds recorded.
+    pub fn rounds(&self) -> u32 {
+        self.fresh_rounds + self.stale_rounds + self.missing_rounds
+    }
+
+    /// Fraction of rounds served fresh (1.0 for an empty ledger).
+    pub fn availability(&self) -> f64 {
+        let total = self.rounds();
+        if total == 0 {
+            1.0
+        } else {
+            self.fresh_rounds as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_counts_and_gap_tracking() {
+        let mut h = FeedHealth::new(FeedKind::Bgp);
+        assert_eq!(h.current, FeedStatus::Missing);
+        assert_eq!(h.availability(), 1.0);
+        for s in [
+            FeedStatus::Fresh,
+            FeedStatus::Stale(1),
+            FeedStatus::Stale(2),
+            FeedStatus::Fresh,
+            FeedStatus::Stale(1),
+            FeedStatus::Missing,
+            FeedStatus::Stale(1),
+            FeedStatus::Fresh,
+        ] {
+            h.record(s);
+        }
+        assert_eq!(h.fresh_rounds, 3);
+        assert_eq!(h.stale_rounds, 4);
+        assert_eq!(h.missing_rounds, 1);
+        assert_eq!(h.rounds(), 8);
+        assert_eq!(h.longest_gap, 3);
+        assert_eq!(h.current, FeedStatus::Fresh);
+        assert!((h.availability() - 3.0 / 8.0).abs() < 1e-12);
+        h.record_rejection();
+        h.record_retries(2);
+        assert_eq!(h.rejected_deliveries, 1);
+        assert_eq!(h.retries, 2);
+    }
+}

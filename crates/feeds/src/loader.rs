@@ -1,0 +1,288 @@
+//! The deterministic feed-loading loop.
+//!
+//! [`FeedLoader`] drives an abstract [`FeedSource`] (an HTTP mirror in
+//! production, the simulator's feed-fault layer in tests) through a
+//! bounded retry loop, judges each delivery against the lossy tolerance,
+//! and maintains the per-feed [`FeedHealth`] ledger. There is no wall
+//! clock anywhere: backoff is an explicit *budget* of virtual cost units,
+//! so a replayed campaign makes byte-identical decisions.
+
+use crate::health::FeedHealth;
+use crate::ingest::{
+    ingest_bgp, ingest_delegations, ingest_geo, FeedQuarantine, IngestResult, LossyTolerance,
+};
+use fbs_types::{FeedKind, Round};
+use serde::{Deserialize, Serialize};
+
+/// Deterministic retry/backoff policy.
+///
+/// Attempt `i` (0-based) costs `base_cost << i` virtual units; attempts
+/// stop once the cumulative cost would exceed `backoff_budget` or
+/// `max_attempts` is reached. With the defaults (3 attempts, budget 7,
+/// base 1) the classic 1+2+4 exponential ladder fits exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Hard cap on fetch attempts per feed per round.
+    pub max_attempts: u32,
+    /// Total virtual backoff budget per feed per round.
+    pub backoff_budget: u64,
+    /// Cost of the first attempt (doubles each retry).
+    pub base_cost: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_budget: 7,
+            base_cost: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Attempts the budget affords (≥ 1 so a delivery is always tried).
+    pub fn attempts_allowed(&self) -> u32 {
+        let mut spent = 0u64;
+        let mut n = 0u32;
+        while n < self.max_attempts {
+            let cost = self.base_cost.saturating_shl(n);
+            if spent.saturating_add(cost) > self.backoff_budget {
+                break;
+            }
+            spent = spent.saturating_add(cost);
+            n += 1;
+        }
+        n.max(1)
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, n: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, n: u32) -> u64 {
+        if n >= 64 || self > (u64::MAX >> n) {
+            u64::MAX
+        } else {
+            self << n
+        }
+    }
+}
+
+/// Where feed texts come from. `attempt` is 0-based; returning `None`
+/// means this attempt failed (timeout, transfer error, 404).
+pub trait FeedSource {
+    /// One fetch attempt for `kind`'s delivery for `round`.
+    fn fetch(&mut self, kind: FeedKind, round: Round, attempt: u32) -> Option<String>;
+}
+
+impl<F> FeedSource for F
+where
+    F: FnMut(FeedKind, Round, u32) -> Option<String>,
+{
+    fn fetch(&mut self, kind: FeedKind, round: Round, attempt: u32) -> Option<String> {
+        self(kind, round, attempt)
+    }
+}
+
+/// Outcome of one feed load for one round.
+#[derive(Debug, Clone)]
+pub enum FeedOutcome<T> {
+    /// A delivery arrived and passed the tolerance judgement.
+    Accepted {
+        /// The parsed value (partial if records were quarantined).
+        value: T,
+        /// What was quarantined (possibly empty).
+        quarantine: FeedQuarantine,
+    },
+    /// A delivery arrived but exceeded the tolerance; carry forward.
+    Rejected(FeedQuarantine),
+    /// No delivery at all after the retry budget; carry forward.
+    Absent,
+}
+
+impl<T> FeedOutcome<T> {
+    /// The accepted value, if any.
+    pub fn value(self) -> Option<T> {
+        match self {
+            FeedOutcome::Accepted { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Whether a usable delivery arrived.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, FeedOutcome::Accepted { .. })
+    }
+}
+
+/// Drives a [`FeedSource`] with retries, tolerance judgement, and health
+/// ledgers for all three feeds.
+#[derive(Debug)]
+pub struct FeedLoader<S> {
+    source: S,
+    policy: RetryPolicy,
+    tolerance: LossyTolerance,
+    health: [FeedHealth; 3],
+}
+
+impl<S: FeedSource> FeedLoader<S> {
+    /// Builds a loader over `source` with the given policies.
+    pub fn new(source: S, policy: RetryPolicy, tolerance: LossyTolerance) -> Self {
+        FeedLoader {
+            source,
+            policy,
+            tolerance,
+            health: [
+                FeedHealth::new(FeedKind::Bgp),
+                FeedHealth::new(FeedKind::Geo),
+                FeedHealth::new(FeedKind::Delegations),
+            ],
+        }
+    }
+
+    /// The health ledger for `kind`.
+    pub fn health(&self, kind: FeedKind) -> &FeedHealth {
+        &self.health[kind.index()]
+    }
+
+    /// Fetches with retries; records retry/rejection bookkeeping.
+    fn fetch_judged<T>(
+        &mut self,
+        kind: FeedKind,
+        round: Round,
+        ingest: impl Fn(&str, &LossyTolerance) -> IngestResult<T>,
+    ) -> FeedOutcome<T> {
+        let attempts = self.policy.attempts_allowed();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.health[kind.index()].record_retries(1);
+            }
+            let Some(text) = self.source.fetch(kind, round, attempt) else {
+                continue;
+            };
+            let r = ingest(&text, &self.tolerance);
+            if r.accepted {
+                return FeedOutcome::Accepted {
+                    value: r.value,
+                    quarantine: r.quarantine,
+                };
+            }
+            // A delivery over tolerance is not retried: the mirror would
+            // serve the same bytes again. Reject and carry forward.
+            self.health[kind.index()].record_rejection();
+            return FeedOutcome::Rejected(r.quarantine);
+        }
+        FeedOutcome::Absent
+    }
+
+    /// Loads the BGP RIB dump for `round`.
+    pub fn load_bgp(&mut self, round: Round) -> FeedOutcome<fbs_bgp::Rib> {
+        self.fetch_judged(FeedKind::Bgp, round, ingest_bgp)
+    }
+
+    /// Loads the geolocation snapshot for `round`.
+    pub fn load_geo(&mut self, round: Round) -> FeedOutcome<fbs_geodb::GeoSnapshot> {
+        self.fetch_judged(FeedKind::Geo, round, ingest_geo)
+    }
+
+    /// Loads the delegation file for `round`.
+    pub fn load_delegations(
+        &mut self,
+        round: Round,
+    ) -> FeedOutcome<fbs_delegations::DelegationFile> {
+        self.fetch_judged(FeedKind::Delegations, round, ingest_delegations)
+    }
+
+    /// Records the round status the pipeline settled on (after its
+    /// carry-forward decision) in the ledger.
+    pub fn record_status(&mut self, kind: FeedKind, status: fbs_types::FeedStatus) {
+        self.health[kind.index()].record(status);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbs_types::FeedStatus;
+
+    #[test]
+    fn retry_budget_is_deterministic() {
+        assert_eq!(RetryPolicy::default().attempts_allowed(), 3);
+        // Budget cuts the ladder short: 1 + 2 fits, + 4 does not.
+        let p = RetryPolicy {
+            max_attempts: 5,
+            backoff_budget: 3,
+            base_cost: 1,
+        };
+        assert_eq!(p.attempts_allowed(), 2);
+        // Always at least one attempt, even with a zero budget.
+        let p = RetryPolicy {
+            max_attempts: 3,
+            backoff_budget: 0,
+            base_cost: 1,
+        };
+        assert_eq!(p.attempts_allowed(), 1);
+        // Huge shifts saturate instead of overflowing.
+        let p = RetryPolicy {
+            max_attempts: 200,
+            backoff_budget: u64::MAX,
+            base_cost: 1,
+        };
+        assert!(p.attempts_allowed() >= 63);
+    }
+
+    #[test]
+    fn loader_retries_then_accepts() {
+        // Fails twice, succeeds on the third attempt.
+        let source = |_k: FeedKind, _r: Round, attempt: u32| {
+            (attempt == 2).then(|| "10.0.0.0/24|65000\n".to_string())
+        };
+        let mut loader = FeedLoader::new(source, RetryPolicy::default(), LossyTolerance::default());
+        let out = loader.load_bgp(Round(0));
+        assert!(out.is_accepted());
+        assert_eq!(loader.health(FeedKind::Bgp).retries, 2);
+    }
+
+    #[test]
+    fn loader_gives_up_within_budget() {
+        let source = |_k: FeedKind, _r: Round, _a: u32| None;
+        let mut loader = FeedLoader::new(source, RetryPolicy::default(), LossyTolerance::default());
+        assert!(matches!(loader.load_bgp(Round(0)), FeedOutcome::Absent));
+        assert_eq!(loader.health(FeedKind::Bgp).retries, 2);
+    }
+
+    #[test]
+    fn over_tolerance_delivery_is_rejected_not_retried() {
+        let mut calls = 0u32;
+        let source = |_k: FeedKind, _r: Round, _a: u32| {
+            calls += 1;
+            Some("garbage\nmore garbage\n".to_string())
+        };
+        // Scoped so the loader's borrow of `calls` ends before the read.
+        {
+            let mut loader =
+                FeedLoader::new(source, RetryPolicy::default(), LossyTolerance::default());
+            let out = loader.load_bgp(Round(7));
+            assert!(matches!(out, FeedOutcome::Rejected(_)));
+            assert_eq!(loader.health(FeedKind::Bgp).rejected_deliveries, 1);
+        }
+        assert_eq!(
+            calls, 1,
+            "rejection must not burn retries on the same bytes"
+        );
+    }
+
+    #[test]
+    fn ledger_reflects_recorded_statuses() {
+        let source = |_k: FeedKind, _r: Round, _a: u32| None;
+        let mut loader = FeedLoader::new(source, RetryPolicy::default(), LossyTolerance::default());
+        loader.record_status(FeedKind::Geo, FeedStatus::Fresh);
+        loader.record_status(FeedKind::Geo, FeedStatus::Stale(1));
+        assert_eq!(loader.health(FeedKind::Geo).fresh_rounds, 1);
+        assert_eq!(loader.health(FeedKind::Geo).stale_rounds, 1);
+        assert_eq!(loader.health(FeedKind::Geo).current, FeedStatus::Stale(1));
+    }
+}

@@ -1,0 +1,113 @@
+//! The quarantine report writer.
+//!
+//! Quarantined records accumulate across a campaign; this module renders
+//! them as one deterministic text report so two identical runs emit
+//! byte-identical files (the workspace's byte-identity discipline — see
+//! fbs-lint's `unordered-persist` rule, which covers this file). Entries
+//! are explicitly sorted by `(round, feed, line)` before rendering; no
+//! iteration order of any intermediate container reaches the output.
+
+use crate::ingest::TaggedQuarantine;
+use fbs_types::Result;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Renders the quarantine report, sorted by `(round, feed, line)`.
+///
+/// One summary line per delivery, then one indented line per quarantined
+/// record (already line-ordered within a delivery).
+pub fn render_report(entries: &[TaggedQuarantine]) -> String {
+    let mut sorted: Vec<&TaggedQuarantine> = entries.iter().collect();
+    sorted.sort_by_key(|e| (e.round, e.kind.index()));
+    let mut out = String::new();
+    let _ = writeln!(out, "# feed quarantine report");
+    let _ = writeln!(
+        out,
+        "# deliveries with quarantined records: {}",
+        sorted.len()
+    );
+    for e in sorted {
+        let q = &e.quarantine;
+        let _ = writeln!(
+            out,
+            "round {} feed {}: {} quarantined / {} records ({:.2}% records, {:.2}% bytes)",
+            e.round.0,
+            e.kind,
+            q.records.len(),
+            q.total_records(),
+            q.record_rate() * 100.0,
+            q.byte_rate() * 100.0,
+        );
+        let mut records: Vec<_> = q.records.iter().collect();
+        records.sort_by(|a, b| (a.line, &a.reason, &a.input).cmp(&(b.line, &b.reason, &b.input)));
+        for r in records {
+            let _ = writeln!(out, "  {r}");
+        }
+    }
+    out
+}
+
+/// Writes the report to `dir/feed_quarantine.txt`, returning the path.
+pub fn write_report(dir: &Path, entries: &[TaggedQuarantine]) -> Result<PathBuf> {
+    let path = dir.join("feed_quarantine.txt");
+    std::fs::write(&path, render_report(entries)).map_err(|e| fbs_types::FbsError::Io {
+        reason: format!("writing {}: {e}", path.display()),
+    })?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::FeedQuarantine;
+    use fbs_types::{FeedKind, QuarantinedRecord, Round};
+
+    fn entry(round: u32, kind: FeedKind, lines: &[u32]) -> TaggedQuarantine {
+        TaggedQuarantine {
+            kind,
+            round: Round(round),
+            quarantine: FeedQuarantine {
+                records: lines
+                    .iter()
+                    .map(|l| QuarantinedRecord::new(*l, "bad record", "x|y"))
+                    .collect(),
+                accepted_records: 10,
+                content_bytes: 100,
+                quarantined_bytes: lines.len() * 4,
+            },
+        }
+    }
+
+    #[test]
+    fn report_is_sorted_and_deterministic() {
+        let unordered = vec![
+            entry(5, FeedKind::Geo, &[3, 1]),
+            entry(2, FeedKind::Delegations, &[9]),
+            entry(2, FeedKind::Bgp, &[4]),
+        ];
+        let a = render_report(&unordered);
+        let mut reversed = unordered.clone();
+        reversed.reverse();
+        let b = render_report(&reversed);
+        assert_eq!(a, b, "report must not depend on accumulation order");
+        // Round 2 lines precede round 5; bgp precedes delegations.
+        let r2_bgp = a.find("round 2 feed bgp").unwrap();
+        let r2_del = a.find("round 2 feed delegations").unwrap();
+        let r5_geo = a.find("round 5 feed geo").unwrap();
+        assert!(r2_bgp < r2_del && r2_del < r5_geo);
+        // Within a delivery, records sort by line.
+        let l1 = a.find("line 1:").unwrap();
+        let l3 = a.find("line 3:").unwrap();
+        assert!(l1 < l3);
+    }
+
+    #[test]
+    fn write_report_lands_on_disk() {
+        let dir = std::env::temp_dir().join("fbs-feeds-quarantine-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write_report(&dir, &[entry(1, FeedKind::Bgp, &[2])]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("round 1 feed bgp"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

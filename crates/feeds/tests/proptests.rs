@@ -1,0 +1,176 @@
+//! Property tests for the lossy feed parsers.
+//!
+//! Two contracts, per format (BGP dump / geo snapshot / delegation file):
+//!
+//! 1. **Totality** — the lossy ingest path never panics and never errors
+//!    on arbitrary bytes; whatever happens, the quarantine accounting is
+//!    internally consistent.
+//! 2. **Round-trip** — `parse_lossy ∘ serialize` over an arbitrary *valid*
+//!    structure quarantines nothing, is accepted at the default tolerance,
+//!    and preserves the record count.
+
+use fbs_delegations::{DelegationFile, DelegationRecord, DelegationStatus};
+use fbs_feeds::{ingest_bgp, ingest_delegations, ingest_geo, FeedQuarantine, LossyTolerance};
+use fbs_geodb::{BlockGeo, GeoRegion, GeoSnapshot, RadiusKm};
+use fbs_types::{Asn, BlockId, CivilDate, MonthId, Oblast, Prefix, ALL_OBLASTS};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Feed-ish garbage alphabet: digits, separators, newlines, comment
+/// markers — the characters that steer the parsers' state machines.
+const CHARSET: &[u8] = b"0123456789abcdefgUARU .|/:,-#\n\n|";
+
+fn garble(bytes: &[u8]) -> String {
+    bytes
+        .iter()
+        .map(|b| CHARSET[*b as usize % CHARSET.len()] as char)
+        .collect()
+}
+
+/// The invariants every quarantine summary must satisfy, no matter how
+/// hostile the input.
+fn check_accounting(q: &FeedQuarantine, text: &str) {
+    let lines = text.lines().count();
+    assert!(
+        q.total_records() <= lines.max(q.total_records()),
+        "more records than lines"
+    );
+    // A structural (line-0) entry weighs the whole payload; otherwise the
+    // quarantined lines are a subset of the content.
+    assert!(
+        q.quarantined_bytes <= q.content_bytes,
+        "quarantined {} of {} content bytes",
+        q.quarantined_bytes,
+        q.content_bytes
+    );
+    assert!(q.record_rate() >= 0.0 && q.record_rate() <= 1.0);
+    assert!(q.byte_rate() >= 0.0 && q.byte_rate() <= 1.0);
+    for r in &q.records {
+        assert!(!r.reason.is_empty(), "quarantine entries carry a reason");
+    }
+}
+
+proptest! {
+    // ---- Totality: arbitrary bytes, both raw and parser-shaped. ----
+
+    #[test]
+    fn bgp_ingest_is_total(raw in vec(any::<u8>(), 0..600usize)) {
+        for text in [String::from_utf8_lossy(&raw).into_owned(), garble(&raw)] {
+            let r = ingest_bgp(&text, &LossyTolerance::default());
+            check_accounting(&r.quarantine, &text);
+            if r.accepted {
+                assert!(r.quarantine.within(&LossyTolerance::default()));
+            }
+        }
+    }
+
+    #[test]
+    fn geo_ingest_is_total(raw in vec(any::<u8>(), 0..600usize)) {
+        for text in [String::from_utf8_lossy(&raw).into_owned(), garble(&raw)] {
+            let r = ingest_geo(&text, &LossyTolerance::default());
+            check_accounting(&r.quarantine, &text);
+        }
+    }
+
+    #[test]
+    fn delegations_ingest_is_total(raw in vec(any::<u8>(), 0..600usize)) {
+        for text in [String::from_utf8_lossy(&raw).into_owned(), garble(&raw)] {
+            let r = ingest_delegations(&text, &LossyTolerance::default());
+            check_accounting(&r.quarantine, &text);
+        }
+    }
+
+    // ---- Round-trips: serialize a valid structure, ingest it back. ----
+
+    #[test]
+    fn bgp_roundtrip_quarantines_nothing(
+        spec in vec((any::<u8>(), any::<u8>(), 1u32..100_000, 1u32..100_000), 0..24usize),
+    ) {
+        let mut rib = fbs_bgp::Rib::new();
+        for (b, c, transit, origin) in &spec {
+            let prefix = Prefix::from_block(BlockId::from_octets(10, *b, *c));
+            rib.announce(prefix, vec![Asn(*transit), Asn(*origin)]).expect("valid route");
+        }
+        let text = fbs_bgp::dump::to_string(&rib);
+        let r = ingest_bgp(&text, &LossyTolerance::zero());
+        assert!(r.accepted, "pristine dump rejected: {:?}", r.quarantine.records);
+        assert!(r.quarantine.is_empty(), "{:?}", r.quarantine.records);
+        assert_eq!(r.value.num_routes(), rib.num_routes());
+    }
+
+    #[test]
+    fn geo_roundtrip_quarantines_nothing(
+        spec in vec((any::<u8>(), any::<u8>(), 0usize..26, 1u16..200, any::<bool>()), 0..24usize),
+        year in 2022i32..2026,
+        month in 1u8..=12,
+    ) {
+        let records: Vec<BlockGeo> = spec
+            .iter()
+            .enumerate()
+            .map(|(i, (b, c, oblast, count, foreign))| BlockGeo {
+                // Index-keyed first octet keeps blocks unique by construction.
+                block: BlockId::from_octets(20 + i as u8, *b, *c),
+                asn: (*count % 3 != 0).then_some(Asn(64_000 + i as u32)),
+                counts: if *foreign {
+                    vec![
+                        (GeoRegion::Ua(ALL_OBLASTS[*oblast % ALL_OBLASTS.len()]), *count),
+                        (GeoRegion::foreign("PL"), 7),
+                    ]
+                } else {
+                    vec![(GeoRegion::Ua(ALL_OBLASTS[*oblast % ALL_OBLASTS.len()]), *count)]
+                },
+                radius: RadiusKm::quantize(*count as f64),
+            })
+            .collect();
+        let n = records.len();
+        let (snap, dupes) = GeoSnapshot::from_records_lossy(MonthId::new(year, month), records);
+        assert!(dupes.is_empty(), "generator produced duplicate blocks");
+        let text = fbs_geodb::text::to_string(&snap);
+        let r = ingest_geo(&text, &LossyTolerance::zero());
+        assert!(r.accepted, "pristine snapshot rejected: {:?}", r.quarantine.records);
+        assert!(r.quarantine.is_empty(), "{:?}", r.quarantine.records);
+        assert_eq!(r.value.num_blocks(), n);
+        assert_eq!(r.value.month, snap.month);
+    }
+
+    #[test]
+    fn delegations_roundtrip_quarantines_nothing(
+        spec in vec((any::<u8>(), 0u64..16, any::<bool>()), 0..24usize),
+        day in 1u8..=28,
+    ) {
+        let date = CivilDate::new(2023, 6, day);
+        let records: Vec<DelegationRecord> = spec
+            .iter()
+            .enumerate()
+            .map(|(i, (b, size, assigned))| {
+                let status = if *assigned {
+                    DelegationStatus::Assigned
+                } else {
+                    DelegationStatus::Allocated
+                };
+                DelegationRecord::ipv4(
+                    "UA",
+                    std::net::Ipv4Addr::new(31, i as u8, *b, 0),
+                    256 << (size % 5),
+                    date,
+                    status,
+                )
+            })
+            .collect();
+        let n = records.len();
+        let file = DelegationFile::new("ripencc", date, records);
+        let text = fbs_delegations::serialize_file(&file);
+        let r = ingest_delegations(&text, &LossyTolerance::zero());
+        assert!(r.accepted, "pristine file rejected: {:?}", r.quarantine.records);
+        assert!(r.quarantine.is_empty(), "{:?}", r.quarantine.records);
+        assert_eq!(r.value.records.len(), n);
+        assert_eq!(r.value.registry, "ripencc");
+    }
+}
+
+/// Oblast list sanity used by the geo generator (guards the `% len`).
+#[test]
+fn oblast_table_is_nonempty() {
+    assert!(!ALL_OBLASTS.is_empty());
+    assert!(Oblast::from_index(0).is_some());
+}

@@ -180,7 +180,7 @@ mod tests {
     }
 
     fn snap(month: MonthId, recs: Vec<BlockGeo>) -> GeoSnapshot {
-        GeoSnapshot::from_records(month, recs)
+        GeoSnapshot::from_records(month, recs).unwrap()
     }
 
     #[test]

@@ -23,6 +23,7 @@
 pub mod churn;
 pub mod radius;
 pub mod snapshot;
+pub mod text;
 
 pub use churn::{ChurnReport, RegionTotals};
 pub use radius::RadiusKm;

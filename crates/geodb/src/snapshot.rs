@@ -1,7 +1,7 @@
 //! One month's geolocation database.
 
 use crate::radius::RadiusKm;
-use fbs_types::{Asn, BlockId, MonthId, Oblast};
+use fbs_types::{Asn, BlockId, FbsError, MonthId, Oblast, QuarantinedRecord, Result};
 use serde::{Deserialize, Serialize};
 
 /// Where a group of addresses geolocates: a Ukrainian oblast or a foreign
@@ -115,13 +115,53 @@ pub struct GeoSnapshot {
 impl GeoSnapshot {
     /// Builds a snapshot from per-block records (sorted and checked).
     ///
-    /// Duplicate blocks are a generator bug and panic.
-    pub fn from_records(month: MonthId, mut blocks: Vec<BlockGeo>) -> Self {
+    /// Duplicate blocks are rejected with an error naming the block —
+    /// last-wins acceptance would let a corrupt snapshot silently shadow a
+    /// real geolocation, and a panic would violate the pipeline's no-panic
+    /// discipline now that snapshots can arrive from an external feed.
+    pub fn from_records(month: MonthId, mut blocks: Vec<BlockGeo>) -> Result<Self> {
         blocks.sort_by_key(|b| b.block);
         for w in blocks.windows(2) {
-            assert!(w[0].block != w[1].block, "duplicate block {}", w[0].block);
+            if w[0].block == w[1].block {
+                return Err(FbsError::parse(
+                    format!("duplicate block {}", w[0].block),
+                    &w[0].block.to_string(),
+                ));
+            }
         }
-        GeoSnapshot { month, blocks }
+        Ok(GeoSnapshot { month, blocks })
+    }
+
+    /// Lossy construction: duplicate blocks are quarantined (first
+    /// occurrence in `blocks` order wins) instead of failing the snapshot.
+    /// Quarantined entries carry no line context (`line` is 0) — line
+    /// attribution belongs to the text parser in [`crate::text`].
+    pub fn from_records_lossy(
+        month: MonthId,
+        blocks: Vec<BlockGeo>,
+    ) -> (Self, Vec<QuarantinedRecord>) {
+        let mut quarantine = Vec::new();
+        let mut kept: Vec<BlockGeo> = Vec::with_capacity(blocks.len());
+        let mut seen = std::collections::BTreeSet::new();
+        for b in blocks {
+            if seen.insert(b.block) {
+                kept.push(b);
+            } else {
+                quarantine.push(QuarantinedRecord::new(
+                    0,
+                    format!("duplicate block {}", b.block),
+                    &b.block.to_string(),
+                ));
+            }
+        }
+        kept.sort_by_key(|b| b.block);
+        (
+            GeoSnapshot {
+                month,
+                blocks: kept,
+            },
+            quarantine,
+        )
     }
 
     /// Number of blocks with any geolocation data.
@@ -228,6 +268,7 @@ mod tests {
                 rec(10, 0, 2, vec![(GeoRegion::foreign("US"), 250)]),
             ],
         )
+        .unwrap()
     }
 
     #[test]
@@ -287,15 +328,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate block")]
-    fn duplicate_blocks_panic() {
-        GeoSnapshot::from_records(
+    fn duplicate_blocks_are_a_strict_error() {
+        let err = GeoSnapshot::from_records(
             MonthId::new(2022, 3),
             vec![
                 rec(10, 0, 0, vec![(GeoRegion::Ua(Oblast::Kyiv), 1)]),
                 rec(10, 0, 0, vec![(GeoRegion::Ua(Oblast::Kyiv), 2)]),
             ],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate block"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_blocks_are_quarantined_in_lossy_mode() {
+        let (snap, quarantine) = GeoSnapshot::from_records_lossy(
+            MonthId::new(2022, 3),
+            vec![
+                rec(10, 0, 0, vec![(GeoRegion::Ua(Oblast::Kyiv), 1)]),
+                rec(10, 0, 0, vec![(GeoRegion::Ua(Oblast::Kyiv), 2)]),
+                rec(10, 0, 1, vec![(GeoRegion::Ua(Oblast::Lviv), 3)]),
+            ],
         );
+        assert_eq!(snap.num_blocks(), 2);
+        // First occurrence wins, not last.
+        assert_eq!(
+            snap.get(BlockId::from_octets(10, 0, 0)).unwrap().counts,
+            vec![(GeoRegion::Ua(Oblast::Kyiv), 1)]
+        );
+        assert_eq!(quarantine.len(), 1);
+        assert!(quarantine[0].reason.contains("duplicate block"));
     }
 
     #[test]

@@ -59,7 +59,7 @@ proptest! {
                 blocks.push(g);
             }
         }
-        let snap = GeoSnapshot::from_records(MonthId::new(2022, 3), blocks.clone());
+        let snap = GeoSnapshot::from_records(MonthId::new(2022, 3), blocks.clone()).unwrap();
         let total_kherson: u64 = blocks
             .iter()
             .map(|b| b.count_in(GeoRegion::Ua(Oblast::Kherson)) as u64)
@@ -105,8 +105,8 @@ proptest! {
                 radius: RadiusKm::R100,
             });
         }
-        let s_before = GeoSnapshot::from_records(MonthId::new(2022, 2), before.clone());
-        let s_after = GeoSnapshot::from_records(MonthId::new(2025, 2), after);
+        let s_before = GeoSnapshot::from_records(MonthId::new(2022, 2), before.clone()).unwrap();
+        let s_after = GeoSnapshot::from_records(MonthId::new(2025, 2), after).unwrap();
         let report = compare(&s_before, &s_after);
         let total_before: u64 = before.iter().map(|b| b.total() as u64).sum();
         // Everything that was there before is stayed, moved or disappeared.
@@ -131,7 +131,7 @@ proptest! {
                     radius: RadiusKm::R200,
                 }]
             };
-            GeoSnapshot::from_records(month, recs)
+            GeoSnapshot::from_records(month, recs).unwrap()
         };
         let report = compare(&mk(MonthId::new(2022, 2), n_before), &mk(MonthId::new(2025, 2), n_after));
         let change = report.relative_change()[Oblast::Lviv.index()];

@@ -61,6 +61,7 @@ const EMISSION_FILES: &[&str] = &[
     "crates/core/src/report.rs",
     "crates/core/src/dataset.rs",
     "crates/analysis/src/emit.rs",
+    "crates/feeds/src/quarantine.rs",
 ];
 
 /// The registry, in diagnostic-priority order.

@@ -101,6 +101,25 @@ fn unordered_persist_only_guards_persist_files() {
 }
 
 #[test]
+fn unordered_persist_guards_quarantine_report_writer() {
+    // The feeds quarantine writer emits a report file, so it is on the
+    // emission list: the rule applies there even with no Persist/ByteWriter
+    // mention in the source.
+    let src = fixture("unordered-persist", "positive");
+    let stripped: Vec<u8> = String::from_utf8(src)
+        .unwrap()
+        .lines()
+        .filter(|l| !l.contains("Persist"))
+        .flat_map(|l| l.bytes().chain([b'\n']))
+        .collect();
+    let got = lint_bytes("crates/feeds/src/quarantine.rs", stripped);
+    assert!(
+        got.iter().any(|f| f.rule == "unordered-persist"),
+        "quarantine writer must be covered by unordered-persist, got {got:?}"
+    );
+}
+
+#[test]
 fn panic_in_pipeline_fires_on_all_shapes() {
     // line 6: .unwrap(), line 7: m[&k] map indexing, line 11: panic!.
     assert_fires(

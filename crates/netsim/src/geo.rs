@@ -169,7 +169,7 @@ pub fn geo_snapshot(world: &World, month: MonthId) -> GeoSnapshot {
             });
         }
     }
-    GeoSnapshot::from_records(month, records)
+    GeoSnapshot::from_records(month, records).expect("generator emits unique blocks")
 }
 
 fn add_count(counts: &mut Vec<(GeoRegion, u16)>, region: GeoRegion, n: u16) {

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod faults;
+pub mod feedfaults;
 pub mod geo;
 pub mod power;
 pub mod rng;
@@ -38,6 +39,7 @@ pub mod transport;
 pub mod world;
 
 pub use faults::{FaultIntensity, FaultPlan, FaultStats, FaultWindow, FaultyTransport};
+pub use feedfaults::{FeedFaultIntensity, FeedFaultPlan, FeedFaultWindow};
 pub use power::{PowerCalendar, StrikeEvent};
 pub use rng::WorldRng;
 pub use script::{EventKind, EventTarget, Script, ScriptedEvent};

@@ -24,7 +24,7 @@ use crate::events::{EntityId, OutageEvent};
 use crate::series::{MovingAverage, SignalKind};
 use crate::thresholds::Thresholds;
 use fbs_types::codec::{ByteReader, ByteWriter, Persist};
-use fbs_types::{Round, RoundQuality};
+use fbs_types::{FeedStatus, Round, RoundQuality};
 use serde::{Deserialize, Serialize};
 
 /// Signal values of one entity at one round. `None` = not measured.
@@ -52,6 +52,60 @@ impl EntityRound {
             SignalKind::Fbs => self.fbs,
             SignalKind::Ips => self.ips,
         }
+    }
+}
+
+/// Per-round input quality derived from the metadata feeds' staleness
+/// ledger ([`FeedStatus`] per feed).
+///
+/// The scan signals (FBS, IPS) ride the prober and are governed by
+/// [`RoundQuality`]; the *derived* signals ride external feeds that can go
+/// stale or dark independently of the vantage point. This struct carries
+/// that per-feed verdict to the detector, which responds per signal:
+///
+/// * **BGP stale/missing** — the pipeline's routed counts are carried
+///   forward from the last good RIB, so feeding them would fabricate a
+///   flat BGP series and could *open* spurious outages (or mask real
+///   ones). [`mask`](Self::mask) removes the BGP value: the BGP track
+///   freezes exactly like a vantage-offline round — open outages
+///   (including the zero-BGP long-outage flag) stay open, no new BGP
+///   outage can start, and the moving average does not advance.
+/// * **Geo stale/missing** — regional classification reuses the previous
+///   accepted snapshot; that is handled at classification time, upstream
+///   of the detector, so no masking is needed here.
+/// * **Delegations stale/missing** — eligibility is campaign-static once
+///   built; the status is ledger bookkeeping only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignalQuality {
+    /// Status of the BGP RIB feed this round.
+    pub bgp: FeedStatus,
+    /// Status of the geolocation snapshot feed this round.
+    pub geo: FeedStatus,
+    /// Status of the RIR delegation feed this round.
+    pub delegations: FeedStatus,
+}
+
+impl SignalQuality {
+    /// All feeds fresh: detection behaves exactly as without feed gating.
+    pub const FRESH: SignalQuality = SignalQuality {
+        bgp: FeedStatus::Fresh,
+        geo: FeedStatus::Fresh,
+        delegations: FeedStatus::Fresh,
+    };
+
+    /// Whether every feed is fresh this round.
+    pub fn is_fresh(&self) -> bool {
+        self.bgp.is_fresh() && self.geo.is_fresh() && self.delegations.is_fresh()
+    }
+
+    /// Applies the per-signal gating: removes values whose backing feed
+    /// is not fresh (currently the BGP value; scan signals pass through).
+    pub fn mask(&self, input: EntityRound) -> EntityRound {
+        let mut out = input;
+        if !self.bgp.is_fresh() {
+            out.bgp = None;
+        }
+        out
     }
 }
 
@@ -172,6 +226,24 @@ impl Detector {
             RoundQuality::Unusable => self.observe_with(round, EntityRound::MISSING, quality),
             _ => self.observe_with(round, input, quality),
         }
+    }
+
+    /// Feeds one round together with both quality verdicts: the prober's
+    /// [`RoundQuality`] and the feed-derived [`SignalQuality`].
+    ///
+    /// Equivalent to [`observe_quality`](Self::observe_quality) on the
+    /// [masked](SignalQuality::mask) input: a stale or missing BGP feed
+    /// freezes the BGP track (holding open outages, including the
+    /// zero-BGP flag, without opening new ones) while the scan signals
+    /// are still judged normally.
+    pub fn observe_feeds(
+        &mut self,
+        round: Round,
+        input: EntityRound,
+        quality: RoundQuality,
+        feeds: SignalQuality,
+    ) -> [SignalState; 3] {
+        self.observe_quality(round, feeds.mask(input), quality)
     }
 
     fn observe_with(
@@ -715,6 +787,158 @@ mod tests {
             assert_eq!(sa, sb);
         }
         assert_eq!(a.finish(Round(30)), b.finish(Round(30)));
+    }
+
+    fn stale_bgp() -> SignalQuality {
+        SignalQuality {
+            bgp: FeedStatus::Stale(1),
+            ..SignalQuality::FRESH
+        }
+    }
+
+    #[test]
+    fn missing_bgp_feed_suppresses_new_bgp_outages() {
+        // The feed goes dark; the pipeline carries the last RIB forward,
+        // so the BGP value it computes is stale — even an apparent total
+        // routing collapse during the gap must not open a BGP outage.
+        let mut d = detector();
+        steady(&mut d, 0..20, 10.0, 10.0, 1000.0);
+        for r in 20..30 {
+            let states = d.observe_feeds(
+                Round(r),
+                EntityRound {
+                    bgp: Some(0.0),
+                    fbs: Some(10.0),
+                    ips: Some(1000.0),
+                },
+                RoundQuality::Ok,
+                SignalQuality {
+                    bgp: FeedStatus::Missing,
+                    ..SignalQuality::FRESH
+                },
+            );
+            assert_eq!(states[SignalKind::Bgp.index()], SignalState::NoData);
+        }
+        steady(&mut d, 30..40, 10.0, 10.0, 1000.0);
+        assert!(d.finish(Round(40)).is_empty());
+    }
+
+    #[test]
+    fn stale_bgp_feed_holds_zero_bgp_outage_open() {
+        // A genuine zero-BGP outage opens on fresh data; the feed then
+        // goes stale mid-outage. The track freezes: the outage is neither
+        // closed nor double-opened, and when the feed returns with the
+        // routes restored the event closes at the recovery round.
+        let mut d = detector();
+        steady(&mut d, 0..20, 10.0, 10.0, 1000.0);
+        for r in 20..26 {
+            d.observe(
+                Round(r),
+                EntityRound {
+                    bgp: Some(0.0),
+                    fbs: Some(0.0),
+                    ips: Some(0.0),
+                },
+            );
+        }
+        for r in 26..34 {
+            let states = d.observe_feeds(
+                Round(r),
+                EntityRound {
+                    bgp: Some(0.0), // carried forward, untrustworthy
+                    fbs: Some(0.0),
+                    ips: Some(0.0),
+                },
+                RoundQuality::Ok,
+                stale_bgp(),
+            );
+            assert_eq!(states[SignalKind::Bgp.index()], SignalState::NoData);
+        }
+        steady(&mut d, 34..44, 10.0, 10.0, 1000.0);
+        let events = d.finish(Round(44));
+        let bgp: Vec<_> = events
+            .iter()
+            .filter(|e| e.signal == SignalKind::Bgp)
+            .collect();
+        assert_eq!(bgp.len(), 1, "one continuous BGP outage: {bgp:?}");
+        assert_eq!(bgp[0].start, Round(20));
+        assert_eq!(
+            bgp[0].end,
+            Round(34),
+            "closes at feed recovery, not during the gap"
+        );
+    }
+
+    #[test]
+    fn stale_bgp_feed_leaves_scan_signals_live() {
+        // Feed gating is per signal: with the BGP feed stale, a genuine
+        // scan-visible outage must still fire on FBS/IPS.
+        let mut d = detector();
+        steady(&mut d, 0..20, 10.0, 10.0, 1000.0);
+        for r in 20..25 {
+            d.observe_feeds(
+                Round(r),
+                EntityRound {
+                    bgp: Some(10.0),
+                    fbs: Some(2.0),
+                    ips: Some(100.0),
+                },
+                RoundQuality::Ok,
+                stale_bgp(),
+            );
+        }
+        steady(&mut d, 25..35, 10.0, 10.0, 1000.0);
+        let events = d.finish(Round(35));
+        assert!(events.iter().any(|e| e.signal == SignalKind::Ips));
+        assert!(events.iter().any(|e| e.signal == SignalKind::Fbs));
+        assert!(events.iter().all(|e| e.signal != SignalKind::Bgp));
+    }
+
+    #[test]
+    fn fresh_feeds_match_observe_quality_exactly() {
+        let mut a = detector();
+        let mut b = detector();
+        for r in 0..40 {
+            let input = EntityRound {
+                bgp: Some(if (25..30).contains(&r) { 5.0 } else { 10.0 }),
+                fbs: Some(if (20..24).contains(&r) { 4.0 } else { 10.0 }),
+                ips: Some(if (20..24).contains(&r) { 400.0 } else { 1000.0 }),
+            };
+            let q = if r % 7 == 0 {
+                RoundQuality::Degraded
+            } else {
+                RoundQuality::Ok
+            };
+            let sa = a.observe_quality(Round(r), input, q);
+            let sb = b.observe_feeds(Round(r), input, q, SignalQuality::FRESH);
+            assert_eq!(sa, sb, "round {r}");
+        }
+        assert_eq!(a.finish(Round(40)), b.finish(Round(40)));
+    }
+
+    #[test]
+    fn signal_quality_mask_and_freshness() {
+        assert!(SignalQuality::FRESH.is_fresh());
+        assert!(!stale_bgp().is_fresh());
+        let input = EntityRound {
+            bgp: Some(10.0),
+            fbs: Some(5.0),
+            ips: Some(500.0),
+        };
+        assert_eq!(SignalQuality::FRESH.mask(input), input);
+        let masked = stale_bgp().mask(input);
+        assert_eq!(masked.bgp, None);
+        assert_eq!(masked.fbs, input.fbs);
+        assert_eq!(masked.ips, input.ips);
+        // Geo/delegation staleness is handled upstream: no detector mask.
+        let geo_stale = SignalQuality {
+            geo: FeedStatus::Stale(2),
+            delegations: FeedStatus::Missing,
+            ..SignalQuality::FRESH
+        };
+        assert!(!geo_stale.is_fresh());
+        assert_eq!(geo_stale.mask(input), input);
+        assert_eq!(SignalQuality::default(), SignalQuality::FRESH);
     }
 
     #[test]

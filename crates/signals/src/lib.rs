@@ -41,7 +41,7 @@ pub mod sensing;
 pub mod series;
 pub mod thresholds;
 
-pub use detect::{Detector, EntityRound, SignalState};
+pub use detect::{Detector, EntityRound, SignalQuality, SignalState};
 pub use eligibility::{ips_signal_usable, BlockMonth, EligibilityConfig, MonthEligibility};
 pub use events::{merge_overlapping, outage_hours, EntityId, OutageEvent};
 pub use sensing::{AvailabilitySensor, SensingConfig, SensingVerdict};

@@ -72,7 +72,13 @@ impl FbsError {
     pub fn parse(reason: impl Into<String>, input: &str) -> Self {
         let mut input = input.to_string();
         if input.len() > 80 {
-            input.truncate(80);
+            // Back off to a char boundary: byte 80 may fall inside a
+            // multibyte sequence (e.g. U+FFFD from lossy feed decoding).
+            let mut cut = 80;
+            while !input.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            input.truncate(cut);
             input.push_str("...");
         }
         FbsError::Parse {
@@ -153,6 +159,21 @@ mod tests {
             FbsError::Parse { input, .. } => {
                 assert!(input.len() <= 84);
                 assert!(input.ends_with("..."));
+            }
+            _ => panic!("expected parse error"),
+        }
+    }
+
+    #[test]
+    fn parse_error_truncates_at_char_boundary() {
+        // Lossy feed decoding yields U+FFFD (3 bytes); the 80-byte cut must
+        // not land mid-sequence.
+        let long = "\u{fffd}".repeat(80);
+        let err = FbsError::parse("bad", &long);
+        match err {
+            FbsError::Parse { input, .. } => {
+                assert!(input.ends_with("..."));
+                assert!(input.len() <= 84);
             }
             _ => panic!("expected parse error"),
         }

@@ -22,6 +22,7 @@
 pub mod block;
 pub mod codec;
 pub mod error;
+pub mod feed;
 pub mod ids;
 pub mod quality;
 pub mod region;
@@ -30,6 +31,7 @@ pub mod time;
 pub use block::{BlockId, Prefix};
 pub use codec::{ByteReader, ByteWriter, Persist};
 pub use error::{FbsError, Result};
+pub use feed::{FeedKind, FeedStatus, QuarantinedRecord};
 pub use ids::Asn;
 pub use quality::RoundQuality;
 pub use region::{Oblast, RegionClass, ALL_OBLASTS, FRONTLINE_OBLASTS};

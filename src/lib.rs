@@ -45,6 +45,10 @@ pub use fbs_geodb as geodb;
 /// RIR delegation files and churn tracking.
 pub use fbs_delegations as delegations;
 
+/// Hardened feed ingest: lossy streaming parsers, retry/backoff, health
+/// ledgers and quarantine reports for the BGP/geo/delegation feeds.
+pub use fbs_feeds as feeds;
+
 /// Outage signals, thresholds and the moving-average detector.
 pub use fbs_signals as signals;
 

@@ -7,13 +7,15 @@
 //! inside the same fault window is **still detected**. Degraded rounds damp
 //! detection; they must not blind it.
 
+use ukraine_fbs::core::CheckpointPolicy;
 use ukraine_fbs::netsim::{
     AsProfile, AsSpec, BlockSpec, EventKind, EventTarget, FaultIntensity, FaultPlan, FaultWindow,
-    FaultyTransport, Script, ScriptedEvent, World, WorldConfig, WorldScale, WorldTransport,
+    FaultyTransport, FeedFaultIntensity, FeedFaultPlan, FeedFaultWindow, Script, ScriptedEvent,
+    World, WorldConfig, WorldScale, WorldTransport,
 };
 use ukraine_fbs::prelude::*;
 use ukraine_fbs::prober::{ScanConfig, Scanner, TargetSet};
-use ukraine_fbs::types::{Oblast, Prefix, RoundQuality};
+use ukraine_fbs::types::{FeedKind, FeedStatus, Oblast, Prefix, RoundQuality};
 
 const ROUNDS: u32 = 600; // 50 days at 12 rounds/day
 const FAULT_WINDOW: std::ops::Range<u32> = 100..500;
@@ -262,4 +264,271 @@ fn wire_path_faults_only_remove_responders() {
     assert_eq!(obs_a, obs_b);
     assert_eq!(stats_a, stats_b);
     assert_eq!(fstats_a, fstats_b);
+}
+
+// ---------------------------------------------------------------------------
+// Feed-fault rows: the BGP/geo/delegation feeds going dark or lossy must
+// degrade per-signal detection, never fabricate outages.
+// ---------------------------------------------------------------------------
+
+/// Rounds during which the BGP mirror serves nothing at all.
+const BGP_GAP: std::ops::Range<u32> = 200..260;
+
+fn feed_config(feed_plan: FeedFaultPlan) -> CampaignConfig {
+    let mut cfg = campaign_config(None);
+    cfg.feed_plan = Some(feed_plan);
+    cfg
+}
+
+fn bgp_dark_plan(rounds: std::ops::Range<u32>) -> FeedFaultPlan {
+    FeedFaultPlan {
+        windows: vec![FeedFaultWindow::over_rounds(
+            "bgp-mirror-dark",
+            FeedKind::Bgp,
+            rounds,
+            FeedFaultIntensity {
+                drop: 1.0,
+                ..FeedFaultIntensity::default()
+            },
+        )],
+    }
+}
+
+#[test]
+fn missing_bgp_dump_opens_no_bgp_outages_and_is_ledgered() {
+    // A real BGP outage sits entirely inside the dump gap: with no dump to
+    // read, the collector must not open a BGP outage event — it carries
+    // the last known routing state forward — while the scan-derived
+    // signals (FBS, IPS) still catch the disruption.
+    let outage = 212u32..248;
+    let go = || {
+        run_cfg(
+            world(11, vec![scripted_outage(outage.clone())]),
+            feed_config(bgp_dark_plan(BGP_GAP)),
+        )
+    };
+    let report = go();
+
+    let events = report
+        .as_events
+        .get(&Asn(100))
+        .expect("FBS/IPS must still detect the outage");
+    assert!(
+        !events.iter().any(|e| e.signal == SignalKind::Bgp
+            && e.start.0 >= BGP_GAP.start
+            && e.start.0 < BGP_GAP.end),
+        "a BGP outage event opened during the dump gap: {events:?}"
+    );
+    assert!(
+        events.iter().any(|e| e.signal != SignalKind::Bgp
+            && e.start.0 < outage.end + 12
+            && e.end.0 + 12 > outage.start),
+        "scan-derived signals must still catch the outage: {events:?}"
+    );
+
+    // The ledger records exactly the gap: Fresh before, Stale(age) with
+    // ages counting up during, Fresh again after.
+    let ledger = &report.feed_ledger;
+    for r in 0..ROUNDS {
+        let status = ledger.status_of(FeedKind::Bgp, Round(r)).expect("ledgered");
+        if BGP_GAP.contains(&r) {
+            assert_eq!(
+                status,
+                FeedStatus::Stale(r - BGP_GAP.start + 1),
+                "round {r}"
+            );
+        } else {
+            assert_eq!(status, FeedStatus::Fresh, "round {r}");
+        }
+    }
+    let health = report.feed_health_of(FeedKind::Bgp).expect("health ledger");
+    assert_eq!(health.stale_rounds, BGP_GAP.end - BGP_GAP.start);
+    assert_eq!(health.longest_gap, BGP_GAP.end - BGP_GAP.start);
+    assert_eq!(
+        health.missing_rounds, 0,
+        "the feed was delivered before the gap"
+    );
+
+    // Byte-identical determinism across two full runs.
+    let again = go();
+    assert_eq!(format!("{report:?}"), format!("{again:?}"));
+}
+
+#[test]
+fn detection_resumes_exactly_after_the_feed_returns() {
+    // An outage after the gap must be detected identically to a run whose
+    // feeds never faltered: staleness suppresses, it does not linger.
+    let outage = 360u32..396;
+    let faulty = run_cfg(
+        world(11, vec![scripted_outage(outage.clone())]),
+        feed_config(bgp_dark_plan(BGP_GAP)),
+    );
+    let clean = run_cfg(
+        world(11, vec![scripted_outage(outage.clone())]),
+        feed_config(FeedFaultPlan::none()),
+    );
+    assert_eq!(
+        format!("{:?}", faulty.as_events),
+        format!("{:?}", clean.as_events),
+        "post-gap detection must match the clean-feed run"
+    );
+    assert_eq!(
+        format!("{:?}", faulty.region_events),
+        format!("{:?}", clean.region_events)
+    );
+    // Sanity: the BGP leg of the outage is genuinely detected post-gap.
+    let events = &faulty.as_events[&Asn(100)];
+    assert!(
+        events.iter().any(|e| e.signal == SignalKind::Bgp
+            && e.start.0 < outage.end
+            && e.end.0 > outage.start),
+        "{events:?}"
+    );
+}
+
+#[test]
+fn feed_faulted_resume_is_byte_identical() {
+    // Crash-resume lands in the middle of the dump gap: the restored
+    // snapshot + journal replay must reconstruct feed ages, ledger and
+    // carry-forward state exactly.
+    let dir = std::env::temp_dir().join(format!("fbs-feed-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let campaign = Campaign::new(
+        world(11, vec![scripted_outage(212..248)]),
+        feed_config(bgp_dark_plan(BGP_GAP)),
+    )
+    .expect("valid config");
+    let plain = campaign.run().expect("plain run");
+    {
+        let mut runner = campaign
+            .runner_checkpointed(
+                &dir,
+                CheckpointPolicy {
+                    snapshot_every: 96,
+                    fsync: false,
+                },
+            )
+            .expect("runner");
+        for _ in 0..230 {
+            runner.step_round().expect("step");
+        }
+        // Dropped mid-gap, mid-snapshot-interval: the crash point.
+    }
+    let resumed = campaign.resume(&dir).expect("resume");
+    assert_eq!(format!("{plain:?}"), format!("{resumed:?}"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_records_cause_no_spurious_outages() {
+    // 5% of BGP dump records corrupted over the whole fault window. Small
+    // dumps mean a single mangled line can push a delivery over the lossy
+    // tolerance — rejected deliveries and quarantined records must both
+    // resolve to carry-forward, never to an outage.
+    let plan = FeedFaultPlan {
+        windows: vec![FeedFaultWindow::over_rounds(
+            "bgp-rot",
+            FeedKind::Bgp,
+            FAULT_WINDOW,
+            FeedFaultIntensity {
+                corrupt_records: 0.05,
+                ..FeedFaultIntensity::default()
+            },
+        )],
+    };
+    let go = || run_cfg(world(11, vec![]), feed_config(plan.clone()));
+    let report = go();
+    assert_eq!(
+        report.total_as_outages(),
+        0,
+        "corrupted feed records fabricated outages: {:?}",
+        report.as_events
+    );
+    assert!(
+        report.region_events_of(Oblast::Kherson).is_empty(),
+        "the populated region must not false-fire"
+    );
+    // The rot is visible in the quarantine ledger and the health summary.
+    assert!(
+        !report.feed_quarantines.is_empty(),
+        "5% corruption over 400 rounds must quarantine something"
+    );
+    let health = report.feed_health_of(FeedKind::Bgp).expect("health");
+    assert!(health.rejected_deliveries > 0 || health.fresh_rounds == ROUNDS);
+    let rendered = report.feed_quarantine_report();
+    assert!(
+        rendered.contains("bgp"),
+        "report names the feed: {rendered}"
+    );
+    // Determinism.
+    let again = go();
+    assert_eq!(format!("{report:?}"), format!("{again:?}"));
+}
+
+#[test]
+fn stale_geo_month_freezes_classification() {
+    // The geolocation mirror is dark for the second month's delivery. The
+    // classifier must freeze on the previous snapshot — in this static
+    // world that is indistinguishable from the pristine feed, so the whole
+    // detection output matches the clean-feed run while the ledger shows
+    // the stale month.
+    let w = world(11, vec![]);
+    let months = ukraine_fbs::core::classify::campaign_months(&w);
+    assert!(
+        months.len() >= 2,
+        "600 rounds must span at least two months"
+    );
+    let due = w.month_rounds(months[1]).start;
+    let plan = FeedFaultPlan {
+        windows: vec![FeedFaultWindow::over_rounds(
+            "geo-mirror-dark",
+            FeedKind::Geo,
+            due..due + 1,
+            FeedFaultIntensity {
+                drop: 1.0,
+                ..FeedFaultIntensity::default()
+            },
+        )],
+    };
+    let faulty = run_cfg(world(11, vec![]), feed_config(plan));
+    let clean = run_cfg(world(11, vec![]), feed_config(FeedFaultPlan::none()));
+    assert_eq!(
+        format!("{:?}", faulty.as_events),
+        format!("{:?}", clean.as_events)
+    );
+    assert_eq!(
+        format!("{:?}", faulty.region_events),
+        format!("{:?}", clean.region_events)
+    );
+    assert_eq!(faulty.total_as_outages(), 0);
+
+    // The ledger marks the whole stale month, and recovery at the next
+    // delivery (if the campaign reaches one).
+    let ledger = &faulty.feed_ledger;
+    for r in w.month_rounds(months[1]) {
+        assert_eq!(
+            ledger.status_of(FeedKind::Geo, Round(r)),
+            Some(FeedStatus::Stale(1)),
+            "round {r}"
+        );
+    }
+    for r in w.month_rounds(months[0]) {
+        assert_eq!(
+            ledger.status_of(FeedKind::Geo, Round(r)),
+            Some(FeedStatus::Fresh),
+            "round {r}"
+        );
+    }
+    let health = faulty.feed_health_of(FeedKind::Geo).expect("health");
+    assert_eq!(health.fresh_rounds + health.stale_rounds, ROUNDS);
+    assert!(health.stale_rounds > 0);
+}
+
+/// Runs a campaign with an explicit full config (feed rows need more than
+/// a fault plan).
+fn run_cfg(world: World, cfg: CampaignConfig) -> CampaignReport {
+    Campaign::new(world, cfg)
+        .expect("valid config")
+        .run()
+        .expect("campaign run")
 }
