@@ -1,0 +1,19 @@
+//! Miniature workspace, file 2: a store that serializes `Record`
+//! (defined in file 1) and writes the bytes out.
+
+pub struct Store {
+    path: PathBuf,
+}
+
+impl Store {
+    pub fn save(&self, record: &Record) {
+        let bytes = encode_record(record);
+        std::fs::write(&self.path, bytes).ok();
+    }
+}
+
+fn encode_record(record: &Record) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    record.persist(&mut w);
+    w.into_bytes()
+}

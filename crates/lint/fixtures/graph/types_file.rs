@@ -1,0 +1,24 @@
+//! Miniature workspace, file 1: type definitions and one Persist impl.
+
+pub struct Record {
+    pub round: u32,
+    pub rtt_ns: u64,
+}
+
+pub enum Mode {
+    Active,
+    Paused,
+}
+
+impl Persist for Record {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_u32(self.round);
+        w.put_u64(self.rtt_ns);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(Record {
+            round: r.get_u32()?,
+            rtt_ns: r.get_u64()?,
+        })
+    }
+}

@@ -1,0 +1,19 @@
+//! Near-misses: ordered collections on the emission path, and a
+//! HashMap in a helper no sink ever calls.
+
+pub fn emit_rows(out: &mut String) {
+    for (k, v) in tally() {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+}
+
+fn tally() -> Tally {
+    let mut m = BTreeMap::new();
+    m.insert(1u32, 2u32);
+    m
+}
+
+fn scratch_lookup() {
+    let mut cache = HashMap::new();
+    cache.insert(1u32, 2u32);
+}

@@ -1,0 +1,14 @@
+//! Deliberate violation: a HashMap one call-graph hop away from an
+//! emission function — iteration order leaks into emitted text.
+
+pub fn emit_rows(out: &mut String) {
+    for (k, v) in tally() {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+}
+
+fn tally() -> Tally {
+    let mut m = HashMap::new();
+    m.insert(1u32, 2u32);
+    m
+}

@@ -1,0 +1,34 @@
+//! Near-misses: a symmetric field codec, and a symmetric index-style
+//! enum codec (neither side names variants) — both accepted.
+
+pub struct Steady {
+    a: u32,
+    b: u64,
+}
+
+impl Persist for Steady {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_u32(self.a);
+        w.put_u64(self.b);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(Steady {
+            a: r.get_u32()?,
+            b: r.get_u64()?,
+        })
+    }
+}
+
+pub enum Tagless {
+    First,
+    Second,
+}
+
+impl Persist for Tagless {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_u8(self.index() as u8);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self> {
+        Self::from_index(r.get_u8()?)
+    }
+}

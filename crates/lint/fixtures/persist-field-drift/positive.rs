@@ -1,0 +1,16 @@
+//! Deliberate violation: `b` is encoded in persist() but never restored.
+
+pub struct Drifted {
+    a: u32,
+    b: u64,
+}
+
+impl Persist for Drifted {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_u32(self.a);
+        w.put_u64(self.b);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(Drifted { a: r.get_u32()? })
+    }
+}

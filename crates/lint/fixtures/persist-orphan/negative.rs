@@ -1,0 +1,30 @@
+//! Near-miss: the stored type carries its own Persist impl, so the
+//! whole chain round-trips.
+
+pub struct Inner {
+    x: u8,
+}
+
+impl Persist for Inner {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_u8(self.x);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(Inner { x: r.get_u8()? })
+    }
+}
+
+pub struct Holder {
+    inner: Inner,
+}
+
+impl Persist for Holder {
+    fn persist(&self, w: &mut ByteWriter) {
+        self.inner.persist(w);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(Holder {
+            inner: Persist::restore(r)?,
+        })
+    }
+}

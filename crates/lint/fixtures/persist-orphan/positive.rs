@@ -1,0 +1,21 @@
+//! Deliberate violation: `Holder` persists, but its field stores
+//! `Inner`, which has no Persist impl of its own.
+
+pub struct Inner {
+    x: u8,
+}
+
+pub struct Holder {
+    inner: Inner,
+}
+
+impl Persist for Holder {
+    fn persist(&self, w: &mut ByteWriter) {
+        self.inner.persist(w);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(Holder {
+            inner: Persist::restore(r)?,
+        })
+    }
+}

@@ -1,0 +1,8 @@
+//! Deliberate violation: a file-writing call site in a library file
+//! that is not in the EMISSION_FILES registry.
+
+use std::fs;
+
+pub fn dump_debug(path: &std::path::Path, bytes: &[u8]) {
+    fs::write(path, bytes).ok();
+}

@@ -7,6 +7,7 @@
 //! which lines carry `// fbs-lint: allow(rule)` pragmas.
 
 use crate::lexer::{lex, Token, TokenKind};
+use crate::parser::{parse, Ast, Span};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// How a file participates in the build — the unit of rule scoping.
@@ -103,6 +104,9 @@ pub struct SourceFile {
     pub tokens: Vec<Token>,
     /// Indices (into `tokens`) of non-comment tokens — what rules match on.
     pub sig: Vec<usize>,
+    /// Item-level AST (structs, enums, impls, fns) over the significant
+    /// tokens — what the semantic rules match on.
+    pub ast: Ast,
     /// Lines covered by `#[cfg(test)]` / `#[test]` items.
     test_lines: BTreeSet<u32>,
     /// Line → rules allowed there by pragma.
@@ -122,11 +126,13 @@ impl SourceFile {
             .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
             .map(|(i, _)| i)
             .collect();
+        let ast = parse(&src, &tokens, &sig);
         let mut file = SourceFile {
             meta,
             src,
             tokens,
             sig,
+            ast,
             test_lines: BTreeSet::new(),
             allows: BTreeMap::new(),
         };
@@ -155,6 +161,13 @@ impl SourceFile {
         self.allows
             .get(&line)
             .is_some_and(|set| set.contains(rule) || set.contains("all"))
+    }
+
+    /// The significant tokens of an AST [`Span`], with their sig indices.
+    pub fn span_tokens(&self, span: Span) -> impl Iterator<Item = (usize, &Token)> {
+        let hi = span.hi.min(self.sig.len());
+        let lo = span.lo.min(hi);
+        (lo..hi).map(move |i| (i, &self.tokens[self.sig[i]]))
     }
 
     /// Whether the whole token stream contains an identifier `name`

@@ -1,7 +1,15 @@
 //! Running rules over files and walking the workspace.
+//!
+//! Two layers run over every file set: the per-file lexical rules
+//! ([`crate::rules`]), then the workspace semantic rules
+//! ([`crate::semantic`]) over the symbol graph assembled from all files
+//! at once. A full `--workspace` sweep runs in *complete* mode, which
+//! additionally checks registry staleness (absence is only meaningful
+//! when every file was seen).
 
 use crate::context::{FileMeta, SourceFile};
 use crate::rules::{Finding, RULES};
+use crate::semantic::{check_workspace, Anchor};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -62,10 +70,65 @@ pub fn lint_source(file: &SourceFile) -> Vec<Finding> {
     findings
 }
 
-/// Lints the bytes of one file at a workspace-relative path.
+/// Lints an analyzed file set: per-file lexical rules on each file, then
+/// the workspace semantic rules over the symbol graph built from all of
+/// them. `complete` marks a full workspace sweep (enables absence checks
+/// like registry staleness). Semantic findings pass through the anchoring
+/// file's test-region and pragma filters, same as lexical ones.
+pub fn lint_sources(files: &[SourceFile], complete: bool) -> LintRun {
+    let mut run = LintRun {
+        files_checked: files.len(),
+        findings: Vec::new(),
+    };
+    for file in files {
+        for finding in lint_source(file) {
+            run.findings.push(FileFinding {
+                path: file.meta.path.clone(),
+                finding,
+            });
+        }
+    }
+    let graph = crate::graph::build(files);
+    for sf in check_workspace(files, &graph, complete) {
+        match sf.anchor {
+            Anchor::File(i) => {
+                let file = &files[i];
+                if file.in_test_region(sf.finding.line)
+                    || file.is_allowed(sf.finding.rule, sf.finding.line)
+                {
+                    continue;
+                }
+                run.findings.push(FileFinding {
+                    path: file.meta.path.clone(),
+                    finding: sf.finding,
+                });
+            }
+            Anchor::Path(path) => run.findings.push(FileFinding {
+                path,
+                finding: sf.finding,
+            }),
+        }
+    }
+    run.findings.sort_by(|a, b| {
+        (&a.path, a.finding.line, a.finding.col, a.finding.rule).cmp(&(
+            &b.path,
+            b.finding.line,
+            b.finding.col,
+            b.finding.rule,
+        ))
+    });
+    run
+}
+
+/// Lints the bytes of one file at a workspace-relative path. Semantic
+/// rules run over the single-file graph (staleness checks stay off).
 pub fn lint_bytes(rel_path: &str, src: Vec<u8>) -> Vec<Finding> {
     let file = SourceFile::analyze(FileMeta::infer(rel_path), src);
-    lint_source(&file)
+    lint_sources(std::slice::from_ref(&file), false)
+        .findings
+        .into_iter()
+        .map(|f| f.finding)
+        .collect()
 }
 
 /// Directories never descended into. `fixtures` holds the linter's own
@@ -109,9 +172,11 @@ pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-/// Lints every Rust source file under `root` (the workspace).
+/// Lints every Rust source file under `root` (the workspace): all files
+/// are analyzed up front so the semantic rules see the whole symbol
+/// graph, and complete-sweep absence checks are enabled.
 pub fn lint_workspace(root: &Path) -> io::Result<LintRun> {
-    let mut run = LintRun::default();
+    let mut files = Vec::new();
     for path in collect_rs_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -119,18 +184,9 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintRun> {
             .to_string_lossy()
             .replace('\\', "/");
         let src = fs::read(&path)?;
-        run.files_checked += 1;
-        for finding in lint_bytes(&rel, src) {
-            run.findings.push(FileFinding {
-                path: rel.clone(),
-                finding,
-            });
-        }
+        files.push(SourceFile::analyze(FileMeta::infer(&rel), src));
     }
-    run.findings.sort_by(|a, b| {
-        (&a.path, a.finding.line, a.finding.col).cmp(&(&b.path, b.finding.line, b.finding.col))
-    });
-    Ok(run)
+    Ok(lint_sources(&files, true))
 }
 
 /// Walks upward from `start` to the directory whose `Cargo.toml` declares

@@ -1,0 +1,385 @@
+//! The workspace symbol graph.
+//!
+//! Per-file ASTs ([`crate::parser`]) answer "what items does this file
+//! define?"; the semantic rules need the cross-file view: which struct a
+//! `Persist` impl serializes (they are frequently in different files),
+//! which functions a function calls (by name — no type resolution), and
+//! where the workspace actually writes files. This module assembles that
+//! view once per lint run, in deterministic order, so every semantic rule
+//! is a pure pass over the graph.
+//!
+//! Resolution is name-based and deliberately modest: a callee name maps to
+//! *every* workspace function with that name, and a type name resolves
+//! only when the workspace defines it exactly once (fixture duplicates and
+//! shadowed helpers stay unresolved rather than mis-attributed).
+
+use crate::context::{FileKind, SourceFile};
+use crate::lexer::TokenKind;
+use crate::parser::Span;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A location of one defined item: file index plus item index within that
+/// file's AST vector (structs index `ast.structs`, enums `ast.enums`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ItemRef {
+    pub file: usize,
+    pub item: usize,
+}
+
+/// One `impl Persist for T` block, with its encode/decode bodies.
+#[derive(Debug, Clone)]
+pub struct PersistImpl {
+    pub file: usize,
+    /// Self type head (`crate::Round` → `Round`).
+    pub type_name: String,
+    /// Body span of `fn persist` (the encode side), if present.
+    pub encode: Option<Span>,
+    /// Body span of `fn restore` (the decode side), if present.
+    pub decode: Option<Span>,
+    /// Position of the `impl` keyword, where drift diagnostics anchor.
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One function (free or method), with everything the semantic rules ask
+/// about its body.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    pub file: usize,
+    pub name: String,
+    /// Type head of the enclosing impl, if this is a method.
+    pub impl_type: Option<String>,
+    /// Trait head of the enclosing impl, if it is a trait impl.
+    pub impl_trait: Option<String>,
+    pub line: u32,
+    pub col: u32,
+    pub body: Option<Span>,
+    /// Distinct callee names in body order: idents directly followed by
+    /// `(` — covers `free(…)`, `x.method(…)`, and `Path::assoc(…)`.
+    pub callees: Vec<String>,
+    /// `HashMap`/`HashSet` mention sites inside the body.
+    pub hash_sites: Vec<HashSite>,
+    /// File-writing call sites inside the body.
+    pub write_sites: Vec<WriteSite>,
+}
+
+/// One `HashMap`/`HashSet` mention inside a function body.
+#[derive(Debug, Clone)]
+pub struct HashSite {
+    pub line: u32,
+    pub col: u32,
+    /// `"HashMap"` or `"HashSet"`.
+    pub collection: &'static str,
+}
+
+/// One file-writing call site.
+#[derive(Debug, Clone)]
+pub struct WriteSite {
+    pub line: u32,
+    pub col: u32,
+    /// The call shape, e.g. `fs::write` or `.write_all`.
+    pub callee: &'static str,
+}
+
+/// The assembled cross-file view.
+#[derive(Debug, Default)]
+pub struct SymbolGraph {
+    /// Struct name → every definition site.
+    pub structs: BTreeMap<String, Vec<ItemRef>>,
+    /// Enum name → every definition site.
+    pub enums: BTreeMap<String, Vec<ItemRef>>,
+    /// Every `impl Persist for …` block.
+    pub persist_impls: Vec<PersistImpl>,
+    /// Type names that have at least one `Persist` impl anywhere.
+    pub persist_types: BTreeSet<String>,
+    /// Every function in the workspace, in (file, position) order.
+    pub fns: Vec<FnNode>,
+    /// Function name → indices into [`SymbolGraph::fns`].
+    pub fns_by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl SymbolGraph {
+    /// The unique struct definition with this name, if exactly one file
+    /// defines it.
+    pub fn unique_struct(&self, name: &str) -> Option<ItemRef> {
+        match self.structs.get(name).map(Vec::as_slice) {
+            Some([one]) => Some(*one),
+            _ => None,
+        }
+    }
+
+    /// The unique enum definition with this name, if exactly one file
+    /// defines it.
+    pub fn unique_enum(&self, name: &str) -> Option<ItemRef> {
+        match self.enums.get(name).map(Vec::as_slice) {
+            Some([one]) => Some(*one),
+            _ => None,
+        }
+    }
+
+    /// Whether `name` names any workspace-defined struct or enum.
+    pub fn defines_type(&self, name: &str) -> bool {
+        self.structs.contains_key(name) || self.enums.contains_key(name)
+    }
+}
+
+/// Two-token path call shapes that put bytes into a file.
+const WRITE_PATHS: &[(&str, &str, &str)] = &[
+    ("fs", "write", "fs::write"),
+    ("File", "create", "File::create"),
+];
+
+/// Builds the graph over an analyzed file set. Deterministic: iteration
+/// follows file order, and name maps are BTree-ordered.
+pub fn build(files: &[SourceFile]) -> SymbolGraph {
+    let mut g = SymbolGraph::default();
+    for (fi, file) in files.iter().enumerate() {
+        for (si, s) in file.ast.structs.iter().enumerate() {
+            g.structs
+                .entry(s.name.clone())
+                .or_default()
+                .push(ItemRef { file: fi, item: si });
+        }
+        for (ei, e) in file.ast.enums.iter().enumerate() {
+            g.enums
+                .entry(e.name.clone())
+                .or_default()
+                .push(ItemRef { file: fi, item: ei });
+        }
+        for imp in &file.ast.impls {
+            if imp.trait_name.as_deref() == Some("Persist") && !imp.type_name.is_empty() {
+                let body_of = |fname: &str| {
+                    imp.fns
+                        .iter()
+                        .find(|f| f.name == fname)
+                        .and_then(|f| f.body)
+                };
+                g.persist_types.insert(imp.type_name.clone());
+                g.persist_impls.push(PersistImpl {
+                    file: fi,
+                    type_name: imp.type_name.clone(),
+                    encode: body_of("persist"),
+                    decode: body_of("restore"),
+                    line: imp.line,
+                    col: imp.col,
+                });
+            }
+            for f in &imp.fns {
+                push_fn(
+                    &mut g,
+                    file,
+                    fi,
+                    f,
+                    Some(imp.type_name.clone()),
+                    imp.trait_name.clone(),
+                );
+            }
+        }
+        for f in &file.ast.fns {
+            push_fn(&mut g, file, fi, f, None, None);
+        }
+    }
+    g
+}
+
+fn push_fn(
+    g: &mut SymbolGraph,
+    file: &SourceFile,
+    fi: usize,
+    f: &crate::parser::FnItem,
+    impl_type: Option<String>,
+    impl_trait: Option<String>,
+) {
+    let mut node = FnNode {
+        file: fi,
+        name: f.name.clone(),
+        impl_type,
+        impl_trait,
+        line: f.line,
+        col: f.col,
+        body: f.body,
+        callees: Vec::new(),
+        hash_sites: Vec::new(),
+        write_sites: Vec::new(),
+    };
+    if let Some(span) = f.body {
+        scan_body(file, span, &mut node);
+    }
+    let idx = g.fns.len();
+    g.fns_by_name.entry(f.name.clone()).or_default().push(idx);
+    g.fns.push(node);
+}
+
+/// One pass over a body span collecting callees, hash-collection mentions,
+/// and write sites.
+fn scan_body(file: &SourceFile, span: Span, node: &mut FnNode) {
+    let src = &file.src;
+    let hi = span.hi.min(file.sig_len());
+    let lo = span.lo.min(hi);
+    let mut seen = BTreeSet::new();
+    for i in lo..hi {
+        let t = file.sig_token(i);
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        for name in ["HashMap", "HashSet"] {
+            if t.is_ident(src, name) {
+                node.hash_sites.push(HashSite {
+                    line: t.line,
+                    col: t.col,
+                    collection: if name == "HashMap" {
+                        "HashMap"
+                    } else {
+                        "HashSet"
+                    },
+                });
+            }
+        }
+        if i + 2 < hi {
+            for (head, tail, label) in WRITE_PATHS {
+                if t.is_ident(src, head)
+                    && file.sig_token(i + 1).is_punct(src, "::")
+                    && file.sig_token(i + 2).is_ident(src, tail)
+                {
+                    node.write_sites.push(WriteSite {
+                        line: t.line,
+                        col: t.col,
+                        callee: label,
+                    });
+                }
+            }
+        }
+        if t.is_ident(src, "write_all")
+            && i > lo
+            && file.sig_token(i - 1).is_punct(src, ".")
+            && i + 1 < hi
+            && file.sig_token(i + 1).is_punct(src, "(")
+        {
+            node.write_sites.push(WriteSite {
+                line: t.line,
+                col: t.col,
+                callee: ".write_all",
+            });
+        }
+        if i + 1 < hi && file.sig_token(i + 1).is_punct(src, "(") {
+            let name = String::from_utf8_lossy(t.bytes(src)).into_owned();
+            if !is_call_keyword(&name) && seen.insert(name.clone()) {
+                node.callees.push(name);
+            }
+        }
+    }
+}
+
+/// Keywords and ubiquitous constructors that precede `(` without being
+/// workspace function calls.
+fn is_call_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "return"
+            | "loop"
+            | "in"
+            | "as"
+            | "let"
+            | "fn"
+            | "move"
+            | "unsafe"
+            | "Some"
+            | "None"
+            | "Ok"
+            | "Err"
+            | "Box"
+            | "Vec"
+    )
+}
+
+/// Library files eligible for workspace semantic analysis.
+pub fn is_library(file: &SourceFile) -> bool {
+    file.meta.kind == FileKind::Library
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{FileMeta, SourceFile};
+
+    fn analyze(path: &str, src: &str) -> SourceFile {
+        SourceFile::analyze(FileMeta::infer(path), src.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn persist_impls_and_bodies_are_found() {
+        let f = analyze(
+            "crates/types/src/x.rs",
+            "pub struct P { a: u32 }\n\
+             impl Persist for P {\n\
+                 fn persist(&self, w: &mut W) { w.put_u32(self.a); }\n\
+                 fn restore(r: &mut R) -> Result<Self> { Ok(P { a: r.get_u32()? }) }\n\
+             }\n",
+        );
+        let g = build(std::slice::from_ref(&f));
+        assert_eq!(g.persist_impls.len(), 1);
+        let pi = &g.persist_impls[0];
+        assert_eq!(pi.type_name, "P");
+        assert!(pi.encode.is_some() && pi.decode.is_some());
+        assert!(g.persist_types.contains("P"));
+        assert!(g.unique_struct("P").is_some());
+    }
+
+    #[test]
+    fn callees_and_hash_sites_are_collected() {
+        let f = analyze(
+            "crates/core/src/x.rs",
+            "fn emit(out: &mut O) { render(out); helper(); }\n\
+             fn helper() { let m: HashMap<u8, u8> = HashMap::new(); }\n",
+        );
+        let g = build(std::slice::from_ref(&f));
+        let emit = &g.fns[g.fns_by_name["emit"][0]];
+        assert_eq!(emit.callees, ["render", "helper"]);
+        let helper = &g.fns[g.fns_by_name["helper"][0]];
+        assert_eq!(helper.hash_sites.len(), 2);
+        assert_eq!(helper.hash_sites[0].line, 2);
+    }
+
+    #[test]
+    fn write_sites_cover_all_three_shapes() {
+        let f = analyze(
+            "crates/core/src/x.rs",
+            "fn save(p: &Path, bytes: &[u8]) {\n\
+                 std::fs::write(p, bytes).unwrap();\n\
+                 let mut f = File::create(p).unwrap();\n\
+                 f.write_all(bytes).unwrap();\n\
+             }\n",
+        );
+        let g = build(std::slice::from_ref(&f));
+        let save = &g.fns[g.fns_by_name["save"][0]];
+        let shapes: Vec<&str> = save.write_sites.iter().map(|w| w.callee).collect();
+        assert_eq!(shapes, ["fs::write", "File::create", ".write_all"]);
+    }
+
+    #[test]
+    fn methods_carry_their_impl_context() {
+        let f = analyze(
+            "crates/signals/src/x.rs",
+            "impl Detector { fn step(&mut self) { self.tick(); } }\n\
+             impl Persist for Detector { fn persist(&self, w: &mut W) {} }\n",
+        );
+        let g = build(std::slice::from_ref(&f));
+        let step = &g.fns[g.fns_by_name["step"][0]];
+        assert_eq!(step.impl_type.as_deref(), Some("Detector"));
+        assert_eq!(step.impl_trait, None);
+        let persist = &g.fns[g.fns_by_name["persist"][0]];
+        assert_eq!(persist.impl_trait.as_deref(), Some("Persist"));
+    }
+
+    #[test]
+    fn duplicate_type_names_are_not_unique() {
+        let a = analyze("crates/core/src/a.rs", "struct Dup { x: u8 }");
+        let b = analyze("crates/feeds/src/b.rs", "struct Dup { y: u8 }");
+        let g = build(&[a, b]);
+        assert!(g.unique_struct("Dup").is_none());
+        assert!(g.defines_type("Dup"));
+    }
+}

@@ -311,6 +311,22 @@ pub fn lex(src: &[u8]) -> Vec<Token> {
         col: 1,
     };
     let mut tokens = Vec::new();
+    // A shebang line (`#!/usr/bin/env …`) is stripped by rustc before
+    // lexing; mirror that by emitting it as one line comment. Only the
+    // very first bytes qualify, and `#![` is an inner attribute, not a
+    // shebang.
+    if src.starts_with(b"#!") && src.get(2) != Some(&b'[') {
+        s.line_comment();
+        if s.pos > 0 {
+            tokens.push(Token {
+                kind: TokenKind::LineComment,
+                start: 0,
+                end: s.pos,
+                line: 1,
+                col: 1,
+            });
+        }
+    }
     while s.pos < src.len() {
         let (start, line, col) = (s.pos, s.line, s.col);
         let b = src[start];
@@ -361,10 +377,14 @@ pub fn lex(src: &[u8]) -> Vec<Token> {
                     && (s.peek(2) == Some(b'"') || s.peek(2) == Some(b'#'))
                 {
                     s.bump_n(2); // br
-                    if !s.raw_string() {
+                    if s.raw_string() {
+                        TokenKind::Str
+                    } else {
+                        // `br#` with no raw string following (`br#enum`):
+                        // what was consumed is just the identifier `br`.
                         s.eat_while(is_ident_continue);
+                        TokenKind::Ident
                     }
-                    TokenKind::Str
                 } else {
                     s.eat_while(is_ident_continue);
                     TokenKind::Ident
@@ -501,6 +521,59 @@ mod tests {
             assert!(!toks.is_empty());
             assert_eq!(toks.last().unwrap().end, src.len());
         }
+    }
+
+    #[test]
+    fn byte_strings_in_all_shapes() {
+        let toks = kinds(
+            r###"let a = b"bytes"; let b = br#"raw // bytes"#; let c = br"raw"; let d = b"\"esc"; x"###,
+        );
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(
+            strs,
+            vec![
+                "b\"bytes\"",
+                "br#\"raw // bytes\"#",
+                "br\"raw\"",
+                "b\"\\\"esc\""
+            ]
+        );
+        // Nothing inside a byte string leaked out as its own token.
+        assert!(!toks.iter().any(|(_, t)| t == "bytes" || t == "esc"));
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn br_without_a_raw_string_is_an_identifier() {
+        // `br#` not followed by `"` used to come back as a Str token.
+        let toks = kinds("let x = br#enum; y");
+        assert!(toks.contains(&(TokenKind::Ident, "br".into())));
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::Str));
+    }
+
+    #[test]
+    fn shebang_is_one_comment_line() {
+        let toks = kinds("#!/usr/bin/env run-cargo-script\nfn main() {}");
+        assert_eq!(
+            toks[0],
+            (
+                TokenKind::LineComment,
+                "#!/usr/bin/env run-cargo-script".into()
+            )
+        );
+        assert_eq!(toks[1], (TokenKind::Ident, "fn".into()));
+        // An inner attribute at byte zero is NOT a shebang.
+        let attr = kinds("#![forbid(unsafe_code)]\n");
+        assert_eq!(attr[0], (TokenKind::Punct, "#".into()));
+        // And `#!` later in the file is plain punctuation.
+        let later = kinds("fn f() {}\n#!/not/a/shebang\n");
+        assert!(!later
+            .iter()
+            .any(|(k, t)| *k == TokenKind::LineComment && t.starts_with("#!")));
     }
 
     #[test]

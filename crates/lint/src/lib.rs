@@ -11,17 +11,26 @@
 //! `file:line:col` diagnostics, a `--json` mode, and a non-zero exit for
 //! CI.
 //!
-//! Architecture, in three layers:
+//! Architecture, in five layers:
 //!
-//! * [`lexer`] — a small, *total* Rust lexer (raw strings, nested block
-//!   comments, char-vs-lifetime disambiguation). Property-tested to never
-//!   panic and always terminate on arbitrary bytes.
+//! * [`lexer`] — a small, *total* Rust lexer (raw strings, byte strings,
+//!   nested block comments, char-vs-lifetime disambiguation, shebangs).
+//!   Property-tested to never panic and always terminate on arbitrary
+//!   bytes.
+//! * [`parser`] — a total item-level recursive-descent parser over the
+//!   lexer: structs with fields, enums with variants, impl blocks, fn
+//!   bodies as token spans. Garbage degrades to missing items, never to
+//!   a crash.
 //! * [`context`] — per-file scoping: library vs bin vs test vs bench
 //!   classification from the path, `#[cfg(test)]` region detection, and
 //!   `// fbs-lint: allow(rule)` pragmas.
-//! * [`rules`] + [`engine`] — the rule registry and the driver that walks
-//!   the workspace, applies each rule in scope, and filters excused
-//!   lines.
+//! * [`graph`] + [`semantic`] — the workspace symbol graph (struct →
+//!   Persist impl → encode/decode bodies, fn → callees, write sites) and
+//!   the four cross-file rules over it: `persist-field-drift`,
+//!   `persist-orphan`, `unregistered-emission`, `nondet-collection-flow`.
+//! * [`rules`] + [`engine`] — the lexical rule registry and the driver
+//!   that walks the workspace, applies each rule in scope, runs the
+//!   semantic pass over the assembled graph, and filters excused lines.
 //!
 //! Run it as `cargo run -p fbs-lint -- --workspace`.
 
@@ -29,12 +38,16 @@
 
 pub mod context;
 pub mod engine;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod semantic;
 
 pub use context::{FileKind, FileMeta, SourceFile};
 pub use engine::{
-    collect_rs_files, find_workspace_root, lint_bytes, lint_source, lint_workspace, render_json,
-    FileFinding, LintRun,
+    collect_rs_files, find_workspace_root, lint_bytes, lint_source, lint_sources, lint_workspace,
+    render_json, FileFinding, LintRun,
 };
-pub use rules::{rule_by_name, Finding, Rule, RULES};
+pub use rules::{rule_by_name, Finding, Rule, EMISSION_FILES, RULES};
+pub use semantic::{SemanticRule, SEMANTIC_RULES};

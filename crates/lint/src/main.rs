@@ -12,7 +12,8 @@
 #![forbid(unsafe_code)]
 
 use fbs_lint::{
-    find_workspace_root, lint_bytes, lint_workspace, render_json, FileFinding, LintRun, RULES,
+    find_workspace_root, lint_sources, lint_workspace, render_json, FileMeta, LintRun, SourceFile,
+    RULES, SEMANTIC_RULES,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -69,12 +70,18 @@ fn list_rules() {
     for rule in RULES {
         println!("  {:22} {}", rule.name, rule.summary);
     }
+    println!("semantic rules (cross-file, over the workspace symbol graph):");
+    for rule in SEMANTIC_RULES {
+        println!("  {:22} {}", rule.name, rule.summary);
+    }
 }
 
 /// Lints explicitly-listed files, classifying each by its path relative
-/// to the workspace root when it sits under one.
+/// to the workspace root when it sits under one. All listed files share
+/// one symbol graph, so cross-file semantic rules see the whole set;
+/// absence checks (registry staleness) stay off — this is not a sweep.
 fn lint_paths(paths: &[PathBuf], root: &Path) -> Result<LintRun, String> {
-    let mut run = LintRun::default();
+    let mut files = Vec::new();
     for path in paths {
         let canon = path
             .canonicalize()
@@ -85,15 +92,9 @@ fn lint_paths(paths: &[PathBuf], root: &Path) -> Result<LintRun, String> {
             .to_string_lossy()
             .replace('\\', "/");
         let src = std::fs::read(&canon).map_err(|e| format!("{}: {e}", path.display()))?;
-        run.files_checked += 1;
-        for finding in lint_bytes(&rel, src) {
-            run.findings.push(FileFinding {
-                path: rel.clone(),
-                finding,
-            });
-        }
+        files.push(SourceFile::analyze(FileMeta::infer(&rel), src));
     }
-    Ok(run)
+    Ok(lint_sources(&files, false))
 }
 
 fn main() -> ExitCode {

@@ -54,15 +54,23 @@ const DETECTOR_CRATES: &[&str] = &[
     "fbs-prober",
 ];
 
-/// Files that render reports/datasets without necessarily naming the
-/// `Persist` codec: emission boundaries where iteration order becomes
-/// output bytes.
-const EMISSION_FILES: &[&str] = &[
-    "crates/core/src/report.rs",
+/// The registry of library files that are allowed to write files: the
+/// workspace's emission boundaries. The `unregistered-emission` semantic
+/// rule checks this list *both ways* against write sites derived from the
+/// AST (`fs::write`, `File::create`, `.write_all`), so an entry here is a
+/// verified fact, not a trusted comment.
+pub const EMISSION_FILES: &[&str] = &[
     "crates/core/src/dataset.rs",
-    "crates/analysis/src/emit.rs",
     "crates/feeds/src/quarantine.rs",
+    "crates/journal/src/snapshot.rs",
+    "crates/journal/src/wal.rs",
 ];
+
+/// Files that render report/dataset *content* into strings handed to the
+/// writers above, without necessarily naming the `Persist` codec: string
+/// formatting is still an emission boundary where iteration order becomes
+/// output bytes, so `unordered-persist` covers them too.
+pub const RENDER_FILES: &[&str] = &["crates/analysis/src/emit.rs", "crates/core/src/report.rs"];
 
 /// The registry, in diagnostic-priority order.
 pub const RULES: &[Rule] = &[
@@ -88,7 +96,8 @@ pub const RULES: &[Rule] = &[
             f.meta.kind == FileKind::Library
                 && (f.mentions_ident("Persist")
                     || f.mentions_ident("ByteWriter")
-                    || EMISSION_FILES.contains(&f.meta.path.as_str()))
+                    || EMISSION_FILES.contains(&f.meta.path.as_str())
+                    || RENDER_FILES.contains(&f.meta.path.as_str()))
         },
         check: check_unordered_persist,
     },

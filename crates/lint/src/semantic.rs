@@ -1,0 +1,568 @@
+//! The semantic rules: cross-file invariants over the symbol graph.
+//!
+//! The lexical rules ([`crate::rules`]) pattern-match token shapes inside
+//! one file; these four rules reason about relationships the token stream
+//! cannot express — a struct defined in one file and serialized in
+//! another, a write site that the emission registry never heard of, a
+//! `HashMap` one call away from encode. They run over the
+//! [`crate::graph::SymbolGraph`] assembled from every analyzed file.
+//!
+//! Findings anchor to real positions ([`Anchor::File`]), so the engine
+//! can apply the same pragma and test-region filtering as lexical rules.
+//! The one exception is a *stale registry entry* — a path with no code
+//! behind it — which anchors to the path itself ([`Anchor::Path`]) and
+//! only fires on a complete workspace sweep.
+
+use crate::context::SourceFile;
+use crate::graph::{is_library, FnNode, SymbolGraph};
+use crate::lexer::TokenKind;
+use crate::parser::Span;
+use crate::rules::{Finding, EMISSION_FILES};
+use std::collections::BTreeSet;
+
+/// Metadata for a workspace-level rule (the check itself lives in
+/// [`check_workspace`]; these entries feed `--list-rules` and the fixture
+/// completeness test).
+pub struct SemanticRule {
+    pub name: &'static str,
+    pub summary: &'static str,
+}
+
+/// The semantic registry, in diagnostic-priority order.
+pub const SEMANTIC_RULES: &[SemanticRule] = &[
+    SemanticRule {
+        name: "persist-field-drift",
+        summary: "every field of a Persist struct must appear in both persist() and restore(), in the same order; enum variants must be covered by both",
+    },
+    SemanticRule {
+        name: "persist-orphan",
+        summary: "fields of Persist types must not store workspace types that lack a Persist impl",
+    },
+    SemanticRule {
+        name: "unregistered-emission",
+        summary: "file-writing call sites in library code must match the EMISSION_FILES registry (checked both ways)",
+    },
+    SemanticRule {
+        name: "nondet-collection-flow",
+        summary: "no HashMap/HashSet within one call of encode/write/emit functions (iteration order leaks into bytes)",
+    },
+];
+
+/// Where a semantic finding lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Anchor {
+    /// Index into the analyzed file set — filtered by that file's pragmas
+    /// and test regions like any lexical finding.
+    File(usize),
+    /// A workspace-relative path with no analyzed file behind it (stale
+    /// registry entries); exempt from pragma filtering.
+    Path(String),
+}
+
+/// One semantic finding plus its anchor.
+#[derive(Debug, Clone)]
+pub struct SemanticFinding {
+    pub anchor: Anchor,
+    pub finding: Finding,
+}
+
+/// Runs all four semantic rules. `complete` marks a full workspace sweep,
+/// which is the only mode where *absence* is meaningful (a registry entry
+/// with no write sites is stale on a sweep, unknowable on a file subset).
+pub fn check_workspace(
+    files: &[SourceFile],
+    g: &SymbolGraph,
+    complete: bool,
+) -> Vec<SemanticFinding> {
+    let mut out = Vec::new();
+    check_persist_field_drift(files, g, &mut out);
+    check_persist_orphan(files, g, &mut out);
+    check_unregistered_emission(files, g, complete, &mut out);
+    check_nondet_collection_flow(files, g, &mut out);
+    out
+}
+
+fn push(
+    out: &mut Vec<SemanticFinding>,
+    file: usize,
+    rule: &'static str,
+    line: u32,
+    col: u32,
+    message: String,
+) {
+    out.push(SemanticFinding {
+        anchor: Anchor::File(file),
+        finding: Finding {
+            rule,
+            line,
+            col,
+            message,
+        },
+    });
+}
+
+/// First-occurrence order of `self.<field>` references in a body span.
+fn self_field_order(file: &SourceFile, span: Span, names: &BTreeSet<String>) -> Vec<String> {
+    let src = &file.src;
+    let hi = span.hi.min(file.sig_len());
+    let lo = span.lo.min(hi);
+    let mut order: Vec<String> = Vec::new();
+    for i in lo..hi.saturating_sub(2) {
+        if !file.sig_token(i).is_ident(src, "self") || !file.sig_token(i + 1).is_punct(src, ".") {
+            continue;
+        }
+        let t = file.sig_token(i + 2);
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = String::from_utf8_lossy(t.bytes(src)).into_owned();
+        if names.contains(&name) && !order.iter().any(|n| n == &name) {
+            order.push(name);
+        }
+    }
+    order
+}
+
+/// First-occurrence order of bare mentions of `names` in a body span —
+/// catches struct-literal fields, `let` bindings, and shorthand init.
+fn mention_order(file: &SourceFile, span: Span, names: &BTreeSet<String>) -> Vec<String> {
+    let src = &file.src;
+    let mut order: Vec<String> = Vec::new();
+    for (_, t) in file.span_tokens(span) {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = String::from_utf8_lossy(t.bytes(src)).into_owned();
+        if names.contains(&name) && !order.iter().any(|n| n == &name) {
+            order.push(name);
+        }
+    }
+    order
+}
+
+/// All idents from `names` mentioned anywhere in a body span.
+fn mentions_of(file: &SourceFile, span: Span, names: &BTreeSet<String>) -> BTreeSet<String> {
+    mention_order(file, span, names).into_iter().collect()
+}
+
+/// `persist-field-drift` — the core resume-correctness rule. For every
+/// `impl Persist for T` where `T` resolves to exactly one workspace
+/// definition:
+///
+/// * struct with named fields: every field must be referenced as
+///   `self.<field>` in `persist()` and mentioned in `restore()`, and the
+///   first-reference order of the two bodies must agree (field-by-field
+///   codecs have no tags, so order *is* the wire format);
+/// * enum: if either body names any variant, both bodies must name every
+///   variant (an all-index codec mentions none on both sides — that
+///   symmetric style is accepted).
+///
+/// Tuple structs are skipped: `self.0` and positional construction carry
+/// no names to cross-check.
+fn check_persist_field_drift(
+    files: &[SourceFile],
+    g: &SymbolGraph,
+    out: &mut Vec<SemanticFinding>,
+) {
+    const RULE: &str = "persist-field-drift";
+    for pi in &g.persist_impls {
+        let file = &files[pi.file];
+        if !is_library(file) {
+            continue;
+        }
+        let (Some(enc), Some(dec)) = (pi.encode, pi.decode) else {
+            continue;
+        };
+        if let Some(r) = g.unique_struct(&pi.type_name) {
+            let s = &files[r.file].ast.structs[r.item];
+            if s.tuple || s.fields.is_empty() {
+                continue;
+            }
+            let names: BTreeSet<String> = s.fields.iter().map(|f| f.name.clone()).collect();
+            let enc_order = self_field_order(file, enc, &names);
+            let dec_order = mention_order(file, dec, &names);
+            let mut complete = true;
+            for f in &s.fields {
+                if !enc_order.contains(&f.name) {
+                    complete = false;
+                    push(out, pi.file, RULE, pi.line, pi.col, format!(
+                        "field `{}` of `{}` is never encoded in persist(): a resumed campaign would silently drop it",
+                        f.name, pi.type_name
+                    ));
+                }
+                if !dec_order.contains(&f.name) {
+                    complete = false;
+                    push(out, pi.file, RULE, pi.line, pi.col, format!(
+                        "field `{}` of `{}` is never assigned in restore(): decode has drifted from encode",
+                        f.name, pi.type_name
+                    ));
+                }
+            }
+            if complete && enc_order != dec_order {
+                push(out, pi.file, RULE, pi.line, pi.col, format!(
+                    "persist() and restore() touch the fields of `{}` in different orders ([{}] vs [{}]): field-by-field codecs have no tags, so bytes land in the wrong fields",
+                    pi.type_name,
+                    enc_order.join(", "),
+                    dec_order.join(", ")
+                ));
+            }
+        } else if let Some(r) = g.unique_enum(&pi.type_name) {
+            let e = &files[r.file].ast.enums[r.item];
+            if e.variants.is_empty() {
+                continue;
+            }
+            let names: BTreeSet<String> = e.variants.iter().map(|v| v.name.clone()).collect();
+            let enc_seen = mentions_of(file, enc, &names);
+            let dec_seen = mentions_of(file, dec, &names);
+            if enc_seen.is_empty() && dec_seen.is_empty() {
+                continue; // symmetric index-based codec
+            }
+            for v in &e.variants {
+                for (side, seen) in [("persist()", &enc_seen), ("restore()", &dec_seen)] {
+                    if !seen.contains(&v.name) {
+                        push(out, pi.file, RULE, pi.line, pi.col, format!(
+                            "variant `{}` of `{}` is not covered in {side}: the codec sides disagree on the variant set",
+                            v.name, pi.type_name
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `persist-orphan` — a field of a `Persist` struct that stores a
+/// workspace-defined type without its own `Persist` impl cannot actually
+/// reach journal/checkpoint bytes; either the impl was forgotten or the
+/// field silently falls out of persisted state.
+fn check_persist_orphan(files: &[SourceFile], g: &SymbolGraph, out: &mut Vec<SemanticFinding>) {
+    const RULE: &str = "persist-orphan";
+    let mut reported: BTreeSet<(usize, u32, u32, String)> = BTreeSet::new();
+    for pi in &g.persist_impls {
+        if !is_library(&files[pi.file]) {
+            continue;
+        }
+        let Some(r) = g.unique_struct(&pi.type_name) else {
+            continue;
+        };
+        let def = &files[r.file];
+        let s = &def.ast.structs[r.item];
+        for field in &s.fields {
+            for (_, t) in def.span_tokens(field.ty) {
+                if t.kind != TokenKind::Ident {
+                    continue;
+                }
+                let bytes = t.bytes(&def.src);
+                if !bytes.first().is_some_and(u8::is_ascii_uppercase) {
+                    continue;
+                }
+                let name = String::from_utf8_lossy(bytes).into_owned();
+                if g.defines_type(&name)
+                    && !g.persist_types.contains(&name)
+                    && reported.insert((r.file, field.line, field.col, name.clone()))
+                {
+                    push(out, r.file, RULE, field.line, field.col, format!(
+                        "field `{}` of Persist type `{}` stores `{name}`, which has no Persist impl: it cannot round-trip through journal/checkpoint state",
+                        field.name, pi.type_name
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `unregistered-emission` — the `EMISSION_FILES` registry is derived
+/// facts, not trust: every file-writing call site found in library code
+/// must live in a registered file (direction A), and on a complete sweep
+/// every registered file must still contain at least one write site
+/// (direction B, staleness).
+fn check_unregistered_emission(
+    files: &[SourceFile],
+    g: &SymbolGraph,
+    complete: bool,
+    out: &mut Vec<SemanticFinding>,
+) {
+    const RULE: &str = "unregistered-emission";
+    let mut live_entries: BTreeSet<&str> = BTreeSet::new();
+    for f in &g.fns {
+        let file = &files[f.file];
+        if !is_library(file) || f.write_sites.is_empty() {
+            continue;
+        }
+        let path = file.meta.path.as_str();
+        if let Some(entry) = EMISSION_FILES.iter().find(|e| **e == path) {
+            live_entries.insert(entry);
+            continue;
+        }
+        for ws in &f.write_sites {
+            push(out, f.file, RULE, ws.line, ws.col, format!(
+                "{} writes a file, but {path} is not in the EMISSION_FILES registry: register it so emission invariants cover this output",
+                ws.callee
+            ));
+        }
+    }
+    if complete {
+        for entry in EMISSION_FILES {
+            if !live_entries.contains(entry) {
+                out.push(SemanticFinding {
+                    anchor: Anchor::Path((*entry).to_string()),
+                    finding: Finding {
+                        rule: RULE,
+                        line: 1,
+                        col: 1,
+                        message: format!(
+                            "EMISSION_FILES entry `{entry}` has no file-writing call sites: the writes moved or the entry is stale"
+                        ),
+                    },
+                });
+            }
+        }
+    }
+}
+
+/// Why a function counts as an emission/persistence sink, if it does.
+fn sink_reason(f: &FnNode) -> Option<String> {
+    if f.impl_trait.as_deref() == Some("Persist") {
+        return Some(format!(
+            "the Persist impl of `{}`",
+            f.impl_type.as_deref().unwrap_or("?")
+        ));
+    }
+    if !f.write_sites.is_empty() {
+        return Some(format!("file-writing function `{}`", f.name));
+    }
+    for prefix in ["write_", "emit_", "export_", "render_"] {
+        if f.name.starts_with(prefix) {
+            return Some(format!("emission function `{}`", f.name));
+        }
+    }
+    None
+}
+
+/// `nondet-collection-flow` — `HashMap`/`HashSet` iteration order is
+/// randomized per process, so any such collection inside an encode/write/
+/// emit function, or inside a function it directly calls, can leak
+/// nondeterministic order into persisted or emitted bytes. One call-graph
+/// hop is checked: that is where the historical BTreeMap fixes all were,
+/// and deeper flows go through typed state that the `unordered-persist`
+/// file rule already guards.
+fn check_nondet_collection_flow(
+    files: &[SourceFile],
+    g: &SymbolGraph,
+    out: &mut Vec<SemanticFinding>,
+) {
+    const RULE: &str = "nondet-collection-flow";
+    let mut reported: BTreeSet<(usize, u32, u32)> = BTreeSet::new();
+    for f in &g.fns {
+        if !is_library(&files[f.file]) {
+            continue;
+        }
+        let Some(reason) = sink_reason(f) else {
+            continue;
+        };
+        for h in &f.hash_sites {
+            if reported.insert((f.file, h.line, h.col)) {
+                push(out, f.file, RULE, h.line, h.col, format!(
+                    "{} inside {reason}: iteration order can leak into persisted/emitted bytes; use BTreeMap/BTreeSet or sort at the boundary",
+                    h.collection
+                ));
+            }
+        }
+        for callee in &f.callees {
+            let Some(indices) = g.fns_by_name.get(callee) else {
+                continue;
+            };
+            for &ci in indices {
+                let c = &g.fns[ci];
+                if !is_library(&files[c.file]) {
+                    continue;
+                }
+                for h in &c.hash_sites {
+                    if reported.insert((c.file, h.line, h.col)) {
+                        push(out, c.file, RULE, h.line, h.col, format!(
+                            "{} inside `{}`, called from {reason}: iteration order can leak into persisted/emitted bytes; use BTreeMap/BTreeSet or sort at the boundary",
+                            h.collection, c.name
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{FileMeta, SourceFile};
+    use crate::graph::build;
+
+    fn analyze(path: &str, src: &str) -> SourceFile {
+        SourceFile::analyze(FileMeta::infer(path), src.as_bytes().to_vec())
+    }
+
+    fn run(files: &[SourceFile]) -> Vec<SemanticFinding> {
+        let g = build(files);
+        check_workspace(files, &g, false)
+    }
+
+    fn rules_of(findings: &[SemanticFinding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.finding.rule).collect()
+    }
+
+    #[test]
+    fn symmetric_struct_codec_is_clean() {
+        let f = analyze(
+            "crates/types/src/x.rs",
+            "pub struct P { a: u32, b: u64 }\n\
+             impl Persist for P {\n\
+                 fn persist(&self, w: &mut W) { w.put_u32(self.a); w.put_u64(self.b); }\n\
+                 fn restore(r: &mut R) -> Result<Self> {\n\
+                     Ok(P { a: r.get_u32()?, b: r.get_u64()? })\n\
+                 }\n\
+             }\n",
+        );
+        assert!(rules_of(&run(std::slice::from_ref(&f))).is_empty());
+    }
+
+    #[test]
+    fn missing_decode_field_is_drift() {
+        let g = analyze(
+            "crates/types/src/y.rs",
+            "pub struct Q { a: u32, b: u64 }\n\
+             impl Persist for Q {\n\
+                 fn persist(&self, w: &mut W) { w.put_u32(self.a); w.put_u64(self.b); }\n\
+                 fn restore(r: &mut R) -> Result<Self> { Ok(Q { a: r.get_u32()? }) }\n\
+             }\n",
+        );
+        let findings = run(std::slice::from_ref(&g));
+        assert_eq!(rules_of(&findings), ["persist-field-drift"]);
+        assert!(findings[0].finding.message.contains("`b`"));
+        assert_eq!(findings[0].finding.line, 2);
+    }
+
+    #[test]
+    fn field_order_mismatch_is_drift() {
+        let f = analyze(
+            "crates/types/src/x.rs",
+            "pub struct P { a: u32, b: u64 }\n\
+             impl Persist for P {\n\
+                 fn persist(&self, w: &mut W) { w.put_u64(self.b); w.put_u32(self.a); }\n\
+                 fn restore(r: &mut R) -> Result<Self> {\n\
+                     Ok(P { a: r.get_u32()?, b: r.get_u64()? })\n\
+                 }\n\
+             }\n",
+        );
+        let findings = run(std::slice::from_ref(&f));
+        assert_eq!(rules_of(&findings), ["persist-field-drift"]);
+        assert!(findings[0].finding.message.contains("different orders"));
+    }
+
+    #[test]
+    fn asymmetric_enum_codec_is_drift_but_index_style_is_clean() {
+        let asym = analyze(
+            "crates/types/src/x.rs",
+            "pub enum K { A, B }\n\
+             impl Persist for K {\n\
+                 fn persist(&self, w: &mut W) { w.put_u8(self.index()); }\n\
+                 fn restore(r: &mut R) -> Result<Self> {\n\
+                     Ok(match r.get_u8()? { 0 => K::A, _ => K::B })\n\
+                 }\n\
+             }\n",
+        );
+        let findings = run(std::slice::from_ref(&asym));
+        assert_eq!(
+            rules_of(&findings),
+            ["persist-field-drift", "persist-field-drift"]
+        );
+        let index_both = analyze(
+            "crates/types/src/x.rs",
+            "pub enum K { A, B }\n\
+             impl Persist for K {\n\
+                 fn persist(&self, w: &mut W) { w.put_u8(self.index()); }\n\
+                 fn restore(r: &mut R) -> Result<Self> { Self::from_index(r.get_u8()?) }\n\
+             }\n",
+        );
+        assert!(rules_of(&run(std::slice::from_ref(&index_both))).is_empty());
+    }
+
+    #[test]
+    fn cross_file_impl_resolves_to_definition() {
+        let def = analyze(
+            "crates/types/src/def.rs",
+            "pub struct P { a: u32, b: u64 }\n",
+        );
+        let imp = analyze(
+            "crates/core/src/imp.rs",
+            "impl Persist for P {\n\
+                 fn persist(&self, w: &mut W) { w.put_u32(self.a); }\n\
+                 fn restore(r: &mut R) -> Result<Self> { Ok(P { a: r.get_u32()? }) }\n\
+             }\n",
+        );
+        let findings = run(&[def, imp]);
+        assert_eq!(
+            rules_of(&findings),
+            ["persist-field-drift", "persist-field-drift"]
+        );
+    }
+
+    #[test]
+    fn orphan_field_type_is_flagged_at_its_definition() {
+        let f = analyze(
+            "crates/types/src/x.rs",
+            "pub struct Inner { x: u8 }\n\
+             pub struct Outer { inner: Inner }\n\
+             impl Persist for Outer {\n\
+                 fn persist(&self, w: &mut W) { w.put(self.inner); }\n\
+                 fn restore(r: &mut R) -> Result<Self> { Ok(Outer { inner: r.get()? }) }\n\
+             }\n",
+        );
+        let findings = run(std::slice::from_ref(&f));
+        assert_eq!(rules_of(&findings), ["persist-orphan"]);
+        assert_eq!(findings[0].finding.line, 2);
+        assert!(findings[0].finding.message.contains("`Inner`"));
+    }
+
+    #[test]
+    fn unregistered_write_site_fires_and_registry_file_does_not() {
+        let rogue = analyze(
+            "crates/core/src/rogue.rs",
+            "fn dump(p: &Path, b: &[u8]) { std::fs::write(p, b).ok(); }\n",
+        );
+        let findings = run(std::slice::from_ref(&rogue));
+        assert_eq!(rules_of(&findings), ["unregistered-emission"]);
+        let registered = analyze(
+            "crates/feeds/src/quarantine.rs",
+            "fn dump(p: &Path, b: &[u8]) { std::fs::write(p, b).ok(); }\n",
+        );
+        assert!(rules_of(&run(std::slice::from_ref(&registered))).is_empty());
+    }
+
+    #[test]
+    fn stale_registry_entry_fires_only_on_complete_sweeps() {
+        let f = analyze("crates/core/src/quiet.rs", "fn nothing() {}\n");
+        let g = build(std::slice::from_ref(&f));
+        let partial = check_workspace(std::slice::from_ref(&f), &g, false);
+        assert!(partial.is_empty());
+        let complete = check_workspace(std::slice::from_ref(&f), &g, true);
+        assert_eq!(complete.len(), EMISSION_FILES.len());
+        assert!(complete
+            .iter()
+            .all(|sf| matches!(sf.anchor, Anchor::Path(_))));
+    }
+
+    #[test]
+    fn hash_in_callee_of_emitter_is_flagged_one_hop_away() {
+        let f = analyze(
+            "crates/geodb/src/x.rs",
+            "fn emit_series(out: &mut O) { shape(out); }\n\
+             fn shape(out: &mut O) { let m: HashMap<u8, u8> = HashMap::new(); }\n\
+             fn unrelated() { let m2: HashMap<u8, u8> = HashMap::new(); }\n",
+        );
+        let findings = run(std::slice::from_ref(&f));
+        assert_eq!(
+            rules_of(&findings),
+            ["nondet-collection-flow", "nondet-collection-flow"]
+        );
+        assert!(findings.iter().all(|sf| sf.finding.line == 2));
+    }
+}

@@ -1,0 +1,45 @@
+//! CLI-level tests: the `--list-rules` output is pinned to a golden
+//! file, so a rule cannot ship (or change meaning) without the diff
+//! showing up in review — and every registered rule must appear in it.
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+use std::process::Command;
+
+fn list_rules_output() -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_fbs-lint"))
+        .arg("--list-rules")
+        .output()
+        .expect("run fbs-lint --list-rules");
+    assert!(out.status.success(), "--list-rules exited nonzero");
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn list_rules_matches_the_golden_file() {
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("list_rules.golden");
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("{}: {e}", golden_path.display()));
+    let actual = list_rules_output();
+    assert_eq!(
+        actual, golden,
+        "--list-rules drifted from tests/list_rules.golden; \
+         if the change is intentional, regenerate the golden file"
+    );
+}
+
+#[test]
+fn every_registered_rule_is_listed() {
+    let actual = list_rules_output();
+    let lexical = fbs_lint::RULES.iter().map(|r| r.name);
+    let semantic = fbs_lint::SEMANTIC_RULES.iter().map(|r| r.name);
+    for name in lexical.chain(semantic) {
+        assert!(
+            actual.lines().any(|l| l.trim_start().starts_with(name)),
+            "rule `{name}` missing from --list-rules output"
+        );
+    }
+}

@@ -178,10 +178,84 @@ fn missing_forbid_unsafe_only_guards_crate_roots() {
 }
 
 #[test]
+fn persist_field_drift_fires_on_missing_restore_field() {
+    assert_fires("persist-field-drift", "crates/geodb/src/fixture.rs", &[8]);
+}
+
+#[test]
+fn persist_field_drift_accepts_symmetric_and_index_codecs() {
+    assert_clean("persist-field-drift", "crates/geodb/src/fixture.rs");
+}
+
+#[test]
+fn persist_field_drift_skips_non_library_files() {
+    // The same asymmetric impl inside an integration test is out of scope.
+    let got = lint_fixture(
+        "persist-field-drift",
+        "positive",
+        "crates/geodb/tests/fixture.rs",
+    );
+    assert!(
+        !got.iter().any(|(rule, _)| rule == "persist-field-drift"),
+        "rule escaped library scope: {got:?}"
+    );
+}
+
+#[test]
+fn persist_orphan_fires_at_the_orphaned_field() {
+    assert_fires("persist-orphan", "crates/geodb/src/fixture.rs", &[9]);
+}
+
+#[test]
+fn persist_orphan_accepts_fields_whose_types_persist() {
+    assert_clean("persist-orphan", "crates/geodb/src/fixture.rs");
+}
+
+#[test]
+fn unregistered_emission_fires_on_rogue_write_site() {
+    assert_fires("unregistered-emission", "crates/geodb/src/fixture.rs", &[7]);
+}
+
+#[test]
+fn unregistered_emission_ignores_renderers_and_test_writes() {
+    assert_clean("unregistered-emission", "crates/geodb/src/fixture.rs");
+}
+
+#[test]
+fn unregistered_emission_accepts_registered_files() {
+    // The very same write site is sanctioned inside a registry entry.
+    let got = lint_fixture(
+        "unregistered-emission",
+        "positive",
+        "crates/feeds/src/quarantine.rs",
+    );
+    assert!(
+        !got.iter().any(|(rule, _)| rule == "unregistered-emission"),
+        "registered file must be exempt, got {got:?}"
+    );
+}
+
+#[test]
+fn nondet_collection_flow_fires_one_hop_from_the_emitter() {
+    assert_fires(
+        "nondet-collection-flow",
+        "crates/geodb/src/fixture.rs",
+        &[11],
+    );
+}
+
+#[test]
+fn nondet_collection_flow_accepts_ordered_and_unreachable_maps() {
+    assert_clean("nondet-collection-flow", "crates/geodb/src/fixture.rs");
+}
+
+#[test]
 fn every_rule_has_both_fixtures() {
-    for rule in fbs_lint::RULES {
+    let lexical = fbs_lint::RULES.iter().map(|r| r.name);
+    let semantic = fbs_lint::SEMANTIC_RULES.iter().map(|r| r.name);
+    for name in lexical.chain(semantic) {
         for which in ["positive", "negative"] {
-            let _ = fixture(rule.name, which); // panics with the path if missing
+            let _ = fixture(name, which); // panics with the path if missing
         }
     }
 }

@@ -7,10 +7,21 @@
 
 #![forbid(unsafe_code)]
 
-use fbs_lint::lexer::lex;
+use fbs_lint::lexer::{lex, TokenKind};
 use fbs_lint::lint_bytes;
+use fbs_lint::parser::parse;
 use proptest::collection::vec;
 use proptest::prelude::*;
+
+/// Significant-token indices exactly as `SourceFile::analyze` builds them.
+fn sig_of(tokens: &[fbs_lint::lexer::Token]) -> Vec<usize> {
+    tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .map(|(i, _)| i)
+        .collect()
+}
 
 proptest! {
     #[test]
@@ -44,6 +55,50 @@ proptest! {
         let tokens = lex(&src);
         let covered: usize = tokens.iter().map(|t| t.end - t.start).sum();
         prop_assert!(covered <= src.len());
+    }
+
+    #[test]
+    fn parser_is_total_on_arbitrary_bytes(src in vec(any::<u8>(), 0..512usize)) {
+        // The parser inherits the lexer's totality obligation: any byte
+        // soup must produce an AST (possibly empty) without panicking,
+        // and every recorded body span must stay inside the token list.
+        let tokens = lex(&src);
+        let sig = sig_of(&tokens);
+        let ast = parse(&src, &tokens, &sig);
+        for f in ast.fns.iter().chain(ast.impls.iter().flat_map(|i| i.fns.iter())) {
+            if let Some(body) = f.body {
+                prop_assert!(body.lo <= body.hi, "inverted span");
+                prop_assert!(body.hi <= sig.len(), "span past the token list");
+            }
+        }
+    }
+
+    #[test]
+    fn parser_is_total_on_item_like_soup(picks in vec(any::<u8>(), 0..24usize)) {
+        // Adversarial near-items: dangling keywords, unbalanced bodies,
+        // generics with shift tokens, attribute fragments.
+        const PIECES: &[&str] = &[
+            "struct S", "enum E {", "impl Tr for ", "fn f(", "where T: ",
+            "<Vec<Vec<u8>>>", ">>", "#[derive(", "pub(crate) ", "mod m {",
+            "}, ", "macro_rules! g ", "trait T {", "a: B<", "; ", "for ",
+        ];
+        let src: Vec<u8> = picks
+            .iter()
+            .flat_map(|p| PIECES[*p as usize % PIECES.len()].bytes())
+            .collect();
+        let tokens = lex(&src);
+        let sig = sig_of(&tokens);
+        let _ = parse(&src, &tokens, &sig);
+    }
+
+    #[test]
+    fn parser_is_total_on_unfiltered_token_streams(src in vec(any::<u8>(), 0..256usize)) {
+        // The parser contract is over any (tokens, sig) pair, not just the
+        // comment-filtered indices SourceFile produces: feed it the whole
+        // token list, comments included.
+        let tokens = lex(&src);
+        let all: Vec<usize> = (0..tokens.len()).collect();
+        let _ = parse(&src, &tokens, &all);
     }
 
     #[test]

@@ -173,8 +173,15 @@ impl fmt::Display for QuarantinedRecord {
 }
 
 impl Persist for FeedKind {
+    // Tags mirror `index()`: the wire format is unchanged, but the match
+    // keeps both codec sides naming every variant, so adding a feed kind
+    // without extending restore() is a compile- or lint-visible error.
     fn persist(&self, w: &mut ByteWriter) {
-        w.put_u8(self.index() as u8);
+        match self {
+            FeedKind::Bgp => w.put_u8(0),
+            FeedKind::Geo => w.put_u8(1),
+            FeedKind::Delegations => w.put_u8(2),
+        }
     }
     fn restore(r: &mut ByteReader<'_>) -> Result<Self> {
         match r.get_u8()? {
@@ -281,6 +288,22 @@ mod tests {
         }
         assert_eq!(FeedKind::Bgp.to_string(), "bgp");
         assert_eq!(FeedKind::Delegations.name(), "delegations");
+    }
+
+    /// Pins the repaired `FeedKind` codec to its wire format: the rewrite
+    /// of persist() from `self.index()` to an explicit match must emit the
+    /// exact bytes the old encoder produced, or resuming a pre-repair
+    /// journal would misread every feed tag.
+    #[test]
+    fn feed_kind_wire_tags_are_pinned() {
+        for kind in FeedKind::ALL {
+            let mut w = ByteWriter::new();
+            kind.persist(&mut w);
+            let bytes = w.into_bytes();
+            assert_eq!(bytes, vec![kind.index() as u8], "{kind} tag drifted");
+            let mut r = ByteReader::new(&bytes);
+            assert_eq!(FeedKind::restore(&mut r).expect("restore"), kind);
+        }
     }
 
     #[test]
