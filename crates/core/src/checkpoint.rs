@@ -36,8 +36,19 @@ use std::path::{Path, PathBuf};
 /// than misread.
 ///
 /// Version history: 1 — initial crash-safe campaigns; 2 — feed-delivery
-/// observations ([`FeedObs`]) and the per-block `routed_known` bit.
-pub const STATE_VERSION: u32 = 2;
+/// observations ([`FeedObs`]) and the per-block `routed_known` bit; 3 —
+/// multi-vantage campaigns (per-vantage [`VantageObs`] in round records,
+/// per-vantage quality ledgers in the snapshot).
+///
+/// A single-vantage campaign (empty roster) still writes
+/// [`LEGACY_STATE_VERSION`] files, byte-identical to what it always wrote;
+/// version 3 is only emitted when the roster is non-empty, so legacy
+/// checkpoints stay readable and writable without any migration.
+pub const STATE_VERSION: u32 = 3;
+
+/// The pre-multi-vantage schema version, still both read and written (it
+/// is *the* on-disk format for single-vantage campaigns).
+pub const LEGACY_STATE_VERSION: u32 = 2;
 
 /// Journal file name inside a checkpoint directory.
 pub const JOURNAL_FILE: &str = "rounds.wal";
@@ -72,22 +83,62 @@ impl Default for CheckpointPolicy {
 ///
 /// Offline or unusable rounds carry an empty `blocks` vector: the skip is
 /// itself the observation.
+///
+/// In multi-vantage campaigns `vantages` holds one [`VantageObs`] per
+/// roster entry (in roster order), `blocks` stays empty (the fused view is
+/// recomputed deterministically in `apply_round`, never journaled), and
+/// the top-level `quality` is the *fused* round quality — the best among
+/// usable vantages. Single-vantage records leave `vantages` empty and are
+/// encoded in the legacy version-2 layout, byte-identical to before.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct RoundRecord {
     /// The round this record describes.
     pub round: Round,
     /// Whether the vantage point was online.
     pub online: bool,
-    /// The fault-plan quality verdict for the round.
+    /// The fault-plan quality verdict for the round (fused over usable
+    /// vantages in multi-vantage campaigns).
     pub quality: RoundQuality,
     /// Per-block observations, indexed like `World::blocks`; empty when
-    /// the round was skipped.
+    /// the round was skipped, and always empty in multi-vantage records.
     pub blocks: Vec<BlockObs>,
     /// Feed-delivery observations in [`fbs_types::FeedKind::ALL`] order.
     /// Empty when the feed layer is disabled (`feed_plan: None`), exactly
     /// three entries when it is on. Feeds are fetched even on rounds the
     /// vantage sat offline — the mirrors do not care about our scanner.
+    /// Feeds are shared infrastructure, fetched once, not per vantage.
     pub feeds: Vec<FeedObs>,
+    /// Per-vantage observations in roster order; empty in single-vantage
+    /// campaigns.
+    pub vantages: Vec<VantageObs>,
+}
+
+/// One vantage point's view of one round in a multi-vantage campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct VantageObs {
+    /// Whether the vantage was online this round.
+    pub online: bool,
+    /// The vantage's own fault-plan quality verdict for the round.
+    pub quality: RoundQuality,
+    /// The vantage's per-block observations; empty when the vantage was
+    /// offline or its round was [`RoundQuality::Unusable`] (it is masked
+    /// out of the quorum, so it measures nothing).
+    pub blocks: Vec<BlockObs>,
+}
+
+impl Persist for VantageObs {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_bool(self.online);
+        self.quality.persist(w);
+        self.blocks.persist(w);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(VantageObs {
+            online: r.get_bool()?,
+            quality: RoundQuality::restore(r)?,
+            blocks: Vec::<BlockObs>::restore(r)?,
+        })
+    }
 }
 
 /// One block's measured values after the faulty measurement path.
@@ -204,31 +255,72 @@ impl Persist for FeedObs {
 
 impl Persist for RoundRecord {
     fn persist(&self, w: &mut ByteWriter) {
-        w.put_u32(STATE_VERSION);
-        self.round.persist(w);
-        w.put_bool(self.online);
-        self.quality.persist(w);
-        self.blocks.persist(w);
-        self.feeds.persist(w);
+        if self.legacy_layout() {
+            // Single-vantage: the legacy layout, byte-for-byte.
+            w.put_u32(LEGACY_STATE_VERSION);
+            self.round.persist(w);
+            w.put_bool(self.online);
+            self.quality.persist(w);
+            self.blocks.persist(w);
+            self.feeds.persist(w);
+        } else {
+            w.put_u32(STATE_VERSION);
+            self.round.persist(w);
+            w.put_bool(self.online);
+            self.quality.persist(w);
+            self.feeds.persist(w);
+            self.vantages.persist(w);
+        }
     }
     fn restore(r: &mut ByteReader<'_>) -> Result<Self> {
         let version = r.get_u32()?;
-        if version != STATE_VERSION {
-            return Err(FbsError::Io {
-                reason: format!("round record version {version}, expected {STATE_VERSION}"),
-            });
+        match version {
+            LEGACY_STATE_VERSION => Ok(RoundRecord {
+                round: Round::restore(r)?,
+                online: r.get_bool()?,
+                quality: RoundQuality::restore(r)?,
+                blocks: Vec::<BlockObs>::restore(r)?,
+                feeds: Vec::<FeedObs>::restore(r)?,
+                vantages: Vec::new(),
+            }),
+            STATE_VERSION => {
+                let round = Round::restore(r)?;
+                let online = r.get_bool()?;
+                let quality = RoundQuality::restore(r)?;
+                let feeds = Vec::<FeedObs>::restore(r)?;
+                let vantages = Vec::<VantageObs>::restore(r)?;
+                if vantages.is_empty() {
+                    return Err(FbsError::Io {
+                        reason: format!(
+                            "version-{STATE_VERSION} round record with an empty vantage roster"
+                        ),
+                    });
+                }
+                Ok(RoundRecord {
+                    round,
+                    online,
+                    quality,
+                    blocks: Vec::new(),
+                    feeds,
+                    vantages,
+                })
+            }
+            other => Err(FbsError::Io {
+                reason: format!(
+                    "round record version {other}, expected {LEGACY_STATE_VERSION} or {STATE_VERSION}"
+                ),
+            }),
         }
-        Ok(RoundRecord {
-            round: Round::restore(r)?,
-            online: r.get_bool()?,
-            quality: RoundQuality::restore(r)?,
-            blocks: Vec::<BlockObs>::restore(r)?,
-            feeds: Vec::<FeedObs>::restore(r)?,
-        })
     }
 }
 
 impl RoundRecord {
+    /// Whether this record persists as the legacy single-vantage layout
+    /// (version 2, no roster) rather than the multi-vantage version 3.
+    fn legacy_layout(&self) -> bool {
+        self.vantages.is_empty()
+    }
+
     /// Serializes the record to journal payload bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
@@ -262,11 +354,12 @@ pub struct ResumeDiagnostics {
 }
 
 /// What [`CheckpointStore::open`] recovers from a checkpoint directory:
-/// the store itself, the snapshot payload if a valid one was present, the
-/// recovered journal record payloads, and the recovery diagnostics.
+/// the store itself, the snapshot schema version and payload if a valid
+/// one was present, the recovered journal record payloads, and the
+/// recovery diagnostics.
 pub(crate) type OpenedCheckpoint = (
     CheckpointStore,
-    Option<Vec<u8>>,
+    Option<(u32, Vec<u8>)>,
     Vec<Vec<u8>>,
     ResumeDiagnostics,
 );
@@ -307,9 +400,11 @@ impl CheckpointStore {
 
         let snapshot_payload = match read_snapshot(&snapshot_path) {
             Ok(None) => None,
-            Ok(Some((version, payload))) if version == STATE_VERSION => {
+            Ok(Some((version, payload)))
+                if version == STATE_VERSION || version == LEGACY_STATE_VERSION =>
+            {
                 diagnostics.snapshot_loaded = true;
-                Some(payload)
+                Some((version, payload))
             }
             Ok(Some((version, _))) => {
                 // A future or foreign schema: unreadable, same as damage.
@@ -370,11 +465,12 @@ impl CheckpointStore {
         }
     }
 
-    /// Unconditionally snapshots the current state.
+    /// Unconditionally snapshots the current state, in the schema version
+    /// the state's vantage mode dictates (legacy for single-vantage).
     pub fn write_snapshot_now(&mut self, state: &PipelineState) -> Result<()> {
         let mut w = ByteWriter::new();
-        state.persist(&mut w);
-        write_snapshot(&self.snapshot_path, STATE_VERSION, &w.into_bytes())
+        state.persist_into(&mut w);
+        write_snapshot(&self.snapshot_path, state.schema_version(), &w.into_bytes())
     }
 }
 
@@ -403,9 +499,13 @@ mod tests {
                 },
             ],
             feeds: Vec::new(),
+            vantages: Vec::new(),
         };
         let back = RoundRecord::decode(&record.encode()).unwrap();
         assert_eq!(back, record);
+        // The single-vantage encoding is pinned to the legacy version byte:
+        // old readers and writers keep interoperating with no migration.
+        assert_eq!(record.encode()[0] as u32, LEGACY_STATE_VERSION);
 
         let skipped = RoundRecord {
             round: Round(7),
@@ -413,8 +513,53 @@ mod tests {
             quality: RoundQuality::Unusable,
             blocks: Vec::new(),
             feeds: Vec::new(),
+            vantages: Vec::new(),
         };
         assert_eq!(RoundRecord::decode(&skipped.encode()).unwrap(), skipped);
+    }
+
+    #[test]
+    fn multi_vantage_record_roundtrips_as_version_3() {
+        let obs = |responsive: u32| BlockObs {
+            responsive,
+            rtt_ns: 41_000_000,
+            routed: true,
+            routed_known: true,
+        };
+        let record = RoundRecord {
+            round: Round(12),
+            online: true,
+            quality: RoundQuality::Ok,
+            blocks: Vec::new(),
+            feeds: Vec::new(),
+            vantages: vec![
+                VantageObs {
+                    online: true,
+                    quality: RoundQuality::Ok,
+                    blocks: vec![obs(30), obs(0)],
+                },
+                VantageObs {
+                    online: true,
+                    quality: RoundQuality::Unusable,
+                    blocks: Vec::new(),
+                },
+                VantageObs {
+                    online: false,
+                    quality: RoundQuality::Ok,
+                    blocks: Vec::new(),
+                },
+            ],
+        };
+        assert_eq!(record.encode()[0] as u32, STATE_VERSION);
+        assert_eq!(RoundRecord::decode(&record.encode()).unwrap(), record);
+        // A version-3 record must carry a roster; an empty one is damage.
+        let empty = RoundRecord {
+            vantages: Vec::new(),
+            ..record.clone()
+        };
+        let mut bytes = empty.encode();
+        bytes[0] = STATE_VERSION as u8;
+        assert!(RoundRecord::decode(&bytes).is_err());
     }
 
     #[test]
@@ -449,6 +594,7 @@ mod tests {
                     quarantine,
                 },
             ],
+            vantages: Vec::new(),
         };
         assert_eq!(RoundRecord::decode(&record.encode()).unwrap(), record);
         let absent = RoundRecord {
@@ -466,6 +612,7 @@ mod tests {
             quality: RoundQuality::Ok,
             blocks: Vec::new(),
             feeds: Vec::new(),
+            vantages: Vec::new(),
         };
         let mut bytes = record.encode();
         bytes[0] = 99; // version byte

@@ -1,7 +1,7 @@
 //! Campaign configuration.
 
 use fbs_feeds::{LossyTolerance, RetryPolicy};
-use fbs_netsim::{FaultPlan, FeedFaultPlan};
+use fbs_netsim::{FaultPlan, FeedFaultPlan, VantageSpec};
 use fbs_prober::QualityConfig;
 use fbs_regional::RegionalityConfig;
 use fbs_signals::{EligibilityConfig, EntityId, Thresholds};
@@ -59,6 +59,15 @@ pub struct CampaignConfig {
     /// Deterministic fetch retry/backoff budget per feed per round.
     #[serde(default)]
     pub feed_retry: RetryPolicy,
+    /// The vantage roster. Empty (the default) runs the paper's implicit
+    /// single vantage: the legacy measurement path, legacy checkpoint
+    /// schema, byte-identical output. Non-empty — even with one entry —
+    /// switches the campaign into *vantage mode*: every listed vantage
+    /// scans independently (its own fault plan, path latency and RNG
+    /// domain), and detection consumes the per-block quorum fusion of
+    /// their observations instead of any single wire.
+    #[serde(default)]
+    pub vantages: Vec<VantageSpec>,
 }
 
 impl Default for CampaignConfig {
@@ -88,6 +97,7 @@ impl Default for CampaignConfig {
             feed_plan: None,
             feed_tolerance: LossyTolerance::default(),
             feed_retry: RetryPolicy::default(),
+            vantages: Vec::new(),
         }
     }
 }
@@ -114,7 +124,31 @@ impl CampaignConfig {
         if let Some(plan) = &self.feed_plan {
             plan.validate()?;
         }
+        let mut names = std::collections::BTreeSet::new();
+        for spec in &self.vantages {
+            spec.validate()?;
+            if !names.insert(spec.name.as_str()) {
+                return Err(fbs_types::FbsError::config(format!(
+                    "duplicate vantage name {:?}: names key the fault RNG domains and must be unique",
+                    spec.name
+                )));
+            }
+        }
         Ok(())
+    }
+
+    /// Whether the campaign runs in multi-vantage mode (a non-empty
+    /// roster; the empty roster is the legacy implicit single vantage).
+    pub fn vantage_mode(&self) -> bool {
+        !self.vantages.is_empty()
+    }
+
+    /// A configuration scanning from the given vantage roster.
+    pub fn with_vantages(vantages: Vec<VantageSpec>) -> Self {
+        CampaignConfig {
+            vantages,
+            ..CampaignConfig::default()
+        }
     }
 
     /// A configuration applying `plan` to the measurement path.
@@ -147,6 +181,33 @@ mod tests {
         assert!(cfg.rtt_tracked.contains(&fbs_types::Asn(49465)));
         assert!(cfg.run_baseline);
         assert!(!CampaignConfig::without_baseline().run_baseline);
+    }
+
+    #[test]
+    fn vantage_roster_defaults_empty_and_validates() {
+        let cfg = CampaignConfig::default();
+        assert!(!cfg.vantage_mode(), "legacy single vantage by default");
+        let multi = CampaignConfig::with_vantages(vec![
+            VantageSpec::new("kyiv"),
+            VantageSpec::new("frankfurt"),
+        ]);
+        assert!(multi.vantage_mode());
+        assert!(multi.validate().is_ok());
+        // Duplicate names collide in the fault-RNG domain: rejected.
+        let dup =
+            CampaignConfig::with_vantages(vec![VantageSpec::new("kyiv"), VantageSpec::new("kyiv")]);
+        assert!(dup.validate().is_err());
+        // A roster entry with an invalid per-vantage plan is rejected.
+        let bad = CampaignConfig::with_vantages(vec![VantageSpec {
+            fault_plan: Some(fbs_netsim::FaultPlan::constant(
+                fbs_netsim::FaultIntensity {
+                    reply_loss: 1.5,
+                    ..fbs_netsim::FaultIntensity::default()
+                },
+            )),
+            ..VantageSpec::new("sick")
+        }]);
+        assert!(bad.validate().is_err());
     }
 
     #[test]

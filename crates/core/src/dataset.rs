@@ -48,6 +48,74 @@ pub struct OutageRow {
     pub min_ratio: f64,
 }
 
+/// One row of the vantage-disagreement product: a per-vantage summary of
+/// quality, blackout and quorum dissent over the whole campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VantageRow {
+    /// The vantage's name.
+    pub vantage: String,
+    /// Rounds the vantage cast quorum votes in.
+    pub usable_rounds: u64,
+    /// Rounds measured through measurable injected loss.
+    pub degraded_rounds: u64,
+    /// Rounds masked out of the quorum (offline or catastrophic loss).
+    pub unusable_rounds: u64,
+    /// Rounds the vantage was offline outright.
+    pub missing_rounds: u64,
+    /// Block-rounds where the vantage's vote disagreed with the quorum.
+    pub dissent_block_rounds: u64,
+    /// Signal-to-noise ratio of the responsive series (0 when undefined).
+    pub snr: f64,
+}
+
+/// Builds the per-vantage rows from a report (empty for single-vantage
+/// campaigns).
+pub fn vantage_rows(report: &CampaignReport) -> Vec<VantageRow> {
+    report
+        .vantages
+        .iter()
+        .map(|v| VantageRow {
+            vantage: v.name.clone(),
+            usable_rounds: v.usable_rounds() as u64,
+            degraded_rounds: v.degraded_rounds() as u64,
+            unusable_rounds: v.unusable_rounds() as u64,
+            missing_rounds: v.missing_rounds.len() as u64,
+            dissent_block_rounds: v.dissent_block_rounds,
+            snr: v.snr().unwrap_or(0.0),
+        })
+        .collect()
+}
+
+/// Renders the vantage rows plus the campaign disagreement summary as CSV.
+/// The summary rides along as `#`-prefixed header comments so the one file
+/// carries the whole multi-vantage story.
+pub fn vantage_disagreement_csv(report: &CampaignReport) -> String {
+    let d = &report.disagreement;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# rounds_with_disagreement={} some_not_all_block_rounds={} quorum_suppressed_block_rounds={}",
+        d.rounds_with_disagreement, d.some_not_all_block_rounds, d.quorum_suppressed_block_rounds
+    );
+    out.push_str(
+        "vantage,usable_rounds,degraded_rounds,unusable_rounds,missing_rounds,dissent_block_rounds,snr\n",
+    );
+    for r in vantage_rows(report) {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{:.3}",
+            r.vantage,
+            r.usable_rounds,
+            r.degraded_rounds,
+            r.unusable_rounds,
+            r.missing_rounds,
+            r.dissent_block_rounds,
+            r.snr
+        );
+    }
+    out
+}
+
 /// Builds the availability rows from a report.
 pub fn availability_rows(report: &CampaignReport) -> Vec<AvailabilityRow> {
     let mut rows = Vec::new();
@@ -141,6 +209,14 @@ pub fn export_all(report: &CampaignReport, dir: &std::path::Path) -> fbs_types::
     std::fs::write(dir.join("block_availability.json"), avail_json)?;
     std::fs::write(dir.join("outages.csv"), outage_csv(&outages))?;
     std::fs::write(dir.join("outages.json"), outages_json)?;
+    // The vantage product only exists for multi-vantage campaigns: the
+    // single-vantage export stays byte-identical to what it always was.
+    if !report.vantages.is_empty() {
+        std::fs::write(
+            dir.join("vantage_disagreement.csv"),
+            vantage_disagreement_csv(report),
+        )?;
+    }
     Ok(())
 }
 

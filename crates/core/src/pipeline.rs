@@ -19,22 +19,31 @@
 
 use crate::checkpoint::{
     BlockObs, CheckpointPolicy, CheckpointStore, FeedObs, ResumeDiagnostics, RoundRecord,
+    VantageObs, LEGACY_STATE_VERSION, STATE_VERSION,
 };
 use crate::classify::{
     campaign_months, classify_world, classify_world_with_snapshots, ClassificationOutcome,
 };
 use crate::config::CampaignConfig;
-use crate::report::{CampaignReport, EntitySeries, FeedLedger, MonthlyRtt, OblastMonth};
+use crate::report::{
+    CampaignReport, DisagreementSummary, EntitySeries, FeedLedger, MonthlyRtt, OblastMonth,
+    VantageLedger,
+};
 use fbs_feeds::{FeedHealth, FeedLoader, FeedOutcome, FeedQuarantine, TaggedQuarantine};
 use fbs_geodb::GeoSnapshot;
-use fbs_netsim::{feedfaults, geo, BlockSpec, FaultPlan, FeedFaultPlan, World, WorldRng};
+use fbs_netsim::{
+    feedfaults, geo, BlockSpec, FaultPlan, FeedFaultPlan, VantageSpec, World, WorldRng,
+};
 use fbs_prober::RoundCursor;
 use fbs_regional::Regionality;
-use fbs_signals::{ips_signal_usable, Detector, EntityId, EntityRound, SignalQuality};
+use fbs_signals::{
+    fuse_block, fuse_round_quality, ips_signal_usable, vantage_usable, BlockVote, Detector,
+    EntityId, EntityRound, SignalQuality,
+};
 use fbs_trinocular::{assess_block, BlockBelief, IodaPlatform};
 use fbs_types::codec::{ByteReader, ByteWriter, Persist};
 use fbs_types::{
-    Asn, FbsError, FeedKind, FeedStatus, MonthId, Oblast, Prefix, Round, RoundQuality,
+    Asn, FbsError, FeedKind, FeedStatus, MonthId, Oblast, Prefix, Round, RoundQuality, VantageId,
 };
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -214,8 +223,8 @@ impl Campaign {
         // not decode (or does not match this world) is quarantined and the
         // journal alone rebuilds the state.
         let mut state = None;
-        if let Some(payload) = snapshot_payload {
-            match decode_state(&payload, &statics) {
+        if let Some((version, payload)) = snapshot_payload {
+            match decode_state(&payload, version, &statics) {
                 Ok(s) => state = Some(s),
                 Err(_) => {
                     diagnostics.snapshot_loaded = false;
@@ -280,6 +289,19 @@ pub(crate) struct Statics {
     geo_texts: Vec<String>,
     /// Pristine delegated-extended feed text (world-static).
     delegations_text: String,
+    /// The resolved vantage roster (empty in single-vantage campaigns):
+    /// each entry carries its effective fault plan and its own RNG domain.
+    vantages: Vec<VantageStatic>,
+}
+
+/// One roster entry with its per-vantage derivations resolved once.
+pub(crate) struct VantageStatic {
+    spec: VantageSpec,
+    /// The vantage's effective fault plan: its own, else the campaign-wide
+    /// plan, else a clean path.
+    plan: FaultPlan,
+    /// The vantage's independent fault-RNG domain (keyed by name).
+    rng: WorldRng,
 }
 
 impl Statics {
@@ -361,6 +383,30 @@ impl Statics {
         fault_plan.validate()?;
         let fault_rng = world.rng().domain("faults");
 
+        // Vantage roster: each entry resolves its effective fault plan
+        // (vantage-specific, else campaign-wide, else clean) and draws
+        // from its own name-keyed RNG domain, so adding or removing one
+        // vantage never perturbs another's measurements.
+        let vantages: Vec<VantageStatic> = cfg
+            .vantages
+            .iter()
+            .map(|spec| -> fbs_types::Result<VantageStatic> {
+                spec.validate()?;
+                let plan = spec
+                    .fault_plan
+                    .clone()
+                    .or_else(|| cfg.fault_plan.clone())
+                    .unwrap_or_else(FaultPlan::none);
+                plan.validate()?;
+                let rng = spec.fault_domain(&world.rng());
+                Ok(VantageStatic {
+                    spec: spec.clone(),
+                    plan,
+                    rng,
+                })
+            })
+            .collect::<fbs_types::Result<_>>()?;
+
         // Static block/AS indexes. Ownership was validated in
         // `Campaign::new`, but stay panic-free regardless of how the
         // campaign was obtained.
@@ -435,6 +481,7 @@ impl Statics {
             feed_rng,
             geo_texts,
             delegations_text,
+            vantages,
         })
     }
 }
@@ -481,10 +528,33 @@ pub(crate) struct PipelineState {
     /// feed loses a block's record.
     last_routed: Vec<bool>,
     feed_quarantines: Vec<TaggedQuarantine>,
+    // Multi-vantage state (empty / zeroed in single-vantage campaigns).
+    /// One ledger per roster entry, in roster order.
+    vantage_ledgers: Vec<VantageLedger>,
+    /// Running disagreement counters.
+    disagreement: DisagreementSummary,
 }
 
-impl Persist for PipelineState {
-    fn persist(&self, w: &mut ByteWriter) {
+impl PipelineState {
+    /// Whether this state belongs to a multi-vantage campaign. Decides the
+    /// on-disk schema version: the legacy layout has no vantage tail.
+    fn vantage_mode(&self) -> bool {
+        !self.vantage_ledgers.is_empty()
+    }
+
+    /// The snapshot schema version this state serializes as.
+    pub(crate) fn schema_version(&self) -> u32 {
+        if self.vantage_mode() {
+            STATE_VERSION
+        } else {
+            LEGACY_STATE_VERSION
+        }
+    }
+
+    /// Serializes the state: the legacy field set, then — only in vantage
+    /// mode — the vantage tail. The split keeps single-vantage snapshots
+    /// byte-identical to the pre-multi-vantage format.
+    pub(crate) fn persist_into(&self, w: &mut ByteWriter) {
         self.cursor.persist(w);
         self.current_month.persist(w);
         self.pool.persist(w);
@@ -513,9 +583,16 @@ impl Persist for PipelineState {
         self.feed_rejections.persist(w);
         self.last_routed.persist(w);
         self.feed_quarantines.persist(w);
+        if self.vantage_mode() {
+            self.vantage_ledgers.persist(w);
+            self.disagreement.persist(w);
+        }
     }
-    fn restore(r: &mut ByteReader<'_>) -> fbs_types::Result<Self> {
-        Ok(PipelineState {
+
+    /// Deserializes a state of the given schema version (the version
+    /// decides whether a vantage tail follows the legacy fields).
+    pub(crate) fn restore_from(r: &mut ByteReader<'_>, version: u32) -> fbs_types::Result<Self> {
+        let mut state = PipelineState {
             cursor: RoundCursor::restore(r)?,
             current_month: Option::<usize>::restore(r)?,
             pool: Vec::<u16>::restore(r)?,
@@ -544,11 +621,21 @@ impl Persist for PipelineState {
             feed_rejections: Vec::<u32>::restore(r)?,
             last_routed: Vec::<bool>::restore(r)?,
             feed_quarantines: Vec::<TaggedQuarantine>::restore(r)?,
-        })
+            vantage_ledgers: Vec::new(),
+            disagreement: DisagreementSummary::default(),
+        };
+        if version == STATE_VERSION {
+            state.vantage_ledgers = Vec::<VantageLedger>::restore(r)?;
+            state.disagreement = DisagreementSummary::restore(r)?;
+            if state.vantage_ledgers.is_empty() {
+                return Err(FbsError::corrupt_snapshot(format!(
+                    "version-{STATE_VERSION} snapshot with an empty vantage roster"
+                )));
+            }
+        }
+        Ok(state)
     }
-}
 
-impl PipelineState {
     /// Rejects a restored state that cannot belong to this campaign.
     fn validate_against(&self, statics: &Statics) -> fbs_types::Result<()> {
         let n_as = statics.as_list.len();
@@ -590,6 +677,24 @@ impl PipelineState {
                     .all(|v| v.is_empty() || v.len() as u32 == self.cursor.completed()),
                 "feed-ledger length",
             ),
+            (
+                self.vantage_ledgers.len() == statics.vantages.len(),
+                "vantage roster size",
+            ),
+            (
+                self.vantage_ledgers
+                    .iter()
+                    .zip(&statics.vantages)
+                    .all(|(l, v)| l.name == v.spec.name),
+                "vantage roster names",
+            ),
+            (
+                self.vantage_ledgers.iter().all(|l| {
+                    l.quality.len() as u32 == self.cursor.completed()
+                        && l.responsive_total.len() as u32 == self.cursor.completed()
+                }),
+                "vantage-ledger length",
+            ),
         ];
         for (ok, what) in checks {
             if !ok {
@@ -602,9 +707,13 @@ impl PipelineState {
     }
 }
 
-fn decode_state(payload: &[u8], statics: &Statics) -> fbs_types::Result<PipelineState> {
+fn decode_state(
+    payload: &[u8],
+    version: u32,
+    statics: &Statics,
+) -> fbs_types::Result<PipelineState> {
     let mut r = ByteReader::new(payload);
-    let state = PipelineState::restore(&mut r)?;
+    let state = PipelineState::restore_from(&mut r, version)?;
     r.expect_exhausted()?;
     state.validate_against(statics)?;
     Ok(state)
@@ -686,11 +795,25 @@ fn initial_state(world: &World, cfg: &CampaignConfig, statics: &Statics) -> Pipe
         feed_rejections: vec![0; FeedKind::ALL.len()],
         last_routed: vec![false; n_blocks],
         feed_quarantines: Vec::new(),
+        vantage_ledgers: statics
+            .vantages
+            .iter()
+            .enumerate()
+            .map(|(i, v)| VantageLedger::new(VantageId(i as u16), v.spec.name.clone()))
+            .collect(),
+        disagreement: DisagreementSummary::default(),
     }
 }
 
 /// Produces the journal record for `round`: the measurement half of the
 /// loop, and the only part that consults the faulty wire path.
+///
+/// Single-vantage campaigns measure through the legacy `"faults"` RNG
+/// domain exactly as before. Multi-vantage campaigns fan the scan out over
+/// the roster in roster order — each vantage draws from its own RNG domain
+/// and applies its own fault plan — and record one [`VantageObs`] per
+/// entry; the fused per-block view is *not* journaled (it is a pure
+/// deterministic function of the votes, recomputed in [`apply_round`]).
 fn measure_round(
     world: &World,
     cfg: &CampaignConfig,
@@ -698,16 +821,21 @@ fn measure_round(
     round: Round,
 ) -> RoundRecord {
     let r = round.0;
+    let online = world.vantage_online(round);
+    // Feeds are fetched by infrastructure independent of the probing
+    // vantage(s), so feed observations are collected even for rounds the
+    // scanner itself cannot measure — and fetched once, not per vantage.
+    let (feeds, routed_unknown) = measure_feeds(world, cfg, statics, round);
+
+    if !statics.vantages.is_empty() {
+        return measure_round_vantages(world, cfg, statics, round, online, feeds, &routed_unknown);
+    }
+
     let intensity = statics.fault_plan.intensity_at(round, statics.rounds);
     let quality =
         statics
             .fault_plan
             .quality_at(round, statics.rounds, cfg.scan_retries, &cfg.quality);
-    let online = world.vantage_online(round);
-    // Feeds are fetched by infrastructure independent of the probing
-    // vantage, so feed observations are collected even for rounds the
-    // scanner itself cannot measure.
-    let (feeds, routed_unknown) = measure_feeds(world, cfg, statics, round);
     if !online || quality == RoundQuality::Unusable {
         // The skip is itself the observation: no per-block data.
         return RoundRecord {
@@ -716,6 +844,7 @@ fn measure_round(
             quality,
             blocks: Vec::new(),
             feeds,
+            vantages: Vec::new(),
         };
     }
     let mut blocks = Vec::with_capacity(statics.n_blocks);
@@ -745,6 +874,75 @@ fn measure_round(
         quality,
         blocks,
         feeds,
+        vantages: Vec::new(),
+    }
+}
+
+/// The multi-vantage half of [`measure_round`]: one independent scan per
+/// roster entry, merged in deterministic roster order.
+fn measure_round_vantages(
+    world: &World,
+    cfg: &CampaignConfig,
+    statics: &Statics,
+    round: Round,
+    online: bool,
+    feeds: Vec<FeedObs>,
+    routed_unknown: &[bool],
+) -> RoundRecord {
+    let r = round.0;
+    let mut vantages = Vec::with_capacity(statics.vantages.len());
+    for vs in &statics.vantages {
+        let quality = vs
+            .plan
+            .quality_at(round, statics.rounds, cfg.scan_retries, &cfg.quality);
+        // A masked vantage measures nothing: offline (the world's scripted
+        // scanner blackouts hit every vantage — they model the campaign
+        // infrastructure, not one path) or catastrophic loss on its path.
+        let blocks = if !vantage_usable(online, quality) {
+            Vec::new()
+        } else {
+            let intensity = vs.plan.intensity_at(round, statics.rounds);
+            routed_unknown
+                .iter()
+                .enumerate()
+                .map(|(bi, unknown)| {
+                    let truth = world.block_truth(round, bi);
+                    let responsive = intensity.thin_responsive(
+                        truth.responsive,
+                        cfg.scan_retries,
+                        &vs.rng,
+                        r as u64,
+                        bi as u64,
+                    );
+                    let rtt_ns = truth
+                        .rtt_ns
+                        .saturating_add(vs.spec.path_rtt_ns)
+                        .saturating_add(intensity.extra_rtt_ns(&vs.rng, r as u64, bi as u64));
+                    BlockObs {
+                        responsive,
+                        rtt_ns,
+                        routed: truth.routed,
+                        routed_known: !unknown,
+                    }
+                })
+                .collect()
+        };
+        vantages.push(VantageObs {
+            online,
+            quality,
+            blocks,
+        });
+    }
+    // The round's headline quality is the fused verdict: one clean vantage
+    // keeps the round usable while another sits behind 100% loss.
+    let quality = fuse_round_quality(vantages.iter().map(|v| (v.online, v.quality)));
+    RoundRecord {
+        round,
+        online,
+        quality,
+        blocks: Vec::new(),
+        feeds,
+        vantages,
     }
 }
 
@@ -955,6 +1153,97 @@ fn apply_feeds(
     })
 }
 
+/// Resolves one multi-vantage round into the fused per-block view the
+/// detection sweep consumes, updating per-vantage dissent counters and the
+/// campaign disagreement summary as a side effect.
+///
+/// Masking happens here: vantages that were offline or whose round was
+/// [`RoundQuality::Unusable`] never reach the ballot, so a blacked-out
+/// vantage cannot pull blocks dark — graceful degradation falls out of the
+/// vote rather than being a special case.
+fn fuse_vantage_round(
+    statics: &Statics,
+    state: &mut PipelineState,
+    record: &RoundRecord,
+) -> fbs_types::Result<Vec<BlockObs>> {
+    let n_blocks = statics.n_blocks;
+    let usable: Vec<usize> = record
+        .vantages
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| vantage_usable(v.online, v.quality))
+        .map(|(vi, _)| vi)
+        .collect();
+    for &vi in &usable {
+        if record.vantages[vi].blocks.len() != n_blocks {
+            return Err(FbsError::corrupt_journal(
+                format!(
+                    "round {} vantage {:?} carries {} block observations, world has {}",
+                    record.round.0,
+                    statics
+                        .vantages
+                        .get(vi)
+                        .map(|v| v.spec.name.as_str())
+                        .unwrap_or("?"),
+                    record.vantages[vi].blocks.len(),
+                    n_blocks
+                ),
+                record.round.0 as u64,
+            ));
+        }
+    }
+    let mut fused_blocks = Vec::with_capacity(n_blocks);
+    let mut dissent = vec![0u64; record.vantages.len()];
+    let mut round_disputed = false;
+    let mut votes: Vec<BlockVote> = Vec::with_capacity(usable.len());
+    for bi in 0..n_blocks {
+        votes.clear();
+        for &vi in &usable {
+            let obs = &record.vantages[vi].blocks[bi];
+            votes.push(BlockVote {
+                responsive: obs.responsive,
+                rtt_ns: obs.rtt_ns,
+            });
+        }
+        let fused = fuse_block(&votes);
+        for (slot, &vi) in usable.iter().enumerate() {
+            if votes[slot].reachable() != fused.reachable() {
+                dissent[vi] += 1;
+            }
+        }
+        if fused.disputed() {
+            state.disagreement.some_not_all_block_rounds += 1;
+            round_disputed = true;
+        }
+        if fused.suppressed {
+            state.disagreement.quorum_suppressed_block_rounds += 1;
+        }
+        // Routing state is feed-derived and shared by every vantage; any
+        // usable vantage reports the same bits, so the first one speaks
+        // for all (the deterministic vantage-ordered merge).
+        let (routed, routed_known) = usable
+            .first()
+            .map(|&vi| {
+                let obs = &record.vantages[vi].blocks[bi];
+                (obs.routed, obs.routed_known)
+            })
+            .unwrap_or((false, false));
+        fused_blocks.push(BlockObs {
+            responsive: fused.responsive,
+            rtt_ns: fused.rtt_ns,
+            routed,
+            routed_known,
+        });
+    }
+    if round_disputed {
+        state.disagreement.rounds_with_disagreement += 1;
+    }
+    for (ledger, d) in state.vantage_ledgers.iter_mut().zip(dissent) {
+        ledger.dissent_block_rounds += d;
+    }
+    Ok(fused_blocks)
+}
+
 /// Folds one measured round into the pipeline state: the accumulation half
 /// of the loop. Live execution and crash replay both go through here, so
 /// the two paths cannot diverge.
@@ -1065,6 +1354,35 @@ fn apply_round(
     // the scanner is offline.
     let feed_quality = apply_feeds(state, record)?;
 
+    // Vantage-mode shape check, then per-vantage ledger update — on
+    // *every* round, masked or not: the ledger is where a vantage
+    // blackout stays visible after fusion has already routed around it.
+    if record.vantages.len() != statics.vantages.len() {
+        return Err(FbsError::corrupt_journal(
+            format!(
+                "round {} record carries {} vantage observations, roster has {}",
+                r,
+                record.vantages.len(),
+                statics.vantages.len()
+            ),
+            state.cursor.completed() as u64,
+        ));
+    }
+    for (ledger, vobs) in state.vantage_ledgers.iter_mut().zip(&record.vantages) {
+        let effective = if vobs.online {
+            vobs.quality
+        } else {
+            RoundQuality::Unusable
+        };
+        ledger.quality.push(effective);
+        if !vobs.online {
+            ledger.missing_rounds.push(round);
+        }
+        ledger
+            .responsive_total
+            .push(vobs.blocks.iter().map(|b| b.responsive as u64).sum());
+    }
+
     let quality = record.quality;
 
     // A round without usable measurements — vantage offline, or the
@@ -1092,17 +1410,27 @@ fn apply_round(
         state.cursor.advance();
         return Ok(());
     }
-    if record.blocks.len() != n_blocks {
-        return Err(FbsError::corrupt_journal(
-            format!(
-                "round {} record carries {} block observations, world has {}",
-                r,
-                record.blocks.len(),
-                n_blocks
-            ),
-            state.cursor.completed() as u64,
-        ));
-    }
+    // The sweep's input: the single vantage's observations directly, or
+    // the quorum-fused view of the roster's votes. Detection downstream
+    // is unchanged either way — fusion is resolved *before* detection.
+    let fused: Vec<BlockObs>;
+    let blocks: &[BlockObs] = if record.vantages.is_empty() {
+        if record.blocks.len() != n_blocks {
+            return Err(FbsError::corrupt_journal(
+                format!(
+                    "round {} record carries {} block observations, world has {}",
+                    r,
+                    record.blocks.len(),
+                    n_blocks
+                ),
+                state.cursor.completed() as u64,
+            ));
+        }
+        &record.blocks
+    } else {
+        fused = fuse_vantage_round(statics, state, record)?;
+        &fused
+    };
     state.round_quality.push(quality);
 
     // --- The per-block sweep. ---
@@ -1114,7 +1442,7 @@ fn apply_round(
     let mut reg_active = [0u32; Oblast::COUNT];
     let mut reg_routed = [0u32; Oblast::COUNT];
 
-    for (bi, obs) in record.blocks.iter().enumerate() {
+    for (bi, obs) in blocks.iter().enumerate() {
         let responsive = obs.responsive;
         let rtt_ns = obs.rtt_ns;
         // When the BGP delivery lost this block's record, the collector
@@ -1402,6 +1730,8 @@ impl CampaignRunner<'_> {
             feed_ledger: state.feed_ledger,
             feed_health,
             feed_quarantines: state.feed_quarantines,
+            vantages: state.vantage_ledgers,
+            disagreement: state.disagreement,
         })
     }
 }

@@ -5,7 +5,9 @@ use fbs_feeds::{FeedHealth, TaggedQuarantine};
 use fbs_signals::{EntityId, OutageEvent, SignalSeries};
 use fbs_trinocular::ioda::IodaReport;
 use fbs_types::codec::{ByteReader, ByteWriter, Persist};
-use fbs_types::{Asn, BlockId, FeedKind, FeedStatus, MonthId, Oblast, Round, RoundQuality};
+use fbs_types::{
+    Asn, BlockId, FeedKind, FeedStatus, MonthId, Oblast, Round, RoundQuality, VantageId,
+};
 use std::collections::BTreeMap;
 
 /// Full per-round signal series of one tracked entity.
@@ -212,6 +214,143 @@ impl Persist for FeedLedger {
     }
 }
 
+/// One vantage point's per-round quality and throughput ledger.
+///
+/// Multi-vantage campaigns keep one ledger per roster entry, updated
+/// *every* round — including rounds the vantage was masked out of the
+/// quorum — so a vantage blackout is visible in the report exactly where
+/// it happened rather than inferred from fused gaps. The signal-to-noise
+/// view ([`VantageLedger::snr`]) follows the paper's Fig. 27 reading:
+/// mean responsive addresses over the noise around that mean.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VantageLedger {
+    /// Roster position (stable across the run).
+    pub id: VantageId,
+    /// The vantage's name (its fault-RNG domain key).
+    pub name: String,
+    /// Per-round *effective* quality, indexed by round number: the
+    /// vantage's own fault-plan verdict, forced to
+    /// [`RoundQuality::Unusable`] on rounds it sat offline.
+    pub quality: Vec<RoundQuality>,
+    /// Rounds the vantage was offline outright.
+    pub missing_rounds: Vec<Round>,
+    /// Per-round total responsive addresses the vantage observed across
+    /// all blocks (`0` on masked rounds).
+    pub responsive_total: Vec<u64>,
+    /// Block-rounds where this vantage's reachability vote disagreed with
+    /// the quorum verdict — a persistent dissenter is a sick path.
+    pub dissent_block_rounds: u64,
+}
+
+impl VantageLedger {
+    pub(crate) fn new(id: VantageId, name: String) -> Self {
+        VantageLedger {
+            id,
+            name,
+            quality: Vec::new(),
+            missing_rounds: Vec::new(),
+            responsive_total: Vec::new(),
+            dissent_block_rounds: 0,
+        }
+    }
+
+    /// Rounds this vantage cast quorum votes in.
+    pub fn usable_rounds(&self) -> usize {
+        self.quality.iter().filter(|q| q.is_usable()).count()
+    }
+
+    /// Rounds measured through measurable injected loss.
+    pub fn degraded_rounds(&self) -> usize {
+        self.quality
+            .iter()
+            .filter(|q| **q == RoundQuality::Degraded)
+            .count()
+    }
+
+    /// Rounds masked out of the quorum (offline or catastrophic loss).
+    pub fn unusable_rounds(&self) -> usize {
+        self.quality
+            .iter()
+            .filter(|q| **q == RoundQuality::Unusable)
+            .count()
+    }
+
+    /// Signal-to-noise ratio of the vantage's responsive-address series
+    /// over its usable rounds: mean divided by standard deviation (the
+    /// Fig. 27 sense — how steady the vantage's view of the targets is).
+    /// `None` with fewer than two usable rounds or zero variance.
+    pub fn snr(&self) -> Option<f64> {
+        let usable: Vec<f64> = self
+            .quality
+            .iter()
+            .zip(&self.responsive_total)
+            .filter(|(q, _)| q.is_usable())
+            .map(|(_, t)| *t as f64)
+            .collect();
+        if usable.len() < 2 {
+            return None;
+        }
+        let mean = usable.iter().sum::<f64>() / usable.len() as f64;
+        let var =
+            usable.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (usable.len() - 1) as f64;
+        let sd = var.sqrt();
+        (sd > 0.0).then(|| mean / sd)
+    }
+}
+
+impl Persist for VantageLedger {
+    fn persist(&self, w: &mut ByteWriter) {
+        self.id.persist(w);
+        self.name.persist(w);
+        self.quality.persist(w);
+        self.missing_rounds.persist(w);
+        self.responsive_total.persist(w);
+        w.put_u64(self.dissent_block_rounds);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> fbs_types::Result<Self> {
+        Ok(VantageLedger {
+            id: VantageId::restore(r)?,
+            name: String::restore(r)?,
+            quality: Vec::<RoundQuality>::restore(r)?,
+            missing_rounds: Vec::<Round>::restore(r)?,
+            responsive_total: Vec::<u64>::restore(r)?,
+            dissent_block_rounds: r.get_u64()?,
+        })
+    }
+}
+
+/// How often and how the vantages disagreed over a campaign.
+///
+/// All counters stay zero in single-vantage campaigns (there is nobody to
+/// disagree with).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DisagreementSummary {
+    /// Rounds in which at least one block was disputed or suppressed.
+    pub rounds_with_disagreement: u32,
+    /// Block-rounds reachable from some usable vantages but not all — the
+    /// routing-damage signature a single vantage cannot see.
+    pub some_not_all_block_rounds: u64,
+    /// Block-rounds where a minority reachable claim was overridden by the
+    /// quorum (the graceful-degradation counter: how often one vantage's
+    /// view was *not* allowed to fabricate reachability on its own).
+    pub quorum_suppressed_block_rounds: u64,
+}
+
+impl Persist for DisagreementSummary {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_u32(self.rounds_with_disagreement);
+        w.put_u64(self.some_not_all_block_rounds);
+        w.put_u64(self.quorum_suppressed_block_rounds);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> fbs_types::Result<Self> {
+        Ok(DisagreementSummary {
+            rounds_with_disagreement: r.get_u32()?,
+            some_not_all_block_rounds: r.get_u64()?,
+            quorum_suppressed_block_rounds: r.get_u64()?,
+        })
+    }
+}
+
 /// Everything a campaign run produces.
 #[derive(Debug)]
 pub struct CampaignReport {
@@ -255,6 +394,12 @@ pub struct CampaignReport {
     /// Every non-empty quarantine a feed delivery produced, in round
     /// order, for the quarantine report writer.
     pub feed_quarantines: Vec<TaggedQuarantine>,
+    /// Per-vantage quality/throughput ledgers in roster order (empty in
+    /// single-vantage campaigns).
+    pub vantages: Vec<VantageLedger>,
+    /// How often the vantages disagreed (all zeros in single-vantage
+    /// campaigns).
+    pub disagreement: DisagreementSummary,
 }
 
 impl CampaignReport {
@@ -336,5 +481,11 @@ impl CampaignReport {
     /// consumption.
     pub fn feed_quarantine_report(&self) -> String {
         fbs_feeds::render_report(&self.feed_quarantines)
+    }
+
+    /// One vantage's ledger by name (`None` in single-vantage campaigns
+    /// or for an unknown name).
+    pub fn vantage_ledger(&self, name: &str) -> Option<&VantageLedger> {
+        self.vantages.iter().find(|v| v.name == name)
     }
 }

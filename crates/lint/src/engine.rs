@@ -132,10 +132,13 @@ pub fn lint_bytes(rel_path: &str, src: Vec<u8>) -> Vec<Finding> {
 }
 
 /// Directories never descended into. `fixtures` holds the linter's own
-/// deliberate-violation corpus; `target` and VCS metadata are not source.
+/// deliberate-violation corpus; `target` and VCS metadata are not source;
+/// `vendor` holds offline stand-ins for third-party crates, which are not
+/// subject to workspace invariants.
 fn skip_dir(rel: &str, name: &str) -> bool {
     matches!(name, "target" | ".git" | ".github" | "node_modules")
         || (rel == "crates/lint" && name == "fixtures")
+        || (rel.is_empty() && name == "vendor")
 }
 
 /// Collects every `.rs` file under `root` in deterministic (sorted) order.

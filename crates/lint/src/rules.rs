@@ -72,6 +72,16 @@ pub const EMISSION_FILES: &[&str] = &[
 /// output bytes, so `unordered-persist` covers them too.
 pub const RENDER_FILES: &[&str] = &["crates/analysis/src/emit.rs", "crates/core/src/report.rs"];
 
+/// The ordered-merge surface: files that fold per-vantage observations
+/// into one fused result. The fold must be order-free or roster-ordered —
+/// never keyed on a hash-ordered container — or vantage order leaks into
+/// detection input, checkpoints and reports, so `unordered-persist`
+/// covers these files even when they never name the codec.
+pub const MERGE_FILES: &[&str] = &[
+    "crates/signals/src/fusion.rs",
+    "crates/netsim/src/vantage.rs",
+];
+
 /// The registry, in diagnostic-priority order.
 pub const RULES: &[Rule] = &[
     Rule {
@@ -97,7 +107,8 @@ pub const RULES: &[Rule] = &[
                 && (f.mentions_ident("Persist")
                     || f.mentions_ident("ByteWriter")
                     || EMISSION_FILES.contains(&f.meta.path.as_str())
-                    || RENDER_FILES.contains(&f.meta.path.as_str()))
+                    || RENDER_FILES.contains(&f.meta.path.as_str())
+                    || MERGE_FILES.contains(&f.meta.path.as_str()))
         },
         check: check_unordered_persist,
     },

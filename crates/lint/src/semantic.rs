@@ -336,6 +336,13 @@ fn sink_reason(f: &FnNode) -> Option<String> {
             return Some(format!("emission function `{}`", f.name));
         }
     }
+    // Vantage-fusion folds feed detection input, checkpoints and reports:
+    // hash-ordered iteration there leaks roster order into all three.
+    for prefix in ["fuse_", "merge_"] {
+        if f.name.starts_with(prefix) {
+            return Some(format!("ordered-merge function `{}`", f.name));
+        }
+    }
     None
 }
 

@@ -36,6 +36,7 @@ pub mod rng;
 pub mod script;
 pub mod spec;
 pub mod transport;
+pub mod vantage;
 pub mod world;
 
 pub use faults::{FaultIntensity, FaultPlan, FaultStats, FaultWindow, FaultyTransport};
@@ -45,4 +46,5 @@ pub use rng::WorldRng;
 pub use script::{EventKind, EventTarget, Script, ScriptedEvent};
 pub use spec::{AsProfile, AsSpec, BlockSpec, WorldConfig, WorldScale};
 pub use transport::WorldTransport;
+pub use vantage::{VantageSpec, VantageTransport};
 pub use world::{BlockTruth, World};

@@ -66,6 +66,27 @@ impl ResponderBitmap {
         ResponderBitmap(out)
     }
 
+    /// Per-host quorum vote over one block's bitmaps from several vantage
+    /// points: a host is kept when at least half of the vantages saw it
+    /// answer (`2·votes ≥ n`), the wire-path analogue of the count-level
+    /// quorum in `fbs-signals::fusion`. An empty slice yields an empty
+    /// bitmap; a single bitmap is returned unchanged (N=1 identity).
+    pub fn quorum(bitmaps: &[ResponderBitmap]) -> ResponderBitmap {
+        let n = bitmaps.len() as u32;
+        let mut out = ResponderBitmap::default();
+        if n == 0 {
+            return out;
+        }
+        for h in 0u16..256 {
+            let h = h as u8;
+            let votes = bitmaps.iter().filter(|b| b.get(h)).count() as u32;
+            if 2 * votes >= n {
+                out.set(h);
+            }
+        }
+        out
+    }
+
     /// Iterates the set host octets in ascending order.
     pub fn iter_hosts(&self) -> impl Iterator<Item = u8> + '_ {
         (0u16..256).filter_map(move |h| {
@@ -256,6 +277,31 @@ mod tests {
         s.merge(&RttStat::new());
         assert_eq!(s.count, 3);
         assert_eq!(s.min_ns, 10_000_000);
+    }
+
+    #[test]
+    fn bitmap_quorum_votes_per_host() {
+        let mut a = ResponderBitmap::default();
+        let mut b = ResponderBitmap::default();
+        let mut c = ResponderBitmap::default();
+        // Host 1: all three. Host 2: two of three. Host 3: one of three.
+        for m in [&mut a, &mut b, &mut c] {
+            m.set(1);
+        }
+        a.set(2);
+        b.set(2);
+        c.set(3);
+        let q = ResponderBitmap::quorum(&[a, b, c]);
+        assert!(q.get(1));
+        assert!(q.get(2), "2-of-3 passes the quorum");
+        assert!(!q.get(3), "1-of-3 is suppressed");
+        assert_eq!(q.count(), 2);
+        // N=1 identity and the empty ballot.
+        assert_eq!(ResponderBitmap::quorum(&[a]), a);
+        assert_eq!(ResponderBitmap::quorum(&[]), ResponderBitmap::default());
+        // 1-of-2 ties break toward reachable.
+        let q = ResponderBitmap::quorum(&[a, ResponderBitmap::default()]);
+        assert_eq!(q, a);
     }
 
     #[test]

@@ -29,7 +29,10 @@
 //! * [`eligibility`] — monthly full-block-scan eligibility (`E(b) ≥ 3`) and
 //!   the IPS minimum-responsiveness gate;
 //! * [`sensing`] — block-level ISP availability sensing (which dark blocks
-//!   are re-addressings rather than outages).
+//!   are re-addressings rather than outages);
+//! * [`fusion`] — multi-vantage quorum voting and disagreement
+//!   classification, the stage that resolves per-vantage observations into
+//!   one verdict *before* any detector sees them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +40,7 @@
 pub mod detect;
 pub mod eligibility;
 pub mod events;
+pub mod fusion;
 pub mod sensing;
 pub mod series;
 pub mod thresholds;
@@ -44,6 +48,10 @@ pub mod thresholds;
 pub use detect::{Detector, EntityRound, SignalQuality, SignalState};
 pub use eligibility::{ips_signal_usable, BlockMonth, EligibilityConfig, MonthEligibility};
 pub use events::{merge_overlapping, outage_hours, EntityId, OutageEvent};
+pub use fusion::{
+    fuse_block, fuse_round_quality, quorum_reachable, vantage_usable, BlockVote, FusedBlock,
+    ReachClass,
+};
 pub use sensing::{AvailabilitySensor, SensingConfig, SensingVerdict};
 pub use series::{MovingAverage, SignalKind, SignalSeries};
 pub use thresholds::Thresholds;

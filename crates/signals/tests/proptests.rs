@@ -1,11 +1,21 @@
 //! Property tests for the detection machinery.
 
 use fbs_signals::{
-    merge_overlapping, outage_hours, Detector, EntityId, EntityRound, MovingAverage, OutageEvent,
-    SignalKind, Thresholds,
+    fuse_block, fuse_round_quality, merge_overlapping, outage_hours, quorum_reachable, BlockVote,
+    Detector, EntityId, EntityRound, MovingAverage, OutageEvent, SignalKind, Thresholds,
 };
-use fbs_types::{Asn, Round};
+use fbs_types::{Asn, Round, RoundQuality};
 use proptest::prelude::*;
+
+/// An arbitrary quorum ballot: up to a dozen usable vantages, each voting
+/// a responsive count (0 = dark) and an RTT.
+fn ballot() -> impl Strategy<Value = Vec<BlockVote>> {
+    proptest::collection::vec(
+        (0u32..200, 1u64..1_000_000_000)
+            .prop_map(|(responsive, rtt_ns)| BlockVote { responsive, rtt_ns }),
+        0..12,
+    )
+}
 
 fn ev(start: u32, len: u32) -> OutageEvent {
     OutageEvent {
@@ -105,6 +115,86 @@ proptest! {
                 events.iter().any(|e| e.signal == SignalKind::Ips),
                 "dip to {dip_depth} undetected"
             );
+        }
+    }
+
+    /// N=1 identity: a single-vantage ballot reproduces the legacy
+    /// single-vantage rule exactly — reachable iff the one vantage saw a
+    /// responder, with its own counts and RTT passed through untouched.
+    #[test]
+    fn quorum_n1_is_the_legacy_rule(responsive in 0u32..500, rtt_ns in 1u64..1_000_000_000) {
+        let fused = fuse_block(&[BlockVote { responsive, rtt_ns }]);
+        prop_assert_eq!(fused.reachable(), responsive > 0);
+        prop_assert_eq!(fused.responsive, responsive);
+        prop_assert_eq!(fused.rtt_ns, rtt_ns);
+        prop_assert!(!fused.suppressed);
+        prop_assert_eq!(fused.usable_votes, 1);
+    }
+
+    /// Monotonicity: adding a reachable vote never flips the quorum from
+    /// reachable to unreachable, and never shrinks the fused count.
+    #[test]
+    fn quorum_is_monotone_in_reachable_votes(
+        votes in ballot(),
+        extra in (1u32..200, 1u64..1_000_000_000),
+    ) {
+        let before = fuse_block(&votes);
+        let mut extended = votes.clone();
+        extended.push(BlockVote { responsive: extra.0, rtt_ns: extra.1 });
+        let after = fuse_block(&extended);
+        if before.reachable() {
+            prop_assert!(after.reachable(), "a reachable vote flipped the verdict");
+            prop_assert!(after.responsive >= before.responsive);
+        }
+        // The raw rule agrees, at every (up, usable) the ballot visits.
+        if quorum_reachable(before.up_votes, before.usable_votes) {
+            prop_assert!(quorum_reachable(before.up_votes + 1, before.usable_votes + 1));
+        }
+    }
+
+    /// Mask-out never widens an outage: removing a dark vote — the only
+    /// vote a masked (offline / Unusable) vantage could have cast — never
+    /// turns a reachable verdict unreachable, and never changes the fused
+    /// responsive count of a reachable block.
+    #[test]
+    fn mask_out_never_widens_an_outage(votes in ballot()) {
+        let full = fuse_block(&votes);
+        for (i, v) in votes.iter().enumerate() {
+            if v.reachable() {
+                continue;
+            }
+            let mut masked = votes.clone();
+            masked.remove(i);
+            let fused = fuse_block(&masked);
+            if full.reachable() {
+                prop_assert!(fused.reachable(), "masking a dark vantage widened an outage");
+                prop_assert_eq!(fused.responsive, full.responsive);
+            }
+        }
+    }
+
+    /// Fused round quality is the best usable verdict: never better than
+    /// the best usable vantage, Unusable exactly when no vantage is usable.
+    #[test]
+    fn fused_round_quality_is_best_of_usable(
+        per_vantage in proptest::collection::vec(
+            (any::<bool>(), prop_oneof![
+                Just(RoundQuality::Ok),
+                Just(RoundQuality::Degraded),
+                Just(RoundQuality::Unusable),
+            ]),
+            0..8,
+        ),
+    ) {
+        let fused = fuse_round_quality(per_vantage.iter().copied());
+        let usable: Vec<RoundQuality> = per_vantage
+            .iter()
+            .filter(|(online, q)| *online && q.is_usable())
+            .map(|(_, q)| *q)
+            .collect();
+        match usable.iter().min() {
+            Some(best) => prop_assert_eq!(fused, *best),
+            None => prop_assert_eq!(fused, RoundQuality::Unusable),
         }
     }
 

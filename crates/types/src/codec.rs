@@ -347,6 +347,15 @@ impl Persist for crate::Asn {
     }
 }
 
+impl Persist for crate::VantageId {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_u16(self.0);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(crate::VantageId(r.get_u16()?))
+    }
+}
+
 impl Persist for crate::BlockId {
     fn persist(&self, w: &mut ByteWriter) {
         w.put_u32(self.0);

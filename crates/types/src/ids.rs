@@ -1,7 +1,44 @@
-//! Autonomous system numbers.
+//! Autonomous system numbers and vantage-point identifiers.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// A vantage point's position in a campaign's vantage roster.
+///
+/// Newtype over `u16` so a vantage index cannot be confused with a block
+/// index or a round number in fan-out code. `VantageId(0)` is the first
+/// roster entry; the legacy single-vantage pipeline has no roster and
+/// therefore no ids at all.
+///
+/// ```
+/// use fbs_types::VantageId;
+/// assert_eq!(VantageId(2).to_string(), "vp2");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct VantageId(pub u16);
+
+impl VantageId {
+    /// Returns the raw roster index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VantageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vp{}", self.0)
+    }
+}
+
+impl From<u16> for VantageId {
+    fn from(v: u16) -> Self {
+        VantageId(v)
+    }
+}
 
 /// An autonomous system number (32-bit, per RFC 6793).
 ///

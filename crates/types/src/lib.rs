@@ -32,7 +32,7 @@ pub use block::{BlockId, Prefix};
 pub use codec::{ByteReader, ByteWriter, Persist};
 pub use error::{FbsError, Result};
 pub use feed::{FeedKind, FeedStatus, QuarantinedRecord};
-pub use ids::Asn;
+pub use ids::{Asn, VantageId};
 pub use quality::RoundQuality;
 pub use region::{Oblast, RegionClass, ALL_OBLASTS, FRONTLINE_OBLASTS};
 pub use time::{

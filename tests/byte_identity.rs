@@ -11,7 +11,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use ukraine_fbs::core::checkpoint::{JOURNAL_FILE, SNAPSHOT_FILE};
 use ukraine_fbs::core::dataset::{availability_csv, availability_rows, outage_csv, outage_rows};
 use ukraine_fbs::core::CheckpointPolicy;
-use ukraine_fbs::netsim::{AsProfile, AsSpec, BlockSpec, Script, World, WorldConfig, WorldScale};
+use ukraine_fbs::netsim::{
+    AsProfile, AsSpec, BlockSpec, Script, VantageSpec, World, WorldConfig, WorldScale,
+};
 use ukraine_fbs::prelude::*;
 use ukraine_fbs::types::{Oblast, Prefix};
 
@@ -101,6 +103,93 @@ fn two_reports_render_identical_dataset_bytes() {
     let out_a = outage_csv(&outage_rows(&report_a));
     let out_b = outage_csv(&outage_rows(&report_b));
     assert_eq!(out_a.into_bytes(), out_b.into_bytes());
+}
+
+#[test]
+fn single_vantage_roster_matches_the_legacy_pipeline() {
+    // N=1 identity, end to end: a roster of one clean vantage with zero
+    // path latency must reproduce the empty-roster (legacy) pipeline's
+    // detection output and dataset bytes exactly — the quorum over one
+    // vote degenerates to the single-vantage rule. Only the new ledger
+    // sections may differ.
+    let legacy = campaign().run().expect("legacy run");
+    let mut cfg = CampaignConfig::without_baseline();
+    cfg.tracked.clear();
+    cfg.rtt_tracked.clear();
+    cfg.vantages = vec![VantageSpec::new("solo")];
+    let rostered = Campaign::new(world(23), cfg)
+        .expect("valid config")
+        .run()
+        .expect("rostered run");
+
+    assert_eq!(
+        format!("{:?}", rostered.as_events),
+        format!("{:?}", legacy.as_events)
+    );
+    assert_eq!(
+        format!("{:?}", rostered.region_events),
+        format!("{:?}", legacy.region_events)
+    );
+    assert_eq!(rostered.round_quality, legacy.round_quality);
+    assert_eq!(
+        availability_csv(&availability_rows(&rostered)).into_bytes(),
+        availability_csv(&availability_rows(&legacy)).into_bytes()
+    );
+    assert_eq!(
+        outage_csv(&outage_rows(&rostered)).into_bytes(),
+        outage_csv(&outage_rows(&legacy)).into_bytes()
+    );
+
+    // The ledger is the only addition.
+    assert!(legacy.vantages.is_empty());
+    assert_eq!(rostered.vantages.len(), 1);
+    assert_eq!(rostered.vantages[0].name, "solo");
+    assert_eq!(rostered.vantages[0].usable_rounds(), ROUNDS as usize);
+    assert_eq!(rostered.vantages[0].dissent_block_rounds, 0);
+
+    // The disagreement CSV is emitted only for rostered reports, and its
+    // bytes are stable across exports.
+    let (dir_a, dir_b) = (fresh_dir("va"), fresh_dir("vb"));
+    let exported = ukraine_fbs::core::dataset::export_all(&rostered, &dir_a).is_ok()
+        && ukraine_fbs::core::dataset::export_all(&rostered, &dir_b).is_ok();
+    if exported {
+        let file = "vantage_disagreement.csv";
+        let a = std::fs::read(dir_a.join(file)).expect(file);
+        let b = std::fs::read(dir_b.join(file)).expect(file);
+        assert_eq!(a, b, "{file} differs between two exports");
+    }
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn checkpoint_schema_version_tracks_the_roster() {
+    // Empty roster → the legacy version-2 snapshot layout, bit-for-bit
+    // compatible with pre-vantage checkpoints; any roster → version 3.
+    let dir = fresh_dir("ver");
+    campaign()
+        .run_checkpointed(&dir, policy())
+        .expect("legacy run");
+    let (version, _) = ukraine_fbs::journal::read_snapshot(dir.join(SNAPSHOT_FILE))
+        .expect("readable snapshot")
+        .expect("snapshot written");
+    assert_eq!(version, 2, "legacy campaigns must stay on version 2");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut cfg = CampaignConfig::without_baseline();
+    cfg.tracked.clear();
+    cfg.rtt_tracked.clear();
+    cfg.vantages = vec![VantageSpec::new("solo")];
+    let dir = fresh_dir("ver3");
+    Campaign::new(world(23), cfg)
+        .expect("valid config")
+        .run_checkpointed(&dir, policy())
+        .expect("rostered run");
+    let (version, _) = ukraine_fbs::journal::read_snapshot(dir.join(SNAPSHOT_FILE))
+        .expect("readable snapshot")
+        .expect("snapshot written");
+    assert_eq!(version, 3, "rostered campaigns checkpoint as version 3");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -7,11 +7,11 @@
 //! inside the same fault window is **still detected**. Degraded rounds damp
 //! detection; they must not blind it.
 
-use ukraine_fbs::core::CheckpointPolicy;
+use ukraine_fbs::core::{CheckpointPolicy, DisagreementSummary};
 use ukraine_fbs::netsim::{
     AsProfile, AsSpec, BlockSpec, EventKind, EventTarget, FaultIntensity, FaultPlan, FaultWindow,
     FaultyTransport, FeedFaultIntensity, FeedFaultPlan, FeedFaultWindow, Script, ScriptedEvent,
-    World, WorldConfig, WorldScale, WorldTransport,
+    VantageSpec, World, WorldConfig, WorldScale, WorldTransport,
 };
 use ukraine_fbs::prelude::*;
 use ukraine_fbs::prober::{ScanConfig, Scanner, TargetSet};
@@ -531,4 +531,260 @@ fn run_cfg(world: World, cfg: CampaignConfig) -> CampaignReport {
         .expect("valid config")
         .run()
         .expect("campaign run")
+}
+
+// ---------------------------------------------------------------------------
+// Vantage rows: quorum fusion must route around a vantage that goes
+// completely dark mid-campaign, surface genuine per-path disagreement in
+// the ledgers, and never let either fabricate an outage.
+// ---------------------------------------------------------------------------
+
+/// Rounds during which one vantage's path drops every reply.
+const VANTAGE_DARK: std::ops::Range<u32> = 200..440;
+
+/// 100% reply loss over [`VANTAGE_DARK`]: the vantage is `Unusable` for
+/// the whole window and must be masked out of the quorum.
+fn vantage_blackout_plan() -> FaultPlan {
+    FaultPlan {
+        baseline: FaultIntensity::default(),
+        windows: vec![FaultWindow::over_rounds(
+            "vantage-dark",
+            VANTAGE_DARK,
+            FaultIntensity {
+                reply_loss: 1.0,
+                ..FaultIntensity::default()
+            },
+        )],
+    }
+}
+
+/// Two clean vantages plus one that blacks out mid-campaign.
+fn roster_with_dark_vantage() -> Vec<VantageSpec> {
+    vec![
+        VantageSpec::new("kyiv"),
+        VantageSpec::new("warsaw"),
+        VantageSpec {
+            fault_plan: Some(vantage_blackout_plan()),
+            ..VantageSpec::new("frankfurt")
+        },
+    ]
+}
+
+fn vantage_config(vantages: Vec<VantageSpec>) -> CampaignConfig {
+    let mut cfg = campaign_config(None);
+    cfg.vantages = vantages;
+    cfg
+}
+
+/// The quiet world plus one sparsely-populated block: a handful of true
+/// responders that a lossy path can thin to zero while clean paths still
+/// see them — the reachable-from-some-but-not-all signature.
+fn world_with_thin_block(seed: u64) -> World {
+    let asn = Asn(100);
+    let mut blocks: Vec<BlockSpec> = (0..8u8)
+        .map(|c| BlockSpec {
+            block: BlockId::from_octets(10, 0, c),
+            owner: asn,
+            home: Oblast::Kherson,
+            base_responders: 120,
+            geo_population: 220,
+            response_prob: 0.9,
+            diurnal: false,
+            power_backup: 1.0,
+            annual_decay: 1.0,
+        })
+        .collect();
+    blocks.push(BlockSpec {
+        block: BlockId::from_octets(10, 0, 8),
+        owner: asn,
+        home: Oblast::Kherson,
+        base_responders: 2,
+        geo_population: 4,
+        response_prob: 0.6,
+        diurnal: false,
+        power_backup: 1.0,
+        annual_decay: 1.0,
+    });
+    let config = WorldConfig {
+        seed,
+        scale: WorldScale::Tiny,
+        rounds: ROUNDS,
+        ases: vec![AsSpec {
+            asn,
+            name: "chaos-test".into(),
+            profile: AsProfile::Regional,
+            hq: Some(Oblast::Kherson),
+            prefixes: blocks.iter().map(|b| Prefix::from_block(b.block)).collect(),
+            base_rtt_ns: 40_000_000,
+            upstream: Asn(1),
+        }],
+        blocks,
+    };
+    World::new(config, Script::new(), vec![]).expect("valid config")
+}
+
+#[test]
+fn dark_vantage_causes_no_false_outages_and_is_ledgered() {
+    let go = || {
+        run_cfg(
+            world(11, vec![]),
+            vantage_config(roster_with_dark_vantage()),
+        )
+    };
+    let report = go();
+
+    // The quorum routes around the dead path: no fabricated events.
+    assert_eq!(
+        report.total_as_outages(),
+        0,
+        "a dark vantage fabricated outages: {:?}",
+        report.as_events
+    );
+    assert!(
+        report.region_events_of(Oblast::Kherson).is_empty(),
+        "the populated region must not false-fire"
+    );
+
+    // Graceful degradation: the headline round quality rides the two
+    // surviving clean vantages, so the campaign never even degrades.
+    assert_eq!(report.degraded_rounds(), 0);
+    assert_eq!(report.unusable_rounds(), 0);
+
+    // The ledger records the blackout exactly: Unusable precisely over the
+    // dark window, zero responders collected while masked.
+    let dark = report.vantage_ledger("frankfurt").expect("ledgered");
+    assert_eq!(
+        dark.unusable_rounds(),
+        (VANTAGE_DARK.end - VANTAGE_DARK.start) as usize
+    );
+    for (r, q) in dark.quality.iter().enumerate() {
+        let expect = if VANTAGE_DARK.contains(&(r as u32)) {
+            RoundQuality::Unusable
+        } else {
+            RoundQuality::Ok
+        };
+        assert_eq!(*q, expect, "round {r}");
+    }
+    for (r, total) in dark.responsive_total.iter().enumerate() {
+        assert_eq!(
+            *total == 0,
+            VANTAGE_DARK.contains(&(r as u32)),
+            "round {r}: masked rounds collect nothing, live rounds something"
+        );
+    }
+    assert!(
+        dark.missing_rounds.is_empty(),
+        "the campaign scanner itself never went offline"
+    );
+
+    // The surviving vantages sail through, and — the dark vantage being
+    // masked rather than outvoted — nobody ever dissents.
+    for name in ["kyiv", "warsaw"] {
+        let ledger = report.vantage_ledger(name).expect("ledgered");
+        assert_eq!(ledger.usable_rounds(), ROUNDS as usize, "{name}");
+        assert_eq!(ledger.dissent_block_rounds, 0, "{name}");
+    }
+    assert_eq!(report.disagreement, DisagreementSummary::default());
+
+    // Byte-identical determinism across two full runs.
+    let again = go();
+    assert_eq!(format!("{report:?}"), format!("{again:?}"));
+}
+
+#[test]
+fn scripted_outage_survives_a_dark_vantage() {
+    // A real 3-day BGP outage entirely inside the vantage blackout: the
+    // two surviving vantages must still catch it.
+    let outage_rounds = 360u32..396;
+    let report = run_cfg(
+        world(11, vec![scripted_outage(outage_rounds.clone())]),
+        vantage_config(roster_with_dark_vantage()),
+    );
+    let events = report
+        .as_events
+        .get(&Asn(100))
+        .expect("the outage must still be detected with one vantage dark");
+    assert!(!events.is_empty());
+    assert!(
+        events
+            .iter()
+            .any(|e| e.start.0 < outage_rounds.end + 12 && e.end.0 + 12 > outage_rounds.start),
+        "no detected event overlaps the scripted outage: {events:?}"
+    );
+    for e in events {
+        assert!(
+            e.end.0 >= outage_rounds.start.saturating_sub(12)
+                && e.start.0 <= outage_rounds.end + 12,
+            "event far from the scripted outage: {e:?}"
+        );
+    }
+}
+
+#[test]
+fn two_of_three_quorum_surfaces_path_disagreement() {
+    // One vantage behind steady 20% loss: on the thin block its path
+    // sometimes delivers nothing while both clean paths still hear the
+    // responders — a 2-of-3 reachable quorum with one dissenting vote.
+    let roster = vec![
+        VantageSpec::new("kyiv"),
+        VantageSpec::new("warsaw"),
+        VantageSpec {
+            fault_plan: Some(FaultPlan::constant(FaultIntensity {
+                reply_loss: 0.20,
+                ..FaultIntensity::default()
+            })),
+            ..VantageSpec::new("lossy-path")
+        },
+    ];
+    let go = || run_cfg(world_with_thin_block(11), vantage_config(roster.clone()));
+    let report = go();
+
+    // The quorum resolves every dispute toward the clean majority.
+    assert_eq!(
+        report.total_as_outages(),
+        0,
+        "path disagreement fabricated outages: {:?}",
+        report.as_events
+    );
+
+    // The disagreement is real and it is counted: block-rounds reachable
+    // from some vantages but not all, over a routed block.
+    let d = report.disagreement;
+    assert!(
+        d.some_not_all_block_rounds > 0,
+        "20% loss over 2 true responders must dissent sometimes: {d:?}"
+    );
+    assert!(d.rounds_with_disagreement > 0);
+    assert!(u64::from(d.rounds_with_disagreement) <= d.some_not_all_block_rounds);
+    // With two clean vantages in the majority the minority dark vote is
+    // outvoted — reachability is never suppressed the other way round.
+    assert_eq!(d.quorum_suppressed_block_rounds, 0);
+
+    // Every dissent is the lossy path's: the per-vantage ledgers name the
+    // culprit exactly.
+    let lossy = report.vantage_ledger("lossy-path").expect("ledgered");
+    assert_eq!(
+        lossy.dissent_block_rounds, d.some_not_all_block_rounds,
+        "each disputed block-round has exactly one dissenter"
+    );
+    assert_eq!(
+        report.vantage_ledger("kyiv").unwrap().dissent_block_rounds,
+        0
+    );
+    assert_eq!(
+        report
+            .vantage_ledger("warsaw")
+            .unwrap()
+            .dissent_block_rounds,
+        0
+    );
+
+    // Best-of quality: two clean vantages keep the headline at Ok even
+    // though the lossy path is degraded every round.
+    assert_eq!(report.degraded_rounds(), 0);
+    assert_eq!(lossy.degraded_rounds(), ROUNDS as usize);
+
+    // Byte-identical determinism across two full runs.
+    let again = go();
+    assert_eq!(format!("{report:?}"), format!("{again:?}"));
 }

@@ -11,10 +11,10 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use ukraine_fbs::core::checkpoint::{JOURNAL_FILE, SNAPSHOT_FILE};
-use ukraine_fbs::core::CheckpointPolicy;
+use ukraine_fbs::core::{CheckpointPolicy, DisagreementSummary};
 use ukraine_fbs::netsim::{
     AsProfile, AsSpec, BlockSpec, EventKind, EventTarget, FaultIntensity, FaultPlan, FaultWindow,
-    Script, ScriptedEvent, World, WorldConfig, WorldScale,
+    Script, ScriptedEvent, VantageSpec, World, WorldConfig, WorldScale,
 };
 use ukraine_fbs::prelude::*;
 use ukraine_fbs::types::{Oblast, Prefix};
@@ -91,6 +91,48 @@ fn chaos_campaign() -> Campaign {
     cfg.tracked.clear();
     cfg.rtt_tracked.clear();
     cfg.fault_plan = Some(chaos_plan());
+    Campaign::new(world(11, vec![outage]), cfg).expect("valid config")
+}
+
+/// The chaos campaign scanned from three vantage points: one clean, one
+/// behind the chaos-matrix fault mix with extra path latency, one blacked
+/// out entirely mid-campaign. Exercises the version-3 checkpoint layout,
+/// per-vantage fault-RNG recomputation on replay, and the quorum-fusion
+/// recompute in `apply_round`.
+fn multi_vantage_campaign() -> Campaign {
+    let outage = ScriptedEvent {
+        name: "scripted-outage".into(),
+        target: EventTarget::As(Asn(100)),
+        kind: EventKind::BgpOutage,
+        start: Round(360).start(),
+        end: Some(Round(396).start()),
+    };
+    let blackout = FaultPlan {
+        baseline: FaultIntensity::default(),
+        windows: vec![FaultWindow::over_rounds(
+            "vantage-dark",
+            200..440,
+            FaultIntensity {
+                reply_loss: 1.0,
+                ..FaultIntensity::default()
+            },
+        )],
+    };
+    let mut cfg = CampaignConfig::without_baseline();
+    cfg.tracked.clear();
+    cfg.rtt_tracked.clear();
+    cfg.vantages = vec![
+        VantageSpec::new("kyiv"),
+        VantageSpec {
+            path_rtt_ns: 12_000_000,
+            fault_plan: Some(chaos_plan()),
+            ..VantageSpec::new("warsaw")
+        },
+        VantageSpec {
+            fault_plan: Some(blackout),
+            ..VantageSpec::new("frankfurt")
+        },
+    ];
     Campaign::new(world(11, vec![outage]), cfg).expect("valid config")
 }
 
@@ -243,6 +285,108 @@ fn corrupt_snapshot_is_quarantined_and_journal_replays_from_zero() {
     assert!(!diag.snapshot_loaded);
     assert!(diag.journal.was_clean());
     assert_eq!(diag.replayed_rounds, 300, "journal replayed from round 0");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn multi_vantage_resume_is_byte_identical() {
+    let campaign = multi_vantage_campaign();
+    let baseline = campaign.run().expect("uninterrupted run");
+    assert_eq!(baseline.vantages.len(), 3, "the roster must be ledgered");
+    let baseline = format!("{baseline:?}");
+
+    // Kill points chosen as in `resume_determinism`: journal-only resume,
+    // snapshot + replay (inside the frankfurt blackout, so masked vantage
+    // records replay too), and one round short of the end.
+    for kill_at in [47u32, 250, 599] {
+        let dir = fresh_dir("vantage");
+        run_and_kill(&campaign, &dir, kill_at);
+
+        let (resumed, diag) = campaign
+            .resume_with(&dir, policy())
+            .expect("resume after kill");
+        assert_eq!(
+            format!("{resumed:?}"),
+            baseline,
+            "multi-vantage resumed report diverges after kill at round {kill_at}"
+        );
+        assert!(diag.journal.was_clean(), "kill at {kill_at}: {diag:?}");
+        assert_eq!(diag.journal.records, kill_at as u64);
+        assert_eq!(diag.healed_rounds, 0);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn multi_vantage_checkpoints_are_version_3_and_byte_stable() {
+    // Two independent checkpointed runs of the 3-vantage campaign write
+    // byte-identical snapshot + journal files, and the snapshot header
+    // carries the multi-vantage schema version.
+    let campaign = multi_vantage_campaign();
+    let (dir_a, dir_b) = (fresh_dir("v3a"), fresh_dir("v3b"));
+    let report_a = campaign.run_checkpointed(&dir_a, policy()).expect("run a");
+    let report_b = campaign.run_checkpointed(&dir_b, policy()).expect("run b");
+    assert_eq!(format!("{report_a:?}"), format!("{report_b:?}"));
+
+    for file in [SNAPSHOT_FILE, JOURNAL_FILE] {
+        let a = std::fs::read(dir_a.join(file)).expect(file);
+        let b = std::fs::read(dir_b.join(file)).expect(file);
+        assert_eq!(a, b, "{file} differs between two identical runs");
+    }
+    let (version, _) = ukraine_fbs::journal::read_snapshot(dir_a.join(SNAPSHOT_FILE))
+        .expect("readable snapshot")
+        .expect("snapshot written");
+    assert_eq!(version, 3, "a rostered campaign checkpoints as version 3");
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn multi_vantage_corrupt_journal_tail_is_truncated_and_rescanned() {
+    // The crash-recovery ladder holds for version-3 records too: a damaged
+    // tail record is dropped and the round re-measured per vantage.
+    let campaign = multi_vantage_campaign();
+    let baseline = format!("{:?}", campaign.run().expect("uninterrupted run"));
+
+    let dir = fresh_dir("vtail");
+    run_and_kill(&campaign, &dir, 300);
+    flip_bit_near_end(&dir.join(JOURNAL_FILE), 3);
+
+    let (resumed, diag) = campaign
+        .resume_with(&dir, policy())
+        .expect("resume over corrupt tail");
+    assert_eq!(
+        format!("{resumed:?}"),
+        baseline,
+        "corrupt v3 journal tail changed the report"
+    );
+    assert!(!diag.journal.was_clean(), "{diag:?}");
+    assert_eq!(diag.journal.records, 299, "exactly the damaged record lost");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn legacy_v2_checkpoint_resumes_without_a_roster() {
+    // An empty-roster campaign still writes and resumes the legacy
+    // version-2 layout: old checkpoint directories keep working, and the
+    // resumed report carries no vantage ledgers and no disagreement.
+    let campaign = chaos_campaign();
+    let baseline = format!("{:?}", campaign.run().expect("uninterrupted run"));
+
+    let dir = fresh_dir("v2");
+    run_and_kill(&campaign, &dir, 250);
+    let (version, _) = ukraine_fbs::journal::read_snapshot(dir.join(SNAPSHOT_FILE))
+        .expect("readable snapshot")
+        .expect("snapshot written");
+    assert_eq!(version, 2, "no roster, legacy schema version");
+
+    let (resumed, diag) = campaign.resume_with(&dir, policy()).expect("v2 resume");
+    assert_eq!(format!("{resumed:?}"), baseline);
+    assert!(diag.journal.was_clean());
+    assert!(resumed.vantages.is_empty(), "no roster, no ledgers");
+    assert_eq!(resumed.disagreement, DisagreementSummary::default());
     let _ = std::fs::remove_dir_all(&dir);
 }
 
