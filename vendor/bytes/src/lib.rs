@@ -1,0 +1,116 @@
+//! Offline stand-in for `bytes`.
+//!
+//! Implements exactly the [`Buf`]/[`BufMut`] surface `fbs-prober`'s packet
+//! codec uses — big-endian integer reads from `&[u8]` and writes into
+//! `Vec<u8>` — with the same wire semantics as the real crate.
+
+/// Read access to a contiguous byte cursor.
+pub trait Buf {
+    /// Bytes remaining.
+    fn remaining(&self) -> usize;
+    /// The unread byte slice.
+    fn chunk(&self) -> &[u8];
+    /// Advances the cursor.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let c = self.chunk();
+        let v = u16::from_be_bytes([c[0], c[1]]);
+        self.advance(2);
+        v
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let c = self.chunk();
+        let v = u64::from_be_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+        self.advance(8);
+        v
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_big_endian() {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.put_u8(0x45);
+        buf.put_u16(0xbeef);
+        buf.put_u32(0xdead_beef);
+        buf.put_u64(0x0123_4567_89ab_cdef);
+        buf.put_slice(&[1, 2, 3]);
+        assert_eq!(buf.len(), 1 + 2 + 4 + 8 + 3);
+
+        let mut cursor: &[u8] = &buf;
+        assert_eq!(cursor.get_u8(), 0x45);
+        assert_eq!(cursor.get_u16(), 0xbeef);
+        assert_eq!(cursor.get_u32(), 0xdead_beef);
+        assert_eq!(cursor.get_u64(), 0x0123_4567_89ab_cdef);
+        assert_eq!(cursor.remaining(), 3);
+        assert_eq!(cursor.chunk(), &[1, 2, 3]);
+    }
+}

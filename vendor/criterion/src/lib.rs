@@ -1,0 +1,165 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace benches use — groups,
+//! throughput, `bench_function`/`bench_with_input`, `iter`, `black_box`,
+//! the `criterion_group!`/`criterion_main!` macros — with a fixed, tiny
+//! iteration count and wall-clock reporting. Good enough to compile the
+//! benches and smoke-run them; real statistics require the real crate.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Declared per-element/byte throughput (recorded, not analyzed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier built from a name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Accepts the name shapes `bench_function` takes.
+pub trait IntoBenchmarkName {
+    /// The display name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkName for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkName for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkName for BenchmarkId {
+    fn into_name(self) -> String {
+        self.0
+    }
+}
+
+/// The per-benchmark timing handle.
+pub struct Bencher {
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `f` over a small fixed number of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        let per_iter = start.elapsed().as_nanos() / self.iters.max(1) as u128;
+        println!("    ~{per_iter} ns/iter ({} iters)", self.iters);
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares throughput for subsequent benches (no-op).
+    pub fn throughput(&mut self, _t: Throughput) {}
+
+    /// Overrides sample count (no-op: the stub always smoke-runs).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<N: IntoBenchmarkName, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        println!("bench {}/{}", self.name, id.into_name());
+        f(&mut Bencher { iters: 3 });
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<N: IntoBenchmarkName, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: N,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        println!("bench {}/{}", self.name, id.into_name());
+        f(&mut Bencher { iters: 3 }, input);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<N: IntoBenchmarkName, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        println!("bench {}", id.into_name());
+        f(&mut Bencher { iters: 3 });
+        self
+    }
+}
+
+/// Declares a group of bench entry points.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

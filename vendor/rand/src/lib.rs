@@ -1,0 +1,5 @@
+//! Offline placeholder for `rand`.
+//!
+//! The workspace manifests declare this dependency but no workspace code
+//! currently uses it; this empty crate satisfies dependency resolution in
+//! the network-isolated build environment (see vendor/README.md).

@@ -1,0 +1,497 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate (plus the
+//! vendored `serde_derive` and `serde_json`) provides a small, fully
+//! functional replacement: types serialize into an in-memory JSON
+//! [`Value`] and deserialize back from it. The trait shapes differ from
+//! real serde's visitor architecture — only the vendored `serde_json`
+//! consumes them — but derive attribute semantics (`default`, `skip`,
+//! `transparent`, externally-tagged enums) match real serde, so swapping
+//! the real crates back in is a manifest change, not a source change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Value model
+// ---------------------------------------------------------------------------
+
+/// A JSON number, kept wide enough to round-trip `u64`/`i64` exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U(v) => v as f64,
+            Number::I(v) => v as f64,
+            Number::F(v) => v,
+        }
+    }
+}
+
+/// An in-memory JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Num(Number),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Builds the externally-tagged enum representation `{"Tag": inner}`.
+pub fn tagged(tag: &str, inner: Value) -> Value {
+    Value::Obj(vec![(tag.to_string(), inner)])
+}
+
+// ---------------------------------------------------------------------------
+// Traits
+// ---------------------------------------------------------------------------
+
+/// Conversion into the JSON [`Value`] model.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion back from the JSON [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Deserializes from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// A deserialization error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+
+    /// The error raised for an unrecognized enum tag.
+    pub fn unknown_variant(tag: &str, ty: &str) -> Self {
+        DeError(format!("unknown variant {tag:?} for {ty}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+// ---------------------------------------------------------------------------
+// Derive support helpers
+// ---------------------------------------------------------------------------
+
+/// Required named field: missing keys are an error (matching serde).
+pub fn de_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v.get(name) {
+        Some(inner) => T::from_value(inner).map_err(|e| DeError(format!("field {name:?}: {e}"))),
+        None => Err(DeError(format!("missing field {name:?}"))),
+    }
+}
+
+/// `#[serde(default)]` named field: absent keys fall back to `fallback()`.
+pub fn de_field_or<T: Deserialize>(
+    v: &Value,
+    name: &str,
+    fallback: impl FnOnce() -> T,
+) -> Result<T, DeError> {
+    match v.get(name) {
+        Some(inner) => T::from_value(inner).map_err(|e| DeError(format!("field {name:?}: {e}"))),
+        None => Ok(fallback()),
+    }
+}
+
+/// Positional element of a tuple (array) representation.
+pub fn de_index<T: Deserialize>(v: &Value, idx: usize) -> Result<T, DeError> {
+    match v {
+        Value::Arr(items) => match items.get(idx) {
+            Some(inner) => T::from_value(inner),
+            None => Err(DeError(format!("missing tuple element {idx}"))),
+        },
+        other => Err(DeError(format!("expected array, got {other:?}"))),
+    }
+}
+
+/// Splits an externally-tagged enum value `{"Tag": inner}` into its parts.
+pub fn de_variant(v: &Value) -> Result<(&str, &Value), DeError> {
+    match v {
+        Value::Obj(entries) if entries.len() == 1 => Ok((entries[0].0.as_str(), &entries[0].1)),
+        other => Err(DeError(format!(
+            "expected single-key variant object, got {other:?}"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Num(Number::U(*self as u64)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(Number::U(n)) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::Num(Number::I(n)) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t)))),
+                    other => Err(DeError(format!("expected integer, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v < 0 { Value::Num(Number::I(v)) } else { Value::Num(Number::U(v as u64)) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(Number::U(n)) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::Num(Number::I(n)) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t)))),
+                    other => Err(DeError(format!("expected integer, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(Number::F(*self))
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Num(n) => Ok(n.as_f64()),
+            other => Err(DeError(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Num(Number::F(*self as f64))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap_or('\0')),
+            other => Err(DeError(format!(
+                "expected single-char string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) if items.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(items.iter()) {
+                    *slot = T::from_value(item)?;
+                }
+                Ok(out)
+            }
+            other => Err(DeError(format!(
+                "expected {N}-element array, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                Ok(($(de_index::<$t>(v, $n)?,)+))
+            }
+        }
+    )*};
+}
+ser_de_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Map keys must render as JSON object keys; mirrors serde_json's rule
+/// that keys serialize as strings or integers. The blanket impl covers
+/// strings, integers, and newtype wrappers around them.
+pub trait MapKey: Sized {
+    /// The key as a JSON object key.
+    fn to_key(&self) -> String;
+    /// Parses the key back.
+    fn from_key(s: &str) -> Result<Self, DeError>;
+}
+
+impl<K: Serialize + Deserialize> MapKey for K {
+    fn to_key(&self) -> String {
+        match self.to_value() {
+            Value::Str(s) => s,
+            Value::Num(Number::U(n)) => n.to_string(),
+            Value::Num(Number::I(n)) => n.to_string(),
+            other => panic!("unsupported map key type (serializes to {other:?})"),
+        }
+    }
+
+    fn from_key(s: &str) -> Result<Self, DeError> {
+        if let Ok(k) = K::from_value(&Value::Str(s.to_string())) {
+            return Ok(k);
+        }
+        let num = if let Ok(u) = s.parse::<u64>() {
+            Value::Num(Number::U(u))
+        } else if let Ok(i) = s.parse::<i64>() {
+            Value::Num(Number::I(i))
+        } else {
+            return Err(DeError(format!("bad map key {s:?}")));
+        };
+        K::from_value(&num)
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Obj(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<K: MapKey + std::hash::Hash + Eq, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output, like serde_json's BTreeMap-backed
+        // default.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(entries)
+    }
+}
+impl<K: MapKey + std::hash::Hash + Eq, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Obj(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for std::net::Ipv4Addr {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for std::net::Ipv4Addr {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => s
+                .parse()
+                .map_err(|_| DeError(format!("bad IPv4 address {s:?}"))),
+            other => Err(DeError(format!("expected IPv4 string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}

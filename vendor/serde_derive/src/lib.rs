@@ -1,0 +1,534 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io dependency graph is unreachable in the build
+//! environment, so this proc-macro implements `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` against the vendored `serde` stub's simple
+//! JSON value model (`serde::Value`). It hand-parses the item token
+//! stream (no `syn`/`quote`) and supports exactly the shapes this
+//! workspace uses:
+//!
+//! * named-field structs (any visibility, `#[serde(default)]`,
+//!   `#[serde(default = "path")]`, `#[serde(skip)]` on fields);
+//! * tuple structs (newtypes serialize as their inner value, wider
+//!   tuples as arrays) and `#[serde(transparent)]`;
+//! * unit structs;
+//! * enums with unit, newtype, tuple, and struct variants (externally
+//!   tagged, like real serde's default representation), including unit
+//!   variants with explicit discriminants;
+//! * lifetime-generic types (for `Serialize` only).
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed model
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    /// `Some(None)` = `#[serde(default)]`, `Some(Some(p))` = `default = "p"`.
+    default: Option<Option<String>>,
+    skip: bool,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Kind {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    generics: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Extracts `(word, optional "string" value)` pairs from a `serde(...)`
+/// attribute body, e.g. `default = "f"` or `transparent`.
+fn attr_words(stream: TokenStream) -> Vec<(String, Option<String>)> {
+    let mut out = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    while let Some(t) = toks.next() {
+        if let TokenTree::Ident(i) = &t {
+            let word = i.to_string();
+            let mut value = None;
+            if matches!(toks.peek(), Some(p) if is_punct(p, '=')) {
+                toks.next();
+                if let Some(TokenTree::Literal(l)) = toks.next() {
+                    value = Some(l.to_string().trim_matches('"').to_string());
+                }
+            }
+            out.push((word, value));
+        }
+    }
+    out
+}
+
+/// Consumes a leading run of `#[...]` attributes, returning the parsed
+/// serde field attributes (other attributes are ignored).
+fn take_attrs(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    loop {
+        match toks.peek() {
+            Some(t) if is_punct(t, '#') => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.next() {
+                    apply_serde_attr(&g, &mut attrs);
+                }
+            }
+            _ => return attrs,
+        }
+    }
+}
+
+fn apply_serde_attr(bracket: &Group, attrs: &mut FieldAttrs) {
+    let mut inner = bracket.stream().into_iter();
+    match inner.next() {
+        Some(t) if is_ident(&t, "serde") => {}
+        _ => return,
+    }
+    if let Some(TokenTree::Group(g)) = inner.next() {
+        for (word, value) in attr_words(g.stream()) {
+            match word.as_str() {
+                "default" => attrs.default = Some(value),
+                "skip" | "skip_serializing" | "skip_deserializing" => attrs.skip = true,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Skips tokens up to (and including) the next comma at angle-bracket
+/// depth zero. Groups are atomic, so only `<`/`>` need depth tracking.
+fn skip_past_comma(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut depth = 0i32;
+    for t in toks.by_ref() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(paren: &Group) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut last_comma = false;
+    for t in paren.stream() {
+        any = true;
+        last_comma = false;
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                last_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if !any {
+        0
+    } else if last_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+/// Parses `name: Type, ...` named-field bodies (structs and struct
+/// variants share the grammar).
+fn parse_named_fields(brace: &Group) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut toks = brace.stream().into_iter().peekable();
+    loop {
+        let attrs = take_attrs(&mut toks);
+        // Optional visibility: `pub` or `pub(...)`.
+        if matches!(toks.peek(), Some(t) if is_ident(t, "pub")) {
+            toks.next();
+            if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                toks.next();
+            }
+        }
+        let name = match toks.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            _ => break,
+        };
+        // `:` then the type, which we never need — construction relies on
+        // struct-literal type inference.
+        toks.next();
+        skip_past_comma(&mut toks);
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn parse_variants(brace: &Group) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = brace.stream().into_iter().peekable();
+    loop {
+        let _ = take_attrs(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            _ => break,
+        };
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g);
+                toks.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g);
+                toks.next();
+                VariantShape::Named(f)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional `= discriminant` and the separating comma.
+        skip_past_comma(&mut toks);
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut toks = input.into_iter().peekable();
+    let mut transparent = false;
+
+    // Type-level attributes.
+    loop {
+        match toks.peek() {
+            Some(t) if is_punct(t, '#') => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.next() {
+                    let mut inner = g.stream().into_iter();
+                    if matches!(inner.next(), Some(t) if is_ident(&t, "serde")) {
+                        if let Some(TokenTree::Group(args)) = inner.next() {
+                            for (word, _) in attr_words(args.stream()) {
+                                if word == "transparent" {
+                                    transparent = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    // Optional visibility.
+    if matches!(toks.peek(), Some(t) if is_ident(t, "pub")) {
+        toks.next();
+        if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            toks.next();
+        }
+    }
+
+    let is_enum = match toks.next() {
+        Some(t) if is_ident(&t, "struct") => false,
+        Some(t) if is_ident(&t, "enum") => true,
+        other => panic!("serde derive: expected struct or enum, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+
+    // Optional generics, captured verbatim (`<'a>`; only lifetimes occur
+    // in this workspace).
+    let mut generics = String::new();
+    if matches!(toks.peek(), Some(t) if is_punct(t, '<')) {
+        let mut depth = 0i32;
+        for t in toks.by_ref() {
+            match &t {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    generics.push('<');
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    generics.push('>');
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == '\'' => {
+                    // A lifetime: keep the quote glued to its identifier.
+                    generics.push('\'');
+                }
+                other => {
+                    generics.push_str(&other.to_string());
+                    generics.push(' ');
+                }
+            }
+        }
+        generics = generics.replace("> >", ">>");
+    }
+
+    let kind = if is_enum {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(&g))
+            }
+            other => panic!("serde derive: expected enum body, got {other:?}"),
+        }
+    } else {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Named(parse_named_fields(&g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(&g))
+            }
+            Some(t) if is_punct(&t, ';') => Kind::Unit,
+            other => panic!("serde derive: expected struct body, got {other:?}"),
+        }
+    };
+
+    Input {
+        name,
+        generics,
+        transparent,
+        kind,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(trait_name: &str, input: &Input) -> String {
+    format!(
+        "impl{g} ::serde::{t} for {n}{g}",
+        g = input.generics,
+        t = trait_name,
+        n = input.name
+    )
+}
+
+fn to_value(expr: &str) -> String {
+    format!("::serde::Serialize::to_value({expr})")
+}
+
+fn named_obj(fields: &[Field], access: &str) -> String {
+    let mut body = String::from("{ let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new(); ");
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        body.push_str(&format!(
+            "__obj.push((::std::string::String::from(\"{name}\"), {val})); ",
+            name = f.name,
+            val = to_value(&format!("&{access}{}", f.name))
+        ));
+    }
+    body.push_str("::serde::Value::Obj(__obj) }");
+    body
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let body = match &input.kind {
+        Kind::Named(fields) => {
+            if input.transparent && fields.len() == 1 {
+                to_value(&format!("&self.{}", fields[0].name))
+            } else {
+                named_obj(fields, "self.")
+            }
+        }
+        Kind::Tuple(1) => to_value("&self.0"),
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n).map(|i| to_value(&format!("&self.{i}"))).collect();
+            format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
+        }
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let tag = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{n}::{tag} => ::serde::Value::Str(::std::string::String::from(\"{tag}\")), ",
+                        n = input.name
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{n}::{tag}(__f0) => ::serde::tagged(\"{tag}\", {val}), ",
+                        n = input.name,
+                        val = to_value("__f0")
+                    )),
+                    VariantShape::Tuple(k) => {
+                        let binds: Vec<String> = (0..*k).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> =
+                            binds.iter().map(|b| to_value(b)).collect();
+                        arms.push_str(&format!(
+                            "{n}::{tag}({b}) => ::serde::tagged(\"{tag}\", ::serde::Value::Arr(::std::vec![{i}])), ",
+                            n = input.name,
+                            b = binds.join(", "),
+                            i = items.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let obj = named_obj(fields, "");
+                        arms.push_str(&format!(
+                            "{n}::{tag} {{ {b} }} => ::serde::tagged(\"{tag}\", {obj}), ",
+                            n = input.name,
+                            b = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "{header} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        header = impl_header("Serialize", input)
+    )
+}
+
+fn de_named_fields(fields: &[Field], source: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let init = if f.attrs.skip {
+            "::std::default::Default::default()".to_string()
+        } else {
+            match &f.attrs.default {
+                None => format!("::serde::de_field({source}, \"{}\")?", f.name),
+                Some(None) => format!(
+                    "::serde::de_field_or({source}, \"{}\", ::std::default::Default::default)?",
+                    f.name
+                ),
+                Some(Some(path)) => {
+                    format!("::serde::de_field_or({source}, \"{}\", {path})?", f.name)
+                }
+            }
+        };
+        inits.push_str(&format!("{}: {init}, ", f.name));
+    }
+    inits
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let n = &input.name;
+    let body = match &input.kind {
+        Kind::Named(fields) => {
+            if input.transparent && fields.len() == 1 {
+                format!(
+                    "::std::result::Result::Ok({n} {{ {f}: ::serde::Deserialize::from_value(__v)? }})",
+                    f = fields[0].name
+                )
+            } else {
+                format!(
+                    "::std::result::Result::Ok({n} {{ {inits} }})",
+                    inits = de_named_fields(fields, "__v")
+                )
+            }
+        }
+        Kind::Tuple(1) => {
+            format!("::std::result::Result::Ok({n}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::Tuple(k) => {
+            let items: Vec<String> = (0..*k)
+                .map(|i| format!("::serde::de_index(__v, {i})?"))
+                .collect();
+            format!("::std::result::Result::Ok({n}({}))", items.join(", "))
+        }
+        Kind::Unit => format!("::std::result::Result::Ok({n})"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tag_arms = String::new();
+            for v in variants {
+                let tag = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{tag}\" => return ::std::result::Result::Ok({n}::{tag}), "
+                        ));
+                        tag_arms.push_str(&format!(
+                            "\"{tag}\" => ::std::result::Result::Ok({n}::{tag}), "
+                        ));
+                    }
+                    VariantShape::Tuple(1) => tag_arms.push_str(&format!(
+                        "\"{tag}\" => ::std::result::Result::Ok({n}::{tag}(::serde::Deserialize::from_value(__inner)?)), "
+                    )),
+                    VariantShape::Tuple(k) => {
+                        let items: Vec<String> = (0..*k)
+                            .map(|i| format!("::serde::de_index(__inner, {i})?"))
+                            .collect();
+                        tag_arms.push_str(&format!(
+                            "\"{tag}\" => ::std::result::Result::Ok({n}::{tag}({})), ",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => tag_arms.push_str(&format!(
+                        "\"{tag}\" => ::std::result::Result::Ok({n}::{tag} {{ {inits} }}), ",
+                        inits = de_named_fields(fields, "__inner")
+                    )),
+                }
+            }
+            format!(
+                "if let ::serde::Value::Str(__s) = __v {{ match __s.as_str() {{ {unit_arms} _ => {{}} }} }} \
+                 let (__tag, __inner) = ::serde::de_variant(__v)?; \
+                 match __tag {{ {tag_arms} __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(__other, \"{n}\")) }}"
+            )
+        }
+    };
+    format!(
+        "{header} {{ fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}",
+        header = impl_header("Deserialize", input)
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde derive: generated Deserialize impl parses")
+}
