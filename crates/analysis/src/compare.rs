@@ -108,6 +108,21 @@ pub fn signal_shares(events: &[OutageEvent]) -> [usize; 3] {
     out
 }
 
+/// Display labels of the four-way signal comparison, in
+/// [`signal_shares_four_way`] order: the three active signals plus the
+/// passive background-radiation signal.
+pub const FOUR_WAY_SIGNALS: [&str; 4] = ["BGP", "FBS", "IPS", "IBR"];
+
+/// Per-signal share of the *four-way* comparison: Fig. 17's active shares
+/// extended with the passive IBR detections as a fourth entry. The
+/// passive events live outside [`OutageEvent`]'s three-signal taxonomy
+/// (they come from the seasonal predictor, not the detectors), so their
+/// count rides in separately.
+pub fn signal_shares_four_way(events: &[OutageEvent], ibr_outages: usize) -> [usize; 4] {
+    let [bgp, fbs, ips] = signal_shares(events);
+    [bgp, fbs, ips, ibr_outages]
+}
+
 /// Days on which `a` detects an outage for an entity but `b` does not —
 /// the "undetected outages" count of §5.4. Both inputs are event sets for
 /// the *same* entity set; comparison is per (entity, day).
@@ -218,6 +233,11 @@ mod tests {
         ];
         assert_eq!(signal_shares(&events), [1, 1, 2]);
         assert_eq!(signal_shares(&[]), [0, 0, 0]);
+        // The four-way extension keeps the active shares and appends the
+        // passive count.
+        assert_eq!(signal_shares_four_way(&events, 7), [1, 1, 2, 7]);
+        assert_eq!(signal_shares_four_way(&[], 0), [0, 0, 0, 0]);
+        assert_eq!(FOUR_WAY_SIGNALS.len(), 4);
     }
 
     #[test]

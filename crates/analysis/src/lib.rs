@@ -24,8 +24,13 @@ pub mod emit;
 pub mod intervals;
 pub mod stats;
 
-pub use compare::{coverage_cdf, daily_start_correlation, signal_shares, CoveragePoint};
+pub use compare::{
+    coverage_cdf, daily_start_correlation, signal_shares, signal_shares_four_way, CoveragePoint,
+    FOUR_WAY_SIGNALS,
+};
 pub use daily::{DailyHours, MonthlyHours};
 pub use emit::{Series, TextTable};
 pub use intervals::ProbingSchedule;
-pub use stats::{cdf_points, mean, pearson, percentile, snr, stddev};
+pub use stats::{
+    cdf_points, mean, pearson, percentile, snr, snr_summary, stddev, SnrSummary, SNR_SATURATED,
+};

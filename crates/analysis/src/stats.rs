@@ -64,19 +64,50 @@ pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
     }
 }
 
+/// The saturation cap [`snr`] reports for a zero-deviation, nonzero-mean
+/// series: the SNR is genuinely unbounded there, and collapsing it to
+/// `None` used to make a *flawless* signal indistinguishable from *no*
+/// signal in comparisons. Any real-world series sits far below this.
+pub const SNR_SATURATED: f64 = 1e9;
+
 /// Signal-to-noise ratio as mean over standard deviation (paper Fig. 27
 /// compares Trinocular's SNR ≈ 7.6 with full-block scanning's ≈ 99.7).
 ///
-/// `None` for empty input or zero deviation (infinite SNR is reported as
-/// `None` rather than a fake number; callers decide how to render it).
+/// `None` for empty input or an all-zero series (no signal to rate). A
+/// perfectly steady nonzero series has no noise at all — its SNR is
+/// reported as the explicit [`SNR_SATURATED`] cap, so it ranks above
+/// every noisy series instead of vanishing from comparisons.
 pub fn snr(xs: &[f64]) -> Option<f64> {
     let m = mean(xs)?;
     let s = stddev(xs)?;
     // fbs-lint: allow(nan-unsafe-cmp) exact-zero sentinel for "no deviation"
     if s == 0.0 {
-        None
-    } else {
-        Some(m / s)
+        // fbs-lint: allow(nan-unsafe-cmp) exact-zero sentinel for "no signal"
+        return (m != 0.0).then_some(SNR_SATURATED);
+    }
+    Some(m / s)
+}
+
+/// Summary of a set of per-entity SNRs: the mean over the *noisy* series
+/// and the count of saturated ones. Averaging the [`SNR_SATURATED`] cap
+/// into a mean would let a handful of perfectly steady series dominate
+/// every comparison, so saturation is reported as a count instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnrSummary {
+    /// Mean SNR over the unsaturated series; `None` if every series is
+    /// saturated or the input is empty.
+    pub noisy_mean: Option<f64>,
+    /// Number of series at the saturation cap.
+    pub saturated: usize,
+}
+
+/// Splits per-entity SNRs into saturated count and noisy mean.
+pub fn snr_summary(snrs: &[f64]) -> SnrSummary {
+    let (sat, noisy): (Vec<&f64>, Vec<&f64>) = snrs.iter().partition(|&&s| s >= SNR_SATURATED);
+    SnrSummary {
+        noisy_mean: (!noisy.is_empty())
+            .then(|| noisy.iter().copied().sum::<f64>() / noisy.len() as f64),
+        saturated: sat.len(),
     }
 }
 
@@ -154,9 +185,28 @@ mod tests {
         // Noisy signal: low SNR.
         let noisy = [10.0, 100.0, 50.0, 200.0];
         assert!(snr(&noisy).unwrap() < 2.0);
-        // Constant: undefined.
-        assert_eq!(snr(&[5.0, 5.0]), None);
+        // Constant nonzero: saturated, not dropped — a flawless signal
+        // must rank above a noisy one, not vanish.
+        assert_eq!(snr(&[5.0, 5.0]), Some(SNR_SATURATED));
+        assert!(snr(&[5.0, 5.0]).unwrap() > snr(&tight).unwrap());
+        // All-zero: no signal at all, genuinely undefined.
+        assert_eq!(snr(&[0.0, 0.0]), None);
         assert_eq!(snr(&[]), None);
+    }
+
+    #[test]
+    fn snr_summary_separates_saturation_from_the_mean() {
+        let s = snr_summary(&[10.0, 20.0, SNR_SATURATED, SNR_SATURATED]);
+        assert_eq!(s.saturated, 2);
+        assert!((s.noisy_mean.unwrap() - 15.0).abs() < 1e-12);
+        // All saturated: no noisy mean to report.
+        let all = snr_summary(&[SNR_SATURATED]);
+        assert_eq!(all.saturated, 1);
+        assert_eq!(all.noisy_mean, None);
+        // Empty input.
+        let none = snr_summary(&[]);
+        assert_eq!(none.saturated, 0);
+        assert_eq!(none.noisy_mean, None);
     }
 
     #[test]

@@ -1,12 +1,41 @@
 //! Paper Fig. 17: per-signal share of total outages for the common AS set
-//! — IODA is TRIN-dominated, this work is IPS-dominated.
+//! — IODA is TRIN-dominated, this work is IPS-dominated. Extended to the
+//! four-way comparison: the passive IBR signal rides along with its own
+//! share and per-signal SNR.
 
 #![forbid(unsafe_code)]
 
-use fbs_analysis::compare::{one_sided_detection_days, signal_shares};
-use fbs_analysis::TextTable;
-use fbs_bench::{context, fmt_count};
-use fbs_signals::OutageEvent;
+use fbs_analysis::compare::{one_sided_detection_days, signal_shares, signal_shares_four_way};
+use fbs_analysis::{snr, snr_summary, SnrSummary, TextTable, FOUR_WAY_SIGNALS};
+use fbs_bench::{context, fmt_count, fmt_f};
+use fbs_signals::{EntityId, OutageEvent, SignalSeries};
+
+/// Per-AS SNR summary over tracked AS series selected by `pick`.
+fn tracked_snr(
+    report: &fbs_core::CampaignReport,
+    pick: impl Fn(&fbs_core::EntitySeries) -> &SignalSeries,
+) -> SnrSummary {
+    let snrs: Vec<f64> = report
+        .tracked
+        .iter()
+        .filter(|(e, _)| matches!(e, EntityId::As(_)))
+        .filter_map(|(_, s)| {
+            let vals: Vec<f64> = pick(s).values.iter().copied().flatten().collect();
+            snr(&vals)
+        })
+        .collect();
+    snr_summary(&snrs)
+}
+
+/// Renders the noisy-mean SNR cell; saturated series are counted in their
+/// own column, not averaged into the mean.
+fn fmt_snr(s: &SnrSummary) -> String {
+    match s.noisy_mean {
+        Some(v) => fmt_f(v, 1),
+        None if s.saturated > 0 => "saturated".to_string(),
+        None => "-".to_string(),
+    }
+}
 
 fn main() {
     let ctx = context();
@@ -28,24 +57,43 @@ fn main() {
         .flat_map(|a| ioda.as_events[a].iter().copied())
         .collect();
 
-    let our_shares = signal_shares(&ours);
+    let ibr_outages: usize = common
+        .iter()
+        .filter_map(|a| report.ibr_ledger(*a))
+        .map(|l| l.events.len())
+        .sum();
+    let our_shares = signal_shares_four_way(&ours, ibr_outages);
     let their_shares = signal_shares(&theirs);
 
+    // Per-signal SNR: the three active signals over the tracked AS series,
+    // the passive signal over its per-AS volume ledgers.
+    let ibr_snrs: Vec<f64> = report.ibr.iter().filter_map(|l| l.snr()).collect();
+    let snrs = [
+        tracked_snr(report, |s| &s.bgp),
+        tracked_snr(report, |s| &s.fbs),
+        tracked_snr(report, |s| &s.ips),
+        snr_summary(&ibr_snrs),
+    ];
+
     let mut t = TextTable::new(
-        "Fig. 17: signals and their share of total outages (common ASes)",
-        &["Signal", "This work", "IODA"],
+        "Fig. 17: four-way signal comparison over total outages (common ASes)",
+        &["Signal", "This work", "IODA", "Mean SNR", "Saturated"],
     );
-    t.row(&[
-        "BGP".into(),
-        fmt_count(our_shares[0] as u64),
-        fmt_count(their_shares[0] as u64),
-    ]);
-    t.row(&[
-        "FBS / TRIN".into(),
-        fmt_count(our_shares[1] as u64),
-        fmt_count(their_shares[1] as u64),
-    ]);
-    t.row(&["IPS".into(), fmt_count(our_shares[2] as u64), "-".into()]);
+    for (i, name) in FOUR_WAY_SIGNALS.iter().enumerate() {
+        let ioda_cell = match i {
+            0 => fmt_count(their_shares[0] as u64),
+            1 => fmt_count(their_shares[1] as u64),
+            _ => "-".into(),
+        };
+        let label = if i == 1 { "FBS / TRIN" } else { name };
+        t.row(&[
+            label.into(),
+            fmt_count(our_shares[i] as u64),
+            ioda_cell,
+            fmt_snr(&snrs[i]),
+            snrs[i].saturated.to_string(),
+        ]);
+    }
     println!("{}", t.render());
 
     let ours_only = one_sided_detection_days(&ours, &theirs);
@@ -58,6 +106,8 @@ fn main() {
     println!(
         "Paper shape: IODA detects mostly via TRIN (partial outages flagged as\n\
          block-wide); our FBS requires full-block silence so IPS carries the\n\
-         partial-outage detections (21,120 IPS vs 2,063 FBS outages in the paper)."
+         partial-outage detections (21,120 IPS vs 2,063 FBS outages in the paper).\n\
+         The passive IBR signal detects fewer, coarser events than IPS but needs\n\
+         no probes at all — it is the fallback that survives active-dark rounds."
     );
 }

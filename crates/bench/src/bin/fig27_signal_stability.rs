@@ -1,16 +1,21 @@
 //! Paper Fig. 27 (appendix G): signal stability over one quiet day —
-//! full-block scanning vs Trinocular (paper SNR: 99.7 vs 7.6).
+//! full-block scanning vs Trinocular (paper SNR: 99.7 vs 7.6), extended to
+//! the four-way comparison with the BGP routed-block signal and the
+//! passive IBR volume signal.
 
 #![forbid(unsafe_code)]
 
-use fbs_analysis::{snr, Series, TextTable};
+use fbs_analysis::{snr, snr_summary, Series, SnrSummary, TextTable};
 use fbs_bench::{emit_series, fmt_f, world};
+use fbs_netsim::{ibr, IbrConfig};
 use fbs_trinocular::{assess_block, BlockBelief, BlockState, TrinocularConfig};
 use fbs_types::{CivilDate, MonthId, Round};
 
 fn main() {
     let world = world();
     let cfg = TrinocularConfig::default();
+    let ibr_cfg = IbrConfig::default();
+    let ibr_rng = ibr::ibr_domain(world.rng());
     // The paper samples 2023-03-02; warm Trinocular beliefs up for two days.
     let day = CivilDate::new(2023, 3, 2);
     let warm = Round::containing(day.plus_days(-2).midnight()).expect("in campaign");
@@ -20,6 +25,8 @@ fn main() {
     let month_rounds = world.month_rounds(MonthId::new(2023, 3));
     let mut ours_snrs = Vec::new();
     let mut trin_snrs = Vec::new();
+    let mut bgp_snrs = Vec::new();
+    let mut ibr_snrs = Vec::new();
     for blocks in by_as.values() {
         let mut beliefs: Vec<BlockBelief> = vec![BlockBelief::new(); blocks.len()];
         // Eligibility and believed long-term availability for the month.
@@ -42,13 +49,21 @@ fn main() {
             .collect();
         let mut ours = Vec::new();
         let mut trin = Vec::new();
+        let mut bgp = Vec::new();
+        let mut radiation = Vec::new();
         for r in warm.0..start.0 + 12 {
             let round = Round(r);
             let mut ips = 0.0;
             let mut up = 0.0;
+            let mut routed = 0.0;
+            let mut volume = 0.0;
             for (k, &bi) in blocks.iter().enumerate() {
                 let truth = world.block_truth(round, bi);
                 ips += truth.responsive as f64;
+                if truth.routed {
+                    routed += 1.0;
+                }
+                volume += ibr::block_volume(&world, &ibr_cfg, &ibr_rng, round, bi) as f64;
                 if eligible[k] {
                     let stale = 0.2 + 0.8 * world.rng().uniform3(r as u64, bi as u64, 777);
                     let p_probe = world.trin_availability(round, bi) * stale;
@@ -70,6 +85,8 @@ fn main() {
             if r >= start.0 {
                 ours.push(ips);
                 trin.push(up);
+                bgp.push(routed);
+                radiation.push(volume);
             }
         }
         // Only ASes with signal throughout (paper: 1,073 ASes, no signal loss).
@@ -82,27 +99,50 @@ fn main() {
                     trin_snrs.push(s);
                 }
             }
+            if let Some(s) = snr(&bgp) {
+                bgp_snrs.push(s);
+            }
+            if let Some(s) = snr(&radiation) {
+                ibr_snrs.push(s);
+            }
         }
     }
-    let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    // A perfectly steady series saturates the SNR; averaging the cap into
+    // a mean would let those ASes drown out the noisy ones the figure is
+    // about, so they get their own column instead.
+    let fmt_snr = |s: &SnrSummary| match s.noisy_mean {
+        Some(v) => fmt_f(v, 1),
+        None if s.saturated > 0 => "saturated".to_string(),
+        None => "-".to_string(),
+    };
     let mut t = TextTable::new(
-        "Fig. 27: per-AS signal-to-noise over one day (2023-03-02)",
-        &["Signal", "ASes", "Mean SNR"],
+        "Fig. 27: per-AS signal-to-noise over one day (2023-03-02), four-way",
+        &["Signal", "ASes", "Mean SNR (noisy)", "Saturated"],
     );
-    t.row(&[
-        "Full block scans (IPS)".into(),
-        ours_snrs.len().to_string(),
-        fmt_f(mean(&ours_snrs), 1),
-    ]);
-    t.row(&[
-        "Trinocular (up blocks)".into(),
-        trin_snrs.len().to_string(),
-        fmt_f(mean(&trin_snrs), 1),
-    ]);
+    let rows: [(&str, &Vec<f64>); 4] = [
+        ("BGP (routed blocks)", &bgp_snrs),
+        ("Full block scans (IPS)", &ours_snrs),
+        ("Trinocular (up blocks)", &trin_snrs),
+        ("Passive IBR (volume)", &ibr_snrs),
+    ];
+    let mut summaries = Vec::new();
+    for (label, snrs) in rows {
+        let s = snr_summary(snrs);
+        t.row(&[
+            label.into(),
+            snrs.len().to_string(),
+            fmt_snr(&s),
+            s.saturated.to_string(),
+        ]);
+        summaries.push(s);
+    }
     println!("{}", t.render());
     println!(
         "Paper shape: FBS-derived signals are far more stable (SNR ~99.7) than\n\
-         Trinocular's (~7.6), whose few probes flap sparse blocks between states."
+         Trinocular's (~7.6), whose few probes flap sparse blocks between states.\n\
+         BGP barely moves on a quiet day (steady series count as saturated, in\n\
+         their own column); passive IBR sits between Trinocular and IPS —\n\
+         noisier than probing every address, but alive with zero probes."
     );
     emit_series(
         "fig27_signal_stability",
@@ -110,8 +150,13 @@ fn main() {
             "fig27_signal_stability",
             "snr",
             &[
-                ("ours".to_string(), mean(&ours_snrs)),
-                ("trinocular".to_string(), mean(&trin_snrs)),
+                ("bgp".to_string(), summaries[0].noisy_mean.unwrap_or(0.0)),
+                ("ours".to_string(), summaries[1].noisy_mean.unwrap_or(0.0)),
+                (
+                    "trinocular".to_string(),
+                    summaries[2].noisy_mean.unwrap_or(0.0),
+                ),
+                ("ibr".to_string(), summaries[3].noisy_mean.unwrap_or(0.0)),
             ],
         )],
     );

@@ -73,7 +73,13 @@ pub fn context() -> &'static Ctx {
         let world = fbs_scenarios::ukraine(scale, seed)
             .into_world()
             .expect("scenario is valid");
-        let campaign = Campaign::new(world, CampaignConfig::default()).expect("valid config");
+        // The bench campaign carries the passive background-radiation
+        // signal so fig17/fig27 can render the four-way comparison.
+        let config = CampaignConfig {
+            ibr: Some(fbs_netsim::IbrConfig::default()),
+            ..CampaignConfig::default()
+        };
+        let campaign = Campaign::new(world, config).expect("valid config");
         eprintln!(
             "[fbs-bench] running campaign: {} blocks x {} rounds ...",
             campaign.world().blocks().len(),

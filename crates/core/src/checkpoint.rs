@@ -38,17 +38,26 @@ use std::path::{Path, PathBuf};
 /// Version history: 1 — initial crash-safe campaigns; 2 — feed-delivery
 /// observations ([`FeedObs`]) and the per-block `routed_known` bit; 3 —
 /// multi-vantage campaigns (per-vantage [`VantageObs`] in round records,
-/// per-vantage quality ledgers in the snapshot).
+/// per-vantage quality ledgers in the snapshot); 4 — the passive
+/// background-radiation signal (per-AS [`IbrObs`] in round records,
+/// per-AS seasonal predictors and IBR ledgers in the snapshot).
 ///
 /// A single-vantage campaign (empty roster) still writes
 /// [`LEGACY_STATE_VERSION`] files, byte-identical to what it always wrote;
-/// version 3 is only emitted when the roster is non-empty, so legacy
-/// checkpoints stay readable and writable without any migration.
+/// version 3 is only emitted when the roster is non-empty, and
+/// [`IBR_STATE_VERSION`] only when the passive signal is enabled, so
+/// pre-IBR checkpoints stay readable and writable without any migration.
 pub const STATE_VERSION: u32 = 3;
 
 /// The pre-multi-vantage schema version, still both read and written (it
 /// is *the* on-disk format for single-vantage campaigns).
 pub const LEGACY_STATE_VERSION: u32 = 2;
+
+/// The passive-signal schema version, written only by campaigns with IBR
+/// enabled (`ibr: Some`). Unlike version 3 it carries both the
+/// single-vantage `blocks` and the multi-vantage `vantages` layouts, so
+/// it composes with either scanning mode.
+pub const IBR_STATE_VERSION: u32 = 4;
 
 /// Journal file name inside a checkpoint directory.
 pub const JOURNAL_FILE: &str = "rounds.wal";
@@ -111,6 +120,40 @@ pub(crate) struct RoundRecord {
     /// Per-vantage observations in roster order; empty in single-vantage
     /// campaigns.
     pub vantages: Vec<VantageObs>,
+    /// The darknet collector's view of the round: per-AS background
+    /// radiation, or the collector's own darkness. `None` when the passive
+    /// signal is disabled — only then do the pre-IBR layouts apply.
+    pub ibr: Option<IbrObs>,
+}
+
+/// One round of passive background radiation as the darknet collector saw
+/// it. Unlike active observations this is measured on *every* round — the
+/// darknet does not care whether our scanner is online.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct IbrObs {
+    /// The collector itself was dark: `volumes` is empty and the predictor
+    /// freezes rather than reading the silence as an outage.
+    pub dark: bool,
+    /// Unsolicited packet volume per AS, in campaign AS order; empty when
+    /// `dark`.
+    pub volumes: Vec<u64>,
+}
+
+impl Persist for IbrObs {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_bool(self.dark);
+        self.volumes.persist(w);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self> {
+        let dark = r.get_bool()?;
+        let volumes = Vec::<u64>::restore(r)?;
+        if dark && !volumes.is_empty() {
+            return Err(FbsError::Io {
+                reason: "dark IBR observation carries volumes".to_string(),
+            });
+        }
+        Ok(IbrObs { dark, volumes })
+    }
 }
 
 /// One vantage point's view of one round in a multi-vantage campaign.
@@ -255,21 +298,25 @@ impl Persist for FeedObs {
 
 impl Persist for RoundRecord {
     fn persist(&self, w: &mut ByteWriter) {
-        if self.legacy_layout() {
-            // Single-vantage: the legacy layout, byte-for-byte.
-            w.put_u32(LEGACY_STATE_VERSION);
-            self.round.persist(w);
-            w.put_bool(self.online);
-            self.quality.persist(w);
+        // One field sequence for all three layouts, with the version gating
+        // which sections appear: version 4 (passive signal on) carries both
+        // scanning layouts plus the darknet observation; version 2 is the
+        // legacy single-vantage layout byte-for-byte; version 3 swaps the
+        // block section for the vantage roster.
+        let version = self.layout_version();
+        w.put_u32(version);
+        self.round.persist(w);
+        w.put_bool(self.online);
+        self.quality.persist(w);
+        if version != STATE_VERSION {
             self.blocks.persist(w);
-            self.feeds.persist(w);
-        } else {
-            w.put_u32(STATE_VERSION);
-            self.round.persist(w);
-            w.put_bool(self.online);
-            self.quality.persist(w);
-            self.feeds.persist(w);
+        }
+        self.feeds.persist(w);
+        if version != LEGACY_STATE_VERSION {
             self.vantages.persist(w);
+        }
+        if let Some(ibr) = &self.ibr {
+            ibr.persist(w);
         }
     }
     fn restore(r: &mut ByteReader<'_>) -> Result<Self> {
@@ -282,6 +329,7 @@ impl Persist for RoundRecord {
                 blocks: Vec::<BlockObs>::restore(r)?,
                 feeds: Vec::<FeedObs>::restore(r)?,
                 vantages: Vec::new(),
+                ibr: None,
             }),
             STATE_VERSION => {
                 let round = Round::restore(r)?;
@@ -303,11 +351,22 @@ impl Persist for RoundRecord {
                     blocks: Vec::new(),
                     feeds,
                     vantages,
+                    ibr: None,
                 })
             }
+            IBR_STATE_VERSION => Ok(RoundRecord {
+                round: Round::restore(r)?,
+                online: r.get_bool()?,
+                quality: RoundQuality::restore(r)?,
+                blocks: Vec::<BlockObs>::restore(r)?,
+                feeds: Vec::<FeedObs>::restore(r)?,
+                vantages: Vec::<VantageObs>::restore(r)?,
+                ibr: Some(IbrObs::restore(r)?),
+            }),
             other => Err(FbsError::Io {
                 reason: format!(
-                    "round record version {other}, expected {LEGACY_STATE_VERSION} or {STATE_VERSION}"
+                    "round record version {other}, expected {LEGACY_STATE_VERSION}, \
+                     {STATE_VERSION} or {IBR_STATE_VERSION}"
                 ),
             }),
         }
@@ -315,10 +374,17 @@ impl Persist for RoundRecord {
 }
 
 impl RoundRecord {
-    /// Whether this record persists as the legacy single-vantage layout
-    /// (version 2, no roster) rather than the multi-vantage version 3.
-    fn legacy_layout(&self) -> bool {
-        self.vantages.is_empty()
+    /// The journal layout this record persists as: version 4 whenever the
+    /// passive observation rides along, else the legacy single-vantage
+    /// version 2 (no roster) or the multi-vantage version 3.
+    fn layout_version(&self) -> u32 {
+        if self.ibr.is_some() {
+            IBR_STATE_VERSION
+        } else if self.vantages.is_empty() {
+            LEGACY_STATE_VERSION
+        } else {
+            STATE_VERSION
+        }
     }
 
     /// Serializes the record to journal payload bytes.
@@ -401,7 +467,9 @@ impl CheckpointStore {
         let snapshot_payload = match read_snapshot(&snapshot_path) {
             Ok(None) => None,
             Ok(Some((version, payload)))
-                if version == STATE_VERSION || version == LEGACY_STATE_VERSION =>
+                if version == STATE_VERSION
+                    || version == LEGACY_STATE_VERSION
+                    || version == IBR_STATE_VERSION =>
             {
                 diagnostics.snapshot_loaded = true;
                 Some((version, payload))
@@ -500,6 +568,7 @@ mod tests {
             ],
             feeds: Vec::new(),
             vantages: Vec::new(),
+            ibr: None,
         };
         let back = RoundRecord::decode(&record.encode()).unwrap();
         assert_eq!(back, record);
@@ -514,6 +583,7 @@ mod tests {
             blocks: Vec::new(),
             feeds: Vec::new(),
             vantages: Vec::new(),
+            ibr: None,
         };
         assert_eq!(RoundRecord::decode(&skipped.encode()).unwrap(), skipped);
     }
@@ -549,6 +619,7 @@ mod tests {
                     blocks: Vec::new(),
                 },
             ],
+            ibr: None,
         };
         assert_eq!(record.encode()[0] as u32, STATE_VERSION);
         assert_eq!(RoundRecord::decode(&record.encode()).unwrap(), record);
@@ -595,6 +666,7 @@ mod tests {
                 },
             ],
             vantages: Vec::new(),
+            ibr: None,
         };
         assert_eq!(RoundRecord::decode(&record.encode()).unwrap(), record);
         let absent = RoundRecord {
@@ -602,6 +674,51 @@ mod tests {
             ..record
         };
         assert_eq!(RoundRecord::decode(&absent.encode()).unwrap(), absent);
+    }
+
+    #[test]
+    fn ibr_record_roundtrips_as_version_4() {
+        // Version 4 composes with the single-vantage layout…
+        let single = RoundRecord {
+            round: Round(42),
+            online: true,
+            quality: RoundQuality::Ok,
+            blocks: vec![BlockObs {
+                responsive: 9,
+                rtt_ns: 40_000_000,
+                routed: true,
+                routed_known: true,
+            }],
+            feeds: Vec::new(),
+            vantages: Vec::new(),
+            ibr: Some(IbrObs {
+                dark: false,
+                volumes: vec![120_000, 0, 7],
+            }),
+        };
+        assert_eq!(single.encode()[0] as u32, IBR_STATE_VERSION);
+        assert_eq!(RoundRecord::decode(&single.encode()).unwrap(), single);
+        // …and with a vantage roster, and with a dark collector.
+        let rostered = RoundRecord {
+            blocks: Vec::new(),
+            vantages: vec![VantageObs {
+                online: true,
+                quality: RoundQuality::Degraded,
+                blocks: vec![],
+            }],
+            ibr: Some(IbrObs {
+                dark: true,
+                volumes: Vec::new(),
+            }),
+            ..single.clone()
+        };
+        assert_eq!(rostered.encode()[0] as u32, IBR_STATE_VERSION);
+        assert_eq!(RoundRecord::decode(&rostered.encode()).unwrap(), rostered);
+        // A dark observation claiming volumes is structural damage.
+        let mut w = ByteWriter::new();
+        w.put_bool(true);
+        vec![5u64].persist(&mut w);
+        assert!(IbrObs::restore(&mut ByteReader::new(&w.into_bytes())).is_err());
     }
 
     #[test]
@@ -613,6 +730,7 @@ mod tests {
             blocks: Vec::new(),
             feeds: Vec::new(),
             vantages: Vec::new(),
+            ibr: None,
         };
         let mut bytes = record.encode();
         bytes[0] = 99; // version byte

@@ -1,7 +1,7 @@
 //! Campaign configuration.
 
 use fbs_feeds::{LossyTolerance, RetryPolicy};
-use fbs_netsim::{FaultPlan, FeedFaultPlan, VantageSpec};
+use fbs_netsim::{FaultPlan, FeedFaultPlan, IbrConfig, VantageSpec};
 use fbs_prober::QualityConfig;
 use fbs_regional::RegionalityConfig;
 use fbs_signals::{EligibilityConfig, EntityId, Thresholds};
@@ -68,6 +68,14 @@ pub struct CampaignConfig {
     /// their observations instead of any single wire.
     #[serde(default)]
     pub vantages: Vec<VantageSpec>,
+    /// Optional passive background-radiation signal (Chocolatine-style).
+    /// `None` (the default) disables the darknet entirely: no IBR is
+    /// emitted or recorded, the legacy checkpoint schema is written, and
+    /// output stays byte-identical to pre-IBR builds. `Some` observes
+    /// per-AS IBR volume every round — including rounds where every
+    /// active vantage is `Unusable` — and feeds the seasonal predictor.
+    #[serde(default)]
+    pub ibr: Option<IbrConfig>,
 }
 
 impl Default for CampaignConfig {
@@ -98,6 +106,7 @@ impl Default for CampaignConfig {
             feed_tolerance: LossyTolerance::default(),
             feed_retry: RetryPolicy::default(),
             vantages: Vec::new(),
+            ibr: None,
         }
     }
 }
@@ -134,6 +143,9 @@ impl CampaignConfig {
                 )));
             }
         }
+        if let Some(ibr) = &self.ibr {
+            ibr.validate()?;
+        }
         Ok(())
     }
 
@@ -141,6 +153,19 @@ impl CampaignConfig {
     /// roster; the empty roster is the legacy implicit single vantage).
     pub fn vantage_mode(&self) -> bool {
         !self.vantages.is_empty()
+    }
+
+    /// Whether the passive background-radiation signal is enabled.
+    pub fn ibr_mode(&self) -> bool {
+        self.ibr.is_some()
+    }
+
+    /// A configuration observing passive background radiation with `ibr`.
+    pub fn with_ibr(ibr: IbrConfig) -> Self {
+        CampaignConfig {
+            ibr: Some(ibr),
+            ..CampaignConfig::default()
+        }
     }
 
     /// A configuration scanning from the given vantage roster.
@@ -207,6 +232,24 @@ mod tests {
             )),
             ..VantageSpec::new("sick")
         }]);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn ibr_defaults_off_and_validates() {
+        let cfg = CampaignConfig::default();
+        assert!(!cfg.ibr_mode(), "passive signal must default off");
+        let with = CampaignConfig::with_ibr(IbrConfig::default());
+        assert!(with.ibr_mode());
+        assert!(with.validate().is_ok());
+        let bad = CampaignConfig::with_ibr(IbrConfig {
+            rate_per_responder: -1.0,
+            ..IbrConfig::default()
+        });
+        assert!(bad.validate().is_err());
+        let bad = CampaignConfig::with_ibr(IbrConfig::with_dark_windows(vec![
+            fbs_netsim::IbrDarkWindow { start: 5, end: 5 },
+        ]));
         assert!(bad.validate().is_err());
     }
 

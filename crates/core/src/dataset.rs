@@ -116,6 +116,85 @@ pub fn vantage_disagreement_csv(report: &CampaignReport) -> String {
     out
 }
 
+/// One row of the passive-signal product: a per-AS summary of the
+/// background-radiation ledger plus its detected outage events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IbrRow {
+    /// `AS<number>` — the AS the darknet attributes the radiation to.
+    pub entity: String,
+    /// Rounds the collector observed.
+    pub observed_rounds: u64,
+    /// Rounds the collector itself was dark.
+    pub dark_rounds: u64,
+    /// Mean IBR volume per observed round.
+    pub mean_volume: f64,
+    /// Passive outage detections over the campaign.
+    pub outage_events: u64,
+    /// Total rounds spent in detected passive outages.
+    pub outage_rounds: u64,
+    /// Signal-to-noise ratio of the volume series (0 when undefined).
+    pub snr: f64,
+}
+
+/// Builds the per-AS passive-signal rows from a report (empty when the
+/// IBR layer was off).
+pub fn ibr_rows(report: &CampaignReport) -> Vec<IbrRow> {
+    report
+        .ibr
+        .iter()
+        .map(|l| {
+            let observed = l.observed_rounds() as u64;
+            let mean = if observed == 0 {
+                0.0
+            } else {
+                l.volume.iter().sum::<u64>() as f64 / observed as f64
+            };
+            IbrRow {
+                entity: l.asn.to_string(),
+                observed_rounds: observed,
+                dark_rounds: l.dark_rounds() as u64,
+                mean_volume: mean,
+                outage_events: l.events.len() as u64,
+                outage_rounds: l.events.iter().map(|e| e.rounds() as u64).sum(),
+                snr: l.snr().unwrap_or(0.0),
+            }
+        })
+        .collect()
+}
+
+/// Renders the passive-signal rows as CSV, one line per AS, with each
+/// AS's detected outage periods riding along as `#`-prefixed comments so
+/// the one file carries the whole passive story.
+pub fn ibr_signal_csv(report: &CampaignReport) -> String {
+    let mut out = String::new();
+    for l in &report.ibr {
+        for e in &l.events {
+            let _ = writeln!(
+                out,
+                "# {} outage rounds {}..{} min_ratio={:.3}",
+                l.asn, e.start.0, e.end.0, e.min_ratio
+            );
+        }
+    }
+    out.push_str(
+        "entity,observed_rounds,dark_rounds,mean_volume,outage_events,outage_rounds,snr\n",
+    );
+    for r in ibr_rows(report) {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.2},{},{},{:.3}",
+            r.entity,
+            r.observed_rounds,
+            r.dark_rounds,
+            r.mean_volume,
+            r.outage_events,
+            r.outage_rounds,
+            r.snr
+        );
+    }
+    out
+}
+
 /// Builds the availability rows from a report.
 pub fn availability_rows(report: &CampaignReport) -> Vec<AvailabilityRow> {
     let mut rows = Vec::new();
@@ -216,6 +295,10 @@ pub fn export_all(report: &CampaignReport, dir: &std::path::Path) -> fbs_types::
             dir.join("vantage_disagreement.csv"),
             vantage_disagreement_csv(report),
         )?;
+    }
+    // Likewise the passive product: only IBR campaigns write it.
+    if !report.ibr.is_empty() {
+        std::fs::write(dir.join("ibr_signal.csv"), ibr_signal_csv(report))?;
     }
     Ok(())
 }

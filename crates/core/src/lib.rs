@@ -43,8 +43,9 @@ pub mod report;
 pub use checkpoint::{CheckpointPolicy, ResumeDiagnostics};
 pub use classify::{classify_world_with_snapshots, ClassificationOutcome, RegionClassification};
 pub use config::CampaignConfig;
-pub use dataset::{availability_rows, export_all, outage_rows, vantage_rows};
+pub use dataset::{availability_rows, export_all, ibr_rows, outage_rows, vantage_rows};
 pub use pipeline::{Campaign, CampaignRunner};
 pub use report::{
-    CampaignReport, DisagreementSummary, EntitySeries, FeedLedger, MonthlyRtt, VantageLedger,
+    CampaignReport, DisagreementSummary, EntitySeries, FeedLedger, IbrLedger, MonthlyRtt,
+    VantageLedger,
 };

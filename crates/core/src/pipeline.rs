@@ -18,27 +18,28 @@
 //! [`Campaign::resume`] are thin drivers over it.
 
 use crate::checkpoint::{
-    BlockObs, CheckpointPolicy, CheckpointStore, FeedObs, ResumeDiagnostics, RoundRecord,
-    VantageObs, LEGACY_STATE_VERSION, STATE_VERSION,
+    BlockObs, CheckpointPolicy, CheckpointStore, FeedObs, IbrObs, ResumeDiagnostics, RoundRecord,
+    VantageObs, IBR_STATE_VERSION, LEGACY_STATE_VERSION, STATE_VERSION,
 };
 use crate::classify::{
     campaign_months, classify_world, classify_world_with_snapshots, ClassificationOutcome,
 };
 use crate::config::CampaignConfig;
 use crate::report::{
-    CampaignReport, DisagreementSummary, EntitySeries, FeedLedger, MonthlyRtt, OblastMonth,
-    VantageLedger,
+    CampaignReport, DisagreementSummary, EntitySeries, FeedLedger, IbrLedger, MonthlyRtt,
+    OblastMonth, VantageLedger,
 };
 use fbs_feeds::{FeedHealth, FeedLoader, FeedOutcome, FeedQuarantine, TaggedQuarantine};
 use fbs_geodb::GeoSnapshot;
 use fbs_netsim::{
-    feedfaults, geo, BlockSpec, FaultPlan, FeedFaultPlan, VantageSpec, World, WorldRng,
+    feedfaults, geo, ibr, BlockSpec, FaultPlan, FeedFaultPlan, IbrConfig, VantageSpec, World,
+    WorldRng,
 };
 use fbs_prober::RoundCursor;
 use fbs_regional::Regionality;
 use fbs_signals::{
     fuse_block, fuse_round_quality, ips_signal_usable, vantage_usable, BlockVote, Detector,
-    EntityId, EntityRound, SignalQuality,
+    EntityId, EntityRound, IbrRoundStatus, SeasonalPredictor, SignalQuality,
 };
 use fbs_trinocular::{assess_block, BlockBelief, IodaPlatform};
 use fbs_types::codec::{ByteReader, ByteWriter, Persist};
@@ -292,6 +293,16 @@ pub(crate) struct Statics {
     /// The resolved vantage roster (empty in single-vantage campaigns):
     /// each entry carries its effective fault plan and its own RNG domain.
     vantages: Vec<VantageStatic>,
+    /// The passive background-radiation layer (`None` when IBR is off):
+    /// the validated config plus the disjoint `"ibr"` RNG domain, so the
+    /// darknet never perturbs the wire or feed draws.
+    ibr: Option<IbrStatic>,
+}
+
+/// The resolved IBR layer: config plus its own world-RNG domain.
+pub(crate) struct IbrStatic {
+    config: IbrConfig,
+    rng: WorldRng,
 }
 
 /// One roster entry with its per-vantage derivations resolved once.
@@ -407,6 +418,21 @@ impl Statics {
             })
             .collect::<fbs_types::Result<_>>()?;
 
+        // Passive background radiation: validated once, drawing from its
+        // own RNG domain — campaigns without IBR never touch it and stay
+        // bit-identical to pre-IBR builds.
+        let ibr = cfg
+            .ibr
+            .as_ref()
+            .map(|c| -> fbs_types::Result<IbrStatic> {
+                c.validate()?;
+                Ok(IbrStatic {
+                    config: c.clone(),
+                    rng: ibr::ibr_domain(world.rng()),
+                })
+            })
+            .transpose()?;
+
         // Static block/AS indexes. Ownership was validated in
         // `Campaign::new`, but stay panic-free regardless of how the
         // campaign was obtained.
@@ -482,6 +508,7 @@ impl Statics {
             geo_texts,
             delegations_text,
             vantages,
+            ibr,
         })
     }
 }
@@ -533,6 +560,12 @@ pub(crate) struct PipelineState {
     vantage_ledgers: Vec<VantageLedger>,
     /// Running disagreement counters.
     disagreement: DisagreementSummary,
+    // Passive-radiation state (empty when the IBR layer is off).
+    /// One seasonal predictor per AS, in AS order.
+    ibr_predictors: Vec<SeasonalPredictor>,
+    /// One volume/status ledger per AS, in AS order (events stay empty
+    /// until [`CampaignRunner::finish`] closes the predictors out).
+    ibr_ledgers: Vec<IbrLedger>,
 }
 
 impl PipelineState {
@@ -542,9 +575,16 @@ impl PipelineState {
         !self.vantage_ledgers.is_empty()
     }
 
+    /// Whether this state carries the passive background-radiation layer.
+    fn ibr_mode(&self) -> bool {
+        !self.ibr_predictors.is_empty()
+    }
+
     /// The snapshot schema version this state serializes as.
     pub(crate) fn schema_version(&self) -> u32 {
-        if self.vantage_mode() {
+        if self.ibr_mode() {
+            IBR_STATE_VERSION
+        } else if self.vantage_mode() {
             STATE_VERSION
         } else {
             LEGACY_STATE_VERSION
@@ -552,8 +592,11 @@ impl PipelineState {
     }
 
     /// Serializes the state: the legacy field set, then — only in vantage
-    /// mode — the vantage tail. The split keeps single-vantage snapshots
-    /// byte-identical to the pre-multi-vantage format.
+    /// mode — the vantage tail, then — only in IBR mode — the vantage tail
+    /// (possibly empty) followed by the IBR tail. The split keeps
+    /// single-vantage, IBR-off snapshots byte-identical to the
+    /// pre-multi-vantage format, and v3 snapshots byte-identical to the
+    /// pre-IBR format.
     pub(crate) fn persist_into(&self, w: &mut ByteWriter) {
         self.cursor.persist(w);
         self.current_month.persist(w);
@@ -583,7 +626,15 @@ impl PipelineState {
         self.feed_rejections.persist(w);
         self.last_routed.persist(w);
         self.feed_quarantines.persist(w);
-        if self.vantage_mode() {
+        if self.ibr_mode() {
+            // The v4 layout always carries the vantage tail — an empty
+            // roster persists as an empty vector — so restore never has to
+            // guess whether one follows.
+            self.vantage_ledgers.persist(w);
+            self.disagreement.persist(w);
+            self.ibr_predictors.persist(w);
+            self.ibr_ledgers.persist(w);
+        } else if self.vantage_mode() {
             self.vantage_ledgers.persist(w);
             self.disagreement.persist(w);
         }
@@ -623,6 +674,8 @@ impl PipelineState {
             feed_quarantines: Vec::<TaggedQuarantine>::restore(r)?,
             vantage_ledgers: Vec::new(),
             disagreement: DisagreementSummary::default(),
+            ibr_predictors: Vec::new(),
+            ibr_ledgers: Vec::new(),
         };
         if version == STATE_VERSION {
             state.vantage_ledgers = Vec::<VantageLedger>::restore(r)?;
@@ -630,6 +683,24 @@ impl PipelineState {
             if state.vantage_ledgers.is_empty() {
                 return Err(FbsError::corrupt_snapshot(format!(
                     "version-{STATE_VERSION} snapshot with an empty vantage roster"
+                )));
+            }
+        }
+        if version == IBR_STATE_VERSION {
+            state.vantage_ledgers = Vec::<VantageLedger>::restore(r)?;
+            state.disagreement = DisagreementSummary::restore(r)?;
+            state.ibr_predictors = Vec::<SeasonalPredictor>::restore(r)?;
+            state.ibr_ledgers = Vec::<IbrLedger>::restore(r)?;
+            if state.ibr_predictors.is_empty() {
+                return Err(FbsError::corrupt_snapshot(format!(
+                    "version-{IBR_STATE_VERSION} snapshot without IBR state"
+                )));
+            }
+            if state.ibr_predictors.len() != state.ibr_ledgers.len() {
+                return Err(FbsError::corrupt_snapshot(format!(
+                    "snapshot carries {} ibr predictors but {} ledgers",
+                    state.ibr_predictors.len(),
+                    state.ibr_ledgers.len()
                 )));
             }
         }
@@ -694,6 +765,28 @@ impl PipelineState {
                         && l.responsive_total.len() as u32 == self.cursor.completed()
                 }),
                 "vantage-ledger length",
+            ),
+            (
+                self.ibr_predictors.len() == statics.ibr.as_ref().map_or(0, |_| n_as),
+                "ibr predictor count",
+            ),
+            (
+                self.ibr_ledgers.len() == statics.ibr.as_ref().map_or(0, |_| n_as),
+                "ibr ledger count",
+            ),
+            (
+                self.ibr_ledgers
+                    .iter()
+                    .zip(&statics.as_list)
+                    .all(|(l, a)| l.asn == *a),
+                "ibr ledger ASes",
+            ),
+            (
+                self.ibr_ledgers.iter().all(|l| {
+                    l.volume.len() as u32 == self.cursor.completed()
+                        && l.status.len() as u32 == self.cursor.completed()
+                }),
+                "ibr-ledger length",
             ),
         ];
         for (ok, what) in checks {
@@ -802,6 +895,14 @@ fn initial_state(world: &World, cfg: &CampaignConfig, statics: &Statics) -> Pipe
             .map(|(i, v)| VantageLedger::new(VantageId(i as u16), v.spec.name.clone()))
             .collect(),
         disagreement: DisagreementSummary::default(),
+        ibr_predictors: match &statics.ibr {
+            Some(_) => (0..n_as).map(|_| SeasonalPredictor::new()).collect(),
+            None => Vec::new(),
+        },
+        ibr_ledgers: match &statics.ibr {
+            Some(_) => statics.as_list.iter().map(|a| IbrLedger::new(*a)).collect(),
+            None => Vec::new(),
+        },
     }
 }
 
@@ -826,9 +927,24 @@ fn measure_round(
     // vantage(s), so feed observations are collected even for rounds the
     // scanner itself cannot measure — and fetched once, not per vantage.
     let (feeds, routed_unknown) = measure_feeds(world, cfg, statics, round);
+    // The darknet listens regardless of whether the scanner can transmit:
+    // IBR is captured even on rounds every active vantage sits dark.
+    let ibr = statics
+        .ibr
+        .as_ref()
+        .map(|is| measure_ibr(world, statics, is, round));
 
     if !statics.vantages.is_empty() {
-        return measure_round_vantages(world, cfg, statics, round, online, feeds, &routed_unknown);
+        return measure_round_vantages(
+            world,
+            cfg,
+            statics,
+            round,
+            online,
+            feeds,
+            ibr,
+            &routed_unknown,
+        );
     }
 
     let intensity = statics.fault_plan.intensity_at(round, statics.rounds);
@@ -845,6 +961,7 @@ fn measure_round(
             blocks: Vec::new(),
             feeds,
             vantages: Vec::new(),
+            ibr,
         };
     }
     let mut blocks = Vec::with_capacity(statics.n_blocks);
@@ -875,11 +992,33 @@ fn measure_round(
         blocks,
         feeds,
         vantages: Vec::new(),
+        ibr,
+    }
+}
+
+/// Captures one round of passive background radiation: per-AS volume sums
+/// of the world's per-pool IBR emission, or a dark marker while the
+/// collector itself is down.
+fn measure_ibr(world: &World, statics: &Statics, is: &IbrStatic, round: Round) -> IbrObs {
+    if is.config.dark_at(round) {
+        return IbrObs {
+            dark: true,
+            volumes: Vec::new(),
+        };
+    }
+    let mut volumes = vec![0u64; statics.as_list.len()];
+    for bi in 0..statics.n_blocks {
+        volumes[statics.block_as[bi]] += ibr::block_volume(world, &is.config, &is.rng, round, bi);
+    }
+    IbrObs {
+        dark: false,
+        volumes,
     }
 }
 
 /// The multi-vantage half of [`measure_round`]: one independent scan per
 /// roster entry, merged in deterministic roster order.
+#[allow(clippy::too_many_arguments)]
 fn measure_round_vantages(
     world: &World,
     cfg: &CampaignConfig,
@@ -887,6 +1026,7 @@ fn measure_round_vantages(
     round: Round,
     online: bool,
     feeds: Vec<FeedObs>,
+    ibr: Option<IbrObs>,
     routed_unknown: &[bool],
 ) -> RoundRecord {
     let r = round.0;
@@ -943,6 +1083,7 @@ fn measure_round_vantages(
         blocks: Vec::new(),
         feeds,
         vantages,
+        ibr,
     }
 }
 
@@ -1383,6 +1524,11 @@ fn apply_round(
             .push(vobs.blocks.iter().map(|b| b.responsive as u64).sum());
     }
 
+    // The passive signal folds in *before* the usable-round gate: an
+    // active-dark round is exactly when the darknet is the only listener
+    // left, so IBR predictors and ledgers advance on every round.
+    apply_ibr(statics, state, record, round)?;
+
     let quality = record.quality;
 
     // A round without usable measurements — vantage offline, or the
@@ -1588,6 +1734,63 @@ fn apply_round(
     Ok(())
 }
 
+/// Folds one round's passive-radiation observation into the predictors
+/// and ledgers. A dark collector freezes every predictor (no baseline
+/// drift, no spurious transitions); an observed round feeds each AS's
+/// volume through its seasonal predictor.
+fn apply_ibr(
+    statics: &Statics,
+    state: &mut PipelineState,
+    record: &RoundRecord,
+    round: Round,
+) -> fbs_types::Result<()> {
+    let pos = state.cursor.completed() as u64;
+    let obs = match (&statics.ibr, &record.ibr) {
+        (None, None) => return Ok(()),
+        (Some(_), Some(obs)) => obs,
+        (expected, _) => {
+            return Err(FbsError::corrupt_journal(
+                format!(
+                    "round {} record {} an ibr observation, campaign runs with ibr {}",
+                    round.0,
+                    if record.ibr.is_some() {
+                        "carries"
+                    } else {
+                        "lacks"
+                    },
+                    if expected.is_some() { "on" } else { "off" },
+                ),
+                pos,
+            ));
+        }
+    };
+    if obs.dark {
+        for (predictor, ledger) in state.ibr_predictors.iter_mut().zip(&mut state.ibr_ledgers) {
+            predictor.observe_dark(round);
+            ledger.volume.push(0);
+            ledger.status.push(IbrRoundStatus::Dark);
+        }
+        return Ok(());
+    }
+    if obs.volumes.len() != statics.as_list.len() {
+        return Err(FbsError::corrupt_journal(
+            format!(
+                "round {} record carries {} ibr volumes, world has {} ASes",
+                round.0,
+                obs.volumes.len(),
+                statics.as_list.len()
+            ),
+            pos,
+        ));
+    }
+    for (ai, volume) in obs.volumes.iter().enumerate() {
+        state.ibr_predictors[ai].observe(round, *volume);
+        state.ibr_ledgers[ai].volume.push(*volume);
+        state.ibr_ledgers[ai].status.push(IbrRoundStatus::Observed);
+    }
+    Ok(())
+}
+
 /// Drives a campaign one round at a time over the split state.
 ///
 /// Obtained from [`Campaign::runner`] (in-memory),
@@ -1662,8 +1865,13 @@ impl CampaignRunner<'_> {
             )));
         }
         let statics = self.statics;
-        let state = self.state;
+        let mut state = self.state;
         let end = Round(statics.rounds);
+        // Close the passive predictors out: a still-open outage ends at
+        // the campaign bound, and each AS's events move into its ledger.
+        for (predictor, ledger) in state.ibr_predictors.iter_mut().zip(&mut state.ibr_ledgers) {
+            ledger.events = predictor.finalize(end);
+        }
         let mut as_events = BTreeMap::new();
         for (ai, d) in state.as_detectors.into_iter().enumerate() {
             as_events.insert(statics.as_list[ai], d.finish(end));
@@ -1732,6 +1940,7 @@ impl CampaignRunner<'_> {
             feed_quarantines: state.feed_quarantines,
             vantages: state.vantage_ledgers,
             disagreement: state.disagreement,
+            ibr: state.ibr_ledgers,
         })
     }
 }

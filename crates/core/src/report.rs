@@ -2,7 +2,7 @@
 
 use crate::classify::ClassificationOutcome;
 use fbs_feeds::{FeedHealth, TaggedQuarantine};
-use fbs_signals::{EntityId, OutageEvent, SignalSeries};
+use fbs_signals::{EntityId, IbrEvent, IbrRoundStatus, OutageEvent, SignalSeries};
 use fbs_trinocular::ioda::IodaReport;
 use fbs_types::codec::{ByteReader, ByteWriter, Persist};
 use fbs_types::{
@@ -319,6 +319,111 @@ impl Persist for VantageLedger {
     }
 }
 
+/// One AS's passive background-radiation ledger.
+///
+/// IBR campaigns keep one ledger per AS, updated *every* round — including
+/// rounds where every active vantage was `Unusable` — because the darknet
+/// listens regardless of whether the scanner can transmit. `volume` is the
+/// per-round aggregate IBR packet volume attributed to the AS (zero while
+/// the collector was dark), `status` records whether the collector itself
+/// observed the round, and `events` holds the seasonal predictor's
+/// detections, closed out at campaign end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IbrLedger {
+    /// The AS this ledger aggregates.
+    pub asn: Asn,
+    /// Per-round IBR volume, indexed by round number (`0` on dark rounds).
+    pub volume: Vec<u64>,
+    /// Per-round collector status, indexed by round number.
+    pub status: Vec<IbrRoundStatus>,
+    /// Passive outage detections of the seasonal predictor.
+    pub events: Vec<IbrEvent>,
+}
+
+impl IbrLedger {
+    pub(crate) fn new(asn: Asn) -> Self {
+        IbrLedger {
+            asn,
+            volume: Vec::new(),
+            status: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Rounds the darknet collector actually observed.
+    pub fn observed_rounds(&self) -> usize {
+        self.status
+            .iter()
+            .filter(|s| **s == IbrRoundStatus::Observed)
+            .count()
+    }
+
+    /// Rounds the darknet collector itself was dark.
+    pub fn dark_rounds(&self) -> usize {
+        self.status
+            .iter()
+            .filter(|s| **s == IbrRoundStatus::Dark)
+            .count()
+    }
+
+    /// Whether `round` fell inside any detected passive outage.
+    pub fn in_outage(&self, round: Round) -> bool {
+        self.events.iter().any(|e| e.contains(round))
+    }
+
+    /// Signal-to-noise ratio of the observed volume series (the Fig. 27
+    /// sense: mean over the noise around that mean). `None` with fewer
+    /// than two observed rounds or zero variance.
+    pub fn snr(&self) -> Option<f64> {
+        let observed: Vec<f64> = self
+            .status
+            .iter()
+            .zip(&self.volume)
+            .filter(|(s, _)| **s == IbrRoundStatus::Observed)
+            .map(|(_, v)| *v as f64)
+            .collect();
+        if observed.len() < 2 {
+            return None;
+        }
+        let mean = observed.iter().sum::<f64>() / observed.len() as f64;
+        let var = observed
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / (observed.len() - 1) as f64;
+        let sd = var.sqrt();
+        (sd > 0.0).then(|| mean / sd)
+    }
+}
+
+impl Persist for IbrLedger {
+    fn persist(&self, w: &mut ByteWriter) {
+        self.asn.persist(w);
+        self.volume.persist(w);
+        self.status.persist(w);
+        self.events.persist(w);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> fbs_types::Result<Self> {
+        let ledger = IbrLedger {
+            asn: Asn::restore(r)?,
+            volume: Vec::<u64>::restore(r)?,
+            status: Vec::<IbrRoundStatus>::restore(r)?,
+            events: Vec::<IbrEvent>::restore(r)?,
+        };
+        if ledger.volume.len() != ledger.status.len() {
+            return Err(fbs_types::FbsError::Io {
+                reason: format!(
+                    "ibr ledger of AS{} has {} volumes but {} statuses",
+                    ledger.asn.0,
+                    ledger.volume.len(),
+                    ledger.status.len()
+                ),
+            });
+        }
+        Ok(ledger)
+    }
+}
+
 /// How often and how the vantages disagreed over a campaign.
 ///
 /// All counters stay zero in single-vantage campaigns (there is nobody to
@@ -400,6 +505,9 @@ pub struct CampaignReport {
     /// How often the vantages disagreed (all zeros in single-vantage
     /// campaigns).
     pub disagreement: DisagreementSummary,
+    /// Per-AS passive background-radiation ledgers in AS order (empty when
+    /// the IBR layer is off).
+    pub ibr: Vec<IbrLedger>,
 }
 
 impl CampaignReport {
@@ -487,5 +595,16 @@ impl CampaignReport {
     /// or for an unknown name).
     pub fn vantage_ledger(&self, name: &str) -> Option<&VantageLedger> {
         self.vantages.iter().find(|v| v.name == name)
+    }
+
+    /// One AS's passive-radiation ledger (`None` when the IBR layer was
+    /// off or the AS is unknown).
+    pub fn ibr_ledger(&self, asn: Asn) -> Option<&IbrLedger> {
+        self.ibr.iter().find(|l| l.asn == asn)
+    }
+
+    /// Total passive outage detections across all ASes.
+    pub fn total_ibr_outages(&self) -> usize {
+        self.ibr.iter().map(|l| l.events.len()).sum()
     }
 }

@@ -343,6 +343,14 @@ fn sink_reason(f: &FnNode) -> Option<String> {
             return Some(format!("ordered-merge function `{}`", f.name));
         }
     }
+    // The passive signal's ledgers and seasonal predictions feed both the
+    // version-4 checkpoint bytes and the ibr_signal.csv emission:
+    // hash-ordered iteration in either would leak into persisted state.
+    for prefix in ["ibr_", "predict_"] {
+        if f.name.starts_with(prefix) {
+            return Some(format!("passive-signal function `{}`", f.name));
+        }
+    }
     None
 }
 
@@ -571,5 +579,29 @@ mod tests {
             ["nondet-collection-flow", "nondet-collection-flow"]
         );
         assert!(findings.iter().all(|sf| sf.finding.line == 2));
+    }
+
+    #[test]
+    fn passive_signal_functions_are_hash_sinks() {
+        // `ibr_*` and `predict_*` feed checkpoint bytes and the
+        // ibr_signal.csv emission — hash collections are banned there too.
+        for name in ["ibr_signal_csv", "predict_volume"] {
+            let f = analyze(
+                "crates/core/src/x.rs",
+                &format!("fn {name}() {{ let m: HashMap<u8, u8> = HashMap::new(); }}\n"),
+            );
+            let findings = run(std::slice::from_ref(&f));
+            assert_eq!(
+                rules_of(&findings),
+                ["nondet-collection-flow", "nondet-collection-flow"],
+                "{name}"
+            );
+        }
+        // A neighbouring non-sink name stays clean.
+        let f = analyze(
+            "crates/core/src/x.rs",
+            "fn tabulate() { let m: HashMap<u8, u8> = HashMap::new(); }\n",
+        );
+        assert!(run(std::slice::from_ref(&f)).is_empty());
     }
 }

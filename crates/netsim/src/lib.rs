@@ -31,6 +31,7 @@
 pub mod faults;
 pub mod feedfaults;
 pub mod geo;
+pub mod ibr;
 pub mod power;
 pub mod rng;
 pub mod script;
@@ -41,6 +42,7 @@ pub mod world;
 
 pub use faults::{FaultIntensity, FaultPlan, FaultStats, FaultWindow, FaultyTransport};
 pub use feedfaults::{FeedFaultIntensity, FeedFaultPlan, FeedFaultWindow};
+pub use ibr::{block_volume, ibr_domain, IbrConfig, IbrDarkWindow};
 pub use power::{PowerCalendar, StrikeEvent};
 pub use rng::WorldRng;
 pub use script::{EventKind, EventTarget, Script, ScriptedEvent};

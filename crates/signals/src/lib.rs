@@ -32,7 +32,11 @@
 //!   are re-addressings rather than outages);
 //! * [`fusion`] — multi-vantage quorum voting and disagreement
 //!   classification, the stage that resolves per-vantage observations into
-//!   one verdict *before* any detector sees them.
+//!   one verdict *before* any detector sees them;
+//! * [`predict`] — the passive fourth signal: a seasonal-median predictor
+//!   over Internet background radiation (Chocolatine-style) that detects
+//!   outages with no active probes, and freezes instead of firing when the
+//!   darknet collector itself goes dark.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +45,7 @@ pub mod detect;
 pub mod eligibility;
 pub mod events;
 pub mod fusion;
+pub mod predict;
 pub mod sensing;
 pub mod series;
 pub mod thresholds;
@@ -52,6 +57,7 @@ pub use fusion::{
     fuse_block, fuse_round_quality, quorum_reachable, vantage_usable, BlockVote, FusedBlock,
     ReachClass,
 };
+pub use predict::{IbrEvent, IbrRoundStatus, IbrVerdict, SeasonalPredictor};
 pub use sensing::{AvailabilitySensor, SensingConfig, SensingVerdict};
 pub use series::{MovingAverage, SignalKind, SignalSeries};
 pub use thresholds::Thresholds;

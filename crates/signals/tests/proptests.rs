@@ -2,7 +2,8 @@
 
 use fbs_signals::{
     fuse_block, fuse_round_quality, merge_overlapping, outage_hours, quorum_reachable, BlockVote,
-    Detector, EntityId, EntityRound, MovingAverage, OutageEvent, SignalKind, Thresholds,
+    Detector, EntityId, EntityRound, IbrVerdict, MovingAverage, OutageEvent, SeasonalPredictor,
+    SignalKind, Thresholds,
 };
 use fbs_types::{Asn, Round, RoundQuality};
 use proptest::prelude::*;
@@ -195,6 +196,81 @@ proptest! {
         match usable.iter().min() {
             Some(best) => prop_assert_eq!(fused, *best),
             None => prop_assert_eq!(fused, RoundQuality::Unusable),
+        }
+    }
+
+    /// The seasonal predictor is total: any volume series with arbitrary
+    /// interleaved dark rounds produces finite, well-formed events — no
+    /// NaN, no panic, no inverted period.
+    #[test]
+    fn seasonal_predictor_is_total(
+        series in proptest::collection::vec((any::<bool>(), 0u64..1_000_000_000), 0..400),
+    ) {
+        let mut p = SeasonalPredictor::with_params(0.5, 24);
+        for (r, (dark, vol)) in series.iter().enumerate() {
+            let verdict = if *dark {
+                p.observe_dark(Round(r as u32))
+            } else {
+                p.observe(Round(r as u32), *vol)
+            };
+            prop_assert!(matches!(
+                verdict,
+                IbrVerdict::Warmup | IbrVerdict::Normal | IbrVerdict::Outage
+            ));
+        }
+        let end = Round(series.len() as u32);
+        for e in p.finalize(end) {
+            prop_assert!(e.start < e.end, "inverted event {e:?}");
+            prop_assert!(e.end <= end);
+            prop_assert!(e.min_ratio.is_finite() && e.min_ratio >= 0.0);
+        }
+    }
+
+    /// A constant series is its own prediction: the baseline converges to
+    /// the constant and no outage ever opens, at any level including zero.
+    #[test]
+    fn seasonal_predictor_constant_series_is_invariant(
+        level in 0u64..1_000_000,
+        rounds in 100u32..400,
+    ) {
+        let mut p = SeasonalPredictor::with_params(0.5, 24);
+        for r in 0..rounds {
+            prop_assert_ne!(p.observe(Round(r), level), IbrVerdict::Outage, "round {}", r);
+        }
+        if let Some(pred) = p.prediction(Round(rounds)) {
+            prop_assert_eq!(pred, level as f64);
+        }
+        prop_assert!(p.finalize(Round(rounds)).is_empty());
+    }
+
+    /// Detection is monotone in drop depth: if a drop to `hi` of baseline
+    /// is detected, any deeper drop (to `lo ≤ hi`) over the same window is
+    /// detected too, and its events start no later.
+    #[test]
+    fn seasonal_predictor_detection_is_monotone_in_depth(
+        depth_a in 0.0f64..1.0,
+        depth_b in 0.0f64..1.0,
+        drop_at in 48u32..80,
+        drop_len in 1u32..24,
+    ) {
+        let (lo, hi) = if depth_a <= depth_b { (depth_a, depth_b) } else { (depth_b, depth_a) };
+        let run = |depth: f64| -> Vec<fbs_signals::IbrEvent> {
+            let mut p = SeasonalPredictor::with_params(0.5, 36);
+            for r in 0..160u32 {
+                let vol = if r >= drop_at && r < drop_at + drop_len {
+                    (1000.0 * depth).round() as u64
+                } else {
+                    1000
+                };
+                p.observe(Round(r), vol);
+            }
+            p.finalize(Round(160))
+        };
+        let deep = run(lo);
+        let shallow = run(hi);
+        if !shallow.is_empty() {
+            prop_assert!(!deep.is_empty(), "drop to {} detected but deeper {} missed", hi, lo);
+            prop_assert!(deep[0].start <= shallow[0].start);
         }
     }
 

@@ -12,7 +12,7 @@ use ukraine_fbs::core::checkpoint::{JOURNAL_FILE, SNAPSHOT_FILE};
 use ukraine_fbs::core::dataset::{availability_csv, availability_rows, outage_csv, outage_rows};
 use ukraine_fbs::core::CheckpointPolicy;
 use ukraine_fbs::netsim::{
-    AsProfile, AsSpec, BlockSpec, Script, VantageSpec, World, WorldConfig, WorldScale,
+    AsProfile, AsSpec, BlockSpec, IbrConfig, Script, VantageSpec, World, WorldConfig, WorldScale,
 };
 use ukraine_fbs::prelude::*;
 use ukraine_fbs::types::{Oblast, Prefix};
@@ -190,6 +190,92 @@ fn checkpoint_schema_version_tracks_the_roster() {
         .expect("snapshot written");
     assert_eq!(version, 3, "rostered campaigns checkpoint as version 3");
     let _ = std::fs::remove_dir_all(&dir);
+
+    // The passive signal — with or without a roster — lifts the layout to
+    // version 4.
+    let mut cfg = CampaignConfig::without_baseline();
+    cfg.tracked.clear();
+    cfg.rtt_tracked.clear();
+    cfg.ibr = Some(IbrConfig::default());
+    let dir = fresh_dir("ver4");
+    Campaign::new(world(23), cfg)
+        .expect("valid config")
+        .run_checkpointed(&dir, policy())
+        .expect("passive run");
+    let (version, _) = ukraine_fbs::journal::read_snapshot(dir.join(SNAPSHOT_FILE))
+        .expect("readable snapshot")
+        .expect("snapshot written");
+    assert_eq!(
+        version, 4,
+        "passive-signal campaigns checkpoint as version 4"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn passive_signal_rides_along_without_touching_active_bytes() {
+    // Enabling IBR must be purely additive: the active detection output,
+    // the quality ledger and the existing dataset bytes are identical to
+    // an IBR-disabled run — the passive ledger is the only new section.
+    // (The IBR RNG domain is disjoint from every active consumer; this is
+    // the campaign-level pin of that property.)
+    let legacy = campaign().run().expect("legacy run");
+    let mut cfg = CampaignConfig::without_baseline();
+    cfg.tracked.clear();
+    cfg.rtt_tracked.clear();
+    cfg.ibr = Some(IbrConfig::default());
+    let passive = Campaign::new(world(23), cfg)
+        .expect("valid config")
+        .run()
+        .expect("passive run");
+
+    assert_eq!(
+        format!("{:?}", passive.as_events),
+        format!("{:?}", legacy.as_events)
+    );
+    assert_eq!(
+        format!("{:?}", passive.region_events),
+        format!("{:?}", legacy.region_events)
+    );
+    assert_eq!(passive.round_quality, legacy.round_quality);
+    assert_eq!(
+        availability_csv(&availability_rows(&passive)).into_bytes(),
+        availability_csv(&availability_rows(&legacy)).into_bytes()
+    );
+    assert_eq!(
+        outage_csv(&outage_rows(&passive)).into_bytes(),
+        outage_csv(&outage_rows(&legacy)).into_bytes()
+    );
+
+    // The passive ledger is the only addition, and the quiet diurnal world
+    // produces no passive events.
+    assert!(legacy.ibr.is_empty());
+    assert_eq!(passive.ibr.len(), 1);
+    assert_eq!(passive.ibr[0].asn, Asn(200));
+    assert_eq!(passive.ibr[0].volume.len(), ROUNDS as usize);
+    assert_eq!(passive.total_ibr_outages(), 0);
+
+    // The ibr_signal.csv export exists exactly when the signal is on, and
+    // its bytes are stable across exports.
+    let (dir_a, dir_b) = (fresh_dir("ia"), fresh_dir("ib"));
+    let exported = ukraine_fbs::core::dataset::export_all(&passive, &dir_a).is_ok()
+        && ukraine_fbs::core::dataset::export_all(&passive, &dir_b).is_ok();
+    if exported {
+        let file = "ibr_signal.csv";
+        let a = std::fs::read(dir_a.join(file)).expect(file);
+        let b = std::fs::read(dir_b.join(file)).expect(file);
+        assert_eq!(a, b, "{file} differs between two exports");
+    }
+    let dir_l = fresh_dir("il");
+    if ukraine_fbs::core::dataset::export_all(&legacy, &dir_l).is_ok() {
+        assert!(
+            !dir_l.join("ibr_signal.csv").exists(),
+            "an IBR-disabled run must not emit the passive dataset"
+        );
+    }
+    for d in [dir_a, dir_b, dir_l] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
 }
 
 #[test]

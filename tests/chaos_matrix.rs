@@ -10,11 +10,12 @@
 use ukraine_fbs::core::{CheckpointPolicy, DisagreementSummary};
 use ukraine_fbs::netsim::{
     AsProfile, AsSpec, BlockSpec, EventKind, EventTarget, FaultIntensity, FaultPlan, FaultWindow,
-    FaultyTransport, FeedFaultIntensity, FeedFaultPlan, FeedFaultWindow, Script, ScriptedEvent,
-    VantageSpec, World, WorldConfig, WorldScale, WorldTransport,
+    FaultyTransport, FeedFaultIntensity, FeedFaultPlan, FeedFaultWindow, IbrConfig, IbrDarkWindow,
+    Script, ScriptedEvent, VantageSpec, World, WorldConfig, WorldScale, WorldTransport,
 };
 use ukraine_fbs::prelude::*;
 use ukraine_fbs::prober::{ScanConfig, Scanner, TargetSet};
+use ukraine_fbs::signals::{IbrRoundStatus, SeasonalPredictor};
 use ukraine_fbs::types::{FeedKind, FeedStatus, Oblast, Prefix, RoundQuality};
 
 const ROUNDS: u32 = 600; // 50 days at 12 rounds/day
@@ -787,4 +788,167 @@ fn two_of_three_quorum_surfaces_path_disagreement() {
     // Byte-identical determinism across two full runs.
     let again = go();
     assert_eq!(format!("{report:?}"), format!("{again:?}"));
+}
+
+// ---------------------------------------------------------------------------
+// Passive-signal rows: when *every* vantage goes dark at once the active
+// side is completely blind, and the darknet's background radiation is the
+// only listener left. It alone must carry a scripted outage — with zero
+// false events, onset within one predictor window of ground truth, and an
+// exact per-round ledger.
+// ---------------------------------------------------------------------------
+
+/// Three vantages that all black out over [`VANTAGE_DARK`]: no usable
+/// active measurement exists for the whole window.
+fn roster_all_dark() -> Vec<VantageSpec> {
+    ["kyiv", "warsaw", "frankfurt"]
+        .into_iter()
+        .map(|name| VantageSpec {
+            fault_plan: Some(vantage_blackout_plan()),
+            ..VantageSpec::new(name)
+        })
+        .collect()
+}
+
+/// A vantage config with the passive background-radiation signal enabled.
+fn ibr_config(vantages: Vec<VantageSpec>) -> CampaignConfig {
+    let mut cfg = vantage_config(vantages);
+    cfg.ibr = Some(IbrConfig::default());
+    cfg
+}
+
+#[test]
+fn all_vantages_dark_passive_signal_alone_carries_the_outage() {
+    // A 3-day BGP outage entirely inside the blackout of *all three*
+    // vantages: no active signal can see it.
+    let outage_rounds = 300u32..340;
+    let go = || {
+        run_cfg(
+            world(11, vec![scripted_outage(outage_rounds.clone())]),
+            ibr_config(roster_all_dark()),
+        )
+    };
+    let report = go();
+
+    // The active side really was blind: every blackout round is Unusable,
+    // detectors frozen, and no active outage event exists anywhere.
+    assert_eq!(
+        report.unusable_rounds(),
+        (VANTAGE_DARK.end - VANTAGE_DARK.start) as usize
+    );
+    assert_eq!(
+        report.total_as_outages(),
+        0,
+        "active detection fired while every vantage was dark: {:?}",
+        report.as_events
+    );
+
+    // The passive signal alone carries the outage: exactly one IBR event,
+    // and it is the scripted one — zero false positives.
+    assert_eq!(report.total_ibr_outages(), 1);
+    let ledger = report.ibr_ledger(Asn(100)).expect("per-AS ibr ledger");
+    let event = ledger.events[0];
+    assert!(
+        event.start.0 >= outage_rounds.start,
+        "passive event opened before the outage: {event:?}"
+    );
+    assert!(
+        event.start.0 - outage_rounds.start <= SeasonalPredictor::DEFAULT_WARMUP,
+        "onset more than one predictor window late: {event:?}"
+    );
+    // With radiation dropping to zero instantly, onset and recovery are in
+    // fact exact in this deterministic world.
+    assert_eq!(event.start, Round(outage_rounds.start));
+    assert_eq!(event.end, Round(outage_rounds.end));
+    assert_eq!(event.min_ratio, 0.0);
+    for r in 0..ROUNDS {
+        assert_eq!(
+            ledger.in_outage(Round(r)),
+            outage_rounds.contains(&r),
+            "round {r}"
+        );
+    }
+
+    // Ledgered exactly: one volume and one status per campaign round, all
+    // observed (the *vantages* were dark, the darknet was not), and the
+    // radiation is silent precisely over the scripted outage.
+    assert_eq!(ledger.volume.len(), ROUNDS as usize);
+    assert_eq!(ledger.status.len(), ROUNDS as usize);
+    assert_eq!(ledger.observed_rounds(), ROUNDS as usize);
+    assert_eq!(ledger.dark_rounds(), 0);
+    for (r, v) in ledger.volume.iter().enumerate() {
+        assert_eq!(
+            *v == 0,
+            outage_rounds.contains(&(r as u32)),
+            "round {r}: radiation must vanish exactly over the outage"
+        );
+    }
+
+    // Byte-identical determinism across two full runs.
+    let again = go();
+    assert_eq!(format!("{report:?}"), format!("{again:?}"));
+}
+
+#[test]
+fn dark_darknet_freezes_instead_of_fabricating() {
+    // The passive path's own outage mode: the collector fails for five
+    // days over a healthy world. The predictor must freeze — collector
+    // silence is never read as a country-wide outage — and the ledger
+    // records the gap as Dark, not as zero-volume Observed.
+    const DARKNET_DARK: std::ops::Range<u32> = 250..310;
+    let mut cfg = campaign_config(None);
+    cfg.ibr = Some(IbrConfig::with_dark_windows(vec![IbrDarkWindow {
+        start: DARKNET_DARK.start,
+        end: DARKNET_DARK.end,
+    }]));
+    let go = || run_cfg(world(11, vec![]), cfg.clone());
+    let report = go();
+
+    assert_eq!(
+        report.total_ibr_outages(),
+        0,
+        "collector silence was read as an outage: {:?}",
+        report.ibr
+    );
+    assert_eq!(report.total_as_outages(), 0);
+    let ledger = report.ibr_ledger(Asn(100)).expect("per-AS ibr ledger");
+    assert_eq!(
+        ledger.dark_rounds(),
+        (DARKNET_DARK.end - DARKNET_DARK.start) as usize
+    );
+    assert_eq!(
+        ledger.observed_rounds(),
+        (ROUNDS - (DARKNET_DARK.end - DARKNET_DARK.start)) as usize
+    );
+    for r in 0..ROUNDS {
+        let expect = if DARKNET_DARK.contains(&r) {
+            IbrRoundStatus::Dark
+        } else {
+            IbrRoundStatus::Observed
+        };
+        assert_eq!(ledger.status[r as usize], expect, "round {r}");
+        if DARKNET_DARK.contains(&r) {
+            assert_eq!(ledger.volume[r as usize], 0, "round {r}");
+        } else {
+            assert!(ledger.volume[r as usize] > 0, "round {r}");
+        }
+    }
+
+    let again = go();
+    assert_eq!(format!("{report:?}"), format!("{again:?}"));
+}
+
+#[test]
+fn wire_faults_never_touch_the_passive_signal() {
+    // The IBR RNG domain is disjoint from the fault domains, and the
+    // darknet does not ride the scan path: the chaos-matrix fault mix must
+    // leave the passive ledgers bit-identical to a fault-free run.
+    let mut with_faults = campaign_config(Some(chaos_plan()));
+    with_faults.ibr = Some(IbrConfig::default());
+    let mut quiet = campaign_config(None);
+    quiet.ibr = Some(IbrConfig::default());
+    let a = run_cfg(world(11, vec![]), with_faults);
+    let b = run_cfg(world(11, vec![]), quiet);
+    assert_eq!(format!("{:?}", a.ibr), format!("{:?}", b.ibr));
+    assert_eq!(a.total_ibr_outages(), 0);
 }

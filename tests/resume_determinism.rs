@@ -14,7 +14,7 @@ use ukraine_fbs::core::checkpoint::{JOURNAL_FILE, SNAPSHOT_FILE};
 use ukraine_fbs::core::{CheckpointPolicy, DisagreementSummary};
 use ukraine_fbs::netsim::{
     AsProfile, AsSpec, BlockSpec, EventKind, EventTarget, FaultIntensity, FaultPlan, FaultWindow,
-    Script, ScriptedEvent, VantageSpec, World, WorldConfig, WorldScale,
+    IbrConfig, IbrDarkWindow, Script, ScriptedEvent, VantageSpec, World, WorldConfig, WorldScale,
 };
 use ukraine_fbs::prelude::*;
 use ukraine_fbs::types::{Oblast, Prefix};
@@ -133,6 +133,36 @@ fn multi_vantage_campaign() -> Campaign {
             ..VantageSpec::new("frankfurt")
         },
     ];
+    Campaign::new(world(11, vec![outage]), cfg).expect("valid config")
+}
+
+/// The multi-vantage campaign with the passive background-radiation
+/// signal riding along — the version-4 checkpoint layout. A darknet-dark
+/// window sits well before the scripted outage so journal replay covers
+/// dark records, frozen-predictor state and an open passive outage.
+fn ibr_campaign() -> Campaign {
+    let outage = ScriptedEvent {
+        name: "scripted-outage".into(),
+        target: EventTarget::As(Asn(100)),
+        kind: EventKind::BgpOutage,
+        start: Round(360).start(),
+        end: Some(Round(396).start()),
+    };
+    let mut cfg = CampaignConfig::without_baseline();
+    cfg.tracked.clear();
+    cfg.rtt_tracked.clear();
+    cfg.vantages = vec![
+        VantageSpec::new("kyiv"),
+        VantageSpec {
+            path_rtt_ns: 12_000_000,
+            fault_plan: Some(chaos_plan()),
+            ..VantageSpec::new("warsaw")
+        },
+    ];
+    cfg.ibr = Some(IbrConfig::with_dark_windows(vec![IbrDarkWindow {
+        start: 150,
+        end: 186,
+    }]));
     Campaign::new(world(11, vec![outage]), cfg).expect("valid config")
 }
 
@@ -421,5 +451,116 @@ fn journal_behind_snapshot_is_healed_by_rescanning() {
         252,
         "journal healed exactly up to the snapshot"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ibr_resume_is_byte_identical() {
+    // The version-4 layout through the whole crash ladder: kill before the
+    // first snapshot, mid-campaign (replay crosses the darknet-dark window,
+    // so frozen predictors restore bit-for-bit), mid-outage (an *open*
+    // passive event lives in the snapshot), and one round short of the end.
+    let campaign = ibr_campaign();
+    let baseline = campaign.run().expect("uninterrupted run");
+    assert_eq!(baseline.ibr.len(), 1, "the passive ledger must be present");
+    assert!(
+        baseline.total_ibr_outages() >= 1,
+        "the scripted outage must register passively"
+    );
+    let baseline = format!("{baseline:?}");
+
+    for kill_at in [47u32, 250, 380, 599] {
+        let dir = fresh_dir("ibr");
+        run_and_kill(&campaign, &dir, kill_at);
+
+        let (resumed, diag) = campaign
+            .resume_with(&dir, policy())
+            .expect("resume after kill");
+        assert_eq!(
+            format!("{resumed:?}"),
+            baseline,
+            "ibr resumed report diverges after kill at round {kill_at}"
+        );
+        assert!(diag.journal.was_clean(), "kill at {kill_at}: {diag:?}");
+        assert_eq!(diag.journal.records, kill_at as u64);
+        assert_eq!(diag.healed_rounds, 0);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn ibr_checkpoints_are_version_4_and_byte_stable() {
+    // Two independent checkpointed runs of the passive-signal campaign
+    // write byte-identical snapshot + journal files, and the snapshot
+    // header carries the IBR schema version.
+    let campaign = ibr_campaign();
+    let (dir_a, dir_b) = (fresh_dir("v4a"), fresh_dir("v4b"));
+    let report_a = campaign.run_checkpointed(&dir_a, policy()).expect("run a");
+    let report_b = campaign.run_checkpointed(&dir_b, policy()).expect("run b");
+    assert_eq!(format!("{report_a:?}"), format!("{report_b:?}"));
+
+    for file in [SNAPSHOT_FILE, JOURNAL_FILE] {
+        let a = std::fs::read(dir_a.join(file)).expect(file);
+        let b = std::fs::read(dir_b.join(file)).expect(file);
+        assert_eq!(a, b, "{file} differs between two identical runs");
+    }
+    let (version, _) = ukraine_fbs::journal::read_snapshot(dir_a.join(SNAPSHOT_FILE))
+        .expect("readable snapshot")
+        .expect("snapshot written");
+    assert_eq!(
+        version, 4,
+        "a passive-signal campaign checkpoints as version 4"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn ibr_corrupt_journal_tail_is_truncated_and_rescanned() {
+    // The crash-recovery ladder holds for version-4 records too: a damaged
+    // tail record is dropped and the round re-measured, darknet included.
+    let campaign = ibr_campaign();
+    let baseline = format!("{:?}", campaign.run().expect("uninterrupted run"));
+
+    let dir = fresh_dir("ibrtail");
+    run_and_kill(&campaign, &dir, 300);
+    flip_bit_near_end(&dir.join(JOURNAL_FILE), 3);
+
+    let (resumed, diag) = campaign
+        .resume_with(&dir, policy())
+        .expect("resume over corrupt tail");
+    assert_eq!(
+        format!("{resumed:?}"),
+        baseline,
+        "corrupt v4 journal tail changed the report"
+    );
+    assert!(!diag.journal.was_clean(), "{diag:?}");
+    assert_eq!(diag.journal.records, 299, "exactly the damaged record lost");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn v3_checkpoint_resumes_as_an_ibr_disabled_campaign() {
+    // A checkpoint directory written *without* the passive signal stays on
+    // the version-3 layout and resumes exactly as an IBR-disabled
+    // campaign: no passive ledgers appear, and the report matches the
+    // uninterrupted run bit-for-bit. Old directories keep working.
+    let campaign = multi_vantage_campaign();
+    let baseline = format!("{:?}", campaign.run().expect("uninterrupted run"));
+
+    let dir = fresh_dir("v3compat");
+    run_and_kill(&campaign, &dir, 250);
+    let (version, _) = ukraine_fbs::journal::read_snapshot(dir.join(SNAPSHOT_FILE))
+        .expect("readable snapshot")
+        .expect("snapshot written");
+    assert_eq!(version, 3, "no passive signal, vantage schema version");
+
+    let (resumed, diag) = campaign.resume_with(&dir, policy()).expect("v3 resume");
+    assert_eq!(format!("{resumed:?}"), baseline);
+    assert!(diag.journal.was_clean());
+    assert!(resumed.ibr.is_empty(), "no passive config, no ledgers");
+    assert_eq!(resumed.total_ibr_outages(), 0);
     let _ = std::fs::remove_dir_all(&dir);
 }
