@@ -5,6 +5,7 @@ pub fn mean(xs: &[f64]) -> Option<f64> {
     if xs.is_empty() {
         None
     } else {
+        // fbs-lint: allow(float-reduction-order) sequential left-to-right over the caller's slice; callers pass roster/time-ordered data
         Some(xs.iter().sum::<f64>() / xs.len() as f64)
     }
 }
@@ -12,6 +13,7 @@ pub fn mean(xs: &[f64]) -> Option<f64> {
 /// Population standard deviation; `None` for an empty slice.
 pub fn stddev(xs: &[f64]) -> Option<f64> {
     let m = mean(xs)?;
+    // fbs-lint: allow(float-reduction-order) sequential left-to-right over the caller's slice; callers pass roster/time-ordered data
     let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
     Some(var.sqrt())
 }

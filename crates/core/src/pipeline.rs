@@ -32,8 +32,8 @@ use crate::report::{
 use fbs_feeds::{FeedHealth, FeedLoader, FeedOutcome, FeedQuarantine, TaggedQuarantine};
 use fbs_geodb::GeoSnapshot;
 use fbs_netsim::{
-    feedfaults, geo, ibr, BlockSpec, FaultPlan, FeedFaultPlan, IbrConfig, VantageSpec, World,
-    WorldRng,
+    faults, feedfaults, geo, ibr, BlockSpec, FaultPlan, FeedFaultPlan, IbrConfig, VantageSpec,
+    World, WorldRng,
 };
 use fbs_prober::RoundCursor;
 use fbs_regional::Regionality;
@@ -392,7 +392,7 @@ impl Statics {
         // Fault schedule (oracle-path mirror of `FaultyTransport`).
         let fault_plan = cfg.fault_plan.clone().unwrap_or_else(FaultPlan::none);
         fault_plan.validate()?;
-        let fault_rng = world.rng().domain("faults");
+        let fault_rng = faults::fault_domain(world.rng());
 
         // Vantage roster: each entry resolves its effective fault plan
         // (vantage-specific, else campaign-wide, else clean) and draws

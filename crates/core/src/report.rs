@@ -290,8 +290,10 @@ impl VantageLedger {
         if usable.len() < 2 {
             return None;
         }
+        // fbs-lint: allow(float-reduction-order) sequential sum over a Vec built in round order
         let mean = usable.iter().sum::<f64>() / usable.len() as f64;
         let var =
+            // fbs-lint: allow(float-reduction-order) sequential sum over a Vec built in round order
             usable.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (usable.len() - 1) as f64;
         let sd = var.sqrt();
         (sd > 0.0).then(|| mean / sd)
@@ -385,10 +387,12 @@ impl IbrLedger {
         if observed.len() < 2 {
             return None;
         }
+        // fbs-lint: allow(float-reduction-order) sequential sum over a Vec built in round order
         let mean = observed.iter().sum::<f64>() / observed.len() as f64;
         let var = observed
             .iter()
             .map(|v| (v - mean) * (v - mean))
+            // fbs-lint: allow(float-reduction-order) sequential sum over a Vec built in round order
             .sum::<f64>()
             / (observed.len() - 1) as f64;
         let sd = var.sqrt();

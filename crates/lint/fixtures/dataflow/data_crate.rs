@@ -1,0 +1,12 @@
+//! Miniature workspace, data crate: shaping goes through a second hop
+//! before the unordered map appears — invisible to a one-hop checker.
+
+pub fn shape_rows(rows: &Rows) -> Vec<String> {
+    bucket(rows)
+}
+
+fn bucket(rows: &Rows) -> Vec<String> {
+    let mut m = HashMap::new();
+    m.insert(1u32, 2u32);
+    m.into_iter().map(|(k, v)| format!("{k}={v}")).collect()
+}

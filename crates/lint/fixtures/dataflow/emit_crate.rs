@@ -1,0 +1,8 @@
+//! Miniature workspace, emitter crate: the report writer calls into the
+//! data crate's shaping helper — the sink root of the closure.
+
+pub fn write_report(rows: &Rows, out: &mut String) {
+    for line in shape_rows(rows) {
+        out.push_str(&line);
+    }
+}

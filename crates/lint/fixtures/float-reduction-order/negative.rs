@@ -1,0 +1,23 @@
+//! Near-misses: integer reductions, an order-free max-fold, a pragma'd
+//! pinned-order sum, and a float sum no emission surface reaches.
+
+pub fn emit_table(xs: &[u64], out: &mut String) {
+    out.push_str(&format!("{} {} {}", count(xs), peak(xs), snr(xs)));
+}
+
+fn count(xs: &[u64]) -> u64 {
+    xs.iter().sum::<u64>()
+}
+
+fn peak(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0f64, f64::max)
+}
+
+fn snr(xs: &[f64]) -> f64 {
+    // fbs-lint: allow(float-reduction-order) sequential sum over round-ordered input
+    xs.iter().sum::<f64>()
+}
+
+fn offline_mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}

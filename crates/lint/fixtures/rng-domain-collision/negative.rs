@@ -1,0 +1,18 @@
+//! Near-misses: a registered literal drawn once, a pragma'd computed
+//! subdomain, and a test-region redraw of a live domain.
+
+pub fn seed(rng: &WorldRng) -> WorldRng {
+    rng.domain("faults")
+}
+
+pub fn seed_vantage(rng: &WorldRng, name: &str) -> WorldRng {
+    // fbs-lint: allow(rng-domain-collision) name-keyed subdomain under a registered root; roster names are unique
+    rng.domain(name)
+}
+
+#[cfg(test)]
+mod tests {
+    fn reproduce_stream(rng: &WorldRng) -> WorldRng {
+        rng.domain("faults")
+    }
+}

@@ -1,0 +1,18 @@
+//! Deliberate violations: an unregistered domain literal, a computed
+//! domain argument, and one literal drawn at two live call sites.
+
+pub fn seed_unregistered(rng: &WorldRng) -> WorldRng {
+    rng.domain("not-in-registry")
+}
+
+pub fn seed_computed(rng: &WorldRng, name: &str) -> WorldRng {
+    rng.domain(name)
+}
+
+pub fn seed_faults_wire(rng: &WorldRng) -> WorldRng {
+    rng.domain("faults")
+}
+
+pub fn seed_faults_oracle(rng: &WorldRng) -> WorldRng {
+    rng.domain("faults")
+}

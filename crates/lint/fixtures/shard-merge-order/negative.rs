@@ -1,0 +1,25 @@
+//! Near-misses: shard results sorted before the sink, plain sequential
+//! iteration, and a fan-out laundered through a roster-ordered merge.
+
+pub fn collect_sorted(shards: &[Shard], out: &mut String) {
+    let mut results = shards.par_iter().map(run_shard).collect::<Vec<_>>();
+    results.sort_by_key(|r| r.round);
+    for r in results {
+        emit_row(&r, out);
+    }
+}
+
+pub fn collect_sequential(shards: &[Shard], out: &mut String) {
+    let results = shards.iter().map(run_shard).collect::<Vec<_>>();
+    for r in results {
+        emit_row(&r, out);
+    }
+}
+
+pub fn collect_merged(shards: &[Shard], out: &mut String) {
+    let raw = shards.par_iter().map(run_shard).collect::<Vec<_>>();
+    let ordered = roster_merge(raw);
+    for r in ordered {
+        emit_row(&r, out);
+    }
+}

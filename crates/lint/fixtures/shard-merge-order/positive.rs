@@ -1,0 +1,9 @@
+//! Deliberate violation: sharded round results reach the emitter in
+//! scheduling order — nothing sorts between `par_iter` and the sink.
+
+pub fn collect_rounds(shards: &[Shard], out: &mut String) {
+    let results = shards.par_iter().map(run_shard).collect::<Vec<_>>();
+    for r in results {
+        emit_row(&r, out);
+    }
+}

@@ -1,0 +1,17 @@
+//! Near-misses: plain owned state on the round path, shared state in a
+//! helper the round loop never reaches, and a non-Relaxed atomic.
+
+pub fn measure_round(world: &mut World) {
+    let mut hits = 0u64;
+    hits += world.probe();
+    world.record(hits);
+}
+
+pub fn offline_cache() {
+    let cache = Mutex::new(Vec::new());
+    cache.lock().push(1u32);
+}
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::AcqRel)
+}

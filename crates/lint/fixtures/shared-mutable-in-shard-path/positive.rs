@@ -1,0 +1,15 @@
+//! Deliberate violation: a Mutex two call-graph hops below the round
+//! loop — latent now, scheduling-dependent once rounds shard.
+
+pub fn measure_round(world: &mut World) {
+    probe_targets(world);
+}
+
+fn probe_targets(world: &mut World) {
+    tally_hits(world);
+}
+
+fn tally_hits(world: &mut World) {
+    let hits = Mutex::new(0u64);
+    world.record(hits);
+}

@@ -1,0 +1,514 @@
+//! The dataflow substrate: transitive call-graph reachability and a
+//! lightweight source→sink taint pass over function bodies.
+//!
+//! PR 5's semantic rules looked exactly one call-graph hop away from a
+//! sink; the determinism rules the sharded campaign engine needs (see
+//! ROADMAP item 1) are *transitive* properties: a `Mutex` three calls
+//! below `measure_round` breaks bit-identical replay just as surely as
+//! one inside it. This module turns the per-fn callee names collected by
+//! [`crate::graph`] into resolved edges and computes fixed-point
+//! reachability over them, once per lint run; every rule that asks
+//! "can control flow get from A to B?" shares the same closure.
+//!
+//! The taint pass is the second layer: inside one body, values produced
+//! by sharded/fan-out iteration (`par_iter`, `spawn`, `shard_*`) are
+//! *tainted* until they pass a deterministic ordering step (`sort*`,
+//! `BTreeMap`/`BTreeSet` collection, `ordered_*`/`roster_*` merges);
+//! tainted values reaching a persistence/emission sink are findings.
+//! Like everything below the engine, both passes are **total**: any
+//! token stream produces an answer, never a panic, always terminating —
+//! reachability visits each function at most once, and the taint scan
+//! is a single forward walk with bounded lookahead.
+
+use crate::context::SourceFile;
+use crate::graph::{is_library, SymbolGraph};
+use crate::lexer::TokenKind;
+use crate::parser::Span;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Resolved call edges: `edges[i]` lists the indices (into
+/// [`SymbolGraph::fns`]) of every library function a callee name of fn
+/// `i` resolves to. Resolution is name-based, like the graph itself:
+/// one name maps to every workspace function carrying it.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    pub edges: Vec<Vec<usize>>,
+}
+
+/// Builds the resolved call graph over library functions. Deterministic:
+/// edges follow the graph's fn order and each target list is sorted.
+pub fn build_call_graph(files: &[SourceFile], g: &SymbolGraph) -> CallGraph {
+    let mut edges = Vec::with_capacity(g.fns.len());
+    for f in &g.fns {
+        let mut out: Vec<usize> = Vec::new();
+        for callee in &f.callees {
+            if let Some(indices) = g.fns_by_name.get(callee) {
+                for &ci in indices {
+                    if is_library(&files[g.fns[ci].file]) {
+                        out.push(ci);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        edges.push(out);
+    }
+    CallGraph { edges }
+}
+
+impl CallGraph {
+    /// Fixed-point forward reachability from `roots` (inclusive).
+    ///
+    /// Returns, for every function, the index *into `roots`* of the
+    /// first root that reaches it, or `None`. Roots are seeded in the
+    /// order given and expanded breadth-first, so attribution is
+    /// deterministic: when two roots reach the same function, the
+    /// earlier root wins. Each function is visited at most once, which
+    /// is also the termination proof — cycles (recursion) are simply
+    /// never re-entered.
+    pub fn reach_from(&self, roots: &[usize]) -> Vec<Option<usize>> {
+        let n = self.edges.len();
+        let mut owner: Vec<Option<usize>> = vec![None; n];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for (ri, &fi) in roots.iter().enumerate() {
+            if fi < n && owner[fi].is_none() {
+                owner[fi] = Some(ri);
+                queue.push_back(fi);
+            }
+        }
+        while let Some(fi) = queue.pop_front() {
+            let from = owner[fi];
+            for &ti in &self.edges[fi] {
+                if ti < n && owner[ti].is_none() {
+                    owner[ti] = from;
+                    queue.push_back(ti);
+                }
+            }
+        }
+        owner
+    }
+}
+
+/// Call names that produce sharded / fan-out iteration: the values they
+/// yield arrive in scheduling order, not a deterministic one.
+pub const SHARD_SOURCES: &[&str] = &[
+    "par_iter",
+    "into_par_iter",
+    "par_bridge",
+    "par_chunks",
+    "par_chunks_mut",
+    "spawn",
+    "join_all",
+];
+
+/// Function-name prefixes that mark a call as a shard fan-out.
+pub const SHARD_PREFIXES: &[&str] = &["shard_", "fan_out"];
+
+/// Names that constitute a deterministic ordering step: passing through
+/// one of these launders shard-scheduling order back into a pinned one.
+pub const ORDER_STEPS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_by_cached_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "merge_ordered",
+    "merge_sorted",
+    "BTreeMap",
+    "BTreeSet",
+];
+
+/// Function-name prefixes that mark a call as a deterministic ordering
+/// step (`ordered_merge`, `roster_order`, …).
+pub const ORDER_PREFIXES: &[&str] = &["ordered_", "roster_"];
+
+/// Whether `name` is a shard/fan-out source call.
+pub fn is_shard_source(name: &str) -> bool {
+    SHARD_SOURCES.contains(&name) || SHARD_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+/// Whether `name` is a deterministic ordering step.
+pub fn is_order_step(name: &str) -> bool {
+    ORDER_STEPS.contains(&name) || ORDER_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+/// One taint finding: shard-ordered data reached a sink un-ordered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintFinding {
+    pub line: u32,
+    pub col: u32,
+    /// The fan-out call that produced the tainted value.
+    pub source: String,
+    /// The sink call the tainted value reached.
+    pub sink: String,
+}
+
+/// Runs the shard-order taint pass over one function body.
+///
+/// `is_sink_call` decides which callee names count as persistence /
+/// emission / merge sinks (the caller supplies it so the decision can
+/// consult the call graph). The pass is a single forward walk:
+///
+/// * `let x = …;` — if the right-hand side contains a shard source (or
+///   an already-tainted name) and no ordering step, `x` is tainted;
+///   any ordering step in the binding clears it.
+/// * `x.sort();`-style statements un-taint `x` in place.
+/// * `for v in x { … }` taints the loop variable when the iterated
+///   expression is tainted (or is itself a fan-out call).
+/// * a sink call whose argument tokens contain a tainted name or a
+///   direct shard-source call is a finding, anchored at the sink.
+pub fn shard_taint(
+    file: &SourceFile,
+    span: Span,
+    is_sink_call: &dyn Fn(&str) -> bool,
+) -> Vec<TaintFinding> {
+    let src = &file.src;
+    let hi = span.hi.min(file.sig_len());
+    let lo = span.lo.min(hi);
+    let tok = |i: usize| file.sig_token(i);
+    let ident_at = |i: usize| -> Option<String> {
+        let t = tok(i);
+        (t.kind == TokenKind::Ident).then(|| String::from_utf8_lossy(t.bytes(src)).into_owned())
+    };
+
+    // Tainted name → the source call that tainted it.
+    let mut tainted: BTreeMap<String, String> = BTreeMap::new();
+    let mut findings: Vec<TaintFinding> = Vec::new();
+    let mut reported: BTreeSet<(u32, u32)> = BTreeSet::new();
+
+    // A pending `let`: binders waiting for their statement to end.
+    struct Pending {
+        binders: Vec<String>,
+        depth: i64,
+        has_source: Option<String>,
+        has_order: bool,
+    }
+    let mut pending: Option<Pending> = None;
+    let mut depth: i64 = 0;
+
+    /// Scans `[from, to)` for a tainted name or a direct source call;
+    /// returns the source label of the first hit.
+    fn scan_for_taint(
+        file: &SourceFile,
+        from: usize,
+        to: usize,
+        tainted: &BTreeMap<String, String>,
+    ) -> Option<String> {
+        let src = &file.src;
+        for k in from..to {
+            let t = file.sig_token(k);
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let name = String::from_utf8_lossy(t.bytes(src)).into_owned();
+            if let Some(origin) = tainted.get(&name) {
+                return Some(origin.clone());
+            }
+            if is_shard_source(&name) && k + 1 < to && file.sig_token(k + 1).is_punct(src, "(") {
+                return Some(name);
+            }
+        }
+        None
+    }
+
+    let mut i = lo;
+    while i < hi {
+        let t = tok(i);
+        if t.kind == TokenKind::Punct {
+            match t.bytes(src) {
+                b"(" | b"[" | b"{" => depth += 1,
+                b")" | b"]" | b"}" => depth -= 1,
+                b";" if pending.as_ref().is_some_and(|p| depth <= p.depth) => {
+                    if let Some(p) = pending.take() {
+                        for b in p.binders {
+                            if let (Some(srcname), false) = (&p.has_source, p.has_order) {
+                                tainted.insert(b, srcname.clone());
+                            } else {
+                                tainted.remove(&b);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = String::from_utf8_lossy(t.bytes(src)).into_owned();
+
+        // `let` — collect binder idents until `:`/`=`/`;`.
+        if name == "let" {
+            let mut binders = Vec::new();
+            let mut j = i + 1;
+            while j < hi {
+                let bt = tok(j);
+                if bt.is_punct(src, "=") || bt.is_punct(src, ":") || bt.is_punct(src, ";") {
+                    break;
+                }
+                if bt.kind == TokenKind::Ident {
+                    let b = String::from_utf8_lossy(bt.bytes(src)).into_owned();
+                    if b != "mut" && b != "ref" {
+                        binders.push(b);
+                    }
+                }
+                j += 1;
+            }
+            pending = Some(Pending {
+                binders,
+                depth,
+                has_source: None,
+                has_order: false,
+            });
+            i = j;
+            continue;
+        }
+
+        // `for <pat> in <expr> {` — taint loop vars from the iterated expr.
+        if name == "for" {
+            let mut vars = Vec::new();
+            let mut j = i + 1;
+            while j < hi && !tok(j).is_punct(src, "{") {
+                if tok(j).kind == TokenKind::Ident {
+                    let v = String::from_utf8_lossy(tok(j).bytes(src)).into_owned();
+                    if v == "in" {
+                        j += 1;
+                        break;
+                    }
+                    if v != "mut" && v != "ref" {
+                        vars.push(v);
+                    }
+                }
+                j += 1;
+            }
+            let expr_lo = j;
+            while j < hi && !tok(j).is_punct(src, "{") && !tok(j).is_punct(src, ";") {
+                j += 1;
+            }
+            if let Some(origin) = scan_for_taint(file, expr_lo, j, &tainted) {
+                for v in vars {
+                    tainted.insert(v, origin.clone());
+                }
+            }
+            i = expr_lo.max(i + 1);
+            continue;
+        }
+
+        let is_call = i + 1 < hi && tok(i + 1).is_punct(src, "(");
+
+        // `x.sort()`-style in-place ordering un-taints the receiver.
+        if is_call && is_order_step(&name) && i >= lo + 2 && tok(i - 1).is_punct(src, ".") {
+            if let Some(recv) = ident_at(i - 2) {
+                tainted.remove(&recv);
+            }
+        }
+
+        // Ordering step inside a pending binding clears the taint.
+        if is_order_step(&name) {
+            if let Some(p) = &mut pending {
+                p.has_order = true;
+            }
+        }
+
+        // Shard source inside a pending binding taints its binders.
+        if is_call && is_shard_source(&name) {
+            if let Some(p) = &mut pending {
+                if p.has_source.is_none() {
+                    p.has_source = Some(name.clone());
+                }
+            }
+        }
+
+        // An already-tainted name used in a pending binding propagates.
+        if let Some(origin) = tainted.get(&name).cloned() {
+            if let Some(p) = &mut pending {
+                if p.has_source.is_none() {
+                    p.has_source = Some(origin);
+                }
+            }
+        }
+
+        // Sink call: scan its argument tokens for taint.
+        if is_call && is_sink_call(&name) {
+            let mut adepth = 0i64;
+            let mut j = i + 1;
+            let args_lo = i + 2;
+            while j < hi {
+                let at = tok(j);
+                if at.kind == TokenKind::Punct {
+                    match at.bytes(src) {
+                        b"(" | b"[" | b"{" => adepth += 1,
+                        b")" | b"]" | b"}" => {
+                            adepth -= 1;
+                            if adepth <= 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            if let Some(origin) = scan_for_taint(file, args_lo, j.min(hi), &tainted) {
+                if reported.insert((t.line, t.col)) {
+                    findings.push(TaintFinding {
+                        line: t.line,
+                        col: t.col,
+                        source: origin,
+                        sink: name.clone(),
+                    });
+                }
+            }
+        }
+
+        i += 1;
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{FileMeta, SourceFile};
+    use crate::graph::build;
+
+    fn analyze(path: &str, src: &str) -> SourceFile {
+        SourceFile::analyze(FileMeta::infer(path), src.as_bytes().to_vec())
+    }
+
+    fn taint_of(src: &str) -> Vec<TaintFinding> {
+        let f = analyze("crates/core/src/x.rs", src);
+        let g = build(std::slice::from_ref(&f));
+        let body = g.fns[0].body.expect("body");
+        shard_taint(&f, body, &|name| name.starts_with("write_"))
+    }
+
+    #[test]
+    fn reachability_is_transitive_and_attributes_the_first_root() {
+        let f = analyze(
+            "crates/core/src/x.rs",
+            "fn a() { b(); }\n\
+             fn b() { c(); }\n\
+             fn c() {}\n\
+             fn lone() {}\n",
+        );
+        let g = build(std::slice::from_ref(&f));
+        let cg = build_call_graph(std::slice::from_ref(&f), &g);
+        let a = g.fns_by_name["a"][0];
+        let c = g.fns_by_name["c"][0];
+        let lone = g.fns_by_name["lone"][0];
+        let reach = cg.reach_from(&[a]);
+        assert_eq!(reach[a], Some(0));
+        assert_eq!(reach[c], Some(0), "two hops");
+        assert_eq!(reach[lone], None);
+    }
+
+    #[test]
+    fn reachability_terminates_on_recursion() {
+        let f = analyze(
+            "crates/core/src/x.rs",
+            "fn ping() { pong(); }\nfn pong() { ping(); }\n",
+        );
+        let g = build(std::slice::from_ref(&f));
+        let cg = build_call_graph(std::slice::from_ref(&f), &g);
+        let reach = cg.reach_from(&[g.fns_by_name["ping"][0]]);
+        assert!(reach.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn non_library_targets_are_not_edges() {
+        let lib = analyze("crates/core/src/x.rs", "fn entry() { helper(); }\n");
+        let test = analyze("crates/core/tests/t.rs", "fn helper() {}\n");
+        let files = [lib, test];
+        let g = build(&files);
+        let cg = build_call_graph(&files, &g);
+        assert!(cg.edges[g.fns_by_name["entry"][0]].is_empty());
+    }
+
+    #[test]
+    fn unordered_shard_results_reaching_a_sink_are_tainted() {
+        let found = taint_of(
+            "fn merge(shards: &[S], out: &mut O) {\n\
+                 let results = shards.par_iter().map(run).collect::<Vec<_>>();\n\
+                 for r in results {\n\
+                     write_row(&r, out);\n\
+                 }\n\
+             }\n",
+        );
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 4);
+        assert_eq!(found[0].source, "par_iter");
+        assert_eq!(found[0].sink, "write_row");
+    }
+
+    #[test]
+    fn sorting_before_the_sink_clears_the_taint() {
+        let found = taint_of(
+            "fn merge(shards: &[S], out: &mut O) {\n\
+                 let mut results = shards.par_iter().map(run).collect::<Vec<_>>();\n\
+                 results.sort_by_key(|r| r.block);\n\
+                 for r in results {\n\
+                     write_row(&r, out);\n\
+                 }\n\
+             }\n",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn btree_collection_is_an_ordering_step() {
+        let found = taint_of(
+            "fn merge(shards: &[S], out: &mut O) {\n\
+                 let results = shards.par_iter().map(run).collect::<BTreeMap<_, _>>();\n\
+                 for r in results {\n\
+                     write_row(&r, out);\n\
+                 }\n\
+             }\n",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn direct_source_in_sink_args_is_flagged() {
+        let found = taint_of(
+            "fn merge(shards: &[S], out: &mut O) {\n\
+                 write_rows(shards.par_iter().map(run), out);\n\
+             }\n",
+        );
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 2);
+    }
+
+    #[test]
+    fn sequential_iteration_is_clean() {
+        let found = taint_of(
+            "fn merge(shards: &[S], out: &mut O) {\n\
+                 let results: Vec<_> = shards.iter().map(run).collect();\n\
+                 for r in results {\n\
+                     write_row(&r, out);\n\
+                 }\n\
+             }\n",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn rebinding_clears_stale_taint() {
+        let found = taint_of(
+            "fn merge(shards: &[S], out: &mut O) {\n\
+                 let results = shards.par_iter().map(run).collect::<Vec<_>>();\n\
+                 let results = ordered_merge(results);\n\
+                 for r in results {\n\
+                     write_row(&r, out);\n\
+                 }\n\
+             }\n",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

@@ -61,6 +61,12 @@ pub struct FnNode {
     pub hash_sites: Vec<HashSite>,
     /// File-writing call sites inside the body.
     pub write_sites: Vec<WriteSite>,
+    /// World-RNG `domain(…)` call sites inside the body.
+    pub domain_sites: Vec<DomainSite>,
+    /// Shared-mutable-state mentions inside the body.
+    pub shared_sites: Vec<SharedSite>,
+    /// Order-sensitive float reductions inside the body.
+    pub float_folds: Vec<FloatFold>,
 }
 
 /// One `HashMap`/`HashSet` mention inside a function body.
@@ -79,6 +85,41 @@ pub struct WriteSite {
     pub col: u32,
     /// The call shape, e.g. `fs::write` or `.write_all`.
     pub callee: &'static str,
+}
+
+/// One `domain(…)` RNG-domain call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct DomainSite {
+    pub line: u32,
+    pub col: u32,
+    /// The domain string when the sole argument is a string literal
+    /// (`domain("faults")` → `Some("faults")`); `None` for computed
+    /// arguments (`domain(&self.name)`, `domain(kind.name())`).
+    pub literal: Option<String>,
+}
+
+/// One shared-mutable-state mention inside a function body: interior
+/// mutability, lock types, or relaxed atomics — the constructs that make
+/// behaviour depend on thread scheduling once the round loop shards.
+#[derive(Debug, Clone)]
+pub struct SharedSite {
+    pub line: u32,
+    pub col: u32,
+    /// What was found: `Mutex`, `RwLock`, `RefCell`, `Cell`,
+    /// `UnsafeCell`, `static mut`, or `Ordering::Relaxed`.
+    pub what: &'static str,
+}
+
+/// One order-sensitive floating-point reduction inside a function body:
+/// `.sum::<f64>()` / `.product::<f64>()`, or a `.fold(<float literal>, …)`
+/// whose closure accumulates with `+`. Float addition is not associative,
+/// so the accumulation order *is* part of the result bytes.
+#[derive(Debug, Clone)]
+pub struct FloatFold {
+    pub line: u32,
+    pub col: u32,
+    /// The reduction shape: `sum::<f64>`, `product::<f64>`, or `fold(+)`.
+    pub shape: &'static str,
 }
 
 /// The assembled cross-file view.
@@ -201,6 +242,9 @@ fn push_fn(
         callees: Vec::new(),
         hash_sites: Vec::new(),
         write_sites: Vec::new(),
+        domain_sites: Vec::new(),
+        shared_sites: Vec::new(),
+        float_folds: Vec::new(),
     };
     if let Some(span) = f.body {
         scan_body(file, span, &mut node);
@@ -210,8 +254,22 @@ fn push_fn(
     g.fns.push(node);
 }
 
+/// Decodes a plain `"…"` string-literal token into its inner text.
+/// Raw/byte strings return `None` and are treated as computed — the
+/// conservative direction for the domain-literal rule.
+fn plain_str_value(bytes: &[u8]) -> Option<String> {
+    if bytes.len() >= 2 && bytes.first() == Some(&b'"') && bytes.last() == Some(&b'"') {
+        Some(String::from_utf8_lossy(&bytes[1..bytes.len() - 1]).into_owned())
+    } else {
+        None
+    }
+}
+
+/// Shared-mutable constructs that make behaviour depend on scheduling.
+const SHARED_STATE: &[&str] = &["Mutex", "RwLock", "RefCell", "Cell", "UnsafeCell"];
+
 /// One pass over a body span collecting callees, hash-collection mentions,
-/// and write sites.
+/// write sites, RNG-domain calls, shared-state mentions, and float folds.
 fn scan_body(file: &SourceFile, span: Span, node: &mut FnNode) {
     let src = &file.src;
     let hi = span.hi.min(file.sig_len());
@@ -221,6 +279,99 @@ fn scan_body(file: &SourceFile, span: Span, node: &mut FnNode) {
         let t = file.sig_token(i);
         if t.kind != TokenKind::Ident {
             continue;
+        }
+        for name in SHARED_STATE {
+            if t.is_ident(src, name) {
+                node.shared_sites.push(SharedSite {
+                    line: t.line,
+                    col: t.col,
+                    what: name,
+                });
+            }
+        }
+        if t.is_ident(src, "static") && i + 1 < hi && file.sig_token(i + 1).is_ident(src, "mut") {
+            node.shared_sites.push(SharedSite {
+                line: t.line,
+                col: t.col,
+                what: "static mut",
+            });
+        }
+        if t.is_ident(src, "Relaxed") {
+            node.shared_sites.push(SharedSite {
+                line: t.line,
+                col: t.col,
+                what: "Ordering::Relaxed",
+            });
+        }
+        // `domain("lit")` vs `domain(<computed>)`.
+        if t.is_ident(src, "domain") && i + 1 < hi && file.sig_token(i + 1).is_punct(src, "(") {
+            let literal = if i + 3 < hi
+                && file.sig_token(i + 2).kind == TokenKind::Str
+                && file.sig_token(i + 3).is_punct(src, ")")
+            {
+                plain_str_value(file.sig_token(i + 2).bytes(src))
+            } else {
+                None
+            };
+            node.domain_sites.push(DomainSite {
+                line: t.line,
+                col: t.col,
+                literal,
+            });
+        }
+        // `.sum::<f64>()` / `.product::<f64>()` — typed float reductions.
+        if (t.is_ident(src, "sum") || t.is_ident(src, "product"))
+            && i > lo
+            && file.sig_token(i - 1).is_punct(src, ".")
+            && i + 3 < hi
+            && file.sig_token(i + 1).is_punct(src, "::")
+            && file.sig_token(i + 2).is_punct(src, "<")
+            && file.sig_token(i + 3).is_ident(src, "f64")
+        {
+            node.float_folds.push(FloatFold {
+                line: t.line,
+                col: t.col,
+                shape: if t.is_ident(src, "sum") {
+                    "sum::<f64>"
+                } else {
+                    "product::<f64>"
+                },
+            });
+        }
+        // `.fold(<float literal>, …)` whose closure accumulates with `+`.
+        if t.is_ident(src, "fold")
+            && i > lo
+            && file.sig_token(i - 1).is_punct(src, ".")
+            && i + 2 < hi
+            && file.sig_token(i + 1).is_punct(src, "(")
+            && file.sig_token(i + 2).kind == TokenKind::Float
+        {
+            let mut depth = 0usize;
+            let mut adds = false;
+            for k in i + 1..hi {
+                let p = file.sig_token(k);
+                if p.kind != TokenKind::Punct {
+                    continue;
+                }
+                match p.bytes(src) {
+                    b"(" | b"[" | b"{" => depth += 1,
+                    b")" | b"]" | b"}" => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    b"+" | b"+=" => adds = true,
+                    _ => {}
+                }
+            }
+            if adds {
+                node.float_folds.push(FloatFold {
+                    line: t.line,
+                    col: t.col,
+                    shape: "fold(+)",
+                });
+            }
         }
         for name in ["HashMap", "HashSet"] {
             if t.is_ident(src, name) {
@@ -372,6 +523,68 @@ mod tests {
         assert_eq!(step.impl_trait, None);
         let persist = &g.fns[g.fns_by_name["persist"][0]];
         assert_eq!(persist.impl_trait.as_deref(), Some("Persist"));
+    }
+
+    #[test]
+    fn domain_sites_split_literal_from_computed() {
+        let f = analyze(
+            "crates/netsim/src/x.rs",
+            "fn a(rng: &WorldRng) { let r = rng.domain(\"faults\"); }\n\
+             fn b(rng: &WorldRng, name: &str) { let r = rng.domain(name); }\n\
+             fn c(rng: &WorldRng) { let r = rng.domain(\"root\").domain(&self.name); }\n",
+        );
+        let g = build(std::slice::from_ref(&f));
+        let a = &g.fns[g.fns_by_name["a"][0]];
+        assert_eq!(a.domain_sites.len(), 1);
+        assert_eq!(a.domain_sites[0].literal.as_deref(), Some("faults"));
+        let b = &g.fns[g.fns_by_name["b"][0]];
+        assert_eq!(b.domain_sites.len(), 1);
+        assert_eq!(b.domain_sites[0].literal, None);
+        let c = &g.fns[g.fns_by_name["c"][0]];
+        let lits: Vec<Option<&str>> = c
+            .domain_sites
+            .iter()
+            .map(|d| d.literal.as_deref())
+            .collect();
+        assert_eq!(lits, [Some("root"), None]);
+    }
+
+    #[test]
+    fn shared_state_mentions_are_collected() {
+        let f = analyze(
+            "crates/core/src/x.rs",
+            "fn f() {\n\
+                 let m = Mutex::new(0);\n\
+                 let c = RefCell::new(0);\n\
+                 let n = COUNT.fetch_add(1, Ordering::Relaxed);\n\
+             }\n",
+        );
+        let g = build(std::slice::from_ref(&f));
+        let shapes: Vec<&str> = g.fns[0].shared_sites.iter().map(|s| s.what).collect();
+        assert_eq!(shapes, ["Mutex", "RefCell", "Ordering::Relaxed"]);
+        assert_eq!(g.fns[0].shared_sites[2].line, 4);
+    }
+
+    #[test]
+    fn float_folds_catch_sum_and_additive_fold_only() {
+        let f = analyze(
+            "crates/analysis/src/x.rs",
+            "fn a(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n\
+             fn b(xs: &[f64]) -> f64 { xs.iter().fold(0.0, |acc, x| acc + x) }\n\
+             fn c(xs: &[f64]) -> f64 { xs.iter().copied().fold(0.0f64, f64::max) }\n\
+             fn d(xs: &[u64]) -> u64 { xs.iter().sum::<u64>() }\n\
+             fn e(xs: &[u64]) -> u64 { xs.iter().fold(0, |acc, x| acc + x) }\n",
+        );
+        let g = build(std::slice::from_ref(&f));
+        let by = |name: &str| &g.fns[g.fns_by_name[name][0]];
+        assert_eq!(by("a").float_folds[0].shape, "sum::<f64>");
+        assert_eq!(by("b").float_folds[0].shape, "fold(+)");
+        assert!(
+            by("c").float_folds.is_empty(),
+            "f64::max fold is order-free"
+        );
+        assert!(by("d").float_folds.is_empty(), "integer sum is exact");
+        assert!(by("e").float_folds.is_empty(), "integer fold is exact");
     }
 
     #[test]

@@ -24,10 +24,15 @@
 //! * [`context`] — per-file scoping: library vs bin vs test vs bench
 //!   classification from the path, `#[cfg(test)]` region detection, and
 //!   `// fbs-lint: allow(rule)` pragmas.
-//! * [`graph`] + [`semantic`] — the workspace symbol graph (struct →
-//!   Persist impl → encode/decode bodies, fn → callees, write sites) and
-//!   the four cross-file rules over it: `persist-field-drift`,
-//!   `persist-orphan`, `unregistered-emission`, `nondet-collection-flow`.
+//! * [`graph`] + [`dataflow`] + [`semantic`] — the workspace symbol
+//!   graph (struct → Persist impl → encode/decode bodies, fn → callees,
+//!   write/domain/shared-state/float-fold sites), the dataflow substrate
+//!   over it (resolved call edges, fixed-point transitive reachability,
+//!   and a source→sink shard-order taint pass), and the eight cross-file
+//!   rules: `persist-field-drift`, `persist-orphan`,
+//!   `unregistered-emission`, `nondet-collection-flow`,
+//!   `shard-merge-order`, `rng-domain-collision`,
+//!   `shared-mutable-in-shard-path`, `float-reduction-order`.
 //! * [`rules`] + [`engine`] — the lexical rule registry and the driver
 //!   that walks the workspace, applies each rule in scope, runs the
 //!   semantic pass over the assembled graph, and filters excused lines.
@@ -37,6 +42,7 @@
 #![forbid(unsafe_code)]
 
 pub mod context;
+pub mod dataflow;
 pub mod engine;
 pub mod graph;
 pub mod lexer;
@@ -45,9 +51,10 @@ pub mod rules;
 pub mod semantic;
 
 pub use context::{FileKind, FileMeta, SourceFile};
+pub use dataflow::{build_call_graph, shard_taint, CallGraph, TaintFinding};
 pub use engine::{
     collect_rs_files, find_workspace_root, lint_bytes, lint_source, lint_sources, lint_workspace,
     render_json, FileFinding, LintRun,
 };
-pub use rules::{rule_by_name, Finding, Rule, EMISSION_FILES, RULES};
+pub use rules::{rule_by_name, Finding, Rule, EMISSION_FILES, RNG_DOMAINS, RULES};
 pub use semantic::{SemanticRule, SEMANTIC_RULES};

@@ -26,6 +26,10 @@ struct Args {
     json: bool,
     list_rules: bool,
     root: Option<PathBuf>,
+    /// Write a `BENCH_lint.json` benchmark artifact here after the run.
+    bench_json: Option<PathBuf>,
+    /// Fail (exit 1) if the sweep takes longer than this many ms.
+    budget_ms: Option<u128>,
     paths: Vec<PathBuf>,
 }
 
@@ -35,6 +39,8 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         list_rules: false,
         root: None,
+        bench_json: None,
+        budget_ms: None,
         paths: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -46,6 +52,17 @@ fn parse_args() -> Result<Args, String> {
             "--root" => {
                 let dir = it.next().ok_or("--root requires a directory argument")?;
                 args.root = Some(PathBuf::from(dir));
+            }
+            "--bench-json" => {
+                let path = it.next().ok_or("--bench-json requires a path argument")?;
+                args.bench_json = Some(PathBuf::from(path));
+            }
+            "--budget-ms" => {
+                let n = it.next().ok_or("--budget-ms requires a number argument")?;
+                args.budget_ms = Some(
+                    n.parse()
+                        .map_err(|_| format!("--budget-ms: not a number: {n}"))?,
+                );
             }
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -63,16 +80,23 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-const USAGE: &str = "usage: fbs-lint [--workspace] [--json] [--list-rules] [--root DIR] [FILES…]";
+const USAGE: &str = "usage: fbs-lint [--workspace] [--json] [--list-rules] [--root DIR] \
+     [--bench-json PATH] [--budget-ms N] [FILES…]";
 
 fn list_rules() {
+    let width = RULES
+        .iter()
+        .map(|r| r.name.len())
+        .chain(SEMANTIC_RULES.iter().map(|r| r.name.len()))
+        .max()
+        .unwrap_or(0);
     println!("fbs-lint rules (suppress a line with `// fbs-lint: allow(<rule>) <why>`):");
     for rule in RULES {
-        println!("  {:22} {}", rule.name, rule.summary);
+        println!("  {:width$} {}", rule.name, rule.summary);
     }
     println!("semantic rules (cross-file, over the workspace symbol graph):");
     for rule in SEMANTIC_RULES {
-        println!("  {:22} {}", rule.name, rule.summary);
+        println!("  {:width$} {}", rule.name, rule.summary);
     }
 }
 
@@ -135,6 +159,7 @@ fn main() -> ExitCode {
         }
     };
 
+    let wall_ms = started.elapsed().as_millis();
     if args.json {
         print!("{}", render_json(&run));
     } else {
@@ -142,15 +167,34 @@ fn main() -> ExitCode {
             println!("{}", f.render());
         }
         eprintln!(
-            "fbs-lint: {} file{} checked, {} violation{} ({} ms)",
+            "fbs-lint: {} file{} checked, {} violation{} ({wall_ms} ms)",
             run.files_checked,
             if run.files_checked == 1 { "" } else { "s" },
             run.findings.len(),
             if run.findings.len() == 1 { "" } else { "s" },
-            started.elapsed().as_millis(),
         );
     }
-    if run.is_clean() {
+    if let Some(path) = &args.bench_json {
+        let bench = format!(
+            "{{\"bench\":\"lint_sweep\",\"files\":{},\"rules\":{},\"violations\":{},\"wall_ms\":{wall_ms},\"budget_ms\":{}}}\n",
+            run.files_checked,
+            RULES.len() + SEMANTIC_RULES.len(),
+            run.findings.len(),
+            args.budget_ms.map_or("null".to_string(), |b| b.to_string()),
+        );
+        if let Err(e) = std::fs::write(path, bench) {
+            eprintln!("fbs-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    let over_budget = args.budget_ms.is_some_and(|b| wall_ms > b);
+    if over_budget {
+        eprintln!(
+            "fbs-lint: sweep took {wall_ms} ms, over the --budget-ms {} budget",
+            args.budget_ms.unwrap_or(0),
+        );
+    }
+    if run.is_clean() && !over_budget {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

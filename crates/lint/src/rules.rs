@@ -66,6 +66,32 @@ pub const EMISSION_FILES: &[&str] = &[
     "crates/journal/src/wal.rs",
 ];
 
+/// The registry of world-RNG domain strings: every random decision in
+/// the workspace flows through `WorldRng::domain("<literal>")`, and the
+/// disjointness of those literals is what keeps the noise streams of
+/// independent subsystems (wire faults, feed faults, IBR, vantage
+/// faults, world truth) from correlating — the property every
+/// "signal X off ⇒ other signals bit-identical" test rests on. The
+/// `rng-domain-collision` semantic rule checks this list *both ways*
+/// against `domain(…)` call sites found in library code: an unlisted
+/// literal is a violation, a listed literal with no live call site is
+/// stale, a literal used at two independent call sites is a collision,
+/// and a computed (non-literal) argument defeats the check entirely, so
+/// it is flagged unless justified with a pragma. Keep sorted.
+pub const RNG_DOMAINS: &[&str] = &[
+    "delegations",
+    "delegations-2025",
+    "faults",
+    "feeds",
+    "geo",
+    "hosts",
+    "ibr",
+    "power",
+    "scenario",
+    "v6",
+    "vantage-faults",
+];
+
 /// Files that render report/dataset *content* into strings handed to the
 /// writers above, without necessarily naming the `Persist` codec: string
 /// formatting is still an emission boundary where iteration order becomes
@@ -387,4 +413,46 @@ fn check_missing_forbid_unsafe(f: &SourceFile, out: &mut Vec<Finding>) {
                   creep in without a reviewed policy change"
             .to_string(),
     });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact domain set is pinned: adding a signal whose noise needs
+    /// its own stream means registering the new domain *here*, in the
+    /// same reviewed diff that introduces the `domain("…")` call —
+    /// otherwise the workspace sweep fails on the unregistered literal.
+    #[test]
+    fn rng_domain_registry_is_pinned_sorted_and_distinct() {
+        assert_eq!(
+            RNG_DOMAINS,
+            [
+                "delegations",
+                "delegations-2025",
+                "faults",
+                "feeds",
+                "geo",
+                "hosts",
+                "ibr",
+                "power",
+                "scenario",
+                "v6",
+                "vantage-faults",
+            ]
+        );
+        let mut sorted = RNG_DOMAINS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, RNG_DOMAINS, "registry must be sorted and distinct");
+    }
+
+    /// The emission registry shares the same discipline.
+    #[test]
+    fn emission_registry_is_sorted_and_distinct() {
+        let mut sorted = EMISSION_FILES.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, EMISSION_FILES);
+    }
 }

@@ -1,0 +1,71 @@
+//! Transitive dataflow over a miniature two-crate workspace fixture: an
+//! emitter crate whose report writer calls a data crate's shaping
+//! helper, which calls a second helper holding a `HashMap`. The defect
+//! sits two call-graph hops from the sink *and* in a different crate —
+//! exactly the flow PR 5's one-hop checker could not see.
+
+#![forbid(unsafe_code)]
+
+use fbs_lint::graph::build;
+use fbs_lint::{build_call_graph, lint_sources, FileMeta, SourceFile};
+use std::path::Path;
+
+fn fixture_file(name: &str, virtual_path: &str) -> SourceFile {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("dataflow")
+        .join(name);
+    let src = std::fs::read(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    SourceFile::analyze(FileMeta::infer(virtual_path), src)
+}
+
+fn two_crate_set() -> Vec<SourceFile> {
+    vec![
+        fixture_file("emit_crate.rs", "crates/report/src/emit.rs"),
+        fixture_file("data_crate.rs", "crates/data/src/shape.rs"),
+    ]
+}
+
+#[test]
+fn call_graph_reaches_across_crates_in_two_hops() {
+    let files = two_crate_set();
+    let g = build(&files);
+    let cg = build_call_graph(&files, &g);
+    let root = g.fns_by_name["write_report"][0];
+    let shape = g.fns_by_name["shape_rows"][0];
+    let bucket = g.fns_by_name["bucket"][0];
+    assert_eq!(g.fns[root].file, 0, "sink root lives in the emitter crate");
+    assert_eq!(g.fns[bucket].file, 1, "defect lives in the data crate");
+    let reach = cg.reach_from(&[root]);
+    assert_eq!(reach[shape], Some(0), "one hop");
+    assert_eq!(reach[bucket], Some(0), "two hops, across crates");
+}
+
+#[test]
+fn hash_two_hops_from_a_cross_crate_sink_is_a_finding() {
+    let files = two_crate_set();
+    let run = lint_sources(&files, false);
+    let hits: Vec<_> = run
+        .findings
+        .iter()
+        .filter(|f| f.finding.rule == "nondet-collection-flow")
+        .collect();
+    assert_eq!(hits.len(), 1, "{:?}", run.findings);
+    assert_eq!(hits[0].path, "crates/data/src/shape.rs");
+    assert_eq!(hits[0].finding.line, 9);
+    assert!(hits[0].finding.message.contains("`bucket`"));
+    assert!(hits[0]
+        .finding
+        .message
+        .contains("transitively reachable from emission function `write_report`"));
+}
+
+#[test]
+fn dropping_the_emitter_crate_clears_the_finding() {
+    // The data crate alone has no sink surface: the very same HashMap is
+    // clean, proving the finding flows from cross-crate reachability and
+    // not from the map itself.
+    let files = vec![fixture_file("data_crate.rs", "crates/data/src/shape.rs")];
+    let run = lint_sources(&files, false);
+    assert!(run.findings.is_empty(), "{:?}", run.findings);
+}

@@ -250,6 +250,62 @@ fn nondet_collection_flow_accepts_ordered_and_unreachable_maps() {
 }
 
 #[test]
+fn shard_merge_order_fires_at_the_unordered_sink_call() {
+    assert_fires("shard-merge-order", "crates/core/src/fixture.rs", &[7]);
+}
+
+#[test]
+fn shard_merge_order_accepts_sorted_sequential_and_merged_flows() {
+    assert_clean("shard-merge-order", "crates/core/src/fixture.rs");
+}
+
+#[test]
+fn rng_domain_collision_fires_on_all_three_shapes() {
+    // line 5: unregistered literal, line 9: computed argument,
+    // lines 13/17: the same literal at two live call sites.
+    assert_fires(
+        "rng-domain-collision",
+        "crates/netsim/src/fixture.rs",
+        &[5, 9, 13, 17],
+    );
+}
+
+#[test]
+fn rng_domain_collision_accepts_registered_pragmad_and_test_draws() {
+    assert_clean("rng-domain-collision", "crates/netsim/src/fixture.rs");
+}
+
+#[test]
+fn shared_mutable_fires_two_hops_below_the_round_loop() {
+    assert_fires(
+        "shared-mutable-in-shard-path",
+        "crates/core/src/fixture.rs",
+        &[13],
+    );
+}
+
+#[test]
+fn shared_mutable_accepts_owned_state_and_off_path_helpers() {
+    assert_clean("shared-mutable-in-shard-path", "crates/core/src/fixture.rs");
+}
+
+#[test]
+fn float_reduction_order_fires_on_sum_and_additive_fold() {
+    // line 9: .sum::<f64>() in a helper the emitter calls, line 13: an
+    // additive f64 fold one hop further.
+    assert_fires(
+        "float-reduction-order",
+        "crates/core/src/fixture.rs",
+        &[9, 13],
+    );
+}
+
+#[test]
+fn float_reduction_order_accepts_integer_max_and_pragmad_reductions() {
+    assert_clean("float-reduction-order", "crates/core/src/fixture.rs");
+}
+
+#[test]
 fn every_rule_has_both_fixtures() {
     let lexical = fbs_lint::RULES.iter().map(|r| r.name);
     let semantic = fbs_lint::SEMANTIC_RULES.iter().map(|r| r.name);

@@ -7,9 +7,10 @@
 
 #![forbid(unsafe_code)]
 
+use fbs_lint::graph::build;
 use fbs_lint::lexer::{lex, TokenKind};
-use fbs_lint::lint_bytes;
 use fbs_lint::parser::parse;
+use fbs_lint::{build_call_graph, lint_bytes, shard_taint, FileMeta, SourceFile};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -115,5 +116,71 @@ proptest! {
             "src/bin/fuzz.rs",
         ][path_pick];
         let _ = lint_bytes(path, src);
+    }
+
+    #[test]
+    fn call_graph_fixed_point_terminates_on_arbitrary_call_topologies(
+        calls in vec(vec(0u8..12, 0..4usize), 0..12usize),
+    ) {
+        // Generate a random fn-calls-fn topology (self-loops, cycles,
+        // diamonds included), materialize it as source, and require the
+        // closure to terminate with a well-formed, idempotent answer.
+        let mut src = String::new();
+        for (i, out) in calls.iter().enumerate() {
+            src.push_str(&format!("fn f{i}() {{"));
+            for c in out {
+                src.push_str(&format!(" f{}();", *c as usize % calls.len().max(1)));
+            }
+            src.push_str(" }\n");
+        }
+        let file = SourceFile::analyze(FileMeta::infer("crates/core/src/gen.rs"), src.into_bytes());
+        let files = [file];
+        let g = build(&files);
+        let cg = build_call_graph(&files, &g);
+        let roots: Vec<usize> = (0..g.fns.len()).step_by(3).collect();
+        let reach = cg.reach_from(&roots);
+        prop_assert_eq!(reach.len(), g.fns.len());
+        // Every root reaches itself; attribution indices stay in range.
+        for (ri, &fi) in roots.iter().enumerate() {
+            let owner = reach[fi];
+            prop_assert!(owner.is_some(), "root {fi} unreached");
+            prop_assert!(owner.unwrap() <= ri, "later root stole an earlier root's fn");
+        }
+        for owner in reach.iter().flatten() {
+            prop_assert!(*owner < roots.len());
+        }
+        // Fixed point: running reachability again changes nothing.
+        prop_assert_eq!(cg.reach_from(&roots), reach);
+    }
+
+    #[test]
+    fn shard_taint_is_total_on_arbitrary_bytes(src in vec(any::<u8>(), 0..512usize)) {
+        // The taint pass inherits the totality obligation of everything
+        // below the engine: any byte soup, walked as a fn body, must
+        // produce findings (possibly none) without panicking.
+        let file = SourceFile::analyze(FileMeta::infer("crates/core/src/gen.rs"), src);
+        let span = fbs_lint::parser::Span { lo: 0, hi: file.sig_len() };
+        let _ = shard_taint(&file, span, &|name| name.starts_with("write_"));
+    }
+
+    #[test]
+    fn shard_taint_is_total_on_statement_like_soup(picks in vec(any::<u8>(), 0..24usize)) {
+        // Adversarial near-statements: dangling lets, unbalanced brackets,
+        // sources and sinks in fragments — findings must stay anchored to
+        // real token positions.
+        const PIECES: &[&str] = &[
+            "let x = ", "par_iter()", ".sort()", "for r in ", "write_row(",
+            "spawn(", "; ", "} ", "{ ", ") ", "ordered_merge(", "x",
+            "shard_all(", "BTreeMap>", "= vec!", "], ",
+        ];
+        let src: Vec<u8> = picks
+            .iter()
+            .flat_map(|p| PIECES[*p as usize % PIECES.len()].bytes())
+            .collect();
+        let file = SourceFile::analyze(FileMeta::infer("crates/core/src/gen.rs"), src);
+        let span = fbs_lint::parser::Span { lo: 0, hi: file.sig_len() };
+        for f in shard_taint(&file, span, &|name| name.starts_with("write_")) {
+            prop_assert!(f.line >= 1, "line numbers are 1-based");
+        }
     }
 }

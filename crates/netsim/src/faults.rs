@@ -386,10 +386,19 @@ pub struct FaultyTransport<T> {
     scratch: Vec<(u64, Vec<u8>)>,
 }
 
+/// Derives the wire-fault RNG domain from a world RNG (or any seed
+/// source). This is the *only* place the domain string is drawn: the wire
+/// path ([`FaultyTransport`]) and the oracle-path mirror in the pipeline
+/// both route through it, so their draws stay the same stream by
+/// construction rather than by keeping two literals in sync.
+pub fn fault_domain(world_rng: WorldRng) -> WorldRng {
+    world_rng.domain("faults")
+}
+
 impl<T: Transport> FaultyTransport<T> {
     /// Derives the fault RNG domain from a world RNG (or any seed source).
     pub fn fault_domain(world_rng: WorldRng) -> WorldRng {
-        world_rng.domain("faults")
+        fault_domain(world_rng)
     }
 
     /// Wraps `inner` for `round` with a fixed intensity.

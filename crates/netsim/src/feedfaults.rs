@@ -222,6 +222,7 @@ pub fn deliver(
     if i.is_null() {
         return Some(text.to_string());
     }
+    // fbs-lint: allow(rng-domain-collision) kind-keyed subdomain under the registered "feeds" root; FeedKind names are a closed enum set
     let rng = rng.domain(kind.name());
     let r = round.0 as u64;
     if i.drop > 0.0 && rng.chance3(i.drop, r, 0, salt::DROP) {

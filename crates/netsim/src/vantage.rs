@@ -72,6 +72,7 @@ impl VantageSpec {
     /// pipeline uses the plain `"faults"` domain; these are disjoint from
     /// it and from each other.
     pub fn fault_domain(&self, world_rng: &WorldRng) -> WorldRng {
+        // fbs-lint: allow(rng-domain-collision) name-keyed subdomain under the registered "vantage-faults" root; roster names are unique by construction
         world_rng.domain("vantage-faults").domain(&self.name)
     }
 

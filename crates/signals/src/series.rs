@@ -87,6 +87,7 @@ impl SignalSeries {
         if measured.is_empty() {
             None
         } else {
+            // fbs-lint: allow(float-reduction-order) sequential sum over the series' own round-ordered values
             Some(measured.iter().sum::<f64>() / measured.len() as f64)
         }
     }
