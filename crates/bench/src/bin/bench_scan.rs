@@ -1,0 +1,187 @@
+//! Rounds-per-second throughput of the sharded round executor.
+//!
+//! Runs the Ukraine scenario campaign at small and paper scale across a
+//! sweep of worker-thread counts and reports scan throughput, emitting a
+//! `BENCH_scan.json` artifact (one row per `(scale, threads)` cell:
+//! `scale`, `threads`, `rounds_per_sec`, `wall_ms`) for CI to upload
+//! alongside `BENCH_lint.json`.
+//!
+//! The campaign *output* is byte-identical at every thread count (pinned
+//! by `tests/byte_identity.rs`); this binary measures the only thing the
+//! worker count is allowed to change — wall time. Knobs:
+//!
+//! * `FBS_BENCH_SCALES`   — comma list of `small` / `paper` / `tiny`
+//!   (default `small,paper`);
+//! * `FBS_BENCH_THREADS`  — comma list of worker counts (default `1,2,4,8`);
+//! * `FBS_BENCH_ROUNDS`   — override the per-scale round budget;
+//! * `FBS_BENCH_OUT`      — artifact path (default `BENCH_scan.json`);
+//! * `FBS_SEED`           — world seed (default 42).
+//!
+//! Leave `FBS_THREADS` unset when benching: the runtime override would
+//! pin every cell to the same worker count.
+
+#![forbid(unsafe_code)]
+
+use fbs_core::{Campaign, CampaignConfig};
+use fbs_netsim::{VantageSpec, WorldScale};
+use std::time::Instant;
+
+/// One measured cell of the sweep.
+struct Row {
+    scale: &'static str,
+    threads: usize,
+    rounds: u32,
+    wall_ms: u64,
+    rounds_per_sec: f64,
+}
+
+fn scale_name(scale: WorldScale) -> &'static str {
+    match scale {
+        WorldScale::Tiny => "tiny",
+        WorldScale::Small => "small",
+        WorldScale::Paper => "paper",
+    }
+}
+
+/// Round budget per scale: enough rounds for a stable per-round figure,
+/// few enough that the full sweep stays CI-friendly.
+fn rounds_for(scale: WorldScale) -> u32 {
+    if let Ok(s) = std::env::var("FBS_BENCH_ROUNDS") {
+        if let Ok(n) = s.trim().parse::<u32>() {
+            return n.max(1);
+        }
+    }
+    match scale {
+        WorldScale::Tiny => 480,
+        WorldScale::Small => 288,
+        WorldScale::Paper => 48,
+    }
+}
+
+fn scales_from_env() -> Vec<WorldScale> {
+    let spec = std::env::var("FBS_BENCH_SCALES").unwrap_or_else(|_| "small,paper".to_string());
+    let mut scales = Vec::new();
+    for part in spec.split(',') {
+        match part.trim().to_lowercase().as_str() {
+            "tiny" => scales.push(WorldScale::Tiny),
+            "small" => scales.push(WorldScale::Small),
+            "paper" => scales.push(WorldScale::Paper),
+            "" => {}
+            other => eprintln!("[bench_scan] ignoring unknown scale {other:?}"),
+        }
+    }
+    if scales.is_empty() {
+        scales.push(WorldScale::Small);
+    }
+    scales
+}
+
+fn threads_from_env() -> Vec<usize> {
+    let spec = std::env::var("FBS_BENCH_THREADS").unwrap_or_else(|_| "1,2,4,8".to_string());
+    let mut threads: Vec<usize> = spec
+        .split(',')
+        .filter_map(|p| p.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect();
+    if threads.is_empty() {
+        threads = vec![1, 2, 4, 8];
+    }
+    threads
+}
+
+/// The benched campaign config: a three-vantage roster makes the round's
+/// parallel half (the per-vantage scan fan-out) dominate the serial
+/// accumulation half, which is what the executor exists to speed up.
+fn bench_config(threads: usize) -> CampaignConfig {
+    let mut cfg = CampaignConfig::without_baseline();
+    cfg.vantages = vec![
+        VantageSpec::new("kyiv"),
+        VantageSpec::new("warsaw"),
+        VantageSpec::new("frankfurt"),
+    ];
+    cfg.threads = threads;
+    cfg
+}
+
+fn measure(scale: WorldScale, threads: usize, seed: u64) -> Row {
+    let rounds = rounds_for(scale);
+    let world = fbs_scenarios::ukraine_with_rounds(scale, seed, rounds)
+        .into_world()
+        .expect("scenario is valid");
+    let campaign = Campaign::new(world, bench_config(threads)).expect("valid config");
+    // Time the round loop alone: runner construction (detector rosters,
+    // shard partition) and report assembly are once-per-campaign costs the
+    // thread count cannot touch, and at a short round budget they would
+    // drown the signal.
+    let mut runner = campaign.runner().expect("runner");
+    let start = Instant::now();
+    runner.run_to_end().expect("campaign run");
+    let wall = start.elapsed();
+    let report = runner.finish().expect("report");
+    assert_eq!(report.round_quality.len(), rounds as usize);
+    let secs = wall.as_secs_f64().max(1e-9);
+    Row {
+        scale: scale_name(scale),
+        threads,
+        rounds,
+        wall_ms: wall.as_millis() as u64,
+        rounds_per_sec: rounds as f64 / secs,
+    }
+}
+
+/// Renders the artifact by hand: the rows are flat scalars, and keeping
+/// the encoder local keeps the binary free of derive plumbing.
+fn render_json(rows: &[Row]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"scale\": \"{}\", \"threads\": {}, \"rounds\": {}, \"rounds_per_sec\": {:.3}, \"wall_ms\": {}}}{}\n",
+            r.scale,
+            r.threads,
+            r.rounds,
+            r.rounds_per_sec,
+            r.wall_ms,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push(']');
+    out
+}
+
+fn main() {
+    if std::env::var_os("FBS_THREADS").is_some() {
+        eprintln!(
+            "[bench_scan] warning: FBS_THREADS is set and overrides every \
+             cell's worker count — unset it for a meaningful sweep"
+        );
+    }
+    let seed = fbs_bench::seed_from_env();
+    let mut rows = Vec::new();
+    println!(
+        "{:<8} {:>8} {:>8} {:>10} {:>12}",
+        "scale", "threads", "rounds", "wall_ms", "rounds/s"
+    );
+    for scale in scales_from_env() {
+        let mut serial: Option<f64> = None;
+        for threads in threads_from_env() {
+            let row = measure(scale, threads, seed);
+            let speedup = match serial {
+                None => {
+                    serial = Some(row.rounds_per_sec);
+                    String::new()
+                }
+                Some(base) => format!("  ({:.2}x)", row.rounds_per_sec / base),
+            };
+            println!(
+                "{:<8} {:>8} {:>8} {:>10} {:>12.2}{speedup}",
+                row.scale, row.threads, row.rounds, row.wall_ms, row.rounds_per_sec
+            );
+            rows.push(row);
+        }
+    }
+    let path = std::env::var("FBS_BENCH_OUT").unwrap_or_else(|_| "BENCH_scan.json".to_string());
+    match std::fs::write(&path, render_json(&rows)) {
+        Ok(()) => eprintln!("[bench_scan] wrote {path}"),
+        Err(e) => eprintln!("[bench_scan] cannot write {path}: {e}"),
+    }
+}

@@ -40,13 +40,17 @@ use std::path::{Path, PathBuf};
 /// multi-vantage campaigns (per-vantage [`VantageObs`] in round records,
 /// per-vantage quality ledgers in the snapshot); 4 — the passive
 /// background-radiation signal (per-AS [`IbrObs`] in round records,
-/// per-AS seasonal predictors and IBR ledgers in the snapshot).
+/// per-AS seasonal predictors and IBR ledgers in the snapshot); 5 —
+/// supervised sharded execution (per-shard [`ShardObs`] outcomes in round
+/// records, per-round shard summaries in the snapshot).
 ///
 /// A single-vantage campaign (empty roster) still writes
 /// [`LEGACY_STATE_VERSION`] files, byte-identical to what it always wrote;
-/// version 3 is only emitted when the roster is non-empty, and
-/// [`IBR_STATE_VERSION`] only when the passive signal is enabled, so
-/// pre-IBR checkpoints stay readable and writable without any migration.
+/// version 3 is only emitted when the roster is non-empty,
+/// [`IBR_STATE_VERSION`] only when the passive signal is enabled, and
+/// [`SHARD_STATE_VERSION`] only when shard supervision is enabled
+/// (`shard_plan: Some`), so pre-existing checkpoints stay readable and
+/// writable without any migration.
 pub const STATE_VERSION: u32 = 3;
 
 /// The pre-multi-vantage schema version, still both read and written (it
@@ -58,6 +62,13 @@ pub const LEGACY_STATE_VERSION: u32 = 2;
 /// single-vantage `blocks` and the multi-vantage `vantages` layouts, so
 /// it composes with either scanning mode.
 pub const IBR_STATE_VERSION: u32 = 4;
+
+/// The supervised-shard schema version, written only by campaigns with a
+/// shard-fault plan (`shard_plan: Some`). It carries every section of the
+/// earlier layouts — `blocks`, `vantages`, and an *optional* darknet
+/// observation behind a presence flag — plus the per-shard supervision
+/// outcomes, so it composes with any scanning/passive mode.
+pub const SHARD_STATE_VERSION: u32 = 5;
 
 /// Journal file name inside a checkpoint directory.
 pub const JOURNAL_FILE: &str = "rounds.wal";
@@ -124,6 +135,104 @@ pub(crate) struct RoundRecord {
     /// radiation, or the collector's own darkness. `None` when the passive
     /// signal is disabled — only then do the pre-IBR layouts apply.
     pub ibr: Option<IbrObs>,
+    /// Per-shard supervision outcomes for the round, in roster (slot)
+    /// order. `None` when shard supervision is off — only then do the
+    /// pre-shard layouts apply. Journaling outcomes (not timings) is what
+    /// makes a killed-and-resumed campaign replay a degraded round
+    /// byte-identically: replay reads which shards were lost instead of
+    /// re-running the supervisor.
+    pub shards: Option<ShardObs>,
+}
+
+/// The shard supervisor's verdicts for one round, one entry per shard in
+/// slot order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ShardObs {
+    /// Per-shard outcomes, indexed by shard slot.
+    pub outcomes: Vec<ShardOutcomeObs>,
+}
+
+/// How one shard's supervised execution ended.
+///
+/// Counters are per-round, per-shard: `panics` and `timeouts` count the
+/// *failed attempts* that preceded the final verdict, so a shard that
+/// panicked once and then succeeded records `Completed { attempt: 1,
+/// panics: 1, timeouts: 0 }`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ShardOutcomeObs {
+    /// The shard produced its chunk on attempt `attempt` (0 = first try).
+    Completed {
+        /// The attempt index that succeeded.
+        attempt: u32,
+        /// Attempts that ended in a caught panic.
+        panics: u32,
+        /// Attempts the deadline watchdog struck down.
+        timeouts: u32,
+    },
+    /// Every attempt in the retry budget failed; the shard's blocks are
+    /// missing this round and the round quality is downgraded.
+    Lost {
+        /// Attempts that ended in a caught panic.
+        panics: u32,
+        /// Attempts the deadline watchdog struck down.
+        timeouts: u32,
+    },
+}
+
+impl ShardOutcomeObs {
+    /// Whether the shard produced its chunk.
+    pub fn completed(&self) -> bool {
+        matches!(self, ShardOutcomeObs::Completed { .. })
+    }
+}
+
+impl Persist for ShardObs {
+    fn persist(&self, w: &mut ByteWriter) {
+        self.outcomes.persist(w);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self> {
+        Ok(ShardObs {
+            outcomes: Vec::<ShardOutcomeObs>::restore(r)?,
+        })
+    }
+}
+
+impl Persist for ShardOutcomeObs {
+    fn persist(&self, w: &mut ByteWriter) {
+        match self {
+            ShardOutcomeObs::Completed {
+                attempt,
+                panics,
+                timeouts,
+            } => {
+                w.put_u8(0);
+                w.put_u32(*attempt);
+                w.put_u32(*panics);
+                w.put_u32(*timeouts);
+            }
+            ShardOutcomeObs::Lost { panics, timeouts } => {
+                w.put_u8(1);
+                w.put_u32(*panics);
+                w.put_u32(*timeouts);
+            }
+        }
+    }
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(ShardOutcomeObs::Completed {
+                attempt: r.get_u32()?,
+                panics: r.get_u32()?,
+                timeouts: r.get_u32()?,
+            }),
+            1 => Ok(ShardOutcomeObs::Lost {
+                panics: r.get_u32()?,
+                timeouts: r.get_u32()?,
+            }),
+            other => Err(FbsError::Io {
+                reason: format!("unknown shard outcome tag {other}"),
+            }),
+        }
+    }
 }
 
 /// One round of passive background radiation as the darknet collector saw
@@ -298,11 +407,13 @@ impl Persist for FeedObs {
 
 impl Persist for RoundRecord {
     fn persist(&self, w: &mut ByteWriter) {
-        // One field sequence for all three layouts, with the version gating
-        // which sections appear: version 4 (passive signal on) carries both
-        // scanning layouts plus the darknet observation; version 2 is the
-        // legacy single-vantage layout byte-for-byte; version 3 swaps the
-        // block section for the vantage roster.
+        // One field sequence for all four layouts, with the version gating
+        // which sections appear: version 5 (shard supervision on) carries
+        // every section, with the darknet observation behind a presence
+        // flag; version 4 (passive signal on) carries both scanning
+        // layouts plus the darknet observation; version 2 is the legacy
+        // single-vantage layout byte-for-byte; version 3 swaps the block
+        // section for the vantage roster.
         let version = self.layout_version();
         w.put_u32(version);
         self.round.persist(w);
@@ -315,8 +426,14 @@ impl Persist for RoundRecord {
         if version != LEGACY_STATE_VERSION {
             self.vantages.persist(w);
         }
+        if version == SHARD_STATE_VERSION {
+            w.put_bool(self.ibr.is_some());
+        }
         if let Some(ibr) = &self.ibr {
             ibr.persist(w);
+        }
+        if let Some(shards) = &self.shards {
+            shards.persist(w);
         }
     }
     fn restore(r: &mut ByteReader<'_>) -> Result<Self> {
@@ -330,6 +447,7 @@ impl Persist for RoundRecord {
                 feeds: Vec::<FeedObs>::restore(r)?,
                 vantages: Vec::new(),
                 ibr: None,
+                shards: None,
             }),
             STATE_VERSION => {
                 let round = Round::restore(r)?;
@@ -352,6 +470,7 @@ impl Persist for RoundRecord {
                     feeds,
                     vantages,
                     ibr: None,
+                    shards: None,
                 })
             }
             IBR_STATE_VERSION => Ok(RoundRecord {
@@ -362,11 +481,43 @@ impl Persist for RoundRecord {
                 feeds: Vec::<FeedObs>::restore(r)?,
                 vantages: Vec::<VantageObs>::restore(r)?,
                 ibr: Some(IbrObs::restore(r)?),
+                shards: None,
             }),
+            SHARD_STATE_VERSION => {
+                let round = Round::restore(r)?;
+                let online = r.get_bool()?;
+                let quality = RoundQuality::restore(r)?;
+                let blocks = Vec::<BlockObs>::restore(r)?;
+                let feeds = Vec::<FeedObs>::restore(r)?;
+                let vantages = Vec::<VantageObs>::restore(r)?;
+                let ibr = if r.get_bool()? {
+                    Some(IbrObs::restore(r)?)
+                } else {
+                    None
+                };
+                let shards = ShardObs::restore(r)?;
+                if shards.outcomes.is_empty() {
+                    return Err(FbsError::Io {
+                        reason: format!(
+                            "version-{SHARD_STATE_VERSION} round record with no shard outcomes"
+                        ),
+                    });
+                }
+                Ok(RoundRecord {
+                    round,
+                    online,
+                    quality,
+                    blocks,
+                    feeds,
+                    vantages,
+                    ibr,
+                    shards: Some(shards),
+                })
+            }
             other => Err(FbsError::Io {
                 reason: format!(
                     "round record version {other}, expected {LEGACY_STATE_VERSION}, \
-                     {STATE_VERSION} or {IBR_STATE_VERSION}"
+                     {STATE_VERSION}, {IBR_STATE_VERSION} or {SHARD_STATE_VERSION}"
                 ),
             }),
         }
@@ -374,11 +525,14 @@ impl Persist for RoundRecord {
 }
 
 impl RoundRecord {
-    /// The journal layout this record persists as: version 4 whenever the
-    /// passive observation rides along, else the legacy single-vantage
+    /// The journal layout this record persists as: version 5 whenever
+    /// shard supervision rides along, version 4 whenever the passive
+    /// observation does (without shards), else the legacy single-vantage
     /// version 2 (no roster) or the multi-vantage version 3.
     fn layout_version(&self) -> u32 {
-        if self.ibr.is_some() {
+        if self.shards.is_some() {
+            SHARD_STATE_VERSION
+        } else if self.ibr.is_some() {
             IBR_STATE_VERSION
         } else if self.vantages.is_empty() {
             LEGACY_STATE_VERSION
@@ -469,7 +623,8 @@ impl CheckpointStore {
             Ok(Some((version, payload)))
                 if version == STATE_VERSION
                     || version == LEGACY_STATE_VERSION
-                    || version == IBR_STATE_VERSION =>
+                    || version == IBR_STATE_VERSION
+                    || version == SHARD_STATE_VERSION =>
             {
                 diagnostics.snapshot_loaded = true;
                 Some((version, payload))
@@ -569,6 +724,7 @@ mod tests {
             feeds: Vec::new(),
             vantages: Vec::new(),
             ibr: None,
+            shards: None,
         };
         let back = RoundRecord::decode(&record.encode()).unwrap();
         assert_eq!(back, record);
@@ -584,6 +740,7 @@ mod tests {
             feeds: Vec::new(),
             vantages: Vec::new(),
             ibr: None,
+            shards: None,
         };
         assert_eq!(RoundRecord::decode(&skipped.encode()).unwrap(), skipped);
     }
@@ -620,6 +777,7 @@ mod tests {
                 },
             ],
             ibr: None,
+            shards: None,
         };
         assert_eq!(record.encode()[0] as u32, STATE_VERSION);
         assert_eq!(RoundRecord::decode(&record.encode()).unwrap(), record);
@@ -667,6 +825,7 @@ mod tests {
             ],
             vantages: Vec::new(),
             ibr: None,
+            shards: None,
         };
         assert_eq!(RoundRecord::decode(&record.encode()).unwrap(), record);
         let absent = RoundRecord {
@@ -695,6 +854,7 @@ mod tests {
                 dark: false,
                 volumes: vec![120_000, 0, 7],
             }),
+            shards: None,
         };
         assert_eq!(single.encode()[0] as u32, IBR_STATE_VERSION);
         assert_eq!(RoundRecord::decode(&single.encode()).unwrap(), single);
@@ -722,6 +882,78 @@ mod tests {
     }
 
     #[test]
+    fn shard_record_roundtrips_as_version_5() {
+        let outcomes = ShardObs {
+            outcomes: vec![
+                ShardOutcomeObs::Completed {
+                    attempt: 0,
+                    panics: 0,
+                    timeouts: 0,
+                },
+                ShardOutcomeObs::Completed {
+                    attempt: 2,
+                    panics: 1,
+                    timeouts: 1,
+                },
+                ShardOutcomeObs::Lost {
+                    panics: 3,
+                    timeouts: 0,
+                },
+            ],
+        };
+        assert!(outcomes.outcomes[0].completed());
+        assert!(!outcomes.outcomes[2].completed());
+        // Version 5 composes with the single-vantage layout, no darknet…
+        let single = RoundRecord {
+            round: Round(90),
+            online: true,
+            quality: RoundQuality::Degraded,
+            blocks: vec![BlockObs {
+                responsive: 7,
+                rtt_ns: 41_000_000,
+                routed: true,
+                routed_known: true,
+            }],
+            feeds: Vec::new(),
+            vantages: Vec::new(),
+            ibr: None,
+            shards: Some(outcomes.clone()),
+        };
+        assert_eq!(single.encode()[0] as u32, SHARD_STATE_VERSION);
+        assert_eq!(RoundRecord::decode(&single.encode()).unwrap(), single);
+        // …and with a roster plus a darknet observation behind the flag.
+        let full = RoundRecord {
+            blocks: Vec::new(),
+            vantages: vec![VantageObs {
+                online: true,
+                quality: RoundQuality::Ok,
+                blocks: vec![],
+            }],
+            ibr: Some(IbrObs {
+                dark: false,
+                volumes: vec![11, 0],
+            }),
+            ..single.clone()
+        };
+        assert_eq!(full.encode()[0] as u32, SHARD_STATE_VERSION);
+        assert_eq!(RoundRecord::decode(&full.encode()).unwrap(), full);
+        // A version-5 record must carry shard outcomes; none is damage.
+        let mut w = ByteWriter::new();
+        let hollow = RoundRecord {
+            shards: Some(ShardObs {
+                outcomes: Vec::new(),
+            }),
+            ..single.clone()
+        };
+        hollow.persist(&mut w);
+        assert!(RoundRecord::decode(&w.into_bytes()).is_err());
+        // An unknown outcome tag is damage.
+        let mut w = ByteWriter::new();
+        w.put_u8(9);
+        assert!(ShardOutcomeObs::restore(&mut ByteReader::new(&w.into_bytes())).is_err());
+    }
+
+    #[test]
     fn version_drift_is_rejected() {
         let record = RoundRecord {
             round: Round(0),
@@ -731,6 +963,7 @@ mod tests {
             feeds: Vec::new(),
             vantages: Vec::new(),
             ibr: None,
+            shards: None,
         };
         let mut bytes = record.encode();
         bytes[0] = 99; // version byte

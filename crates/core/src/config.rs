@@ -1,7 +1,7 @@
 //! Campaign configuration.
 
 use fbs_feeds::{LossyTolerance, RetryPolicy};
-use fbs_netsim::{FaultPlan, FeedFaultPlan, IbrConfig, VantageSpec};
+use fbs_netsim::{FaultPlan, FeedFaultPlan, IbrConfig, ShardFaultPlan, VantageSpec};
 use fbs_prober::QualityConfig;
 use fbs_regional::RegionalityConfig;
 use fbs_signals::{EligibilityConfig, EntityId, Thresholds};
@@ -76,6 +76,70 @@ pub struct CampaignConfig {
     /// active vantage is `Unusable` — and feeds the seasonal predictor.
     #[serde(default)]
     pub ibr: Option<IbrConfig>,
+    /// Worker threads for the sharded round executor; overridable at run
+    /// time via `FBS_THREADS`. The default is the machine's available
+    /// parallelism. Output bytes are identical at any thread count —
+    /// shards are keyed by block coordinates, not by scheduling — so this
+    /// knob trades wall time only. `0` is rejected by [`validate`][Self::validate].
+    #[serde(default = "default_threads")]
+    pub threads: usize,
+    /// Optional scripted shard-fault schedule (panic / stall / jitter)
+    /// exercising the shard supervisor. `None` (the default) keeps the
+    /// executor transparent: no supervision ledger is journaled, the
+    /// pre-shard checkpoint schema is written, and a genuine shard panic
+    /// propagates exactly as the serial pipeline would. `Some` — even of
+    /// an empty plan — turns on supervised mode: shard outcomes are
+    /// journaled (schema v5), lost shards degrade the round, and the
+    /// report carries a [`ShardLedger`](crate::report::ShardLedger).
+    #[serde(default)]
+    pub shard_plan: Option<ShardFaultPlan>,
+    /// Bounded retry budget per shard per round in supervised mode: a
+    /// panicked or timed-out shard is re-run at most this many times
+    /// before it is declared lost and its blocks degrade the round.
+    #[serde(default = "default_shard_retries")]
+    pub shard_retries: u32,
+    /// Per-shard deadline in *virtual* nanoseconds, compared against the
+    /// shard's deterministic cost model (blocks × per-block budget, plus
+    /// any injected stall). Virtual time keeps the watchdog deterministic:
+    /// a loaded CI machine never times a shard out spuriously.
+    #[serde(default = "default_shard_deadline_ns")]
+    pub shard_deadline_ns: u64,
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn default_shard_retries() -> u32 {
+    2
+}
+
+fn default_shard_deadline_ns() -> u64 {
+    1_000_000_000 // 1 virtual second; a clean shard costs microseconds
+}
+
+/// Resolves the effective worker-thread count from the configured value
+/// and the `FBS_THREADS` environment override (passed in as a string so
+/// callers and tests stay free of process-global env mutation).
+///
+/// An unset override keeps the configured value; an unparseable or zero
+/// override is a typed configuration error naming the variable and the
+/// offending text, never a panic.
+pub fn resolve_threads(configured: usize, env_override: Option<&str>) -> fbs_types::Result<usize> {
+    let Some(raw) = env_override else {
+        return Ok(configured);
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(fbs_types::FbsError::config(format!(
+            "FBS_THREADS={raw:?}: thread count must be at least 1"
+        ))),
+        Ok(n) => Ok(n),
+        Err(e) => Err(fbs_types::FbsError::config(format!(
+            "FBS_THREADS={raw:?} is not a thread count: {e}"
+        ))),
+    }
 }
 
 impl Default for CampaignConfig {
@@ -107,6 +171,10 @@ impl Default for CampaignConfig {
             feed_retry: RetryPolicy::default(),
             vantages: Vec::new(),
             ibr: None,
+            threads: default_threads(),
+            shard_plan: None,
+            shard_retries: default_shard_retries(),
+            shard_deadline_ns: default_shard_deadline_ns(),
         }
     }
 }
@@ -146,7 +214,29 @@ impl CampaignConfig {
         if let Some(ibr) = &self.ibr {
             ibr.validate()?;
         }
+        if self.threads == 0 {
+            return Err(fbs_types::FbsError::config(
+                "threads=0: the shard executor needs at least one worker".to_string(),
+            ));
+        }
+        if let Some(plan) = &self.shard_plan {
+            plan.validate()?;
+        }
         Ok(())
+    }
+
+    /// Whether the shard supervisor runs in supervised (ledger-journaling,
+    /// schema v5) mode.
+    pub fn shard_mode(&self) -> bool {
+        self.shard_plan.is_some()
+    }
+
+    /// A configuration supervising shards under `plan`.
+    pub fn with_shard_plan(plan: ShardFaultPlan) -> Self {
+        CampaignConfig {
+            shard_plan: Some(plan),
+            ..CampaignConfig::default()
+        }
     }
 
     /// Whether the campaign runs in multi-vantage mode (a non-empty
@@ -250,6 +340,65 @@ mod tests {
         let bad = CampaignConfig::with_ibr(IbrConfig::with_dark_windows(vec![
             fbs_netsim::IbrDarkWindow { start: 5, end: 5 },
         ]));
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn zero_threads_is_a_typed_config_error() {
+        let cfg = CampaignConfig {
+            threads: 0,
+            ..CampaignConfig::default()
+        };
+        let err = cfg.validate().expect_err("threads=0 must not validate");
+        assert!(
+            matches!(err, fbs_types::FbsError::InvalidConfig { .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("threads"), "{err}");
+        let cfg = CampaignConfig::default();
+        assert!(cfg.threads >= 1, "default follows available parallelism");
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn fbs_threads_override_parses_or_errors_with_context() {
+        assert_eq!(resolve_threads(4, None).unwrap(), 4);
+        assert_eq!(resolve_threads(4, Some("8")).unwrap(), 8);
+        assert_eq!(resolve_threads(4, Some(" 2 ")).unwrap(), 2);
+        for bad in ["0", "-3", "eight", "4.0", ""] {
+            let err = resolve_threads(4, Some(bad))
+                .expect_err(&format!("FBS_THREADS={bad:?} must be rejected"));
+            assert!(
+                matches!(err, fbs_types::FbsError::InvalidConfig { .. }),
+                "{err}"
+            );
+            let msg = err.to_string();
+            assert!(
+                msg.contains("FBS_THREADS") && msg.contains(bad),
+                "error must name the variable and the offending text: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_plan_defaults_off_and_validates() {
+        let cfg = CampaignConfig::default();
+        assert!(!cfg.shard_mode(), "supervised mode must default off");
+        assert_eq!(cfg.shard_retries, 2);
+        let with = CampaignConfig::with_shard_plan(ShardFaultPlan::none());
+        assert!(with.shard_mode());
+        assert!(with.validate().is_ok());
+        let bad = CampaignConfig::with_shard_plan(ShardFaultPlan {
+            windows: vec![fbs_netsim::ShardFaultWindow {
+                name: "bad".into(),
+                start_round: 0,
+                end_round: 10,
+                shards: Vec::new(),
+                attempts: 1,
+                probability: 2.0,
+                kind: fbs_netsim::ShardFaultKind::Panic,
+            }],
+        });
         assert!(bad.validate().is_err());
     }
 

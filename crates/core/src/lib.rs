@@ -39,6 +39,7 @@ pub mod dataset;
 pub mod methods;
 pub mod pipeline;
 pub mod report;
+mod shard;
 
 pub use checkpoint::{CheckpointPolicy, ResumeDiagnostics};
 pub use classify::{classify_world_with_snapshots, ClassificationOutcome, RegionClassification};
@@ -47,5 +48,5 @@ pub use dataset::{availability_rows, export_all, ibr_rows, outage_rows, vantage_
 pub use pipeline::{Campaign, CampaignRunner};
 pub use report::{
     CampaignReport, DisagreementSummary, EntitySeries, FeedLedger, IbrLedger, MonthlyRtt,
-    VantageLedger,
+    ShardLedger, ShardRoundSummary, VantageLedger,
 };

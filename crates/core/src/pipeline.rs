@@ -19,7 +19,8 @@
 
 use crate::checkpoint::{
     BlockObs, CheckpointPolicy, CheckpointStore, FeedObs, IbrObs, ResumeDiagnostics, RoundRecord,
-    VantageObs, IBR_STATE_VERSION, LEGACY_STATE_VERSION, STATE_VERSION,
+    ShardOutcomeObs, VantageObs, IBR_STATE_VERSION, LEGACY_STATE_VERSION, SHARD_STATE_VERSION,
+    STATE_VERSION,
 };
 use crate::classify::{
     campaign_months, classify_world, classify_world_with_snapshots, ClassificationOutcome,
@@ -27,13 +28,14 @@ use crate::classify::{
 use crate::config::CampaignConfig;
 use crate::report::{
     CampaignReport, DisagreementSummary, EntitySeries, FeedLedger, IbrLedger, MonthlyRtt,
-    OblastMonth, VantageLedger,
+    OblastMonth, ShardLedger, ShardRoundSummary, VantageLedger,
 };
+use crate::shard::{self, ShardExec};
 use fbs_feeds::{FeedHealth, FeedLoader, FeedOutcome, FeedQuarantine, TaggedQuarantine};
 use fbs_geodb::GeoSnapshot;
 use fbs_netsim::{
-    faults, feedfaults, geo, ibr, BlockSpec, FaultPlan, FeedFaultPlan, IbrConfig, VantageSpec,
-    World, WorldRng,
+    faults, feedfaults, geo, ibr, BlockSpec, FaultIntensity, FaultPlan, FeedFaultPlan, IbrConfig,
+    VantageSpec, World, WorldRng,
 };
 use fbs_prober::RoundCursor;
 use fbs_regional::Regionality;
@@ -85,6 +87,14 @@ impl Campaign {
         config.validate()?;
         let as_list: Vec<Asn> = world.config().ases.iter().map(|a| a.asn).collect();
         validate_block_owners(world.blocks(), &as_list)?;
+        if config.shard_mode() && world.blocks().is_empty() {
+            // A supervised round record must carry at least one shard
+            // outcome (the version-5 decoder rejects an empty list), so an
+            // empty world cannot run under supervision.
+            return Err(FbsError::config(
+                "shard supervision requires a world with at least one block",
+            ));
+        }
         Ok(Campaign { world, config })
     }
 
@@ -152,12 +162,14 @@ impl Campaign {
     pub fn runner(&self) -> fbs_types::Result<CampaignRunner<'_>> {
         let statics = Statics::build(self)?;
         let state = initial_state(&self.world, &self.config, &statics);
+        let shard_wall_ns = vec![0u64; statics.shard.n_shards()];
         Ok(CampaignRunner {
             campaign: self,
             statics,
             state,
             store: None,
             diagnostics: ResumeDiagnostics::default(),
+            shard_wall_ns,
         })
     }
 
@@ -170,12 +182,14 @@ impl Campaign {
         let statics = Statics::build(self)?;
         let state = initial_state(&self.world, &self.config, &statics);
         let store = CheckpointStore::fresh(dir, policy)?;
+        let shard_wall_ns = vec![0u64; statics.shard.n_shards()];
         Ok(CampaignRunner {
             campaign: self,
             statics,
             state,
             store: Some(store),
             diagnostics: ResumeDiagnostics::default(),
+            shard_wall_ns,
         })
     }
 
@@ -253,12 +267,14 @@ impl Campaign {
             }
         }
 
+        let shard_wall_ns = vec![0u64; statics.shard.n_shards()];
         Ok(CampaignRunner {
             campaign: self,
             statics,
             state,
             store: Some(store),
             diagnostics,
+            shard_wall_ns,
         })
     }
 
@@ -297,6 +313,11 @@ pub(crate) struct Statics {
     /// the validated config plus the disjoint `"ibr"` RNG domain, so the
     /// darknet never perturbs the wire or feed draws.
     ibr: Option<IbrStatic>,
+    /// The shard executor: the deterministic AS-aligned partition of the
+    /// block space, the resolved worker count, and — when a shard fault
+    /// plan is configured — the supervision budget and the disjoint
+    /// `"shards"` RNG domain its injected faults draw from.
+    shard: ShardExec,
 }
 
 /// The resolved IBR layer: config plus its own world-RNG domain.
@@ -489,6 +510,23 @@ impl Statics {
             .map(|a| cfg.rtt_tracked.contains(a).then_some(*a))
             .collect();
 
+        // The shard executor. `FBS_THREADS` overrides the configured
+        // worker count at runtime; thread count affects scheduling only,
+        // never a single output byte.
+        let threads = crate::config::resolve_threads(
+            cfg.threads,
+            std::env::var("FBS_THREADS").ok().as_deref(),
+        )?;
+        let owners: Vec<Asn> = blocks.iter().map(|b| b.owner).collect();
+        let shard = ShardExec::build(
+            &owners,
+            threads,
+            cfg.shard_plan.clone(),
+            world.rng(),
+            cfg.shard_retries,
+            cfg.shard_deadline_ns,
+        );
+
         let months = classification.months.clone();
         Ok(Statics {
             classification,
@@ -509,6 +547,7 @@ impl Statics {
             delegations_text,
             vantages,
             ibr,
+            shard,
         })
     }
 }
@@ -566,6 +605,14 @@ pub(crate) struct PipelineState {
     /// One volume/status ledger per AS, in AS order (events stay empty
     /// until [`CampaignRunner::finish`] closes the predictors out).
     ibr_ledgers: Vec<IbrLedger>,
+    // Shard-supervision state (inert when no shard plan is configured).
+    /// Whether this campaign journals shard outcomes (a shard fault plan
+    /// is set). Decides the version-5 snapshot layout.
+    shard_supervised: bool,
+    /// One supervision summary per completed round, in round order —
+    /// checkpointed so a killed-and-resumed campaign replays the ledger
+    /// byte-identically.
+    shard_rounds: Vec<ShardRoundSummary>,
 }
 
 impl PipelineState {
@@ -582,7 +629,9 @@ impl PipelineState {
 
     /// The snapshot schema version this state serializes as.
     pub(crate) fn schema_version(&self) -> u32 {
-        if self.ibr_mode() {
+        if self.shard_supervised {
+            SHARD_STATE_VERSION
+        } else if self.ibr_mode() {
             IBR_STATE_VERSION
         } else if self.vantage_mode() {
             STATE_VERSION
@@ -626,7 +675,20 @@ impl PipelineState {
         self.feed_rejections.persist(w);
         self.last_routed.persist(w);
         self.feed_quarantines.persist(w);
-        if self.ibr_mode() {
+        if self.shard_supervised {
+            // The v5 layout carries every tail unconditionally — possibly
+            // empty vantage ledgers, a presence flag for the IBR section —
+            // then the shard-round ledger, so restore never has to guess
+            // which optional layers a supervised campaign ran with.
+            self.vantage_ledgers.persist(w);
+            self.disagreement.persist(w);
+            w.put_bool(self.ibr_mode());
+            if self.ibr_mode() {
+                self.ibr_predictors.persist(w);
+                self.ibr_ledgers.persist(w);
+            }
+            self.shard_rounds.persist(w);
+        } else if self.ibr_mode() {
             // The v4 layout always carries the vantage tail — an empty
             // roster persists as an empty vector — so restore never has to
             // guess whether one follows.
@@ -676,6 +738,8 @@ impl PipelineState {
             disagreement: DisagreementSummary::default(),
             ibr_predictors: Vec::new(),
             ibr_ledgers: Vec::new(),
+            shard_supervised: false,
+            shard_rounds: Vec::new(),
         };
         if version == STATE_VERSION {
             state.vantage_ledgers = Vec::<VantageLedger>::restore(r)?;
@@ -703,6 +767,26 @@ impl PipelineState {
                     state.ibr_ledgers.len()
                 )));
             }
+        }
+        if version == SHARD_STATE_VERSION {
+            state.shard_supervised = true;
+            state.vantage_ledgers = Vec::<VantageLedger>::restore(r)?;
+            state.disagreement = DisagreementSummary::restore(r)?;
+            if r.get_bool()? {
+                state.ibr_predictors = Vec::<SeasonalPredictor>::restore(r)?;
+                state.ibr_ledgers = Vec::<IbrLedger>::restore(r)?;
+                if state.ibr_predictors.is_empty()
+                    || state.ibr_predictors.len() != state.ibr_ledgers.len()
+                {
+                    return Err(FbsError::corrupt_snapshot(format!(
+                        "version-{SHARD_STATE_VERSION} snapshot flags IBR but carries \
+                         {} predictors and {} ledgers",
+                        state.ibr_predictors.len(),
+                        state.ibr_ledgers.len()
+                    )));
+                }
+            }
+            state.shard_rounds = Vec::<ShardRoundSummary>::restore(r)?;
         }
         Ok(state)
     }
@@ -787,6 +871,18 @@ impl PipelineState {
                         && l.status.len() as u32 == self.cursor.completed()
                 }),
                 "ibr-ledger length",
+            ),
+            (
+                self.shard_supervised == statics.shard.supervised(),
+                "shard supervision mode",
+            ),
+            (
+                if self.shard_supervised {
+                    self.shard_rounds.len() as u32 == self.cursor.completed()
+                } else {
+                    self.shard_rounds.is_empty()
+                },
+                "shard-ledger length",
             ),
         ];
         for (ok, what) in checks {
@@ -903,188 +999,334 @@ fn initial_state(world: &World, cfg: &CampaignConfig, statics: &Statics) -> Pipe
             Some(_) => statics.as_list.iter().map(|a| IbrLedger::new(*a)).collect(),
             None => Vec::new(),
         },
+        shard_supervised: cfg.shard_mode(),
+        shard_rounds: Vec::new(),
+    }
+}
+
+/// A lost shard's journaled placeholder: zero responsive, unroutable, and
+/// `routed_known: false` so the routing carry-forward treats the gap like
+/// a lost BGP record rather than a withdrawal.
+const LOST_BLOCK_OBS: BlockObs = BlockObs {
+    responsive: 0,
+    rtt_ns: 0,
+    routed: false,
+    routed_known: false,
+};
+
+/// One shard's measured slice of the round, produced inside a worker.
+///
+/// Every field is a pure function of `(seed, round, block range)` — no
+/// shared state, no scheduling dependence — which is what lets a retried
+/// shard reproduce a first try byte for byte.
+struct ShardChunk {
+    /// Single-vantage scan observations for the range (empty when the
+    /// round is skipped or the campaign is multi-vantage).
+    blocks: Vec<BlockObs>,
+    /// Per-roster-entry observations for the range, indexed like
+    /// `statics.vantages`; a masked vantage's inner vector is empty.
+    vantages: Vec<Vec<BlockObs>>,
+    /// Per-block darknet volume for the range (empty when the IBR layer
+    /// is off or the collector is dark this round).
+    ibr: Vec<u64>,
+}
+
+/// One block's scan through a fault-modelled path, shared by the
+/// single-vantage sweep and the roster fan-out: the true responsive count
+/// binomially thinned by the delivery rate, capped by ICMP rate limiting,
+/// RTTs distorted by spikes and stretched by the vantage's path.
+#[allow(clippy::too_many_arguments)]
+fn scan_block(
+    world: &World,
+    scan_retries: u32,
+    rng: &WorldRng,
+    path_rtt_ns: u64,
+    intensity: &FaultIntensity,
+    round: Round,
+    bi: usize,
+    unknown: bool,
+) -> BlockObs {
+    let r = round.0 as u64;
+    let truth = world.block_truth(round, bi);
+    let responsive = intensity.thin_responsive(truth.responsive, scan_retries, rng, r, bi as u64);
+    let rtt_ns = truth
+        .rtt_ns
+        .saturating_add(path_rtt_ns)
+        .saturating_add(intensity.extra_rtt_ns(rng, r, bi as u64));
+    BlockObs {
+        responsive,
+        rtt_ns,
+        routed: truth.routed,
+        routed_known: !unknown,
     }
 }
 
 /// Produces the journal record for `round`: the measurement half of the
 /// loop, and the only part that consults the faulty wire path.
 ///
-/// Single-vantage campaigns measure through the legacy `"faults"` RNG
-/// domain exactly as before. Multi-vantage campaigns fan the scan out over
-/// the roster in roster order — each vantage draws from its own RNG domain
-/// and applies its own fault plan — and record one [`VantageObs`] per
-/// entry; the fused per-block view is *not* journaled (it is a pure
-/// deterministic function of the votes, recomputed in [`apply_round`]).
+/// All per-block work — the single-vantage sweep, the multi-vantage
+/// roster fan-out, the darknet volume sums — runs through the campaign's
+/// shard executor: deterministic AS-aligned shards on the bounded worker
+/// pool, each supervised (panic-isolated, deadline-bounded,
+/// deterministically retried). Results are restored to roster (slot)
+/// order before the merge, so the journal bytes are identical at any
+/// thread count. When a shard exhausts its retries the round degrades
+/// gracefully: its blocks are journaled as missing placeholders, the
+/// round quality drops to `Degraded` (`Unusable` when every shard is
+/// lost), and the per-shard outcomes are journaled for the report's
+/// [`ShardLedger`].
 fn measure_round(
     world: &World,
     cfg: &CampaignConfig,
     statics: &Statics,
     round: Round,
 ) -> RoundRecord {
-    let r = round.0;
+    measure_round_timed(world, cfg, statics, round).0
+}
+
+/// [`measure_round`] plus this round's per-shard wall times (slot order;
+/// empty when the executor was bypassed). Wall times are runner
+/// diagnostics only: never journaled, never compared.
+fn measure_round_timed(
+    world: &World,
+    cfg: &CampaignConfig,
+    statics: &Statics,
+    round: Round,
+) -> (RoundRecord, Vec<u64>) {
     let online = world.vantage_online(round);
     // Feeds are fetched by infrastructure independent of the probing
     // vantage(s), so feed observations are collected even for rounds the
-    // scanner itself cannot measure — and fetched once, not per vantage.
+    // scanner itself cannot measure — and fetched once, not per shard.
     let (feeds, routed_unknown) = measure_feeds(world, cfg, statics, round);
-    // The darknet listens regardless of whether the scanner can transmit:
-    // IBR is captured even on rounds every active vantage sits dark.
-    let ibr = statics
-        .ibr
-        .as_ref()
-        .map(|is| measure_ibr(world, statics, is, round));
+    // `None`: the IBR layer is off. `Some(false)`: the collector itself
+    // is dark this round. `Some(true)`: the darknet is listening.
+    let ibr_live = statics.ibr.as_ref().map(|is| !is.config.dark_at(round));
 
-    if !statics.vantages.is_empty() {
-        return measure_round_vantages(
-            world,
-            cfg,
-            statics,
-            round,
-            online,
-            feeds,
-            ibr,
-            &routed_unknown,
-        );
+    // Resolve what per-block work the round carries — once, outside the
+    // pool. Single-vantage: one scan unless the round is skipped outright.
+    // Multi-vantage: one scan per usable roster entry (a masked vantage
+    // measures nothing: offline, or catastrophic loss on its path).
+    let mut single_scan: Option<FaultIntensity> = None;
+    let mut vantage_quality: Vec<RoundQuality> = Vec::new();
+    let mut vantage_scan: Vec<Option<FaultIntensity>> = Vec::new();
+    let mut quality;
+    if statics.vantages.is_empty() {
+        quality =
+            statics
+                .fault_plan
+                .quality_at(round, statics.rounds, cfg.scan_retries, &cfg.quality);
+        if online && quality != RoundQuality::Unusable {
+            single_scan = Some(statics.fault_plan.intensity_at(round, statics.rounds));
+        }
+    } else {
+        for vs in &statics.vantages {
+            let q = vs
+                .plan
+                .quality_at(round, statics.rounds, cfg.scan_retries, &cfg.quality);
+            vantage_quality.push(q);
+            vantage_scan.push(
+                vantage_usable(online, q).then(|| vs.plan.intensity_at(round, statics.rounds)),
+            );
+        }
+        // The round's headline quality is the fused verdict: one clean
+        // vantage keeps the round usable while another sits behind 100%
+        // loss.
+        quality = fuse_round_quality(vantage_quality.iter().map(|q| (online, *q)));
     }
 
-    let intensity = statics.fault_plan.intensity_at(round, statics.rounds);
-    let quality =
-        statics
-            .fault_plan
-            .quality_at(round, statics.rounds, cfg.scan_retries, &cfg.quality);
-    if !online || quality == RoundQuality::Unusable {
-        // The skip is itself the observation: no per-block data.
-        return RoundRecord {
+    let supervised = statics.shard.supervised();
+    let no_block_work =
+        single_scan.is_none() && vantage_scan.iter().all(Option::is_none) && ibr_live != Some(true);
+    if no_block_work && !supervised {
+        // Nothing for the pool to do and no supervision ledger to feed:
+        // the skip is itself the observation.
+        let record = RoundRecord {
             round,
             online,
             quality,
             blocks: Vec::new(),
             feeds,
-            vantages: Vec::new(),
-            ibr,
+            vantages: vantage_quality
+                .iter()
+                .map(|q| VantageObs {
+                    online,
+                    quality: *q,
+                    blocks: Vec::new(),
+                })
+                .collect(),
+            ibr: ibr_live.map(|_| IbrObs {
+                dark: true,
+                volumes: Vec::new(),
+            }),
+            shards: None,
+        };
+        return (record, Vec::new());
+    }
+
+    // The shard task: measure this shard's slice of every active layer.
+    // A pure function of (slot, range) — all draws coordinate-addressed —
+    // so a retry after an injected panic reproduces the first try, and
+    // any worker interleaving produces the same chunk.
+    let task = |_slot: u32, range: std::ops::Range<usize>| -> ShardChunk {
+        let blocks = match &single_scan {
+            Some(intensity) => range
+                .clone()
+                .map(|bi| {
+                    scan_block(
+                        world,
+                        cfg.scan_retries,
+                        &statics.fault_rng,
+                        0,
+                        intensity,
+                        round,
+                        bi,
+                        routed_unknown[bi],
+                    )
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        let vantages = statics
+            .vantages
+            .iter()
+            .zip(&vantage_scan)
+            .map(|(vs, scan)| match scan {
+                Some(intensity) => range
+                    .clone()
+                    .map(|bi| {
+                        scan_block(
+                            world,
+                            cfg.scan_retries,
+                            &vs.rng,
+                            vs.spec.path_rtt_ns,
+                            intensity,
+                            round,
+                            bi,
+                            routed_unknown[bi],
+                        )
+                    })
+                    .collect(),
+                None => Vec::new(),
+            })
+            .collect();
+        let volumes = match (&statics.ibr, ibr_live) {
+            (Some(is), Some(true)) => range
+                .clone()
+                .map(|bi| ibr::block_volume(world, &is.config, &is.rng, round, bi))
+                .collect(),
+            _ => Vec::new(),
+        };
+        ShardChunk {
+            blocks,
+            vantages,
+            ibr: volumes,
+        }
+    };
+
+    // Run on the pool, then restore roster (slot) order before any merge:
+    // the executor delivers in arrival order, which must never reach a
+    // sink.
+    let ordered = shard::roster_order(statics.shard.shard_execute(round, &task));
+
+    // The roster-ordered deterministic reduce: splice completed chunks
+    // into campaign-wide vectors, fill lost shards with placeholders.
+    let mut wall = Vec::with_capacity(ordered.len());
+    let mut lost_shards = 0usize;
+    let mut blocks = Vec::with_capacity(if single_scan.is_some() {
+        statics.n_blocks
+    } else {
+        0
+    });
+    let mut vblocks: Vec<Vec<BlockObs>> = vantage_scan
+        .iter()
+        .map(|s| {
+            if s.is_some() {
+                Vec::with_capacity(statics.n_blocks)
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+    let mut volumes = if ibr_live == Some(true) {
+        vec![0u64; statics.as_list.len()]
+    } else {
+        Vec::new()
+    };
+    for (s, range) in ordered.iter().zip(statics.shard.ranges()) {
+        wall.push(s.wall_ns);
+        debug_assert_eq!(s.outcome.completed(), s.output.is_some());
+        match &s.output {
+            Some(chunk) => {
+                blocks.extend_from_slice(&chunk.blocks);
+                for (acc, part) in vblocks.iter_mut().zip(&chunk.vantages) {
+                    acc.extend_from_slice(part);
+                }
+                for (offset, v) in chunk.ibr.iter().enumerate() {
+                    volumes[statics.block_as[range.start + offset]] += v;
+                }
+            }
+            None => {
+                lost_shards += 1;
+                if single_scan.is_some() {
+                    blocks.extend(range.clone().map(|_| LOST_BLOCK_OBS));
+                }
+                for (acc, scan) in vblocks.iter_mut().zip(&vantage_scan) {
+                    if scan.is_some() {
+                        acc.extend(range.clone().map(|_| LOST_BLOCK_OBS));
+                    }
+                }
+                // Lost blocks contribute nothing to the darknet sums; the
+                // accumulation half marks their ASes dark instead.
+            }
+        }
+    }
+
+    // Graceful degradation: a lost shard costs the round its `Ok` rating,
+    // a fully lost round is unusable — the same downgrade semantics as
+    // the wire-fault machinery, so detection treats supervision loss like
+    // any other measurement gap.
+    if lost_shards > 0 {
+        quality = if lost_shards == ordered.len() {
+            RoundQuality::Unusable
+        } else {
+            quality.worst(RoundQuality::Degraded)
         };
     }
-    let mut blocks = Vec::with_capacity(statics.n_blocks);
-    for (bi, unknown) in routed_unknown.iter().enumerate() {
-        let truth = world.block_truth(round, bi);
-        // What the faulty measurement path lets through: the true
-        // responsive count binomially thinned by the delivery rate,
-        // capped by ICMP rate limiting, RTTs distorted by spikes.
-        let responsive = intensity.thin_responsive(
-            truth.responsive,
-            cfg.scan_retries,
-            &statics.fault_rng,
-            r as u64,
-            bi as u64,
-        );
-        let rtt_ns = truth.rtt_ns + intensity.extra_rtt_ns(&statics.fault_rng, r as u64, bi as u64);
-        blocks.push(BlockObs {
-            responsive,
-            rtt_ns,
-            routed: truth.routed,
-            routed_known: !unknown,
-        });
-    }
-    RoundRecord {
+
+    let vantages: Vec<VantageObs> = vantage_quality
+        .iter()
+        .zip(vblocks)
+        .map(|(q, blocks)| VantageObs {
+            online,
+            quality: *q,
+            blocks,
+        })
+        .collect();
+    let ibr = ibr_live.map(|live| {
+        if live {
+            IbrObs {
+                dark: false,
+                volumes,
+            }
+        } else {
+            IbrObs {
+                dark: true,
+                volumes: Vec::new(),
+            }
+        }
+    });
+    let shards = supervised.then(|| shard::reduce_outcomes(&ordered));
+    let record = RoundRecord {
         round,
         online,
         quality,
         blocks,
         feeds,
-        vantages: Vec::new(),
-        ibr,
-    }
-}
-
-/// Captures one round of passive background radiation: per-AS volume sums
-/// of the world's per-pool IBR emission, or a dark marker while the
-/// collector itself is down.
-fn measure_ibr(world: &World, statics: &Statics, is: &IbrStatic, round: Round) -> IbrObs {
-    if is.config.dark_at(round) {
-        return IbrObs {
-            dark: true,
-            volumes: Vec::new(),
-        };
-    }
-    let mut volumes = vec![0u64; statics.as_list.len()];
-    for bi in 0..statics.n_blocks {
-        volumes[statics.block_as[bi]] += ibr::block_volume(world, &is.config, &is.rng, round, bi);
-    }
-    IbrObs {
-        dark: false,
-        volumes,
-    }
-}
-
-/// The multi-vantage half of [`measure_round`]: one independent scan per
-/// roster entry, merged in deterministic roster order.
-#[allow(clippy::too_many_arguments)]
-fn measure_round_vantages(
-    world: &World,
-    cfg: &CampaignConfig,
-    statics: &Statics,
-    round: Round,
-    online: bool,
-    feeds: Vec<FeedObs>,
-    ibr: Option<IbrObs>,
-    routed_unknown: &[bool],
-) -> RoundRecord {
-    let r = round.0;
-    let mut vantages = Vec::with_capacity(statics.vantages.len());
-    for vs in &statics.vantages {
-        let quality = vs
-            .plan
-            .quality_at(round, statics.rounds, cfg.scan_retries, &cfg.quality);
-        // A masked vantage measures nothing: offline (the world's scripted
-        // scanner blackouts hit every vantage — they model the campaign
-        // infrastructure, not one path) or catastrophic loss on its path.
-        let blocks = if !vantage_usable(online, quality) {
-            Vec::new()
-        } else {
-            let intensity = vs.plan.intensity_at(round, statics.rounds);
-            routed_unknown
-                .iter()
-                .enumerate()
-                .map(|(bi, unknown)| {
-                    let truth = world.block_truth(round, bi);
-                    let responsive = intensity.thin_responsive(
-                        truth.responsive,
-                        cfg.scan_retries,
-                        &vs.rng,
-                        r as u64,
-                        bi as u64,
-                    );
-                    let rtt_ns = truth
-                        .rtt_ns
-                        .saturating_add(vs.spec.path_rtt_ns)
-                        .saturating_add(intensity.extra_rtt_ns(&vs.rng, r as u64, bi as u64));
-                    BlockObs {
-                        responsive,
-                        rtt_ns,
-                        routed: truth.routed,
-                        routed_known: !unknown,
-                    }
-                })
-                .collect()
-        };
-        vantages.push(VantageObs {
-            online,
-            quality,
-            blocks,
-        });
-    }
-    // The round's headline quality is the fused verdict: one clean vantage
-    // keeps the round usable while another sits behind 100% loss.
-    let quality = fuse_round_quality(vantages.iter().map(|v| (v.online, v.quality)));
-    RoundRecord {
-        round,
-        online,
-        quality,
-        blocks: Vec::new(),
-        feeds,
         vantages,
         ibr,
-    }
+        shards,
+    };
+    (record, wall)
 }
 
 /// Fetches every feed due this round through the (lossy) delivery channel.
@@ -1306,6 +1548,7 @@ fn fuse_vantage_round(
     statics: &Statics,
     state: &mut PipelineState,
     record: &RoundRecord,
+    lost: &[bool],
 ) -> fbs_types::Result<Vec<BlockObs>> {
     let n_blocks = statics.n_blocks;
     let usable: Vec<usize> = record
@@ -1337,7 +1580,15 @@ fn fuse_vantage_round(
     let mut dissent = vec![0u64; record.vantages.len()];
     let mut round_disputed = false;
     let mut votes: Vec<BlockVote> = Vec::with_capacity(usable.len());
-    for bi in 0..n_blocks {
+    for (bi, &block_lost) in lost.iter().enumerate() {
+        if block_lost {
+            // Every vantage's entry for this block is a lost-shard
+            // placeholder, not a vote: no dissent or dispute accounting
+            // over data that was never collected. The sweep skips the
+            // block anyway; the placeholder just keeps shapes aligned.
+            fused_blocks.push(LOST_BLOCK_OBS);
+            continue;
+        }
         votes.clear();
         for &vi in &usable {
             let obs = &record.vantages[vi].blocks[bi];
@@ -1495,6 +1746,23 @@ fn apply_round(
     // the scanner is offline.
     let feed_quality = apply_feeds(state, record)?;
 
+    // Shard supervision: shape-check the journaled outcomes against the
+    // campaign's partition, fold them into the supervision ledger, and
+    // derive the lost-block mask that gates everything below. Replay
+    // consumes the journaled outcomes, never re-runs the pool, so a
+    // resumed campaign reproduces a degraded round byte for byte.
+    let lost = apply_shards(statics, state, record)?;
+    let mut lost_as = vec![false; n_as];
+    let mut lost_region = [false; Oblast::COUNT];
+    for (bi, l) in lost.iter().enumerate() {
+        if *l {
+            lost_as[statics.block_as[bi]] = true;
+            if let Some(oi) = statics.block_regional_oblast[bi] {
+                lost_region[oi as usize] = true;
+            }
+        }
+    }
+
     // Vantage-mode shape check, then per-vantage ledger update — on
     // *every* round, masked or not: the ledger is where a vantage
     // blackout stays visible after fusion has already routed around it.
@@ -1527,7 +1795,7 @@ fn apply_round(
     // The passive signal folds in *before* the usable-round gate: an
     // active-dark round is exactly when the darknet is the only listener
     // left, so IBR predictors and ledgers advance on every round.
-    apply_ibr(statics, state, record, round)?;
+    apply_ibr(statics, state, record, round, &lost_as)?;
 
     let quality = record.quality;
 
@@ -1574,7 +1842,7 @@ fn apply_round(
         }
         &record.blocks
     } else {
-        fused = fuse_vantage_round(statics, state, record)?;
+        fused = fuse_vantage_round(statics, state, record, &lost)?;
         &fused
     };
     state.round_quality.push(quality);
@@ -1589,6 +1857,26 @@ fn apply_round(
     let mut reg_routed = [0u32; Oblast::COUNT];
 
     for (bi, obs) in blocks.iter().enumerate() {
+        if lost[bi] {
+            // The block sat in a lost shard: no measurement exists. Its
+            // placeholder must not reach any aggregate — a zero would read
+            // as an outage — so the tracked series and detector record the
+            // gap and everything else (including the routing carry-forward
+            // memory, which must stay frozen, not absorb the placeholder)
+            // is left untouched. AS- and region-level gaps are handled in
+            // the detector loops below.
+            if let Some(entity) = statics.tracked_block[bi] {
+                if let Some(series) = state.tracked.get_mut(&entity) {
+                    series.bgp.push(None);
+                    series.fbs.push(None);
+                    series.ips.push(None);
+                }
+                if let Some(d) = state.block_detectors.get_mut(&entity) {
+                    d.observe(round, EntityRound::MISSING);
+                }
+            }
+            continue;
+        }
         let responsive = obs.responsive;
         let rtt_ns = obs.rtt_ns;
         // When the BGP delivery lost this block's record, the collector
@@ -1677,6 +1965,24 @@ fn apply_round(
 
     // --- Feed detectors. ---
     for (ai, d) in state.as_detectors.iter_mut().enumerate() {
+        if lost_as[ai] {
+            // An AS touched by a lost shard has an incomplete ballot this
+            // round: feeding the partial counts downstream would read the
+            // gap as an outage, so every consumer observes a missing round
+            // instead — zero false outages by construction.
+            d.observe(round, EntityRound::MISSING);
+            if let Some(entity) = statics.tracked_as[ai] {
+                if let Some(series) = state.tracked.get_mut(&entity) {
+                    series.bgp.push(None);
+                    series.fbs.push(None);
+                    series.ips.push(None);
+                }
+            }
+            if let Some(platform) = state.ioda.as_mut() {
+                platform.observe(round, statics.as_list[ai], None, None);
+            }
+            continue;
+        }
         // FBS enters detection as the share of *eligible* blocks
         // answering; eligibility churn at month boundaries then
         // cancels out instead of stepping the signal.
@@ -1705,6 +2011,10 @@ fn apply_round(
         }
     }
     for (oi, d) in state.region_detectors.iter_mut().enumerate() {
+        if lost_region[oi] {
+            d.observe(round, EntityRound::MISSING);
+            continue;
+        }
         let fbs_share = (state.reg_fbs_count[oi] > 0)
             .then(|| reg_active[oi] as f64 / state.reg_fbs_count[oi] as f64);
         d.observe_feeds(
@@ -1721,6 +2031,11 @@ fn apply_round(
 
     // --- Monthly responsiveness tallies. ---
     for oi in 0..Oblast::COUNT {
+        if lost_region[oi] {
+            // A lost shard removes the oblast's round from the monthly
+            // means rather than biasing them toward zero.
+            continue;
+        }
         let o = Oblast::from_index(oi).ok_or_else(|| FbsError::Io {
             reason: format!("invalid oblast index {oi}"),
         })?;
@@ -1737,12 +2052,16 @@ fn apply_round(
 /// Folds one round's passive-radiation observation into the predictors
 /// and ledgers. A dark collector freezes every predictor (no baseline
 /// drift, no spurious transitions); an observed round feeds each AS's
-/// volume through its seasonal predictor.
+/// volume through its seasonal predictor. An AS touched by a lost shard
+/// is treated as dark for the round: its journaled volume sum is missing
+/// the lost blocks' contribution, and a partial sum would read as a
+/// volume drop.
 fn apply_ibr(
     statics: &Statics,
     state: &mut PipelineState,
     record: &RoundRecord,
     round: Round,
+    lost_as: &[bool],
 ) -> fbs_types::Result<()> {
     let pos = state.cursor.completed() as u64;
     let obs = match (&statics.ibr, &record.ibr) {
@@ -1784,11 +2103,98 @@ fn apply_ibr(
         ));
     }
     for (ai, volume) in obs.volumes.iter().enumerate() {
+        if lost_as.get(ai).copied().unwrap_or(false) {
+            state.ibr_predictors[ai].observe_dark(round);
+            state.ibr_ledgers[ai].volume.push(0);
+            state.ibr_ledgers[ai].status.push(IbrRoundStatus::Dark);
+            continue;
+        }
         state.ibr_predictors[ai].observe(round, *volume);
         state.ibr_ledgers[ai].volume.push(*volume);
         state.ibr_ledgers[ai].status.push(IbrRoundStatus::Observed);
     }
     Ok(())
+}
+
+/// Folds one round's journaled shard outcomes into the supervision ledger
+/// and returns the lost-block mask (all-false in unsupervised campaigns,
+/// whose records carry no shard section).
+fn apply_shards(
+    statics: &Statics,
+    state: &mut PipelineState,
+    record: &RoundRecord,
+) -> fbs_types::Result<Vec<bool>> {
+    let pos = state.cursor.completed() as u64;
+    let obs = match (&record.shards, statics.shard.supervised()) {
+        (None, false) => return Ok(vec![false; statics.n_blocks]),
+        (Some(obs), true) => obs,
+        (present, _) => {
+            return Err(FbsError::corrupt_journal(
+                format!(
+                    "round {} record {} shard outcomes, campaign runs {}",
+                    record.round.0,
+                    if present.is_some() {
+                        "carries"
+                    } else {
+                        "lacks"
+                    },
+                    if present.is_some() {
+                        "unsupervised"
+                    } else {
+                        "supervised"
+                    },
+                ),
+                pos,
+            ));
+        }
+    };
+    if obs.outcomes.len() != statics.shard.n_shards() {
+        return Err(FbsError::corrupt_journal(
+            format!(
+                "round {} record carries {} shard outcomes, partition has {}",
+                record.round.0,
+                obs.outcomes.len(),
+                statics.shard.n_shards()
+            ),
+            pos,
+        ));
+    }
+    let mut lost = vec![false; statics.n_blocks];
+    let mut summary = ShardRoundSummary {
+        round: record.round,
+        completed: 0,
+        retried: 0,
+        panicked: 0,
+        timed_out: 0,
+        lost: 0,
+    };
+    for (outcome, range) in obs.outcomes.iter().zip(statics.shard.ranges()) {
+        match outcome {
+            ShardOutcomeObs::Completed {
+                attempt,
+                panics,
+                timeouts,
+            } => {
+                if *attempt == 0 {
+                    summary.completed += 1;
+                } else {
+                    summary.retried += 1;
+                }
+                summary.panicked += panics;
+                summary.timed_out += timeouts;
+            }
+            ShardOutcomeObs::Lost { panics, timeouts } => {
+                summary.lost += 1;
+                summary.panicked += panics;
+                summary.timed_out += timeouts;
+                for flag in &mut lost[range.clone()] {
+                    *flag = true;
+                }
+            }
+        }
+    }
+    state.shard_rounds.push(summary);
+    Ok(lost)
 }
 
 /// Drives a campaign one round at a time over the split state.
@@ -1804,6 +2210,11 @@ pub struct CampaignRunner<'a> {
     state: PipelineState,
     store: Option<CheckpointStore>,
     diagnostics: ResumeDiagnostics,
+    /// Accumulated wall time per shard slot across the rounds *this
+    /// process* executed (replayed/restored rounds contribute nothing).
+    /// Pure diagnostics for the report's [`ShardLedger`]: never
+    /// journaled, never part of any byte-compared artifact.
+    shard_wall_ns: Vec<u64>,
 }
 
 impl CampaignRunner<'_> {
@@ -1814,12 +2225,15 @@ impl CampaignRunner<'_> {
         let Some(round) = self.state.cursor.current() else {
             return Ok(false);
         };
-        let record = measure_round(
+        let (record, wall) = measure_round_timed(
             &self.campaign.world,
             &self.campaign.config,
             &self.statics,
             round,
         );
+        for (acc, w) in self.shard_wall_ns.iter_mut().zip(wall) {
+            *acc = acc.saturating_add(w);
+        }
         apply_round(
             &self.campaign.world,
             &self.campaign.config,
@@ -1866,6 +2280,8 @@ impl CampaignRunner<'_> {
         }
         let statics = self.statics;
         let mut state = self.state;
+        let shard_wall_ns = self.shard_wall_ns;
+        let n_shards = statics.shard.n_shards() as u32;
         let end = Round(statics.rounds);
         // Close the passive predictors out: a still-open outage ends at
         // the campaign bound, and each AS's events move into its ledger.
@@ -1920,6 +2336,14 @@ impl CampaignRunner<'_> {
                 .collect()
         };
 
+        // The supervision ledger: journal-derived outcome summaries plus
+        // the runner's local wall-time diagnostics.
+        let shard = state.shard_supervised.then(|| ShardLedger {
+            shards: n_shards,
+            rounds: std::mem::take(&mut state.shard_rounds),
+            wall_ns: shard_wall_ns,
+        });
+
         Ok(CampaignReport {
             rounds: statics.rounds,
             months: statics.months,
@@ -1941,6 +2365,7 @@ impl CampaignRunner<'_> {
             vantages: state.vantage_ledgers,
             disagreement: state.disagreement,
             ibr: state.ibr_ledgers,
+            shard,
         })
     }
 }

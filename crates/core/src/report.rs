@@ -428,6 +428,102 @@ impl Persist for IbrLedger {
     }
 }
 
+/// One round's shard-supervision outcome counts.
+///
+/// Supervised campaigns record one summary per round; the counts are
+/// derived from the journaled per-shard outcomes, so a resumed campaign
+/// replays the same ledger byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRoundSummary {
+    /// The round the summary describes.
+    pub round: Round,
+    /// Shards that completed on their first attempt.
+    pub completed: u32,
+    /// Shards that completed only after at least one retry.
+    pub retried: u32,
+    /// Total panicking attempts across all shards (isolated, retried).
+    pub panicked: u32,
+    /// Total attempts the deadline watchdog abandoned.
+    pub timed_out: u32,
+    /// Shards that exhausted their retry budget — their blocks were
+    /// marked missing and the round downgraded.
+    pub lost: u32,
+}
+
+impl Persist for ShardRoundSummary {
+    fn persist(&self, w: &mut ByteWriter) {
+        self.round.persist(w);
+        w.put_u32(self.completed);
+        w.put_u32(self.retried);
+        w.put_u32(self.panicked);
+        w.put_u32(self.timed_out);
+        w.put_u32(self.lost);
+    }
+    fn restore(r: &mut ByteReader<'_>) -> fbs_types::Result<Self> {
+        Ok(ShardRoundSummary {
+            round: Round::restore(r)?,
+            completed: r.get_u32()?,
+            retried: r.get_u32()?,
+            panicked: r.get_u32()?,
+            timed_out: r.get_u32()?,
+            lost: r.get_u32()?,
+        })
+    }
+}
+
+/// The campaign-wide shard-supervision ledger (present only when a shard
+/// fault plan is configured).
+#[derive(Clone)]
+pub struct ShardLedger {
+    /// Shards in the campaign's deterministic AS-aligned partition.
+    pub shards: u32,
+    /// One outcome summary per round, in round order.
+    pub rounds: Vec<ShardRoundSummary>,
+    /// Cumulative wall time each shard slot held a worker, nanoseconds.
+    /// Diagnostic only: never persisted, and excluded from `Debug` so
+    /// output comparisons across thread counts stay byte-identical.
+    pub wall_ns: Vec<u64>,
+}
+
+impl ShardLedger {
+    /// Total shard-rounds lost after exhausting retries.
+    pub fn total_lost(&self) -> u64 {
+        self.rounds.iter().map(|s| s.lost as u64).sum()
+    }
+
+    /// Total shards that needed at least one retry to complete.
+    pub fn total_retried(&self) -> u64 {
+        self.rounds.iter().map(|s| s.retried as u64).sum()
+    }
+
+    /// Total panicking attempts isolated by the supervisor.
+    pub fn total_panicked(&self) -> u64 {
+        self.rounds.iter().map(|s| s.panicked as u64).sum()
+    }
+
+    /// Total attempts abandoned by the deadline watchdog.
+    pub fn total_timed_out(&self) -> u64 {
+        self.rounds.iter().map(|s| s.timed_out as u64).sum()
+    }
+
+    /// Rounds in which at least one shard was lost.
+    pub fn rounds_with_loss(&self) -> usize {
+        self.rounds.iter().filter(|s| s.lost > 0).count()
+    }
+}
+
+impl std::fmt::Debug for ShardLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `wall_ns` is wall-clock data and deliberately omitted: the
+        // determinism tests compare report Debug strings across thread
+        // counts, and supervision timing must never leak into them.
+        f.debug_struct("ShardLedger")
+            .field("shards", &self.shards)
+            .field("rounds", &self.rounds)
+            .finish_non_exhaustive()
+    }
+}
+
 /// How often and how the vantages disagreed over a campaign.
 ///
 /// All counters stay zero in single-vantage campaigns (there is nobody to
@@ -512,6 +608,9 @@ pub struct CampaignReport {
     /// Per-AS passive background-radiation ledgers in AS order (empty when
     /// the IBR layer is off).
     pub ibr: Vec<IbrLedger>,
+    /// The shard-supervision ledger (`None` when no shard fault plan is
+    /// configured — unsupervised campaigns journal no shard outcomes).
+    pub shard: Option<ShardLedger>,
 }
 
 impl CampaignReport {

@@ -17,6 +17,21 @@
 //!
 //! Both formats checksum with the zlib-compatible CRC-32 ([`crc32`]) and
 //! carry explicit magic/version bytes so stale or foreign files fail fast.
+//!
+//! This crate is deliberately payload-version-agnostic: it moves opaque
+//! bytes, and `fbs-core`'s checkpoint layer owns the schema. For
+//! orientation, the payload versions that layer has shipped:
+//!
+//! | Version | Campaigns | Adds |
+//! |---|---|---|
+//! | 2 | legacy single-vantage | baseline layout |
+//! | 3 | any vantage roster | per-vantage ledgers + disagreement |
+//! | 4 | passive (IBR) signal on | per-AS predictor + radiation ledgers |
+//! | 5 | supervised shard execution | per-round shard outcomes + ledger |
+//!
+//! Each version is additive and self-selecting: a campaign serializes as
+//! the lowest version that can carry its features, so old checkpoint
+//! directories stay bit-compatible and resume unchanged.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -88,6 +88,7 @@ pub const RNG_DOMAINS: &[&str] = &[
     "ibr",
     "power",
     "scenario",
+    "shards",
     "v6",
     "vantage-faults",
 ];
@@ -104,6 +105,7 @@ pub const RENDER_FILES: &[&str] = &["crates/analysis/src/emit.rs", "crates/core/
 /// detection input, checkpoints and reports, so `unordered-persist`
 /// covers these files even when they never name the codec.
 pub const MERGE_FILES: &[&str] = &[
+    "crates/core/src/shard.rs",
     "crates/signals/src/fusion.rs",
     "crates/netsim/src/vantage.rs",
 ];
@@ -437,6 +439,7 @@ mod tests {
                 "ibr",
                 "power",
                 "scenario",
+                "shards",
                 "v6",
                 "vantage-faults",
             ]

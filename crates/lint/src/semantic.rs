@@ -416,9 +416,10 @@ fn sink_reason(f: &FnNode) -> Option<String> {
             return Some(format!("emission function `{}`", f.name));
         }
     }
-    // Vantage-fusion folds feed detection input, checkpoints and reports:
-    // hash-ordered iteration there leaks roster order into all three.
-    for prefix in ["fuse_", "merge_"] {
+    // Vantage-fusion and the shard executor's reduce fold feed detection
+    // input, checkpoints and reports: hash-ordered iteration there leaks
+    // roster/scheduling order into all three.
+    for prefix in ["fuse_", "merge_", "reduce_"] {
         if f.name.starts_with(prefix) {
             return Some(format!("ordered-merge function `{}`", f.name));
         }
@@ -491,11 +492,19 @@ fn check_shard_merge_order(
         }
     }
     let is_sink_call = |name: &str| -> bool {
+        if crate::dataflow::is_order_step(name) {
+            // A deterministic ordering step is the launder this rule asks
+            // for — handing a fan-out result *into* one is the required
+            // fix, not a violation, even when the step itself feeds a
+            // sink (it delivers its caller a slot-ordered value).
+            return false;
+        }
         if sinkish.contains(name) || name == "persist" {
             return true;
         }
         [
-            "write_", "emit_", "export_", "render_", "fuse_", "merge_", "ibr_", "predict_",
+            "write_", "emit_", "export_", "render_", "fuse_", "merge_", "reduce_", "ibr_",
+            "predict_",
         ]
         .iter()
         .any(|p| name.starts_with(p))

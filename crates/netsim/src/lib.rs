@@ -35,6 +35,7 @@ pub mod ibr;
 pub mod power;
 pub mod rng;
 pub mod script;
+pub mod shardfaults;
 pub mod spec;
 pub mod transport;
 pub mod vantage;
@@ -46,6 +47,7 @@ pub use ibr::{block_volume, ibr_domain, IbrConfig, IbrDarkWindow};
 pub use power::{PowerCalendar, StrikeEvent};
 pub use rng::WorldRng;
 pub use script::{EventKind, EventTarget, Script, ScriptedEvent};
+pub use shardfaults::{shards_domain, ShardFaultKind, ShardFaultPlan, ShardFaultWindow};
 pub use spec::{AsProfile, AsSpec, BlockSpec, WorldConfig, WorldScale};
 pub use transport::WorldTransport;
 pub use vantage::{VantageSpec, VantageTransport};

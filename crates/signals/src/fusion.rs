@@ -192,6 +192,19 @@ pub fn fuse_round_quality(
         .unwrap_or(RoundQuality::Unusable)
 }
 
+/// Restores deterministic slot order over results that arrive in
+/// completion order from a parallel executor.
+///
+/// Any parallel fan-out — the vantage roster, the shard pool — produces
+/// results in scheduling order, which must never reach a merge or a sink.
+/// This is the shared laundering step: sort by the stable slot key the
+/// work was partitioned under, so the merge consumes roster order no
+/// matter how the workers raced.
+pub fn roster_ordered<T>(mut items: Vec<T>, slot: impl FnMut(&T) -> u32) -> Vec<T> {
+    items.sort_by_key(slot);
+    items
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,6 +291,14 @@ mod tests {
         assert!(vantage_usable(true, RoundQuality::Degraded));
         assert!(!vantage_usable(true, RoundQuality::Unusable));
         assert!(!vantage_usable(false, RoundQuality::Ok));
+    }
+
+    #[test]
+    fn roster_ordered_restores_slot_order() {
+        let arrival = vec![(3u32, "d"), (0, "a"), (2, "c"), (1, "b")];
+        let ordered = roster_ordered(arrival, |(slot, _)| *slot);
+        assert_eq!(ordered, vec![(0, "a"), (1, "b"), (2, "c"), (3, "d")]);
+        assert!(roster_ordered(Vec::<(u32, ())>::new(), |(s, _)| *s).is_empty());
     }
 
     #[test]

@@ -54,8 +54,8 @@ pub use detect::{Detector, EntityRound, SignalQuality, SignalState};
 pub use eligibility::{ips_signal_usable, BlockMonth, EligibilityConfig, MonthEligibility};
 pub use events::{merge_overlapping, outage_hours, EntityId, OutageEvent};
 pub use fusion::{
-    fuse_block, fuse_round_quality, quorum_reachable, vantage_usable, BlockVote, FusedBlock,
-    ReachClass,
+    fuse_block, fuse_round_quality, quorum_reachable, roster_ordered, vantage_usable, BlockVote,
+    FusedBlock, ReachClass,
 };
 pub use predict::{IbrEvent, IbrRoundStatus, IbrVerdict, SeasonalPredictor};
 pub use sensing::{AvailabilitySensor, SensingConfig, SensingVerdict};

@@ -12,7 +12,8 @@ use ukraine_fbs::core::checkpoint::{JOURNAL_FILE, SNAPSHOT_FILE};
 use ukraine_fbs::core::dataset::{availability_csv, availability_rows, outage_csv, outage_rows};
 use ukraine_fbs::core::CheckpointPolicy;
 use ukraine_fbs::netsim::{
-    AsProfile, AsSpec, BlockSpec, IbrConfig, Script, VantageSpec, World, WorldConfig, WorldScale,
+    AsProfile, AsSpec, BlockSpec, IbrConfig, Script, ShardFaultPlan, VantageSpec, World,
+    WorldConfig, WorldScale,
 };
 use ukraine_fbs::prelude::*;
 use ukraine_fbs::types::{Oblast, Prefix};
@@ -59,6 +60,14 @@ fn campaign() -> Campaign {
     Campaign::new(world(23), cfg).expect("valid config")
 }
 
+fn campaign_with_threads(threads: usize) -> Campaign {
+    let mut cfg = CampaignConfig::without_baseline();
+    cfg.tracked.clear();
+    cfg.rtt_tracked.clear();
+    cfg.threads = threads;
+    Campaign::new(world(23), cfg).expect("valid config")
+}
+
 fn fresh_dir(tag: &str) -> std::path::PathBuf {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let n = COUNTER.fetch_add(1, Ordering::Relaxed);
@@ -87,6 +96,79 @@ fn two_runs_write_identical_checkpoint_bytes() {
     }
     let _ = std::fs::remove_dir_all(&dir_a);
     let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn thread_count_never_reaches_output_bytes() {
+    // The sharded executor's worker count is pure mechanism: every block's
+    // observation is derived from coordinate-addressed RNG, and the merge
+    // is a roster-ordered reduce, so the same campaign at 1, 2 and 8
+    // threads must write byte-identical checkpoints and datasets. One
+    // thread runs the shards inline on the calling thread — the pre-shard
+    // serial pipeline — so this also pins parallel == serial.
+    let mut runs = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let dir = fresh_dir(&format!("t{threads}"));
+        let report = campaign_with_threads(threads)
+            .run_checkpointed(&dir, policy())
+            .expect("checkpointed run");
+        let snapshot = std::fs::read(dir.join(SNAPSHOT_FILE)).expect(SNAPSHOT_FILE);
+        let journal = std::fs::read(dir.join(JOURNAL_FILE)).expect(JOURNAL_FILE);
+        let _ = std::fs::remove_dir_all(&dir);
+        let avail = availability_csv(&availability_rows(&report)).into_bytes();
+        let out = outage_csv(&outage_rows(&report)).into_bytes();
+        runs.push((
+            threads,
+            format!("{report:?}"),
+            snapshot,
+            journal,
+            avail,
+            out,
+        ));
+    }
+    let (_, base_report, base_snap, base_journal, base_avail, base_out) = &runs[0];
+    for (threads, report, snap, journal, avail, out) in &runs[1..] {
+        assert_eq!(report, base_report, "report differs at threads={threads}");
+        assert_eq!(snap, base_snap, "snapshot differs at threads={threads}");
+        assert_eq!(
+            journal, base_journal,
+            "journal differs at threads={threads}"
+        );
+        assert_eq!(
+            avail, base_avail,
+            "availability csv differs at threads={threads}"
+        );
+        assert_eq!(out, base_out, "outage csv differs at threads={threads}");
+    }
+}
+
+#[test]
+fn thread_count_never_reaches_fanned_out_surfaces() {
+    // Same property with every measurement surface live at once: a vantage
+    // roster (per-vantage fan-out shards) and the passive IBR signal both
+    // ride the shard executor, and none of their bytes may depend on how
+    // many workers carried the round.
+    let run = |threads: usize| {
+        let mut cfg = CampaignConfig::without_baseline();
+        cfg.tracked.clear();
+        cfg.rtt_tracked.clear();
+        cfg.vantages = vec![VantageSpec::new("solo")];
+        cfg.ibr = Some(IbrConfig::default());
+        cfg.threads = threads;
+        let dir = fresh_dir(&format!("ft{threads}"));
+        let report = Campaign::new(world(23), cfg)
+            .expect("valid config")
+            .run_checkpointed(&dir, policy())
+            .expect("checkpointed run");
+        let snapshot = std::fs::read(dir.join(SNAPSHOT_FILE)).expect(SNAPSHOT_FILE);
+        let journal = std::fs::read(dir.join(JOURNAL_FILE)).expect(JOURNAL_FILE);
+        let _ = std::fs::remove_dir_all(&dir);
+        (format!("{report:?}"), snapshot, journal)
+    };
+    let serial = run(1);
+    for threads in [2usize, 8] {
+        assert_eq!(run(threads), serial, "bytes differ at threads={threads}");
+    }
 }
 
 #[test]
@@ -209,6 +291,23 @@ fn checkpoint_schema_version_tracks_the_roster() {
         version, 4,
         "passive-signal campaigns checkpoint as version 4"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Supervised shard execution — any shard fault plan, even an empty
+    // one — journals per-shard outcomes and lifts the layout to version 5.
+    let mut cfg = CampaignConfig::without_baseline();
+    cfg.tracked.clear();
+    cfg.rtt_tracked.clear();
+    cfg.shard_plan = Some(ShardFaultPlan::none());
+    let dir = fresh_dir("ver5");
+    Campaign::new(world(23), cfg)
+        .expect("valid config")
+        .run_checkpointed(&dir, policy())
+        .expect("supervised run");
+    let (version, _) = ukraine_fbs::journal::read_snapshot(dir.join(SNAPSHOT_FILE))
+        .expect("readable snapshot")
+        .expect("snapshot written");
+    assert_eq!(version, 5, "supervised campaigns checkpoint as version 5");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -7,11 +7,12 @@
 //! inside the same fault window is **still detected**. Degraded rounds damp
 //! detection; they must not blind it.
 
-use ukraine_fbs::core::{CheckpointPolicy, DisagreementSummary};
+use ukraine_fbs::core::{CheckpointPolicy, DisagreementSummary, ShardRoundSummary};
 use ukraine_fbs::netsim::{
     AsProfile, AsSpec, BlockSpec, EventKind, EventTarget, FaultIntensity, FaultPlan, FaultWindow,
     FaultyTransport, FeedFaultIntensity, FeedFaultPlan, FeedFaultWindow, IbrConfig, IbrDarkWindow,
-    Script, ScriptedEvent, VantageSpec, World, WorldConfig, WorldScale, WorldTransport,
+    Script, ScriptedEvent, ShardFaultKind, ShardFaultPlan, ShardFaultWindow, VantageSpec, World,
+    WorldConfig, WorldScale, WorldTransport,
 };
 use ukraine_fbs::prelude::*;
 use ukraine_fbs::prober::{ScanConfig, Scanner, TargetSet};
@@ -936,6 +937,303 @@ fn dark_darknet_freezes_instead_of_fabricating() {
 
     let again = go();
     assert_eq!(format!("{report:?}"), format!("{again:?}"));
+}
+
+// ---------------------------------------------------------------------------
+// Shard-supervision rows: a shard that panics or blows its deadline
+// mid-campaign must cost exactly its own blocks for exactly the faulted
+// rounds — the round is downgraded, never the campaign; detection on the
+// surviving shards continues; and the ledger pins every attempt.
+// ---------------------------------------------------------------------------
+
+/// Rounds during which the small shard's task panics on every attempt.
+const SHARD_PANIC: std::ops::Range<u32> = 200..230;
+/// Rounds during which the small shard stalls past its deadline.
+const SHARD_STALL: std::ops::Range<u32> = 400..430;
+/// Rounds during which the first attempt panics but a retry succeeds.
+const SHARD_RETRY: std::ops::Range<u32> = 100..110;
+
+/// A quiet two-shard world: the AS-aligned partitioner cuts at 64 blocks,
+/// so 64 blocks of AS 100 followed by 8 blocks of AS 200 yield exactly two
+/// shards — faults scripted against slot 1 cost only AS 200's blocks.
+fn world_two_shards(seed: u64, events: Vec<ScriptedEvent>) -> World {
+    let mut blocks: Vec<BlockSpec> = (0..64u8)
+        .map(|c| BlockSpec {
+            block: BlockId::from_octets(10, 0, c),
+            owner: Asn(100),
+            home: Oblast::Kherson,
+            base_responders: 120,
+            geo_population: 220,
+            response_prob: 0.9,
+            diurnal: false,
+            power_backup: 1.0,
+            annual_decay: 1.0,
+        })
+        .collect();
+    blocks.extend((0..8u8).map(|c| BlockSpec {
+        block: BlockId::from_octets(10, 2, c),
+        owner: Asn(200),
+        home: Oblast::Kherson,
+        base_responders: 120,
+        geo_population: 220,
+        response_prob: 0.9,
+        diurnal: false,
+        power_backup: 1.0,
+        annual_decay: 1.0,
+    }));
+    let ases = vec![
+        AsSpec {
+            asn: Asn(100),
+            name: "shard-main".into(),
+            profile: AsProfile::Regional,
+            hq: Some(Oblast::Kherson),
+            prefixes: blocks[..64]
+                .iter()
+                .map(|b| Prefix::from_block(b.block))
+                .collect(),
+            base_rtt_ns: 40_000_000,
+            upstream: Asn(1),
+        },
+        AsSpec {
+            asn: Asn(200),
+            name: "shard-tail".into(),
+            profile: AsProfile::Regional,
+            hq: Some(Oblast::Kherson),
+            prefixes: blocks[64..]
+                .iter()
+                .map(|b| Prefix::from_block(b.block))
+                .collect(),
+            base_rtt_ns: 40_000_000,
+            upstream: Asn(1),
+        },
+    ];
+    let config = WorldConfig {
+        seed,
+        scale: WorldScale::Tiny,
+        rounds: ROUNDS,
+        ases,
+        blocks,
+    };
+    let mut script = Script::new();
+    for e in events {
+        script.push(e);
+    }
+    World::new(config, script, vec![]).expect("valid config")
+}
+
+/// The shard chaos mix against slot 1: a retried panic, a retry-exhausting
+/// panic, and a deadline overrun (the stall dwarfs the 1 s virtual budget).
+fn shard_chaos_plan() -> ShardFaultPlan {
+    ShardFaultPlan {
+        windows: vec![
+            ShardFaultWindow::scripted(
+                "shard-retry",
+                SHARD_RETRY,
+                vec![1],
+                1,
+                ShardFaultKind::Panic,
+            ),
+            ShardFaultWindow::scripted(
+                "shard-panic",
+                SHARD_PANIC,
+                vec![1],
+                3,
+                ShardFaultKind::Panic,
+            ),
+            ShardFaultWindow::scripted(
+                "shard-stall",
+                SHARD_STALL,
+                vec![1],
+                3,
+                ShardFaultKind::Stall {
+                    extra_ns: 2_000_000_000,
+                },
+            ),
+        ],
+    }
+}
+
+fn shard_config(plan: ShardFaultPlan) -> CampaignConfig {
+    let mut cfg = campaign_config(None);
+    cfg.shard_plan = Some(plan);
+    cfg
+}
+
+#[test]
+fn lost_shards_degrade_rounds_without_false_outages() {
+    let go = || {
+        run_cfg(
+            world_two_shards(11, vec![]),
+            shard_config(shard_chaos_plan()),
+        )
+    };
+    let report = go();
+
+    // Shard loss fabricates nothing: the lost blocks are *missing*, never
+    // zero, so the quiet world stays event-free on both ASes.
+    assert_eq!(
+        report.total_as_outages(),
+        0,
+        "shard loss fabricated outages: {:?}",
+        report.as_events
+    );
+    assert!(
+        report.region_events_of(Oblast::Kherson).is_empty(),
+        "the populated region must not false-fire"
+    );
+
+    // Graceful degradation, surgically scoped: exactly the rounds whose
+    // shard was lost are Degraded — one live shard of two keeps the round
+    // usable — and a retried-but-completed shard costs nothing at all.
+    for (r, q) in report.round_quality.iter().enumerate() {
+        let r = r as u32;
+        let expect = if SHARD_PANIC.contains(&r) || SHARD_STALL.contains(&r) {
+            RoundQuality::Degraded
+        } else {
+            RoundQuality::Ok
+        };
+        assert_eq!(*q, expect, "round {r}");
+    }
+    assert_eq!(report.unusable_rounds(), 0);
+
+    // The supervision ledger pins every attempt exactly.
+    let ledger = report.shard.as_ref().expect("supervised campaigns ledger");
+    assert_eq!(ledger.shards, 2);
+    assert_eq!(ledger.rounds.len(), ROUNDS as usize);
+    assert_eq!(ledger.total_lost(), 60, "30 panic-lost + 30 stall-lost");
+    assert_eq!(ledger.total_retried(), 10, "the retry window completes");
+    assert_eq!(
+        ledger.total_panicked(),
+        100,
+        "30 rounds x 3 + 10 rounds x 1"
+    );
+    assert_eq!(
+        ledger.total_timed_out(),
+        90,
+        "30 rounds x 3 abandoned tries"
+    );
+    assert_eq!(ledger.rounds_with_loss(), 60);
+    assert_eq!(ledger.wall_ns.len(), 2);
+    for (r, s) in ledger.rounds.iter().enumerate() {
+        let r = r as u32;
+        let expect = if SHARD_RETRY.contains(&r) {
+            // Slot 0 clean, slot 1 panicked once then completed on retry.
+            ShardRoundSummary {
+                round: Round(r),
+                completed: 1,
+                retried: 1,
+                panicked: 1,
+                timed_out: 0,
+                lost: 0,
+            }
+        } else if SHARD_PANIC.contains(&r) {
+            // Slot 1 panicked on all three attempts: lost.
+            ShardRoundSummary {
+                round: Round(r),
+                completed: 1,
+                retried: 0,
+                panicked: 3,
+                timed_out: 0,
+                lost: 1,
+            }
+        } else if SHARD_STALL.contains(&r) {
+            // Slot 1 billed past the deadline on all three attempts: lost.
+            ShardRoundSummary {
+                round: Round(r),
+                completed: 1,
+                retried: 0,
+                panicked: 0,
+                timed_out: 3,
+                lost: 1,
+            }
+        } else {
+            ShardRoundSummary {
+                round: Round(r),
+                completed: 2,
+                retried: 0,
+                panicked: 0,
+                timed_out: 0,
+                lost: 0,
+            }
+        };
+        assert_eq!(*s, expect, "round {r}");
+    }
+
+    // Byte-identical determinism across two full runs.
+    let again = go();
+    assert_eq!(format!("{report:?}"), format!("{again:?}"));
+}
+
+#[test]
+fn scripted_outage_survives_shard_loss() {
+    // A real BGP outage on the *surviving* shard's AS, spanning the whole
+    // panic-loss window: losing shard 1 must not blind detection on
+    // shard 0's blocks.
+    let outage_rounds = 190u32..250;
+    let report = run_cfg(
+        world_two_shards(11, vec![scripted_outage(outage_rounds.clone())]),
+        shard_config(shard_chaos_plan()),
+    );
+    let events = report
+        .as_events
+        .get(&Asn(100))
+        .expect("the outage must still be detected while shard 1 is lost");
+    assert!(!events.is_empty());
+    assert!(
+        events
+            .iter()
+            .any(|e| e.start.0 < outage_rounds.end + 12 && e.end.0 + 12 > outage_rounds.start),
+        "no detected event overlaps the scripted outage: {events:?}"
+    );
+    for e in events {
+        assert!(
+            e.end.0 >= outage_rounds.start.saturating_sub(12)
+                && e.start.0 <= outage_rounds.end + 12,
+            "event far from the scripted outage: {e:?}"
+        );
+    }
+    // The lost shard's AS stays quiet: its blocks were missing, not dark.
+    assert!(
+        report
+            .as_events
+            .get(&Asn(200))
+            .is_none_or(|events| events.is_empty()),
+        "shard loss fabricated an outage on the lost shard's AS"
+    );
+}
+
+#[test]
+fn shard_faulted_resume_is_byte_identical() {
+    // Crash-resume lands mid-panic-window, mid-snapshot-interval: replay
+    // must consume the journaled shard outcomes — never re-run the pool —
+    // and reconstruct the ledger, the lost-block masks and the downgraded
+    // quality exactly.
+    let dir = std::env::temp_dir().join(format!("fbs-shard-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let campaign = Campaign::new(
+        world_two_shards(11, vec![scripted_outage(190..250)]),
+        shard_config(shard_chaos_plan()),
+    )
+    .expect("valid config");
+    let plain = campaign.run().expect("plain run");
+    {
+        let mut runner = campaign
+            .runner_checkpointed(
+                &dir,
+                CheckpointPolicy {
+                    snapshot_every: 96,
+                    fsync: false,
+                },
+            )
+            .expect("runner");
+        for _ in 0..215 {
+            runner.step_round().expect("step");
+        }
+        // Dropped mid-degraded-round territory: the crash point.
+    }
+    let resumed = campaign.resume(&dir).expect("resume");
+    assert_eq!(format!("{plain:?}"), format!("{resumed:?}"));
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
