@@ -571,6 +571,9 @@ pub struct ResumeDiagnostics {
     /// Journal records re-measured to heal a journal that lagged behind
     /// the snapshot (after its corrupt tail was truncated).
     pub healed_rounds: u32,
+    /// The schema version of a structurally valid snapshot that was
+    /// quarantined because no decoder accepts it (future or foreign).
+    pub snapshot_foreign_version: Option<u32>,
 }
 
 /// What [`CheckpointStore::open`] recovers from a checkpoint directory:
@@ -630,8 +633,10 @@ impl CheckpointStore {
                 Some((version, payload))
             }
             Ok(Some((version, _))) => {
-                // A future or foreign schema: unreadable, same as damage.
-                let _ = version;
+                // A future or foreign schema: unreadable, same as damage,
+                // but the version is kept so resume reporting can say
+                // *which* schema stranded the snapshot.
+                diagnostics.snapshot_foreign_version = Some(version);
                 diagnostics.snapshot_quarantined = Some(quarantine_snapshot(&snapshot_path)?);
                 None
             }
@@ -976,5 +981,231 @@ mod tests {
         let mut bytes = record.encode();
         bytes.push(0);
         assert!(RoundRecord::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn round_record_version_probe_is_exhaustive() {
+        // Foreign tags fail *at the probe*, carrying the tag in the error
+        // so an operator can see which schema stranded the journal.
+        for foreign in [0u32, 1, 6, u32::MAX] {
+            let mut w = ByteWriter::new();
+            w.put_u32(foreign);
+            let err = RoundRecord::decode(&w.into_bytes()).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains("round record version"),
+                "tag {foreign}: unexpected error shape: {msg}"
+            );
+            assert!(
+                msg.contains(&foreign.to_string()),
+                "tag {foreign} missing from error: {msg}"
+            );
+        }
+        // The four live tags pass the probe: a truncated payload fails in
+        // the section decoders, never as version drift.
+        for live in [
+            LEGACY_STATE_VERSION,
+            STATE_VERSION,
+            IBR_STATE_VERSION,
+            SHARD_STATE_VERSION,
+        ] {
+            let mut w = ByteWriter::new();
+            w.put_u32(live);
+            let err = RoundRecord::decode(&w.into_bytes()).unwrap_err();
+            assert!(
+                !err.to_string().contains("round record version"),
+                "live tag {live} bounced off the version probe: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_version_acceptance_is_exhaustive_at_open() {
+        let base = std::env::temp_dir().join(format!("fbs-ckpt-vers-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let policy = CheckpointPolicy {
+            snapshot_every: 8,
+            fsync: false,
+        };
+        for v in [
+            LEGACY_STATE_VERSION,
+            STATE_VERSION,
+            IBR_STATE_VERSION,
+            SHARD_STATE_VERSION,
+        ] {
+            let dir = base.join(format!("accept-{v}"));
+            std::fs::create_dir_all(&dir).unwrap();
+            write_snapshot(dir.join(SNAPSHOT_FILE), v, b"payload").unwrap();
+            let (_store, snapshot, records, diag) = CheckpointStore::open(&dir, policy).unwrap();
+            assert_eq!(snapshot, Some((v, b"payload".to_vec())));
+            assert!(records.is_empty());
+            assert!(diag.snapshot_loaded, "v{v} snapshot must load");
+            assert_eq!(diag.snapshot_foreign_version, None);
+            assert!(diag.snapshot_quarantined.is_none());
+        }
+        // A structurally valid snapshot at any other version is
+        // quarantined, and the diagnostics name the foreign schema.
+        for v in [0u32, 1, 6, u32::MAX] {
+            let dir = base.join(format!("reject-{v}"));
+            std::fs::create_dir_all(&dir).unwrap();
+            write_snapshot(dir.join(SNAPSHOT_FILE), v, b"payload").unwrap();
+            let (_store, snapshot, _records, diag) = CheckpointStore::open(&dir, policy).unwrap();
+            assert_eq!(snapshot, None, "v{v} must not load");
+            assert!(!diag.snapshot_loaded);
+            assert_eq!(diag.snapshot_foreign_version, Some(v));
+            let quarantined = diag
+                .snapshot_quarantined
+                .expect("foreign snapshot quarantined");
+            assert!(quarantined.exists());
+            assert!(!dir.join(SNAPSHOT_FILE).exists());
+        }
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    /// The canonical record persisted into `fixtures/wire/v<N>/`: one
+    /// fixed observation set, with the sections each version carries.
+    fn wire_fixture_record(version: u32) -> RoundRecord {
+        let obs = |responsive: u32, rtt_ns: u64| BlockObs {
+            responsive,
+            rtt_ns,
+            routed: true,
+            routed_known: true,
+        };
+        let quarantine = FeedQuarantine::measure(
+            "10.0.0.0/24|65000\ngarbage\n",
+            1,
+            vec![fbs_types::QuarantinedRecord::new(
+                2,
+                "missing '|'",
+                "garbage",
+            )],
+        );
+        let vantages = vec![
+            VantageObs {
+                online: true,
+                quality: RoundQuality::Ok,
+                blocks: vec![obs(30, 41_000_000), obs(0, 0)],
+            },
+            VantageObs {
+                online: false,
+                quality: RoundQuality::Unusable,
+                blocks: Vec::new(),
+            },
+        ];
+        let mut record = RoundRecord {
+            round: Round(42),
+            online: true,
+            quality: RoundQuality::Degraded,
+            blocks: vec![obs(118, 40_120_000), obs(0, 0)],
+            feeds: vec![
+                FeedObs::Accepted {
+                    retries: 1,
+                    quarantine: quarantine.clone(),
+                },
+                FeedObs::NotDue,
+                FeedObs::Rejected {
+                    retries: 0,
+                    quarantine,
+                },
+                FeedObs::Absent { retries: 2 },
+            ],
+            vantages: Vec::new(),
+            ibr: None,
+            shards: None,
+        };
+        let ibr = IbrObs {
+            dark: false,
+            volumes: vec![11, 0, 7],
+        };
+        let shards = ShardObs {
+            outcomes: vec![
+                ShardOutcomeObs::Completed {
+                    attempt: 1,
+                    panics: 1,
+                    timeouts: 0,
+                },
+                ShardOutcomeObs::Lost {
+                    panics: 0,
+                    timeouts: 3,
+                },
+            ],
+        };
+        match version {
+            LEGACY_STATE_VERSION => {}
+            STATE_VERSION => {
+                record.blocks = Vec::new();
+                record.vantages = vantages;
+            }
+            IBR_STATE_VERSION => {
+                record.vantages = vantages;
+                record.ibr = Some(ibr);
+            }
+            SHARD_STATE_VERSION => {
+                record.vantages = vantages;
+                record.ibr = Some(ibr);
+                record.shards = Some(shards);
+            }
+            other => panic!("no wire fixture layout for version {other}"),
+        }
+        record
+    }
+
+    #[test]
+    fn golden_wire_fixtures_round_trip_byte_for_byte() {
+        // `FBS_WRITE_WIRE_FIXTURES=1 cargo test -p fbs-core` regenerates
+        // the committed blobs; a plain run pins the bytes exactly, so any
+        // encoder change that touches a frozen layout fails here even if
+        // encode/decode still agree with each other.
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fixtures/wire");
+        let write = std::env::var("FBS_WRITE_WIRE_FIXTURES").is_ok();
+        for version in [
+            LEGACY_STATE_VERSION,
+            STATE_VERSION,
+            IBR_STATE_VERSION,
+            SHARD_STATE_VERSION,
+        ] {
+            let record = wire_fixture_record(version);
+            let encoded = record.encode();
+            assert_eq!(
+                u32::from(encoded[0]),
+                version,
+                "layout_version drifted for the v{version} fixture record"
+            );
+            let vdir = dir.join(format!("v{version}"));
+            let record_path = vdir.join("round_record.bin");
+            let snap_path = vdir.join("state.snap");
+            if write {
+                std::fs::create_dir_all(&vdir).unwrap();
+                std::fs::write(&record_path, &encoded).unwrap();
+                write_snapshot(&snap_path, version, &encoded).unwrap();
+            }
+            let golden = std::fs::read(&record_path).unwrap_or_else(|e| {
+                panic!(
+                    "{}: {e} (regenerate with FBS_WRITE_WIRE_FIXTURES=1)",
+                    record_path.display()
+                )
+            });
+            assert_eq!(
+                golden, encoded,
+                "v{version} golden journal bytes drifted from the encoder"
+            );
+            assert_eq!(
+                RoundRecord::decode(&golden).unwrap(),
+                record,
+                "v{version} golden decode drifted"
+            );
+            // The snapshot container round-trips the same payload under
+            // the same version tag.
+            let (snap_version, payload) = read_snapshot(&snap_path)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{}: {e} (regenerate with FBS_WRITE_WIRE_FIXTURES=1)",
+                        snap_path.display()
+                    )
+                })
+                .expect("snapshot fixture present");
+            assert_eq!(snap_version, version);
+            assert_eq!(payload, encoded);
+        }
     }
 }

@@ -741,6 +741,8 @@ impl PipelineState {
             shard_supervised: false,
             shard_rounds: Vec::new(),
         };
+        // A legacy snapshot stops at the base fields; acceptance is the
+        // absence of every tail below. fbs-schema: accepts(2)
         if version == STATE_VERSION {
             state.vantage_ledgers = Vec::<VantageLedger>::restore(r)?;
             state.disagreement = DisagreementSummary::restore(r)?;

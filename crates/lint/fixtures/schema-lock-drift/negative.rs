@@ -1,0 +1,35 @@
+//! Fixture: both wire types are recorded in `negative.lock` with the
+//! exact layouts the source writes — no drift.
+
+pub struct Point {
+    x: u32,
+    y: u32,
+}
+
+impl Persist for Point {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_u32(self.x);
+        w.put_u32(self.y);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self> {
+        let x = r.get_u32()?;
+        let y = r.get_u32()?;
+        Ok(Point { x, y })
+    }
+}
+
+pub struct Extra {
+    n: u64,
+}
+
+impl Persist for Extra {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_u64(self.n);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self> {
+        let n = r.get_u64()?;
+        Ok(Extra { n })
+    }
+}

@@ -1,0 +1,50 @@
+//! Fixture: a versioned wire root whose write set and read set disagree.
+//!
+//! `layout_version` can produce V3, but the decoder's `match version`
+//! only accepts V1 and V2 — a campaign checkpointed at v3 could never
+//! resume. The decoder also accepts V9, which no encoder branch writes.
+
+const V1: u32 = 1;
+const V2: u32 = 2;
+const V3: u32 = 3;
+const V9: u32 = 9;
+
+pub struct Snapshot {
+    base: u32,
+    tail: Vec<u32>,
+}
+
+impl Snapshot {
+    fn layout_version(&self) -> u32 {
+        if self.tail.is_empty() {
+            V1
+        } else if self.base > 0 {
+            V2
+        } else {
+            V3
+        }
+    }
+}
+
+impl Persist for Snapshot {
+    fn persist(&self, w: &mut ByteWriter) {
+        let version = self.layout_version();
+        w.put_u32(version);
+        w.put_u32(self.base);
+        if version != V1 {
+            self.tail.persist(w);
+        }
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self> {
+        let version = r.get_u32()?;
+        let base = r.get_u32()?;
+        let tail = match version {
+            V1 => Vec::new(),
+            V2 => Vec::<u32>::restore(r)?,
+            V9 => Vec::<u32>::restore(r)?,
+            other => return Err(FbsError::corrupt_snapshot(other.to_string())),
+        };
+        Ok(Snapshot { base, tail })
+    }
+}

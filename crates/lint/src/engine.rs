@@ -76,6 +76,14 @@ pub fn lint_source(file: &SourceFile) -> Vec<Finding> {
 /// like registry staleness). Semantic findings pass through the anchoring
 /// file's test-region and pragma filters, same as lexical ones.
 pub fn lint_sources(files: &[SourceFile], complete: bool) -> LintRun {
+    lint_sources_with_lock(files, complete, None)
+}
+
+/// [`lint_sources`] plus the wire-schema compatibility gate: when the
+/// `SCHEMA.lock` text is supplied, the extraction is diffed against it
+/// and `frozen-version-edit` / `schema-lock-drift` findings join the run
+/// (`unprobed-version` needs no lockfile and always runs).
+pub fn lint_sources_with_lock(files: &[SourceFile], complete: bool, lock: Option<&str>) -> LintRun {
     let mut run = LintRun {
         files_checked: files.len(),
         findings: Vec::new(),
@@ -89,7 +97,9 @@ pub fn lint_sources(files: &[SourceFile], complete: bool) -> LintRun {
         }
     }
     let graph = crate::graph::build(files);
-    for sf in check_workspace(files, &graph, complete) {
+    let mut semantic = check_workspace(files, &graph, complete);
+    semantic.extend(crate::schema::check_schema(files, &graph, lock));
+    for sf in semantic {
         match sf.anchor {
             Anchor::File(i) => {
                 let file = &files[i];
@@ -125,6 +135,18 @@ pub fn lint_sources(files: &[SourceFile], complete: bool) -> LintRun {
 pub fn lint_bytes(rel_path: &str, src: Vec<u8>) -> Vec<Finding> {
     let file = SourceFile::analyze(FileMeta::infer(rel_path), src);
     lint_sources(std::slice::from_ref(&file), false)
+        .findings
+        .into_iter()
+        .map(|f| f.finding)
+        .collect()
+}
+
+/// [`lint_bytes`] with a `SCHEMA.lock` text, so fixtures can exercise the
+/// lockfile-dependent schema rules (`frozen-version-edit`,
+/// `schema-lock-drift`) against a known frozen baseline.
+pub fn lint_bytes_with_lock(rel_path: &str, src: Vec<u8>, lock: &str) -> Vec<Finding> {
+    let file = SourceFile::analyze(FileMeta::infer(rel_path), src);
+    lint_sources_with_lock(std::slice::from_ref(&file), false, Some(lock))
         .findings
         .into_iter()
         .map(|f| f.finding)
@@ -177,8 +199,18 @@ pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
 
 /// Lints every Rust source file under `root` (the workspace): all files
 /// are analyzed up front so the semantic rules see the whole symbol
-/// graph, and complete-sweep absence checks are enabled.
+/// graph, and complete-sweep absence checks are enabled. When the root
+/// carries a `SCHEMA.lock`, the wire-schema compatibility gate runs
+/// against it.
 pub fn lint_workspace(root: &Path) -> io::Result<LintRun> {
+    let files = analyze_workspace(root)?;
+    let lock = fs::read_to_string(root.join("SCHEMA.lock")).ok();
+    Ok(lint_sources_with_lock(&files, true, lock.as_deref()))
+}
+
+/// Reads and analyzes every workspace source file (the shared front half
+/// of [`lint_workspace`] and the `schema` CLI mode).
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
     let mut files = Vec::new();
     for path in collect_rs_files(root)? {
         let rel = path
@@ -189,7 +221,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintRun> {
         let src = fs::read(&path)?;
         files.push(SourceFile::analyze(FileMeta::infer(&rel), src));
     }
-    Ok(lint_sources(&files, true))
+    Ok(files)
 }
 
 /// Walks upward from `start` to the directory whose `Cargo.toml` declares

@@ -63,6 +63,8 @@ pub struct FnNode {
     pub write_sites: Vec<WriteSite>,
     /// World-RNG `domain(…)` call sites inside the body.
     pub domain_sites: Vec<DomainSite>,
+    /// Env-derived output-path sites (`env::var` with a literal default).
+    pub artifact_sites: Vec<ArtifactSite>,
     /// Shared-mutable-state mentions inside the body.
     pub shared_sites: Vec<SharedSite>,
     /// Order-sensitive float reductions inside the body.
@@ -96,6 +98,21 @@ pub struct DomainSite {
     /// (`domain("faults")` → `Some("faults")`); `None` for computed
     /// arguments (`domain(&self.name)`, `domain(kind.name())`).
     pub literal: Option<String>,
+}
+
+/// One env-derived output-path site: `std::env::var("FBS_…")` with a
+/// nearby string-literal default naming the artifact written there
+/// (`var("FBS_BENCH_OUT").unwrap_or_else(|_| "BENCH_scan.json".…)`).
+/// These name emission artifacts the same way `EMISSION_FILES` names
+/// emission source files, so the registry check covers both.
+#[derive(Debug, Clone)]
+pub struct ArtifactSite {
+    pub line: u32,
+    pub col: u32,
+    /// The environment variable consulted.
+    pub env: String,
+    /// The literal fallback artifact name, when one follows the call.
+    pub default: Option<String>,
 }
 
 /// One shared-mutable-state mention inside a function body: interior
@@ -243,6 +260,7 @@ fn push_fn(
         hash_sites: Vec::new(),
         write_sites: Vec::new(),
         domain_sites: Vec::new(),
+        artifact_sites: Vec::new(),
         shared_sites: Vec::new(),
         float_folds: Vec::new(),
     };
@@ -318,6 +336,28 @@ fn scan_body(file: &SourceFile, span: Span, node: &mut FnNode) {
                 col: t.col,
                 literal,
             });
+        }
+        // `env::var("NAME")` with a trailing string-literal default —
+        // an env-derived artifact path. The default is the next plain
+        // string literal within the same expression (a short window
+        // bounds the scan; the unwrap chain is only a few tokens).
+        if t.is_ident(src, "var")
+            && i + 3 < hi
+            && file.sig_token(i + 1).is_punct(src, "(")
+            && file.sig_token(i + 2).kind == TokenKind::Str
+            && file.sig_token(i + 3).is_punct(src, ")")
+        {
+            if let Some(env) = plain_str_value(file.sig_token(i + 2).bytes(src)) {
+                let default = (i + 4..hi.min(i + 16))
+                    .filter(|&k| file.sig_token(k).kind == TokenKind::Str)
+                    .find_map(|k| plain_str_value(file.sig_token(k).bytes(src)));
+                node.artifact_sites.push(ArtifactSite {
+                    line: t.line,
+                    col: t.col,
+                    env,
+                    default,
+                });
+            }
         }
         // `.sum::<f64>()` / `.product::<f64>()` — typed float reductions.
         if (t.is_ident(src, "sum") || t.is_ident(src, "product"))

@@ -11,7 +11,7 @@
 //! `file:line:col` diagnostics, a `--json` mode, and a non-zero exit for
 //! CI.
 //!
-//! Architecture, in five layers:
+//! Architecture, in six layers:
 //!
 //! * [`lexer`] — a small, *total* Rust lexer (raw strings, byte strings,
 //!   nested block comments, char-vs-lifetime disambiguation, shebangs).
@@ -33,11 +33,18 @@
 //!   `unregistered-emission`, `nondet-collection-flow`,
 //!   `shard-merge-order`, `rng-domain-collision`,
 //!   `shared-mutable-in-shard-path`, `float-reduction-order`.
+//! * [`schema`] — static wire-format extraction over the symbol graph:
+//!   every `Persist` impl's ordered writes, enum wire tags, and
+//!   version-gated sections resolved into one layout per version tag,
+//!   serialized as the committed `SCHEMA.lock` and diffed against it by
+//!   the compatibility rules `frozen-version-edit`, `unprobed-version`,
+//!   and `schema-lock-drift`.
 //! * [`rules`] + [`engine`] — the lexical rule registry and the driver
 //!   that walks the workspace, applies each rule in scope, runs the
 //!   semantic pass over the assembled graph, and filters excused lines.
 //!
-//! Run it as `cargo run -p fbs-lint -- --workspace`.
+//! Run it as `cargo run -p fbs-lint -- --workspace`, or
+//! `cargo run -p fbs-lint -- schema --check` for the wire-schema gate.
 
 #![forbid(unsafe_code)]
 
@@ -48,13 +55,21 @@ pub mod graph;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
+pub mod schema;
 pub mod semantic;
 
 pub use context::{FileKind, FileMeta, SourceFile};
 pub use dataflow::{build_call_graph, shard_taint, CallGraph, TaintFinding};
 pub use engine::{
-    collect_rs_files, find_workspace_root, lint_bytes, lint_source, lint_sources, lint_workspace,
-    render_json, FileFinding, LintRun,
+    analyze_workspace, collect_rs_files, find_workspace_root, lint_bytes, lint_bytes_with_lock,
+    lint_source, lint_sources, lint_sources_with_lock, lint_workspace, render_json, FileFinding,
+    LintRun,
 };
-pub use rules::{rule_by_name, Finding, Rule, EMISSION_FILES, RNG_DOMAINS, RULES};
+pub use rules::{
+    rule_by_name, Finding, Rule, EMISSION_FILES, EMISSION_OUTPUTS, RNG_DOMAINS, RULES,
+};
+pub use schema::{
+    diff_schemas, extract, parse_lock, render_lock, EditKind, Layout, SchemaEdit, TypeSchema,
+    VersionedSchema, WireOp, WireSchema,
+};
 pub use semantic::{SemanticRule, SEMANTIC_RULES};

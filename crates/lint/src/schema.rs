@@ -1,0 +1,2005 @@
+//! Static wire-format extraction and the frozen-version compatibility gate.
+//!
+//! The journal and snapshot bytes are a long-lived contract: campaigns
+//! checkpointed under schema versions 2–5 must stay resumable forever.
+//! [`crate::semantic`]'s `persist-field-drift` sees one `Persist` impl at
+//! a time; this module sees the *whole wire format* at once. It walks
+//! every `impl Persist for T` encode body in the workspace symbol graph
+//! and extracts the ordered field writes — codec primitives (`put_u32`),
+//! nested `persist` calls, length-prefixed sequences (`for` loops after a
+//! length write), wire-tag match arms for enums — and resolves
+//! `layout_version()`-style branching into one concrete layout per
+//! version tag.
+//!
+//! The extraction serializes into a deterministic, human-diffable text IR
+//! committed as `SCHEMA.lock` at the workspace root. A compatibility
+//! engine ([`diff_schemas`]) compares a fresh extraction against the
+//! lockfile and classifies every edit as **additive** (a new type, a new
+//! version tag, a new enum variant on an unused tag) or **breaking**
+//! (reorder / codec change / removal inside a frozen version, retag of an
+//! existing variant). Three lint rules surface the results:
+//!
+//! * `frozen-version-edit` — a breaking edit to a layout the lockfile
+//!   froze;
+//! * `unprobed-version` — a versioned encoder writes a version tag its
+//!   decoder never accepts, or vice versa (computed from source alone,
+//!   no lockfile needed);
+//! * `schema-lock-drift` — the extraction differs additively from
+//!   `SCHEMA.lock` (regenerate with `fbs-lint schema --write-lock`).
+//!
+//! Everything here follows the linter's totality discipline: arbitrary
+//! input bytes must produce *some* extraction, never a panic.
+
+use crate::context::SourceFile;
+use crate::graph::{is_library, SymbolGraph};
+use crate::lexer::TokenKind;
+use crate::parser::Span;
+use crate::rules::Finding;
+use crate::semantic::{Anchor, SemanticFinding};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One ordered write in a wire layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireOp {
+    /// A codec primitive: `w.put_u32(self.responsive)` →
+    /// `codec: "u32", expr: "self.responsive"`.
+    Prim { codec: String, expr: String },
+    /// A nested `persist` call: `self.round.persist(w)` →
+    /// `expr: "self.round"`.
+    Nested { expr: String },
+    /// A section whose presence the bytes themselves encode (an
+    /// `if let Some(…)` the version cannot resolve, or a predicate gate
+    /// with no version mapping). `expr` is the guarding expression.
+    Opt { expr: String, ops: Vec<WireOp> },
+    /// A repeated section (a `for` loop body — the element layout of a
+    /// length-prefixed sequence). `expr` is the iterated expression.
+    Rep { expr: String, ops: Vec<WireOp> },
+}
+
+/// The wire layout of one non-versioned `Persist` type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Layout {
+    /// A primitive alias registered through the codec's `persist_prim!`
+    /// macro (`u8`, `u32`, …): one codec call, no structure.
+    Prim { codec: String },
+    /// A struct: one fixed op sequence.
+    Struct { ops: Vec<WireOp> },
+    /// An enum: one tagged arm per variant.
+    Enum { variants: Vec<VariantLayout> },
+}
+
+/// One enum variant's wire arm: its tag byte (when the arm's first write
+/// is an integer-literal primitive) and the ops that follow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VariantLayout {
+    pub name: String,
+    pub tag: Option<u32>,
+    pub ops: Vec<WireOp>,
+}
+
+/// One extracted type: where it lives and what it writes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeSchema {
+    pub name: String,
+    /// Workspace-relative path of the defining impl (stable across
+    /// reformatting, unlike lines — the lockfile records only this).
+    pub path: String,
+    /// Impl line in the *current* tree; `0` when parsed from a lockfile.
+    pub line: u32,
+    pub layout: Layout,
+}
+
+/// One versioned root: an encoder whose byte layout depends on a version
+/// decider (`layout_version()` / `schema_version()`), resolved into one
+/// concrete op sequence per version tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionedSchema {
+    pub name: String,
+    pub path: String,
+    /// Anchor line in the current tree; `0` when parsed from a lockfile.
+    pub line: u32,
+    /// Version tags the decider can make the encoder write.
+    pub writes: BTreeSet<u32>,
+    /// Version tags the decoder accepts (match arms on the version, `==`
+    /// comparisons, plus `// fbs-schema: accepts(…)` annotations).
+    pub reads: BTreeSet<u32>,
+    /// Version tag → the concrete layout written under it.
+    pub layouts: BTreeMap<u32, Vec<WireOp>>,
+}
+
+/// The whole extracted wire schema, in deterministic order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireSchema {
+    pub types: BTreeMap<String, TypeSchema>,
+    pub versioned: BTreeMap<String, VersionedSchema>,
+}
+
+impl WireSchema {
+    /// Total number of covered impls (plain types plus versioned roots).
+    pub fn impl_count(&self) -> usize {
+        self.types.len() + self.versioned.len()
+    }
+
+    /// Union of every live version tag across the versioned roots.
+    pub fn all_versions(&self) -> BTreeSet<u32> {
+        let mut out = BTreeSet::new();
+        for v in self.versioned.values() {
+            out.extend(v.writes.iter().copied());
+            out.extend(v.reads.iter().copied());
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Extraction: raw statement walk
+// ---------------------------------------------------------------------------
+
+/// The statement-level shapes the encode-body walker recognizes before
+/// version resolution flattens them.
+#[derive(Debug, Clone)]
+enum RawOp {
+    Prim {
+        codec: String,
+        expr: String,
+    },
+    Nested {
+        expr: String,
+    },
+    Rep {
+        expr: String,
+        ops: Vec<RawOp>,
+    },
+    IfLet {
+        expr: String,
+        ops: Vec<RawOp>,
+    },
+    IfChain {
+        branches: Vec<(Cond, Vec<RawOp>)>,
+        else_ops: Option<Vec<RawOp>>,
+    },
+    Match {
+        arms: Vec<(String, Vec<RawOp>)>,
+    },
+}
+
+/// A classified `if` condition.
+#[derive(Debug, Clone)]
+enum Cond {
+    /// `version == <const>`, resolved through the workspace const table.
+    VersionEq(Option<u32>),
+    /// `version != <const>`.
+    VersionNe(Option<u32>),
+    /// Anything else, kept as normalized text for decider matching.
+    Pred(String),
+}
+
+/// Joins significant tokens into canonical expression text: a single
+/// space separates two word-like tokens (`as u64`), punctuation binds
+/// tight (`self.len()`).
+fn join_tokens(file: &SourceFile, indices: &[usize]) -> String {
+    let mut out = String::new();
+    for &i in indices {
+        let t = file.sig_token(i);
+        let text = String::from_utf8_lossy(t.bytes(&file.src));
+        if !out.is_empty() {
+            let prev = out.chars().next_back().unwrap_or(' ');
+            let next = text.chars().next().unwrap_or(' ');
+            let wordy = |c: char| c.is_ascii_alphanumeric() || c == '_';
+            if wordy(prev) && wordy(next) {
+                out.push(' ');
+            }
+        }
+        out.push_str(&text);
+    }
+    out
+}
+
+fn token_text(file: &SourceFile, i: usize) -> String {
+    String::from_utf8_lossy(file.sig_token(i).bytes(&file.src)).into_owned()
+}
+
+/// Parses an integer literal token (decimal with optional `_` separators
+/// and type suffix).
+fn int_value(text: &str) -> Option<u32> {
+    let digits: String = text
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '_')
+        .filter(|c| *c != '_')
+        .collect();
+    if digits.is_empty() {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Builds the workspace-wide `const NAME: u32 = N;` table from library
+/// files (the item parser skips consts, so this is a lexical scan).
+pub fn const_table(files: &[SourceFile]) -> BTreeMap<String, u32> {
+    let mut out = BTreeMap::new();
+    for file in files {
+        if !is_library(file) {
+            continue;
+        }
+        let n = file.sig_len();
+        for i in 0..n.saturating_sub(6) {
+            let src = &file.src;
+            if !file.sig_token(i).is_ident(src, "const")
+                || file.sig_token(i + 1).kind != TokenKind::Ident
+                || !file.sig_token(i + 2).is_punct(src, ":")
+                || !file.sig_token(i + 3).is_ident(src, "u32")
+                || !file.sig_token(i + 4).is_punct(src, "=")
+                || file.sig_token(i + 5).kind != TokenKind::Int
+            {
+                continue;
+            }
+            if let Some(v) = int_value(&token_text(file, i + 5)) {
+                out.entry(token_text(file, i + 1)).or_insert(v);
+            }
+        }
+    }
+    out
+}
+
+/// Resolves a version operand token (const ident or integer literal).
+fn resolve_version(file: &SourceFile, i: usize, consts: &BTreeMap<String, u32>) -> Option<u32> {
+    let t = file.sig_token(i);
+    match t.kind {
+        TokenKind::Int => int_value(&token_text(file, i)),
+        TokenKind::Ident => consts.get(&token_text(file, i)).copied(),
+        _ => None,
+    }
+}
+
+/// Advances past a balanced token pair starting at `i` (which must hold
+/// the opener); returns the index one past the closer, or `hi`.
+fn skip_balanced_sig(file: &SourceFile, i: usize, hi: usize, open: &str, close: &str) -> usize {
+    let src = &file.src;
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < hi {
+        let t = file.sig_token(j);
+        if t.is_punct(src, open) {
+            depth += 1;
+        } else if t.is_punct(src, close) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    hi
+}
+
+/// Finds the `{` that opens the block after a condition starting at `i`
+/// (tracking parenthesis depth so closure braces inside calls don't
+/// terminate the scan early); returns its index, or `hi`.
+fn find_block_open(file: &SourceFile, i: usize, hi: usize) -> usize {
+    let src = &file.src;
+    let mut paren = 0usize;
+    let mut j = i;
+    while j < hi {
+        let t = file.sig_token(j);
+        if t.is_punct(src, "(") || t.is_punct(src, "[") {
+            paren += 1;
+        } else if t.is_punct(src, ")") || t.is_punct(src, "]") {
+            paren = paren.saturating_sub(1);
+        } else if t.is_punct(src, "{") && paren == 0 {
+            return j;
+        }
+        j += 1;
+    }
+    hi
+}
+
+/// The receiver expression ending just before sig index `end` (exclusive):
+/// the longest trailing `ident(.ident)*` run, e.g. `self.blocks` before
+/// `.persist(`.
+fn receiver_before(file: &SourceFile, end: usize, lo: usize) -> Option<String> {
+    let src = &file.src;
+    if end <= lo || file.sig_token(end - 1).kind != TokenKind::Ident {
+        return None;
+    }
+    let mut start = end - 1;
+    while start >= lo + 2
+        && file.sig_token(start - 1).is_punct(src, ".")
+        && matches!(
+            file.sig_token(start - 2).kind,
+            TokenKind::Ident | TokenKind::Int
+        )
+    {
+        start -= 2;
+    }
+    let indices: Vec<usize> = (start..end).collect();
+    Some(join_tokens(file, &indices))
+}
+
+/// Walks the significant tokens of `[lo, hi)` and collects the raw wire
+/// operations. Total: unknown constructs are skipped token-by-token.
+fn parse_raw_ops(
+    file: &SourceFile,
+    lo: usize,
+    hi: usize,
+    consts: &BTreeMap<String, u32>,
+) -> Vec<RawOp> {
+    let src = &file.src;
+    let hi = hi.min(file.sig_len());
+    let mut ops = Vec::new();
+    let mut i = lo.min(hi);
+    while i < hi {
+        let t = file.sig_token(i);
+        // `if let Some(bind) = <expr> { … }` — an optional wire section.
+        if t.is_ident(src, "if") && i + 1 < hi && file.sig_token(i + 1).is_ident(src, "let") {
+            let eq = (i + 2..hi).find(|&j| file.sig_token(j).is_punct(src, "="));
+            let Some(eq) = eq else {
+                i += 1;
+                continue;
+            };
+            let open = find_block_open(file, eq + 1, hi);
+            if open >= hi {
+                i += 1;
+                continue;
+            }
+            let expr_indices: Vec<usize> = (eq + 1..open)
+                .filter(|&j| !file.sig_token(j).is_punct(src, "&"))
+                .collect();
+            let expr = join_tokens(file, &expr_indices);
+            let close = skip_balanced_sig(file, open, hi, "{", "}");
+            let inner = parse_raw_ops(file, open + 1, close.saturating_sub(1), consts);
+            ops.push(RawOp::IfLet { expr, ops: inner });
+            i = close;
+            continue;
+        }
+        // `if <cond> { … } else if … { … } else { … }` — a gated chain.
+        if t.is_ident(src, "if") {
+            let mut branches = Vec::new();
+            let mut else_ops = None;
+            let mut j = i;
+            loop {
+                // At `j`: the `if` keyword. Condition runs to the block.
+                let open = find_block_open(file, j + 1, hi);
+                if open >= hi {
+                    break;
+                }
+                let cond = classify_cond(file, j + 1, open, consts);
+                let close = skip_balanced_sig(file, open, hi, "{", "}");
+                let inner = parse_raw_ops(file, open + 1, close.saturating_sub(1), consts);
+                branches.push((cond, inner));
+                j = close;
+                if j < hi && file.sig_token(j).is_ident(src, "else") {
+                    if j + 1 < hi && file.sig_token(j + 1).is_ident(src, "if") {
+                        j += 1; // continue the chain at the nested `if`
+                        continue;
+                    }
+                    let eopen = find_block_open(file, j + 1, hi);
+                    if eopen < hi {
+                        let eclose = skip_balanced_sig(file, eopen, hi, "{", "}");
+                        else_ops = Some(parse_raw_ops(
+                            file,
+                            eopen + 1,
+                            eclose.saturating_sub(1),
+                            consts,
+                        ));
+                        j = eclose;
+                    }
+                }
+                break;
+            }
+            if !branches.is_empty() {
+                ops.push(RawOp::IfChain { branches, else_ops });
+                i = j.max(i + 1);
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        // `match <scrutinee> { arms }` — enum wire arms.
+        if t.is_ident(src, "match") {
+            let open = find_block_open(file, i + 1, hi);
+            if open >= hi {
+                i += 1;
+                continue;
+            }
+            let close = skip_balanced_sig(file, open, hi, "{", "}");
+            let arms = parse_match_arms(file, open + 1, close.saturating_sub(1), consts);
+            ops.push(RawOp::Match { arms });
+            i = close;
+            continue;
+        }
+        // `for <pat> in <expr> { … }` — a repeated (sequence) section.
+        if t.is_ident(src, "for") {
+            let kw_in = (i + 1..hi).find(|&j| file.sig_token(j).is_ident(src, "in"));
+            let Some(kw_in) = kw_in else {
+                i += 1;
+                continue;
+            };
+            let open = find_block_open(file, kw_in + 1, hi);
+            if open >= hi {
+                i += 1;
+                continue;
+            }
+            let expr_indices: Vec<usize> = (kw_in + 1..open)
+                .filter(|&j| !file.sig_token(j).is_punct(src, "&"))
+                .collect();
+            let expr = join_tokens(file, &expr_indices);
+            let close = skip_balanced_sig(file, open, hi, "{", "}");
+            let inner = parse_raw_ops(file, open + 1, close.saturating_sub(1), consts);
+            ops.push(RawOp::Rep { expr, ops: inner });
+            i = close;
+            continue;
+        }
+        // `<writer>.put_<codec>(<expr>)` — a primitive write.
+        if t.kind == TokenKind::Ident
+            && i + 3 < hi
+            && file.sig_token(i + 1).is_punct(src, ".")
+            && file.sig_token(i + 2).kind == TokenKind::Ident
+            && token_text(file, i + 2).starts_with("put_")
+            && file.sig_token(i + 3).is_punct(src, "(")
+        {
+            let codec = token_text(file, i + 2)["put_".len()..].to_string();
+            let end = skip_balanced_sig(file, i + 3, hi, "(", ")");
+            let arg_indices: Vec<usize> = (i + 4..end.saturating_sub(1)).collect();
+            let expr = join_tokens(file, &arg_indices);
+            ops.push(RawOp::Prim { codec, expr });
+            i = end;
+            continue;
+        }
+        // `<receiver>.persist(<writer>)` — a nested layout.
+        if t.is_punct(src, ".")
+            && i + 2 < hi
+            && file.sig_token(i + 1).is_ident(src, "persist")
+            && file.sig_token(i + 2).is_punct(src, "(")
+        {
+            if let Some(expr) = receiver_before(file, i, lo) {
+                ops.push(RawOp::Nested { expr });
+            }
+            i = skip_balanced_sig(file, i + 2, hi, "(", ")");
+            continue;
+        }
+        i += 1;
+    }
+    ops
+}
+
+/// Classifies the condition tokens of `[lo, hi)`.
+fn classify_cond(file: &SourceFile, lo: usize, hi: usize, consts: &BTreeMap<String, u32>) -> Cond {
+    let src = &file.src;
+    // The canonical version comparison is exactly `version ==/!= X`.
+    if hi == lo + 3 && file.sig_token(lo).is_ident(src, "version") {
+        if file.sig_token(lo + 1).is_punct(src, "==") {
+            return Cond::VersionEq(resolve_version(file, lo + 2, consts));
+        }
+        if file.sig_token(lo + 1).is_punct(src, "!=") {
+            return Cond::VersionNe(resolve_version(file, lo + 2, consts));
+        }
+    }
+    let indices: Vec<usize> = (lo..hi).collect();
+    Cond::Pred(join_tokens(file, &indices))
+}
+
+/// Splits a match body `[lo, hi)` into `(pattern text, arm ops)` pairs.
+fn parse_match_arms(
+    file: &SourceFile,
+    lo: usize,
+    hi: usize,
+    consts: &BTreeMap<String, u32>,
+) -> Vec<(String, Vec<RawOp>)> {
+    let src = &file.src;
+    let mut arms = Vec::new();
+    let mut i = lo;
+    while i < hi {
+        // Pattern: tokens until `=>` at depth 0.
+        let mut depth = 0usize;
+        let mut j = i;
+        let mut arrow = None;
+        while j < hi {
+            let t = file.sig_token(j);
+            if t.is_punct(src, "(") || t.is_punct(src, "[") || t.is_punct(src, "{") {
+                depth += 1;
+            } else if t.is_punct(src, ")") || t.is_punct(src, "]") || t.is_punct(src, "}") {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && t.is_punct(src, "=>") {
+                arrow = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        let pat_indices: Vec<usize> = (i..arrow).collect();
+        let pattern = join_tokens(file, &pat_indices);
+        // Body: a block, or an expression up to the next depth-0 comma.
+        let (ops, next) = if arrow + 1 < hi && file.sig_token(arrow + 1).is_punct(src, "{") {
+            let close = skip_balanced_sig(file, arrow + 1, hi, "{", "}");
+            let ops = parse_raw_ops(file, arrow + 2, close.saturating_sub(1), consts);
+            let mut n = close;
+            if n < hi && file.sig_token(n).is_punct(src, ",") {
+                n += 1;
+            }
+            (ops, n)
+        } else {
+            let mut depth = 0usize;
+            let mut k = arrow + 1;
+            while k < hi {
+                let t = file.sig_token(k);
+                if t.is_punct(src, "(") || t.is_punct(src, "[") || t.is_punct(src, "{") {
+                    depth += 1;
+                } else if t.is_punct(src, ")") || t.is_punct(src, "]") || t.is_punct(src, "}") {
+                    depth = depth.saturating_sub(1);
+                } else if depth == 0 && t.is_punct(src, ",") {
+                    break;
+                }
+                k += 1;
+            }
+            let ops = parse_raw_ops(file, arrow + 1, k, consts);
+            (ops, (k + 1).min(hi))
+        };
+        if !pattern.is_empty() {
+            arms.push((pattern, ops));
+        }
+        i = next.max(i + 1);
+    }
+    arms
+}
+
+/// The variant name of a match-arm pattern: the identifier directly
+/// before the payload (`Feed::Accepted { … }` → `Accepted`), else the
+/// last path segment (`None` → `None`).
+fn variant_name(pattern: &str) -> String {
+    let head: &str = pattern
+        .split(['{', '('])
+        .next()
+        .unwrap_or(pattern)
+        .trim_end_matches([' ', ':']);
+    head.rsplit([':', ' ']).next().unwrap_or(head).to_string()
+}
+
+// ---------------------------------------------------------------------------
+// Version resolution
+// ---------------------------------------------------------------------------
+
+/// A parsed version decider (`layout_version()` / `schema_version()`):
+/// an if/else-if chain of predicates, each returning a version constant.
+#[derive(Debug, Clone)]
+struct Decider {
+    /// `(normalized condition text, version returned when it is true)`,
+    /// in evaluation order.
+    branches: Vec<(String, u32)>,
+    /// Version returned when every predicate is false.
+    else_version: Option<u32>,
+}
+
+impl Decider {
+    fn write_versions(&self) -> BTreeSet<u32> {
+        let mut out: BTreeSet<u32> = self.branches.iter().map(|&(_, v)| v).collect();
+        out.extend(self.else_version);
+        out
+    }
+
+    /// Index of the branch producing `v`, or `usize::MAX` for the else.
+    fn chosen_index(&self, v: u32) -> usize {
+        self.branches
+            .iter()
+            .position(|&(_, bv)| bv == v)
+            .unwrap_or(usize::MAX)
+    }
+
+    /// Truth of a predicate (by normalized text) under version `v`:
+    /// `Some(bool)` when the decider pins it, `None` when unknowable
+    /// (the decider short-circuited before evaluating it).
+    fn eval(&self, cond: &str, v: u32) -> Option<bool> {
+        let j = self.branches.iter().position(|(c, _)| c == cond)?;
+        let chosen = self.chosen_index(v);
+        if chosen == usize::MAX {
+            // The else branch: every predicate evaluated false.
+            return Some(false);
+        }
+        match j.cmp(&chosen) {
+            std::cmp::Ordering::Less => Some(false),
+            std::cmp::Ordering::Equal => Some(true),
+            std::cmp::Ordering::Greater => None,
+        }
+    }
+}
+
+/// Parses a decider body: each branch block must reduce to a single
+/// version constant or integer literal.
+fn parse_decider(file: &SourceFile, span: Span, consts: &BTreeMap<String, u32>) -> Option<Decider> {
+    let src = &file.src;
+    let hi = span.hi.min(file.sig_len());
+    let lo = span.lo.min(hi);
+    let version_of = |file: &SourceFile, b_lo: usize, b_hi: usize| -> Option<u32> {
+        let inner: Vec<usize> = (b_lo..b_hi).collect();
+        match inner.as_slice() {
+            [only] => resolve_version(file, *only, consts),
+            _ => None,
+        }
+    };
+    let mut branches = Vec::new();
+    let mut else_version = None;
+    let mut i = lo;
+    while i < hi {
+        if !file.sig_token(i).is_ident(src, "if") {
+            i += 1;
+            continue;
+        }
+        loop {
+            let open = find_block_open(file, i + 1, hi);
+            if open >= hi {
+                return None;
+            }
+            let cond_indices: Vec<usize> = (i + 1..open).collect();
+            let cond = join_tokens(file, &cond_indices);
+            let close = skip_balanced_sig(file, open, hi, "{", "}");
+            let v = version_of(file, open + 1, close.saturating_sub(1))?;
+            branches.push((cond, v));
+            i = close;
+            if i < hi && file.sig_token(i).is_ident(src, "else") {
+                if i + 1 < hi && file.sig_token(i + 1).is_ident(src, "if") {
+                    i += 1;
+                    continue;
+                }
+                let eopen = find_block_open(file, i + 1, hi);
+                if eopen < hi {
+                    let eclose = skip_balanced_sig(file, eopen, hi, "{", "}");
+                    else_version = version_of(file, eopen + 1, eclose.saturating_sub(1));
+                }
+            }
+            break;
+        }
+        break;
+    }
+    if branches.is_empty() {
+        return None;
+    }
+    Some(Decider {
+        branches,
+        else_version,
+    })
+}
+
+/// Flattens raw ops into the concrete layout written under version `v`.
+fn flatten_for_version(raw: &[RawOp], decider: &Decider, v: u32) -> Vec<WireOp> {
+    let mut out = Vec::new();
+    for op in raw {
+        match op {
+            RawOp::Prim { codec, expr } => out.push(WireOp::Prim {
+                codec: codec.clone(),
+                expr: expr.clone(),
+            }),
+            RawOp::Nested { expr } => out.push(WireOp::Nested { expr: expr.clone() }),
+            RawOp::Rep { expr, ops } => out.push(WireOp::Rep {
+                expr: expr.clone(),
+                ops: flatten_for_version(ops, decider, v),
+            }),
+            RawOp::IfLet { expr, ops } => {
+                // `if let Some(x) = self.foo` gates on `self.foo.is_some()`,
+                // which the decider may pin for this version.
+                let key = format!("{expr}.is_some()");
+                match decider.eval(&key, v) {
+                    Some(true) => out.extend(flatten_for_version(ops, decider, v)),
+                    Some(false) => {}
+                    None => out.push(WireOp::Opt {
+                        expr: expr.clone(),
+                        ops: flatten_for_version(ops, decider, v),
+                    }),
+                }
+            }
+            RawOp::IfChain { branches, else_ops } => {
+                flatten_chain(branches, else_ops.as_deref(), decider, v, &mut out);
+            }
+            RawOp::Match { arms } => {
+                // A match inside a versioned body: keep each arm as an
+                // optional section keyed by its pattern.
+                for (pat, ops) in arms {
+                    out.push(WireOp::Opt {
+                        expr: pat.clone(),
+                        ops: flatten_for_version(ops, decider, v),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Resolves one if/else chain under version `v`, appending the ops of
+/// whichever branch the version pins (or `Opt` sections once a predicate
+/// becomes unknowable).
+fn flatten_chain(
+    branches: &[(Cond, Vec<RawOp>)],
+    else_ops: Option<&[RawOp]>,
+    decider: &Decider,
+    v: u32,
+    out: &mut Vec<WireOp>,
+) {
+    let mut unknown = false;
+    for (cond, ops) in branches {
+        let truth = if unknown {
+            None
+        } else {
+            match cond {
+                Cond::VersionEq(Some(x)) => Some(v == *x),
+                Cond::VersionNe(Some(x)) => Some(v != *x),
+                Cond::VersionEq(None) | Cond::VersionNe(None) => None,
+                Cond::Pred(text) => decider.eval(text, v),
+            }
+        };
+        match truth {
+            Some(true) => {
+                out.extend(flatten_for_version(ops, decider, v));
+                return;
+            }
+            Some(false) => {}
+            None => {
+                unknown = true;
+                let label = match cond {
+                    Cond::Pred(text) => text.clone(),
+                    Cond::VersionEq(_) | Cond::VersionNe(_) => "version".to_string(),
+                };
+                out.push(WireOp::Opt {
+                    expr: label,
+                    ops: flatten_for_version(ops, decider, v),
+                });
+            }
+        }
+    }
+    if let Some(eops) = else_ops {
+        if unknown {
+            out.push(WireOp::Opt {
+                expr: "else".to_string(),
+                ops: flatten_for_version(eops, decider, v),
+            });
+        } else {
+            out.extend(flatten_for_version(eops, decider, v));
+        }
+    }
+}
+
+/// Flattens raw ops with no version context (plain, non-versioned types):
+/// gates become `Opt` sections, matches become variant arms upstream.
+fn flatten_plain(raw: &[RawOp]) -> Vec<WireOp> {
+    let mut out = Vec::new();
+    for op in raw {
+        match op {
+            RawOp::Prim { codec, expr } => out.push(WireOp::Prim {
+                codec: codec.clone(),
+                expr: expr.clone(),
+            }),
+            RawOp::Nested { expr } => out.push(WireOp::Nested { expr: expr.clone() }),
+            RawOp::Rep { expr, ops } => out.push(WireOp::Rep {
+                expr: expr.clone(),
+                ops: flatten_plain(ops),
+            }),
+            RawOp::IfLet { expr, ops } => out.push(WireOp::Opt {
+                expr: expr.clone(),
+                ops: flatten_plain(ops),
+            }),
+            RawOp::IfChain { branches, else_ops } => {
+                for (cond, ops) in branches {
+                    let label = match cond {
+                        Cond::Pred(text) => text.clone(),
+                        Cond::VersionEq(_) | Cond::VersionNe(_) => "version".to_string(),
+                    };
+                    out.push(WireOp::Opt {
+                        expr: label,
+                        ops: flatten_plain(ops),
+                    });
+                }
+                if let Some(eops) = else_ops {
+                    out.push(WireOp::Opt {
+                        expr: "else".to_string(),
+                        ops: flatten_plain(eops),
+                    });
+                }
+            }
+            RawOp::Match { arms } => {
+                for (pat, ops) in arms {
+                    out.push(WireOp::Opt {
+                        expr: pat.clone(),
+                        ops: flatten_plain(ops),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Converts match arms into enum variant layouts, splitting off a leading
+/// integer-literal tag write.
+fn variants_from_arms(arms: &[(String, Vec<RawOp>)]) -> Vec<VariantLayout> {
+    let mut out = Vec::new();
+    for (pat, raw) in arms {
+        let mut ops = flatten_plain(raw);
+        let mut tag = None;
+        if let Some(WireOp::Prim { codec, expr }) = ops.first() {
+            if matches!(codec.as_str(), "u8" | "u16" | "u32") {
+                if let Some(v) = int_value(expr) {
+                    if expr.chars().all(|c| c.is_ascii_digit() || c == '_') {
+                        tag = Some(v);
+                        ops.remove(0);
+                    }
+                }
+            }
+        }
+        out.push(VariantLayout {
+            name: variant_name(pat),
+            tag,
+            ops,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decode-side version acceptance
+// ---------------------------------------------------------------------------
+
+/// Version tags a decode body accepts: `match version { <const> => … }`
+/// arms, `version == <const>` comparisons, and
+/// `// fbs-schema: accepts(n, m)` annotations in the body's line range.
+fn read_versions(file: &SourceFile, span: Span, consts: &BTreeMap<String, u32>) -> BTreeSet<u32> {
+    let src = &file.src;
+    let hi = span.hi.min(file.sig_len());
+    let lo = span.lo.min(hi);
+    let mut out = BTreeSet::new();
+    let mut i = lo;
+    while i < hi {
+        let t = file.sig_token(i);
+        if t.is_ident(src, "match")
+            && i + 2 < hi
+            && file.sig_token(i + 1).is_ident(src, "version")
+            && file.sig_token(i + 2).is_punct(src, "{")
+        {
+            let close = skip_balanced_sig(file, i + 2, hi, "{", "}");
+            for (pat, _) in parse_match_arms(file, i + 3, close.saturating_sub(1), consts) {
+                if let Some(v) = consts.get(&pat).copied().or_else(|| int_value(&pat)) {
+                    out.insert(v);
+                }
+            }
+            i = close;
+            continue;
+        }
+        if t.is_ident(src, "version") && i + 2 < hi && file.sig_token(i + 1).is_punct(src, "==") {
+            if let Some(v) = resolve_version(file, i + 2, consts) {
+                out.insert(v);
+            }
+        }
+        i += 1;
+    }
+    // Annotations live in comment tokens, which `sig` filters out — scan
+    // the raw token stream across the body's line range.
+    if lo < hi {
+        let first = file.sig_token(lo).line;
+        let last = file.sig_token(hi - 1).line;
+        for t in &file.tokens {
+            if t.kind != TokenKind::LineComment || t.line < first || t.line > last {
+                continue;
+            }
+            let text = String::from_utf8_lossy(t.bytes(src));
+            if let Some(rest) = text.split("fbs-schema: accepts(").nth(1) {
+                if let Some(list) = rest.split(')').next() {
+                    for part in list.split(',') {
+                        if let Some(v) = int_value(part.trim()) {
+                            out.insert(v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Whole-workspace extraction
+// ---------------------------------------------------------------------------
+
+/// Names a version decider may carry.
+const DECIDER_NAMES: &[&str] = &["layout_version", "schema_version"];
+
+/// Statically extracts the wire schema of every `Persist` impl (and every
+/// `persist_into`/`restore_from` inherent pair) in library files.
+pub fn extract(files: &[SourceFile], g: &SymbolGraph) -> WireSchema {
+    let consts = const_table(files);
+    let mut schema = WireSchema::default();
+
+    // Version deciders, by type name.
+    let mut deciders: BTreeMap<String, Decider> = BTreeMap::new();
+    for f in &g.fns {
+        if !DECIDER_NAMES.contains(&f.name.as_str()) || !is_library(&files[f.file]) {
+            continue;
+        }
+        let (Some(ty), Some(body)) = (&f.impl_type, f.body) else {
+            continue;
+        };
+        if let Some(d) = parse_decider(&files[f.file], body, &consts) {
+            deciders.entry(ty.clone()).or_insert(d);
+        }
+    }
+
+    // `persist_prim!` codec aliases (the macro body is opaque to the item
+    // parser; the invocations are a fixed lexical shape).
+    for (fi, file) in files.iter().enumerate() {
+        if !is_library(file) {
+            continue;
+        }
+        let src = &file.src;
+        let n = file.sig_len();
+        for i in 0..n.saturating_sub(5) {
+            if !file.sig_token(i).is_ident(src, "persist_prim")
+                || !file.sig_token(i + 1).is_punct(src, "!")
+                || !file.sig_token(i + 2).is_punct(src, "(")
+                || file.sig_token(i + 3).kind != TokenKind::Ident
+            {
+                continue;
+            }
+            let name = token_text(file, i + 3);
+            // Second argument names the writer method (`put_u8`, …).
+            let codec = (i + 4..n.min(i + 8))
+                .map(|j| token_text(file, j))
+                .find(|t| t.starts_with("put_"))
+                .map(|t| t["put_".len()..].to_string());
+            let Some(codec) = codec else { continue };
+            schema.types.entry(name.clone()).or_insert(TypeSchema {
+                name,
+                path: file.meta.path.clone(),
+                line: file.sig_token(i).line,
+                layout: Layout::Prim { codec },
+            });
+            let _ = fi;
+        }
+    }
+
+    // Plain `impl Persist for T` layouts.
+    for pi in &g.persist_impls {
+        let file = &files[pi.file];
+        if !is_library(file) || pi.type_name.is_empty() {
+            continue;
+        }
+        let Some(encode) = pi.encode else { continue };
+        if let Some(decider) = deciders.get(&pi.type_name) {
+            // A versioned root: resolve one layout per version.
+            let raw = parse_raw_ops(file, encode.lo, encode.hi, &consts);
+            let writes = decider.write_versions();
+            let layouts: BTreeMap<u32, Vec<WireOp>> = writes
+                .iter()
+                .map(|&v| (v, flatten_for_version(&raw, decider, v)))
+                .collect();
+            let reads = pi
+                .decode
+                .map(|d| read_versions(file, d, &consts))
+                .unwrap_or_default();
+            schema
+                .versioned
+                .entry(pi.type_name.clone())
+                .or_insert(VersionedSchema {
+                    name: pi.type_name.clone(),
+                    path: file.meta.path.clone(),
+                    line: pi.line,
+                    writes,
+                    reads,
+                    layouts,
+                });
+            continue;
+        }
+        let raw = parse_raw_ops(file, encode.lo, encode.hi, &consts);
+        let layout = match raw.as_slice() {
+            [RawOp::Match { arms }] => Layout::Enum {
+                variants: variants_from_arms(arms),
+            },
+            _ => Layout::Struct {
+                ops: flatten_plain(&raw),
+            },
+        };
+        schema
+            .types
+            .entry(pi.type_name.clone())
+            .or_insert(TypeSchema {
+                name: pi.type_name.clone(),
+                path: file.meta.path.clone(),
+                line: pi.line,
+                layout,
+            });
+    }
+
+    // Inherent `persist_into` / `restore_from` pairs (snapshot encoders
+    // that are not `Persist` impls), e.g. the pipeline state.
+    let mut pairs: BTreeMap<String, (usize, Span, u32)> = BTreeMap::new();
+    for f in &g.fns {
+        if f.name == "persist_into" && is_library(&files[f.file]) {
+            if let (Some(ty), Some(body)) = (&f.impl_type, f.body) {
+                pairs.entry(ty.clone()).or_insert((f.file, body, f.line));
+            }
+        }
+    }
+    for (ty, (fi, encode, line)) in pairs {
+        if schema.versioned.contains_key(&ty) || schema.types.contains_key(&ty) {
+            continue;
+        }
+        let Some(decider) = deciders.get(&ty) else {
+            continue;
+        };
+        let file = &files[fi];
+        let raw = parse_raw_ops(file, encode.lo, encode.hi, &consts);
+        let writes = decider.write_versions();
+        let layouts: BTreeMap<u32, Vec<WireOp>> = writes
+            .iter()
+            .map(|&v| (v, flatten_for_version(&raw, decider, v)))
+            .collect();
+        let reads = g
+            .fns
+            .iter()
+            .find(|f| f.name == "restore_from" && f.impl_type.as_deref() == Some(ty.as_str()))
+            .and_then(|f| f.body.map(|b| read_versions(&files[f.file], b, &consts)))
+            .unwrap_or_default();
+        schema.versioned.insert(
+            ty.clone(),
+            VersionedSchema {
+                name: ty,
+                path: file.meta.path.clone(),
+                line,
+                writes,
+                reads,
+                layouts,
+            },
+        );
+    }
+
+    schema
+}
+
+// ---------------------------------------------------------------------------
+// Lockfile serialization
+// ---------------------------------------------------------------------------
+
+const LOCK_HEADER: &str = "\
+# SCHEMA.lock — wire layouts statically extracted from every Persist impl.
+# Generated by `fbs-lint schema --write-lock`; CI runs `fbs-lint schema
+# --check` and fails on drift. Versions v2–v5 are frozen (DESIGN.md): any
+# edit to a layout below is a breaking change unless it ships behind a
+# new version tag.";
+
+fn render_ops(out: &mut String, ops: &[WireOp], indent: usize) {
+    for op in ops {
+        for _ in 0..indent {
+            out.push(' ');
+        }
+        match op {
+            WireOp::Prim { codec, expr } => {
+                out.push_str(codec);
+                out.push(' ');
+                out.push_str(expr);
+                out.push('\n');
+            }
+            WireOp::Nested { expr } => {
+                out.push_str("nested ");
+                out.push_str(expr);
+                out.push('\n');
+            }
+            WireOp::Opt { expr, ops } => {
+                out.push_str("opt ");
+                out.push_str(expr);
+                out.push('\n');
+                render_ops(out, ops, indent + 2);
+            }
+            WireOp::Rep { expr, ops } => {
+                out.push_str("rep ");
+                out.push_str(expr);
+                out.push('\n');
+                render_ops(out, ops, indent + 2);
+            }
+        }
+    }
+}
+
+/// One op as a single lock line (used in diff messages).
+pub fn op_text(op: &WireOp) -> String {
+    match op {
+        WireOp::Prim { codec, expr } => format!("{codec} {expr}"),
+        WireOp::Nested { expr } => format!("nested {expr}"),
+        WireOp::Opt { expr, .. } => format!("opt {expr}"),
+        WireOp::Rep { expr, .. } => format!("rep {expr}"),
+    }
+}
+
+/// Serializes a schema into the canonical lockfile text.
+pub fn render_lock(schema: &WireSchema) -> String {
+    let mut out = String::from(LOCK_HEADER);
+    out.push_str("\nformat 1\n");
+    out.push_str(&format!("impls {}\n", schema.impl_count()));
+    let versions: Vec<String> = schema.all_versions().iter().map(u32::to_string).collect();
+    out.push_str(&format!("versions {}\n", versions.join(" ")));
+    for t in schema.types.values() {
+        out.push('\n');
+        match &t.layout {
+            Layout::Prim { codec } => {
+                out.push_str(&format!("prim {} {} {}\n", t.name, codec, t.path));
+            }
+            Layout::Struct { ops } => {
+                out.push_str(&format!("struct {} {}\n", t.name, t.path));
+                render_ops(&mut out, ops, 2);
+            }
+            Layout::Enum { variants } => {
+                out.push_str(&format!("enum {} {}\n", t.name, t.path));
+                for v in variants {
+                    let tag = v
+                        .tag
+                        .map(|n| n.to_string())
+                        .unwrap_or_else(|| "?".to_string());
+                    out.push_str(&format!("  variant {} tag={}\n", v.name, tag));
+                    render_ops(&mut out, &v.ops, 4);
+                }
+            }
+        }
+    }
+    for v in schema.versioned.values() {
+        out.push('\n');
+        out.push_str(&format!("versioned {} {}\n", v.name, v.path));
+        let fmt_set =
+            |s: &BTreeSet<u32>| s.iter().map(u32::to_string).collect::<Vec<_>>().join(" ");
+        out.push_str(&format!("  writes {}\n", fmt_set(&v.writes)));
+        out.push_str(&format!("  reads {}\n", fmt_set(&v.reads)));
+        for (tag, ops) in &v.layouts {
+            out.push_str(&format!("  v{tag}\n"));
+            render_ops(&mut out, ops, 4);
+        }
+    }
+    out
+}
+
+/// Parses lockfile text back into the schema IR (lines are `0`: the
+/// lockfile records layouts, not source positions).
+pub fn parse_lock(text: &str) -> Result<WireSchema, String> {
+    let mut schema = WireSchema::default();
+    // What the indentation stack currently appends ops into.
+    enum Target {
+        None,
+        Struct(String),
+        EnumVariant(String, usize),
+        Versioned(String, u32),
+    }
+    let mut target = Target::None;
+    // Open `opt`/`rep` containers: (indent of their children, chain of
+    // child indices from the target's op vec).
+    let mut containers: Vec<(usize, usize)> = Vec::new();
+
+    fn ops_slot<'a>(schema: &'a mut WireSchema, target: &Target) -> Option<&'a mut Vec<WireOp>> {
+        match target {
+            Target::None => None,
+            Target::Struct(name) => match &mut schema.types.get_mut(name)?.layout {
+                Layout::Struct { ops } => Some(ops),
+                _ => None,
+            },
+            Target::EnumVariant(name, vi) => match &mut schema.types.get_mut(name)?.layout {
+                Layout::Enum { variants } => Some(&mut variants.get_mut(*vi)?.ops),
+                _ => None,
+            },
+            Target::Versioned(name, tag) => schema.versioned.get_mut(name)?.layouts.get_mut(tag),
+        }
+    }
+
+    fn descend<'a>(ops: &'a mut Vec<WireOp>, chain: &[usize]) -> Option<&'a mut Vec<WireOp>> {
+        let mut cur = ops;
+        for &idx in chain {
+            cur = match cur.get_mut(idx)? {
+                WireOp::Opt { ops, .. } | WireOp::Rep { ops, .. } => ops,
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw_line.trim_end();
+        if line.is_empty() || line.trim_start().starts_with('#') {
+            continue;
+        }
+        let indent = line.len() - line.trim_start().len();
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let err = |msg: &str| format!("SCHEMA.lock:{lineno}: {msg}");
+        if indent == 0 {
+            containers.clear();
+            match words.as_slice() {
+                ["format", v] => {
+                    if *v != "1" {
+                        return Err(err(&format!("unsupported lock format {v}")));
+                    }
+                    target = Target::None;
+                }
+                ["impls", ..] | ["versions", ..] => target = Target::None,
+                ["prim", name, codec, path] => {
+                    schema.types.insert(
+                        (*name).to_string(),
+                        TypeSchema {
+                            name: (*name).to_string(),
+                            path: (*path).to_string(),
+                            line: 0,
+                            layout: Layout::Prim {
+                                codec: (*codec).to_string(),
+                            },
+                        },
+                    );
+                    target = Target::None;
+                }
+                ["struct", name, path] => {
+                    schema.types.insert(
+                        (*name).to_string(),
+                        TypeSchema {
+                            name: (*name).to_string(),
+                            path: (*path).to_string(),
+                            line: 0,
+                            layout: Layout::Struct { ops: Vec::new() },
+                        },
+                    );
+                    target = Target::Struct((*name).to_string());
+                }
+                ["enum", name, path] => {
+                    schema.types.insert(
+                        (*name).to_string(),
+                        TypeSchema {
+                            name: (*name).to_string(),
+                            path: (*path).to_string(),
+                            line: 0,
+                            layout: Layout::Enum {
+                                variants: Vec::new(),
+                            },
+                        },
+                    );
+                    target = Target::EnumVariant((*name).to_string(), 0);
+                }
+                ["versioned", name, path] => {
+                    schema.versioned.insert(
+                        (*name).to_string(),
+                        VersionedSchema {
+                            name: (*name).to_string(),
+                            path: (*path).to_string(),
+                            line: 0,
+                            writes: BTreeSet::new(),
+                            reads: BTreeSet::new(),
+                            layouts: BTreeMap::new(),
+                        },
+                    );
+                    target = Target::Versioned((*name).to_string(), u32::MAX);
+                }
+                _ => return Err(err("unrecognized top-level line")),
+            }
+            continue;
+        }
+        // Structural indent-2 lines inside enum / versioned blocks.
+        if indent == 2 {
+            containers.clear();
+            match (&target, words.as_slice()) {
+                (Target::EnumVariant(name, _), ["variant", vname, tag]) => {
+                    let tag_val = tag
+                        .strip_prefix("tag=")
+                        .ok_or_else(|| err("variant line needs tag=<n>"))?;
+                    let tag = if tag_val == "?" {
+                        None
+                    } else {
+                        Some(tag_val.parse::<u32>().map_err(|_| err("bad variant tag"))?)
+                    };
+                    let name = name.clone();
+                    let vi = match &mut schema
+                        .types
+                        .get_mut(&name)
+                        .ok_or_else(|| err("variant outside enum"))?
+                        .layout
+                    {
+                        Layout::Enum { variants } => {
+                            variants.push(VariantLayout {
+                                name: (*vname).to_string(),
+                                tag,
+                                ops: Vec::new(),
+                            });
+                            variants.len() - 1
+                        }
+                        _ => return Err(err("variant outside enum")),
+                    };
+                    target = Target::EnumVariant(name, vi);
+                    continue;
+                }
+                (Target::Versioned(name, _), ["writes", rest @ ..]) => {
+                    let set = parse_version_set(rest).map_err(|m| err(&m))?;
+                    schema
+                        .versioned
+                        .get_mut(name)
+                        .ok_or_else(|| err("writes outside versioned"))?
+                        .writes = set;
+                    continue;
+                }
+                (Target::Versioned(name, _), ["reads", rest @ ..]) => {
+                    let set = parse_version_set(rest).map_err(|m| err(&m))?;
+                    schema
+                        .versioned
+                        .get_mut(name)
+                        .ok_or_else(|| err("reads outside versioned"))?
+                        .reads = set;
+                    continue;
+                }
+                (Target::Versioned(name, _), [vtag]) if vtag.starts_with('v') => {
+                    let tag: u32 = vtag[1..].parse().map_err(|_| err("bad version tag line"))?;
+                    let name = name.clone();
+                    schema
+                        .versioned
+                        .get_mut(&name)
+                        .ok_or_else(|| err("version tag outside versioned"))?
+                        .layouts
+                        .insert(tag, Vec::new());
+                    target = Target::Versioned(name, tag);
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        // An op line: find its container by indent.
+        let base_indent = match &target {
+            Target::Struct(_) => 2,
+            Target::EnumVariant(..) | Target::Versioned(..) => 4,
+            Target::None => return Err(err("op line outside any block")),
+        };
+        while let Some(&(ci, _)) = containers.last() {
+            if indent <= ci.saturating_sub(2) || indent < ci {
+                containers.pop();
+            } else {
+                break;
+            }
+        }
+        let expected = base_indent + 2 * containers.len();
+        if indent != expected {
+            return Err(err(&format!("bad indent {indent}, expected {expected}")));
+        }
+        let (head, rest) = match words.as_slice() {
+            [head, rest @ ..] if !rest.is_empty() => (*head, rest.join(" ")),
+            _ => return Err(err("op line needs an operand")),
+        };
+        let op = match head {
+            "nested" => WireOp::Nested { expr: rest },
+            "opt" => WireOp::Opt {
+                expr: rest,
+                ops: Vec::new(),
+            },
+            "rep" => WireOp::Rep {
+                expr: rest,
+                ops: Vec::new(),
+            },
+            codec @ ("u8" | "u16" | "u32" | "u64" | "i64" | "f64" | "bool" | "str" | "raw") => {
+                WireOp::Prim {
+                    codec: codec.to_string(),
+                    expr: rest,
+                }
+            }
+            other => return Err(err(&format!("unknown op `{other}`"))),
+        };
+        let is_container = matches!(op, WireOp::Opt { .. } | WireOp::Rep { .. });
+        let chain: Vec<usize> = containers.iter().map(|&(_, idx)| idx).collect();
+        let slot = ops_slot(&mut schema, &target).ok_or_else(|| err("op outside a layout"))?;
+        let ops = descend(slot, &chain).ok_or_else(|| err("container nesting broken"))?;
+        ops.push(op);
+        if is_container {
+            containers.push((indent + 2, ops.len() - 1));
+        }
+    }
+    Ok(schema)
+}
+
+fn parse_version_set(words: &[&str]) -> Result<BTreeSet<u32>, String> {
+    let mut out = BTreeSet::new();
+    for w in words {
+        out.insert(
+            w.parse::<u32>()
+                .map_err(|_| format!("bad version number `{w}`"))?,
+        );
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Compatibility classification
+// ---------------------------------------------------------------------------
+
+/// How an edit relates to the frozen contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditKind {
+    /// New surface only: a new type, a new version tag, a new enum
+    /// variant on an unused tag. The lockfile needs regeneration, old
+    /// readers keep working.
+    Additive,
+    /// The frozen bytes changed: reorder, codec change, removal, retag.
+    Breaking,
+}
+
+/// One classified difference between the lockfile and a fresh extraction.
+#[derive(Debug, Clone)]
+pub struct SchemaEdit {
+    pub kind: EditKind,
+    pub type_name: String,
+    /// Anchor path (the new side when the type still exists).
+    pub path: String,
+    /// Anchor line in the new extraction (`0` when the type is gone).
+    pub line: u32,
+    pub detail: String,
+}
+
+/// The first difference between two op sequences, described for humans.
+fn describe_op_diff(old: &[WireOp], new: &[WireOp]) -> Option<String> {
+    if old == new {
+        return None;
+    }
+    let mut old_sorted: Vec<String> = old.iter().map(op_text).collect();
+    let mut new_sorted: Vec<String> = new.iter().map(op_text).collect();
+    old_sorted.sort();
+    new_sorted.sort();
+    let idx = old
+        .iter()
+        .zip(new.iter())
+        .position(|(a, b)| a != b)
+        .unwrap_or_else(|| old.len().min(new.len()));
+    if old.len() == new.len() && old_sorted == new_sorted {
+        return Some(format!(
+            "field order changed at position {idx}: `{}` is now `{}`",
+            old.get(idx).map(op_text).unwrap_or_default(),
+            new.get(idx).map(op_text).unwrap_or_default(),
+        ));
+    }
+    if let (Some(a), Some(b)) = (old.get(idx), new.get(idx)) {
+        if let (
+            WireOp::Prim {
+                codec: ca,
+                expr: ea,
+            },
+            WireOp::Prim {
+                codec: cb,
+                expr: eb,
+            },
+        ) = (a, b)
+        {
+            if ea == eb && ca != cb {
+                return Some(format!(
+                    "codec of `{ea}` changed at position {idx}: {ca} → {cb}"
+                ));
+            }
+        }
+    }
+    if new.len() < old.len() && idx >= new.len() {
+        return Some(format!(
+            "`{}` was removed at position {idx}",
+            old.get(idx).map(op_text).unwrap_or_default()
+        ));
+    }
+    if new.len() > old.len() && idx >= old.len() {
+        return Some(format!(
+            "`{}` was appended at position {idx}",
+            new.get(idx).map(op_text).unwrap_or_default()
+        ));
+    }
+    Some(format!(
+        "layout changed at position {idx}: `{}` is now `{}`",
+        old.get(idx).map(op_text).unwrap_or_default(),
+        new.get(idx).map(op_text).unwrap_or_default(),
+    ))
+}
+
+/// Diffs a lockfile schema (`old`) against a fresh extraction (`new`),
+/// classifying every difference.
+pub fn diff_schemas(old: &WireSchema, new: &WireSchema) -> Vec<SchemaEdit> {
+    let mut edits = Vec::new();
+    let mut push = |kind: EditKind, name: &str, path: &str, line: u32, detail: String| {
+        edits.push(SchemaEdit {
+            kind,
+            type_name: name.to_string(),
+            path: path.to_string(),
+            line,
+            detail,
+        });
+    };
+
+    for (name, ot) in &old.types {
+        let Some(nt) = new.types.get(name) else {
+            push(
+                EditKind::Breaking,
+                name,
+                &ot.path,
+                0,
+                format!("wire type `{name}` was removed from the extraction"),
+            );
+            continue;
+        };
+        match (&ot.layout, &nt.layout) {
+            (Layout::Prim { codec: oc }, Layout::Prim { codec: nc }) => {
+                if oc != nc {
+                    push(
+                        EditKind::Breaking,
+                        name,
+                        &nt.path,
+                        nt.line,
+                        format!("primitive `{name}` codec changed: {oc} → {nc}"),
+                    );
+                }
+            }
+            (Layout::Struct { ops: oo }, Layout::Struct { ops: no }) => {
+                if let Some(d) = describe_op_diff(oo, no) {
+                    push(
+                        EditKind::Breaking,
+                        name,
+                        &nt.path,
+                        nt.line,
+                        format!("frozen layout of `{name}` edited: {d}"),
+                    );
+                }
+            }
+            (Layout::Enum { variants: ov }, Layout::Enum { variants: nv }) => {
+                diff_enum(name, ov, nv, &nt.path, nt.line, &mut push);
+            }
+            _ => push(
+                EditKind::Breaking,
+                name,
+                &nt.path,
+                nt.line,
+                format!("wire kind of `{name}` changed (struct/enum/prim)"),
+            ),
+        }
+    }
+    for (name, nt) in &new.types {
+        if !old.types.contains_key(name) {
+            push(
+                EditKind::Additive,
+                name,
+                &nt.path,
+                nt.line,
+                format!("new wire type `{name}`"),
+            );
+        }
+    }
+
+    for (name, ov) in &old.versioned {
+        let Some(nv) = new.versioned.get(name) else {
+            push(
+                EditKind::Breaking,
+                name,
+                &ov.path,
+                0,
+                format!("versioned root `{name}` was removed from the extraction"),
+            );
+            continue;
+        };
+        for (tag, oops) in &ov.layouts {
+            match nv.layouts.get(tag) {
+                None => push(
+                    EditKind::Breaking,
+                    name,
+                    &nv.path,
+                    nv.line,
+                    format!("frozen version v{tag} of `{name}` was removed"),
+                ),
+                Some(nops) => {
+                    if let Some(d) = describe_op_diff(oops, nops) {
+                        push(
+                            EditKind::Breaking,
+                            name,
+                            &nv.path,
+                            nv.line,
+                            format!("frozen v{tag} layout of `{name}` edited: {d}"),
+                        );
+                    }
+                }
+            }
+        }
+        for tag in nv.layouts.keys() {
+            if !ov.layouts.contains_key(tag) {
+                push(
+                    EditKind::Additive,
+                    name,
+                    &nv.path,
+                    nv.line,
+                    format!("new version tag v{tag} of `{name}`"),
+                );
+            }
+        }
+        for (label, oset, nset) in [
+            ("writes", &ov.writes, &nv.writes),
+            ("reads", &ov.reads, &nv.reads),
+        ] {
+            for v in oset.difference(nset) {
+                push(
+                    EditKind::Breaking,
+                    name,
+                    &nv.path,
+                    nv.line,
+                    format!("`{name}` no longer {label} version {v}"),
+                );
+            }
+            for v in nset.difference(oset) {
+                if !ov.layouts.contains_key(v) && !nv.layouts.contains_key(v) {
+                    push(
+                        EditKind::Additive,
+                        name,
+                        &nv.path,
+                        nv.line,
+                        format!("`{name}` newly {label} version {v}"),
+                    );
+                }
+            }
+        }
+    }
+    for (name, nv) in &new.versioned {
+        if !old.versioned.contains_key(name) {
+            push(
+                EditKind::Additive,
+                name,
+                &nv.path,
+                nv.line,
+                format!("new versioned root `{name}`"),
+            );
+        }
+    }
+    edits
+}
+
+fn diff_enum(
+    name: &str,
+    old: &[VariantLayout],
+    new: &[VariantLayout],
+    path: &str,
+    line: u32,
+    push: &mut impl FnMut(EditKind, &str, &str, u32, String),
+) {
+    let new_by_name: BTreeMap<&str, &VariantLayout> =
+        new.iter().map(|v| (v.name.as_str(), v)).collect();
+    let old_tags: BTreeSet<u32> = old.iter().filter_map(|v| v.tag).collect();
+    for ov in old {
+        let Some(nv) = new_by_name.get(ov.name.as_str()) else {
+            push(
+                EditKind::Breaking,
+                name,
+                path,
+                line,
+                format!("enum `{name}` variant `{}` was removed", ov.name),
+            );
+            continue;
+        };
+        if ov.tag != nv.tag {
+            let fmt = |t: Option<u32>| t.map(|n| n.to_string()).unwrap_or_else(|| "?".into());
+            push(
+                EditKind::Breaking,
+                name,
+                path,
+                line,
+                format!(
+                    "enum `{name}` variant `{}` retagged: {} → {}",
+                    ov.name,
+                    fmt(ov.tag),
+                    fmt(nv.tag)
+                ),
+            );
+        } else if let Some(d) = describe_op_diff(&ov.ops, &nv.ops) {
+            push(
+                EditKind::Breaking,
+                name,
+                path,
+                line,
+                format!("enum `{name}` variant `{}` payload edited: {d}", ov.name),
+            );
+        }
+    }
+    let old_names: BTreeSet<&str> = old.iter().map(|v| v.name.as_str()).collect();
+    for nv in new {
+        if old_names.contains(nv.name.as_str()) {
+            continue;
+        }
+        match nv.tag {
+            Some(t) if old_tags.contains(&t) => push(
+                EditKind::Breaking,
+                name,
+                path,
+                line,
+                format!(
+                    "enum `{name}` new variant `{}` reuses frozen tag {t}",
+                    nv.name
+                ),
+            ),
+            _ => push(
+                EditKind::Additive,
+                name,
+                path,
+                line,
+                format!("enum `{name}` gained variant `{}` on a fresh tag", nv.name),
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The lint rules
+// ---------------------------------------------------------------------------
+
+/// Runs the three schema rules over an analyzed file set. The lockfile
+/// text is optional: without it only `unprobed-version` (a pure source
+/// property) can fire.
+pub fn check_schema(
+    files: &[SourceFile],
+    g: &SymbolGraph,
+    lock: Option<&str>,
+) -> Vec<SemanticFinding> {
+    let mut out = Vec::new();
+    let fresh = extract(files, g);
+
+    // File index by path, for anchoring.
+    let by_path: BTreeMap<&str, usize> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.meta.path.as_str(), i))
+        .collect();
+    let anchor_of = |path: &str| -> Anchor {
+        by_path
+            .get(path)
+            .map(|&i| Anchor::File(i))
+            .unwrap_or_else(|| Anchor::Path(path.to_string()))
+    };
+
+    for v in fresh.versioned.values() {
+        for tag in v.writes.difference(&v.reads) {
+            out.push(SemanticFinding {
+                anchor: anchor_of(&v.path),
+                finding: Finding {
+                    rule: "unprobed-version",
+                    line: v.line,
+                    col: 1,
+                    message: format!(
+                        "`{}` can write schema version {tag}, but its decoder only accepts {{{}}}: a campaign checkpointed at v{tag} could never resume",
+                        v.name,
+                        fmt_versions(&v.reads),
+                    ),
+                },
+            });
+        }
+        for tag in v.reads.difference(&v.writes) {
+            out.push(SemanticFinding {
+                anchor: anchor_of(&v.path),
+                finding: Finding {
+                    rule: "unprobed-version",
+                    line: v.line,
+                    col: 1,
+                    message: format!(
+                        "`{}` accepts schema version {tag} on decode, but no encoder branch can write it: the acceptance is dead (or the write path was lost)",
+                        v.name,
+                    ),
+                },
+            });
+        }
+    }
+
+    let Some(lock_text) = lock else { return out };
+    let locked = match parse_lock(lock_text) {
+        Ok(s) => s,
+        Err(e) => {
+            out.push(SemanticFinding {
+                anchor: Anchor::Path("SCHEMA.lock".to_string()),
+                finding: Finding {
+                    rule: "schema-lock-drift",
+                    line: 1,
+                    col: 1,
+                    message: format!(
+                        "SCHEMA.lock is unreadable ({e}): regenerate with `fbs-lint schema --write-lock`"
+                    ),
+                },
+            });
+            return out;
+        }
+    };
+    for edit in diff_schemas(&locked, &fresh) {
+        let (rule, message): (&'static str, String) = match edit.kind {
+            EditKind::Breaking => (
+                "frozen-version-edit",
+                format!(
+                    "{}: versions v2–v5 are frozen; breaking wire edits must ship behind a new version tag",
+                    edit.detail
+                ),
+            ),
+            EditKind::Additive => (
+                "schema-lock-drift",
+                format!(
+                    "extraction differs from SCHEMA.lock ({}): regenerate with `fbs-lint schema --write-lock`",
+                    edit.detail
+                ),
+            ),
+        };
+        out.push(SemanticFinding {
+            anchor: anchor_of(&edit.path),
+            finding: Finding {
+                rule,
+                line: edit.line.max(1),
+                col: 1,
+                message,
+            },
+        });
+    }
+    out
+}
+
+fn fmt_versions(set: &BTreeSet<u32>) -> String {
+    set.iter()
+        .map(u32::to_string)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{FileMeta, SourceFile};
+
+    fn analyze(path: &str, src: &str) -> SourceFile {
+        SourceFile::analyze(FileMeta::infer(path), src.as_bytes().to_vec())
+    }
+
+    fn extract_src(src: &str) -> WireSchema {
+        let files = vec![analyze("crates/core/src/wire.rs", src)];
+        let g = crate::graph::build(&files);
+        extract(&files, &g)
+    }
+
+    #[test]
+    fn struct_ops_extract_in_write_order() {
+        let s = extract_src(
+            "impl Persist for BlockObs {\n\
+             fn persist(&self, w: &mut ByteWriter) {\n\
+             w.put_u32(self.responsive); w.put_u64(self.rtt_ns); w.put_bool(self.routed);\n\
+             }\n\
+             fn restore(r: &mut ByteReader) -> Result<Self> { Err(x) }\n\
+             }\n",
+        );
+        let t = s.types.get("BlockObs").expect("extracted");
+        match &t.layout {
+            Layout::Struct { ops } => {
+                let texts: Vec<String> = ops.iter().map(op_text).collect();
+                assert_eq!(
+                    texts,
+                    ["u32 self.responsive", "u64 self.rtt_ns", "bool self.routed"]
+                );
+            }
+            other => panic!("expected struct layout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn enum_arms_extract_tags() {
+        let s = extract_src(
+            "impl Persist for FeedObs {\n\
+             fn persist(&self, w: &mut ByteWriter) {\n\
+             match self {\n\
+             FeedObs::NotDue => w.put_u8(0),\n\
+             FeedObs::Accepted { retries } => { w.put_u8(1); w.put_u32(*retries); }\n\
+             }\n\
+             }\n\
+             fn restore(r: &mut ByteReader) -> Result<Self> { Err(x) }\n\
+             }\n",
+        );
+        let t = s.types.get("FeedObs").expect("extracted");
+        match &t.layout {
+            Layout::Enum { variants } => {
+                assert_eq!(variants.len(), 2);
+                assert_eq!(variants[0].name, "NotDue");
+                assert_eq!(variants[0].tag, Some(0));
+                assert!(variants[0].ops.is_empty());
+                assert_eq!(variants[1].name, "Accepted");
+                assert_eq!(variants[1].tag, Some(1));
+                assert_eq!(op_text(&variants[1].ops[0]), "u32 *retries");
+            }
+            other => panic!("expected enum layout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_gates_resolve_per_version() {
+        let s = extract_src(
+            "const OLD: u32 = 2;\n\
+             const NEW: u32 = 3;\n\
+             impl Rec {\n\
+             fn layout_version(&self) -> u32 {\n\
+             if self.extra.is_some() { NEW } else { OLD }\n\
+             }\n\
+             }\n\
+             impl Persist for Rec {\n\
+             fn persist(&self, w: &mut ByteWriter) {\n\
+             let version = self.layout_version();\n\
+             w.put_u32(version);\n\
+             w.put_u32(self.base);\n\
+             if version == NEW { w.put_bool(self.flag); }\n\
+             if let Some(extra) = &self.extra { extra.persist(w); }\n\
+             }\n\
+             fn restore(r: &mut ByteReader) -> Result<Self> {\n\
+             let version = r.get_u32()?;\n\
+             match version { OLD => Err(a), NEW => Err(b), _ => Err(c) }\n\
+             }\n\
+             }\n",
+        );
+        let v = s.versioned.get("Rec").expect("versioned root");
+        assert_eq!(v.writes, BTreeSet::from([2, 3]));
+        assert_eq!(v.reads, BTreeSet::from([2, 3]));
+        let v2: Vec<String> = v.layouts[&2].iter().map(op_text).collect();
+        assert_eq!(v2, ["u32 version", "u32 self.base"]);
+        let v3: Vec<String> = v.layouts[&3].iter().map(op_text).collect();
+        assert_eq!(
+            v3,
+            [
+                "u32 version",
+                "u32 self.base",
+                "bool self.flag",
+                "nested extra"
+            ]
+        );
+    }
+
+    #[test]
+    fn lock_round_trips_through_parse() {
+        let s = extract_src(
+            "const OLD: u32 = 2;\n\
+             const NEW: u32 = 3;\n\
+             impl Rec {\n\
+             fn layout_version(&self) -> u32 { if self.extra.is_some() { NEW } else { OLD } }\n\
+             }\n\
+             impl Persist for Rec {\n\
+             fn persist(&self, w: &mut ByteWriter) {\n\
+             let version = self.layout_version();\n\
+             w.put_u32(version);\n\
+             if let Some(extra) = &self.extra { extra.persist(w); }\n\
+             }\n\
+             fn restore(r: &mut ByteReader) -> Result<Self> {\n\
+             let version = r.get_u32()?;\n\
+             match version { OLD => Err(a), NEW => Err(b), _ => Err(c) }\n\
+             }\n\
+             }\n\
+             impl Persist for Leaf {\n\
+             fn persist(&self, w: &mut ByteWriter) {\n\
+             w.put_u64(self.len() as u64);\n\
+             for item in self.items { item.persist(w); }\n\
+             }\n\
+             fn restore(r: &mut ByteReader) -> Result<Self> { Err(x) }\n\
+             }\n",
+        );
+        let text = render_lock(&s);
+        let parsed = parse_lock(&text).expect("lock parses");
+        // Lines are source positions, not wire facts: blank them before
+        // comparing.
+        let mut blanked = s.clone();
+        for t in blanked.types.values_mut() {
+            t.line = 0;
+        }
+        for v in blanked.versioned.values_mut() {
+            v.line = 0;
+        }
+        assert_eq!(parsed, blanked);
+        assert_eq!(render_lock(&parsed), text);
+    }
+
+    #[test]
+    fn diff_classifies_reorder_and_new_type() {
+        let old = extract_src(
+            "impl Persist for A {\n\
+             fn persist(&self, w: &mut ByteWriter) { w.put_u32(self.x); w.put_bool(self.y); }\n\
+             fn restore(r: &mut ByteReader) -> Result<Self> { Err(e) }\n\
+             }\n",
+        );
+        let new = extract_src(
+            "impl Persist for A {\n\
+             fn persist(&self, w: &mut ByteWriter) { w.put_bool(self.y); w.put_u32(self.x); }\n\
+             fn restore(r: &mut ByteReader) -> Result<Self> { Err(e) }\n\
+             }\n\
+             impl Persist for B {\n\
+             fn persist(&self, w: &mut ByteWriter) { w.put_u8(self.z); }\n\
+             fn restore(r: &mut ByteReader) -> Result<Self> { Err(e) }\n\
+             }\n",
+        );
+        let edits = diff_schemas(&old, &new);
+        assert_eq!(edits.len(), 2);
+        assert!(edits
+            .iter()
+            .any(|e| e.kind == EditKind::Breaking && e.detail.contains("field order changed")));
+        assert!(edits
+            .iter()
+            .any(|e| e.kind == EditKind::Additive && e.detail.contains("new wire type `B`")));
+    }
+}

@@ -16,17 +16,18 @@
 //! behind it — which anchors to the path itself ([`Anchor::Path`]) and
 //! only fires on a complete workspace sweep.
 
-use crate::context::SourceFile;
+use crate::context::{FileKind, SourceFile};
 use crate::dataflow::{build_call_graph, shard_taint, CallGraph};
 use crate::graph::{is_library, FnNode, SymbolGraph};
 use crate::lexer::TokenKind;
 use crate::parser::Span;
-use crate::rules::{Finding, EMISSION_FILES, RNG_DOMAINS};
+use crate::rules::{Finding, EMISSION_FILES, EMISSION_OUTPUTS, RNG_DOMAINS};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Metadata for a workspace-level rule (the check itself lives in
-/// [`check_workspace`]; these entries feed `--list-rules` and the fixture
-/// completeness test).
+/// [`check_workspace`] — except the three wire-schema rules, implemented
+/// in [`crate::schema`] and run by the engine alongside this pass; these
+/// entries feed `--list-rules` and the fixture completeness test).
 pub struct SemanticRule {
     pub name: &'static str,
     pub summary: &'static str,
@@ -65,6 +66,18 @@ pub const SEMANTIC_RULES: &[SemanticRule] = &[
     SemanticRule {
         name: "float-reduction-order",
         summary: "no order-sensitive f64 sum/product/additive-fold in functions transitively reachable from emission surfaces",
+    },
+    SemanticRule {
+        name: "frozen-version-edit",
+        summary: "wire layouts frozen in SCHEMA.lock (versions v2-v5) must not be reordered, retyped, removed, or retagged; breaking edits ship behind a new version tag",
+    },
+    SemanticRule {
+        name: "unprobed-version",
+        summary: "every schema version a versioned encoder can write must be accepted by its decoder, and vice versa (a written-but-unreadable version strands checkpoints)",
+    },
+    SemanticRule {
+        name: "schema-lock-drift",
+        summary: "the statically extracted wire schema must match the committed SCHEMA.lock (regenerate with `fbs-lint schema --write-lock`)",
     },
 ];
 
@@ -392,6 +405,53 @@ fn check_unregistered_emission(
                         col: 1,
                         message: format!(
                             "EMISSION_FILES entry `{entry}` has no file-writing call sites: the writes moved or the entry is stale"
+                        ),
+                    },
+                });
+            }
+        }
+    }
+
+    // Env-derived artifact names: bench and gate binaries that resolve an
+    // output path through `env::var("…")` with a `.json` literal default
+    // must name an artifact the EMISSION_OUTPUTS registry (and therefore
+    // CI's artifact uploads) knows about. Library emissions are covered
+    // above by file path; these binaries are covered by artifact name.
+    let mut live_outputs: BTreeSet<&str> = BTreeSet::new();
+    for f in &g.fns {
+        let file = &files[f.file];
+        if !matches!(file.meta.kind, FileKind::Bin | FileKind::Bench) || f.write_sites.is_empty() {
+            continue;
+        }
+        for site in &f.artifact_sites {
+            let Some(default) = &site.default else {
+                continue;
+            };
+            if !default.ends_with(".json") {
+                continue;
+            }
+            match EMISSION_OUTPUTS.iter().find(|e| *e == default) {
+                Some(entry) => {
+                    live_outputs.insert(entry);
+                }
+                None => push(out, f.file, RULE, site.line, site.col, format!(
+                    "env-derived artifact `{default}` (via {}) is not in the EMISSION_OUTPUTS registry: register it so CI uploads cover this output",
+                    site.env
+                )),
+            }
+        }
+    }
+    if complete {
+        for entry in EMISSION_OUTPUTS {
+            if !live_outputs.contains(entry) {
+                out.push(SemanticFinding {
+                    anchor: Anchor::Path((*entry).to_string()),
+                    finding: Finding {
+                        rule: RULE,
+                        line: 1,
+                        col: 1,
+                        message: format!(
+                            "EMISSION_OUTPUTS entry `{entry}` has no env-derived write site: the artifact moved or the entry is stale"
                         ),
                     },
                 });
@@ -840,9 +900,12 @@ mod tests {
         let partial = check_workspace(std::slice::from_ref(&f), &g, false);
         assert!(partial.is_empty());
         let complete = check_workspace(std::slice::from_ref(&f), &g, true);
-        // Every EMISSION_FILES entry and every RNG_DOMAINS entry is stale
-        // when the only analyzed file contains neither writes nor draws.
-        assert_eq!(complete.len(), EMISSION_FILES.len() + RNG_DOMAINS.len());
+        // Every EMISSION_FILES, EMISSION_OUTPUTS, and RNG_DOMAINS entry is
+        // stale when the only analyzed file contains no writes or draws.
+        assert_eq!(
+            complete.len(),
+            EMISSION_FILES.len() + EMISSION_OUTPUTS.len() + RNG_DOMAINS.len()
+        );
         assert!(complete
             .iter()
             .all(|sf| matches!(sf.anchor, Anchor::Path(_))));

@@ -8,7 +8,7 @@
 
 #![forbid(unsafe_code)]
 
-use fbs_lint::lint_bytes;
+use fbs_lint::{lint_bytes, lint_bytes_with_lock};
 use std::path::Path;
 
 fn fixture(rule: &str, which: &str) -> Vec<u8> {
@@ -17,6 +17,26 @@ fn fixture(rule: &str, which: &str) -> Vec<u8> {
         .join(rule)
         .join(format!("{which}.rs"));
     std::fs::read(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// The frozen `SCHEMA.lock` baseline committed next to a lock-dependent
+/// rule's fixture (`positive.lock` / `negative.lock`).
+fn lock_fixture(rule: &str, which: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(rule)
+        .join(format!("{which}.lock"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Lints a fixture against its committed lock baseline, returning
+/// `(rule, line)` pairs in diagnostic order.
+fn lint_locked_fixture(rule: &str, which: &str, virtual_path: &str) -> Vec<(String, u32)> {
+    let lock = lock_fixture(rule, which);
+    lint_bytes_with_lock(virtual_path, fixture(rule, which), &lock)
+        .into_iter()
+        .map(|f| (f.rule.to_string(), f.line))
+        .collect()
 }
 
 /// Lints a fixture as if it lived at `virtual_path`, returning
@@ -303,6 +323,70 @@ fn float_reduction_order_fires_on_sum_and_additive_fold() {
 #[test]
 fn float_reduction_order_accepts_integer_max_and_pragmad_reductions() {
     assert_clean("float-reduction-order", "crates/core/src/fixture.rs");
+}
+
+#[test]
+fn unprobed_version_fires_on_asymmetric_write_read_sets() {
+    // Both findings anchor at the `impl Persist` line: the encoder can
+    // write v3 the decoder never accepts, and the decoder accepts v9
+    // nothing writes.
+    assert_fires("unprobed-version", "crates/geodb/src/fixture.rs", &[29, 29]);
+}
+
+#[test]
+fn unprobed_version_accepts_symmetric_version_sets() {
+    assert_clean("unprobed-version", "crates/geodb/src/fixture.rs");
+}
+
+#[test]
+fn frozen_version_edit_fires_on_reorders_against_the_lock() {
+    // line 15: `Header` swapped its two field writes relative to the
+    // frozen baseline; line 43: the frozen v2 layout of `Record` moved
+    // `notes` ahead of `head`.
+    let got = lint_locked_fixture(
+        "frozen-version-edit",
+        "positive",
+        "crates/geodb/src/fixture.rs",
+    );
+    assert_eq!(
+        got,
+        [
+            ("frozen-version-edit".to_string(), 15),
+            ("frozen-version-edit".to_string(), 43),
+        ]
+    );
+}
+
+#[test]
+fn frozen_version_edit_accepts_a_matching_lock() {
+    let got = lint_locked_fixture(
+        "frozen-version-edit",
+        "negative",
+        "crates/geodb/src/fixture.rs",
+    );
+    assert!(got.is_empty(), "negative fixture fired: {got:?}");
+}
+
+#[test]
+fn schema_lock_drift_fires_on_an_unrecorded_new_type() {
+    // line 26: `Extra` is extracted from the source but absent from the
+    // frozen baseline — additive drift, not a frozen-version break.
+    let got = lint_locked_fixture(
+        "schema-lock-drift",
+        "positive",
+        "crates/geodb/src/fixture.rs",
+    );
+    assert_eq!(got, [("schema-lock-drift".to_string(), 26)]);
+}
+
+#[test]
+fn schema_lock_drift_accepts_a_matching_lock() {
+    let got = lint_locked_fixture(
+        "schema-lock-drift",
+        "negative",
+        "crates/geodb/src/fixture.rs",
+    );
+    assert!(got.is_empty(), "negative fixture fired: {got:?}");
 }
 
 #[test]

@@ -1,0 +1,260 @@
+//! Compatibility-classifier tests: every edit family the wire-schema
+//! gate distinguishes, asserted against exact `Additive` / `Breaking`
+//! verdicts on minimal extraction pairs (`old` = the frozen lockfile
+//! state, `new` = the edited source).
+
+#![forbid(unsafe_code)]
+
+use fbs_lint::{diff_schemas, extract, EditKind, FileMeta, SourceFile, WireSchema};
+
+/// Extracts the wire schema of one virtual library file.
+fn schema_of(src: &str) -> WireSchema {
+    let files = vec![SourceFile::analyze(
+        FileMeta::infer("crates/types/src/x.rs"),
+        src.as_bytes().to_vec(),
+    )];
+    let g = fbs_lint::graph::build(&files);
+    extract(&files, &g)
+}
+
+/// Diffs two sources and asserts exactly one edit with the expected
+/// verdict and a detail mentioning `needle`.
+fn assert_verdict(old: &str, new: &str, kind: EditKind, needle: &str) {
+    let edits = diff_schemas(&schema_of(old), &schema_of(new));
+    assert_eq!(edits.len(), 1, "expected one edit, got {edits:?}");
+    assert_eq!(edits[0].kind, kind, "wrong verdict: {edits:?}");
+    assert!(
+        edits[0].detail.contains(needle),
+        "detail `{}` does not mention `{needle}`",
+        edits[0].detail
+    );
+}
+
+const PAIR_OLD: &str = "impl Persist for Pair {
+    fn persist(&self, w: &mut ByteWriter) {
+        w.put_u32(self.a);
+        w.put_u64(self.b);
+    }
+}
+";
+
+#[test]
+fn reorder_in_a_frozen_struct_is_breaking() {
+    let new = "impl Persist for Pair {
+        fn persist(&self, w: &mut ByteWriter) {
+            w.put_u64(self.b);
+            w.put_u32(self.a);
+        }
+    }
+    ";
+    assert_verdict(PAIR_OLD, new, EditKind::Breaking, "field order changed");
+}
+
+#[test]
+fn codec_change_of_a_frozen_field_is_breaking() {
+    let new = "impl Persist for Pair {
+        fn persist(&self, w: &mut ByteWriter) {
+            w.put_u32(self.a);
+            w.put_i64(self.b);
+        }
+    }
+    ";
+    assert_verdict(
+        PAIR_OLD,
+        new,
+        EditKind::Breaking,
+        "codec of `self.b` changed",
+    );
+}
+
+#[test]
+fn removal_of_a_frozen_field_is_breaking() {
+    let new = "impl Persist for Pair {
+        fn persist(&self, w: &mut ByteWriter) {
+            w.put_u32(self.a);
+        }
+    }
+    ";
+    assert_verdict(PAIR_OLD, new, EditKind::Breaking, "removed");
+}
+
+#[test]
+fn appending_a_field_to_a_frozen_struct_is_still_breaking() {
+    // Appending without a version gate changes the frozen byte stream;
+    // only a new version tag makes additions safe.
+    let new = "impl Persist for Pair {
+        fn persist(&self, w: &mut ByteWriter) {
+            w.put_u32(self.a);
+            w.put_u64(self.b);
+            w.put_bool(self.c);
+        }
+    }
+    ";
+    assert_verdict(PAIR_OLD, new, EditKind::Breaking, "appended");
+}
+
+const VERSIONED_OLD: &str = "const V1: u32 = 1;
+const V2: u32 = 2;
+pub struct S { tail: Vec<u32> }
+impl S {
+    fn layout_version(&self) -> u32 {
+        if self.tail.is_empty() {
+            V1
+        } else {
+            V2
+        }
+    }
+}
+impl Persist for S {
+    fn persist(&self, w: &mut ByteWriter) {
+        let version = self.layout_version();
+        w.put_u32(version);
+        if version != V1 {
+            self.tail.persist(w);
+        }
+    }
+}
+";
+
+#[test]
+fn a_new_version_tag_is_additive() {
+    // The frozen v1/v2 layouts are untouched; v3 is a fresh tag carrying
+    // the new section, which is exactly how wire evolution must ship.
+    let new = "const V1: u32 = 1;
+const V2: u32 = 2;
+const V3: u32 = 3;
+pub struct S { tail: Vec<u32>, extra: Vec<u32> }
+impl S {
+    fn layout_version(&self) -> u32 {
+        if self.tail.is_empty() {
+            V1
+        } else if self.extra.is_empty() {
+            V2
+        } else {
+            V3
+        }
+    }
+}
+impl Persist for S {
+    fn persist(&self, w: &mut ByteWriter) {
+        let version = self.layout_version();
+        w.put_u32(version);
+        if version != V1 {
+            self.tail.persist(w);
+        }
+        if version == V3 {
+            self.extra.persist(w);
+        }
+    }
+}
+";
+    assert_verdict(
+        VERSIONED_OLD,
+        new,
+        EditKind::Additive,
+        "new version tag v3 of `S`",
+    );
+}
+
+#[test]
+fn editing_a_frozen_version_layout_is_breaking() {
+    // Same version set, but v2 now writes its section in another order.
+    let new = "const V1: u32 = 1;
+const V2: u32 = 2;
+pub struct S { tail: Vec<u32> }
+impl S {
+    fn layout_version(&self) -> u32 {
+        if self.tail.is_empty() {
+            V1
+        } else {
+            V2
+        }
+    }
+}
+impl Persist for S {
+    fn persist(&self, w: &mut ByteWriter) {
+        if self.layout_version() != V1 {
+            self.tail.persist(w);
+        }
+        w.put_u32(self.layout_version());
+    }
+}
+";
+    let edits = diff_schemas(&schema_of(VERSIONED_OLD), &schema_of(new));
+    assert!(
+        !edits.is_empty() && edits.iter().all(|e| e.kind == EditKind::Breaking),
+        "frozen-layout edit must be breaking: {edits:?}"
+    );
+}
+
+const ENUM_OLD: &str = "impl Persist for Kind {
+    fn persist(&self, w: &mut ByteWriter) {
+        match self {
+            Kind::A => w.put_u8(0),
+            Kind::B(x) => {
+                w.put_u8(1);
+                x.persist(w);
+            }
+        }
+    }
+}
+";
+
+#[test]
+fn enum_retag_is_breaking() {
+    let new = "impl Persist for Kind {
+        fn persist(&self, w: &mut ByteWriter) {
+            match self {
+                Kind::A => w.put_u8(0),
+                Kind::B(x) => {
+                    w.put_u8(2);
+                    x.persist(w);
+                }
+            }
+        }
+    }
+    ";
+    assert_verdict(ENUM_OLD, new, EditKind::Breaking, "retagged: 1 → 2");
+}
+
+#[test]
+fn enum_variant_on_a_fresh_tag_is_additive() {
+    let new = "impl Persist for Kind {
+        fn persist(&self, w: &mut ByteWriter) {
+            match self {
+                Kind::A => w.put_u8(0),
+                Kind::B(x) => {
+                    w.put_u8(1);
+                    x.persist(w);
+                }
+                Kind::C => w.put_u8(7),
+            }
+        }
+    }
+    ";
+    assert_verdict(ENUM_OLD, new, EditKind::Additive, "fresh tag");
+}
+
+#[test]
+fn enum_variant_reusing_a_frozen_tag_is_breaking() {
+    let new = "impl Persist for Kind {
+        fn persist(&self, w: &mut ByteWriter) {
+            match self {
+                Kind::A => w.put_u8(0),
+                Kind::B(x) => {
+                    w.put_u8(1);
+                    x.persist(w);
+                }
+                Kind::C => w.put_u8(1),
+            }
+        }
+    }
+    ";
+    assert_verdict(ENUM_OLD, new, EditKind::Breaking, "reuses frozen tag 1");
+}
+
+#[test]
+fn an_identical_extraction_produces_no_edits() {
+    assert!(diff_schemas(&schema_of(VERSIONED_OLD), &schema_of(VERSIONED_OLD)).is_empty());
+    assert!(diff_schemas(&schema_of(ENUM_OLD), &schema_of(ENUM_OLD)).is_empty());
+}
